@@ -1,0 +1,99 @@
+// Ablation of the budget split between tree shape and counts — the design
+// choice of Section 3.4 (spatial: ε/2 + ε/2) and Section 4.2 (sequences:
+// ε/β for the tree, ε(β−1)/β for the histograms).
+//
+// Expected shape: the paper's choices sit at or near the minimum of each
+// sweep; starving either stage hurts.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/bench_seq_common.h"
+#include "eval/table.h"
+#include "seq/pst_privtree.h"
+#include "seq/topk.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree {
+namespace bench {
+namespace {
+
+void RunSpatial(const std::string& name) {
+  const std::size_t queries = PaperScale() ? 10000 : 500;
+  const std::size_t reps = Repetitions(3);
+  const SpatialCase data = MakeSpatialCase(name, queries);
+  const std::vector<double> fractions = {0.1, 0.25, 0.5, 0.75, 0.9};
+  std::vector<std::string> columns;
+  for (double f : fractions) columns.push_back("tree=" + FormatCell(f));
+
+  TablePrinter table("Budget ablation: " + name +
+                         " - medium queries, tree-budget fraction sweep "
+                         "(paper: 0.5)",
+                     "epsilon", columns);
+  for (double epsilon : PaperEpsilons()) {
+    std::vector<double> row;
+    for (double fraction : fractions) {
+      row.push_back(SweepError(
+          data, /*band=*/1, reps,
+          0xBD1 ^ static_cast<std::uint64_t>(fraction * 100),
+          [&, fraction](Rng& rng) -> AnswerFn {
+            PrivTreeHistogramOptions options;
+            options.tree_budget_fraction = fraction;
+            auto hist = std::make_shared<SpatialHistogram>(
+                BuildPrivTreeHistogram(data.points, data.domain, epsilon,
+                                       options, rng));
+            return [hist](const Box& q) { return hist->Query(q); };
+          }));
+    }
+    table.AddRow(FormatCell(epsilon), row);
+  }
+  table.Print();
+}
+
+void RunSequence(const std::string& name) {
+  const SequenceCase data = MakeSequenceCase(name);
+  const std::size_t reps = Repetitions(3);
+  const double paper_fraction =
+      1.0 / static_cast<double>(data.truncated.alphabet_size() + 1);
+  const std::vector<double> fractions = {paper_fraction, 0.25, 0.5, 0.75};
+  std::vector<std::string> columns = {"paper(1/beta)"};
+  for (std::size_t i = 1; i < fractions.size(); ++i) {
+    columns.push_back("tree=" + FormatCell(fractions[i]));
+  }
+  const std::size_t k = 100;
+  const TopKStrings exact = ExactTopKStrings(data.raw, k, kTopKMaxLen);
+
+  TablePrinter table("Budget ablation: " + name +
+                         " - top100 precision, tree-budget fraction sweep",
+                     "epsilon", columns);
+  for (double epsilon : PaperEpsilons()) {
+    std::vector<double> row;
+    for (double fraction : fractions) {
+      row.push_back(MeanOverReps(
+          reps, 0xBD2 ^ static_cast<std::uint64_t>(fraction * 1000),
+          [&](Rng& rng) {
+            PrivatePstOptions options;
+            options.l_top = data.l_top;
+            options.tree_budget_fraction = fraction;
+            const auto result =
+                BuildPrivatePst(data.truncated, epsilon, options, rng);
+            return TopKPrecision(
+                exact, TopKFromModel(result.model, k, kTopKMaxLen));
+          }));
+    }
+    table.AddRow(FormatCell(epsilon), row);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privtree
+
+int main() {
+  std::printf(
+      "Ablation: budget split between decomposition shape and released\n"
+      "counts (Sections 3.4 and 4.2).\n");
+  privtree::bench::RunSpatial("road");
+  privtree::bench::RunSequence("msnbc");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared plumbing for the figure/table reproduction binaries: the dataset
+// registry (paper datasets → synthetic substitutes at quick or paper
+// scale), method wrappers, and error-sweep helpers.
+//
+// Scale control (see DESIGN.md §4):
+//   PRIVTREE_PAPER_SCALE=1  — full Table 2/3 cardinalities, 100 reps,
+//                             2^20-cell discretizations.
+//   PRIVTREE_REPS=<r>       — override the repetition count.
+#ifndef PRIVTREE_BENCH_BENCH_COMMON_H_
+#define PRIVTREE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dp/check.h"
+#include "data/spatial_gen.h"
+#include "dp/rng.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "eval/workload.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+namespace bench {
+
+/// One spatial dataset instance plus its evaluation workloads.
+struct SpatialCase {
+  std::string name;
+  PointSet points;
+  Box domain;
+  /// Query sets indexed as {small, medium, large}.
+  std::vector<std::vector<Box>> queries;
+  std::vector<std::vector<double>> exact;
+};
+
+/// Generates the named dataset ("road", "gowalla", "nyc", "beijing") at
+/// the current scale with `queries_per_band` queries in each size band.
+inline SpatialCase MakeSpatialCase(const std::string& name,
+                                   std::size_t queries_per_band) {
+  Rng data_rng(0xD474ULL ^ std::hash<std::string>{}(name));
+  std::size_t n = 0;
+  std::unique_ptr<PointSet> points;
+  if (name == "road") {
+    n = ScaledCardinality(kRoadCardinality, 150000);
+    points = std::make_unique<PointSet>(GenerateRoadLike(n, data_rng));
+  } else if (name == "gowalla") {
+    n = ScaledCardinality(kGowallaCardinality, 60000);
+    points = std::make_unique<PointSet>(GenerateGowallaLike(n, data_rng));
+  } else if (name == "nyc") {
+    n = ScaledCardinality(kNycCardinality, 50000);
+    points = std::make_unique<PointSet>(GenerateNycLike(n, data_rng));
+  } else if (name == "beijing") {
+    n = ScaledCardinality(kBeijingCardinality, 30000);
+    points = std::make_unique<PointSet>(GenerateBeijingLike(n, data_rng));
+  } else {
+    PRIVTREE_CHECK(false);
+  }
+  const std::size_t dim = points->dim();
+  SpatialCase out{name, std::move(*points), Box::UnitCube(dim), {}, {}};
+  Rng workload_rng(0x9E3779B9ULL ^ std::hash<std::string>{}(name));
+  for (const auto& band : {kSmallQueries, kMediumQueries, kLargeQueries}) {
+    out.queries.push_back(GenerateRangeQueries(out.domain, queries_per_band,
+                                               band, workload_rng));
+    out.exact.push_back(ExactAnswers(out.queries.back(), out.points));
+  }
+  return out;
+}
+
+inline const std::vector<std::string>& BandNames() {
+  static const std::vector<std::string> names = {"small", "medium", "large"};
+  return names;
+}
+
+/// Mean relative error of a freshly built synopsis, averaged over reps,
+/// for one query band.  `build_and_query` builds a synopsis with the given
+/// rng and returns an answer function.
+using AnswerFn = std::function<double(const Box&)>;
+using BuildFn = std::function<AnswerFn(Rng&)>;
+
+inline double SweepError(const SpatialCase& data, std::size_t band,
+                         std::size_t reps, std::uint64_t seed,
+                         const BuildFn& build) {
+  return MeanOverReps(reps, seed, [&](Rng& rng) {
+    const AnswerFn answer = build(rng);
+    return MeanRelativeError(data.queries[band], data.exact[band], answer,
+                             data.points.size());
+  });
+}
+
+/// The default grid-discretization size: 2^20 cells at paper scale (as in
+/// Section 6.1), 2^16 at quick scale.
+inline std::int64_t DiscretizationCells() {
+  return PaperScale() ? (std::int64_t{1} << 20) : (std::int64_t{1} << 16);
+}
+
+}  // namespace bench
+}  // namespace privtree
+
+#endif  // PRIVTREE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,57 @@
+// Figure 11 (Appendix C): sensitivity of Hierarchy to its height h,
+// h ∈ {3, ..., 8} with per-dimension branching re-derived from the target
+// leaf resolution.  2-d datasets only (as in the paper).
+//
+// Expected shape: h = 3 (the [42] heuristic) best in most settings.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "eval/table.h"
+#include "hist/hierarchy.h"
+
+namespace privtree {
+namespace bench {
+namespace {
+
+void RunDataset(const std::string& name) {
+  const std::size_t queries = PaperScale() ? 10000 : 500;
+  const std::size_t reps = Repetitions(3);
+  const SpatialCase data = MakeSpatialCase(name, queries);
+  std::vector<std::string> columns;
+  for (int h = 3; h <= 8; ++h) columns.push_back("h=" + std::to_string(h));
+  for (std::size_t band = 0; band < BandNames().size(); ++band) {
+    TablePrinter table("Figure 11: " + name + " - " + BandNames()[band] +
+                           " queries, Hierarchy height sweep",
+                       "epsilon", columns);
+    for (double epsilon : PaperEpsilons()) {
+      std::vector<double> row;
+      for (int h = 3; h <= 8; ++h) {
+        row.push_back(SweepError(
+            data, band, reps,
+            0xF1B ^ static_cast<std::uint64_t>(h * 1000 + epsilon * 1e4),
+            [&, h](Rng& rng) -> AnswerFn {
+              HierarchyOptions options;
+              options.height = h;
+              auto hist = std::make_shared<HierarchyHistogram>(
+                  data.points, data.domain, epsilon, options, rng);
+              return [hist](const Box& q) { return hist->Query(q); };
+            }));
+      }
+      table.AddRow(FormatCell(epsilon), row);
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privtree
+
+int main() {
+  std::printf(
+      "Reproduction of Figure 11 (PrivTree, SIGMOD 2016): impact of the\n"
+      "tree height h on Hierarchy (2-d datasets only).\n");
+  privtree::bench::RunDataset("road");
+  privtree::bench::RunDataset("gowalla");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 12 (Appendix C): sensitivity of N-gram to its exploration-tree
+// height h = n_max ∈ {3, ..., 7}, measured by top-k precision.
+//
+// Expected shape: h = 5 (the N-gram paper's recommendation) among the best
+// overall, with h = 4 a close competitor.
+#include <cstdio>
+
+#include "bench/bench_seq_common.h"
+#include "eval/table.h"
+#include "seq/ngram.h"
+#include "seq/topk.h"
+
+namespace privtree {
+namespace bench {
+namespace {
+
+void RunDataset(const std::string& name) {
+  const SequenceCase data = MakeSequenceCase(name);
+  const std::size_t reps = Repetitions(3);
+  std::vector<std::string> columns;
+  for (int h = 3; h <= 7; ++h) columns.push_back("h=" + std::to_string(h));
+  for (std::size_t k : {std::size_t{50}, std::size_t{100}, std::size_t{200}}) {
+    const TopKStrings exact = ExactTopKStrings(data.raw, k, kTopKMaxLen);
+    TablePrinter table("Figure 12: " + name + " - top" + std::to_string(k) +
+                           " precision, N-gram height sweep",
+                       "epsilon", columns);
+    for (double epsilon : PaperEpsilons()) {
+      std::vector<double> row;
+      for (int h = 3; h <= 7; ++h) {
+        row.push_back(MeanOverReps(
+            reps, 0xF1C ^ static_cast<std::uint64_t>(h),
+            [&](Rng& rng) {
+              NgramOptions options;
+              options.l_top = data.l_top;
+              options.n_max = static_cast<std::size_t>(h);
+              const NgramModel model(data.truncated, epsilon, options, rng);
+              return TopKPrecision(exact,
+                                   TopKFromModel(model, k, kTopKMaxLen));
+            }));
+      }
+      table.AddRow(FormatCell(epsilon), row);
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privtree
+
+int main() {
+  std::printf(
+      "Reproduction of Figure 12 (PrivTree, SIGMOD 2016): impact of the\n"
+      "tree height h (= n_max) on N-gram.\n");
+  privtree::bench::RunDataset("mooc");
+  privtree::bench::RunDataset("msnbc");
+  return 0;
+}

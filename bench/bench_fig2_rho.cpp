@@ -1,0 +1,35 @@
+// Figure 2: the privacy-cost function ρ(x) of Equation (5) against its
+// Lemma 3.1 upper bound ρ⊤(x), for λ = 1 and θ = 0.  The printed series
+// shows the exponential decay beyond x = θ + 1 that PrivTree's constant-
+// noise guarantee rests on.
+#include <cstdio>
+
+#include "dp/rho.h"
+#include "eval/table.h"
+
+int main() {
+  std::printf(
+      "Reproduction of Figure 2 (PrivTree, SIGMOD 2016): rho(x) and its\n"
+      "upper bound rho_top(x); lambda = 1, theta = 0.  The y-values decay\n"
+      "like exp(theta + 1 - x) once x >= theta + 1.\n");
+  const double lambda = 1.0;
+  const double theta = 0.0;
+  privtree::TablePrinter table("Figure 2: rho and rho_top (lambda=1, theta=0)",
+                               "x", {"rho(x)", "rho_top(x)", "ratio"});
+  for (double x = theta - 3.0; x <= theta + 10.0; x += 0.5) {
+    const double rho = privtree::Rho(x, lambda, theta);
+    const double bound = privtree::RhoUpperBound(x, lambda, theta);
+    table.AddRow(privtree::FormatCell(x), {rho, bound, rho / bound});
+  }
+  table.Print();
+
+  privtree::TablePrinter cost(
+      "Telescoped cost bound (1/lambda)(2e^g-1)/(e^g-1) vs gamma",
+      "gamma", {"bound"});
+  for (double gamma : {0.25, 0.5, 1.0, 1.386, 2.0, 2.773}) {
+    cost.AddRow(privtree::FormatCell(gamma),
+                {privtree::PrivTreeCostBound(lambda, gamma * lambda)});
+  }
+  cost.Print();
+  return 0;
+}

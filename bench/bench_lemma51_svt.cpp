@@ -1,0 +1,58 @@
+// Lemma 5.1 / Claim 2 (Section 5, Appendix A): empirical demonstration
+// that the binary SVT and the vanilla SVT are not ε-differentially private
+// with a k-independent noise scale.
+//
+// For each k, the table reports the realized privacy loss
+// ln(Pr[D1→E]/Pr[D3→E]) of the counterexample event against the 2ε bound
+// that Claims 1/2 would imply (ε = 1, λ = 2/ε = 2).  The loss grows
+// linearly in k and crosses the bound, refuting the claims; Monte-Carlo
+// estimates over the actual algorithm corroborate the quadrature for the
+// k where the event probability is large enough to sample.
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "dp/rng.h"
+#include "eval/table.h"
+#include "svt/privacy_loss.h"
+
+int main() {
+  using privtree::FormatCell;
+  std::printf(
+      "Reproduction of Lemma 5.1 and the Claim-2 refutation (PrivTree,\n"
+      "SIGMOD 2016).  epsilon = 1, lambda = 2 (the scale Claims 1/2 say\n"
+      "suffices); an epsilon-DP algorithm would keep the loss <= 2.\n");
+
+  privtree::TablePrinter binary(
+      "Binary SVT (Algorithm 3) privacy loss on the Lemma 5.1 event",
+      "k", {"loss(quadrature)", "loss(paper bound k/2l)", "2eps bound",
+            "loss(monte-carlo)"});
+  privtree::Rng rng(0x571);
+  const double lambda = 2.0;
+  for (int k : {2, 4, 8, 16, 32, 64}) {
+    const double loss = privtree::BinarySvtLossLemma51(k, lambda);
+    const double monte_carlo =
+        (k <= 8) ? privtree::BinarySvtLossLemma51MonteCarlo(k, lambda,
+                                                            200000, rng)
+                 : std::numeric_limits<double>::quiet_NaN();
+    binary.AddRow(std::to_string(k),
+                  {loss, static_cast<double>(k) / (2.0 * lambda), 2.0,
+                   monte_carlo});
+  }
+  binary.Print();
+
+  privtree::TablePrinter vanilla(
+      "Vanilla SVT (Algorithm 4) privacy loss on the Claim-2 event",
+      "k", {"loss(quadrature)", "paper closed form k/l", "2eps bound"});
+  for (int k : {2, 4, 8, 16, 32, 64}) {
+    vanilla.AddRow(std::to_string(k),
+                   {privtree::VanillaSvtLossClaim2(k, lambda),
+                    static_cast<double>(k) / lambda, 2.0});
+  }
+  vanilla.Print();
+
+  std::printf(
+      "\nReading: both losses exceed the 2*eps bound once k > 8, so\n"
+      "Claims 1 and 2 are false; the noise scale must grow with k.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Supplementary model-quality evaluation: held-out per-symbol log-loss
+// (perplexity) of the private sequence models — the standard VOMM metric
+// of the paper's reference [3], complementing Figures 6 and 7.
+//
+// Expected shape: PrivTree-PST below N-gram at every ε (it models both
+// variable-order context and termination); both improve with ε and stay
+// above the non-private exact PST's loss.
+#include <cstdio>
+
+#include "bench/bench_seq_common.h"
+#include "eval/table.h"
+#include "seq/exact_pst.h"
+#include "seq/ngram.h"
+#include "seq/perplexity.h"
+#include "seq/pst_privtree.h"
+
+namespace privtree {
+namespace bench {
+namespace {
+
+void RunDataset(const std::string& name) {
+  const SequenceCase data = MakeSequenceCase(name);
+  // Held-out sample from the same generator, distinct stream.
+  Rng held_out_rng(0x43 ^ std::hash<std::string>{}(name));
+  const SequenceDataset held_out =
+      (name == "mooc" ? GenerateMoocLike(5000, held_out_rng)
+                      : GenerateMsnbcLike(5000, held_out_rng))
+          .Truncate(data.l_top);
+  const std::size_t reps = Repetitions(3);
+
+  ExactPstOptions exact_options;
+  exact_options.min_magnitude = 50.0;
+  exact_options.min_entropy = 0.05;
+  exact_options.max_depth = 6;
+  const PstModel exact_pst = BuildExactPst(data.truncated, exact_options);
+  const double exact_loss = AverageLogLoss(exact_pst, held_out);
+
+  TablePrinter table("Supplementary: " + name +
+                         " - held-out log-loss (nats/symbol)",
+                     "epsilon",
+                     {"ExactPST(non-private)", "PrivTree", "N-gram"});
+  for (double epsilon : PaperEpsilons()) {
+    const double pst_loss = MeanOverReps(reps, 0x9E1, [&](Rng& rng) {
+      PrivatePstOptions options;
+      options.l_top = data.l_top;
+      return AverageLogLoss(
+          BuildPrivatePst(data.truncated, epsilon, options, rng).model,
+          held_out);
+    });
+    const double ngram_loss = MeanOverReps(reps, 0x9E2, [&](Rng& rng) {
+      NgramOptions options;
+      options.l_top = data.l_top;
+      return AverageLogLoss(NgramModel(data.truncated, epsilon, options, rng),
+                            held_out);
+    });
+    table.AddRow(FormatCell(epsilon), {exact_loss, pst_loss, ngram_loss});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privtree
+
+int main() {
+  std::printf(
+      "Supplementary evaluation: held-out perplexity of the private\n"
+      "sequence models (lower is better).\n");
+  privtree::bench::RunDataset("mooc");
+  privtree::bench::RunDataset("msnbc");
+  return 0;
+}

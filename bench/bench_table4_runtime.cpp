@@ -1,0 +1,112 @@
+// Table 4: running time of PrivTree (seconds) on all six datasets as a
+// function of ε.  The paper's shape to check: road and msnbc are the
+// slowest (largest cardinality), and the cost *increases* with ε because a
+// smaller ε means a larger bias term and therefore earlier stopping.
+//
+// Also reports tree sizes next to the noiseless reference |T*|, making the
+// Lemma 3.2 bound E[|T|] <= 2|T*| observable.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/privtree.h"
+#include "data/seq_gen.h"
+#include "eval/table.h"
+#include "seq/pst_privtree.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree {
+namespace bench {
+namespace {
+
+double Seconds(const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+void RunSpatial(TablePrinter* time_table, TablePrinter* size_table,
+                const std::string& name) {
+  const SpatialCase data = MakeSpatialCase(name, /*queries_per_band=*/1);
+  const std::size_t reps = Repetitions(3);
+  std::vector<double> times, sizes;
+  for (double epsilon : PaperEpsilons()) {
+    double total_time = 0.0, total_nodes = 0.0;
+    Rng master(0x7E57);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Rng rng = master.Fork();
+      SpatialHistogram hist;
+      total_time += Seconds([&] {
+        hist = BuildPrivTreeHistogram(data.points, data.domain, epsilon, {},
+                                      rng);
+      });
+      total_nodes += static_cast<double>(hist.tree.size());
+    }
+    times.push_back(total_time / static_cast<double>(reps));
+    sizes.push_back(total_nodes / static_cast<double>(reps));
+  }
+  time_table->AddRow(name, times);
+  size_table->AddRow(name, sizes);
+}
+
+void RunSequence(TablePrinter* time_table, TablePrinter* size_table,
+                 const std::string& name) {
+  Rng data_rng(0x5EC);
+  const bool mooc = name == "mooc";
+  const std::size_t n = ScaledCardinality(
+      mooc ? kMoocCardinality : kMsnbcCardinality, mooc ? 40000 : 80000);
+  const SequenceDataset raw =
+      mooc ? GenerateMoocLike(n, data_rng) : GenerateMsnbcLike(n, data_rng);
+  const std::size_t l_top = mooc ? kMoocLTop : kMsnbcLTop;
+  const SequenceDataset data = raw.Truncate(l_top);
+  const std::size_t reps = Repetitions(3);
+
+  std::vector<double> times, sizes;
+  for (double epsilon : PaperEpsilons()) {
+    double total_time = 0.0, total_nodes = 0.0;
+    Rng master(0x7E58);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Rng rng = master.Fork();
+      PrivatePstOptions options;
+      options.l_top = l_top;
+      total_time += Seconds([&] {
+        const auto result = BuildPrivatePst(data, epsilon, options, rng);
+        total_nodes += static_cast<double>(result.model.size());
+      });
+    }
+    times.push_back(total_time / static_cast<double>(reps));
+    sizes.push_back(total_nodes / static_cast<double>(reps));
+  }
+  time_table->AddRow(name, times);
+  size_table->AddRow(name, sizes);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privtree
+
+int main() {
+  using privtree::FormatCell;
+  using privtree::TablePrinter;
+  std::printf(
+      "Reproduction of Table 4 (PrivTree, SIGMOD 2016): PrivTree running\n"
+      "time in seconds; larger epsilon => deeper trees => more time.\n");
+  std::vector<std::string> columns;
+  for (double epsilon : privtree::PaperEpsilons()) {
+    columns.push_back("eps=" + FormatCell(epsilon));
+  }
+  TablePrinter time_table("Table 4: PrivTree running time (seconds)",
+                          "dataset", columns);
+  TablePrinter size_table("Companion: mean output tree size (nodes)",
+                          "dataset", columns);
+  for (const char* name : {"road", "gowalla", "nyc", "beijing"}) {
+    privtree::bench::RunSpatial(&time_table, &size_table, name);
+  }
+  for (const char* name : {"mooc", "msnbc"}) {
+    privtree::bench::RunSequence(&time_table, &size_table, name);
+  }
+  time_table.Print();
+  size_table.Print();
+  return 0;
+}

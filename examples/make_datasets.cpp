@@ -1,0 +1,67 @@
+// Exports the six synthetic paper datasets (DESIGN.md §4) as CSV files,
+// for inspection or for use with external tooling.
+//
+//   ./make_datasets <output-dir> [scale]
+//
+// scale in (0, 1] shrinks all cardinalities proportionally (default 0.1).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/csv.h"
+#include "data/seq_gen.h"
+#include "data/spatial_gen.h"
+#include "dp/rng.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <output-dir> [scale]\n", argv[0]);
+    return 1;
+  }
+  const std::string dir = argv[1];
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.1;
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr, "scale must be in (0, 1]\n");
+    return 1;
+  }
+  const auto scaled = [&](std::size_t n) {
+    return std::max<std::size_t>(1, static_cast<std::size_t>(n * scale));
+  };
+
+  privtree::Rng rng(2026);
+  const auto save_points = [&](const char* name,
+                               const privtree::PointSet& points) {
+    const std::string path = dir + "/" + name + ".csv";
+    if (auto s = privtree::SavePointsCsv(path, points); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), s.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %-14s %8zu points (d=%zu)\n", path.c_str(),
+                points.size(), points.dim());
+  };
+  const auto save_sequences = [&](const char* name,
+                                  const privtree::SequenceDataset& data) {
+    const std::string path = dir + "/" + name + ".csv";
+    if (auto s = privtree::SaveSequencesCsv(path, data); !s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), s.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %-14s %8zu sequences (|I|=%zu, avg len %.2f)\n",
+                path.c_str(), data.size(), data.alphabet_size(),
+                data.AverageLength());
+  };
+
+  save_points("road", privtree::GenerateRoadLike(
+                          scaled(privtree::kRoadCardinality), rng));
+  save_points("gowalla", privtree::GenerateGowallaLike(
+                             scaled(privtree::kGowallaCardinality), rng));
+  save_points("nyc", privtree::GenerateNycLike(
+                         scaled(privtree::kNycCardinality), rng));
+  save_points("beijing", privtree::GenerateBeijingLike(
+                             scaled(privtree::kBeijingCardinality), rng));
+  save_sequences("mooc", privtree::GenerateMoocLike(
+                             scaled(privtree::kMoocCardinality), rng));
+  save_sequences("msnbc", privtree::GenerateMsnbcLike(
+                              scaled(privtree::kMsnbcCardinality), rng));
+  return 0;
+}

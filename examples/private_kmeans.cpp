@@ -1,0 +1,45 @@
+// Differentially private k-means via synthetic data (the paper's
+// introduction, application 2): build a PrivTree synopsis, sample a
+// synthetic dataset from it (pure post-processing), run ordinary k-means
+// on the synthetic points, and measure the centers' cost on the *real*
+// data against a non-private run.
+#include <cstdio>
+
+#include "data/spatial_gen.h"
+#include "dp/rng.h"
+#include "eval/kmeans.h"
+#include "spatial/spatial_histogram.h"
+#include "spatial/synthetic_points.h"
+
+int main() {
+  privtree::Rng rng(21);
+  const privtree::PointSet real = privtree::GenerateGowallaLike(80000, rng);
+  const privtree::Box domain = privtree::Box::UnitCube(2);
+  constexpr std::size_t kClusters = 8;
+
+  // Non-private reference.
+  const privtree::KMeansResult reference =
+      privtree::KMeans(real, kClusters, 50, rng);
+  const double reference_cost = privtree::KMeansCost(real, reference);
+  std::printf("non-private k-means: cost %.6f (%zu iterations)\n",
+              reference_cost, reference.iterations);
+
+  std::printf("\n%8s %14s %14s\n", "epsilon", "private cost", "overhead");
+  for (double epsilon : {0.1, 0.4, 1.6}) {
+    const privtree::SpatialHistogram hist =
+        privtree::BuildPrivTreeHistogram(real, domain, epsilon, {}, rng);
+    const privtree::PointSet synthetic =
+        privtree::SampleSyntheticDataset(hist, rng);
+    const privtree::KMeansResult private_centers =
+        privtree::KMeans(synthetic, kClusters, 50, rng);
+    // Cost evaluated on the REAL data: how good are the private centers?
+    const double private_cost = privtree::KMeansCost(real, private_centers);
+    std::printf("%8.2f %14.6f %13.1f%%\n", epsilon, private_cost,
+                100.0 * (private_cost / reference_cost - 1.0));
+  }
+  std::printf(
+      "\nThe private centers come entirely from the released synopsis\n"
+      "(sampling + clustering are post-processing), so each row is\n"
+      "epsilon-DP with the epsilon shown.\n");
+  return 0;
+}

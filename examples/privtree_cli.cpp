@@ -1,0 +1,101 @@
+// privtree_cli — build and query released synopses from the command line.
+//
+//   privtree_cli build <points.csv> <dim> <epsilon> <synopsis.out>
+//   privtree_cli query <synopsis.out> < queries.txt
+//
+// Query lines are "lo_1 hi_1 ... lo_d hi_d"; the answer is printed per
+// line.  `build` reads the sensitive data once and writes only the ε-DP
+// synopsis; `query` never touches the data.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "dp/rng.h"
+#include "spatial/serialization.h"
+#include "spatial/spatial_histogram.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s build <points.csv> <dim> <epsilon> <synopsis.out>\n"
+               "  %s query <synopsis.out>   (query boxes on stdin)\n",
+               argv0, argv0);
+  return 2;
+}
+
+int RunBuild(int argc, char** argv) {
+  if (argc != 6) return Usage(argv[0]);
+  const std::string points_path = argv[2];
+  const auto dim = static_cast<std::size_t>(std::atol(argv[3]));
+  const double epsilon = std::atof(argv[4]);
+  const std::string out_path = argv[5];
+  if (dim == 0 || dim > 8 || epsilon <= 0.0) return Usage(argv[0]);
+
+  auto points = privtree::LoadPointsCsv(points_path, dim);
+  if (!points.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 points.status().ToString().c_str());
+    return 1;
+  }
+  if (points.value().empty()) {
+    std::fprintf(stderr, "error: %s is empty\n", points_path.c_str());
+    return 1;
+  }
+  // The declared domain is the unit cube; rescale your data accordingly,
+  // or adjust here.  (A data-derived bounding box would leak information.)
+  privtree::Rng rng(0xC11);
+  const auto hist = privtree::BuildPrivTreeHistogram(
+      points.value(), privtree::Box::UnitCube(dim), epsilon, {}, rng);
+  if (auto s = privtree::SaveSpatialHistogram(out_path, hist); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s: %zu nodes, height %d, epsilon %.4g\n",
+               out_path.c_str(), hist.tree.size(), hist.tree.Height(),
+               epsilon);
+  return 0;
+}
+
+int RunQuery(int argc, char** argv) {
+  if (argc != 3) return Usage(argv[0]);
+  auto hist = privtree::LoadSpatialHistogram(argv[2]);
+  if (!hist.ok()) {
+    std::fprintf(stderr, "error: %s\n", hist.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t dim =
+      hist.value().tree.node(0).domain.box.dim();
+  std::vector<double> bounds(2 * dim);
+  while (true) {
+    for (std::size_t j = 0; j < 2 * dim; ++j) {
+      if (std::scanf("%lf", &bounds[j]) != 1) return 0;  // EOF.
+    }
+    std::vector<double> lo(dim), hi(dim);
+    bool valid = true;
+    for (std::size_t j = 0; j < dim; ++j) {
+      lo[j] = bounds[2 * j];
+      hi[j] = bounds[2 * j + 1];
+      valid = valid && lo[j] <= hi[j];
+    }
+    if (!valid) {
+      std::printf("error: lo > hi\n");
+      continue;
+    }
+    std::printf("%.2f\n",
+                hist.value().Query(privtree::Box(lo, hi)));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
+  if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
+  return Usage(argv[0]);
+}

@@ -1,0 +1,54 @@
+// Quickstart: build an ε-differentially private spatial histogram over a
+// 2-d point set with PrivTree and answer range-count queries.
+//
+//   ./quickstart [epsilon]        (default ε = 1.0)
+//
+// The example generates a skewed synthetic dataset (a stand-in for, say,
+// user check-ins), builds the private synopsis, and compares its answers
+// with the exact counts — which the data owner can see, but a consumer of
+// the synopsis cannot.
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/spatial_gen.h"
+#include "dp/rng.h"
+#include "spatial/spatial_histogram.h"
+
+int main(int argc, char** argv) {
+  const double epsilon = argc > 1 ? std::atof(argv[1]) : 1.0;
+  if (epsilon <= 0.0) {
+    std::fprintf(stderr, "epsilon must be positive\n");
+    return 1;
+  }
+
+  // 1. The sensitive dataset: 100k points in [0,1)^2 with strong clusters.
+  privtree::Rng rng(2026);
+  const privtree::PointSet points = privtree::GenerateGowallaLike(100000, rng);
+  const privtree::Box domain = privtree::Box::UnitCube(2);
+  std::printf("dataset: %zu points in %s\n", points.size(),
+              domain.ToString().c_str());
+
+  // 2. One call builds the ε-DP synopsis: PrivTree spends ε/2 on the tree
+  //    shape and ε/2 on noisy leaf counts (Section 3.4 of the paper).
+  const privtree::SpatialHistogram hist = privtree::BuildPrivTreeHistogram(
+      points, domain, epsilon, privtree::PrivTreeHistogramOptions{}, rng);
+  std::printf(
+      "synopsis: %zu nodes, %zu leaves, height %d (epsilon = %.2f)\n",
+      hist.tree.size(), hist.tree.LeafCount(), hist.tree.Height(), epsilon);
+
+  // 3. Answer arbitrary range-count queries from the synopsis alone.
+  const privtree::Box queries[] = {
+      privtree::Box({0.0, 0.0}, {0.5, 0.5}),
+      privtree::Box({0.25, 0.25}, {0.3, 0.3}),
+      privtree::Box({0.6, 0.1}, {0.9, 0.35}),
+  };
+  std::printf("\n%-28s %12s %12s\n", "query", "private", "exact");
+  for (const privtree::Box& q : queries) {
+    std::printf("%-28s %12.1f %12zu\n", q.ToString().c_str(), hist.Query(q),
+                points.ExactRangeCount(q));
+  }
+  std::printf(
+      "\nThe private answers above are safe to publish; the exact column\n"
+      "is shown only for comparison.\n");
+  return 0;
+}

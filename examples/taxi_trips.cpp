@@ -1,0 +1,56 @@
+// Releasing a 4-dimensional taxi-trip table (pickup x/y, dropoff x/y)
+// under differential privacy — the NYC scenario of Section 6.1.
+//
+// Demonstrates:
+//   * PrivTree on 4-d data (fanout 2^4 = 16),
+//   * answering "how many trips from region A to region B" queries,
+//   * why a uniform grid struggles on the same data.
+#include <cmath>
+#include <cstdio>
+
+#include "data/spatial_gen.h"
+#include "dp/rng.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "hist/ug.h"
+#include "spatial/spatial_histogram.h"
+
+int main() {
+  privtree::Rng rng(7);
+  const double epsilon = 0.8;
+  const privtree::PointSet trips = privtree::GenerateNycLike(98013, rng);
+  const privtree::Box domain = privtree::Box::UnitCube(4);
+  std::printf("trips: %zu, dimensions: pickup(x,y) + dropoff(x,y)\n",
+              trips.size());
+
+  const privtree::SpatialHistogram hist = privtree::BuildPrivTreeHistogram(
+      trips, domain, epsilon, {}, rng);
+  std::printf("PrivTree synopsis: %zu nodes, height %d\n", hist.tree.size(),
+              hist.tree.Height());
+
+  // An origin-destination query: trips from downtown to downtown.
+  const privtree::Box od_query({0.47, 0.47, 0.47, 0.47},
+                               {0.53, 0.53, 0.53, 0.53});
+  std::printf("\ndowntown->downtown trips: private %.0f, exact %zu\n",
+              hist.Query(od_query), trips.ExactRangeCount(od_query));
+
+  // Workload comparison against the UG baseline.
+  const auto queries = privtree::GenerateRangeQueries(
+      domain, 300, privtree::kMediumQueries, rng);
+  const auto exact = privtree::ExactAnswers(queries, trips);
+  const auto ug = privtree::BuildUniformGrid(trips, domain, epsilon, {}, rng);
+  const double privtree_error = privtree::MeanRelativeError(
+      queries, exact, [&](const privtree::Box& q) { return hist.Query(q); },
+      trips.size());
+  const double ug_error = privtree::MeanRelativeError(
+      queries, exact, [&](const privtree::Box& q) { return ug.Query(q); },
+      trips.size());
+  std::printf(
+      "\nmean relative error over 300 medium queries (epsilon = %.1f):\n"
+      "  PrivTree: %.3f\n  UG:       %.3f\n",
+      epsilon, privtree_error, ug_error);
+  std::printf(
+      "\nPrivTree adapts its resolution to the dense downtown core, which\n"
+      "a uniform grid cannot do without wasting budget on empty space.\n");
+  return 0;
+}

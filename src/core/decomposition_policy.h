@@ -1,0 +1,40 @@
+// The policy concept that plugs an application domain (spatial boxes, PST
+// predictor strings, taxonomies, ...) into the generic decomposition
+// algorithms.
+//
+// A policy exposes:
+//   * Domain    — the per-node sub-domain descriptor;
+//   * Root()    — the whole domain Ω;
+//   * CanSplit  — structural splittability (independent of the private data;
+//                 e.g. condition C1 for PSTs, or a floating-point resolution
+//                 floor for boxes).  Must not depend on the dataset.
+//   * Split     — the children of a sub-domain; the number of children must
+//                 not exceed fanout() (it may be smaller for non-uniform
+//                 trees, e.g. taxonomy splits — a conservative β only
+//                 enlarges δ, which preserves Theorem 3.1).
+//   * Score     — the data-dependent score c(v).  For PrivTree's privacy
+//                 guarantee (Section 3.5) the score must be *monotonic*
+//                 (child score <= parent score) and change by at most
+//                 `sensitivity` when one tuple is added or removed.
+//   * fanout()  — β, the number of children per split.
+#ifndef PRIVTREE_CORE_DECOMPOSITION_POLICY_H_
+#define PRIVTREE_CORE_DECOMPOSITION_POLICY_H_
+
+#include <concepts>
+#include <vector>
+
+namespace privtree {
+
+template <typename P>
+concept DecompositionPolicy = requires(const P& p, const typename P::Domain& d) {
+  typename P::Domain;
+  { p.Root() } -> std::convertible_to<typename P::Domain>;
+  { p.CanSplit(d) } -> std::convertible_to<bool>;
+  { p.Split(d) } -> std::convertible_to<std::vector<typename P::Domain>>;
+  { p.Score(d) } -> std::convertible_to<double>;
+  { p.fanout() } -> std::convertible_to<int>;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_CORE_DECOMPOSITION_POLICY_H_

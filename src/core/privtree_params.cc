@@ -1,0 +1,47 @@
+#include "core/privtree_params.h"
+
+#include <cmath>
+
+#include "dp/check.h"
+#include "dp/rho.h"
+
+namespace privtree {
+
+PrivTreeParams PrivTreeParams::ForEpsilon(double epsilon, int fanout,
+                                          double sensitivity) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GE(fanout, 2);
+  PRIVTREE_CHECK_GT(sensitivity, 0.0);
+  const double beta = static_cast<double>(fanout);
+  PrivTreeParams params;
+  params.lambda = (2.0 * beta - 1.0) / (beta - 1.0) * sensitivity / epsilon;
+  params.delta = params.lambda * std::log(beta);
+  params.theta = 0.0;
+  return params;
+}
+
+PrivTreeParams PrivTreeParams::ForEpsilonGamma(double epsilon, double gamma,
+                                               double sensitivity) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GT(gamma, 0.0);
+  PRIVTREE_CHECK_GT(sensitivity, 0.0);
+  const double eg = std::exp(gamma);
+  PrivTreeParams params;
+  params.lambda = (2.0 * eg - 1.0) / (eg - 1.0) * sensitivity / epsilon;
+  params.delta = gamma * params.lambda;
+  params.theta = 0.0;
+  return params;
+}
+
+double PrivTreeParams::GuaranteedEpsilon() const {
+  Validate();
+  return PrivTreeCostBound(lambda, delta);
+}
+
+void PrivTreeParams::Validate() const {
+  PRIVTREE_CHECK_GT(lambda, 0.0);
+  PRIVTREE_CHECK_GT(delta, 0.0);
+  PRIVTREE_CHECK_GT(max_depth, 0);
+}
+
+}  // namespace privtree

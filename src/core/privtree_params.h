@@ -1,0 +1,51 @@
+// Parameterization of PrivTree (Section 3.4 and Corollary 1).
+#ifndef PRIVTREE_CORE_PRIVTREE_PARAMS_H_
+#define PRIVTREE_CORE_PRIVTREE_PARAMS_H_
+
+#include <cstdint>
+
+namespace privtree {
+
+/// Parameters of Algorithm 2.
+///
+/// Use ForEpsilon() (Corollary 1, the paper's recommended setting) or
+/// ForEpsilonGamma() (Theorem 3.1 with an explicit γ = δ/λ) rather than
+/// filling fields manually.
+struct PrivTreeParams {
+  /// Laplace scale λ used for every split decision.
+  double lambda = 1.0;
+  /// Split threshold θ; the paper recommends and uses θ = 0 (Section 3.4).
+  double theta = 0.0;
+  /// Decaying factor δ subtracted per level of depth.
+  double delta = 1.0;
+  /// Structural recursion cap.  This is *not* the paper's h: PrivTree's
+  /// privacy guarantee never depends on it, and with the recommended δ the
+  /// probability of reaching depth 512 in any realistic dataset is
+  /// astronomically small.  It exists only so that a buggy policy whose
+  /// scores are not monotonic cannot loop forever.
+  std::int32_t max_depth = 512;
+
+  /// Corollary 1: λ = (2β−1)/(β−1) · sensitivity/ε and δ = λ·ln β, where β is
+  /// the fanout of the decomposition tree.  `sensitivity` is the maximum
+  /// change of the score function when one tuple is added or removed (1 for
+  /// spatial point counts; l⊤ for the PST score of Theorem 4.1).
+  static PrivTreeParams ForEpsilon(double epsilon, int fanout,
+                                   double sensitivity = 1.0);
+
+  /// Theorem 3.1: λ = (2e^γ−1)/(e^γ−1) · sensitivity/ε and δ = γ·λ for an
+  /// arbitrary γ > 0.
+  static PrivTreeParams ForEpsilonGamma(double epsilon, double gamma,
+                                        double sensitivity = 1.0);
+
+  /// The ε this parameterization guarantees for a unit-sensitivity score
+  /// (the telescoping bound of Section 3.3); equals
+  /// (1/λ)·(2e^γ−1)/(e^γ−1) with γ = δ/λ.
+  double GuaranteedEpsilon() const;
+
+  /// Validates λ > 0, δ > 0, max_depth > 0; aborts otherwise.
+  void Validate() const;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_CORE_PRIVTREE_PARAMS_H_

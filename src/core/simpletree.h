@@ -1,0 +1,86 @@
+// SimpleTree (Algorithm 1): the generic private-quadtree baseline that
+// PrivTree improves upon.
+//
+// Every node's exact score receives Laplace noise of scale λ; a node is
+// split iff its noisy score exceeds θ AND its depth is below the pre-defined
+// height limit h.  Because one tuple affects the scores of all h nodes on a
+// root-to-leaf path, the release is ε-DP only when λ >= h·sensitivity/ε —
+// the depth-proportional noise that motivates PrivTree.
+#ifndef PRIVTREE_CORE_SIMPLETREE_H_
+#define PRIVTREE_CORE_SIMPLETREE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/decomposition_policy.h"
+#include "core/tree.h"
+#include "dp/check.h"
+#include "dp/distributions.h"
+#include "dp/rng.h"
+
+namespace privtree {
+
+/// Parameters of Algorithm 1.
+struct SimpleTreeParams {
+  double lambda = 1.0;     ///< Laplace scale; must be >= h·sensitivity/ε.
+  double theta = 0.0;      ///< Split threshold.
+  std::int32_t height = 4; ///< h: maximum number of levels (root counts as 1).
+
+  /// λ = h·sensitivity/ε, the minimum ε-DP noise scale (Section 3.1).
+  static SimpleTreeParams ForEpsilon(double epsilon, std::int32_t height,
+                                     double sensitivity = 1.0) {
+    PRIVTREE_CHECK_GT(epsilon, 0.0);
+    PRIVTREE_CHECK_GT(height, 0);
+    PRIVTREE_CHECK_GT(sensitivity, 0.0);
+    SimpleTreeParams params;
+    params.lambda = static_cast<double>(height) * sensitivity / epsilon;
+    params.height = height;
+    params.theta = 0.0;
+    return params;
+  }
+};
+
+/// Result of Algorithm 1: the tree together with the noisy score released
+/// for every node (indexed by NodeId).
+template <typename Domain>
+struct SimpleTreeResult {
+  DecompTree<Domain> tree;
+  std::vector<double> noisy_score;
+};
+
+/// Runs Algorithm 1.
+template <DecompositionPolicy Policy>
+SimpleTreeResult<typename Policy::Domain> RunSimpleTree(
+    const Policy& policy, const SimpleTreeParams& params, Rng& rng) {
+  PRIVTREE_CHECK_GT(params.lambda, 0.0);
+  PRIVTREE_CHECK_GT(params.height, 0);
+  SimpleTreeResult<typename Policy::Domain> result;
+  result.tree.AddRoot(policy.Root());
+  std::deque<NodeId> unvisited;
+  unvisited.push_back(result.tree.root());
+  while (!unvisited.empty()) {
+    const NodeId v = unvisited.front();
+    unvisited.pop_front();
+    const auto& node = result.tree.node(v);
+    // Lines 5-6: noisy score ĉ(v).
+    const double noisy =
+        policy.Score(node.domain) + SampleLaplace(rng, params.lambda);
+    if (static_cast<std::size_t>(v) >= result.noisy_score.size()) {
+      result.noisy_score.resize(v + 1);
+    }
+    result.noisy_score[v] = noisy;
+    // Line 7: split iff above threshold and below the height limit.
+    if (noisy > params.theta && node.depth < params.height - 1 &&
+        policy.CanSplit(node.domain)) {
+      for (auto& child_domain : policy.Split(node.domain)) {
+        unvisited.push_back(result.tree.AddChild(v, std::move(child_domain)));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_CORE_SIMPLETREE_H_

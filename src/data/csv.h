@@ -1,0 +1,34 @@
+// Plain-text I/O so the benchmarks can run on the real datasets when the
+// user has them: points as one comma-separated row of d coordinates per
+// line, sequences as one whitespace-separated row of integer symbols per
+// line.
+#ifndef PRIVTREE_DATA_CSV_H_
+#define PRIVTREE_DATA_CSV_H_
+
+#include <string>
+
+#include "dp/status.h"
+#include "seq/sequence.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+
+/// Loads a d-dimensional point set; every line must have exactly `dim`
+/// comma-separated numeric fields.  Lines starting with '#' are skipped.
+Result<PointSet> LoadPointsCsv(const std::string& path, std::size_t dim);
+
+/// Writes a point set in the format LoadPointsCsv reads.
+Status SavePointsCsv(const std::string& path, const PointSet& points);
+
+/// Loads a sequence dataset; every line is a whitespace-separated list of
+/// integer symbols in [0, alphabet_size).  Lines starting with '#' are
+/// skipped; empty lines are ignored.
+Result<SequenceDataset> LoadSequencesCsv(const std::string& path,
+                                         std::size_t alphabet_size);
+
+/// Writes a sequence dataset in the format LoadSequencesCsv reads.
+Status SaveSequencesCsv(const std::string& path, const SequenceDataset& data);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DATA_CSV_H_

@@ -1,0 +1,97 @@
+#include "data/seq_gen.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+SequenceDataset GenerateMoocLike(std::size_t n, Rng& rng) {
+  PRIVTREE_CHECK_GT(n, 0u);
+  constexpr std::size_t kA = kMoocAlphabet;
+  // Second-order transition tensor T[prev2][prev1][next], built from a
+  // deterministic structural rule so the data has the variable-order
+  // structure a PST exploits: most contexts have one dominant continuation
+  // plus background diversity.
+  static_assert(kA == 7);
+  std::vector<double> transitions(kA * kA * kA);
+  Rng structure_rng(0x6d6f6f63ULL);  // Fixed structure, independent of data.
+  for (std::size_t a = 0; a < kA; ++a) {
+    for (std::size_t b = 0; b < kA; ++b) {
+      const std::size_t dominant = (2 * a + 3 * b + 1) % kA;
+      double total = 0.0;
+      for (std::size_t c = 0; c < kA; ++c) {
+        double w = 0.05 + 0.25 * structure_rng.NextDouble();
+        if (c == dominant) w += 2.0;
+        if (c == b) w += 0.6;  // Behaviour repetition (e.g. video binges).
+        transitions[(a * kA + b) * kA + c] = w;
+        total += w;
+      }
+      for (std::size_t c = 0; c < kA; ++c) {
+        transitions[(a * kA + b) * kA + c] /= total;
+      }
+    }
+  }
+  // Per-step termination probability tuned for mean length ≈ 13.5, with a
+  // minimum session length of 2.
+  const double end_prob = 1.0 / 12.0;
+
+  SequenceDataset data(kA);
+  std::vector<Symbol> sequence;
+  std::vector<double> row(kA);
+  for (std::size_t i = 0; i < n; ++i) {
+    sequence.clear();
+    // Sessions start with "navigate" (5) or a popular action.
+    sequence.push_back(static_cast<Symbol>(
+        rng.NextDouble() < 0.5 ? 5 : rng.NextBounded(kA)));
+    sequence.push_back(static_cast<Symbol>(rng.NextBounded(kA)));
+    while (sequence.size() < 200) {
+      if (rng.NextDouble() < end_prob) break;
+      const std::size_t a = sequence[sequence.size() - 2];
+      const std::size_t b = sequence[sequence.size() - 1];
+      for (std::size_t c = 0; c < kA; ++c) {
+        row[c] = transitions[(a * kA + b) * kA + c];
+      }
+      sequence.push_back(static_cast<Symbol>(SampleDiscrete(rng, row)));
+    }
+    data.Add(sequence);
+  }
+  return data;
+}
+
+SequenceDataset GenerateMsnbcLike(std::size_t n, Rng& rng) {
+  PRIVTREE_CHECK_GT(n, 0u);
+  constexpr std::size_t kA = kMsnbcAlphabet;
+  // Zipfian category popularity.
+  std::vector<double> popularity(kA);
+  for (std::size_t c = 0; c < kA; ++c) {
+    popularity[c] = 1.0 / std::pow(static_cast<double>(c + 1), 1.05);
+  }
+  const double end_prob = 1.0 / 4.75;
+
+  SequenceDataset data(kA);
+  std::vector<Symbol> sequence;
+  std::vector<double> row(kA);
+  for (std::size_t i = 0; i < n; ++i) {
+    sequence.clear();
+    sequence.push_back(static_cast<Symbol>(SampleDiscrete(rng, popularity)));
+    while (sequence.size() < 200) {
+      if (rng.NextDouble() < end_prob) break;
+      const Symbol prev = sequence.back();
+      // Strong self-transition (users stay in a section), otherwise jump
+      // by popularity with a slight preference for adjacent categories.
+      for (std::size_t c = 0; c < kA; ++c) {
+        row[c] = popularity[c];
+        if (c == prev) row[c] += 1.2;
+        if (c + 1 == prev || c == prev + 1u) row[c] += 0.1;
+      }
+      sequence.push_back(static_cast<Symbol>(SampleDiscrete(rng, row)));
+    }
+    data.Add(sequence);
+  }
+  return data;
+}
+
+}  // namespace privtree

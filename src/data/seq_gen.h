@@ -1,0 +1,35 @@
+// Synthetic sequence datasets emulating the paper's two evaluation datasets
+// (Table 3): mooc (80,362 learner behaviour sequences over 7 action
+// categories, average length 13.46) and msnbc (989,818 browsing sequences
+// over 17 URL categories, average length 4.75).  See DESIGN.md §4.
+#ifndef PRIVTREE_DATA_SEQ_GEN_H_
+#define PRIVTREE_DATA_SEQ_GEN_H_
+
+#include <cstddef>
+
+#include "dp/rng.h"
+#include "seq/sequence.h"
+
+namespace privtree {
+
+/// Paper cardinalities (Table 3).
+inline constexpr std::size_t kMoocCardinality = 80362;
+inline constexpr std::size_t kMsnbcCardinality = 989818;
+/// Paper alphabet sizes and length caps (Table 3).
+inline constexpr std::size_t kMoocAlphabet = 7;
+inline constexpr std::size_t kMsnbcAlphabet = 17;
+inline constexpr std::size_t kMoocLTop = 50;
+inline constexpr std::size_t kMsnbcLTop = 20;
+
+/// mooc-like: second-order Markov behaviour sequences with session
+/// structure (some contexts near-deterministic, others diverse), average
+/// length ≈ 13.5.
+SequenceDataset GenerateMoocLike(std::size_t n, Rng& rng);
+
+/// msnbc-like: first-order browsing sequences with Zipfian category
+/// popularity and strong self-transitions, average length ≈ 4.75.
+SequenceDataset GenerateMsnbcLike(std::size_t n, Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DATA_SEQ_GEN_H_

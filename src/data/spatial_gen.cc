@@ -1,0 +1,199 @@
+#include "data/spatial_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+namespace {
+
+double Clamp01(double x) {
+  return std::clamp(x, 0.0, std::nextafter(1.0, 0.0));
+}
+
+/// Zipf-ish weights w_i ∝ 1/(i+1)^s.
+std::vector<double> ZipfWeights(std::size_t count, double s) {
+  std::vector<double> weights(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return weights;
+}
+
+struct Cluster {
+  double x, y, sigma;
+};
+
+}  // namespace
+
+PointSet GenerateRoadLike(std::size_t n, Rng& rng) {
+  PRIVTREE_CHECK_GT(n, 0u);
+  // Cities: tight clusters with Zipf-weighted popularity.
+  constexpr std::size_t kCities = 48;
+  std::vector<Cluster> cities(kCities);
+  for (auto& city : cities) {
+    city.x = rng.NextDouble();
+    city.y = rng.NextDouble();
+    city.sigma = 0.002 + 0.004 * rng.NextDouble();
+  }
+  const std::vector<double> city_weights = ZipfWeights(kCities, 1.1);
+
+  // Corridors: each city connects to its two nearest neighbours.
+  struct Segment {
+    double x0, y0, x1, y1, weight;
+  };
+  std::vector<Segment> segments;
+  for (std::size_t i = 0; i < kCities; ++i) {
+    std::vector<std::pair<double, std::size_t>> by_distance;
+    for (std::size_t j = 0; j < kCities; ++j) {
+      if (j == i) continue;
+      const double dx = cities[i].x - cities[j].x;
+      const double dy = cities[i].y - cities[j].y;
+      by_distance.emplace_back(dx * dx + dy * dy, j);
+    }
+    std::partial_sort(by_distance.begin(), by_distance.begin() + 2,
+                      by_distance.end());
+    for (int e = 0; e < 2; ++e) {
+      const std::size_t j = by_distance[static_cast<std::size_t>(e)].second;
+      segments.push_back(Segment{cities[i].x, cities[i].y, cities[j].x,
+                                 cities[j].y,
+                                 city_weights[i] + city_weights[j]});
+    }
+  }
+  std::vector<double> segment_weights;
+  segment_weights.reserve(segments.size());
+  for (const auto& s : segments) segment_weights.push_back(s.weight);
+
+  PointSet points(2);
+  double p[2];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mode = rng.NextDouble();
+    if (mode < 0.55) {
+      // Junction cluster: dense blob around a city.
+      const std::size_t c = SampleDiscrete(rng, city_weights);
+      p[0] = Clamp01(SampleNormal(rng, cities[c].x, cities[c].sigma));
+      p[1] = Clamp01(SampleNormal(rng, cities[c].y, cities[c].sigma));
+    } else if (mode < 0.97) {
+      // Road corridor: 1-d filament with tiny lateral jitter.
+      const std::size_t s = SampleDiscrete(rng, segment_weights);
+      const double t = rng.NextDouble();
+      const auto& seg = segments[s];
+      p[0] = Clamp01(seg.x0 + t * (seg.x1 - seg.x0) +
+                     SampleNormal(rng, 0.0, 0.0015));
+      p[1] = Clamp01(seg.y0 + t * (seg.y1 - seg.y0) +
+                     SampleNormal(rng, 0.0, 0.0015));
+    } else {
+      // Sparse rural background.
+      p[0] = rng.NextDouble();
+      p[1] = rng.NextDouble();
+    }
+    points.Add(p);
+  }
+  return points;
+}
+
+PointSet GenerateGowallaLike(std::size_t n, Rng& rng) {
+  PRIVTREE_CHECK_GT(n, 0u);
+  constexpr std::size_t kClusters = 64;
+  std::vector<Cluster> clusters(kClusters);
+  for (auto& c : clusters) {
+    c.x = rng.NextDouble();
+    c.y = rng.NextDouble();
+    // Log-uniform spreads: some tight metros, some diffuse regions.
+    c.sigma = 0.01 * std::pow(6.0, rng.NextDouble());
+  }
+  const std::vector<double> weights = ZipfWeights(kClusters, 0.9);
+
+  PointSet points(2);
+  double p[2];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.9) {
+      const std::size_t c = SampleDiscrete(rng, weights);
+      p[0] = Clamp01(SampleNormal(rng, clusters[c].x, clusters[c].sigma));
+      p[1] = Clamp01(SampleNormal(rng, clusters[c].y, clusters[c].sigma));
+    } else {
+      p[0] = rng.NextDouble();
+      p[1] = rng.NextDouble();
+    }
+    points.Add(p);
+  }
+  return points;
+}
+
+PointSet GenerateNycLike(std::size_t n, Rng& rng) {
+  PRIVTREE_CHECK_GT(n, 0u);
+  // Downtown: a tiny dense core around (0.5, 0.5) with sub-clusters.
+  constexpr std::size_t kHotspots = 12;
+  std::vector<Cluster> hotspots(kHotspots);
+  for (auto& h : hotspots) {
+    h.x = 0.48 + 0.04 * rng.NextDouble();
+    h.y = 0.48 + 0.04 * rng.NextDouble();
+    h.sigma = 0.002 + 0.003 * rng.NextDouble();
+  }
+  const std::vector<double> weights = ZipfWeights(kHotspots, 1.0);
+
+  const auto sample_location = [&](double* x, double* y) {
+    if (rng.NextDouble() < 0.85) {
+      const std::size_t h = SampleDiscrete(rng, weights);
+      *x = Clamp01(SampleNormal(rng, hotspots[h].x, hotspots[h].sigma));
+      *y = Clamp01(SampleNormal(rng, hotspots[h].y, hotspots[h].sigma));
+    } else {
+      // Outer boroughs: wide blob around the core.
+      *x = Clamp01(SampleNormal(rng, 0.5, 0.12));
+      *y = Clamp01(SampleNormal(rng, 0.5, 0.12));
+    }
+  };
+
+  PointSet points(4);
+  double p[4];
+  for (std::size_t i = 0; i < n; ++i) {
+    sample_location(&p[0], &p[1]);
+    if (rng.NextDouble() < 0.7) {
+      // Short trip: dropoff near the pickup.
+      p[2] = Clamp01(p[0] + SampleLaplace(rng, 0.015));
+      p[3] = Clamp01(p[1] + SampleLaplace(rng, 0.015));
+    } else {
+      sample_location(&p[2], &p[3]);
+    }
+    points.Add(p);
+  }
+  return points;
+}
+
+PointSet GenerateBeijingLike(std::size_t n, Rng& rng) {
+  PRIVTREE_CHECK_GT(n, 0u);
+  constexpr std::size_t kDistricts = 10;
+  std::vector<Cluster> districts(kDistricts);
+  for (auto& d : districts) {
+    d.x = 0.2 + 0.6 * rng.NextDouble();
+    d.y = 0.2 + 0.6 * rng.NextDouble();
+    d.sigma = 0.04 + 0.06 * rng.NextDouble();
+  }
+  const std::vector<double> weights = ZipfWeights(kDistricts, 0.6);
+
+  const auto sample_location = [&](double* x, double* y) {
+    const std::size_t d = SampleDiscrete(rng, weights);
+    *x = Clamp01(SampleNormal(rng, districts[d].x, districts[d].sigma));
+    *y = Clamp01(SampleNormal(rng, districts[d].y, districts[d].sigma));
+  };
+
+  PointSet points(4);
+  double p[4];
+  for (std::size_t i = 0; i < n; ++i) {
+    sample_location(&p[0], &p[1]);
+    if (rng.NextDouble() < 0.4) {
+      p[2] = Clamp01(p[0] + SampleLaplace(rng, 0.05));
+      p[3] = Clamp01(p[1] + SampleLaplace(rng, 0.05));
+    } else {
+      sample_location(&p[2], &p[3]);
+    }
+    points.Add(p);
+  }
+  return points;
+}
+
+}  // namespace privtree

@@ -1,0 +1,43 @@
+// Synthetic spatial datasets emulating the paper's four evaluation datasets
+// (Table 2).  The real data (road junctions, Gowalla check-ins, NYC/Beijing
+// taxi records) is not redistributable; these generators match the
+// published cardinality/dimensionality and, critically for the paper's
+// claims, the *skewness ordering*: road ≫ Gowalla (2-d) and NYC ≫ Beijing
+// (4-d).  See DESIGN.md §4 for the substitution rationale.
+//
+// All generators emit points in the unit cube [0,1)^d.
+#ifndef PRIVTREE_DATA_SPATIAL_GEN_H_
+#define PRIVTREE_DATA_SPATIAL_GEN_H_
+
+#include <cstddef>
+
+#include "dp/rng.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+
+/// Paper cardinalities (Table 2), used at paper scale.
+inline constexpr std::size_t kRoadCardinality = 1634165;
+inline constexpr std::size_t kGowallaCardinality = 107091;
+inline constexpr std::size_t kNycCardinality = 98013;
+inline constexpr std::size_t kBeijingCardinality = 30000;
+
+/// road-like: 2-d, extremely skewed.  Hierarchical city clusters connected
+/// by noisy polyline corridors (road filaments) over a sparse background.
+PointSet GenerateRoadLike(std::size_t n, Rng& rng);
+
+/// Gowalla-like: 2-d, moderately skewed.  A heavy-tailed Gaussian mixture
+/// of "cities" plus a uniform background.
+PointSet GenerateGowallaLike(std::size_t n, Rng& rng);
+
+/// NYC-like: 4-d (pickup x/y, dropoff x/y), highly skewed.  Pickups
+/// concentrate in a tiny dense downtown; dropoffs correlate with pickups.
+PointSet GenerateNycLike(std::size_t n, Rng& rng);
+
+/// Beijing-like: 4-d, mildly skewed.  A broad mixture with weak
+/// pickup–dropoff correlation.
+PointSet GenerateBeijingLike(std::size_t n, Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DATA_SPATIAL_GEN_H_

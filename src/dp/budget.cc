@@ -1,0 +1,39 @@
+#include "dp/budget.h"
+
+#include "dp/check.h"
+
+namespace privtree {
+
+namespace {
+// Relative tolerance for floating-point round-off when a caller splits the
+// budget into fractions that should sum to exactly 1.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+PrivacyBudget::PrivacyBudget(double total_epsilon) : total_(total_epsilon) {
+  PRIVTREE_CHECK_GT(total_epsilon, 0.0);
+}
+
+void PrivacyBudget::Spend(double epsilon) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_LE(epsilon, remaining() + kSlack * total_);
+  spent_ += epsilon;
+  if (spent_ > total_) spent_ = total_;
+}
+
+double PrivacyBudget::SpendFraction(double fraction) {
+  PRIVTREE_CHECK_GT(fraction, 0.0);
+  PRIVTREE_CHECK_LE(fraction, 1.0);
+  const double amount = fraction * total_;
+  Spend(amount);
+  return amount;
+}
+
+double PrivacyBudget::SpendRemaining() {
+  const double amount = remaining();
+  PRIVTREE_CHECK_GT(amount, 0.0);
+  Spend(amount);
+  return amount;
+}
+
+}  // namespace privtree

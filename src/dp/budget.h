@@ -1,0 +1,41 @@
+// Privacy-budget accounting under sequential composition (Lemma 2.1): the
+// composition of k algorithms satisfying ε_i-DP satisfies (Σ ε_i)-DP.
+//
+// A PrivacyBudget starts with a total ε and hands out slices; over-spending
+// is a programming error and aborts (spending more budget than exists would
+// silently void the privacy guarantee).
+#ifndef PRIVTREE_DP_BUDGET_H_
+#define PRIVTREE_DP_BUDGET_H_
+
+namespace privtree {
+
+/// Tracks the remaining ε of a sequential-composition budget.
+class PrivacyBudget {
+ public:
+  /// Creates a budget with the given total ε > 0.
+  explicit PrivacyBudget(double total_epsilon);
+
+  /// Consumes `epsilon` from the budget.  Aborts if the remaining budget is
+  /// insufficient (up to a small relative tolerance for floating-point
+  /// round-off when splitting a budget into fractions).
+  void Spend(double epsilon);
+
+  /// Consumes `fraction` (in (0, 1]) of the *total* budget and returns the
+  /// ε amount spent.
+  double SpendFraction(double fraction);
+
+  /// Consumes everything that is left and returns that amount.
+  double SpendRemaining();
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DP_BUDGET_H_

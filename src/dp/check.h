@@ -1,0 +1,43 @@
+// Lightweight invariant-checking macros.
+//
+// PRIVTREE_CHECK is used for programming errors (contract violations) that
+// indicate a bug in the caller or in the library itself.  Recoverable errors
+// (e.g. malformed input files) are reported through privtree::Status instead.
+#ifndef PRIVTREE_DP_CHECK_H_
+#define PRIVTREE_DP_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace privtree {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "PRIVTREE_CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace privtree
+
+/// Aborts with a diagnostic if `expr` is false.  Enabled in all build modes:
+/// differential-privacy code must not silently continue past a broken
+/// invariant, since that can translate into a privacy violation.
+#define PRIVTREE_CHECK(expr)                                        \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::privtree::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                               \
+  } while (0)
+
+/// Convenience comparison forms.
+#define PRIVTREE_CHECK_GT(a, b) PRIVTREE_CHECK((a) > (b))
+#define PRIVTREE_CHECK_GE(a, b) PRIVTREE_CHECK((a) >= (b))
+#define PRIVTREE_CHECK_LT(a, b) PRIVTREE_CHECK((a) < (b))
+#define PRIVTREE_CHECK_LE(a, b) PRIVTREE_CHECK((a) <= (b))
+#define PRIVTREE_CHECK_EQ(a, b) PRIVTREE_CHECK((a) == (b))
+#define PRIVTREE_CHECK_NE(a, b) PRIVTREE_CHECK((a) != (b))
+
+#endif  // PRIVTREE_DP_CHECK_H_

@@ -1,0 +1,36 @@
+#include "dp/discrete_laplace.h"
+
+#include <cmath>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+std::int64_t SampleDiscreteLaplace(Rng& rng, double alpha) {
+  PRIVTREE_CHECK_GT(alpha, 0.0);
+  PRIVTREE_CHECK_LT(alpha, 1.0);
+  // Difference of two i.i.d. geometric(1-alpha) variables on {0,1,...} is
+  // DLap(alpha).
+  const auto g1 =
+      static_cast<std::int64_t>(SampleGeometric(rng, 1.0 - alpha));
+  const auto g2 =
+      static_cast<std::int64_t>(SampleGeometric(rng, 1.0 - alpha));
+  return g1 - g2;
+}
+
+double DiscreteLaplacePmf(std::int64_t z, double alpha) {
+  PRIVTREE_CHECK_GT(alpha, 0.0);
+  PRIVTREE_CHECK_LT(alpha, 1.0);
+  const double normalizer = (1.0 - alpha) / (1.0 + alpha);
+  return normalizer * std::pow(alpha, std::abs(static_cast<double>(z)));
+}
+
+std::int64_t GeometricMechanism(std::int64_t value, double epsilon,
+                                double sensitivity, Rng& rng) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GT(sensitivity, 0.0);
+  return value + SampleDiscreteLaplace(rng, std::exp(-epsilon / sensitivity));
+}
+
+}  // namespace privtree

@@ -1,0 +1,32 @@
+// The discrete Laplace (two-sided geometric) distribution and the
+// geometric mechanism (Ghosh, Roughgarden, Sundararajan, STOC 2009).
+//
+// Releasing f(D) + Z with Z ~ DLap(exp(-ε/Δ)) is ε-DP for integer-valued f
+// of sensitivity Δ, and — unlike continuous Laplace samples — is immune to
+// the floating-point-representation attacks of Mironov (CCS 2012).  The
+// library's algorithms default to continuous noise for fidelity to the
+// paper; this mechanism is the recommended production substitute.
+#ifndef PRIVTREE_DP_DISCRETE_LAPLACE_H_
+#define PRIVTREE_DP_DISCRETE_LAPLACE_H_
+
+#include <cstdint>
+
+#include "dp/rng.h"
+
+namespace privtree {
+
+/// Draws from the discrete Laplace distribution on the integers:
+/// Pr[Z = z] ∝ alpha^|z| for alpha in (0, 1).
+std::int64_t SampleDiscreteLaplace(Rng& rng, double alpha);
+
+/// Probability mass Pr[Z = z] of DLap(alpha).
+double DiscreteLaplacePmf(std::int64_t z, double alpha);
+
+/// The geometric mechanism: value + DLap(exp(-epsilon/sensitivity)).
+/// `value` should be an integer-valued statistic (e.g. a count).
+std::int64_t GeometricMechanism(std::int64_t value, double epsilon,
+                                double sensitivity, Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DP_DISCRETE_LAPLACE_H_

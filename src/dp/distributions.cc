@@ -1,0 +1,94 @@
+#include "dp/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+double SampleLaplace(Rng& rng, double scale) {
+  PRIVTREE_CHECK_GT(scale, 0.0);
+  // Inverse-CDF: u uniform on (-1/2, 1/2), x = -λ·sgn(u)·ln(1 - 2|u|).
+  const double u = rng.NextOpenDouble() - 0.5;
+  const double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+double LaplacePdf(double x, double scale) {
+  PRIVTREE_CHECK_GT(scale, 0.0);
+  return std::exp(-std::abs(x) / scale) / (2.0 * scale);
+}
+
+double LaplaceCdf(double x, double scale) {
+  PRIVTREE_CHECK_GT(scale, 0.0);
+  if (x < 0.0) {
+    return 0.5 * std::exp(x / scale);
+  }
+  return 1.0 - 0.5 * std::exp(-x / scale);
+}
+
+double LaplaceSf(double x, double scale) {
+  PRIVTREE_CHECK_GT(scale, 0.0);
+  if (x >= 0.0) {
+    return 0.5 * std::exp(-x / scale);
+  }
+  return 1.0 - 0.5 * std::exp(x / scale);
+}
+
+double SampleExponential(Rng& rng, double rate) {
+  PRIVTREE_CHECK_GT(rate, 0.0);
+  return -std::log(rng.NextOpenDouble()) / rate;
+}
+
+std::uint64_t SampleGeometric(Rng& rng, double p) {
+  PRIVTREE_CHECK_GT(p, 0.0);
+  PRIVTREE_CHECK_LE(p, 1.0);
+  if (p == 1.0) return 0;
+  const double u = rng.NextOpenDouble();
+  return static_cast<std::uint64_t>(std::floor(std::log(u) /
+                                               std::log1p(-p)));
+}
+
+double SampleNormal(Rng& rng, double mean, double stddev) {
+  PRIVTREE_CHECK_GE(stddev, 0.0);
+  const double u1 = rng.NextOpenDouble();
+  const double u2 = rng.NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+std::size_t SampleDiscrete(Rng& rng, const std::vector<double>& weights) {
+  PRIVTREE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    PRIVTREE_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  PRIVTREE_CHECK_GT(total, 0.0);
+  double target = rng.NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  // Floating-point slop: fall back to the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t SampleDiscreteLog(Rng& rng,
+                              const std::vector<double>& log_weights) {
+  PRIVTREE_CHECK(!log_weights.empty());
+  const double max_log =
+      *std::max_element(log_weights.begin(), log_weights.end());
+  std::vector<double> weights(log_weights.size());
+  for (std::size_t i = 0; i < log_weights.size(); ++i) {
+    weights[i] = std::exp(log_weights[i] - max_log);
+  }
+  return SampleDiscrete(rng, weights);
+}
+
+}  // namespace privtree

@@ -1,0 +1,50 @@
+// Samplers and density/CDF helpers for the distributions used by the
+// differential-privacy mechanisms, most importantly the Laplace distribution
+// Lap(λ) of Equation (1) in the paper:
+//
+//   Pr[η = x] = (1 / 2λ) · exp(−|x| / λ).
+#ifndef PRIVTREE_DP_DISTRIBUTIONS_H_
+#define PRIVTREE_DP_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+
+/// Draws one sample from Lap(scale) (zero mean).  `scale` must be positive.
+double SampleLaplace(Rng& rng, double scale);
+
+/// Probability density of Lap(scale) at x.
+double LaplacePdf(double x, double scale);
+
+/// CDF of Lap(scale): Pr[Lap(scale) <= x].
+double LaplaceCdf(double x, double scale);
+
+/// Tail probability Pr[Lap(scale) > x]; computed directly for numerical
+/// stability in the far tail (avoids 1 - CDF cancellation).
+double LaplaceSf(double x, double scale);
+
+/// Draws from the exponential distribution with the given rate (mean 1/rate).
+double SampleExponential(Rng& rng, double rate);
+
+/// Draws from the geometric distribution on {0, 1, 2, ...} with success
+/// probability p in (0, 1].
+std::uint64_t SampleGeometric(Rng& rng, double p);
+
+/// Draws a standard normal via the Box–Muller transform.
+double SampleNormal(Rng& rng, double mean = 0.0, double stddev = 1.0);
+
+/// Draws an index in [0, weights.size()) with probability proportional to
+/// weights[i].  Weights must be non-negative with a positive sum.
+std::size_t SampleDiscrete(Rng& rng, const std::vector<double>& weights);
+
+/// Draws an index in [0, log_weights.size()) with probability proportional to
+/// exp(log_weights[i]).  Stable for large-magnitude log weights; this is the
+/// workhorse of the exponential mechanism.
+std::size_t SampleDiscreteLog(Rng& rng, const std::vector<double>& log_weights);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DP_DISTRIBUTIONS_H_

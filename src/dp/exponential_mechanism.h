@@ -1,0 +1,38 @@
+// The exponential mechanism (McSherry & Talwar, FOCS 2007): selects a
+// candidate r with probability proportional to exp(ε·u(r, D) / (2·S(u))),
+// which satisfies ε-differential privacy for any quality function u with
+// sensitivity S(u).
+#ifndef PRIVTREE_DP_EXPONENTIAL_MECHANISM_H_
+#define PRIVTREE_DP_EXPONENTIAL_MECHANISM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+#include "dp/rng.h"
+
+namespace privtree {
+
+/// Selects an index into `qualities` via the exponential mechanism.
+///
+/// `qualities[i]` is the (data-dependent) quality score u(r_i, D) of the i-th
+/// candidate; `sensitivity` is S(u).  Returns an index in
+/// [0, qualities.size()).
+inline std::size_t ExponentialMechanismSelect(
+    const std::vector<double>& qualities, double epsilon, double sensitivity,
+    Rng& rng) {
+  PRIVTREE_CHECK(!qualities.empty());
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GT(sensitivity, 0.0);
+  std::vector<double> log_weights(qualities.size());
+  const double factor = epsilon / (2.0 * sensitivity);
+  for (std::size_t i = 0; i < qualities.size(); ++i) {
+    log_weights[i] = factor * qualities[i];
+  }
+  return SampleDiscreteLog(rng, log_weights);
+}
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DP_EXPONENTIAL_MECHANISM_H_

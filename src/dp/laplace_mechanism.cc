@@ -1,0 +1,29 @@
+#include "dp/laplace_mechanism.h"
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon, double sensitivity)
+    : epsilon_(epsilon),
+      sensitivity_(sensitivity),
+      scale_(sensitivity / epsilon) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GT(sensitivity, 0.0);
+}
+
+double LaplaceMechanism::AddNoise(double value, Rng& rng) const {
+  return value + SampleLaplace(rng, scale_);
+}
+
+std::vector<double> LaplaceMechanism::AddNoise(
+    const std::vector<double>& values, Rng& rng) const {
+  std::vector<double> out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = values[i] + SampleLaplace(rng, scale_);
+  }
+  return out;
+}
+
+}  // namespace privtree

@@ -1,0 +1,39 @@
+// The Laplace mechanism (Dwork et al., TCC 2006): releasing f(D) + Lap(λ)
+// with λ >= S(f)/ε satisfies ε-differential privacy, where S(f) is the L1
+// sensitivity of f (Definition 2.3 in the paper).
+#ifndef PRIVTREE_DP_LAPLACE_MECHANISM_H_
+#define PRIVTREE_DP_LAPLACE_MECHANISM_H_
+
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+
+/// Adds Laplace noise calibrated to `sensitivity / epsilon` to a scalar.
+class LaplaceMechanism {
+ public:
+  /// `epsilon` and `sensitivity` must be positive.
+  LaplaceMechanism(double epsilon, double sensitivity = 1.0);
+
+  /// Releases value + Lap(sensitivity/epsilon).
+  double AddNoise(double value, Rng& rng) const;
+
+  /// Releases a noisy copy of `values` with i.i.d. noise per entry.
+  std::vector<double> AddNoise(const std::vector<double>& values,
+                               Rng& rng) const;
+
+  /// The Laplace scale λ = sensitivity / epsilon in use.
+  double scale() const { return scale_; }
+  double epsilon() const { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+
+ private:
+  double epsilon_;
+  double sensitivity_;
+  double scale_;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DP_LAPLACE_MECHANISM_H_

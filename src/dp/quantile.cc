@@ -1,0 +1,45 @@
+#include "dp/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+double PrivateQuantile(const std::vector<double>& values, double q, double lo,
+                       double hi, double epsilon, Rng& rng) {
+  PRIVTREE_CHECK_GT(q, 0.0);
+  PRIVTREE_CHECK_LT(q, 1.0);
+  PRIVTREE_CHECK_LT(lo, hi);
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+
+  std::vector<double> sorted(values);
+  for (double& v : sorted) v = std::clamp(v, lo, hi);
+  std::sort(sorted.begin(), sorted.end());
+
+  const std::size_t n = sorted.size();
+  // Interval i spans [z_i, z_{i+1}] with z_0 = lo, z_{n+1} = hi; a value in
+  // interval i has rank i among the data.
+  const double target_rank = q * static_cast<double>(n);
+  std::vector<double> log_weights(n + 1);
+  std::vector<double> left(n + 1), right(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    left[i] = (i == 0) ? lo : sorted[i - 1];
+    right[i] = (i == n) ? hi : sorted[i];
+    const double len = std::max(right[i] - left[i], 0.0);
+    const double utility = -std::abs(static_cast<double>(i) - target_rank);
+    log_weights[i] = (len > 0.0)
+                         ? std::log(len) + 0.5 * epsilon * utility
+                         : -std::numeric_limits<double>::infinity();
+  }
+  // Guard against the degenerate all-empty-intervals case (all data equal to
+  // both bounds simultaneously is impossible since lo < hi, so at least one
+  // interval has positive length).
+  const std::size_t idx = SampleDiscreteLog(rng, log_weights);
+  return left[idx] + rng.NextDouble() * (right[idx] - left[idx]);
+}
+
+}  // namespace privtree

@@ -1,0 +1,25 @@
+// Differentially private quantile estimation via the exponential mechanism
+// (Smith, STOC 2011; used in the paper's footnote 2 to pick the sequence
+// length cap l⊤ as a private ~95% quantile).
+#ifndef PRIVTREE_DP_QUANTILE_H_
+#define PRIVTREE_DP_QUANTILE_H_
+
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+
+/// Returns an ε-differentially private estimate of the q-quantile
+/// (q in (0, 1)) of `values`, which must lie within [lo, hi].
+///
+/// The mechanism scores each inter-order-statistic interval by
+/// −|rank − q·n| and samples an interval with probability proportional to
+/// exp(ε·score/2)·length, then returns a uniform point inside it.  The score
+/// has sensitivity 1, so the release is ε-DP.
+double PrivateQuantile(const std::vector<double>& values, double q, double lo,
+                       double hi, double epsilon, Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DP_QUANTILE_H_

@@ -1,0 +1,32 @@
+#include "dp/rho.h"
+
+#include <cmath>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+double Rho(double x, double lambda, double theta) {
+  PRIVTREE_CHECK_GT(lambda, 0.0);
+  const double p_x = LaplaceSf(theta - x, lambda);
+  const double p_xm1 = LaplaceSf(theta - (x - 1.0), lambda);
+  return std::log(p_x) - std::log(p_xm1);
+}
+
+double RhoUpperBound(double x, double lambda, double theta) {
+  PRIVTREE_CHECK_GT(lambda, 0.0);
+  if (x < theta + 1.0) {
+    return 1.0 / lambda;
+  }
+  return std::exp((theta + 1.0 - x) / lambda) / lambda;
+}
+
+double PrivTreeCostBound(double lambda, double delta) {
+  PRIVTREE_CHECK_GT(lambda, 0.0);
+  PRIVTREE_CHECK_GT(delta, 0.0);
+  const double gamma = delta / lambda;
+  return (2.0 * std::exp(gamma) - 1.0) / (std::exp(gamma) - 1.0) / lambda;
+}
+
+}  // namespace privtree

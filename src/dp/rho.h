@@ -1,0 +1,28 @@
+// The privacy-cost function ρ(x) of Equation (5) and its closed-form upper
+// bound ρ⊤(x) of Lemma 3.1.  These are the analytical heart of PrivTree:
+// ρ(x) = ln( Pr[x + Lap(λ) > θ] / Pr[x − 1 + Lap(λ) > θ] ) decays
+// exponentially once x ≥ θ + 1, which is what lets PrivTree release an
+// unbounded sequence of split decisions with O(1) noise.
+#ifndef PRIVTREE_DP_RHO_H_
+#define PRIVTREE_DP_RHO_H_
+
+namespace privtree {
+
+/// ρ(x) of Equation (5): the log-ratio of split probabilities for a node
+/// whose biased count decreases from x to x − 1 when a tuple is removed.
+/// `lambda` is the Laplace scale and `theta` the split threshold.
+double Rho(double x, double lambda, double theta);
+
+/// ρ⊤(x) of Lemma 3.1 (Equation (7)):
+///   ρ⊤(x) = 1/λ                         if x < θ + 1,
+///   ρ⊤(x) = (1/λ)·exp((θ + 1 − x)/λ)    otherwise.
+double RhoUpperBound(double x, double lambda, double theta);
+
+/// Total privacy-cost bound of the telescoping sum in Section 3.3:
+///   Σ ρ(b(v_i)) ≤ (1/λ)·(2e^γ − 1)/(e^γ − 1)   with γ = δ/λ.
+/// Returns that bound for the given λ and δ.
+double PrivTreeCostBound(double lambda, double delta);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DP_RHO_H_

@@ -1,0 +1,70 @@
+#include "dp/rng.h"
+
+#include "dp/check.h"
+
+namespace privtree {
+
+namespace {
+
+constexpr unsigned __int128 kMultiplier =
+    (static_cast<unsigned __int128>(2549297995355413924ULL) << 64) |
+    4865540595714422341ULL;
+
+inline std::uint64_t RotR64(std::uint64_t value, unsigned rot) {
+  return (value >> rot) | (value << ((64 - rot) & 63));
+}
+
+}  // namespace
+
+void Rng::Seed(std::uint64_t seed, std::uint64_t stream) {
+  inc_ = (static_cast<unsigned __int128>(stream) << 1) | 1;
+  state_ = 0;
+  Next();
+  state_ += static_cast<unsigned __int128>(seed) ^
+            (static_cast<unsigned __int128>(seed) << 64);
+  Next();
+}
+
+std::uint64_t Rng::Next() {
+  state_ = state_ * kMultiplier + inc_;
+  // XSL-RR output function: xor-fold the 128-bit state, rotate by the top
+  // bits.
+  const std::uint64_t xored =
+      static_cast<std::uint64_t>(state_ >> 64) ^
+      static_cast<std::uint64_t>(state_);
+  const unsigned rot = static_cast<unsigned>(state_ >> 122);
+  return RotR64(xored, rot);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextOpenDouble() {
+  // (x + 0.5) / 2^53 lies strictly inside (0, 1).
+  return (static_cast<double>(Next() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  PRIVTREE_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless bounded sampling.
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(Next()) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(product);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      product = static_cast<unsigned __int128>(Next()) * bound;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+Rng Rng::Fork() {
+  const std::uint64_t seed = Next();
+  const std::uint64_t stream = Next();
+  return Rng(seed, stream);
+}
+
+}  // namespace privtree

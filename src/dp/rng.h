@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components in the library take an explicit Rng&, so that
+// experiments are reproducible given a seed.  The generator is PCG64
+// (O'Neill, 2014): a small, fast, statistically strong 128-bit-state
+// generator, implemented here so the library has no external dependency.
+#ifndef PRIVTREE_DP_RNG_H_
+#define PRIVTREE_DP_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace privtree {
+
+/// PCG64 (XSL-RR variant) pseudo-random generator.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept, so it can be used
+/// with <random> distributions as well as the samplers in distributions.h.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator.  Two Rngs with the same (seed, stream) produce
+  /// identical output.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    Seed(seed, stream);
+  }
+
+  /// Re-seeds in place.
+  void Seed(std::uint64_t seed, std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Returns the next 64 random bits.
+  std::uint64_t operator()() { return Next(); }
+  std::uint64_t Next();
+
+  /// Returns a double uniform in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Returns a double uniform in (0, 1) (never exactly 0 or 1); suitable for
+  /// inverse-CDF sampling where log(0) must be avoided.
+  double NextOpenDouble();
+
+  /// Returns an integer uniform in [0, bound) using Lemire's method.
+  /// `bound` must be positive.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Spawns an independent child generator; successive calls yield distinct
+  /// streams.  Useful for giving each repetition of an experiment its own
+  /// deterministic randomness.
+  Rng Fork();
+
+ private:
+  unsigned __int128 state_ = 0;
+  unsigned __int128 inc_ = 0;  // Stream selector; always odd.
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DP_RNG_H_

@@ -1,0 +1,104 @@
+// Status / Result error plumbing, in the spirit of RocksDB's rocksdb::Status.
+//
+// The library does not throw exceptions across its public boundary; fallible
+// operations (I/O, parameter validation on user-supplied values) return a
+// Status or a Result<T>.
+#ifndef PRIVTREE_DP_STATUS_H_
+#define PRIVTREE_DP_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as e.g. "IOError: cannot open foo.csv"; "OK" when ok().
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PRIVTREE_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; the result must be ok().
+  const T& value() const& {
+    PRIVTREE_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    PRIVTREE_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    PRIVTREE_CHECK(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ holds a value.
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_DP_STATUS_H_

@@ -1,0 +1,130 @@
+#include "eval/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+namespace {
+
+double SquaredDistance(std::span<const double> point, const double* center,
+                       std::size_t dim) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double diff = point[j] - center[j];
+    total += diff * diff;
+  }
+  return total;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const PointSet& points, std::size_t k,
+                    std::size_t max_iterations, Rng& rng) {
+  PRIVTREE_CHECK_GE(k, 1u);
+  PRIVTREE_CHECK(!points.empty());
+  const std::size_t dim = points.dim();
+  const std::size_t n = points.size();
+  KMeansResult result;
+  result.k = k;
+  result.dim = dim;
+  result.centers.resize(k * dim);
+
+  // k-means++ seeding: first center uniform, the rest ∝ D²(x).
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  {
+    const std::size_t first = rng.NextBounded(n);
+    const auto p = points.point(first);
+    std::copy(p.begin(), p.end(), result.centers.begin());
+  }
+  for (std::size_t c = 1; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(
+          min_dist[i], SquaredDistance(points.point(i),
+                                       &result.centers[(c - 1) * dim], dim));
+    }
+    double total = 0.0;
+    for (double d : min_dist) total += d;
+    std::size_t chosen = n - 1;
+    if (total > 0.0) {
+      double target = rng.NextDouble() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= min_dist[i];
+        if (target < 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.NextBounded(n);
+    }
+    const auto p = points.point(chosen);
+    std::copy(p.begin(), p.end(), result.centers.begin() + c * dim);
+  }
+
+  // Lloyd iterations.
+  std::vector<std::size_t> assignment(n, 0);
+  std::vector<double> sums(k * dim);
+  std::vector<std::size_t> counts(k);
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto p = points.point(i);
+      std::size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double dist =
+            SquaredDistance(p, &result.centers[c * dim], dim);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iteration + 1;
+    if (!changed && iteration > 0) break;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto p = points.point(i);
+      for (std::size_t j = 0; j < dim; ++j) {
+        sums[assignment[i] * dim + j] += p[j];
+      }
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Keep the old center for empty ones.
+      for (std::size_t j = 0; j < dim; ++j) {
+        result.centers[c * dim + j] =
+            sums[c * dim + j] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return result;
+}
+
+double KMeansCost(const PointSet& points, const KMeansResult& centers) {
+  PRIVTREE_CHECK(!points.empty());
+  PRIVTREE_CHECK_EQ(points.dim(), centers.dim);
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto p = points.point(i);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < centers.k; ++c) {
+      best = std::min(best, SquaredDistance(
+                                p, &centers.centers[c * centers.dim],
+                                centers.dim));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(points.size());
+}
+
+}  // namespace privtree

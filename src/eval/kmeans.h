@@ -1,0 +1,34 @@
+// Plain Lloyd's k-means, used to evaluate private synthetic data on the
+// clustering task the paper's introduction motivates ([48]): cluster the
+// synthetic points, then measure the resulting centers' cost on the real
+// data.
+#ifndef PRIVTREE_EVAL_KMEANS_H_
+#define PRIVTREE_EVAL_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/rng.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+
+/// Result of a k-means run: centers flattened row-major (k × dim).
+struct KMeansResult {
+  std::size_t k = 0;
+  std::size_t dim = 0;
+  std::vector<double> centers;
+  std::size_t iterations = 0;
+};
+
+/// Runs Lloyd's algorithm with k-means++-style seeding; stops after
+/// `max_iterations` or when assignments stabilize.
+KMeansResult KMeans(const PointSet& points, std::size_t k,
+                    std::size_t max_iterations, Rng& rng);
+
+/// Mean squared distance of every point in `points` to its nearest center.
+double KMeansCost(const PointSet& points, const KMeansResult& centers);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_EVAL_KMEANS_H_

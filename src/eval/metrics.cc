@@ -1,0 +1,59 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+double RelativeError(double estimate, double truth, double smoothing) {
+  PRIVTREE_CHECK_GT(smoothing, 0.0);
+  return std::abs(estimate - truth) / std::max(truth, smoothing);
+}
+
+double DefaultSmoothing(std::size_t cardinality) {
+  return std::max(0.001 * static_cast<double>(cardinality), 1e-12);
+}
+
+double MeanRelativeError(const std::vector<Box>& queries,
+                         const std::vector<double>& exact_answers,
+                         const std::function<double(const Box&)>& answer,
+                         std::size_t cardinality) {
+  PRIVTREE_CHECK_EQ(queries.size(), exact_answers.size());
+  PRIVTREE_CHECK(!queries.empty());
+  const double smoothing = DefaultSmoothing(cardinality);
+  double total = 0.0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    total += RelativeError(answer(queries[i]), exact_answers[i], smoothing);
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+std::vector<double> ExactAnswers(const std::vector<Box>& queries,
+                                 const PointSet& points) {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const Box& q : queries) {
+    out.push_back(static_cast<double>(points.ExactRangeCount(q)));
+  }
+  return out;
+}
+
+double TotalVariationDistance(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  const std::size_t size = std::max(a.size(), b.size());
+  double total_a = 0.0, total_b = 0.0;
+  for (double v : a) total_a += std::max(v, 0.0);
+  for (double v : b) total_b += std::max(v, 0.0);
+  if (total_a <= 0.0 || total_b <= 0.0) return 1.0;
+  double distance = 0.0;
+  for (std::size_t i = 0; i < size; ++i) {
+    const double pa = i < a.size() ? std::max(a[i], 0.0) / total_a : 0.0;
+    const double pb = i < b.size() ? std::max(b[i], 0.0) / total_b : 0.0;
+    distance += std::abs(pa - pb);
+  }
+  return 0.5 * distance;
+}
+
+}  // namespace privtree

@@ -1,0 +1,40 @@
+// Accuracy metrics used in Section 6: smoothed relative error for range
+// queries, precision for top-k mining (in seq/topk.h) and total variation
+// distance for distributions.
+#ifndef PRIVTREE_EVAL_METRICS_H_
+#define PRIVTREE_EVAL_METRICS_H_
+
+#include <functional>
+#include <vector>
+
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+
+/// Relative error with smoothing: |est − truth| / max(truth, Δ).
+double RelativeError(double estimate, double truth, double smoothing);
+
+/// The paper's smoothing factor Δ = 0.1% of the dataset cardinality.
+double DefaultSmoothing(std::size_t cardinality);
+
+/// Mean relative error of `answer` over the workload, against exact counts
+/// computed from `points` (Δ = 0.1%·n).
+double MeanRelativeError(const std::vector<Box>& queries,
+                         const std::vector<double>& exact_answers,
+                         const std::function<double(const Box&)>& answer,
+                         std::size_t cardinality);
+
+/// Exact answers q(D) for a workload (one O(n) scan per query).
+std::vector<double> ExactAnswers(const std::vector<Box>& queries,
+                                 const PointSet& points);
+
+/// Total variation distance between two non-negative histograms (each is
+/// normalized to a probability distribution first; shorter histograms are
+/// zero-padded).  Returns a value in [0, 1].
+double TotalVariationDistance(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_EVAL_METRICS_H_

@@ -1,0 +1,39 @@
+#include "eval/runner.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+bool PaperScale() {
+  const char* value = std::getenv("PRIVTREE_PAPER_SCALE");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+std::size_t Repetitions(std::size_t quick_default) {
+  if (const char* value = std::getenv("PRIVTREE_REPS")) {
+    const long parsed = std::strtol(value, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return PaperScale() ? 100 : quick_default;
+}
+
+std::size_t ScaledCardinality(std::size_t paper_n, std::size_t quick_n) {
+  return PaperScale() ? paper_n : std::min(paper_n, quick_n);
+}
+
+double MeanOverReps(std::size_t reps, std::uint64_t seed,
+                    const std::function<double(Rng&)>& body) {
+  PRIVTREE_CHECK_GE(reps, 1u);
+  Rng master(seed);
+  double total = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    Rng rng = master.Fork();
+    total += body(rng);
+  }
+  return total / static_cast<double>(reps);
+}
+
+}  // namespace privtree

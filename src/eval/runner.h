@@ -1,0 +1,40 @@
+// Small experiment-harness utilities shared by the bench binaries:
+// repetition with forked deterministic RNG streams, environment-variable
+// scaling, and the paper's ε grid.
+#ifndef PRIVTREE_EVAL_RUNNER_H_
+#define PRIVTREE_EVAL_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+
+/// The ε grid used throughout Section 6.
+inline const std::vector<double>& PaperEpsilons() {
+  static const std::vector<double> epsilons = {0.05, 0.1, 0.2, 0.4, 0.8, 1.6};
+  return epsilons;
+}
+
+/// True when PRIVTREE_PAPER_SCALE is set to a non-zero value: benches then
+/// use the full Table 2/3 cardinalities and 100 repetitions.
+bool PaperScale();
+
+/// Number of repetitions: PRIVTREE_REPS if set, else 100 at paper scale,
+/// else `quick_default`.
+std::size_t Repetitions(std::size_t quick_default);
+
+/// Dataset cardinality: `paper_n` at paper scale, else
+/// min(paper_n, quick_n).
+std::size_t ScaledCardinality(std::size_t paper_n, std::size_t quick_n);
+
+/// Runs `body` `reps` times, each with an independent deterministic RNG
+/// forked from `seed`, and returns the mean of the returned values.
+double MeanOverReps(std::size_t reps, std::uint64_t seed,
+                    const std::function<double(Rng&)>& body);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_EVAL_RUNNER_H_

@@ -1,0 +1,60 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+TablePrinter::TablePrinter(std::string title, std::string row_header,
+                           std::vector<std::string> columns)
+    : title_(std::move(title)),
+      row_header_(std::move(row_header)),
+      columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values) {
+  PRIVTREE_CHECK_EQ(values.size(), columns_.size());
+  rows_.emplace_back(label, values);
+}
+
+std::string FormatCell(double value) {
+  if (std::isnan(value)) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+void TablePrinter::Print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  // Column widths.
+  std::size_t label_width = row_header_.size();
+  for (const auto& [label, values] : rows_) {
+    label_width = std::max(label_width, label.size());
+  }
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& [label, values] : rows_) {
+      widths[c] = std::max(widths[c], FormatCell(values[c]).size());
+    }
+  }
+  std::printf("%-*s", static_cast<int>(label_width + 2), row_header_.c_str());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::printf("%*s", static_cast<int>(widths[c] + 2), columns_[c].c_str());
+  }
+  std::printf("\n");
+  for (const auto& [label, values] : rows_) {
+    std::printf("%-*s", static_cast<int>(label_width + 2), label.c_str());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%*s", static_cast<int>(widths[c] + 2),
+                  FormatCell(values[c]).c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace privtree

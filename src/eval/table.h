@@ -1,0 +1,39 @@
+// Aligned table printing for the bench binaries: one row per parameter
+// setting, one column per method/series, in the layout of the paper's
+// figures and tables.
+#ifndef PRIVTREE_EVAL_TABLE_H_
+#define PRIVTREE_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace privtree {
+
+/// Accumulates rows of (label, values) and prints them aligned.
+class TablePrinter {
+ public:
+  /// `row_header` names the first column (e.g. "epsilon"); `columns` name
+  /// the value columns (e.g. method names).
+  TablePrinter(std::string title, std::string row_header,
+               std::vector<std::string> columns);
+
+  /// Appends a row; values.size() must equal the number of columns.  NaN
+  /// values print as "-" (method not applicable).
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  /// Renders the table to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::string row_header_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+/// Formats a double compactly (4 significant digits; "-" for NaN).
+std::string FormatCell(double value);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_EVAL_TABLE_H_

@@ -1,0 +1,45 @@
+#include "eval/workload.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+std::vector<Box> GenerateRangeQueries(const Box& domain, std::size_t count,
+                                      const QuerySizeBand& band, Rng& rng) {
+  PRIVTREE_CHECK_GT(band.min_fraction, 0.0);
+  PRIVTREE_CHECK_LT(band.min_fraction, band.max_fraction);
+  PRIVTREE_CHECK_LE(band.max_fraction, 1.0);
+  const std::size_t d = domain.dim();
+  std::vector<Box> out;
+  out.reserve(count);
+  std::vector<double> exponents(d);
+  for (std::size_t q = 0; q < count; ++q) {
+    const double fraction =
+        band.min_fraction +
+        rng.NextDouble() * (band.max_fraction - band.min_fraction);
+    // Split log(fraction) across dimensions with a uniform simplex draw, so
+    // each side fraction is fraction^{w_j} with Σ w_j = 1.
+    double total = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      exponents[j] = -std::log(rng.NextOpenDouble());
+      total += exponents[j];
+    }
+    std::vector<double> lo(d), hi(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double side_fraction = std::pow(fraction, exponents[j] / total);
+      const double side = side_fraction * domain.Width(j);
+      const double start =
+          domain.lo(j) + rng.NextDouble() * (domain.Width(j) - side);
+      lo[j] = start;
+      hi[j] = start + side;
+    }
+    out.emplace_back(std::move(lo), std::move(hi));
+  }
+  return out;
+}
+
+}  // namespace privtree

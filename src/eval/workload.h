@@ -1,0 +1,34 @@
+// Range-count query workloads (Section 6.1): sets of random rectangles
+// whose volume covers a given fraction band of the data domain — small
+// [0.01%, 0.1%), medium [0.1%, 1%) and large [1%, 10%).
+#ifndef PRIVTREE_EVAL_WORKLOAD_H_
+#define PRIVTREE_EVAL_WORKLOAD_H_
+
+#include <vector>
+
+#include "dp/rng.h"
+#include "spatial/box.h"
+
+namespace privtree {
+
+/// The paper's three query-size bands.
+struct QuerySizeBand {
+  const char* name;
+  double min_fraction;
+  double max_fraction;
+};
+
+inline constexpr QuerySizeBand kSmallQueries{"small", 1e-4, 1e-3};
+inline constexpr QuerySizeBand kMediumQueries{"medium", 1e-3, 1e-2};
+inline constexpr QuerySizeBand kLargeQueries{"large", 1e-2, 1e-1};
+
+/// Generates `count` random boxes inside `domain`, each covering a volume
+/// fraction drawn uniformly from [band.min_fraction, band.max_fraction).
+/// Aspect ratios are random (log-volume split over dimensions via a uniform
+/// simplex draw) and positions uniform.
+std::vector<Box> GenerateRangeQueries(const Box& domain, std::size_t count,
+                                      const QuerySizeBand& band, Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_EVAL_WORKLOAD_H_

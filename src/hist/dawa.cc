@@ -1,0 +1,165 @@
+#include "hist/dawa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+#include "hist/hilbert.h"
+#include "hist/tree1d.h"
+
+namespace privtree {
+
+namespace {
+
+std::int64_t ResolutionPerDim(std::int64_t target_total, std::size_t dim) {
+  const double per_dim_bits =
+      std::log2(static_cast<double>(std::max<std::int64_t>(target_total, 2))) /
+      static_cast<double>(dim);
+  const int bits = std::max(1, static_cast<int>(std::llround(per_dim_bits)));
+  return std::int64_t{1} << bits;
+}
+
+}  // namespace
+
+DawaPartition DawaPartition1D(const std::vector<double>& cells,
+                              double epsilon1, double epsilon2, Rng& rng) {
+  PRIVTREE_CHECK_GT(epsilon1, 0.0);
+  PRIVTREE_CHECK_GT(epsilon2, 0.0);
+  const std::int64_t n = static_cast<std::int64_t>(cells.size());
+  PRIVTREE_CHECK_GT(n, 0);
+
+  // Prefix sums of x and x² for O(1) interval deviation.
+  std::vector<double> s1(n + 1, 0.0), s2(n + 1, 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    s1[i + 1] = s1[i] + cells[i];
+    s2[i + 1] = s2[i] + cells[i] * cells[i];
+  }
+  // Deviation proxy of the half-open interval [i, j): the Cauchy–Schwarz
+  // bound sqrt(len · Σ(x − mean)²) on the L1 deviation used by DAWA.
+  const auto deviation = [&](std::int64_t i, std::int64_t j) {
+    const double len = static_cast<double>(j - i);
+    const double sum = s1[j] - s1[i];
+    const double sq = s2[j] - s2[i];
+    const double variance_times_len = std::max(sq - sum * sum / len, 0.0);
+    return std::sqrt(len * variance_times_len);
+  };
+
+  // Sensitivity handling: a unit change in one cell changes the deviation of
+  // any interval by at most 2, and each candidate interval length class
+  // forms a separate cover of the domain, so the noise scale per interval
+  // cost is 2·(number of length classes)/ε1.
+  std::int32_t length_classes = 1;
+  for (std::int64_t len = 1; len < n; len *= 2) ++length_classes;
+  const double cost_noise_scale =
+      2.0 * static_cast<double>(length_classes) / epsilon1;
+  // Per-bucket penalty: the expected |Lap(1/ε2)| error of stage 2, plus a
+  // debiasing term.  The DP takes a minimum over ~L noisy candidates per
+  // position, which harvests E[min of L Laplace draws] ≈ −λ(ln L + γ) of
+  // "free" negative noise per bucket; without compensation the optimizer
+  // would fragment uniform regions just to collect noise minima.
+  const double bucket_penalty =
+      1.0 / epsilon2 +
+      cost_noise_scale * (std::log(static_cast<double>(length_classes)) +
+                          0.5772);
+
+  // DP over dyadic-length intervals ending at each position.
+  constexpr double kInfinity = 1e300;
+  std::vector<double> best(n + 1, kInfinity);
+  std::vector<std::int64_t> arg(n + 1, 0);
+  best[0] = 0.0;
+  for (std::int64_t j = 1; j <= n; ++j) {
+    for (std::int64_t len = 1; len <= j; len *= 2) {
+      const std::int64_t i = j - len;
+      const double noisy_cost = deviation(i, j) +
+                                SampleLaplace(rng, cost_noise_scale) +
+                                bucket_penalty;
+      const double total = best[i] + noisy_cost;
+      if (total < best[j]) {
+        best[j] = total;
+        arg[j] = i;
+      }
+    }
+  }
+
+  DawaPartition partition;
+  for (std::int64_t j = n; j > 0; j = arg[j]) {
+    partition.bucket_end.push_back(j);
+  }
+  std::reverse(partition.bucket_end.begin(), partition.bucket_end.end());
+  return partition;
+}
+
+GridHistogram BuildDawaHistogram(const PointSet& points, const Box& domain,
+                                 double epsilon, const DawaOptions& options,
+                                 Rng& rng) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GT(options.partition_budget_fraction, 0.0);
+  PRIVTREE_CHECK_LT(options.partition_budget_fraction, 1.0);
+  const std::size_t d = domain.dim();
+  const std::int64_t m = ResolutionPerDim(options.target_total_cells, d);
+  int bits = 0;
+  while ((std::int64_t{1} << bits) < m) ++bits;
+
+  GridHistogram grid = GridHistogram::FromPoints(
+      points, domain, std::vector<std::int64_t>(d, m));
+  const std::size_t total = grid.total_cells();
+
+  // Hilbert flattening: flat_of_hilbert[h] = row-major cell index.
+  std::vector<std::size_t> flat_of_hilbert(total);
+  {
+    const std::size_t mm = static_cast<std::size_t>(m);
+    // Enumerate cells row-major, computing each cell's Hilbert index.
+    std::vector<std::uint32_t> cell(d, 0);
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      const std::uint64_t h = HilbertIndex(
+          std::vector<std::uint32_t>(cell.begin(), cell.end()), bits);
+      flat_of_hilbert[static_cast<std::size_t>(h)] = flat;
+      for (std::size_t j = d; j-- > 0;) {
+        if (++cell[j] < mm) break;
+        cell[j] = 0;
+      }
+    }
+  }
+
+  std::vector<double> line(total);
+  for (std::size_t h = 0; h < total; ++h) {
+    line[h] = grid.counts()[flat_of_hilbert[h]];
+  }
+
+  const double eps1 = options.partition_budget_fraction * epsilon;
+  const double eps2 = epsilon - eps1;
+  const DawaPartition partition = DawaPartition1D(line, eps1, eps2, rng);
+
+  // Stage 2: measure bucket totals, then spread uniformly within buckets.
+  const std::size_t buckets = partition.bucket_end.size();
+  std::vector<double> bucket_total(buckets, 0.0);
+  std::int64_t begin = 0;
+  for (std::size_t bi = 0; bi < buckets; ++bi) {
+    const std::int64_t end = partition.bucket_end[bi];
+    for (std::int64_t i = begin; i < end; ++i) {
+      bucket_total[bi] += line[static_cast<std::size_t>(i)];
+    }
+    begin = end;
+  }
+  Tree1DOptions measure_options;
+  measure_options.branching = options.measure_branching;
+  const std::vector<double> noisy_total =
+      MeasureHierarchical1D(bucket_total, eps2, measure_options, rng);
+
+  begin = 0;
+  for (std::size_t bi = 0; bi < buckets; ++bi) {
+    const std::int64_t end = partition.bucket_end[bi];
+    const double per_cell =
+        noisy_total[bi] / static_cast<double>(end - begin);
+    for (std::int64_t i = begin; i < end; ++i) {
+      grid.counts()[flat_of_hilbert[static_cast<std::size_t>(i)]] = per_cell;
+    }
+    begin = end;
+  }
+
+  grid.BuildPrefixSums();
+  return grid;
+}
+
+}  // namespace privtree

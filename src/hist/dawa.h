@@ -1,0 +1,59 @@
+// DAWA — the Data- and Workload-Aware mechanism (Li, Hay, Miklau, Wang,
+// PVLDB 2014), reimplemented for this reproduction.
+//
+// Pipeline (Section 4 substitutions documented in DESIGN.md):
+//   1. The domain is discretized into a power-of-two grid (2^20 cells in
+//      the paper's experiments) and flattened along a Hilbert curve.
+//   2. Stage 1 (budget ε1): private L1 partitioning of the 1-d cell array
+//      into buckets, via dynamic programming over dyadic-length intervals
+//      with noisy interval costs.  We use the Cauchy–Schwarz proxy
+//      sqrt(len·Σ(x−mean)²) for the L1 deviation so costs are O(1) from
+//      prefix sums.
+//   3. Stage 2 (budget ε2 = ε − ε1): bucket totals are measured with the
+//      hierarchical strategy of hist/tree1d.h (standing in for the paper's
+//      workload-optimized matrix mechanism), and spread uniformly over each
+//      bucket's cells.
+#ifndef PRIVTREE_HIST_DAWA_H_
+#define PRIVTREE_HIST_DAWA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/rng.h"
+#include "hist/grid.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+
+/// Options for BuildDawaHistogram.
+struct DawaOptions {
+  /// Target total number of grid cells (rounded to a power-of-two
+  /// per-dimension resolution).
+  std::int64_t target_total_cells = std::int64_t{1} << 20;
+  /// Fraction of ε spent on stage-1 partitioning (0.25 in the DAWA paper).
+  double partition_budget_fraction = 0.25;
+  /// Branching factor of the stage-2 hierarchy.
+  std::int64_t measure_branching = 16;
+};
+
+/// Result of the private partitioning step (exposed for tests/ablation).
+struct DawaPartition {
+  /// bucket_end[i] = one-past-the-last cell index of bucket i (ascending;
+  /// the last entry equals the number of cells).
+  std::vector<std::int64_t> bucket_end;
+};
+
+/// Stage 1 in isolation: partitions the 1-d array `cells` using budget
+/// `epsilon1` (ε2 enters the bucket-penalty term of the cost).
+DawaPartition DawaPartition1D(const std::vector<double>& cells,
+                              double epsilon1, double epsilon2, Rng& rng);
+
+/// Builds the ε-DP DAWA histogram; the returned grid has prefix sums built.
+GridHistogram BuildDawaHistogram(const PointSet& points, const Box& domain,
+                                 double epsilon, const DawaOptions& options,
+                                 Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_HIST_DAWA_H_

@@ -1,0 +1,80 @@
+// A dense d-dimensional grid histogram with exact continuous range queries.
+//
+// Queries use the uniformity assumption inside each cell, i.e. they return
+// the integral of the piecewise-constant density over the query box.  The
+// integral is evaluated in O(4^d) per query via the inclusion-exclusion of
+// the continuous CDF, which is the multilinear interpolation of the
+// prefix-sum lattice — no per-cell iteration, so even 2^20-cell grids answer
+// queries in sub-microsecond time.
+#ifndef PRIVTREE_HIST_GRID_H_
+#define PRIVTREE_HIST_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/rng.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+
+/// A dense grid of cell counts over a box domain.
+class GridHistogram {
+ public:
+  /// Creates an all-zero grid; `cells_per_dim[j] >= 1` for every dimension.
+  GridHistogram(Box domain, std::vector<std::int64_t> cells_per_dim);
+
+  /// Builds the exact cell counts of `points` (clamped into the domain).
+  static GridHistogram FromPoints(const PointSet& points, const Box& domain,
+                                  std::vector<std::int64_t> cells_per_dim);
+
+  std::size_t dim() const { return domain_.dim(); }
+  const Box& domain() const { return domain_; }
+  const std::vector<std::int64_t>& cells_per_dim() const {
+    return cells_per_dim_;
+  }
+  std::size_t total_cells() const { return counts_.size(); }
+
+  std::vector<double>& counts() { return counts_; }
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Flat row-major index of a cell (dimension 0 varies slowest).
+  std::size_t FlatIndex(const std::vector<std::int64_t>& cell) const;
+
+  /// The cell index of a point along dimension j, clamped into range.
+  std::int64_t CellOf(double x, std::size_t j) const;
+
+  /// The geometric box of a cell.
+  Box CellBox(const std::vector<std::int64_t>& cell) const;
+
+  /// Adds i.i.d. Lap(scale) noise to every cell count.
+  void AddLaplaceNoise(double scale, Rng& rng);
+
+  /// Recomputes the prefix-sum lattice.  Must be called after the counts
+  /// change and before Query.
+  void BuildPrefixSums();
+
+  /// Integral of the histogram density over `q` (clipped to the domain).
+  /// Requires BuildPrefixSums() to have been called.
+  double Query(const Box& q) const;
+
+  /// Sum of all cell counts.
+  double Total() const;
+
+ private:
+  /// Continuous CDF at a domain point, via multilinear interpolation of the
+  /// prefix-sum lattice.
+  double Cdf(const std::vector<double>& x) const;
+
+  Box domain_;
+  std::vector<std::int64_t> cells_per_dim_;
+  std::vector<std::size_t> stride_;       // Row-major strides for counts_.
+  std::vector<double> counts_;
+  std::vector<std::size_t> lattice_stride_;  // Strides for prefix_ lattice.
+  std::vector<double> prefix_;            // (m_j + 1)-sized per dimension.
+  bool prefix_valid_ = false;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_HIST_GRID_H_

@@ -1,0 +1,227 @@
+#include "hist/hierarchy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+#include "hist/grid.h"
+
+namespace privtree {
+
+HierarchyHistogram::HierarchyHistogram(const PointSet& points,
+                                       const Box& domain, double epsilon,
+                                       const HierarchyOptions& options,
+                                       Rng& rng)
+    : domain_(domain), height_(options.height) {
+  PRIVTREE_CHECK_GE(options.height, 2);
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GE(options.target_leaf_resolution, 2);
+  const std::size_t d = domain.dim();
+  const std::int32_t noisy_levels = height_ - 1;
+
+  branching_ = std::max<std::int64_t>(
+      2, static_cast<std::int64_t>(std::llround(std::pow(
+             static_cast<double>(options.target_leaf_resolution),
+             1.0 / static_cast<double>(noisy_levels)))));
+
+  resolution_.resize(height_);
+  resolution_[0] = 1;
+  for (std::int32_t l = 1; l < height_; ++l) {
+    resolution_[l] = resolution_[l - 1] * branching_;
+  }
+
+  // Exact leaf counts, then aggregate upward, then noise every level.
+  GridHistogram leaf_grid = GridHistogram::FromPoints(
+      points, domain,
+      std::vector<std::int64_t>(d, resolution_[height_ - 1]));
+
+  counts_.resize(height_);
+  counts_[height_ - 1] = leaf_grid.counts();
+  for (std::int32_t l = height_ - 1; l > 1; --l) {
+    const std::int64_t child_res = resolution_[l];
+    const std::int64_t parent_res = resolution_[l - 1];
+    std::size_t parent_total = 1;
+    for (std::size_t j = 0; j < d; ++j) {
+      parent_total *= static_cast<std::size_t>(parent_res);
+    }
+    counts_[l - 1].assign(parent_total, 0.0);
+    // Aggregate each child cell into its parent.
+    std::vector<std::int64_t> cell(d, 0);
+    const auto& child = counts_[l];
+    for (std::size_t flat = 0; flat < child.size(); ++flat) {
+      std::size_t parent_flat = 0;
+      for (std::size_t j = 0; j < d; ++j) {
+        parent_flat = parent_flat * static_cast<std::size_t>(parent_res) +
+                      static_cast<std::size_t>(cell[j] / branching_);
+      }
+      counts_[l - 1][parent_flat] += child[flat];
+      for (std::size_t j = d; j-- > 0;) {
+        if (++cell[j] < child_res) break;
+        cell[j] = 0;
+      }
+    }
+  }
+
+  const double scale = static_cast<double>(noisy_levels) / epsilon;
+  for (std::int32_t l = 1; l < height_; ++l) {
+    for (double& c : counts_[l]) c += SampleLaplace(rng, scale);
+  }
+
+  if (options.constrained_inference) ApplyConstrainedInference();
+}
+
+std::size_t HierarchyHistogram::FlatIndex(
+    std::int32_t level, const std::vector<std::int64_t>& cell) const {
+  const std::int64_t res = resolution_[level];
+  std::size_t flat = 0;
+  for (std::size_t j = 0; j < domain_.dim(); ++j) {
+    PRIVTREE_CHECK_GE(cell[j], 0);
+    PRIVTREE_CHECK_LT(cell[j], res);
+    flat = flat * static_cast<std::size_t>(res) +
+           static_cast<std::size_t>(cell[j]);
+  }
+  return flat;
+}
+
+Box HierarchyHistogram::CellBox(std::int32_t level,
+                                const std::vector<std::int64_t>& cell) const {
+  const std::size_t d = domain_.dim();
+  const double res = static_cast<double>(resolution_[level]);
+  std::vector<double> lo(d), hi(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double width = domain_.Width(j) / res;
+    lo[j] = domain_.lo(j) + width * static_cast<double>(cell[j]);
+    hi[j] = lo[j] + width;
+  }
+  return Box(std::move(lo), std::move(hi));
+}
+
+double HierarchyHistogram::QueryNode(
+    const Box& q, std::int32_t level,
+    const std::vector<std::int64_t>& cell) const {
+  const Box box = CellBox(level, cell);
+  if (!q.Intersects(box)) return 0.0;
+  if (level > 0 && q.ContainsBox(box)) {
+    return counts_[level][FlatIndex(level, cell)];
+  }
+  if (level == height_ - 1) {
+    const double volume = box.Volume();
+    if (volume <= 0.0) return 0.0;
+    return counts_[level][FlatIndex(level, cell)] *
+           (box.IntersectionVolume(q) / volume);
+  }
+  // Recurse into the b^d children.
+  const std::size_t d = domain_.dim();
+  double ans = 0.0;
+  std::vector<std::int64_t> child(d);
+  std::vector<std::int64_t> offset(d, 0);
+  bool done = false;
+  while (!done) {
+    for (std::size_t j = 0; j < d; ++j) {
+      child[j] = cell[j] * branching_ + offset[j];
+    }
+    ans += QueryNode(q, level + 1, child);
+    done = true;
+    for (std::size_t j = d; j-- > 0;) {
+      if (++offset[j] < branching_) {
+        done = false;
+        break;
+      }
+      offset[j] = 0;
+    }
+  }
+  return ans;
+}
+
+double HierarchyHistogram::Query(const Box& q) const {
+  std::vector<std::int64_t> root(domain_.dim(), 0);
+  return QueryNode(q, 0, root);
+}
+
+std::size_t HierarchyHistogram::TotalCounts() const {
+  std::size_t total = 0;
+  for (std::int32_t l = 1; l < height_; ++l) total += counts_[l].size();
+  return total;
+}
+
+void HierarchyHistogram::ApplyConstrainedInference() {
+  const std::size_t d = domain_.dim();
+  double k = 1.0;  // Children per node (= β = b^d).
+  for (std::size_t j = 0; j < d; ++j) k *= static_cast<double>(branching_);
+
+  // Pass 1 (bottom-up weighted averaging, Hay et al.):
+  //   z_v = y_v (leaves);
+  //   z_v = (k^ℓ − k^{ℓ−1})/(k^ℓ − 1)·y_v + (k^{ℓ−1} − 1)/(k^ℓ − 1)·Σ z_child
+  // where ℓ is the node height (leaf ℓ = 1).
+  std::vector<std::vector<double>> z = counts_;
+  for (std::int32_t l = height_ - 2; l >= 1; --l) {
+    const double height_of_node = static_cast<double>(height_ - 1 - l) + 1.0;
+    const double k_l = std::pow(k, height_of_node);
+    const double k_lm1 = std::pow(k, height_of_node - 1.0);
+    const double w_self = (k_l - k_lm1) / (k_l - 1.0);
+    const double w_children = (k_lm1 - 1.0) / (k_l - 1.0);
+    // Sum children of level l+1 into their parents at level l.
+    std::vector<double> child_sum(counts_[l].size(), 0.0);
+    const std::int64_t child_res = resolution_[l + 1];
+    const std::int64_t parent_res = resolution_[l];
+    std::vector<std::int64_t> cell(d, 0);
+    for (std::size_t flat = 0; flat < z[l + 1].size(); ++flat) {
+      std::size_t parent_flat = 0;
+      for (std::size_t j = 0; j < d; ++j) {
+        parent_flat = parent_flat * static_cast<std::size_t>(parent_res) +
+                      static_cast<std::size_t>(cell[j] / branching_);
+      }
+      child_sum[parent_flat] += z[l + 1][flat];
+      for (std::size_t j = d; j-- > 0;) {
+        if (++cell[j] < child_res) break;
+        cell[j] = 0;
+      }
+    }
+    for (std::size_t i = 0; i < z[l].size(); ++i) {
+      z[l][i] = w_self * counts_[l][i] + w_children * child_sum[i];
+    }
+  }
+
+  // Pass 2 (top-down mean consistency): children are shifted so they sum to
+  // their (already-final) parent.  The root has no measurement, so level 1
+  // is taken as-is.
+  counts_[1] = z[1];
+  for (std::int32_t l = 1; l < height_ - 1; ++l) {
+    const std::int64_t child_res = resolution_[l + 1];
+    const std::int64_t parent_res = resolution_[l];
+    // Child sums of z at level l+1, per parent.
+    std::vector<double> child_sum(counts_[l].size(), 0.0);
+    std::vector<std::int64_t> cell(d, 0);
+    for (std::size_t flat = 0; flat < z[l + 1].size(); ++flat) {
+      std::size_t parent_flat = 0;
+      for (std::size_t j = 0; j < d; ++j) {
+        parent_flat = parent_flat * static_cast<std::size_t>(parent_res) +
+                      static_cast<std::size_t>(cell[j] / branching_);
+      }
+      child_sum[parent_flat] += z[l + 1][flat];
+      for (std::size_t j = d; j-- > 0;) {
+        if (++cell[j] < child_res) break;
+        cell[j] = 0;
+      }
+    }
+    counts_[l + 1].assign(z[l + 1].size(), 0.0);
+    cell.assign(d, 0);
+    for (std::size_t flat = 0; flat < z[l + 1].size(); ++flat) {
+      std::size_t parent_flat = 0;
+      for (std::size_t j = 0; j < d; ++j) {
+        parent_flat = parent_flat * static_cast<std::size_t>(parent_res) +
+                      static_cast<std::size_t>(cell[j] / branching_);
+      }
+      counts_[l + 1][flat] =
+          z[l + 1][flat] +
+          (counts_[l][parent_flat] - child_sum[parent_flat]) / k;
+      for (std::size_t j = d; j-- > 0;) {
+        if (++cell[j] < child_res) break;
+        cell[j] = 0;
+      }
+    }
+  }
+}
+
+}  // namespace privtree

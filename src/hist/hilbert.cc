@@ -1,0 +1,98 @@
+#include "hist/hilbert.h"
+
+#include "dp/check.h"
+
+namespace privtree {
+
+namespace {
+
+// Skilling's transformations between ordinary axis coordinates and the
+// "transposed" Hilbert index representation.
+
+void AxesToTranspose(std::vector<std::uint32_t>* x, int bits) {
+  auto& coords = *x;
+  const std::size_t n = coords.size();
+  std::uint32_t m = std::uint32_t{1} << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (coords[i] & q) {
+        coords[0] ^= p;  // Invert.
+      } else {
+        const std::uint32_t t = (coords[0] ^ coords[i]) & p;
+        coords[0] ^= t;
+        coords[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (std::size_t i = 1; i < n; ++i) coords[i] ^= coords[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (coords[n - 1] & q) t ^= q - 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) coords[i] ^= t;
+}
+
+void TransposeToAxes(std::vector<std::uint32_t>* x, int bits) {
+  auto& coords = *x;
+  const std::size_t n = coords.size();
+  const std::uint32_t m = std::uint32_t{1} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = coords[n - 1] >> 1;
+  for (std::size_t i = n; i-- > 1;) coords[i] ^= coords[i - 1];
+  coords[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != 2 * m; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (std::size_t i = n; i-- > 0;) {
+      if (coords[i] & q) {
+        coords[0] ^= p;
+      } else {
+        const std::uint32_t swap = (coords[0] ^ coords[i]) & p;
+        coords[0] ^= swap;
+        coords[i] ^= swap;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t HilbertIndex(const std::vector<std::uint32_t>& coords,
+                           int bits) {
+  const std::size_t n = coords.size();
+  PRIVTREE_CHECK_GE(bits, 1);
+  PRIVTREE_CHECK_LE(static_cast<std::size_t>(bits) * n, 63u);
+  std::vector<std::uint32_t> transpose(coords);
+  AxesToTranspose(&transpose, bits);
+  // Interleave: bit (bits-1-b) of transpose[i] becomes index bit
+  // (bits-1-b)·n + (n-1-i).
+  std::uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      index = (index << 1) | ((transpose[i] >> b) & 1u);
+    }
+  }
+  return index;
+}
+
+std::vector<std::uint32_t> HilbertCoords(std::uint64_t index, int bits,
+                                         std::size_t dim) {
+  PRIVTREE_CHECK_GE(bits, 1);
+  PRIVTREE_CHECK_LE(static_cast<std::size_t>(bits) * dim, 63u);
+  std::vector<std::uint32_t> transpose(dim, 0);
+  const int total_bits = bits * static_cast<int>(dim);
+  for (int pos = 0; pos < total_bits; ++pos) {
+    // pos counts from the most significant interleaved bit.
+    const int b = bits - 1 - pos / static_cast<int>(dim);
+    const std::size_t i = static_cast<std::size_t>(pos) % dim;
+    const std::uint64_t bit = (index >> (total_bits - 1 - pos)) & 1u;
+    transpose[i] |= static_cast<std::uint32_t>(bit) << b;
+  }
+  TransposeToAxes(&transpose, bits);
+  return transpose;
+}
+
+}  // namespace privtree

@@ -1,0 +1,25 @@
+// Hilbert space-filling curves in arbitrary dimension (Skilling,
+// "Programming the Hilbert curve", AIP Conf. Proc. 707, 2004).
+//
+// DAWA flattens the multi-dimensional grid into one dimension along a
+// Hilbert curve before partitioning, so that spatially close cells stay
+// close in the 1-d order.
+#ifndef PRIVTREE_HIST_HILBERT_H_
+#define PRIVTREE_HIST_HILBERT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace privtree {
+
+/// Maps grid coordinates (each in [0, 2^bits)) to the Hilbert index in
+/// [0, 2^(bits·dim)).  `bits · coords.size()` must be at most 63.
+std::uint64_t HilbertIndex(const std::vector<std::uint32_t>& coords, int bits);
+
+/// Inverse of HilbertIndex.
+std::vector<std::uint32_t> HilbertCoords(std::uint64_t index, int bits,
+                                         std::size_t dim);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_HIST_HILBERT_H_

@@ -1,0 +1,97 @@
+#include "hist/tree1d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+std::vector<double> MeasureHierarchical1D(const std::vector<double>& exact,
+                                          double epsilon,
+                                          const Tree1DOptions& options,
+                                          Rng& rng) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GE(options.branching, 2);
+  const std::int64_t n = static_cast<std::int64_t>(exact.size());
+  if (n == 0) return {};
+
+  if (n <= options.flat_threshold) {
+    std::vector<double> out(exact);
+    for (double& v : out) v += SampleLaplace(rng, 1.0 / epsilon);
+    return out;
+  }
+
+  const std::int64_t b = options.branching;
+  // Number of levels below the root: smallest ℓ with b^ℓ >= n.
+  std::int32_t levels = 1;
+  std::int64_t span = b;
+  while (span < n) {
+    span *= b;
+    ++levels;
+  }
+  const std::int64_t padded = span;  // b^levels, >= n.
+
+  // Exact sums per level; level `levels` holds the (padded) leaves.
+  std::vector<std::vector<double>> sums(levels + 1);
+  sums[levels].assign(static_cast<std::size_t>(padded), 0.0);
+  std::copy(exact.begin(), exact.end(), sums[levels].begin());
+  for (std::int32_t l = levels; l > 0; --l) {
+    const std::size_t parent_size = sums[l].size() / static_cast<std::size_t>(b);
+    sums[l - 1].assign(parent_size, 0.0);
+    for (std::size_t i = 0; i < sums[l].size(); ++i) {
+      sums[l - 1][i / static_cast<std::size_t>(b)] += sums[l][i];
+    }
+  }
+
+  // Noisy measurements (root excluded; it carries no extra information once
+  // consistency runs, and excluding it buys a lower per-level scale).
+  const double scale = static_cast<double>(levels) / epsilon;
+  std::vector<std::vector<double>> noisy(levels + 1);
+  for (std::int32_t l = 1; l <= levels; ++l) {
+    noisy[l] = sums[l];
+    for (double& v : noisy[l]) v += SampleLaplace(rng, scale);
+  }
+
+  // Weighted averaging (bottom-up).
+  std::vector<std::vector<double>> z = noisy;
+  const double k = static_cast<double>(b);
+  for (std::int32_t l = levels - 1; l >= 1; --l) {
+    const double node_height = static_cast<double>(levels - l) + 1.0;
+    const double k_h = std::pow(k, node_height);
+    const double k_hm1 = std::pow(k, node_height - 1.0);
+    const double w_self = (k_h - k_hm1) / (k_h - 1.0);
+    const double w_children = (k_hm1 - 1.0) / (k_h - 1.0);
+    for (std::size_t i = 0; i < z[l].size(); ++i) {
+      double child_sum = 0.0;
+      for (std::int64_t c = 0; c < b; ++c) {
+        child_sum += z[l + 1][i * static_cast<std::size_t>(b) +
+                              static_cast<std::size_t>(c)];
+      }
+      z[l][i] = w_self * noisy[l][i] + w_children * child_sum;
+    }
+  }
+
+  // Mean consistency (top-down); level 1 is final as the root is
+  // unmeasured.
+  for (std::int32_t l = 1; l < levels; ++l) {
+    for (std::size_t i = 0; i < z[l].size(); ++i) {
+      double child_sum = 0.0;
+      for (std::int64_t c = 0; c < b; ++c) {
+        child_sum += z[l + 1][i * static_cast<std::size_t>(b) +
+                              static_cast<std::size_t>(c)];
+      }
+      const double adjust = (z[l][i] - child_sum) / k;
+      for (std::int64_t c = 0; c < b; ++c) {
+        z[l + 1][i * static_cast<std::size_t>(b) +
+                 static_cast<std::size_t>(c)] += adjust;
+      }
+    }
+  }
+
+  z[levels].resize(static_cast<std::size_t>(n));
+  return z[levels];
+}
+
+}  // namespace privtree

@@ -1,0 +1,39 @@
+// A 1-dimensional hierarchical Laplace measurement with constrained
+// inference (the H_b strategy of Hay et al. PVLDB 2010 / Qardaji et al.
+// PVLDB 2013), used as DAWA's bucket-measurement stage.
+//
+// Given an exact vector y of length B, a complete b-ary tree is imposed over
+// it; every node's interval sum is released with Laplace noise of scale
+// (#levels)/ε, and Hay-style weighted averaging + mean consistency produce
+// the final (consistent, variance-reduced) leaf estimates.
+#ifndef PRIVTREE_HIST_TREE1D_H_
+#define PRIVTREE_HIST_TREE1D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+
+/// Options for MeasureHierarchical1D.
+struct Tree1DOptions {
+  /// Branching factor b; b >= 2.  Qardaji et al.'s analysis suggests b ≈ 16
+  /// for minimizing range-query error in 1-d.
+  std::int64_t branching = 16;
+  /// When the input is at most this long, a flat Laplace measurement with
+  /// the full budget is used instead (a hierarchy over a tiny vector wastes
+  /// budget on redundant levels).
+  std::int64_t flat_threshold = 32;
+};
+
+/// Returns ε-DP leaf estimates of `exact` (unit L1 sensitivity assumed:
+/// one tuple changes exactly one entry by at most 1).
+std::vector<double> MeasureHierarchical1D(const std::vector<double>& exact,
+                                          double epsilon,
+                                          const Tree1DOptions& options,
+                                          Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_HIST_TREE1D_H_

@@ -1,0 +1,34 @@
+#include "hist/ug.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+std::int64_t UniformGridGranularity(std::size_t n, std::size_t dim,
+                                    double epsilon,
+                                    const UniformGridOptions& options) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GT(options.c0, 0.0);
+  const double d = static_cast<double>(dim);
+  const double base = static_cast<double>(n) * epsilon / options.c0;
+  double m = std::pow(std::max(base, 1.0), 2.0 / (d + 2.0));
+  m *= std::pow(std::max(options.cell_scale, 1e-12), 1.0 / d);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(m)));
+}
+
+GridHistogram BuildUniformGrid(const PointSet& points, const Box& domain,
+                               double epsilon,
+                               const UniformGridOptions& options, Rng& rng) {
+  const std::int64_t m =
+      UniformGridGranularity(points.size(), domain.dim(), epsilon, options);
+  GridHistogram grid = GridHistogram::FromPoints(
+      points, domain, std::vector<std::int64_t>(domain.dim(), m));
+  grid.AddLaplaceNoise(1.0 / epsilon, rng);
+  grid.BuildPrefixSums();
+  return grid;
+}
+
+}  // namespace privtree

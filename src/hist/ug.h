@@ -1,0 +1,36 @@
+// UG — the uniform-grid method (Qardaji et al., ICDE 2013; also used in
+// [42, 48]): partition the domain into m^d equal cells with
+//   m = (n·ε / 10)^(2/(d+2))                       [48]
+// and release a Lap(1/ε) noisy count per cell.
+#ifndef PRIVTREE_HIST_UG_H_
+#define PRIVTREE_HIST_UG_H_
+
+#include "dp/rng.h"
+#include "hist/grid.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+
+/// Options for BuildUniformGrid.
+struct UniformGridOptions {
+  /// Multiplies the *total* number of cells by `cell_scale` (the r of
+  /// Figure 9); each dimension gets r^(1/d) more bins.
+  double cell_scale = 1.0;
+  /// The constant in the m formula (10 in [48]).
+  double c0 = 10.0;
+};
+
+/// The per-dimension granularity m chosen by the UG heuristic.
+std::int64_t UniformGridGranularity(std::size_t n, std::size_t dim,
+                                    double epsilon,
+                                    const UniformGridOptions& options = {});
+
+/// Builds the ε-DP uniform-grid histogram.
+GridHistogram BuildUniformGrid(const PointSet& points, const Box& domain,
+                               double epsilon,
+                               const UniformGridOptions& options, Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_HIST_UG_H_

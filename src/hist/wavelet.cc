@@ -1,0 +1,128 @@
+#include "hist/wavelet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+namespace {
+
+bool IsPowerOfTwo(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Per-dimension resolution: the power of two closest to
+/// target_total_cells^(1/d) from below or above, at least 2.
+std::int64_t ResolutionPerDim(std::int64_t target_total, std::size_t dim) {
+  const double per_dim_bits =
+      std::log2(static_cast<double>(std::max<std::int64_t>(target_total, 2))) /
+      static_cast<double>(dim);
+  const int bits = std::max(1, static_cast<int>(std::llround(per_dim_bits)));
+  return std::int64_t{1} << bits;
+}
+
+}  // namespace
+
+void HaarForward(std::vector<double>* line) {
+  auto& x = *line;
+  PRIVTREE_CHECK(IsPowerOfTwo(x.size()));
+  std::vector<double> tmp(x.size());
+  for (std::size_t len = x.size(); len > 1; len /= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[i] = 0.5 * (x[2 * i] + x[2 * i + 1]);         // Averages.
+      tmp[half + i] = 0.5 * (x[2 * i] - x[2 * i + 1]);  // Differences.
+    }
+    std::copy(tmp.begin(), tmp.begin() + len, x.begin());
+  }
+}
+
+void HaarInverse(std::vector<double>* line) {
+  auto& x = *line;
+  PRIVTREE_CHECK(IsPowerOfTwo(x.size()));
+  std::vector<double> tmp(x.size());
+  for (std::size_t len = 2; len <= x.size(); len *= 2) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[2 * i] = x[i] + x[half + i];
+      tmp[2 * i + 1] = x[i] - x[half + i];
+    }
+    std::copy(tmp.begin(), tmp.begin() + len, x.begin());
+  }
+}
+
+std::vector<double> HaarWeights(std::int64_t m) {
+  PRIVTREE_CHECK(IsPowerOfTwo(static_cast<std::size_t>(m)));
+  std::vector<double> weights(static_cast<std::size_t>(m));
+  weights[0] = static_cast<double>(m);
+  for (std::int64_t p = 1; p < m; ++p) {
+    const int level = static_cast<int>(std::floor(std::log2(
+        static_cast<double>(p))));
+    weights[static_cast<std::size_t>(p)] =
+        static_cast<double>(m) / std::ldexp(1.0, level);
+  }
+  return weights;
+}
+
+GridHistogram BuildPriveletHistogram(const PointSet& points, const Box& domain,
+                                     double epsilon,
+                                     const PriveletOptions& options,
+                                     Rng& rng) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  const std::size_t d = domain.dim();
+  const std::int64_t m = ResolutionPerDim(options.target_total_cells, d);
+  GridHistogram grid = GridHistogram::FromPoints(
+      points, domain, std::vector<std::int64_t>(d, m));
+
+  auto& counts = grid.counts();
+  const std::size_t total = counts.size();
+  const std::size_t mm = static_cast<std::size_t>(m);
+
+  // Forward Haar transform along every dimension (standard decomposition).
+  // Dimension j has stride ∏_{j' > j} m (row-major, dim 0 slowest).
+  std::vector<std::size_t> stride(d, 1);
+  for (std::size_t j = d - 1; j > 0; --j) stride[j - 1] = stride[j] * mm;
+
+  std::vector<double> line(mm);
+  for (std::size_t j = 0; j < d; ++j) {
+    const std::size_t s = stride[j];
+    for (std::size_t base = 0; base < total; ++base) {
+      if ((base / s) % mm != 0) continue;  // Only line starts.
+      for (std::size_t t = 0; t < mm; ++t) line[t] = counts[base + t * s];
+      HaarForward(&line);
+      for (std::size_t t = 0; t < mm; ++t) counts[base + t * s] = line[t];
+    }
+  }
+
+  // Generalized sensitivity and per-coefficient noise.
+  const double log_m = std::log2(static_cast<double>(m));
+  const double rho = std::pow(1.0 + log_m, static_cast<double>(d));
+  const std::vector<double> weights = HaarWeights(m);
+  std::vector<std::size_t> pos(d, 0);
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    double weight = 1.0;
+    for (std::size_t j = 0; j < d; ++j) weight *= weights[pos[j]];
+    counts[flat] += SampleLaplace(rng, rho / (epsilon * weight));
+    for (std::size_t j = d; j-- > 0;) {
+      if (++pos[j] < mm) break;
+      pos[j] = 0;
+    }
+  }
+
+  // Inverse transform along every dimension.
+  for (std::size_t j = 0; j < d; ++j) {
+    const std::size_t s = stride[j];
+    for (std::size_t base = 0; base < total; ++base) {
+      if ((base / s) % mm != 0) continue;
+      for (std::size_t t = 0; t < mm; ++t) line[t] = counts[base + t * s];
+      HaarInverse(&line);
+      for (std::size_t t = 0; t < mm; ++t) counts[base + t * s] = line[t];
+    }
+  }
+
+  grid.BuildPrefixSums();
+  return grid;
+}
+
+}  // namespace privtree

@@ -1,0 +1,52 @@
+// Privelet* — differential privacy via the Haar wavelet transform (Xiao,
+// Wang, Gehrke, TKDE 2011), for multi-dimensional range-count queries.
+//
+// The domain is discretized into a grid with power-of-two resolution per
+// dimension (2^20 total cells in the paper's experiments).  The cell counts
+// undergo a standard (per-dimension) Haar decomposition; each coefficient c
+// receives Laplace noise of scale ρ / (ε · W(c)), where W(c) is the product
+// of per-dimension coefficient weights and ρ = ∏_j (1 + log2 m_j) is the
+// generalized sensitivity.  The inverse transform yields noisy cell counts
+// whose range-sum errors grow only polylogarithmically with the query size.
+#ifndef PRIVTREE_HIST_WAVELET_H_
+#define PRIVTREE_HIST_WAVELET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/rng.h"
+#include "hist/grid.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+
+/// In-place 1-d Haar decomposition (average/difference form) of a line
+/// whose length must be a power of two.  Exposed for tests.
+void HaarForward(std::vector<double>* line);
+
+/// Inverse of HaarForward.
+void HaarInverse(std::vector<double>* line);
+
+/// Per-position Haar coefficient weights for a line of length m (a power of
+/// two): W(0) = m and W(p) = m / 2^floor(log2 p) for p >= 1.  One tuple
+/// changes coefficient p by at most 1/W(p), and the weighted changes along
+/// the coefficient path sum to 1 + log2 m.
+std::vector<double> HaarWeights(std::int64_t m);
+
+/// Options for BuildPriveletHistogram.
+struct PriveletOptions {
+  /// Target total number of grid cells; rounded to the nearest power-of-two
+  /// per-dimension resolution (2^20 in the paper's experiments).
+  std::int64_t target_total_cells = std::int64_t{1} << 20;
+};
+
+/// Builds the ε-DP Privelet* histogram; the returned grid already has its
+/// prefix sums built, so Query() can be called directly.
+GridHistogram BuildPriveletHistogram(const PointSet& points, const Box& domain,
+                                     double epsilon,
+                                     const PriveletOptions& options, Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_HIST_WAVELET_H_

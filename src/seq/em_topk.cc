@@ -1,0 +1,62 @@
+#include "seq/em_topk.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dp/check.h"
+#include "dp/exponential_mechanism.h"
+
+namespace privtree {
+
+TopKStrings EmTopKStrings(const SequenceDataset& data, double epsilon,
+                          std::size_t k, const EmTopKOptions& options,
+                          Rng& rng) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GE(k, 1u);
+  PRIVTREE_CHECK_GE(options.l_top, 1u);
+  PRIVTREE_CHECK_LE(options.max_count_len, 7u);
+
+  // Exact substring counts (up to the counting cap) computed once.
+  const auto counts = CountAllSubstrings(data, options.max_count_len);
+  const auto count_of = [&](const std::vector<Symbol>& s) -> double {
+    if (s.size() > options.max_count_len) return 0.0;
+    const auto it = counts.find(PackString(s));
+    return it == counts.end() ? 0.0 : it->second;
+  };
+
+  const double round_epsilon = epsilon / static_cast<double>(k);
+  const double sensitivity = static_cast<double>(options.l_top);
+
+  // Candidate pool R, with cached qualities.
+  std::vector<std::vector<Symbol>> pool;
+  std::vector<double> quality;
+  for (Symbol x = 0; x < data.alphabet_size(); ++x) {
+    pool.push_back({x});
+    quality.push_back(count_of(pool.back()));
+  }
+
+  TopKStrings out;
+  for (std::size_t round = 0; round < k; ++round) {
+    const std::size_t selected =
+        ExponentialMechanismSelect(quality, round_epsilon, sensitivity, rng);
+    std::vector<Symbol> r = pool[selected];
+    out.strings.push_back(r);
+    out.counts.push_back(quality[selected]);
+
+    // Replace r with its one-symbol extensions (capped at length 7 to stay
+    // representable; over-long extensions have quality 0 anyway).
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(selected));
+    quality.erase(quality.begin() + static_cast<std::ptrdiff_t>(selected));
+    for (Symbol x = 0; x < data.alphabet_size(); ++x) {
+      std::vector<Symbol> extended = r;
+      if (extended.size() < options.max_count_len) {
+        extended.push_back(x);
+        pool.push_back(extended);
+        quality.push_back(count_of(pool.back()));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace privtree

@@ -1,0 +1,32 @@
+// EM — the exponential-mechanism baseline for top-k frequent string mining
+// (Section 6.2): maintain a candidate set R (initially all length-1
+// strings); k times, privately select the most frequent string r in R with
+// the exponential mechanism (budget ε/k, quality = occurrence count,
+// sensitivity l⊤), report it, and replace it in R with its |I| one-symbol
+// extensions.
+#ifndef PRIVTREE_SEQ_EM_TOPK_H_
+#define PRIVTREE_SEQ_EM_TOPK_H_
+
+#include "dp/rng.h"
+#include "seq/sequence.h"
+#include "seq/topk.h"
+
+namespace privtree {
+
+/// Options for EmTopKStrings.
+struct EmTopKOptions {
+  /// The public length cap l⊤ = the sensitivity of string counts.
+  std::size_t l_top = 50;
+  /// Strings longer than this are treated as having count 0 (counting cap;
+  /// must be <= 7 for the packed-key representation).
+  std::size_t max_count_len = 7;
+};
+
+/// Returns k strings selected under ε-differential privacy.
+TopKStrings EmTopKStrings(const SequenceDataset& data, double epsilon,
+                          std::size_t k, const EmTopKOptions& options,
+                          Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SEQ_EM_TOPK_H_

@@ -1,0 +1,51 @@
+#include "seq/exact_pst.h"
+
+#include <deque>
+#include <utility>
+
+#include "dp/check.h"
+#include "seq/pst_occurrences.h"
+
+namespace privtree {
+
+PstModel BuildExactPst(const SequenceDataset& data,
+                       const ExactPstOptions& options) {
+  PstModel model(data.alphabet_size());
+  const PstOccurrences occurrences(data);
+
+  struct Pending {
+    NodeId node;
+    std::vector<PstPosting> postings;
+  };
+  std::deque<Pending> queue;
+  queue.push_back({model.AddRoot(), occurrences.RootPostings()});
+
+  while (!queue.empty()) {
+    Pending current = std::move(queue.front());
+    queue.pop_front();
+    auto& node = model.mutable_node(current.node);
+    node.hist = occurrences.HistOf(current.postings);
+
+    // C1: predictors starting with $ cannot be extended.
+    const bool starts_with_dollar =
+        !node.predictor.empty() && node.predictor.front() == model.dollar();
+    if (starts_with_dollar) continue;
+    if (node.predictor.size() >= options.max_depth) continue;
+    // C2 and C3.
+    double magnitude = 0.0;
+    for (double h : node.hist) magnitude += h;
+    if (magnitude < options.min_magnitude) continue;
+    if (HistEntropy(node.hist) < options.min_entropy) continue;
+
+    auto child_postings = occurrences.RefineAll(current.postings,
+                                                node.predictor.size());
+    const NodeId first_child = model.SplitNode(current.node);
+    for (std::size_t c = 0; c < model.fanout(); ++c) {
+      queue.push_back({static_cast<NodeId>(first_child + c),
+                       std::move(child_postings[c])});
+    }
+  }
+  return model;
+}
+
+}  // namespace privtree

@@ -1,0 +1,33 @@
+// Non-private PST construction using the classic stopping conditions
+// C1–C3 of Section 4.2 (Ron et al., 1996): a node is not split if its
+// predictor starts with $, its histogram magnitude is small, or its
+// histogram entropy is small.  Used as a reference model in tests and
+// examples; the private construction lives in pst_privtree.h.
+#ifndef PRIVTREE_SEQ_EXACT_PST_H_
+#define PRIVTREE_SEQ_EXACT_PST_H_
+
+#include <cstdint>
+
+#include "seq/pst.h"
+#include "seq/sequence.h"
+
+namespace privtree {
+
+/// Options for BuildExactPst.
+struct ExactPstOptions {
+  /// C2: a node is split only if ‖hist(v)‖₁ >= min_magnitude.
+  double min_magnitude = 2.0;
+  /// C3: ... and the entropy of hist(v) (nats) is >= min_entropy.
+  double min_entropy = 0.0;
+  /// Maximum predictor length.
+  std::size_t max_depth = 64;
+};
+
+/// Builds the exact (non-private) PST of `data`, with exact prediction
+/// histograms on every node.
+PstModel BuildExactPst(const SequenceDataset& data,
+                       const ExactPstOptions& options);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SEQ_EXACT_PST_H_

@@ -1,0 +1,43 @@
+#include "seq/model.h"
+
+#include <algorithm>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+double SequenceModel::EstimateStringFrequency(
+    std::span<const Symbol> s) const {
+  PRIVTREE_CHECK(!s.empty());
+  double ans = InitialCount(s[0]);
+  std::vector<double> dist;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (ans <= 0.0) return 0.0;
+    NextDistribution(s.subspan(0, i), /*context_starts_sequence=*/false,
+                     &dist);
+    double magnitude = 0.0;
+    for (double w : dist) magnitude += w;
+    if (magnitude <= 0.0) return 0.0;
+    ans *= dist[s[i]] / magnitude;
+  }
+  return std::max(ans, 0.0);
+}
+
+std::vector<Symbol> SequenceModel::SampleSequence(Rng& rng,
+                                                  std::size_t max_len) const {
+  std::vector<Symbol> out;
+  std::vector<double> dist;
+  while (out.size() < max_len) {
+    NextDistribution(out, /*context_starts_sequence=*/true, &dist);
+    double magnitude = 0.0;
+    for (double w : dist) magnitude += w;
+    if (magnitude <= 0.0) break;  // Degenerate model: end the sequence.
+    const std::size_t drawn = SampleDiscrete(rng, dist);
+    if (drawn == alphabet_size()) break;  // & sampled.
+    out.push_back(static_cast<Symbol>(drawn));
+  }
+  return out;
+}
+
+}  // namespace privtree

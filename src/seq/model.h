@@ -1,0 +1,47 @@
+// The common interface of generative sequence models (the private PST of
+// Section 4 and the N-gram baseline of Section 6.2): both expose a
+// next-symbol distribution given a context, from which the two paper tasks
+// derive — string-frequency estimation (Equation (12) chaining) and
+// synthetic-sequence sampling.
+#ifndef PRIVTREE_SEQ_MODEL_H_
+#define PRIVTREE_SEQ_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "dp/rng.h"
+#include "seq/sequence.h"
+
+namespace privtree {
+
+/// Abstract sequence model over an alphabet I of size alphabet_size().
+class SequenceModel {
+ public:
+  virtual ~SequenceModel() = default;
+
+  virtual std::size_t alphabet_size() const = 0;
+
+  /// Writes the (unnormalized, non-negative) next-symbol weights given
+  /// `context` into `dist`, sized alphabet_size() + 1 with the last slot
+  /// being the end marker &.  `context_starts_sequence` is true when
+  /// context[0] is the first symbol after $ (relevant for models that
+  /// condition on the sequence start).
+  virtual void NextDistribution(std::span<const Symbol> context,
+                                bool context_starts_sequence,
+                                std::vector<double>* dist) const = 0;
+
+  /// Model estimate of the total number of occurrences of the single
+  /// symbol x across the dataset (hist(v1)[x] in the paper).
+  virtual double InitialCount(Symbol x) const = 0;
+
+  /// Section 4.1's estimate of the number of occurrences of `s`:
+  /// InitialCount(s[0]) chained with conditional probabilities.
+  double EstimateStringFrequency(std::span<const Symbol> s) const;
+
+  /// Samples a synthetic sequence; stops at & or after max_len symbols.
+  std::vector<Symbol> SampleSequence(Rng& rng, std::size_t max_len) const;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SEQ_MODEL_H_

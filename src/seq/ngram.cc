@@ -1,0 +1,153 @@
+#include "seq/ngram.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+namespace {
+
+/// Occurrence start positions of a gram: pos is the 1-based padded index of
+/// the gram's first symbol.
+struct GramPosting {
+  std::uint32_t seq;
+  std::uint16_t pos;
+};
+
+}  // namespace
+
+NgramModel::NgramModel(const SequenceDataset& data, double epsilon,
+                       const NgramOptions& options, Rng& rng)
+    : alphabet_size_(data.alphabet_size()) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GE(options.n_max, 1u);
+  PRIVTREE_CHECK_GE(options.l_top, 1u);
+  const std::size_t end_symbol = alphabet_size_;  // & inside grams.
+
+  // Padded symbol access: 1..l are symbols, l+1 is & (when present).
+  // Returns alphabet_size_+1 ("none") past the end.
+  const auto symbol_at = [&](std::uint32_t seq,
+                             std::size_t pos) -> std::size_t {
+    const auto s = data.sequence(seq);
+    if (pos >= 1 && pos <= s.size()) return s[pos - 1];
+    if (pos == s.size() + 1 && data.has_end(seq)) return end_symbol;
+    return alphabet_size_ + 1;
+  };
+
+  const double scale = static_cast<double>(options.l_top) *
+                       static_cast<double>(options.n_max) / epsilon;
+  const double threshold = options.threshold_factor * scale;
+
+  nodes_.push_back(GramNode{});  // Root.
+
+  struct Pending {
+    NodeId node;
+    std::size_t level;
+    bool ends_with_end;  ///< The gram's last symbol is & (never extended).
+    std::vector<GramPosting> postings;
+  };
+  std::deque<Pending> queue;
+
+  // Level 1: all unigrams (including &).
+  {
+    std::vector<std::vector<GramPosting>> buckets(alphabet_size_ + 1);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const std::size_t last =
+          data.length(i) + (data.has_end(i) ? 1 : 0);
+      for (std::size_t p = 1; p <= last; ++p) {
+        buckets[symbol_at(static_cast<std::uint32_t>(i), p)].push_back(
+            GramPosting{static_cast<std::uint32_t>(i),
+                        static_cast<std::uint16_t>(p)});
+      }
+    }
+    nodes_[0].children.resize(alphabet_size_ + 1);
+    for (std::size_t c = 0; c <= alphabet_size_; ++c) {
+      const NodeId id = static_cast<NodeId>(nodes_.size());
+      nodes_.push_back(GramNode{});
+      nodes_[0].children[c] = id;
+      queue.push_back({id, 1, c == end_symbol, std::move(buckets[c])});
+    }
+  }
+
+  while (!queue.empty()) {
+    Pending current = std::move(queue.front());
+    queue.pop_front();
+    const double noisy =
+        static_cast<double>(current.postings.size()) +
+        SampleLaplace(rng, scale);
+    nodes_[current.node].count = noisy;
+
+    // Extend?  Grams ending in & cannot be extended (structural), height is
+    // capped at n_max (structural), and the noisy count must clear the
+    // noise-filtering threshold (the private decision).
+    if (current.ends_with_end) continue;
+    if (current.level >= options.n_max) continue;
+    if (noisy <= threshold) continue;
+
+    // Refine into children by the next symbol.
+    std::vector<std::vector<GramPosting>> buckets(alphabet_size_ + 1);
+    for (const GramPosting& posting : current.postings) {
+      const std::size_t next =
+          symbol_at(posting.seq, posting.pos + current.level);
+      if (next > alphabet_size_) continue;  // Past the end of the sequence.
+      buckets[next].push_back(posting);
+    }
+    nodes_[current.node].children.resize(alphabet_size_ + 1);
+    for (std::size_t c = 0; c <= alphabet_size_; ++c) {
+      const NodeId id = static_cast<NodeId>(nodes_.size());
+      nodes_.push_back(GramNode{});
+      nodes_[current.node].children[c] = id;
+      queue.push_back(
+          {id, current.level + 1, c == end_symbol, std::move(buckets[c])});
+    }
+  }
+}
+
+NodeId NgramModel::BackoffNode(std::span<const Symbol> context) const {
+  // Try suffixes of the context from longest (n_max−1) to empty; return the
+  // deepest node that exists and has children.
+  const std::size_t max_ctx =
+      std::min(context.size(), std::size_t{16});  // Grams are short anyway.
+  for (std::size_t len = max_ctx; len > 0; --len) {
+    NodeId v = 0;
+    bool ok = true;
+    for (std::size_t i = context.size() - len; i < context.size(); ++i) {
+      const auto& node = nodes_[static_cast<std::size_t>(v)];
+      if (node.children.empty()) {
+        ok = false;
+        break;
+      }
+      v = node.children[context[i]];
+    }
+    if (ok && !nodes_[static_cast<std::size_t>(v)].children.empty()) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+void NgramModel::NextDistribution(std::span<const Symbol> context,
+                                  bool /*context_starts_sequence*/,
+                                  std::vector<double>* dist) const {
+  dist->assign(alphabet_size_ + 1, 0.0);
+  const NodeId v = BackoffNode(context);
+  const auto& node = nodes_[static_cast<std::size_t>(v)];
+  PRIVTREE_CHECK(!node.children.empty());  // The root always has children.
+  for (std::size_t c = 0; c <= alphabet_size_; ++c) {
+    (*dist)[c] = std::max(
+        nodes_[static_cast<std::size_t>(node.children[c])].count, 0.0);
+  }
+}
+
+double NgramModel::InitialCount(Symbol x) const {
+  PRIVTREE_CHECK_LT(x, alphabet_size_);
+  const auto& root = nodes_[0];
+  return std::max(
+      nodes_[static_cast<std::size_t>(root.children[x])].count, 0.0);
+}
+
+}  // namespace privtree

@@ -1,0 +1,73 @@
+// N-gram — the variable-length n-gram baseline (Chen, Acs, Castelluccia,
+// CCS 2012), reimplemented for Section 6.2's comparison.
+//
+// An exploration tree over grams (strings over I ∪ {&}) is grown level by
+// level up to a pre-defined height n_max: each node's occurrence count is
+// released with Laplace noise (per-level budget ε/n_max, sensitivity l⊤ per
+// level), and a node is extended only when its noisy count clears a
+// noise-filtering threshold.  This is exactly the Algorithm-1-style design
+// whose dependence on a pre-defined height the paper criticizes: Figure 12
+// sweeps n_max.  The released counts define a Markov model (longest-suffix
+// backoff) used for string-frequency estimation and synthetic generation.
+#ifndef PRIVTREE_SEQ_NGRAM_H_
+#define PRIVTREE_SEQ_NGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/tree.h"
+#include "dp/rng.h"
+#include "seq/model.h"
+#include "seq/sequence.h"
+
+namespace privtree {
+
+/// Options for NgramModel.
+struct NgramOptions {
+  /// Maximum gram length n_max (the paper's suggested value is 5).
+  std::size_t n_max = 5;
+  /// The public sequence-length cap l⊤ (data must be pre-truncated).
+  std::size_t l_top = 50;
+  /// Expansion threshold in units of the per-count noise scale; a node is
+  /// extended when its noisy count exceeds factor · scale.
+  double threshold_factor = 3.0;
+};
+
+/// The released n-gram tree, exposed as a SequenceModel.
+class NgramModel : public SequenceModel {
+ public:
+  /// Builds the ε-DP n-gram model over the (truncated) dataset.
+  NgramModel(const SequenceDataset& data, double epsilon,
+             const NgramOptions& options, Rng& rng);
+
+  std::size_t alphabet_size() const override { return alphabet_size_; }
+
+  /// SequenceModel: longest-suffix backoff over released gram counts.
+  void NextDistribution(std::span<const Symbol> context,
+                        bool context_starts_sequence,
+                        std::vector<double>* dist) const override;
+
+  /// SequenceModel: the noisy unigram count, clamped at zero.
+  double InitialCount(Symbol x) const override;
+
+  /// Number of released gram counts.
+  std::size_t ReleasedGramCount() const { return nodes_.size() - 1; }
+
+ private:
+  struct GramNode {
+    double count = 0.0;            ///< Noisy occurrence count.
+    std::vector<NodeId> children;  ///< Size alphabet_size+1 when extended.
+  };
+
+  /// The deepest tree node reachable by following `context`'s suffix, that
+  /// has children.  Returns the root when nothing longer matches.
+  NodeId BackoffNode(std::span<const Symbol> context) const;
+
+  std::size_t alphabet_size_;
+  std::vector<GramNode> nodes_;  ///< nodes_[0] is the (uncounted) root.
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SEQ_NGRAM_H_

@@ -1,0 +1,44 @@
+#include "seq/perplexity.h"
+
+#include <cmath>
+#include <vector>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+double AverageLogLoss(const SequenceModel& model, const SequenceDataset& data,
+                      double smoothing) {
+  PRIVTREE_CHECK_GT(smoothing, 0.0);
+  PRIVTREE_CHECK_EQ(model.alphabet_size(), data.alphabet_size());
+  const std::size_t slots = model.alphabet_size() + 1;
+  double total_loss = 0.0;
+  std::size_t predictions = 0;
+  std::vector<double> dist;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto s = data.sequence(i);
+    const std::size_t last = s.size() + (data.has_end(i) ? 1 : 0);
+    for (std::size_t p = 0; p < last; ++p) {
+      model.NextDistribution(s.subspan(0, p),
+                             /*context_starts_sequence=*/true, &dist);
+      double magnitude = 0.0;
+      for (double w : dist) magnitude += std::max(w, 0.0);
+      const std::size_t predicted =
+          p < s.size() ? s[p] : model.alphabet_size();
+      const double mass = std::max(dist[predicted], 0.0) + smoothing;
+      const double normalizer =
+          magnitude + smoothing * static_cast<double>(slots);
+      total_loss -= std::log(mass / normalizer);
+      ++predictions;
+    }
+  }
+  if (predictions == 0) return 0.0;
+  return total_loss / static_cast<double>(predictions);
+}
+
+double Perplexity(const SequenceModel& model, const SequenceDataset& data,
+                  double smoothing) {
+  return std::exp(AverageLogLoss(model, data, smoothing));
+}
+
+}  // namespace privtree

@@ -1,0 +1,27 @@
+// Log-loss / perplexity evaluation of sequence models: the standard
+// quality measure for variable-order Markov models (Begleiter et al.,
+// JAIR 2004 — reference [3] of the paper), complementing the two task
+// metrics of Section 6.2.
+#ifndef PRIVTREE_SEQ_PERPLEXITY_H_
+#define PRIVTREE_SEQ_PERPLEXITY_H_
+
+#include "seq/model.h"
+#include "seq/sequence.h"
+
+namespace privtree {
+
+/// Average negative log-likelihood (nats) per predicted symbol of
+/// `data` under `model`, including the end-of-sequence predictions for
+/// terminated sequences.  Model probabilities are smoothed with
+/// `smoothing` pseudo-mass per symbol so zero-probability events yield a
+/// finite loss.
+double AverageLogLoss(const SequenceModel& model, const SequenceDataset& data,
+                      double smoothing = 0.5);
+
+/// exp(AverageLogLoss): the per-symbol perplexity.
+double Perplexity(const SequenceModel& model, const SequenceDataset& data,
+                  double smoothing = 0.5);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SEQ_PERPLEXITY_H_

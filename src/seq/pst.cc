@@ -1,0 +1,141 @@
+#include "seq/pst.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+PstModel::PstModel(std::size_t alphabet_size)
+    : alphabet_size_(alphabet_size) {
+  PRIVTREE_CHECK_GE(alphabet_size, 1u);
+}
+
+const PstNode& PstModel::node(NodeId id) const {
+  PRIVTREE_CHECK_GE(id, 0);
+  PRIVTREE_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
+  return nodes_[id];
+}
+
+PstNode& PstModel::mutable_node(NodeId id) {
+  PRIVTREE_CHECK_GE(id, 0);
+  PRIVTREE_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
+  return nodes_[id];
+}
+
+NodeId PstModel::AddRoot() {
+  PRIVTREE_CHECK(nodes_.empty());
+  PstNode root;
+  root.hist.assign(alphabet_size_ + 1, 0.0);
+  nodes_.push_back(std::move(root));
+  return 0;
+}
+
+NodeId PstModel::SplitNode(NodeId parent) {
+  PRIVTREE_CHECK(node(parent).children.empty());
+  const NodeId first = static_cast<NodeId>(nodes_.size());
+  // Collect parent's predictor by value: nodes_ may reallocate below.
+  const std::vector<Symbol> parent_predictor = node(parent).predictor;
+  std::vector<NodeId> children;
+  children.reserve(fanout());
+  for (std::size_t c = 0; c < fanout(); ++c) {
+    PstNode child;
+    child.predictor.reserve(parent_predictor.size() + 1);
+    child.predictor.push_back(static_cast<Symbol>(c));
+    child.predictor.insert(child.predictor.end(), parent_predictor.begin(),
+                           parent_predictor.end());
+    child.hist.assign(alphabet_size_ + 1, 0.0);
+    children.push_back(static_cast<NodeId>(nodes_.size()));
+    nodes_.push_back(std::move(child));
+  }
+  nodes_[parent].children = std::move(children);
+  return first;
+}
+
+NodeId PstModel::LongestSuffixNode(std::span<const Symbol> context,
+                                   bool context_starts_sequence) const {
+  PRIVTREE_CHECK(!nodes_.empty());
+  NodeId v = root();
+  std::size_t consumed = 0;
+  while (!node(v).children.empty()) {
+    Symbol key;
+    if (consumed < context.size()) {
+      key = context[context.size() - 1 - consumed];
+    } else if (context_starts_sequence && consumed == context.size()) {
+      key = dollar();
+    } else {
+      break;
+    }
+    PRIVTREE_CHECK_LE(key, dollar());
+    v = node(v).children[key];
+    ++consumed;
+  }
+  return v;
+}
+
+void PstModel::NextDistribution(std::span<const Symbol> context,
+                                bool context_starts_sequence,
+                                std::vector<double>* dist) const {
+  PRIVTREE_CHECK(!nodes_.empty());
+  const NodeId v = LongestSuffixNode(context, context_starts_sequence);
+  *dist = node(v).hist;
+}
+
+double PstModel::InitialCount(Symbol x) const {
+  PRIVTREE_CHECK(!nodes_.empty());
+  PRIVTREE_CHECK_LE(x, dollar());
+  return node(root()).hist[x];
+}
+
+void PstModel::AggregateAndClampHists() {
+  // Children have larger ids than parents, so one reverse sweep aggregates
+  // internal histograms from raw (possibly negative) leaf values...
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    auto& n = nodes_[i];
+    if (n.children.empty()) continue;
+    std::fill(n.hist.begin(), n.hist.end(), 0.0);
+    for (NodeId child : n.children) {
+      const auto& child_hist = nodes_[child].hist;
+      for (std::size_t x = 0; x < n.hist.size(); ++x) {
+        n.hist[x] += child_hist[x];
+      }
+    }
+  }
+  // ...and negatives are zeroed afterwards, as in Section 4.2.
+  for (auto& n : nodes_) {
+    for (double& h : n.hist) h = std::max(h, 0.0);
+  }
+}
+
+std::size_t PstModel::LeafCount() const {
+  std::size_t count = 0;
+  for (const auto& n : nodes_) count += n.children.empty() ? 1 : 0;
+  return count;
+}
+
+double HistEntropy(const std::vector<double>& hist) {
+  double total = 0.0;
+  for (double h : hist) total += std::max(h, 0.0);
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (double h : hist) {
+    if (h <= 0.0) continue;
+    const double p = h / total;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+double PstScore(const std::vector<double>& hist) {
+  double total = 0.0;
+  double largest = 0.0;
+  for (double h : hist) {
+    total += h;
+    largest = std::max(largest, h);
+  }
+  return total - largest;
+}
+
+}  // namespace privtree

@@ -1,0 +1,65 @@
+#include "seq/pst_occurrences.h"
+
+#include "dp/check.h"
+
+namespace privtree {
+
+PstOccurrences::PstOccurrences(const SequenceDataset& data) : data_(data) {
+  // Postings use 16-bit positions and 32-bit sequence ids.
+  PRIVTREE_CHECK_LE(data.size(), std::size_t{0xffffffff});
+}
+
+Symbol PstOccurrences::SymbolAt(std::uint32_t seq, std::int32_t pos) const {
+  PRIVTREE_CHECK_GE(pos, 0);
+  if (pos == 0) return dollar();
+  const auto s = data_.sequence(seq);
+  const auto index = static_cast<std::size_t>(pos - 1);
+  if (index < s.size()) return s[index];
+  PRIVTREE_CHECK_EQ(index, s.size());
+  PRIVTREE_CHECK(data_.has_end(seq));
+  return static_cast<Symbol>(end_slot());
+}
+
+std::vector<PstPosting> PstOccurrences::RootPostings() const {
+  std::vector<PstPosting> out;
+  std::size_t total = data_.TotalSymbols();
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    total += data_.has_end(i) ? 1 : 0;
+  }
+  out.reserve(total);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const std::size_t len = data_.length(i);
+    PRIVTREE_CHECK_LE(len + 1, std::size_t{0xffff});
+    const std::size_t last = len + (data_.has_end(i) ? 1 : 0);
+    for (std::size_t p = 1; p <= last; ++p) {
+      out.push_back(PstPosting{static_cast<std::uint32_t>(i),
+                               static_cast<std::uint16_t>(p)});
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<PstPosting>> PstOccurrences::RefineAll(
+    const std::vector<PstPosting>& parent, std::size_t predictor_len) const {
+  std::vector<std::vector<PstPosting>> out(data_.alphabet_size() + 1);
+  for (const PstPosting& posting : parent) {
+    const std::int32_t before =
+        static_cast<std::int32_t>(posting.pos) -
+        static_cast<std::int32_t>(predictor_len) - 1;
+    if (before < 0) continue;  // Predictor already reaches past $.
+    const Symbol key = SymbolAt(posting.seq, before);
+    out[key].push_back(posting);
+  }
+  return out;
+}
+
+std::vector<double> PstOccurrences::HistOf(
+    const std::vector<PstPosting>& postings) const {
+  std::vector<double> hist(data_.alphabet_size() + 1, 0.0);
+  for (const PstPosting& posting : postings) {
+    hist[SymbolAt(posting.seq, posting.pos)] += 1.0;
+  }
+  return hist;
+}
+
+}  // namespace privtree

@@ -1,0 +1,64 @@
+// Occurrence-posting machinery for building PSTs efficiently.
+//
+// For a PST node with predictor w, an occurrence is a "predicted position"
+// p in a padded sequence $ x1 ... xl (&) such that the |w| symbols ending at
+// position p−1 equal w.  The node's prediction histogram counts the symbol
+// at each occurrence position.  Child postings are obtained from parent
+// postings by filtering on the symbol immediately before the predictor, so
+// a full level refines in one linear pass.
+#ifndef PRIVTREE_SEQ_PST_OCCURRENCES_H_
+#define PRIVTREE_SEQ_PST_OCCURRENCES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace privtree {
+
+/// One occurrence: `pos` indexes the padded sequence of `seq`
+/// (0 = $, 1..l = symbols, l+1 = & when the sequence has an end marker).
+struct PstPosting {
+  std::uint32_t seq;
+  std::uint16_t pos;
+};
+
+/// Posting-list operations over one dataset.
+class PstOccurrences {
+ public:
+  explicit PstOccurrences(const SequenceDataset& data);
+
+  const SequenceDataset& data() const { return data_; }
+  /// The symbol value encoding $.
+  Symbol dollar() const {
+    return static_cast<Symbol>(data_.alphabet_size());
+  }
+  /// The hist slot of &.
+  std::size_t end_slot() const { return data_.alphabet_size(); }
+
+  /// The padded-sequence symbol at (seq, pos): dollar() at pos 0, the
+  /// regular symbol at 1..l, end_slot() (as a Symbol) at l+1.
+  Symbol SymbolAt(std::uint32_t seq, std::int32_t pos) const;
+
+  /// Occurrences of the empty predictor: every predicted position of every
+  /// sequence (1..l, plus l+1 for sequences with an end marker).
+  std::vector<PstPosting> RootPostings() const;
+
+  /// Partitions `parent` (postings of a node whose predictor has length
+  /// `predictor_len`) into the β = alphabet_size+1 child posting lists;
+  /// out[c] receives the occurrences whose preceding symbol is c (c =
+  /// alphabet_size means $).  Occurrences with no preceding symbol (the
+  /// predictor already reaches $) are dropped.
+  std::vector<std::vector<PstPosting>> RefineAll(
+      const std::vector<PstPosting>& parent, std::size_t predictor_len) const;
+
+  /// The prediction histogram of a posting list (size alphabet_size + 1).
+  std::vector<double> HistOf(const std::vector<PstPosting>& postings) const;
+
+ private:
+  const SequenceDataset& data_;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SEQ_PST_OCCURRENCES_H_

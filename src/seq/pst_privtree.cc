@@ -1,0 +1,152 @@
+#include "seq/pst_privtree.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/privtree_params.h"
+#include "core/tree.h"
+#include "dp/budget.h"
+#include "dp/check.h"
+#include "dp/distributions.h"
+#include "seq/pst_occurrences.h"
+
+namespace privtree {
+
+namespace {
+
+/// The sub-domain descriptor of the PST decomposition: the predictor string
+/// plus a slot into the policy's posting store.
+struct PstCell {
+  std::vector<Symbol> predictor;
+  std::int32_t slot = -1;
+};
+
+/// DecompositionPolicy over PST nodes; Score is Equation (13).
+class PstPolicy {
+ public:
+  using Domain = PstCell;
+
+  PstPolicy(const PstOccurrences& occurrences, std::size_t max_predictor_len)
+      : occurrences_(occurrences), max_predictor_len_(max_predictor_len) {
+    slots_.push_back(occurrences_.RootPostings());
+  }
+
+  Domain Root() const { return PstCell{{}, 0}; }
+
+  /// Structural constraints: C1 ($-prefixed predictors cannot grow) and the
+  /// public length cap (a predictor longer than l⊤ matches no sequence).
+  bool CanSplit(const Domain& cell) const {
+    if (!cell.predictor.empty() &&
+        cell.predictor.front() == occurrences_.dollar()) {
+      return false;
+    }
+    return cell.predictor.size() < max_predictor_len_;
+  }
+
+  std::vector<Domain> Split(const Domain& cell) const {
+    PRIVTREE_CHECK_GE(cell.slot, 0);
+    auto child_postings = occurrences_.RefineAll(
+        slots_[static_cast<std::size_t>(cell.slot)], cell.predictor.size());
+    // The parent's postings are no longer needed; free them to keep live
+    // memory proportional to one tree level.
+    std::vector<PstPosting>().swap(
+        slots_[static_cast<std::size_t>(cell.slot)]);
+
+    std::vector<Domain> children;
+    children.reserve(child_postings.size());
+    for (std::size_t c = 0; c < child_postings.size(); ++c) {
+      PstCell child;
+      child.predictor.reserve(cell.predictor.size() + 1);
+      child.predictor.push_back(static_cast<Symbol>(c));
+      child.predictor.insert(child.predictor.end(), cell.predictor.begin(),
+                             cell.predictor.end());
+      child.slot = static_cast<std::int32_t>(slots_.size());
+      slots_.push_back(std::move(child_postings[c]));
+      children.push_back(std::move(child));
+    }
+    return children;
+  }
+
+  double Score(const Domain& cell) const {
+    PRIVTREE_CHECK_GE(cell.slot, 0);
+    return PstScore(occurrences_.HistOf(
+        slots_[static_cast<std::size_t>(cell.slot)]));
+  }
+
+  int fanout() const {
+    return static_cast<int>(occurrences_.data().alphabet_size()) + 1;
+  }
+
+ private:
+  const PstOccurrences& occurrences_;
+  std::size_t max_predictor_len_;
+  mutable std::vector<std::vector<PstPosting>> slots_;
+};
+
+}  // namespace
+
+PrivatePstResult BuildPrivatePst(const SequenceDataset& data, double epsilon,
+                                 const PrivatePstOptions& options, Rng& rng) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GE(options.l_top, 1u);
+  const std::size_t beta = data.alphabet_size() + 1;
+
+  PrivacyBudget budget(epsilon);
+  const double tree_fraction = options.tree_budget_fraction > 0.0
+                                   ? options.tree_budget_fraction
+                                   : 1.0 / static_cast<double>(beta);
+  const double tree_epsilon = budget.SpendFraction(tree_fraction);
+  const double count_epsilon = budget.SpendRemaining();
+
+  const PstOccurrences occurrences(data);
+  PstPolicy policy(occurrences, options.l_top);
+
+  PrivTreeParams params = PrivTreeParams::ForEpsilon(
+      tree_epsilon, static_cast<int>(beta),
+      /*sensitivity=*/static_cast<double>(options.l_top));
+  params.max_depth = options.max_depth;
+
+  PrivatePstResult result{PstModel(data.alphabet_size()), {}};
+  const DecompTree<PstCell> tree =
+      RunPrivTree(policy, params, rng, &result.stats);
+
+  // Mirror the decomposition tree into a PstModel.  DecompTree children and
+  // PstModel::SplitNode both order children by prepended symbol, and both
+  // containers append nodes in visit order, so ids line up one-to-one.
+  result.model.AddRoot();
+  for (std::size_t id = 0; id < tree.size(); ++id) {
+    if (!tree.node(static_cast<NodeId>(id)).is_leaf()) {
+      result.model.SplitNode(static_cast<NodeId>(id));
+    }
+  }
+  PRIVTREE_CHECK_EQ(result.model.size(), tree.size());
+
+  // Exact leaf histograms in one pass: every predicted position maps to
+  // exactly one leaf (the walk consumes preceding symbols down to $).
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto s = data.sequence(i);
+    const std::size_t last = s.size() + (data.has_end(i) ? 1 : 0);
+    for (std::size_t p = 1; p <= last; ++p) {
+      const NodeId leaf = result.model.LongestSuffixNode(
+          s.subspan(0, p - 1), /*context_starts_sequence=*/true);
+      const Symbol predicted =
+          (p <= s.size()) ? s[p - 1]
+                          : static_cast<Symbol>(result.model.end_slot());
+      result.model.mutable_node(leaf).hist[predicted] += 1.0;
+    }
+  }
+
+  // Theorem 4.2 post-processing: Lap(l⊤/ε₂) on every leaf histogram count.
+  const double count_scale =
+      static_cast<double>(options.l_top) / count_epsilon;
+  for (std::size_t id = 0; id < result.model.size(); ++id) {
+    auto& node = result.model.mutable_node(static_cast<NodeId>(id));
+    if (!node.children.empty()) continue;
+    for (double& h : node.hist) h += SampleLaplace(rng, count_scale);
+  }
+  result.model.AggregateAndClampHists();
+  return result;
+}
+
+}  // namespace privtree

@@ -1,0 +1,104 @@
+#include "seq/pst_serialization.h"
+
+#include <fstream>
+#include <vector>
+
+namespace privtree {
+
+Status SavePstModel(const std::string& path, const PstModel& model) {
+  if (model.size() == 0) {
+    return Status::InvalidArgument("cannot save an empty model");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.precision(17);
+  out << "privtree-pst v1\n";
+  out << "alphabet " << model.alphabet_size() << "\n";
+  out << "nodes " << model.size() << "\n";
+  // Parent of each node (kInvalidNode for the root), recovered from the
+  // children lists.
+  std::vector<NodeId> parent(model.size(), kInvalidNode);
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    for (NodeId child : model.node(static_cast<NodeId>(i)).children) {
+      parent[static_cast<std::size_t>(child)] = static_cast<NodeId>(i);
+    }
+  }
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    out << parent[i];
+    for (double h : model.node(static_cast<NodeId>(i)).hist) {
+      out << ' ' << h;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<PstModel> LoadPstModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "privtree-pst v1") {
+    return Status::InvalidArgument(path + ": bad magic line");
+  }
+  std::string keyword;
+  std::size_t alphabet = 0, nodes = 0;
+  if (!(in >> keyword >> alphabet) || keyword != "alphabet" ||
+      alphabet == 0 || alphabet > 4096) {
+    return Status::InvalidArgument(path + ": bad alphabet header");
+  }
+  if (!(in >> keyword >> nodes) || keyword != "nodes" || nodes == 0) {
+    return Status::InvalidArgument(path + ": bad nodes header");
+  }
+  const std::size_t beta = alphabet + 1;
+  if ((nodes - 1) % beta != 0) {
+    return Status::InvalidArgument(path +
+                                   ": node count inconsistent with fanout");
+  }
+
+  PstModel model(alphabet);
+  model.AddRoot();
+  // First pass: read rows; split nodes in id order as parents appear.
+  std::vector<std::vector<double>> hists(nodes);
+  std::vector<NodeId> parents(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    if (!(in >> parents[i])) {
+      return Status::InvalidArgument(path + ": truncated node " +
+                                     std::to_string(i));
+    }
+    hists[i].resize(beta);
+    for (double& h : hists[i]) {
+      if (!(in >> h)) {
+        return Status::InvalidArgument(path + ": truncated histogram at " +
+                                       std::to_string(i));
+      }
+    }
+    if (i == 0) {
+      if (parents[0] != kInvalidNode) {
+        return Status::InvalidArgument(path + ": root must have parent -1");
+      }
+    } else {
+      if (parents[i] < 0 || static_cast<std::size_t>(parents[i]) >= i) {
+        return Status::InvalidArgument(path + ": bad parent at node " +
+                                       std::to_string(i));
+      }
+      // Children of one parent arrive consecutively in groups of β, and
+      // the first of each group triggers the split.
+      if ((i - 1) % beta == 0) {
+        if (model.SplitNode(parents[i]) != static_cast<NodeId>(i)) {
+          return Status::InvalidArgument(
+              path + ": children out of order at node " + std::to_string(i));
+        }
+      } else if (parents[i] != parents[i - 1]) {
+        return Status::InvalidArgument(
+            path + ": fractured sibling group at node " + std::to_string(i));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nodes; ++i) {
+    model.mutable_node(static_cast<NodeId>(i)).hist = std::move(hists[i]);
+  }
+  return model;
+}
+
+}  // namespace privtree

@@ -1,0 +1,32 @@
+// Serialization of released PST models (post-processing of the private
+// output, like spatial/serialization.h).  Format:
+//
+//   privtree-pst v1
+//   alphabet <A>
+//   nodes <count>
+//   <parent> <h_0> ... <h_A>          (per node, id order; parent -1 for
+//                                      the root; children are implied by
+//                                      parent links + creation order)
+//
+// Children of a node are the β = A+1 consecutive nodes that name it as
+// parent, in prepended-symbol order — the same invariant PstModel::
+// SplitNode produces.
+#ifndef PRIVTREE_SEQ_PST_SERIALIZATION_H_
+#define PRIVTREE_SEQ_PST_SERIALIZATION_H_
+
+#include <string>
+
+#include "dp/status.h"
+#include "seq/pst.h"
+
+namespace privtree {
+
+/// Writes the model to `path`.
+Status SavePstModel(const std::string& path, const PstModel& model);
+
+/// Reads a model written by SavePstModel.
+Result<PstModel> LoadPstModel(const std::string& path);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SEQ_PST_SERIALIZATION_H_

@@ -1,0 +1,66 @@
+#include "seq/sequence.h"
+
+#include <algorithm>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+SequenceDataset::SequenceDataset(std::size_t alphabet_size)
+    : alphabet_size_(alphabet_size), offsets_{0} {
+  PRIVTREE_CHECK_GE(alphabet_size, 1u);
+}
+
+void SequenceDataset::Add(std::span<const Symbol> symbols, bool has_end) {
+  for (Symbol x : symbols) {
+    PRIVTREE_CHECK_LT(x, alphabet_size_);
+  }
+  symbols_.insert(symbols_.end(), symbols.begin(), symbols.end());
+  offsets_.push_back(symbols_.size());
+  has_end_.push_back(has_end);
+}
+
+std::span<const Symbol> SequenceDataset::sequence(std::size_t i) const {
+  PRIVTREE_CHECK_LT(i, size());
+  return {symbols_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+}
+
+std::size_t SequenceDataset::length(std::size_t i) const {
+  PRIVTREE_CHECK_LT(i, size());
+  return offsets_[i + 1] - offsets_[i];
+}
+
+std::size_t SequenceDataset::LengthWithEnd(std::size_t i) const {
+  return length(i) + (has_end(i) ? 1 : 0);
+}
+
+double SequenceDataset::AverageLength() const {
+  if (empty()) return 0.0;
+  return static_cast<double>(symbols_.size()) / static_cast<double>(size());
+}
+
+std::vector<std::size_t> SequenceDataset::LengthHistogram() const {
+  std::size_t max_len = 0;
+  for (std::size_t i = 0; i < size(); ++i) max_len = std::max(max_len, length(i));
+  std::vector<std::size_t> hist(max_len + 1, 0);
+  for (std::size_t i = 0; i < size(); ++i) ++hist[length(i)];
+  return hist;
+}
+
+SequenceDataset SequenceDataset::Truncate(std::size_t l_top) const {
+  PRIVTREE_CHECK_GE(l_top, 1u);
+  SequenceDataset out(alphabet_size_);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const auto s = sequence(i);
+    if (LengthWithEnd(i) > l_top) {
+      // Keep the first l_top symbols, drop the & marker (the kept part has
+      // paper-length exactly l_top).
+      out.Add(s.subspan(0, std::min(s.size(), l_top)), /*has_end=*/false);
+    } else {
+      out.Add(s, has_end(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace privtree

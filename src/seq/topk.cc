@@ -1,0 +1,167 @@
+#include "seq/topk.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+std::uint64_t PackString(std::span<const Symbol> s) {
+  PRIVTREE_CHECK_GE(s.size(), 1u);
+  PRIVTREE_CHECK_LE(s.size(), 7u);
+  std::uint64_t key = static_cast<std::uint64_t>(s.size()) << 56;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    PRIVTREE_CHECK_LT(s[i], 256);
+    key |= static_cast<std::uint64_t>(s[i]) << (8 * i);
+  }
+  return key;
+}
+
+std::vector<Symbol> UnpackString(std::uint64_t key) {
+  const std::size_t len = static_cast<std::size_t>(key >> 56);
+  std::vector<Symbol> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<Symbol>((key >> (8 * i)) & 0xff);
+  }
+  return out;
+}
+
+std::unordered_map<std::uint64_t, double> CountAllSubstrings(
+    const SequenceDataset& data, std::size_t max_len) {
+  PRIVTREE_CHECK_GE(max_len, 1u);
+  PRIVTREE_CHECK_LE(max_len, 7u);
+  std::unordered_map<std::uint64_t, double> counts;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto s = data.sequence(i);
+    for (std::size_t start = 0; start < s.size(); ++start) {
+      std::uint64_t key = 0;
+      const std::size_t limit = std::min(max_len, s.size() - start);
+      for (std::size_t len = 1; len <= limit; ++len) {
+        key |= static_cast<std::uint64_t>(s[start + len - 1])
+               << (8 * (len - 1));
+        counts[key | (static_cast<std::uint64_t>(len) << 56)] += 1.0;
+      }
+    }
+  }
+  return counts;
+}
+
+TopKStrings TopKFromCounts(
+    const std::unordered_map<std::uint64_t, double>& counts, std::size_t k) {
+  std::vector<std::pair<double, std::uint64_t>> ranked;
+  ranked.reserve(counts.size());
+  for (const auto& [key, count] : counts) ranked.emplace_back(count, key);
+  const std::size_t take = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + take, ranked.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;  // Deterministic ties.
+                    });
+  TopKStrings out;
+  for (std::size_t i = 0; i < take; ++i) {
+    out.strings.push_back(UnpackString(ranked[i].second));
+    out.counts.push_back(ranked[i].first);
+  }
+  return out;
+}
+
+TopKStrings ExactTopKStrings(const SequenceDataset& data, std::size_t k,
+                             std::size_t max_len) {
+  return TopKFromCounts(CountAllSubstrings(data, max_len), k);
+}
+
+namespace {
+
+/// DFS state for model-based top-k with monotone pruning.
+struct ModelTopKState {
+  const SequenceModel* model;
+  std::size_t k;
+  std::size_t max_len;
+  // Min-heap of (count, packed string) keeping the best k so far.
+  std::priority_queue<std::pair<double, std::uint64_t>,
+                      std::vector<std::pair<double, std::uint64_t>>,
+                      std::greater<>>
+      best;
+
+  double Threshold() const {
+    return best.size() < k ? 0.0 : best.top().first;
+  }
+
+  void Offer(std::span<const Symbol> s, double count) {
+    if (count <= 0.0) return;
+    if (best.size() < k) {
+      best.emplace(count, PackString(s));
+    } else if (count > best.top().first) {
+      best.pop();
+      best.emplace(count, PackString(s));
+    }
+  }
+
+  void Visit(std::vector<Symbol>* prefix, double estimate) {
+    Offer(*prefix, estimate);
+    if (prefix->size() >= max_len) return;
+    std::vector<double> dist;
+    model->NextDistribution(*prefix, /*context_starts_sequence=*/false,
+                            &dist);
+    double magnitude = 0.0;
+    for (double w : dist) magnitude += w;
+    if (magnitude <= 0.0) return;
+    for (Symbol x = 0; x < model->alphabet_size(); ++x) {
+      const double child = estimate * dist[x] / magnitude;
+      // Prune: extensions cannot beat the current k-th best.
+      if (child <= Threshold()) continue;
+      prefix->push_back(x);
+      Visit(prefix, child);
+      prefix->pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+TopKStrings TopKFromModel(const SequenceModel& model, std::size_t k,
+                          std::size_t max_len) {
+  PRIVTREE_CHECK_GE(k, 1u);
+  PRIVTREE_CHECK_GE(max_len, 1u);
+  PRIVTREE_CHECK_LE(max_len, 7u);
+  ModelTopKState state{&model, k, max_len, {}};
+  std::vector<Symbol> prefix;
+  for (Symbol x = 0; x < model.alphabet_size(); ++x) {
+    const double estimate = model.InitialCount(x);
+    if (estimate <= state.Threshold()) continue;
+    prefix.push_back(x);
+    state.Visit(&prefix, estimate);
+    prefix.pop_back();
+  }
+  // Drain the heap into descending order.
+  TopKStrings out;
+  std::vector<std::pair<double, std::uint64_t>> drained;
+  while (!state.best.empty()) {
+    drained.push_back(state.best.top());
+    state.best.pop();
+  }
+  std::reverse(drained.begin(), drained.end());
+  for (const auto& [count, key] : drained) {
+    out.strings.push_back(UnpackString(key));
+    out.counts.push_back(count);
+  }
+  return out;
+}
+
+double TopKPrecision(const TopKStrings& exact, const TopKStrings& found) {
+  if (exact.strings.empty()) return 0.0;
+  std::vector<std::uint64_t> truth;
+  truth.reserve(exact.strings.size());
+  for (const auto& s : exact.strings) truth.push_back(PackString(s));
+  std::sort(truth.begin(), truth.end());
+  std::size_t hits = 0;
+  for (const auto& s : found.strings) {
+    if (std::binary_search(truth.begin(), truth.end(), PackString(s))) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(exact.strings.size());
+}
+
+}  // namespace privtree

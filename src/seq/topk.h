@@ -1,0 +1,59 @@
+// Top-k frequent string mining over sequence datasets (Section 6.2, task 1).
+//
+// A "string" is a contiguous run of alphabet symbols; its frequency is its
+// number of occurrences across all sequences.  Exact mining enumerates all
+// substrings up to a length cap; model-based mining enumerates candidate
+// strings through a SequenceModel's frequency estimates with monotone
+// pruning (extensions of a string never have larger estimates).
+#ifndef PRIVTREE_SEQ_TOPK_H_
+#define PRIVTREE_SEQ_TOPK_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "seq/model.h"
+#include "seq/sequence.h"
+
+namespace privtree {
+
+/// A packed substring key: up to 7 symbols of 8 bits, length in the top
+/// byte.  Symbols must be < 256.
+std::uint64_t PackString(std::span<const Symbol> s);
+
+/// Inverse of PackString.
+std::vector<Symbol> UnpackString(std::uint64_t key);
+
+/// Exact occurrence counts of every substring of length 1..max_len.
+std::unordered_map<std::uint64_t, double> CountAllSubstrings(
+    const SequenceDataset& data, std::size_t max_len);
+
+/// A ranked list of strings with their (exact or estimated) frequencies.
+struct TopKStrings {
+  std::vector<std::vector<Symbol>> strings;  ///< Descending frequency.
+  std::vector<double> counts;
+};
+
+/// The exact top-k most frequent strings of length 1..max_len.
+TopKStrings ExactTopKStrings(const SequenceDataset& data, std::size_t k,
+                             std::size_t max_len);
+
+/// Top-k according to `counts` (e.g. a precomputed CountAllSubstrings map).
+TopKStrings TopKFromCounts(
+    const std::unordered_map<std::uint64_t, double>& counts, std::size_t k);
+
+/// Model-based top-k: depth-first enumeration of strings up to max_len with
+/// EstimateStringFrequency, pruning prefixes whose estimate already falls
+/// below the current k-th best (valid because the chained estimate is
+/// non-increasing under extension).
+TopKStrings TopKFromModel(const SequenceModel& model, std::size_t k,
+                          std::size_t max_len);
+
+/// Precision of `found` against the ground truth `exact`:
+/// |K(D) ∩ A(D)| / k (Section 6.2).
+double TopKPrecision(const TopKStrings& exact, const TopKStrings& found);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SEQ_TOPK_H_

@@ -1,0 +1,138 @@
+#include "spatial/mixed_histogram.h"
+
+#include <algorithm>
+
+#include "core/privtree_params.h"
+#include "dp/budget.h"
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+double MixedHistogram::Query(const MixedCell& q) const {
+  PRIVTREE_CHECK(data != nullptr);
+  if (tree.empty()) return 0.0;
+  double ans = 0.0;
+  std::vector<NodeId> stack = {tree.root()};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    const auto& node = tree.node(v);
+    const MixedCell& cell = node.domain;
+
+    // Numeric relation (a 0-dimensional box trivially intersects).
+    if (!q.box.Intersects(cell.box)) continue;
+    // Categorical relation per attribute: any two taxonomy nodes cover
+    // nested or disjoint leaf-value ranges.
+    bool disjoint = false;
+    bool contained = q.box.ContainsBox(cell.box);
+    double category_fraction = 1.0;
+    for (std::size_t a = 0; a < cell.category_nodes.size(); ++a) {
+      const Taxonomy& taxonomy = data->taxonomy(a);
+      const NodeId qn = q.category_nodes[a];
+      const NodeId cn = cell.category_nodes[a];
+      // Covered value ranges.
+      const std::int32_t q_leaves = taxonomy.LeafCountOf(qn);
+      const std::int32_t c_leaves = taxonomy.LeafCountOf(cn);
+      // Determine nesting via Covers on a representative value.
+      // The first value covered by a node:
+      const auto first_value_of = [&](NodeId n) {
+        // Walk down to the leftmost leaf.
+        NodeId cur = n;
+        while (!taxonomy.is_leaf(cur)) cur = taxonomy.children(cur)[0];
+        return taxonomy.ValueOf(cur);
+      };
+      const CategoryValue q_first = first_value_of(qn);
+      const CategoryValue c_first = first_value_of(cn);
+      if (taxonomy.Covers(qn, c_first) && q_leaves >= c_leaves) {
+        // Query covers the cell's categories: no fraction needed.
+        continue;
+      }
+      if (taxonomy.Covers(cn, q_first) && c_leaves >= q_leaves) {
+        // Cell is coarser than the query: partial along this attribute.
+        contained = false;
+        category_fraction *= static_cast<double>(q_leaves) /
+                             static_cast<double>(c_leaves);
+        continue;
+      }
+      disjoint = true;
+      break;
+    }
+    if (disjoint) continue;
+
+    if (contained) {
+      ans += count[v];
+      continue;
+    }
+    if (!node.is_leaf()) {
+      for (NodeId child : node.children) stack.push_back(child);
+      continue;
+    }
+    // Partial leaf: uniformity across numeric volume × categorical values.
+    double numeric_fraction = 1.0;
+    const double volume = cell.box.Volume();
+    if (volume > 0.0) {
+      numeric_fraction = cell.box.IntersectionVolume(q.box) / volume;
+    }
+    ans += count[v] * numeric_fraction * category_fraction;
+  }
+  return ans;
+}
+
+MixedHistogram BuildMixedHistogram(const MixedDataset& data, double epsilon,
+                                   const MixedHistogramOptions& options,
+                                   Rng& rng) {
+  PRIVTREE_CHECK_GT(epsilon, 0.0);
+  PRIVTREE_CHECK_GT(options.tree_budget_fraction, 0.0);
+  PRIVTREE_CHECK_LT(options.tree_budget_fraction, 1.0);
+
+  MixedPolicy policy(data, options.max_numeric_depth);
+  PrivacyBudget budget(epsilon);
+  const double tree_epsilon =
+      budget.SpendFraction(options.tree_budget_fraction);
+  const double count_epsilon = budget.SpendRemaining();
+
+  PrivTreeParams params =
+      PrivTreeParams::ForEpsilon(tree_epsilon, policy.fanout());
+  params.max_depth = options.max_depth;
+
+  MixedHistogram hist;
+  hist.data = &data;
+  hist.tree = RunPrivTree(policy, params, rng, &hist.stats);
+  hist.count.assign(hist.tree.size(), 0.0);
+
+  // Leaf counts: one record lies in exactly one leaf (leaves partition the
+  // mixed domain), so the vector has sensitivity 1.
+  const double scale = 1.0 / count_epsilon;
+  // Assign each record to its leaf by descending the tree.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const MixedRecord& record = data.record(i);
+    NodeId v = hist.tree.root();
+    while (!hist.tree.node(v).is_leaf()) {
+      bool advanced = false;
+      for (NodeId child : hist.tree.node(v).children) {
+        if (hist.tree.node(child).domain.Contains(data, record)) {
+          v = child;
+          advanced = true;
+          break;
+        }
+      }
+      PRIVTREE_CHECK(advanced);
+    }
+    hist.count[v] += 1.0;
+  }
+  for (NodeId leaf : hist.tree.LeafIds()) {
+    hist.count[leaf] += SampleLaplace(rng, scale);
+  }
+  // Aggregate upward for consistent internal counts.
+  const auto& nodes = hist.tree.nodes();
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    if (nodes[i].is_leaf()) continue;
+    double total = 0.0;
+    for (NodeId child : nodes[i].children) total += hist.count[child];
+    hist.count[i] = total;
+  }
+  return hist;
+}
+
+}  // namespace privtree

@@ -1,0 +1,44 @@
+// Private histograms over mixed numeric/categorical domains: PrivTree with
+// the MixedPolicy of Section 3.5, plus noisy leaf counts and a query
+// engine.  Queries are themselves MixedCells (a numeric box plus one
+// taxonomy node per categorical attribute); partially covered leaves
+// contribute under a uniformity assumption across both the numeric volume
+// and the categorical leaf values.
+#ifndef PRIVTREE_SPATIAL_MIXED_HISTOGRAM_H_
+#define PRIVTREE_SPATIAL_MIXED_HISTOGRAM_H_
+
+#include <vector>
+
+#include "core/privtree.h"
+#include "core/tree.h"
+#include "dp/rng.h"
+#include "spatial/mixed_policy.h"
+
+namespace privtree {
+
+/// A PrivTree decomposition of a mixed domain with released noisy counts.
+struct MixedHistogram {
+  const MixedDataset* data = nullptr;  ///< For taxonomy lookups only.
+  DecompTree<MixedCell> tree;
+  std::vector<double> count;
+  DecompositionStats stats;
+
+  /// Estimated number of records in the query cell.
+  double Query(const MixedCell& q) const;
+};
+
+/// Options for BuildMixedHistogram.
+struct MixedHistogramOptions {
+  double tree_budget_fraction = 0.5;
+  std::int32_t max_numeric_depth = 40;
+  std::int32_t max_depth = 512;
+};
+
+/// Builds the ε-DP mixed-domain histogram.
+MixedHistogram BuildMixedHistogram(const MixedDataset& data, double epsilon,
+                                   const MixedHistogramOptions& options,
+                                   Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SPATIAL_MIXED_HISTOGRAM_H_

@@ -1,0 +1,138 @@
+#include "spatial/mixed_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+MixedDataset::MixedDataset(std::size_t numeric_dims,
+                           std::vector<const Taxonomy*> taxonomies)
+    : numeric_dims_(numeric_dims), taxonomies_(std::move(taxonomies)) {
+  PRIVTREE_CHECK(numeric_dims_ + taxonomies_.size() > 0);
+  for (const Taxonomy* taxonomy : taxonomies_) {
+    PRIVTREE_CHECK(taxonomy != nullptr);
+    PRIVTREE_CHECK(taxonomy->finalized());
+  }
+}
+
+void MixedDataset::Add(MixedRecord record) {
+  PRIVTREE_CHECK_EQ(record.numeric.size(), numeric_dims_);
+  PRIVTREE_CHECK_EQ(record.categories.size(), taxonomies_.size());
+  for (std::size_t j = 0; j < numeric_dims_; ++j) {
+    PRIVTREE_CHECK_GE(record.numeric[j], 0.0);
+    PRIVTREE_CHECK_LT(record.numeric[j], 1.0);
+  }
+  for (std::size_t a = 0; a < taxonomies_.size(); ++a) {
+    PRIVTREE_CHECK_GE(record.categories[a], 0);
+    PRIVTREE_CHECK_LT(record.categories[a],
+                      taxonomies_[a]->LeafValueCount());
+  }
+  records_.push_back(std::move(record));
+}
+
+const Taxonomy& MixedDataset::taxonomy(std::size_t attribute) const {
+  PRIVTREE_CHECK_LT(attribute, taxonomies_.size());
+  return *taxonomies_[attribute];
+}
+
+bool MixedCell::Contains(const MixedDataset& data,
+                         const MixedRecord& record) const {
+  if (!box.Contains(record.numeric)) return false;
+  for (std::size_t a = 0; a < category_nodes.size(); ++a) {
+    if (!data.taxonomy(a).Covers(category_nodes[a], record.categories[a])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+MixedPolicy::MixedPolicy(const MixedDataset& data,
+                         std::int32_t max_numeric_depth)
+    : data_(data), max_numeric_depth_(max_numeric_depth) {
+  PRIVTREE_CHECK_GE(max_numeric_depth, 1);
+  max_fanout_ = data.numeric_dims() > 0 ? 2 : 1;
+  for (std::size_t a = 0; a < data.categorical_dims(); ++a) {
+    const Taxonomy& taxonomy = data.taxonomy(a);
+    for (std::size_t id = 0; id < taxonomy.size(); ++id) {
+      max_fanout_ = std::max(
+          max_fanout_,
+          static_cast<int>(taxonomy.children(static_cast<NodeId>(id)).size()));
+    }
+  }
+  PRIVTREE_CHECK_GE(max_fanout_, 2);
+}
+
+MixedPolicy::Domain MixedPolicy::Root() const {
+  MixedCell cell;
+  cell.box = Box::UnitCube(data_.numeric_dims());
+  for (std::size_t a = 0; a < data_.categorical_dims(); ++a) {
+    cell.category_nodes.push_back(data_.taxonomy(a).root());
+  }
+  return cell;
+}
+
+bool MixedPolicy::AttributeSplittable(const Domain& cell,
+                                      std::size_t a) const {
+  if (a < data_.numeric_dims()) {
+    return cell.box.Width(a) > std::ldexp(1.0, -max_numeric_depth_);
+  }
+  const std::size_t c = a - data_.numeric_dims();
+  return !data_.taxonomy(c).is_leaf(cell.category_nodes[c]);
+}
+
+bool MixedPolicy::CanSplit(const Domain& cell) const {
+  for (std::size_t a = 0; a < attribute_count(); ++a) {
+    if (AttributeSplittable(cell, a)) return true;
+  }
+  return false;
+}
+
+std::vector<MixedPolicy::Domain> MixedPolicy::Split(
+    const Domain& cell) const {
+  PRIVTREE_CHECK(CanSplit(cell));
+  // Find the next splittable attribute in round-robin order.
+  std::size_t attribute = static_cast<std::size_t>(cell.next_attribute);
+  for (std::size_t tried = 0; tried < attribute_count(); ++tried) {
+    if (AttributeSplittable(cell, attribute)) break;
+    attribute = (attribute + 1) % attribute_count();
+  }
+  PRIVTREE_CHECK(AttributeSplittable(cell, attribute));
+
+  std::vector<Domain> children;
+  const auto next =
+      static_cast<std::int32_t>((attribute + 1) % attribute_count());
+  if (attribute < data_.numeric_dims()) {
+    for (int half = 0; half < 2; ++half) {
+      Domain child = cell;
+      child.box = cell.box.BisectDim(attribute, half);
+      child.next_attribute = next;
+      child.depth = cell.depth + 1;
+      children.push_back(std::move(child));
+    }
+    return children;
+  }
+  const std::size_t c = attribute - data_.numeric_dims();
+  const Taxonomy& taxonomy = data_.taxonomy(c);
+  for (NodeId category : taxonomy.children(cell.category_nodes[c])) {
+    Domain child = cell;
+    child.category_nodes[c] = category;
+    child.next_attribute = next;
+    child.depth = cell.depth + 1;
+    children.push_back(std::move(child));
+  }
+  return children;
+}
+
+double MixedPolicy::Score(const Domain& cell) const {
+  // O(n) per node; mixed datasets in this library are modest-sized.  For
+  // large numeric-only data use QuadtreePolicy's Morton index instead.
+  double count = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (cell.Contains(data_, data_.record(i))) count += 1.0;
+  }
+  return count;
+}
+
+}  // namespace privtree

@@ -1,0 +1,100 @@
+// PrivTree over mixed numeric + categorical domains (Section 3.5):
+// numeric dimensions split by bisection, categorical dimensions by
+// descending their taxonomies.  Splitting proceeds round-robin across all
+// attributes; a categorical attribute whose taxonomy node is a leaf is
+// skipped (its information is exhausted).
+//
+// Because different taxonomy nodes have different fanouts, the tree is not
+// uniform; PrivTree's guarantee only needs β for the δ = λ·ln β setting,
+// for which the *maximum* fanout is the conservative choice (a larger δ
+// only decreases the split probabilities, and Theorem 3.1 holds for any
+// δ = γλ with γ > 0).
+#ifndef PRIVTREE_SPATIAL_MIXED_POLICY_H_
+#define PRIVTREE_SPATIAL_MIXED_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tree.h"
+#include "spatial/box.h"
+#include "spatial/taxonomy.h"
+
+namespace privtree {
+
+/// One record of a mixed dataset: numeric coordinates plus categorical
+/// values (one per categorical attribute).
+struct MixedRecord {
+  std::vector<double> numeric;
+  std::vector<CategoryValue> categories;
+};
+
+/// A dataset of mixed records.
+class MixedDataset {
+ public:
+  /// `numeric_dims` numeric attributes over [0,1); one taxonomy per
+  /// categorical attribute (pointers must outlive the dataset).
+  MixedDataset(std::size_t numeric_dims,
+               std::vector<const Taxonomy*> taxonomies);
+
+  void Add(MixedRecord record);
+
+  std::size_t size() const { return records_.size(); }
+  std::size_t numeric_dims() const { return numeric_dims_; }
+  std::size_t categorical_dims() const { return taxonomies_.size(); }
+  const Taxonomy& taxonomy(std::size_t attribute) const;
+  const MixedRecord& record(std::size_t i) const { return records_[i]; }
+
+ private:
+  std::size_t numeric_dims_;
+  std::vector<const Taxonomy*> taxonomies_;
+  std::vector<MixedRecord> records_;
+};
+
+/// A sub-domain of the mixed space: a numeric box plus one taxonomy node
+/// per categorical attribute.
+struct MixedCell {
+  Box box;
+  std::vector<NodeId> category_nodes;  ///< One per categorical attribute.
+  /// Index of the attribute to split next (cycles over numeric dims then
+  /// categorical attributes).
+  std::int32_t next_attribute = 0;
+  /// Remaining consecutive skips before the cell is declared unsplittable
+  /// (all categorical nodes at leaves and numeric resolution exhausted).
+  std::int32_t depth = 0;
+
+  /// Whether a record falls into this cell.
+  bool Contains(const MixedDataset& data, const MixedRecord& record) const;
+};
+
+/// DecompositionPolicy over MixedCell; Score is the exact record count.
+class MixedPolicy {
+ public:
+  using Domain = MixedCell;
+
+  /// `max_numeric_depth` caps bisections per numeric dimension.
+  MixedPolicy(const MixedDataset& data, std::int32_t max_numeric_depth = 40);
+
+  Domain Root() const;
+  bool CanSplit(const Domain& cell) const;
+  std::vector<Domain> Split(const Domain& cell) const;
+  double Score(const Domain& cell) const;
+  /// Maximum fanout across attributes (2 for numeric splits, the widest
+  /// taxonomy branching for categorical ones).
+  int fanout() const { return max_fanout_; }
+
+ private:
+  std::size_t attribute_count() const {
+    return data_.numeric_dims() + data_.categorical_dims();
+  }
+  /// Whether attribute `a` of `cell` can currently be split.
+  bool AttributeSplittable(const Domain& cell, std::size_t a) const;
+
+  const MixedDataset& data_;
+  std::int32_t max_numeric_depth_;
+  int max_fanout_ = 2;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SPATIAL_MIXED_POLICY_H_

@@ -1,0 +1,76 @@
+#include "spatial/morton_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+MortonIndex::MortonIndex(const PointSet& points, const Box& root)
+    : dim_(points.dim()) {
+  PRIVTREE_CHECK_EQ(root.dim(), dim_);
+  levels_per_dim_ = kTotalBits / static_cast<int>(dim_);
+  // Ceiling at 63 so per-dimension integer coordinates fit in uint64.
+  levels_per_dim_ = std::min(levels_per_dim_, 63);
+  max_prefix_bits_ = levels_per_dim_ * static_cast<int>(dim_);
+
+  root_lo_ = root.lo();
+  inv_width_.resize(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) {
+    const double width = root.Width(j);
+    PRIVTREE_CHECK_GT(width, 0.0);
+    inv_width_[j] = 1.0 / width;
+  }
+
+  keys_.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    keys_.push_back(KeyOf(points.point(i)));
+  }
+  std::sort(keys_.begin(), keys_.end());
+}
+
+MortonKey MortonIndex::KeyOf(std::span<const double> point) const {
+  PRIVTREE_CHECK_EQ(point.size(), dim_);
+  const double cells = std::ldexp(1.0, levels_per_dim_);  // 2^L
+  MortonKey key = 0;
+  // Per-dimension integer coordinates with L bits each.
+  std::uint64_t coord[8];
+  PRIVTREE_CHECK_LE(dim_, 8u);
+  const std::uint64_t max_coord =
+      (std::uint64_t{1} << levels_per_dim_) - 1;
+  for (std::size_t j = 0; j < dim_; ++j) {
+    double normalized = (point[j] - root_lo_[j]) * inv_width_[j];
+    normalized = std::clamp(normalized, 0.0, 1.0);
+    const double scaled = normalized * cells;
+    // Integer-side clamp: `cells - 1` is not representable as a double at
+    // 63 bits, so a floating-point clamp would let coord reach 2^L and set
+    // a bit the interleaving never reads.
+    std::uint64_t c = static_cast<std::uint64_t>(scaled);
+    if (scaled >= cells || c > max_coord) c = max_coord;
+    coord[j] = c;
+  }
+  // Interleave level-major, dimension-minor: the first d key bits are the
+  // most significant bit of each dimension, and so on.
+  for (int level = 0; level < levels_per_dim_; ++level) {
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const int bit = levels_per_dim_ - 1 - level;
+      key = (key << 1) | ((coord[j] >> bit) & 1u);
+    }
+  }
+  return key;
+}
+
+std::size_t MortonIndex::CountPrefix(MortonKey prefix, int bits) const {
+  PRIVTREE_CHECK_GE(bits, 0);
+  PRIVTREE_CHECK_LE(bits, max_prefix_bits_);
+  if (bits == 0) return keys_.size();
+  const int shift = max_prefix_bits_ - bits;
+  const MortonKey lo = prefix << shift;
+  const MortonKey hi = (prefix + 1) << shift;
+  const auto begin = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  const auto end = std::lower_bound(keys_.begin(), keys_.end(), hi);
+  return static_cast<std::size_t>(end - begin);
+}
+
+}  // namespace privtree

@@ -1,0 +1,60 @@
+#include "spatial/quadtree_policy.h"
+
+#include "dp/check.h"
+
+namespace privtree {
+
+QuadtreePolicy::QuadtreePolicy(const MortonIndex& index, Box root,
+                               int dims_per_split)
+    : index_(index), root_(std::move(root)), dims_per_split_(dims_per_split) {
+  PRIVTREE_CHECK_GE(dims_per_split, 1);
+  PRIVTREE_CHECK_LE(static_cast<std::size_t>(dims_per_split), root_.dim());
+  PRIVTREE_CHECK_EQ(root_.dim(), index.dim());
+}
+
+QuadtreePolicy::Domain QuadtreePolicy::Root() const {
+  return SpatialCell{root_, 0, 0};
+}
+
+bool QuadtreePolicy::CanSplit(const Domain& cell) const {
+  return cell.bits + dims_per_split_ <= index_.max_prefix_bits();
+}
+
+std::vector<QuadtreePolicy::Domain> QuadtreePolicy::Split(
+    const Domain& cell) const {
+  PRIVTREE_CHECK(CanSplit(cell));
+  const std::size_t dim = root_.dim();
+  // The next dimension to bisect follows the global round-robin bit order:
+  // after `bits` consumed bits, it is bits mod d.
+  std::vector<Domain> children;
+  children.reserve(1u << dims_per_split_);
+  children.push_back(
+      Domain{cell.box, cell.prefix << dims_per_split_,
+             cell.bits + dims_per_split_});
+  // Grow the child list one bisected dimension at a time so child order
+  // matches the Morton bit order (first bisected dimension is the most
+  // significant of the appended bits).
+  for (int step = 0; step < dims_per_split_; ++step) {
+    const std::size_t j = (cell.bits + step) % dim;
+    const int bit_pos = dims_per_split_ - 1 - step;
+    std::vector<Domain> next;
+    next.reserve(children.size() * 2);
+    for (const Domain& child : children) {
+      Domain lower = child;
+      lower.box = child.box.BisectDim(j, 0);
+      next.push_back(std::move(lower));
+      Domain upper = child;
+      upper.box = child.box.BisectDim(j, 1);
+      upper.prefix |= static_cast<MortonKey>(1) << bit_pos;
+      next.push_back(std::move(upper));
+    }
+    children = std::move(next);
+  }
+  return children;
+}
+
+double QuadtreePolicy::Score(const Domain& cell) const {
+  return static_cast<double>(index_.CountPrefix(cell.prefix, cell.bits));
+}
+
+}  // namespace privtree

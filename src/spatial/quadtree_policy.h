@@ -1,0 +1,58 @@
+// Spatial decomposition policies: the quadtree-style splits used by the
+// paper (Section 3: β = 2^d full bisection) and the round-robin lower-fanout
+// variants of Appendix C / Figure 8 (β = 2^i with i < d, bisecting i
+// dimensions per split, cycled round-robin).
+#ifndef PRIVTREE_SPATIAL_QUADTREE_POLICY_H_
+#define PRIVTREE_SPATIAL_QUADTREE_POLICY_H_
+
+#include <vector>
+
+#include "spatial/box.h"
+#include "spatial/morton_index.h"
+
+namespace privtree {
+
+/// The sub-domain descriptor used by spatial decompositions: the geometric
+/// box plus its dyadic address (Morton prefix) for O(log n) counting.
+struct SpatialCell {
+  Box box;
+  MortonKey prefix = 0;  ///< Low `bits` bits hold the dyadic address.
+  int bits = 0;          ///< Number of meaningful bits in `prefix`.
+};
+
+/// DecompositionPolicy over boxes; Score is the exact point count of the
+/// cell, computed through a MortonIndex.
+class QuadtreePolicy {
+ public:
+  using Domain = SpatialCell;
+
+  /// `index` must outlive the policy.  `dims_per_split` (the i of β = 2^i)
+  /// must be in [1, dim]; dims_per_split == dim is the standard quadtree.
+  QuadtreePolicy(const MortonIndex& index, Box root, int dims_per_split);
+
+  Domain Root() const;
+
+  /// Structural splittability: enough Morton bits remain for one more
+  /// split.  With 126 total bits this allows depth 63 for 2-d data —
+  /// unreachable in practice (see PrivTreeParams::max_depth).
+  bool CanSplit(const Domain& cell) const;
+
+  /// 2^i children: all sign combinations of bisecting the next i
+  /// round-robin dimensions.  Child order matches Morton bit order.
+  std::vector<Domain> Split(const Domain& cell) const;
+
+  /// Exact point count c(v) of the cell (sensitivity 1, monotonic).
+  double Score(const Domain& cell) const;
+
+  int fanout() const { return 1 << dims_per_split_; }
+  int dims_per_split() const { return dims_per_split_; }
+
+ private:
+  const MortonIndex& index_;
+  Box root_;
+  int dims_per_split_;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SPATIAL_QUADTREE_POLICY_H_

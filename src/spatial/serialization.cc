@@ -1,0 +1,84 @@
+#include "spatial/serialization.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace privtree {
+
+Status SaveSpatialHistogram(const std::string& path,
+                            const SpatialHistogram& hist) {
+  if (hist.tree.empty()) {
+    return Status::InvalidArgument("cannot save an empty histogram");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.precision(17);
+  const std::size_t dim = hist.tree.node(0).domain.box.dim();
+  out << "privtree-histogram v1\n";
+  out << "dim " << dim << "\n";
+  out << "nodes " << hist.tree.size() << "\n";
+  for (std::size_t i = 0; i < hist.tree.size(); ++i) {
+    const auto& node = hist.tree.node(static_cast<NodeId>(i));
+    out << node.parent << ' ' << hist.count[i];
+    for (std::size_t j = 0; j < dim; ++j) {
+      out << ' ' << node.domain.box.lo(j) << ' ' << node.domain.box.hi(j);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<SpatialHistogram> LoadSpatialHistogram(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "privtree-histogram v1") {
+    return Status::InvalidArgument(path + ": bad magic line");
+  }
+  std::string keyword;
+  std::size_t dim = 0, nodes = 0;
+  if (!(in >> keyword >> dim) || keyword != "dim" || dim == 0 || dim > 8) {
+    return Status::InvalidArgument(path + ": bad dim header");
+  }
+  if (!(in >> keyword >> nodes) || keyword != "nodes" || nodes == 0) {
+    return Status::InvalidArgument(path + ": bad nodes header");
+  }
+
+  SpatialHistogram hist;
+  hist.count.reserve(nodes);
+  std::vector<double> lo(dim), hi(dim);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    NodeId parent = kInvalidNode;
+    double count = 0.0;
+    if (!(in >> parent >> count)) {
+      return Status::InvalidArgument(path + ": truncated node " +
+                                     std::to_string(i));
+    }
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (!(in >> lo[j] >> hi[j]) || !(lo[j] <= hi[j])) {
+        return Status::InvalidArgument(path + ": bad bounds at node " +
+                                       std::to_string(i));
+      }
+    }
+    SpatialCell cell;
+    cell.box = Box(lo, hi);
+    if (i == 0) {
+      if (parent != kInvalidNode) {
+        return Status::InvalidArgument(path + ": root must have parent -1");
+      }
+      hist.tree.AddRoot(std::move(cell));
+    } else {
+      if (parent < 0 || static_cast<std::size_t>(parent) >= i) {
+        return Status::InvalidArgument(path + ": bad parent at node " +
+                                       std::to_string(i));
+      }
+      hist.tree.AddChild(parent, std::move(cell));
+    }
+    hist.count.push_back(count);
+  }
+  return hist;
+}
+
+}  // namespace privtree

@@ -1,0 +1,34 @@
+// Serialization of released spatial synopses.
+//
+// A SpatialHistogram is the *output* of the privacy mechanism; persisting
+// and re-loading it is pure post-processing.  The text format is
+// line-oriented and versioned:
+//
+//   privtree-histogram v1
+//   dim <d>
+//   nodes <count>
+//   <parent> <noisy_count> <lo_1> <hi_1> ... <lo_d> <hi_d>   (per node,
+//                                                             id order)
+//
+// Morton metadata is intentionally not persisted: a loaded synopsis can
+// answer queries but is decoupled from the (sensitive) source data.
+#ifndef PRIVTREE_SPATIAL_SERIALIZATION_H_
+#define PRIVTREE_SPATIAL_SERIALIZATION_H_
+
+#include <string>
+
+#include "dp/status.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree {
+
+/// Writes the synopsis to `path`.
+Status SaveSpatialHistogram(const std::string& path,
+                            const SpatialHistogram& hist);
+
+/// Reads a synopsis written by SaveSpatialHistogram.
+Result<SpatialHistogram> LoadSpatialHistogram(const std::string& path);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SPATIAL_SERIALIZATION_H_

@@ -1,0 +1,46 @@
+#include "spatial/synthetic_points.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+#include "core/tree.h"
+
+namespace privtree {
+
+PointSet SampleSyntheticPoints(const SpatialHistogram& hist, std::size_t n,
+                               Rng& rng) {
+  PRIVTREE_CHECK(!hist.tree.empty());
+  const std::size_t dim = hist.tree.node(hist.tree.root()).domain.box.dim();
+  PointSet out(dim);
+  const std::vector<NodeId> leaves = hist.tree.LeafIds();
+  std::vector<double> weights(leaves.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    weights[i] = std::max(hist.count[leaves[i]], 0.0);
+    total += weights[i];
+  }
+  if (total <= 0.0) return out;  // Degenerate synopsis: nothing to sample.
+
+  std::vector<double> point(dim);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t pick = SampleDiscrete(rng, weights);
+    const Box& box = hist.tree.node(leaves[pick]).domain.box;
+    for (std::size_t j = 0; j < dim; ++j) {
+      point[j] = box.lo(j) + rng.NextDouble() * box.Width(j);
+    }
+    out.Add(point);
+  }
+  return out;
+}
+
+PointSet SampleSyntheticDataset(const SpatialHistogram& hist, Rng& rng) {
+  PRIVTREE_CHECK(!hist.tree.empty());
+  const double root = std::max(hist.count[hist.tree.root()], 0.0);
+  return SampleSyntheticPoints(
+      hist, static_cast<std::size_t>(std::llround(root)), rng);
+}
+
+}  // namespace privtree

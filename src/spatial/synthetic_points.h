@@ -1,0 +1,31 @@
+// Synthetic point generation from a private spatial histogram — the
+// "coarsen the input data and inject noise, then mine the modified data"
+// pattern the paper's introduction motivates (k-means [48], regression
+// [29]).
+//
+// Sampling is pure post-processing of the released synopsis, so the output
+// inherits its ε-DP guarantee.
+#ifndef PRIVTREE_SPATIAL_SYNTHETIC_POINTS_H_
+#define PRIVTREE_SPATIAL_SYNTHETIC_POINTS_H_
+
+#include <cstddef>
+
+#include "dp/rng.h"
+#include "spatial/point_set.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree {
+
+/// Draws `n` synthetic points from the histogram's density: leaves are
+/// selected with probability proportional to max(count, 0) and points are
+/// uniform inside the selected leaf's box.
+PointSet SampleSyntheticPoints(const SpatialHistogram& hist, std::size_t n,
+                               Rng& rng);
+
+/// Draws a synthetic dataset of noisy size: n is itself read from the
+/// histogram's root count (clamped at 0), so no extra budget is spent.
+PointSet SampleSyntheticDataset(const SpatialHistogram& hist, Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SPATIAL_SYNTHETIC_POINTS_H_

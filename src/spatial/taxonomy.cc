@@ -1,0 +1,146 @@
+#include "spatial/taxonomy.h"
+
+#include <deque>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+Taxonomy Taxonomy::Flat(std::int32_t values) {
+  PRIVTREE_CHECK_GE(values, 1);
+  Taxonomy taxonomy;
+  taxonomy.AddRoot("root");
+  for (std::int32_t v = 0; v < values; ++v) {
+    taxonomy.AddCategory(taxonomy.root(), "v" + std::to_string(v));
+  }
+  taxonomy.Finalize();
+  return taxonomy;
+}
+
+Taxonomy Taxonomy::Balanced(std::int32_t values, std::int32_t arity) {
+  PRIVTREE_CHECK_GE(values, 1);
+  PRIVTREE_CHECK_GE(arity, 2);
+  Taxonomy taxonomy;
+  taxonomy.AddRoot("root");
+  // Grow breadth-first until we have `values` leaves.
+  std::deque<NodeId> frontier = {taxonomy.root()};
+  std::int32_t leaves = 1;
+  while (leaves < values) {
+    const NodeId node = frontier.front();
+    frontier.pop_front();
+    const std::int32_t fanout =
+        std::min(arity, values - leaves + 1);
+    for (std::int32_t c = 0; c < fanout; ++c) {
+      std::string label = taxonomy.label(node);
+      label += '.';
+      label += std::to_string(c);
+      frontier.push_back(taxonomy.AddCategory(node, std::move(label)));
+    }
+    leaves += fanout - 1;
+  }
+  taxonomy.Finalize();
+  return taxonomy;
+}
+
+NodeId Taxonomy::AddRoot(std::string label) {
+  PRIVTREE_CHECK(nodes_.empty());
+  PRIVTREE_CHECK(!finalized_);
+  Node node;
+  node.label = std::move(label);
+  nodes_.push_back(std::move(node));
+  return 0;
+}
+
+NodeId Taxonomy::AddCategory(NodeId parent, std::string label) {
+  PRIVTREE_CHECK(!finalized_);
+  PRIVTREE_CHECK_GE(parent, 0);
+  PRIVTREE_CHECK_LT(static_cast<std::size_t>(parent), nodes_.size());
+  Node node;
+  node.label = std::move(label);
+  node.parent = parent;
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void Taxonomy::Finalize() {
+  PRIVTREE_CHECK(!nodes_.empty());
+  PRIVTREE_CHECK(!finalized_);
+  // DFS assigning dense values to leaves and covered ranges to all nodes.
+  leaf_of_value_.clear();
+  struct Frame {
+    NodeId node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack = {{0, 0}};
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    Node& node = nodes_[static_cast<std::size_t>(frame.node)];
+    if (frame.next_child == 0) {
+      node.leaf_begin = static_cast<std::int32_t>(leaf_of_value_.size());
+      if (node.children.empty()) {
+        node.value = static_cast<CategoryValue>(leaf_of_value_.size());
+        leaf_of_value_.push_back(frame.node);
+      }
+    }
+    if (frame.next_child < node.children.size()) {
+      const NodeId child = node.children[frame.next_child++];
+      stack.push_back({child, 0});
+      continue;
+    }
+    node.leaf_end = static_cast<std::int32_t>(leaf_of_value_.size());
+    stack.pop_back();
+  }
+  finalized_ = true;
+}
+
+const std::string& Taxonomy::label(NodeId id) const {
+  PRIVTREE_CHECK_GE(id, 0);
+  PRIVTREE_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)].label;
+}
+
+const std::vector<NodeId>& Taxonomy::children(NodeId id) const {
+  PRIVTREE_CHECK_GE(id, 0);
+  PRIVTREE_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)].children;
+}
+
+bool Taxonomy::is_leaf(NodeId id) const { return children(id).empty(); }
+
+std::int32_t Taxonomy::LeafValueCount() const {
+  PRIVTREE_CHECK(finalized_);
+  return static_cast<std::int32_t>(leaf_of_value_.size());
+}
+
+CategoryValue Taxonomy::ValueOf(NodeId leaf) const {
+  PRIVTREE_CHECK(finalized_);
+  PRIVTREE_CHECK(is_leaf(leaf));
+  return nodes_[static_cast<std::size_t>(leaf)].value;
+}
+
+NodeId Taxonomy::NodeOf(CategoryValue value) const {
+  PRIVTREE_CHECK(finalized_);
+  PRIVTREE_CHECK_GE(value, 0);
+  PRIVTREE_CHECK_LT(static_cast<std::size_t>(value), leaf_of_value_.size());
+  return leaf_of_value_[static_cast<std::size_t>(value)];
+}
+
+bool Taxonomy::Covers(NodeId node, CategoryValue value) const {
+  PRIVTREE_CHECK(finalized_);
+  PRIVTREE_CHECK_GE(node, 0);
+  PRIVTREE_CHECK_LT(static_cast<std::size_t>(node), nodes_.size());
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  return value >= n.leaf_begin && value < n.leaf_end;
+}
+
+std::int32_t Taxonomy::LeafCountOf(NodeId node) const {
+  PRIVTREE_CHECK(finalized_);
+  PRIVTREE_CHECK_GE(node, 0);
+  PRIVTREE_CHECK_LT(static_cast<std::size_t>(node), nodes_.size());
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  return n.leaf_end - n.leaf_begin;
+}
+
+}  // namespace privtree

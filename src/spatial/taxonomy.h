@@ -1,0 +1,87 @@
+// Taxonomies for categorical attributes (Section 3.5, first extension):
+// "we can still apply PrivTree ... by splitting each numeric dimension
+// according to a binary tree and each categorical dimension based on its
+// taxonomy."
+//
+// A Taxonomy is a rooted tree whose leaves are the attribute's values;
+// internal nodes are coarser categories (e.g. beverages → {hot, cold} →
+// {coffee, tea | soda, juice}).
+#ifndef PRIVTREE_SPATIAL_TAXONOMY_H_
+#define PRIVTREE_SPATIAL_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tree.h"
+
+namespace privtree {
+
+/// A categorical value, identified by its leaf index in the taxonomy
+/// (dense, in [0, LeafValueCount())).
+using CategoryValue = std::int32_t;
+
+/// A rooted category tree over a categorical attribute.
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  /// Builds a flat taxonomy: the root directly covers `values` leaves.
+  static Taxonomy Flat(std::int32_t values);
+
+  /// Builds a balanced b-ary taxonomy over `values` leaves (useful when no
+  /// domain taxonomy exists but hierarchical splitting is still wanted).
+  static Taxonomy Balanced(std::int32_t values, std::int32_t arity);
+
+  /// Creates the root node with a label; returns its id (0).
+  NodeId AddRoot(std::string label);
+
+  /// Adds a category under `parent`; returns the new node id.
+  NodeId AddCategory(NodeId parent, std::string label);
+
+  /// Finalizes the taxonomy: assigns each *leaf* node a dense
+  /// CategoryValue in DFS order.  Must be called after construction and
+  /// before value lookups.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  std::size_t size() const { return nodes_.size(); }
+  NodeId root() const { return 0; }
+
+  const std::string& label(NodeId id) const;
+  const std::vector<NodeId>& children(NodeId id) const;
+  bool is_leaf(NodeId id) const;
+
+  /// Number of leaf values.  Requires Finalize().
+  std::int32_t LeafValueCount() const;
+
+  /// The dense value of a leaf node.  Requires Finalize().
+  CategoryValue ValueOf(NodeId leaf) const;
+
+  /// The leaf node of a dense value.  Requires Finalize().
+  NodeId NodeOf(CategoryValue value) const;
+
+  /// Whether the category `node` covers the value (i.e. the value's leaf
+  /// is in `node`'s subtree).  Requires Finalize().
+  bool Covers(NodeId node, CategoryValue value) const;
+
+  /// Number of leaf values covered by `node`.  Requires Finalize().
+  std::int32_t LeafCountOf(NodeId node) const;
+
+ private:
+  struct Node {
+    std::string label;
+    NodeId parent = kInvalidNode;
+    std::vector<NodeId> children;
+    CategoryValue value = -1;        // Dense value for leaves.
+    std::int32_t leaf_begin = 0;     // Covered value range [begin, end).
+    std::int32_t leaf_end = 0;
+  };
+  std::vector<Node> nodes_;
+  std::vector<NodeId> leaf_of_value_;
+  bool finalized_ = false;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SPATIAL_TAXONOMY_H_

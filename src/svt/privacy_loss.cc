@@ -1,0 +1,123 @@
+#include "svt/privacy_loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+#include "svt/svt.h"
+
+namespace privtree {
+
+namespace {
+
+/// log Pr[Lap(λ) > x] and log Pr[Lap(λ) <= x], stable in both tails.
+double LogLaplaceSf(double x, double lambda) {
+  if (x >= 0.0) return std::log(0.5) - x / lambda;
+  return std::log1p(-0.5 * std::exp(x / lambda));
+}
+
+double LogLaplaceCdf(double x, double lambda) {
+  if (x < 0.0) return std::log(0.5) + x / lambda;
+  return std::log1p(-0.5 * std::exp(-x / lambda));
+}
+
+double LogLaplacePdf(double x, double lambda) {
+  return -std::log(2.0 * lambda) - std::abs(x) / lambda;
+}
+
+/// log ∫ exp(log_integrand(x)) dx over [lo, hi] by the composite midpoint
+/// rule in log space.
+template <typename F>
+double LogIntegrate(F log_integrand, double lo, double hi, int steps) {
+  PRIVTREE_CHECK_LT(lo, hi);
+  PRIVTREE_CHECK_GT(steps, 0);
+  const double dx = (hi - lo) / steps;
+  double max_log = -std::numeric_limits<double>::infinity();
+  std::vector<double> logs(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const double x = lo + (i + 0.5) * dx;
+    logs[static_cast<std::size_t>(i)] = log_integrand(x);
+    max_log = std::max(max_log, logs[static_cast<std::size_t>(i)]);
+  }
+  if (!std::isfinite(max_log)) return max_log;
+  double sum = 0.0;
+  for (double lg : logs) sum += std::exp(lg - max_log);
+  return max_log + std::log(sum) + std::log(dx);
+}
+
+}  // namespace
+
+double BinarySvtLossLemma51(std::int32_t k, double lambda) {
+  PRIVTREE_CHECK_GE(k, 2);
+  PRIVTREE_CHECK_EQ(k % 2, 0);
+  PRIVTREE_CHECK_GT(lambda, 0.0);
+  const double theta = 1.0;
+  const double half_k = static_cast<double>(k) / 2.0;
+  // q_a(D1) = 1, q_b(D1) = 1;  q_a(D3) = 0, q_b(D3) = 2.
+  const auto log_pr = [&](double qa, double qb) {
+    const auto log_integrand = [&](double x) {
+      return LogLaplacePdf(x - theta, lambda) +
+             half_k * LogLaplaceSf(x - qa, lambda) +
+             half_k * LogLaplaceCdf(x - qb, lambda);
+    };
+    // The threshold density is centered at θ = 1; ±60λ covers all mass.
+    return LogIntegrate(log_integrand, theta - 60.0 * lambda,
+                        theta + 60.0 * lambda, 200000);
+  };
+  return log_pr(1.0, 1.0) - log_pr(0.0, 2.0);
+}
+
+double BinarySvtLossLemma51MonteCarlo(std::int32_t k, double lambda,
+                                      std::size_t trials, Rng& rng) {
+  PRIVTREE_CHECK_GE(k, 2);
+  PRIVTREE_CHECK_EQ(k % 2, 0);
+  PRIVTREE_CHECK_GE(trials, 1u);
+  const double theta = 1.0;
+  const auto count_event = [&](double qa, double qb) {
+    std::vector<double> answers(static_cast<std::size_t>(k));
+    for (std::int32_t i = 0; i < k; ++i) {
+      answers[static_cast<std::size_t>(i)] = (i < k / 2) ? qa : qb;
+    }
+    std::size_t hits = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const std::vector<int> out = BinarySvt(answers, theta, lambda, rng);
+      bool match = true;
+      for (std::int32_t i = 0; i < k && match; ++i) {
+        match = out[static_cast<std::size_t>(i)] == ((i < k / 2) ? 1 : 0);
+      }
+      hits += match ? 1 : 0;
+    }
+    return hits;
+  };
+  const std::size_t hits1 = count_event(1.0, 1.0);
+  const std::size_t hits3 = count_event(0.0, 2.0);
+  PRIVTREE_CHECK_GT(hits1, 0u);
+  PRIVTREE_CHECK_GT(hits3, 0u);
+  return std::log(static_cast<double>(hits1)) -
+         std::log(static_cast<double>(hits3));
+}
+
+double VanillaSvtLossClaim2(std::int32_t k, double lambda) {
+  PRIVTREE_CHECK_GE(k, 2);
+  PRIVTREE_CHECK_GT(lambda, 0.0);
+  const double theta = 0.0;
+  // t = 1, so the query-noise scale equals λ.  E: ⊥ for the k−1 q_a
+  // queries, then the released value is exactly 1 for q_b (a density).
+  // q_a(D1) = 1, q_b(D1) = 1;  q_a(D3) = 2, q_b(D3) = 0.  The threshold
+  // must lie below the released value (x < 1).
+  const double km1 = static_cast<double>(k - 1);
+  const auto log_pr = [&](double qa, double qb) {
+    const auto log_integrand = [&](double x) {
+      return LogLaplacePdf(x - theta, lambda) +
+             km1 * LogLaplaceCdf(x - qa, lambda) +
+             LogLaplacePdf(1.0 - qb, lambda);
+    };
+    return LogIntegrate(log_integrand, -60.0 * lambda, 1.0, 200000);
+  };
+  return log_pr(1.0, 1.0) - log_pr(2.0, 0.0);
+}
+
+}  // namespace privtree

@@ -1,0 +1,40 @@
+// Privacy-loss evaluation of the SVT counterexamples (Lemma 5.1 and the
+// Appendix-A refutation of Claim 2).
+//
+// Both counterexamples fix an output event E and three datasets
+// D1, D2, D3 with (D1, D2) and (D2, D3) neighboring, and show that
+// ln(Pr[D1→E] / Pr[D3→E]) grows linearly in the number of queries k —
+// hence the algorithm cannot be ε-DP with a k-independent noise scale.
+// The probabilities are one-dimensional integrals over the noisy threshold
+// and are evaluated here by log-space quadrature; Monte-Carlo estimators
+// over the actual algorithm are provided as an independent check.
+#ifndef PRIVTREE_SVT_PRIVACY_LOSS_H_
+#define PRIVTREE_SVT_PRIVACY_LOSS_H_
+
+#include <cstdint>
+
+#include "dp/rng.h"
+
+namespace privtree {
+
+/// Lemma 5.1 counterexample for BinarySvt: D1 = {a,b}, D2 = {a,b,b},
+/// D3 = {b,b}; Q = k/2 copies of q_a then k/2 copies of q_b; θ = 1;
+/// E = (1,...,1,0,...,0).  Returns ln(Pr[D1→E]/Pr[D3→E]); the paper proves
+/// this exceeds k/(2λ), so ε-DP fails whenever λ <= k/(4ε).
+double BinarySvtLossLemma51(std::int32_t k, double lambda);
+
+/// Monte-Carlo estimate of the same log-ratio by running Algorithm 3
+/// `trials` times on each dataset.  Subject to sampling error; use k and λ
+/// for which Pr[E] is not astronomically small.
+double BinarySvtLossLemma51MonteCarlo(std::int32_t k, double lambda,
+                                      std::size_t trials, Rng& rng);
+
+/// Appendix-A counterexample for VanillaSvt (Claim 2): D1 = {a,b},
+/// D2 = {a,a,b}, D3 = {a,a}; Q = k−1 copies of q_a then q_b; θ = 0; t = 1;
+/// E = (⊥,...,⊥, output 1).  Returns ln(Pr[D1→E]/Pr[D3→E]) (a density
+/// ratio in the released value); the paper derives exactly k/λ.
+double VanillaSvtLossClaim2(std::int32_t k, double lambda);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SVT_PRIVACY_LOSS_H_

@@ -1,0 +1,85 @@
+#include "svt/svt.h"
+
+#include "dp/check.h"
+#include "dp/distributions.h"
+
+namespace privtree {
+
+std::vector<int> BinarySvt(const std::vector<double>& answers, double theta,
+                           double lambda, Rng& rng) {
+  PRIVTREE_CHECK_GT(lambda, 0.0);
+  const double noisy_theta = theta + SampleLaplace(rng, lambda);
+  std::vector<int> out;
+  out.reserve(answers.size());
+  for (double answer : answers) {
+    const double noisy = answer + SampleLaplace(rng, lambda);
+    out.push_back(noisy > noisy_theta ? 1 : 0);
+  }
+  return out;
+}
+
+std::vector<std::optional<double>> VanillaSvt(
+    const std::vector<double>& answers, double theta, double lambda,
+    std::int32_t t, Rng& rng) {
+  PRIVTREE_CHECK_GT(lambda, 0.0);
+  PRIVTREE_CHECK_GE(t, 1);
+  const double noisy_theta = theta + SampleLaplace(rng, lambda);
+  const double query_scale = static_cast<double>(t) * lambda;
+  std::vector<std::optional<double>> out;
+  std::int32_t released = 0;
+  for (double answer : answers) {
+    const double noisy = answer + SampleLaplace(rng, query_scale);
+    if (noisy > noisy_theta) {
+      out.push_back(noisy);
+      if (++released >= t) return out;
+    } else {
+      out.push_back(std::nullopt);
+    }
+  }
+  return out;
+}
+
+std::vector<int> ReducedSvt(const std::vector<double>& answers, double theta,
+                            double lambda, std::int32_t t, Rng& rng) {
+  PRIVTREE_CHECK_GT(lambda, 0.0);
+  PRIVTREE_CHECK_GE(t, 1);
+  const double scale = static_cast<double>(t) * lambda;
+  double noisy_theta = theta + SampleLaplace(rng, scale);
+  std::vector<int> out;
+  std::int32_t released = 0;
+  for (double answer : answers) {
+    const double noisy = answer + SampleLaplace(rng, scale);
+    if (noisy > noisy_theta) {
+      out.push_back(1);
+      // Line 7: re-draw the noisy threshold after each positive output.
+      noisy_theta = theta + SampleLaplace(rng, scale);
+      if (++released >= t) return out;
+    } else {
+      out.push_back(0);
+    }
+  }
+  return out;
+}
+
+std::vector<int> ImprovedSvt(const std::vector<double>& answers, double theta,
+                             double lambda, std::int32_t t, Rng& rng) {
+  PRIVTREE_CHECK_GT(lambda, 0.0);
+  PRIVTREE_CHECK_GE(t, 1);
+  // A single, less-noisy threshold draw (scale λ, not t·λ).
+  const double noisy_theta = theta + SampleLaplace(rng, lambda);
+  const double query_scale = static_cast<double>(t) * lambda;
+  std::vector<int> out;
+  std::int32_t released = 0;
+  for (double answer : answers) {
+    const double noisy = answer + SampleLaplace(rng, query_scale);
+    if (noisy > noisy_theta) {
+      out.push_back(1);
+      if (++released >= t) return out;
+    } else {
+      out.push_back(0);
+    }
+  }
+  return out;
+}
+
+}  // namespace privtree

@@ -1,0 +1,49 @@
+// The four sparse-vector-technique variants analyzed in Section 5 and
+// Appendix A.  All operate on a pre-evaluated sequence of counting-query
+// answers (each of sensitivity 1):
+//
+//   * BinarySvt    (Algorithm 3) — outputs 0/1 per query against a noisy
+//                    threshold.  Claim 1 (ε-DP with λ = 2/ε) is FALSE
+//                    (Lemma 5.1); the algorithm needs λ = Ω(k/ε).
+//   * VanillaSvt   (Algorithm 4) — outputs the noisy answer itself for
+//                    above-threshold queries, at most t of them.  Claim 2
+//                    (ε-DP with λ = 2/ε) is FALSE (Appendix A).
+//   * ReducedSvt   (Algorithm 5) — 0/1 outputs, threshold noise t·λ
+//                    re-drawn after every positive; ε-DP with λ >= 2/ε
+//                    (Dwork & Roth).
+//   * ImprovedSvt  (Algorithm 6) — the paper's improvement: a single
+//                    threshold draw of scale λ; ε-DP with λ >= 2/ε
+//                    (Lemma A.1) and more accurate than ReducedSvt.
+#ifndef PRIVTREE_SVT_SVT_H_
+#define PRIVTREE_SVT_SVT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+
+/// Algorithm 3.  Returns one 0/1 answer per query.
+std::vector<int> BinarySvt(const std::vector<double>& answers, double theta,
+                           double lambda, Rng& rng);
+
+/// Algorithm 4.  Returns, per processed query, either the released noisy
+/// answer or nullopt (⊥); processing stops after `t` releases, so the
+/// result may be shorter than `answers`.
+std::vector<std::optional<double>> VanillaSvt(
+    const std::vector<double>& answers, double theta, double lambda,
+    std::int32_t t, Rng& rng);
+
+/// Algorithm 5.  Returns 0/1 answers; stops after `t` ones.
+std::vector<int> ReducedSvt(const std::vector<double>& answers, double theta,
+                            double lambda, std::int32_t t, Rng& rng);
+
+/// Algorithm 6.  Returns 0/1 answers; stops after `t` ones.
+std::vector<int> ImprovedSvt(const std::vector<double>& answers, double theta,
+                             double lambda, std::int32_t t, Rng& rng);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_SVT_SVT_H_

@@ -1,0 +1,69 @@
+#include "core/privtree_params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace privtree {
+namespace {
+
+TEST(PrivTreeParamsTest, CorollaryOneQuadtree) {
+  // β = 4, ε = 1: λ = 7/3, δ = λ·ln4.
+  const auto params = PrivTreeParams::ForEpsilon(1.0, 4);
+  EXPECT_NEAR(params.lambda, 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(params.delta, params.lambda * std::log(4.0), 1e-12);
+  EXPECT_DOUBLE_EQ(params.theta, 0.0);
+  EXPECT_NEAR(params.GuaranteedEpsilon(), 1.0, 1e-12);
+}
+
+TEST(PrivTreeParamsTest, EpsilonScalesLambdaInversely) {
+  const auto loose = PrivTreeParams::ForEpsilon(0.1, 4);
+  const auto tight = PrivTreeParams::ForEpsilon(1.6, 4);
+  EXPECT_NEAR(loose.lambda / tight.lambda, 16.0, 1e-9);
+}
+
+TEST(PrivTreeParamsTest, SensitivityMultipliesLambda) {
+  // Theorem 4.1: the PST score has sensitivity l⊤.
+  const auto unit = PrivTreeParams::ForEpsilon(1.0, 8);
+  const auto scaled = PrivTreeParams::ForEpsilon(1.0, 8, 20.0);
+  EXPECT_NEAR(scaled.lambda, 20.0 * unit.lambda, 1e-9);
+  // δ/λ (= γ) is unchanged, so the guaranteed ε for a sensitivity-l⊤ score
+  // is still ε.
+  EXPECT_NEAR(scaled.delta / scaled.lambda, unit.delta / unit.lambda, 1e-12);
+}
+
+TEST(PrivTreeParamsTest, LargerFanoutNeedsLessNoise) {
+  // (2β−1)/(β−1) decreases toward 2 as β grows.
+  const auto b2 = PrivTreeParams::ForEpsilon(1.0, 2);
+  const auto b16 = PrivTreeParams::ForEpsilon(1.0, 16);
+  EXPECT_GT(b2.lambda, b16.lambda);
+  EXPECT_NEAR(b2.lambda, 3.0, 1e-12);    // (4−1)/(2−1) = 3.
+  EXPECT_NEAR(b16.lambda, 31.0 / 15.0, 1e-12);
+}
+
+TEST(PrivTreeParamsTest, GammaFormMatchesTheorem31) {
+  const double gamma = 0.7, epsilon = 0.4;
+  const auto params = PrivTreeParams::ForEpsilonGamma(epsilon, gamma);
+  EXPECT_NEAR(params.delta / params.lambda, gamma, 1e-12);
+  EXPECT_NEAR(params.GuaranteedEpsilon(), epsilon, 1e-12);
+}
+
+TEST(PrivTreeParamsTest, GammaLnBetaEqualsForEpsilon) {
+  const auto a = PrivTreeParams::ForEpsilon(0.8, 4);
+  const auto b = PrivTreeParams::ForEpsilonGamma(0.8, std::log(4.0));
+  EXPECT_NEAR(a.lambda, b.lambda, 1e-12);
+  EXPECT_NEAR(a.delta, b.delta, 1e-12);
+}
+
+TEST(PrivTreeParamsDeathTest, InvalidInputsAbort) {
+  EXPECT_DEATH(PrivTreeParams::ForEpsilon(0.0, 4), "PRIVTREE_CHECK");
+  EXPECT_DEATH(PrivTreeParams::ForEpsilon(1.0, 1), "PRIVTREE_CHECK");
+  EXPECT_DEATH(PrivTreeParams::ForEpsilon(1.0, 4, 0.0), "PRIVTREE_CHECK");
+  EXPECT_DEATH(PrivTreeParams::ForEpsilonGamma(1.0, 0.0), "PRIVTREE_CHECK");
+  PrivTreeParams bad;
+  bad.lambda = -1.0;
+  EXPECT_DEATH(bad.Validate(), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

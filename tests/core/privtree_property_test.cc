@@ -1,0 +1,146 @@
+// Property-based tests of PrivTree's theoretical guarantees, parameterized
+// over data shapes and privacy budgets:
+//   * Lemma 3.2:  E[|T|] <= 2·|T*| (output-size bound);
+//   * empirical ε-DP of the released tree shape on a worst-case-style pair
+//     of neighboring datasets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/privtree.h"
+#include "core/privtree_params.h"
+#include "dp/rng.h"
+#include "tests/core/test_policy.h"
+
+namespace privtree {
+namespace {
+
+struct SizeBoundCase {
+  const char* name;
+  std::size_t n;
+  double epsilon;
+  double cluster_center;  // < 0 means uniform data.
+};
+
+class Lemma32Test : public ::testing::TestWithParam<SizeBoundCase> {};
+
+TEST_P(Lemma32Test, ExpectedSizeAtMostTwiceNoiseless) {
+  const SizeBoundCase& config = GetParam();
+  Rng data_rng(1234);
+  std::vector<double> data(config.n);
+  for (auto& x : data) {
+    x = config.cluster_center >= 0.0
+            ? config.cluster_center + 1e-4 * data_rng.NextDouble()
+            : data_rng.NextDouble();
+  }
+  IntervalPolicy policy(std::move(data));
+  const auto params = PrivTreeParams::ForEpsilon(config.epsilon, 2);
+  const auto reference = RunNoiselessTree(policy, params.theta);
+  if (reference.size() <= 1) GTEST_SKIP() << "Lemma requires |T*| > 1";
+
+  Rng rng(777);
+  double total = 0.0;
+  constexpr int kReps = 60;
+  for (int rep = 0; rep < kReps; ++rep) {
+    total += static_cast<double>(RunPrivTree(policy, params, rng).size());
+  }
+  const double mean_size = total / kReps;
+  // 2·|T*| plus Monte-Carlo slack (15%).
+  EXPECT_LE(mean_size, 2.3 * static_cast<double>(reference.size()))
+      << config.name << ": mean " << mean_size << " vs |T*| "
+      << reference.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DataShapes, Lemma32Test,
+    ::testing::Values(
+        SizeBoundCase{"uniform_small_eps", 5000, 0.1, -1.0},
+        SizeBoundCase{"uniform_large_eps", 5000, 1.6, -1.0},
+        SizeBoundCase{"cluster_small_eps", 20000, 0.1, 0.37},
+        SizeBoundCase{"cluster_large_eps", 20000, 1.6, 0.37},
+        SizeBoundCase{"tiny_data", 50, 0.8, -1.0}),
+    [](const auto& info) { return info.param.name; });
+
+/// Empirical differential privacy of the released tree shape.  We run
+/// PrivTree on neighboring datasets D (n copies of one point) and D' (n+1
+/// copies) many times, histogram the released output (tree shapes, keyed by
+/// the sorted multiset of (depth, leaf) signatures), and check that
+/// frequency ratios stay within e^ε up to sampling slack.
+struct DpCase {
+  const char* name;
+  double epsilon;
+  std::size_t n;
+};
+
+class EmpiricalDpTest : public ::testing::TestWithParam<DpCase> {};
+
+std::string TreeSignature(const DecompTree<Interval>& tree) {
+  // Serialize structure: for each node in id order, its child count.
+  std::string signature;
+  signature.reserve(tree.size());
+  for (const auto& node : tree.nodes()) {
+    signature.push_back(static_cast<char>('0' + node.children.size()));
+  }
+  return signature;
+}
+
+TEST_P(EmpiricalDpTest, OutputFrequenciesWithinEpsilonBound) {
+  const DpCase& config = GetParam();
+  // The paths of both datasets coincide, so the released randomness is a
+  // function of the per-node noisy comparisons; small n keeps the output
+  // space small enough to histogram.
+  IntervalPolicy policy_d(std::vector<double>(config.n, 0.7), 8);
+  IntervalPolicy policy_dp(std::vector<double>(config.n + 1, 0.7), 8);
+  auto params = PrivTreeParams::ForEpsilon(config.epsilon, 2);
+
+  constexpr int kTrials = 40000;
+  Rng rng(2024);
+  std::map<std::string, int> counts_d, counts_dp;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    counts_d[TreeSignature(RunPrivTree(policy_d, params, rng))]++;
+    counts_dp[TreeSignature(RunPrivTree(policy_dp, params, rng))]++;
+  }
+  const double bound = std::exp(config.epsilon);
+  for (const auto& [signature, count] : counts_d) {
+    const auto it = counts_dp.find(signature);
+    const int other = it == counts_dp.end() ? 0 : it->second;
+    if (count < 400 || other < 400) continue;  // Too noisy to test.
+    const double ratio = static_cast<double>(count) / other;
+    EXPECT_LT(ratio, bound * 1.25) << config.name << " sig=" << signature;
+    EXPECT_GT(ratio, 1.0 / (bound * 1.25)) << config.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, EmpiricalDpTest,
+    ::testing::Values(DpCase{"eps_half_n3", 0.5, 3},
+                      DpCase{"eps_one_n3", 1.0, 3},
+                      DpCase{"eps_two_n8", 2.0, 8}),
+    [](const auto& info) { return info.param.name; });
+
+/// The split decision is scale-equivariant in the sense of Equation (8):
+/// raising θ and the floor together shifts with it.  Check the exposed
+/// behaviour: larger θ produces (stochastically) smaller trees.
+TEST(PrivTreeMonotonicityTest, LargerThetaShrinksTrees) {
+  Rng data_rng(5);
+  std::vector<double> data(20000);
+  for (auto& x : data) x = data_rng.NextDouble();
+  IntervalPolicy policy(std::move(data));
+  auto params_low = PrivTreeParams::ForEpsilon(0.8, 2);
+  auto params_high = params_low;
+  params_high.theta = 3000.0;
+
+  Rng rng(6);
+  double low_total = 0.0, high_total = 0.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    low_total += static_cast<double>(RunPrivTree(policy, params_low, rng).size());
+    high_total +=
+        static_cast<double>(RunPrivTree(policy, params_high, rng).size());
+  }
+  EXPECT_LT(high_total, low_total);
+}
+
+}  // namespace
+}  // namespace privtree

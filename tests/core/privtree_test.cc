@@ -1,0 +1,150 @@
+#include "core/privtree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/privtree_params.h"
+#include "dp/rng.h"
+#include "tests/core/test_policy.h"
+
+namespace privtree {
+namespace {
+
+std::vector<double> UniformData(std::size_t n, Rng& rng) {
+  std::vector<double> data(n);
+  for (auto& x : data) x = rng.NextDouble();
+  return data;
+}
+
+std::vector<double> ClusteredData(std::size_t n, Rng& rng) {
+  // All mass in [0.25, 0.2500001): forces deep splits along one path.
+  std::vector<double> data(n);
+  for (auto& x : data) x = 0.25 + 1e-7 * rng.NextDouble();
+  return data;
+}
+
+TEST(PrivTreeTest, EmptyDataYieldsTinyTree) {
+  Rng rng(1);
+  IntervalPolicy policy({});
+  const auto params = PrivTreeParams::ForEpsilon(1.0, 2);
+  double total_nodes = 0.0;
+  for (int rep = 0; rep < 30; ++rep) {
+    const auto tree = RunPrivTree(policy, params, rng);
+    total_nodes += static_cast<double>(tree.size());
+  }
+  // Lemma 3.2: E[|T|] <= 2·|T*| and |T*| = 1 here; allow generous slack
+  // (the lemma's bound technically requires |T*| > 1, a root-only reference
+  // tree can still split occasionally).
+  EXPECT_LT(total_nodes / 30.0, 6.0);
+}
+
+TEST(PrivTreeTest, DenseDataSplitsRoot) {
+  Rng rng(2);
+  IntervalPolicy policy(UniformData(100000, rng));
+  const auto params = PrivTreeParams::ForEpsilon(1.0, 2);
+  int split_count = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto tree = RunPrivTree(policy, params, rng);
+    if (tree.size() > 1) ++split_count;
+  }
+  // 100k points vs noise of scale 3: the root must essentially always
+  // split.
+  EXPECT_EQ(split_count, 20);
+}
+
+TEST(PrivTreeTest, AdaptsDepthToDataDensity) {
+  Rng rng(3);
+  IntervalPolicy sparse_policy(UniformData(64, rng));
+  IntervalPolicy dense_policy(ClusteredData(100000, rng));
+  const auto params = PrivTreeParams::ForEpsilon(1.0, 2);
+  double sparse_height = 0.0, dense_height = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    sparse_height += RunPrivTree(sparse_policy, params, rng).Height();
+    dense_height += RunPrivTree(dense_policy, params, rng).Height();
+  }
+  // The cluster of 100k identical-ish points sustains splits far beyond
+  // anything 64 uniform points can.
+  EXPECT_GT(dense_height / 10.0, sparse_height / 10.0 + 5.0);
+}
+
+TEST(PrivTreeTest, NoHeightLimitUnlikeSimpleTree) {
+  // The headline property: with a fixed constant λ, PrivTree grows as deep
+  // as the data requires.  A cluster of ~10^5 co-located points drives the
+  // decomposition >15 levels deep even though λ stays (2β−1)/(β−1)/ε.
+  Rng rng(4);
+  IntervalPolicy policy(ClusteredData(100000, rng));
+  const auto params = PrivTreeParams::ForEpsilon(1.0, 2);
+  const auto tree = RunPrivTree(policy, params, rng);
+  EXPECT_GT(tree.Height(), 15);
+}
+
+TEST(PrivTreeTest, RespectsStructuralMaxDepth) {
+  Rng rng(5);
+  IntervalPolicy policy(ClusteredData(100000, rng));
+  auto params = PrivTreeParams::ForEpsilon(1.0, 2);
+  params.max_depth = 3;
+  const auto tree = RunPrivTree(policy, params, rng);
+  EXPECT_LE(tree.Height(), 3);
+}
+
+TEST(PrivTreeTest, StatsAreConsistent) {
+  Rng rng(6);
+  IntervalPolicy policy(UniformData(10000, rng));
+  const auto params = PrivTreeParams::ForEpsilon(0.5, 2);
+  DecompositionStats stats;
+  const auto tree = RunPrivTree(policy, params, rng, &stats);
+  EXPECT_EQ(stats.nodes_visited, tree.size());
+  EXPECT_EQ(stats.nodes_split, tree.size() - tree.LeafCount());
+  EXPECT_EQ(stats.height, tree.Height());
+}
+
+TEST(PrivTreeTest, FanoutChildrenPerSplit) {
+  Rng rng(7);
+  IntervalPolicy policy(UniformData(10000, rng));
+  const auto params = PrivTreeParams::ForEpsilon(1.0, 2);
+  const auto tree = RunPrivTree(policy, params, rng);
+  for (const auto& node : tree.nodes()) {
+    if (!node.is_leaf()) {
+      EXPECT_EQ(node.children.size(), 2u);
+    }
+  }
+}
+
+TEST(PrivTreeTest, BiasFloorPreventsRunawayGrowth) {
+  // With a moderate dataset and tiny ε (huge λ, huge δ), the algorithm
+  // must still terminate quickly: the θ−δ floor caps every node's split
+  // probability at 1/(2β).
+  Rng rng(8);
+  IntervalPolicy policy(UniformData(1000, rng));
+  const auto params = PrivTreeParams::ForEpsilon(0.01, 2);
+  const auto tree = RunPrivTree(policy, params, rng);
+  EXPECT_LT(tree.size(), 2000u);
+}
+
+TEST(NoiselessTreeTest, MatchesThresholdSemantics) {
+  Rng rng(9);
+  // 10 points in [0, 0.5), none elsewhere; θ = 5.
+  std::vector<double> data(10, 0.3);
+  IntervalPolicy policy(data);
+  const auto tree = RunNoiselessTree(policy, 5.0);
+  // Root (10 > 5) splits; left child [0,0.5) has 10 > 5, splits; right has
+  // 0.  The chain continues while the cluster stays together: [0.25,0.5)
+  // keeps all 10 points... 0.3 ∈ [0.25,0.5) etc.
+  EXPECT_GT(tree.size(), 3u);
+  for (const auto& node : tree.nodes()) {
+    if (!node.is_leaf()) {
+      EXPECT_GT(policy.Score(node.domain), 5.0);
+    }
+  }
+}
+
+TEST(NoiselessTreeTest, RootOnlyWhenBelowThreshold) {
+  IntervalPolicy policy(std::vector<double>(3, 0.5));
+  const auto tree = RunNoiselessTree(policy, 5.0);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+}  // namespace
+}  // namespace privtree

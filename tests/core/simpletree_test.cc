@@ -1,0 +1,82 @@
+#include "core/simpletree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/rng.h"
+#include "tests/core/test_policy.h"
+
+namespace privtree {
+namespace {
+
+std::vector<double> UniformData(std::size_t n, Rng& rng) {
+  std::vector<double> data(n);
+  for (auto& x : data) x = rng.NextDouble();
+  return data;
+}
+
+TEST(SimpleTreeParamsTest, LambdaIsHeightOverEpsilon) {
+  const auto params = SimpleTreeParams::ForEpsilon(0.5, 6);
+  EXPECT_DOUBLE_EQ(params.lambda, 12.0);
+  EXPECT_EQ(params.height, 6);
+}
+
+TEST(SimpleTreeParamsTest, SensitivityMultiplies) {
+  const auto params = SimpleTreeParams::ForEpsilon(1.0, 4, 10.0);
+  EXPECT_DOUBLE_EQ(params.lambda, 40.0);
+}
+
+TEST(SimpleTreeTest, HeightIsHardCapped) {
+  Rng rng(1);
+  IntervalPolicy policy(UniformData(1000000, rng));
+  const auto params = SimpleTreeParams::ForEpsilon(10.0, 4);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto result = RunSimpleTree(policy, params, rng);
+    // depth < h−1 when splitting ⇒ max node depth is h−1 = 3.
+    EXPECT_LE(result.tree.Height(), 3);
+  }
+}
+
+TEST(SimpleTreeTest, ReleasesNoisyScorePerNode) {
+  Rng rng(2);
+  IntervalPolicy policy(UniformData(10000, rng));
+  const auto params = SimpleTreeParams::ForEpsilon(1.0, 3);
+  const auto result = RunSimpleTree(policy, params, rng);
+  ASSERT_EQ(result.noisy_score.size(), result.tree.size());
+  // The root's noisy count should be near 10000 (noise scale is only 3).
+  EXPECT_NEAR(result.noisy_score[0], 10000.0, 100.0);
+}
+
+TEST(SimpleTreeTest, DeepTreesRequireProportionallyMoreNoise) {
+  // The dilemma of Section 3.1 made concrete: at fixed ε, raising h blows
+  // up the noise scale.
+  const auto h4 = SimpleTreeParams::ForEpsilon(0.5, 4);
+  const auto h12 = SimpleTreeParams::ForEpsilon(0.5, 12);
+  EXPECT_DOUBLE_EQ(h12.lambda / h4.lambda, 3.0);
+}
+
+TEST(SimpleTreeTest, EmptyDataRarelySplits) {
+  Rng rng(3);
+  IntervalPolicy policy({});
+  auto params = SimpleTreeParams::ForEpsilon(1.0, 4);
+  params.theta = 10.0;  // Noise scale 4, threshold 10.
+  int splits = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto result = RunSimpleTree(policy, params, rng);
+    if (result.tree.size() > 1) ++splits;
+  }
+  // P(Lap(4) > 10) ≈ 4%; the root alone decides.
+  EXPECT_LT(splits, 10);
+}
+
+TEST(SimpleTreeTest, HeightOneNeverSplits) {
+  Rng rng(4);
+  IntervalPolicy policy(UniformData(100000, rng));
+  const auto params = SimpleTreeParams::ForEpsilon(1.0, 1);
+  const auto result = RunSimpleTree(policy, params, rng);
+  EXPECT_EQ(result.tree.size(), 1u);
+}
+
+}  // namespace
+}  // namespace privtree

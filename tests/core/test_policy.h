@@ -1,0 +1,53 @@
+// A minimal 1-dimensional decomposition policy used by the core algorithm
+// tests: the domain is the interval [0,1), split by bisection (fanout 2),
+// and the score is the number of data values inside the interval.
+#ifndef PRIVTREE_TESTS_CORE_TEST_POLICY_H_
+#define PRIVTREE_TESTS_CORE_TEST_POLICY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace privtree {
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+class IntervalPolicy {
+ public:
+  using Domain = Interval;
+
+  explicit IntervalPolicy(std::vector<double> data, int max_levels = 40)
+      : data_(std::move(data)), max_levels_(max_levels) {
+    std::sort(data_.begin(), data_.end());
+  }
+
+  Domain Root() const { return Interval{0.0, 1.0}; }
+
+  bool CanSplit(const Domain& d) const {
+    return (d.hi - d.lo) > std::ldexp(1.0, -max_levels_);
+  }
+
+  std::vector<Domain> Split(const Domain& d) const {
+    const double mid = 0.5 * (d.lo + d.hi);
+    return {Interval{d.lo, mid}, Interval{mid, d.hi}};
+  }
+
+  double Score(const Domain& d) const {
+    const auto begin = std::lower_bound(data_.begin(), data_.end(), d.lo);
+    const auto end = std::lower_bound(data_.begin(), data_.end(), d.hi);
+    return static_cast<double>(end - begin);
+  }
+
+  int fanout() const { return 2; }
+
+ private:
+  std::vector<double> data_;
+  int max_levels_;
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_TESTS_CORE_TEST_POLICY_H_

@@ -1,0 +1,84 @@
+#include "core/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace privtree {
+namespace {
+
+TEST(DecompTreeTest, RootOnly) {
+  DecompTree<int> tree;
+  EXPECT_TRUE(tree.empty());
+  const NodeId root = tree.AddRoot(7);
+  EXPECT_EQ(root, 0);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.node(root).domain, 7);
+  EXPECT_EQ(tree.node(root).parent, kInvalidNode);
+  EXPECT_EQ(tree.node(root).depth, 0);
+  EXPECT_TRUE(tree.node(root).is_leaf());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_EQ(tree.LeafCount(), 1u);
+}
+
+TEST(DecompTreeTest, ChildrenTrackDepthAndParent) {
+  DecompTree<std::string> tree;
+  tree.AddRoot("root");
+  const NodeId a = tree.AddChild(0, "a");
+  const NodeId b = tree.AddChild(0, "b");
+  const NodeId aa = tree.AddChild(a, "aa");
+  EXPECT_EQ(tree.node(a).depth, 1);
+  EXPECT_EQ(tree.node(aa).depth, 2);
+  EXPECT_EQ(tree.node(aa).parent, a);
+  EXPECT_FALSE(tree.node(0).is_leaf());
+  EXPECT_FALSE(tree.node(a).is_leaf());
+  EXPECT_TRUE(tree.node(b).is_leaf());
+  EXPECT_TRUE(tree.node(aa).is_leaf());
+  EXPECT_EQ(tree.Height(), 2);
+}
+
+TEST(DecompTreeTest, LeafIdsAreSortedAndComplete) {
+  DecompTree<int> tree;
+  tree.AddRoot(0);
+  tree.AddChild(0, 1);
+  tree.AddChild(0, 2);
+  tree.AddChild(1, 3);
+  tree.AddChild(1, 4);
+  const auto leaves = tree.LeafIds();
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(leaves[0], 2);
+  EXPECT_EQ(leaves[1], 3);
+  EXPECT_EQ(leaves[2], 4);
+  EXPECT_EQ(tree.LeafCount(), 3u);
+}
+
+TEST(DecompTreeTest, ChildIdsAlwaysExceedParentIds) {
+  // The count-aggregation passes rely on this ordering invariant.
+  DecompTree<int> tree;
+  tree.AddRoot(0);
+  tree.AddChild(0, 1);
+  tree.AddChild(1, 2);
+  tree.AddChild(0, 3);
+  tree.AddChild(2, 4);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    for (NodeId child : tree.node(static_cast<NodeId>(i)).children) {
+      EXPECT_GT(child, static_cast<NodeId>(i));
+    }
+  }
+}
+
+TEST(DecompTreeDeathTest, DoubleRootAborts) {
+  DecompTree<int> tree;
+  tree.AddRoot(1);
+  EXPECT_DEATH(tree.AddRoot(2), "PRIVTREE_CHECK");
+}
+
+TEST(DecompTreeDeathTest, BadParentAborts) {
+  DecompTree<int> tree;
+  tree.AddRoot(1);
+  EXPECT_DEATH(tree.AddChild(5, 2), "PRIVTREE_CHECK");
+  EXPECT_DEATH(tree.node(9), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,113 @@
+#include "data/seq_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+class SeqGenTest : public ::testing::Test {
+ protected:
+  Rng rng_{2026};
+};
+
+TEST_F(SeqGenTest, AlphabetSizesMatchTable3) {
+  EXPECT_EQ(GenerateMoocLike(10, rng_).alphabet_size(), 7u);
+  EXPECT_EQ(GenerateMsnbcLike(10, rng_).alphabet_size(), 17u);
+}
+
+TEST_F(SeqGenTest, CardinalityIsExact) {
+  EXPECT_EQ(GenerateMoocLike(5000, rng_).size(), 5000u);
+  EXPECT_EQ(GenerateMsnbcLike(5000, rng_).size(), 5000u);
+}
+
+TEST_F(SeqGenTest, MoocAverageLengthNearPaper) {
+  // Table 3: 13.46.
+  const SequenceDataset data = GenerateMoocLike(30000, rng_);
+  EXPECT_NEAR(data.AverageLength(), 13.46, 2.5);
+}
+
+TEST_F(SeqGenTest, MsnbcAverageLengthNearPaper) {
+  // Table 3: 4.75.
+  const SequenceDataset data = GenerateMsnbcLike(30000, rng_);
+  EXPECT_NEAR(data.AverageLength(), 4.75, 0.8);
+}
+
+TEST_F(SeqGenTest, MoocHasHigherOrderStructure) {
+  // The second-order generator makes P(next | prev2, prev1) much sharper
+  // than P(next | prev1): measure via empirical conditional entropy.
+  const SequenceDataset data = GenerateMoocLike(30000, rng_);
+  constexpr std::size_t kA = 7;
+  std::vector<double> first(kA * kA, 0.0);
+  std::vector<double> second(kA * kA * kA, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto s = data.sequence(i);
+    for (std::size_t j = 2; j < s.size(); ++j) {
+      first[s[j - 1] * kA + s[j]] += 1.0;
+      second[(s[j - 2] * kA + s[j - 1]) * kA + s[j]] += 1.0;
+    }
+  }
+  const auto conditional_entropy = [&](const std::vector<double>& table,
+                                       std::size_t contexts) {
+    double total_mass = 0.0, entropy = 0.0;
+    for (std::size_t c = 0; c < contexts; ++c) {
+      double mass = 0.0;
+      for (std::size_t x = 0; x < kA; ++x) mass += table[c * kA + x];
+      if (mass <= 0.0) continue;
+      total_mass += mass;
+      for (std::size_t x = 0; x < kA; ++x) {
+        const double p = table[c * kA + x] / mass;
+        if (p > 0.0) entropy -= mass * p * std::log(p);
+      }
+    }
+    return entropy / total_mass;
+  };
+  const double h1 = conditional_entropy(first, kA);
+  const double h2 = conditional_entropy(second, kA * kA);
+  EXPECT_LT(h2, h1 - 0.05);
+}
+
+TEST_F(SeqGenTest, MsnbcPopularityIsSkewed) {
+  const SequenceDataset data = GenerateMsnbcLike(30000, rng_);
+  std::vector<double> counts(17, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (Symbol x : data.sequence(i)) {
+      counts[x] += 1.0;
+      total += 1.0;
+    }
+  }
+  // Category 0 must dominate category 16 heavily (Zipf).
+  EXPECT_GT(counts[0], 5.0 * counts[16]);
+  // And no category is empty.
+  for (double c : counts) EXPECT_GT(c, 0.0);
+}
+
+TEST_F(SeqGenTest, TruncationAtPaperLTopTouchesFewSequences) {
+  // Table 3: l⊤ chosen near the 95% quantile — only ~5% truncated.
+  const SequenceDataset mooc = GenerateMoocLike(20000, rng_);
+  std::size_t over = 0;
+  for (std::size_t i = 0; i < mooc.size(); ++i) {
+    if (mooc.LengthWithEnd(i) > kMoocLTop) ++over;
+  }
+  EXPECT_LT(static_cast<double>(over) / 20000.0, 0.10);
+}
+
+TEST_F(SeqGenTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const SequenceDataset x = GenerateMsnbcLike(500, a);
+  const SequenceDataset y = GenerateMsnbcLike(500, b);
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(x.length(i), y.length(i));
+    for (std::size_t j = 0; j < x.length(i); ++j) {
+      EXPECT_EQ(x.sequence(i)[j], y.sequence(i)[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privtree

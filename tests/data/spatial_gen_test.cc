@@ -1,0 +1,115 @@
+#include "data/spatial_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+#include "spatial/box.h"
+
+namespace privtree {
+namespace {
+
+/// A crude skewness proxy: the fraction of points inside the densest cell
+/// of a 16^d grid.  Uniform data gives ≈ 16^-d; skewed data much more.
+double PeakMassFraction(const PointSet& points, int cells_per_dim) {
+  std::vector<std::size_t> counts;
+  const std::size_t d = points.dim();
+  std::size_t total_cells = 1;
+  for (std::size_t j = 0; j < d; ++j) {
+    total_cells *= static_cast<std::size_t>(cells_per_dim);
+  }
+  counts.assign(total_cells, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto p = points.point(i);
+    std::size_t flat = 0;
+    for (std::size_t j = 0; j < d; ++j) {
+      auto cell = static_cast<std::size_t>(p[j] * cells_per_dim);
+      cell = std::min<std::size_t>(cell, cells_per_dim - 1);
+      flat = flat * static_cast<std::size_t>(cells_per_dim) + cell;
+    }
+    ++counts[flat];
+  }
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+  return static_cast<double>(peak) / static_cast<double>(points.size());
+}
+
+class SpatialGenTest : public ::testing::Test {
+ protected:
+  Rng rng_{2026};
+};
+
+TEST_F(SpatialGenTest, AllGeneratorsStayInUnitCube) {
+  const PointSet road = GenerateRoadLike(5000, rng_);
+  const PointSet gowalla = GenerateGowallaLike(5000, rng_);
+  const PointSet nyc = GenerateNycLike(5000, rng_);
+  const PointSet beijing = GenerateBeijingLike(5000, rng_);
+  for (const PointSet* points : {&road, &gowalla, &nyc, &beijing}) {
+    const Box cube = Box::UnitCube(points->dim());
+    for (std::size_t i = 0; i < points->size(); ++i) {
+      ASSERT_TRUE(cube.Contains(points->point(i)));
+    }
+  }
+}
+
+TEST_F(SpatialGenTest, DimensionsMatchTable2) {
+  EXPECT_EQ(GenerateRoadLike(10, rng_).dim(), 2u);
+  EXPECT_EQ(GenerateGowallaLike(10, rng_).dim(), 2u);
+  EXPECT_EQ(GenerateNycLike(10, rng_).dim(), 4u);
+  EXPECT_EQ(GenerateBeijingLike(10, rng_).dim(), 4u);
+}
+
+TEST_F(SpatialGenTest, RequestedCardinalityIsExact) {
+  EXPECT_EQ(GenerateRoadLike(12345, rng_).size(), 12345u);
+  EXPECT_EQ(GenerateNycLike(777, rng_).size(), 777u);
+}
+
+TEST_F(SpatialGenTest, RoadIsMoreSkewedThanGowalla) {
+  // The core requirement of the substitution (DESIGN.md §4): road ≫
+  // Gowalla in skewness, mirroring Figure 4.
+  const PointSet road = GenerateRoadLike(60000, rng_);
+  const PointSet gowalla = GenerateGowallaLike(60000, rng_);
+  EXPECT_GT(PeakMassFraction(road, 16), 1.5 * PeakMassFraction(gowalla, 16));
+}
+
+TEST_F(SpatialGenTest, NycIsMoreSkewedThanBeijing) {
+  const PointSet nyc = GenerateNycLike(60000, rng_);
+  const PointSet beijing = GenerateBeijingLike(60000, rng_);
+  EXPECT_GT(PeakMassFraction(nyc, 8), 2.0 * PeakMassFraction(beijing, 8));
+}
+
+TEST_F(SpatialGenTest, AllDatasetsAreFarFromUniform) {
+  const double uniform_peak_2d = 1.0 / (16.0 * 16.0);
+  const PointSet road = GenerateRoadLike(60000, rng_);
+  EXPECT_GT(PeakMassFraction(road, 16), 10.0 * uniform_peak_2d);
+  const PointSet gowalla = GenerateGowallaLike(60000, rng_);
+  EXPECT_GT(PeakMassFraction(gowalla, 16), 5.0 * uniform_peak_2d);
+}
+
+TEST_F(SpatialGenTest, NycDropoffCorrelatesWithPickup) {
+  const PointSet nyc = GenerateNycLike(20000, rng_);
+  double total_displacement = 0.0;
+  for (std::size_t i = 0; i < nyc.size(); ++i) {
+    const auto p = nyc.point(i);
+    total_displacement += std::abs(p[2] - p[0]) + std::abs(p[3] - p[1]);
+  }
+  // Independent uniform coordinates would give E|Δ| = 2/3 total; taxi
+  // trips are short.
+  EXPECT_LT(total_displacement / static_cast<double>(nyc.size()), 0.2);
+}
+
+TEST_F(SpatialGenTest, GenerationIsDeterministicGivenSeed) {
+  Rng a(42), b(42);
+  const PointSet x = GenerateRoadLike(1000, a);
+  const PointSet y = GenerateRoadLike(1000, b);
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x.point(i)[0], y.point(i)[0]);
+    EXPECT_DOUBLE_EQ(x.point(i)[1], y.point(i)[1]);
+  }
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,64 @@
+#include "dp/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace privtree {
+namespace {
+
+TEST(BudgetTest, TracksSpending) {
+  PrivacyBudget budget(1.0);
+  EXPECT_DOUBLE_EQ(budget.total(), 1.0);
+  EXPECT_DOUBLE_EQ(budget.remaining(), 1.0);
+  budget.Spend(0.3);
+  EXPECT_DOUBLE_EQ(budget.spent(), 0.3);
+  EXPECT_NEAR(budget.remaining(), 0.7, 1e-12);
+}
+
+TEST(BudgetTest, SpendFractionReturnsAmount) {
+  PrivacyBudget budget(2.0);
+  EXPECT_DOUBLE_EQ(budget.SpendFraction(0.25), 0.5);
+  EXPECT_NEAR(budget.remaining(), 1.5, 1e-12);
+}
+
+TEST(BudgetTest, SpendRemainingDrains) {
+  PrivacyBudget budget(1.0);
+  budget.Spend(0.4);
+  const double rest = budget.SpendRemaining();
+  EXPECT_NEAR(rest, 0.6, 1e-12);
+  EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+}
+
+TEST(BudgetTest, HalfPlusHalfIsExactlyFine) {
+  // The paper's ε/2 + ε/2 split must not trip the over-spend check even
+  // with floating-point round-off.
+  PrivacyBudget budget(0.1);
+  budget.SpendFraction(0.5);
+  budget.SpendFraction(0.5);
+  EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+}
+
+TEST(BudgetTest, ManySmallFractionsSumToTotal) {
+  PrivacyBudget budget(1.6);
+  for (int i = 0; i < 10; ++i) budget.SpendFraction(0.1);
+  EXPECT_NEAR(budget.spent(), 1.6, 1e-9);
+}
+
+TEST(BudgetDeathTest, OverspendAborts) {
+  PrivacyBudget budget(1.0);
+  budget.Spend(0.9);
+  EXPECT_DEATH(budget.Spend(0.2), "PRIVTREE_CHECK");
+}
+
+TEST(BudgetDeathTest, NonPositiveTotalAborts) {
+  EXPECT_DEATH(PrivacyBudget(0.0), "PRIVTREE_CHECK");
+  EXPECT_DEATH(PrivacyBudget(-1.0), "PRIVTREE_CHECK");
+}
+
+TEST(BudgetDeathTest, NonPositiveSpendAborts) {
+  PrivacyBudget budget(1.0);
+  EXPECT_DEATH(budget.Spend(0.0), "PRIVTREE_CHECK");
+  EXPECT_DEATH(budget.SpendFraction(1.5), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

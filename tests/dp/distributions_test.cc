@@ -1,0 +1,169 @@
+#include "dp/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+TEST(LaplaceTest, PdfIntegratesToOne) {
+  const double lambda = 1.7;
+  double integral = 0.0;
+  const double dx = 0.001;
+  for (double x = -40.0; x < 40.0; x += dx) {
+    integral += LaplacePdf(x, lambda) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(LaplaceTest, CdfMatchesPdfIntegral) {
+  const double lambda = 0.8;
+  double integral = 0.0;
+  const double dx = 0.0005;
+  for (double x = -30.0; x < 1.3; x += dx) {
+    integral += LaplacePdf(x + dx / 2, lambda) * dx;
+  }
+  EXPECT_NEAR(integral, LaplaceCdf(1.3, lambda), 1e-4);
+}
+
+TEST(LaplaceTest, SfComplementsCdf) {
+  for (double x : {-5.0, -0.3, 0.0, 0.3, 5.0}) {
+    EXPECT_NEAR(LaplaceCdf(x, 2.0) + LaplaceSf(x, 2.0), 1.0, 1e-12);
+  }
+}
+
+TEST(LaplaceTest, SfIsStableInFarTail) {
+  // 1 - CDF would underflow to 0 long before this.
+  const double sf = LaplaceSf(500.0, 1.0);
+  EXPECT_GT(sf, 0.0);
+  EXPECT_NEAR(std::log(sf), std::log(0.5) - 500.0, 1e-9);
+}
+
+TEST(LaplaceTest, SampleMeanAndMad) {
+  Rng rng(11);
+  const double lambda = 2.5;
+  double total = 0.0, abs_total = 0.0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = SampleLaplace(rng, lambda);
+    total += x;
+    abs_total += std::abs(x);
+  }
+  EXPECT_NEAR(total / kSamples, 0.0, 0.03);
+  // E|Lap(λ)| = λ.
+  EXPECT_NEAR(abs_total / kSamples, lambda, 0.03);
+}
+
+TEST(LaplaceTest, SampleTailMatchesSf) {
+  Rng rng(12);
+  const double lambda = 1.0, threshold = 2.0;
+  int above = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (SampleLaplace(rng, lambda) > threshold) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / kSamples,
+              LaplaceSf(threshold, lambda), 0.003);
+}
+
+TEST(ExponentialTest, SampleMeanIsInverseRate) {
+  Rng rng(13);
+  const double rate = 3.0;
+  double total = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = SampleExponential(rng, rate);
+    EXPECT_GE(x, 0.0);
+    total += x;
+  }
+  EXPECT_NEAR(total / kSamples, 1.0 / rate, 0.01);
+}
+
+TEST(GeometricTest, MeanMatches) {
+  Rng rng(14);
+  const double p = 0.3;
+  double total = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    total += static_cast<double>(SampleGeometric(rng, p));
+  }
+  // Mean of the {0,1,...} geometric is (1-p)/p.
+  EXPECT_NEAR(total / kSamples, (1.0 - p) / p, 0.03);
+}
+
+TEST(GeometricTest, PEqualsOneIsAlwaysZero) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SampleGeometric(rng, 1.0), 0u);
+}
+
+TEST(NormalTest, MeanAndVariance) {
+  Rng rng(16);
+  const double mean = 1.5, stddev = 2.0;
+  double total = 0.0, total_sq = 0.0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = SampleNormal(rng, mean, stddev);
+    total += x;
+    total_sq += x * x;
+  }
+  const double sample_mean = total / kSamples;
+  EXPECT_NEAR(sample_mean, mean, 0.02);
+  EXPECT_NEAR(total_sq / kSamples - sample_mean * sample_mean,
+              stddev * stddev, 0.1);
+}
+
+TEST(DiscreteTest, FollowsWeights) {
+  Rng rng(17);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(weights.size(), 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[SampleDiscrete(rng, weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kSamples), 0.6, 0.01);
+}
+
+TEST(DiscreteLogTest, MatchesLinearVersion) {
+  Rng rng(18);
+  // exp(log weights) = {1, e, e^2}; probabilities ∝ those.
+  const std::vector<double> log_weights = {0.0, 1.0, 2.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[SampleDiscreteLog(rng, log_weights)];
+  }
+  const double z = 1.0 + std::exp(1.0) + std::exp(2.0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 1.0 / z, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kSamples), std::exp(2.0) / z,
+              0.01);
+}
+
+TEST(DiscreteLogTest, HandlesHugeMagnitudes) {
+  Rng rng(19);
+  // Without max-subtraction these would overflow/underflow.
+  const std::vector<double> log_weights = {5000.0, 5001.0, -5000.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[SampleDiscreteLog(rng, log_weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  // P(index 1) = e/(1+e) ≈ 0.731.
+  EXPECT_NEAR(counts[1] / 20000.0, 0.731, 0.02);
+}
+
+TEST(DistributionsDeathTest, InvalidArgumentsAbort) {
+  Rng rng(1);
+  EXPECT_DEATH(SampleLaplace(rng, 0.0), "PRIVTREE_CHECK");
+  EXPECT_DEATH(SampleExponential(rng, -1.0), "PRIVTREE_CHECK");
+  EXPECT_DEATH(SampleGeometric(rng, 0.0), "PRIVTREE_CHECK");
+  EXPECT_DEATH(SampleDiscrete(rng, {}), "PRIVTREE_CHECK");
+  EXPECT_DEATH(SampleDiscrete(rng, {0.0, 0.0}), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

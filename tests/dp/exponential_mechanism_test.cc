@@ -1,0 +1,82 @@
+#include "dp/exponential_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+TEST(ExponentialMechanismTest, PrefersHighQuality) {
+  Rng rng(1);
+  const std::vector<double> qualities = {0.0, 10.0, 0.0};
+  int wins = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (ExponentialMechanismSelect(qualities, 2.0, 1.0, rng) == 1) ++wins;
+  }
+  EXPECT_GT(wins, 1950);
+}
+
+TEST(ExponentialMechanismTest, SelectionProbabilitiesMatchTheory) {
+  Rng rng(2);
+  const std::vector<double> qualities = {0.0, 1.0};
+  const double epsilon = 2.0, sensitivity = 1.0;
+  // P(1)/P(0) = exp(ε·Δu/(2S)) = e.
+  int ones = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    ones += ExponentialMechanismSelect(qualities, epsilon, sensitivity, rng)
+                == 1;
+  }
+  const double expected = std::exp(1.0) / (1.0 + std::exp(1.0));
+  EXPECT_NEAR(static_cast<double>(ones) / kSamples, expected, 0.005);
+}
+
+TEST(ExponentialMechanismTest, LowEpsilonIsNearUniform) {
+  Rng rng(3);
+  const std::vector<double> qualities = {0.0, 5.0};
+  int ones = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ones += ExponentialMechanismSelect(qualities, 1e-6, 1.0, rng) == 1;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kSamples, 0.5, 0.01);
+}
+
+TEST(ExponentialMechanismTest, SensitivityScalesSelectivity) {
+  Rng rng(4);
+  const std::vector<double> qualities = {0.0, 10.0};
+  // With S = 10, the gap collapses to exp(ε·10/(2·10)) = e^(ε/2).
+  int ones = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    ones += ExponentialMechanismSelect(qualities, 1.0, 10.0, rng) == 1;
+  }
+  const double expected = std::exp(0.5) / (1.0 + std::exp(0.5));
+  EXPECT_NEAR(static_cast<double>(ones) / kSamples, expected, 0.005);
+}
+
+TEST(ExponentialMechanismTest, ExtremeQualitiesAreStable) {
+  Rng rng(5);
+  const std::vector<double> qualities = {1e6, 1e6 + 1.0};
+  // Must not overflow; relative preference still e^(ε/2)·... finite.
+  const std::size_t selected =
+      ExponentialMechanismSelect(qualities, 1.0, 1.0, rng);
+  EXPECT_LT(selected, 2u);
+}
+
+TEST(ExponentialMechanismDeathTest, InvalidInputsAbort) {
+  Rng rng(6);
+  EXPECT_DEATH(ExponentialMechanismSelect({}, 1.0, 1.0, rng),
+               "PRIVTREE_CHECK");
+  EXPECT_DEATH(ExponentialMechanismSelect({1.0}, 0.0, 1.0, rng),
+               "PRIVTREE_CHECK");
+  EXPECT_DEATH(ExponentialMechanismSelect({1.0}, 1.0, 0.0, rng),
+               "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

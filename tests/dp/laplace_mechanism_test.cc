@@ -1,0 +1,80 @@
+#include "dp/laplace_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+TEST(LaplaceMechanismTest, ScaleIsSensitivityOverEpsilon) {
+  LaplaceMechanism mech(0.5, 3.0);
+  EXPECT_DOUBLE_EQ(mech.scale(), 6.0);
+  EXPECT_DOUBLE_EQ(mech.epsilon(), 0.5);
+  EXPECT_DOUBLE_EQ(mech.sensitivity(), 3.0);
+}
+
+TEST(LaplaceMechanismTest, NoiseIsUnbiased) {
+  LaplaceMechanism mech(1.0);
+  Rng rng(7);
+  double total = 0.0;
+  constexpr int kSamples = 300000;
+  for (int i = 0; i < kSamples; ++i) total += mech.AddNoise(10.0, rng);
+  EXPECT_NEAR(total / kSamples, 10.0, 0.02);
+}
+
+TEST(LaplaceMechanismTest, NoiseMagnitudeMatchesScale) {
+  LaplaceMechanism mech(0.25);  // scale 4.
+  Rng rng(8);
+  double abs_total = 0.0;
+  constexpr int kSamples = 300000;
+  for (int i = 0; i < kSamples; ++i) {
+    abs_total += std::abs(mech.AddNoise(0.0, rng));
+  }
+  EXPECT_NEAR(abs_total / kSamples, 4.0, 0.05);
+}
+
+TEST(LaplaceMechanismTest, VectorNoiseIsIndependentPerEntry) {
+  LaplaceMechanism mech(1.0);
+  Rng rng(9);
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const std::vector<double> noisy = mech.AddNoise(values, rng);
+  ASSERT_EQ(noisy.size(), 3u);
+  // Entries keep their center but the added noise differs.
+  EXPECT_NE(noisy[0] - values[0], noisy[1] - values[1]);
+}
+
+TEST(LaplaceMechanismTest, EmpiricalPrivacyLossIsBounded) {
+  // For neighboring values v and v+1 (sensitivity 1) the density ratio of
+  // the outputs must be within e^ε everywhere.  Estimate with histograms.
+  const double epsilon = 1.0;
+  LaplaceMechanism mech(epsilon);
+  Rng rng(10);
+  constexpr int kSamples = 500000;
+  constexpr int kBins = 40;
+  std::vector<double> histogram_a(kBins, 0.0), histogram_b(kBins, 0.0);
+  const auto bin_of = [&](double x) {
+    const int b = static_cast<int>(std::floor((x + 5.0) / 10.0 * kBins));
+    return std::clamp(b, 0, kBins - 1);
+  };
+  for (int i = 0; i < kSamples; ++i) {
+    histogram_a[bin_of(mech.AddNoise(0.0, rng))] += 1.0;
+    histogram_b[bin_of(mech.AddNoise(1.0, rng))] += 1.0;
+  }
+  for (int b = 0; b < kBins; ++b) {
+    if (histogram_a[b] < 500 || histogram_b[b] < 500) continue;  // Noise.
+    const double ratio = histogram_a[b] / histogram_b[b];
+    EXPECT_LT(ratio, std::exp(epsilon) * 1.15);
+    EXPECT_GT(ratio, std::exp(-epsilon) / 1.15);
+  }
+}
+
+TEST(LaplaceMechanismDeathTest, InvalidParametersAbort) {
+  EXPECT_DEATH(LaplaceMechanism(0.0), "PRIVTREE_CHECK");
+  EXPECT_DEATH(LaplaceMechanism(1.0, 0.0), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

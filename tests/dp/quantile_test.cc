@@ -1,0 +1,98 @@
+#include "dp/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+std::vector<double> Ramp(std::size_t n) {
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i);
+  return values;
+}
+
+TEST(PrivateQuantileTest, HighEpsilonIsAccurate) {
+  Rng rng(1);
+  const auto values = Ramp(1000);
+  double total = 0.0;
+  constexpr int kReps = 50;
+  for (int i = 0; i < kReps; ++i) {
+    total += PrivateQuantile(values, 0.5, 0.0, 1000.0, 50.0, rng);
+  }
+  EXPECT_NEAR(total / kReps, 500.0, 25.0);
+}
+
+TEST(PrivateQuantileTest, NinetyFifthPercentile) {
+  // The paper's use case: choosing l⊤ as a private ~95% quantile of
+  // sequence lengths.
+  Rng rng(2);
+  const auto values = Ramp(2000);
+  double total = 0.0;
+  constexpr int kReps = 50;
+  for (int i = 0; i < kReps; ++i) {
+    total += PrivateQuantile(values, 0.95, 0.0, 2000.0, 20.0, rng);
+  }
+  EXPECT_NEAR(total / kReps, 1900.0, 60.0);
+}
+
+TEST(PrivateQuantileTest, StaysWithinBounds) {
+  Rng rng(3);
+  const std::vector<double> values = {5.0, 6.0, 7.0};
+  for (int i = 0; i < 200; ++i) {
+    const double q = PrivateQuantile(values, 0.5, 0.0, 10.0, 0.1, rng);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 10.0);
+  }
+}
+
+TEST(PrivateQuantileTest, ClampsOutOfRangeValues) {
+  Rng rng(4);
+  const std::vector<double> values = {-100.0, 0.5, 200.0};
+  for (int i = 0; i < 100; ++i) {
+    const double q = PrivateQuantile(values, 0.5, 0.0, 1.0, 1.0, rng);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+TEST(PrivateQuantileTest, TinyEpsilonIsNearUniform) {
+  Rng rng(5);
+  // With ε → 0 the mechanism samples ∝ interval length, i.e. uniformly
+  // over [lo, hi] regardless of the data.
+  const std::vector<double> values(100, 0.9);
+  double total = 0.0;
+  constexpr int kReps = 4000;
+  for (int i = 0; i < kReps; ++i) {
+    total += PrivateQuantile(values, 0.5, 0.0, 1.0, 1e-9, rng);
+  }
+  EXPECT_NEAR(total / kReps, 0.5, 0.03);
+}
+
+TEST(PrivateQuantileTest, EmptyDataFallsBackToUniform) {
+  Rng rng(6);
+  const std::vector<double> values;
+  const double q = PrivateQuantile(values, 0.5, 2.0, 4.0, 1.0, rng);
+  EXPECT_GE(q, 2.0);
+  EXPECT_LE(q, 4.0);
+}
+
+TEST(PrivateQuantileDeathTest, InvalidArgumentsAbort) {
+  Rng rng(7);
+  const std::vector<double> values = {1.0};
+  EXPECT_DEATH(PrivateQuantile(values, 0.0, 0.0, 1.0, 1.0, rng),
+               "PRIVTREE_CHECK");
+  EXPECT_DEATH(PrivateQuantile(values, 1.0, 0.0, 1.0, 1.0, rng),
+               "PRIVTREE_CHECK");
+  EXPECT_DEATH(PrivateQuantile(values, 0.5, 1.0, 1.0, 1.0, rng),
+               "PRIVTREE_CHECK");
+  EXPECT_DEATH(PrivateQuantile(values, 0.5, 0.0, 1.0, 0.0, rng),
+               "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,108 @@
+// Tests of the ρ(x) analysis (Section 3.2, Lemma 3.1): these validate the
+// mathematical facts the PrivTree privacy proof rests on.
+#include "dp/rho.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace privtree {
+namespace {
+
+TEST(RhoTest, ConstantBelowThreshold) {
+  // Equation (3): for x <= θ, ρ(x) = 1/λ exactly.
+  const double lambda = 2.0, theta = 0.0;
+  for (double x : {-10.0, -1.0, 0.0}) {
+    EXPECT_NEAR(Rho(x, lambda, theta), 1.0 / lambda, 1e-12);
+  }
+}
+
+TEST(RhoTest, DecaysExponentiallyAboveThresholdPlusOne) {
+  // Figure 2: for x >= θ+1 the cost decays roughly by e^{-1/λ} per unit.
+  const double lambda = 1.0, theta = 0.0;
+  const double r2 = Rho(2.0, lambda, theta);
+  const double r3 = Rho(3.0, lambda, theta);
+  const double r6 = Rho(6.0, lambda, theta);
+  EXPECT_LT(r3, r2);
+  EXPECT_LT(r6, r3);
+  // Deep in the tail the decay ratio approaches e^{-1/λ}.
+  EXPECT_NEAR(Rho(11.0, lambda, theta) / Rho(10.0, lambda, theta),
+              std::exp(-1.0), 0.02);
+}
+
+TEST(RhoTest, UpperBoundHolds) {
+  // Lemma 3.1: ρ(x) <= ρ⊤(x) for all x.
+  for (double lambda : {0.5, 1.0, 3.0}) {
+    for (double theta : {0.0, 5.0}) {
+      for (double x = theta - 10.0; x <= theta + 20.0; x += 0.1) {
+        EXPECT_LE(Rho(x, lambda, theta),
+                  RhoUpperBound(x, lambda, theta) + 1e-12)
+            << "x=" << x << " lambda=" << lambda << " theta=" << theta;
+      }
+    }
+  }
+}
+
+TEST(RhoTest, UpperBoundIsTightAtThresholdPlusOne) {
+  // ρ⊤(θ+1) = 1/λ, and ρ(θ+1) is within a constant factor of it.
+  const double lambda = 1.5, theta = 0.0;
+  EXPECT_NEAR(RhoUpperBound(theta + 1.0, lambda, theta), 1.0 / lambda,
+              1e-12);
+  EXPECT_GT(Rho(theta + 1.0, lambda, theta),
+            0.3 * RhoUpperBound(theta + 1.0, lambda, theta));
+}
+
+TEST(RhoTest, UpperBoundPiecewiseForm) {
+  const double lambda = 2.0, theta = 1.0;
+  EXPECT_DOUBLE_EQ(RhoUpperBound(theta + 0.99, lambda, theta), 1.0 / lambda);
+  EXPECT_NEAR(RhoUpperBound(theta + 3.0, lambda, theta),
+              std::exp(-2.0 / lambda) / lambda, 1e-12);
+}
+
+TEST(RhoTest, RhoIsNonNegative) {
+  for (double x = -5.0; x <= 15.0; x += 0.25) {
+    EXPECT_GE(Rho(x, 1.0, 0.0), 0.0);
+  }
+}
+
+TEST(CostBoundTest, MatchesClosedForm) {
+  // Section 3.3: Σ ρ ≤ (1/λ)(2e^γ − 1)/(e^γ − 1).
+  const double lambda = 3.0, delta = lambda * std::log(4.0);  // γ = ln 4.
+  const double gamma = delta / lambda;
+  const double expected =
+      (2.0 * std::exp(gamma) - 1.0) / (std::exp(gamma) - 1.0) / lambda;
+  EXPECT_NEAR(PrivTreeCostBound(lambda, delta), expected, 1e-12);
+}
+
+TEST(CostBoundTest, GeometricSeriesDominatesTelescopedCosts) {
+  // Simulate the worst-case path of the proof: b(v_i) decreasing by exactly
+  // δ per level from a large value down to θ−δ.  The summed ρ⊤ must stay
+  // below the closed-form bound.
+  const double lambda = 1.0, theta = 0.0;
+  const double delta = lambda * std::log(4.0);
+  double total = 0.0;
+  // b(v_m) >= θ−δ+1, b(v_{i-1}) = b(v_i) + δ.
+  double b = theta - delta + 1.0;
+  for (int i = 0; i < 200; ++i) {
+    total += RhoUpperBound(b, lambda, theta);
+    b += delta;
+  }
+  EXPECT_LE(total, PrivTreeCostBound(lambda, delta) + 1e-9);
+}
+
+TEST(CostBoundTest, CorollaryOneEpsilon) {
+  // Corollary 1: with λ = (2β−1)/(β−1)/ε and δ = λ·ln β, the guaranteed
+  // privacy cost equals ε.
+  const double beta = 4.0, epsilon = 0.8;
+  const double lambda = (2.0 * beta - 1.0) / (beta - 1.0) / epsilon;
+  const double delta = lambda * std::log(beta);
+  EXPECT_NEAR(PrivTreeCostBound(lambda, delta), epsilon, 1e-12);
+}
+
+TEST(RhoDeathTest, NonPositiveLambdaAborts) {
+  EXPECT_DEATH(Rho(0.0, 0.0, 0.0), "PRIVTREE_CHECK");
+  EXPECT_DEATH(PrivTreeCostBound(1.0, 0.0), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

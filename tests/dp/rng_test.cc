@@ -1,0 +1,117 @@
+#include "dp/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace privtree {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123, 7);
+  Rng b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(1, 10), b(1, 11);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextOpenDoubleStrictlyInside) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextOpenDouble();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(5);
+  double total = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) total += rng.NextDouble();
+  EXPECT_NEAR(total / kSamples, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(21);
+  constexpr std::uint64_t kBound = 8;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kSamples = 80000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBound)];
+  for (std::uint64_t b = 0; b < kBound; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBound, kSamples * 0.01);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(42);
+  Rng child1 = parent.Fork();
+  Rng child2 = parent.Fork();
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.Next() != child2.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(42), b(42);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fa.Next(), fb.Next());
+}
+
+TEST(RngTest, BitsAreBalanced) {
+  Rng rng(3);
+  int ones = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    ones += __builtin_popcountll(rng.Next());
+  }
+  // Expect about 32 bits set per 64-bit word.
+  EXPECT_NEAR(static_cast<double>(ones) / kSamples, 32.0, 0.3);
+}
+
+TEST(RngDeathTest, BoundedZeroAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextBounded(0), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,157 @@
+// Goodness-of-fit tests of the samplers: binned chi-square statistics
+// against the analytic distributions, with thresholds set at roughly the
+// 99.9th percentile of the chi-square distribution so the tests are
+// deterministic-in-practice under fixed seeds yet sensitive to real
+// sampler defects.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/distributions.h"
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+/// Chi-square statistic of observed counts vs expected probabilities.
+double ChiSquare(const std::vector<double>& observed,
+                 const std::vector<double>& expected_probability,
+                 double total) {
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected = expected_probability[i] * total;
+    if (expected < 5.0) continue;  // Standard validity rule.
+    const double diff = observed[i] - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+TEST(StatisticalTest, UniformDoubleChiSquare) {
+  Rng rng(0x57a7);
+  constexpr int kBins = 50;
+  constexpr int kSamples = 500000;
+  std::vector<double> observed(kBins, 0.0);
+  for (int i = 0; i < kSamples; ++i) {
+    const int bin = static_cast<int>(rng.NextDouble() * kBins);
+    observed[static_cast<std::size_t>(std::min(bin, kBins - 1))] += 1.0;
+  }
+  const std::vector<double> probabilities(kBins, 1.0 / kBins);
+  // 49 dof: 99.9th percentile ≈ 85.4.
+  EXPECT_LT(ChiSquare(observed, probabilities, kSamples), 95.0);
+}
+
+TEST(StatisticalTest, LaplaceChiSquare) {
+  Rng rng(0x57a8);
+  const double lambda = 1.3;
+  constexpr int kBins = 60;
+  constexpr double kLo = -8.0, kHi = 8.0;
+  constexpr int kSamples = 500000;
+  std::vector<double> observed(kBins + 2, 0.0);  // Two tail bins.
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = SampleLaplace(rng, lambda);
+    if (x < kLo) {
+      observed[0] += 1.0;
+    } else if (x >= kHi) {
+      observed[kBins + 1] += 1.0;
+    } else {
+      const int bin =
+          1 + static_cast<int>((x - kLo) / (kHi - kLo) * kBins);
+      observed[static_cast<std::size_t>(std::min(bin, kBins))] += 1.0;
+    }
+  }
+  std::vector<double> probabilities(kBins + 2, 0.0);
+  probabilities[0] = LaplaceCdf(kLo, lambda);
+  probabilities[kBins + 1] = LaplaceSf(kHi, lambda);
+  for (int b = 0; b < kBins; ++b) {
+    const double left = kLo + (kHi - kLo) * b / kBins;
+    const double right = kLo + (kHi - kLo) * (b + 1) / kBins;
+    probabilities[static_cast<std::size_t>(b + 1)] =
+        LaplaceCdf(right, lambda) - LaplaceCdf(left, lambda);
+  }
+  // 61 dof: 99.9th percentile ≈ 99.6.
+  EXPECT_LT(ChiSquare(observed, probabilities, kSamples), 110.0);
+}
+
+TEST(StatisticalTest, ExponentialChiSquare) {
+  Rng rng(0x57a9);
+  const double rate = 2.0;
+  constexpr int kBins = 40;
+  constexpr double kHi = 5.0;
+  constexpr int kSamples = 400000;
+  std::vector<double> observed(kBins + 1, 0.0);
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = SampleExponential(rng, rate);
+    if (x >= kHi) {
+      observed[kBins] += 1.0;
+    } else {
+      observed[static_cast<std::size_t>(x / kHi * kBins)] += 1.0;
+    }
+  }
+  std::vector<double> probabilities(kBins + 1, 0.0);
+  for (int b = 0; b < kBins; ++b) {
+    const double left = kHi * b / kBins;
+    const double right = kHi * (b + 1) / kBins;
+    probabilities[static_cast<std::size_t>(b)] =
+        std::exp(-rate * left) - std::exp(-rate * right);
+  }
+  probabilities[kBins] = std::exp(-rate * kHi);
+  EXPECT_LT(ChiSquare(observed, probabilities, kSamples), 90.0);
+}
+
+TEST(StatisticalTest, GeometricChiSquare) {
+  Rng rng(0x57aa);
+  const double p = 0.35;
+  constexpr int kMax = 25;
+  constexpr int kSamples = 400000;
+  std::vector<double> observed(kMax + 1, 0.0);
+  for (int i = 0; i < kSamples; ++i) {
+    const auto x = SampleGeometric(rng, p);
+    observed[static_cast<std::size_t>(std::min<std::uint64_t>(x, kMax))] +=
+        1.0;
+  }
+  std::vector<double> probabilities(kMax + 1, 0.0);
+  double tail = 1.0;
+  for (int k = 0; k < kMax; ++k) {
+    probabilities[static_cast<std::size_t>(k)] =
+        p * std::pow(1.0 - p, static_cast<double>(k));
+    tail -= probabilities[static_cast<std::size_t>(k)];
+  }
+  probabilities[kMax] = tail;
+  EXPECT_LT(ChiSquare(observed, probabilities, kSamples), 65.0);
+}
+
+TEST(StatisticalTest, LaplaceSamplesAreSerriallyUncorrelated) {
+  Rng rng(0x57ab);
+  constexpr int kSamples = 300000;
+  double previous = SampleLaplace(rng, 1.0);
+  double covariance = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double current = SampleLaplace(rng, 1.0);
+    covariance += previous * current;
+    previous = current;
+  }
+  // Var = 2λ² = 2; the lag-1 autocorrelation estimate should be ~0 with
+  // sd ≈ 1/sqrt(n).
+  EXPECT_NEAR(covariance / kSamples / 2.0, 0.0, 0.01);
+}
+
+TEST(StatisticalTest, NormalChiSquareCoarse) {
+  Rng rng(0x57ac);
+  constexpr int kSamples = 300000;
+  // Check the 68-95-99.7 rule instead of a fine-binned fit.
+  int within1 = 0, within2 = 0, within3 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = std::abs(SampleNormal(rng));
+    within1 += x < 1.0;
+    within2 += x < 2.0;
+    within3 += x < 3.0;
+  }
+  EXPECT_NEAR(static_cast<double>(within1) / kSamples, 0.6827, 0.004);
+  EXPECT_NEAR(static_cast<double>(within2) / kSamples, 0.9545, 0.002);
+  EXPECT_NEAR(static_cast<double>(within3) / kSamples, 0.9973, 0.001);
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,91 @@
+#include "eval/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+PointSet ThreeBlobPoints(std::size_t per_blob, Rng& rng) {
+  PointSet points(2);
+  const double centers[3][2] = {{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.9}};
+  double p[2];
+  for (int blob = 0; blob < 3; ++blob) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      p[0] = centers[blob][0] + 0.02 * (rng.NextDouble() - 0.5);
+      p[1] = centers[blob][1] + 0.02 * (rng.NextDouble() - 0.5);
+      points.Add(p);
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, FindsWellSeparatedBlobs) {
+  Rng rng(1);
+  const PointSet points = ThreeBlobPoints(500, rng);
+  const KMeansResult result = KMeans(points, 3, 50, rng);
+  // Each true center must be close to some found center.
+  const double centers[3][2] = {{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.9}};
+  for (const auto& truth : centers) {
+    double best = 1e9;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const double dx = result.centers[c * 2] - truth[0];
+      const double dy = result.centers[c * 2 + 1] - truth[1];
+      best = std::min(best, std::sqrt(dx * dx + dy * dy));
+    }
+    EXPECT_LT(best, 0.05);
+  }
+}
+
+TEST(KMeansTest, CostIsSmallOnTightBlobs) {
+  Rng rng(2);
+  const PointSet points = ThreeBlobPoints(300, rng);
+  const KMeansResult result = KMeans(points, 3, 50, rng);
+  // Within-blob squared radius is at most 2·0.01² = 2e-4.
+  EXPECT_LT(KMeansCost(points, result), 2e-4);
+}
+
+TEST(KMeansTest, MoreClustersNeverIncreaseCostMuch) {
+  Rng rng(3);
+  const PointSet points = ThreeBlobPoints(300, rng);
+  const double cost3 = KMeansCost(points, KMeans(points, 3, 50, rng));
+  const double cost6 = KMeansCost(points, KMeans(points, 6, 50, rng));
+  EXPECT_LE(cost6, cost3 * 1.05);
+}
+
+TEST(KMeansTest, SingleClusterIsTheCentroid) {
+  PointSet points(1);
+  for (double x : {0.0, 0.2, 0.4, 0.6}) {
+    const std::vector<double> p = {x};
+    points.Add(p);
+  }
+  Rng rng(4);
+  const KMeansResult result = KMeans(points, 1, 20, rng);
+  EXPECT_NEAR(result.centers[0], 0.3, 1e-9);
+}
+
+TEST(KMeansTest, KLargerThanPointsStillTerminates) {
+  PointSet points(2);
+  const std::vector<double> p = {0.5, 0.5};
+  points.Add(p);
+  Rng rng(5);
+  const KMeansResult result = KMeans(points, 4, 10, rng);
+  EXPECT_EQ(result.k, 4u);
+  EXPECT_NEAR(KMeansCost(points, result), 0.0, 1e-12);
+}
+
+TEST(KMeansDeathTest, InvalidInputsAbort) {
+  Rng rng(6);
+  PointSet empty(2);
+  EXPECT_DEATH(KMeans(empty, 2, 10, rng), "PRIVTREE_CHECK");
+  PointSet points(2);
+  const std::vector<double> p = {0.5, 0.5};
+  points.Add(p);
+  EXPECT_DEATH(KMeans(points, 0, 10, rng), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,88 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "spatial/box.h"
+
+namespace privtree {
+namespace {
+
+TEST(RelativeErrorTest, UsesTruthWhenLarge) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0, 1.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0, 1.0), 0.1);
+}
+
+TEST(RelativeErrorTest, SmoothingKicksInForSmallTruth) {
+  // |5 − 0| / max(0, 10) = 0.5.
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0, 10.0), 0.5);
+}
+
+TEST(RelativeErrorTest, DefaultSmoothingIsTenthOfAPercent) {
+  EXPECT_DOUBLE_EQ(DefaultSmoothing(1000000), 1000.0);
+}
+
+TEST(MeanRelativeErrorTest, AveragesOverQueries) {
+  PointSet points(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::vector<double> p = {(i + 0.5) / 1000.0};
+    points.Add(p);
+  }
+  const std::vector<Box> queries = {Box({0.0}, {0.5}), Box({0.0}, {1.0})};
+  const auto exact = ExactAnswers(queries, points);
+  EXPECT_DOUBLE_EQ(exact[0], 500.0);
+  EXPECT_DOUBLE_EQ(exact[1], 1000.0);
+  // An estimator that always answers 550 and 1100: errors 0.1 each.
+  const auto answer = [](const Box& q) {
+    return q.Volume() < 0.75 ? 550.0 : 1100.0;
+  };
+  EXPECT_NEAR(MeanRelativeError(queries, exact, answer, points.size()), 0.1,
+              1e-12);
+}
+
+TEST(TotalVariationTest, IdenticalDistributionsAreZero) {
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}),
+                   0.0);  // Same after normalization.
+}
+
+TEST(TotalVariationTest, DisjointDistributionsAreOne) {
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({1.0, 0.0}, {0.0, 1.0}), 1.0);
+}
+
+TEST(TotalVariationTest, HandlesDifferentLengths) {
+  // (1,0) vs (0.5, 0.5) padded: TV = 0.5... second histogram (1,1) over
+  // slots {0,1}; first is all mass at 0 → TV = 0.5.
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({1.0}, {1.0, 1.0}), 0.5);
+}
+
+TEST(TotalVariationTest, NegativeEntriesAreClampedToZero) {
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({1.0, -5.0}, {1.0, 0.0}), 0.0);
+}
+
+TEST(TotalVariationTest, EmptyHistogramIsMaximallyFar) {
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({}, {1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({0.0, 0.0}, {1.0}), 1.0);
+}
+
+TEST(TotalVariationTest, SymmetricAndBounded) {
+  const std::vector<double> a = {3.0, 1.0, 0.0, 2.0};
+  const std::vector<double> b = {1.0, 1.0, 1.0, 1.0};
+  const double ab = TotalVariationDistance(a, b);
+  const double ba = TotalVariationDistance(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 1.0);
+}
+
+TEST(MetricsDeathTest, InvalidInputsAbort) {
+  EXPECT_DEATH(RelativeError(1.0, 1.0, 0.0), "PRIVTREE_CHECK");
+  const std::vector<Box> queries = {Box::UnitCube(1)};
+  const std::vector<double> wrong_size = {1.0, 2.0};
+  EXPECT_DEATH(MeanRelativeError(queries, wrong_size,
+                                 [](const Box&) { return 0.0; }, 10),
+               "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

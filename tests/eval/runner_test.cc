@@ -1,0 +1,81 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "eval/table.h"
+
+namespace privtree {
+namespace {
+
+TEST(RunnerTest, PaperEpsilonsMatchSection6) {
+  const auto& eps = PaperEpsilons();
+  ASSERT_EQ(eps.size(), 6u);
+  EXPECT_DOUBLE_EQ(eps.front(), 0.05);
+  EXPECT_DOUBLE_EQ(eps.back(), 1.6);
+}
+
+TEST(RunnerTest, RepetitionsHonorsEnvironment) {
+  setenv("PRIVTREE_REPS", "17", 1);
+  EXPECT_EQ(Repetitions(5), 17u);
+  unsetenv("PRIVTREE_REPS");
+  unsetenv("PRIVTREE_PAPER_SCALE");
+  EXPECT_EQ(Repetitions(5), 5u);
+}
+
+TEST(RunnerTest, PaperScaleSwitchesDefaults) {
+  setenv("PRIVTREE_PAPER_SCALE", "1", 1);
+  unsetenv("PRIVTREE_REPS");
+  EXPECT_TRUE(PaperScale());
+  EXPECT_EQ(Repetitions(5), 100u);
+  EXPECT_EQ(ScaledCardinality(1000000, 1000), 1000000u);
+  setenv("PRIVTREE_PAPER_SCALE", "0", 1);
+  EXPECT_FALSE(PaperScale());
+  EXPECT_EQ(ScaledCardinality(1000000, 1000), 1000u);
+  unsetenv("PRIVTREE_PAPER_SCALE");
+}
+
+TEST(RunnerTest, ScaledCardinalityNeverExceedsPaperN) {
+  unsetenv("PRIVTREE_PAPER_SCALE");
+  EXPECT_EQ(ScaledCardinality(500, 1000), 500u);
+}
+
+TEST(RunnerTest, MeanOverRepsIsDeterministic) {
+  const auto body = [](Rng& rng) { return rng.NextDouble(); };
+  const double a = MeanOverReps(10, 42, body);
+  const double b = MeanOverReps(10, 42, body);
+  EXPECT_DOUBLE_EQ(a, b);
+  const double c = MeanOverReps(10, 43, body);
+  EXPECT_NE(a, c);
+}
+
+TEST(RunnerTest, MeanOverRepsAverages) {
+  int calls = 0;
+  const double mean = MeanOverReps(4, 1, [&calls](Rng&) {
+    return static_cast<double>(calls++);
+  });
+  EXPECT_DOUBLE_EQ(mean, 1.5);  // (0+1+2+3)/4.
+}
+
+TEST(TablePrinterTest, FormatsCells) {
+  EXPECT_EQ(FormatCell(0.12345), "0.1235");
+  EXPECT_EQ(FormatCell(std::nan("")), "-");
+  EXPECT_EQ(FormatCell(12000.0), "1.2e+04");
+}
+
+TEST(TablePrinterTest, PrintsWithoutCrashing) {
+  TablePrinter table("demo", "epsilon", {"PrivTree", "UG"});
+  table.AddRow("0.1", {0.01, 0.05});
+  table.AddRow("1.6", {0.001, std::nan("")});
+  table.Print();  // Smoke test; output inspected by the bench harness.
+}
+
+TEST(TablePrinterDeathTest, ColumnMismatchAborts) {
+  TablePrinter table("demo", "epsilon", {"a", "b"});
+  EXPECT_DEATH(table.AddRow("x", {1.0}), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

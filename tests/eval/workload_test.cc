@@ -1,0 +1,84 @@
+#include "eval/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "dp/rng.h"
+#include "spatial/box.h"
+
+namespace privtree {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  Rng rng(1);
+  const auto queries =
+      GenerateRangeQueries(Box::UnitCube(2), 123, kSmallQueries, rng);
+  EXPECT_EQ(queries.size(), 123u);
+}
+
+TEST(WorkloadTest, VolumesAreInsideTheBand) {
+  Rng rng(2);
+  for (const auto& band : {kSmallQueries, kMediumQueries, kLargeQueries}) {
+    const auto queries =
+        GenerateRangeQueries(Box::UnitCube(2), 300, band, rng);
+    for (const Box& q : queries) {
+      const double fraction = q.Volume();
+      EXPECT_GE(fraction, band.min_fraction * 0.999);
+      EXPECT_LT(fraction, band.max_fraction * 1.001);
+    }
+  }
+}
+
+TEST(WorkloadTest, QueriesFitInsideTheDomain) {
+  Rng rng(3);
+  const Box domain({-2.0, 5.0}, {3.0, 6.0});
+  const auto queries = GenerateRangeQueries(domain, 500, kLargeQueries, rng);
+  for (const Box& q : queries) {
+    EXPECT_TRUE(domain.ContainsBox(q)) << q.ToString();
+  }
+}
+
+TEST(WorkloadTest, VolumeFractionScalesWithDomainVolume) {
+  Rng rng(4);
+  const Box domain({0.0, 0.0}, {10.0, 10.0});  // Volume 100.
+  const auto queries =
+      GenerateRangeQueries(domain, 200, kMediumQueries, rng);
+  for (const Box& q : queries) {
+    const double fraction = q.Volume() / domain.Volume();
+    EXPECT_GE(fraction, kMediumQueries.min_fraction * 0.999);
+    EXPECT_LT(fraction, kMediumQueries.max_fraction * 1.001);
+  }
+}
+
+TEST(WorkloadTest, FourDimensionalQueries) {
+  Rng rng(5);
+  const auto queries =
+      GenerateRangeQueries(Box::UnitCube(4), 200, kSmallQueries, rng);
+  for (const Box& q : queries) {
+    EXPECT_EQ(q.dim(), 4u);
+    EXPECT_GE(q.Volume(), kSmallQueries.min_fraction * 0.999);
+  }
+}
+
+TEST(WorkloadTest, AspectRatiosVary) {
+  Rng rng(6);
+  const auto queries =
+      GenerateRangeQueries(Box::UnitCube(2), 500, kLargeQueries, rng);
+  // Not all queries should be near-square: look for meaningful spread in
+  // width/height ratios.
+  int elongated = 0;
+  for (const Box& q : queries) {
+    const double ratio = q.Width(0) / q.Width(1);
+    if (ratio > 2.0 || ratio < 0.5) ++elongated;
+  }
+  EXPECT_GT(elongated, 50);
+}
+
+TEST(WorkloadDeathTest, InvalidBandAborts) {
+  Rng rng(7);
+  EXPECT_DEATH(GenerateRangeQueries(Box::UnitCube(2), 10,
+                                    {"bad", 0.5, 0.1}, rng),
+               "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,105 @@
+#include "hist/ag.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+PointSet SkewedPoints(std::size_t n, Rng& rng) {
+  PointSet points(2);
+  double p[2];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.8) {
+      p[0] = 0.4 + 0.05 * rng.NextDouble();
+      p[1] = 0.6 + 0.05 * rng.NextDouble();
+    } else {
+      p[0] = rng.NextDouble();
+      p[1] = rng.NextDouble();
+    }
+    points.Add(p);
+  }
+  return points;
+}
+
+TEST(AgTest, FullDomainQueryNearCardinality) {
+  Rng rng(1);
+  const PointSet points = SkewedPoints(50000, rng);
+  const AdaptiveGrid grid(points, Box::UnitCube(2), 1.0, {}, rng);
+  EXPECT_NEAR(grid.Query(Box::UnitCube(2)), 50000.0, 2500.0);
+}
+
+TEST(AgTest, DenseRegionsGetFinerSubGrids) {
+  Rng rng(2);
+  const PointSet points = SkewedPoints(100000, rng);
+  const AdaptiveGrid grid(points, Box::UnitCube(2), 1.0, {}, rng);
+  // More total cells than the level-1 grid alone ⇒ refinement happened.
+  const std::size_t m1 = static_cast<std::size_t>(grid.level1_granularity());
+  EXPECT_GT(grid.TotalCells(), 2 * m1 * m1);
+}
+
+TEST(AgTest, QueryAccuracyOnDenseCluster) {
+  Rng rng(3);
+  const PointSet points = SkewedPoints(100000, rng);
+  const Box query({0.39, 0.59}, {0.46, 0.66});
+  const double exact = static_cast<double>(points.ExactRangeCount(query));
+  ASSERT_GT(exact, 10000.0);
+  double total_error = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const AdaptiveGrid grid(points, Box::UnitCube(2), 0.8, {}, rng);
+    total_error += std::abs(grid.Query(query) - exact);
+  }
+  EXPECT_LT(total_error / 5.0, 0.15 * exact);
+}
+
+TEST(AgTest, DisjointQueryIsZero) {
+  Rng rng(4);
+  const PointSet points = SkewedPoints(1000, rng);
+  const AdaptiveGrid grid(points, Box::UnitCube(2), 1.0, {}, rng);
+  EXPECT_DOUBLE_EQ(grid.Query(Box({5.0, 5.0}, {6.0, 6.0})), 0.0);
+}
+
+TEST(AgTest, ImprovesOnPureLevel2AtLowEpsilon) {
+  // The constrained-inference step anchors sub-grids to their parent; the
+  // full-domain estimate should have smaller error than summing raw
+  // independent level-2 noise would give.  We proxy by checking the total
+  // over a large cell-aligned region is close to truth.
+  Rng rng(5);
+  const PointSet points = SkewedPoints(50000, rng);
+  const Box query({0.0, 0.0}, {0.5, 1.0});
+  const double exact = static_cast<double>(points.ExactRangeCount(query));
+  double total_error = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const AdaptiveGrid grid(points, Box::UnitCube(2), 0.2, {}, rng);
+    total_error += std::abs(grid.Query(query) - exact);
+  }
+  EXPECT_LT(total_error / 5.0, 0.2 * 50000.0);
+}
+
+TEST(AgTest, CellScaleChangesGranularity) {
+  Rng rng(6);
+  const PointSet points = SkewedPoints(20000, rng);
+  AdaptiveGridOptions small_options;
+  small_options.cell_scale = 1.0 / 9.0;
+  AdaptiveGridOptions big_options;
+  big_options.cell_scale = 9.0;
+  const AdaptiveGrid small(points, Box::UnitCube(2), 1.0, small_options, rng);
+  const AdaptiveGrid big(points, Box::UnitCube(2), 1.0, big_options, rng);
+  EXPECT_LT(small.TotalCells(), big.TotalCells());
+}
+
+TEST(AgDeathTest, RequiresTwoDimensions) {
+  Rng rng(7);
+  PointSet points(4);
+  const std::vector<double> p = {0.1, 0.2, 0.3, 0.4};
+  points.Add(p);
+  EXPECT_DEATH(AdaptiveGrid(points, Box::UnitCube(4), 1.0, {}, rng),
+               "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

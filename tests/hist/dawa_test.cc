@@ -1,0 +1,133 @@
+#include "hist/dawa.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+TEST(DawaPartitionTest, CoversTheWholeDomain) {
+  Rng rng(1);
+  std::vector<double> cells(512, 1.0);
+  const auto partition = DawaPartition1D(cells, 0.5, 1.5, rng);
+  ASSERT_FALSE(partition.bucket_end.empty());
+  EXPECT_EQ(partition.bucket_end.back(), 512);
+  for (std::size_t i = 1; i < partition.bucket_end.size(); ++i) {
+    EXPECT_GT(partition.bucket_end[i], partition.bucket_end[i - 1]);
+  }
+}
+
+TEST(DawaPartitionTest, UniformDataMergesIntoFewBuckets) {
+  Rng rng(2);
+  const std::vector<double> cells(1024, 10.0);
+  // A generous stage-1 budget keeps the cost noise below the per-bucket
+  // penalty; a perfectly uniform array (zero deviation) should then merge
+  // into long dyadic buckets.
+  const auto partition = DawaPartition1D(cells, 50.0, 6.0, rng);
+  EXPECT_LT(partition.bucket_end.size(), 64u);
+}
+
+TEST(DawaPartitionTest, SharpBoundaryIsRespected) {
+  Rng rng(3);
+  // 256 empty cells then 256 cells of 100: with high budget the partition
+  // should not place a bucket straddling the boundary by much.
+  std::vector<double> cells(512, 0.0);
+  for (std::size_t i = 256; i < 512; ++i) cells[i] = 100.0;
+  const auto partition = DawaPartition1D(cells, 20.0, 20.0, rng);
+  // Some bucket boundary should fall exactly at 256.
+  bool found = false;
+  for (std::int64_t end : partition.bucket_end) {
+    if (end == 256) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DawaPartitionTest, BucketLengthsAreDyadic) {
+  Rng rng(4);
+  std::vector<double> cells(256);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i] = static_cast<double>(i % 7);
+  }
+  const auto partition = DawaPartition1D(cells, 1.0, 3.0, rng);
+  std::int64_t begin = 0;
+  for (std::int64_t end : partition.bucket_end) {
+    const std::int64_t len = end - begin;
+    EXPECT_EQ(len & (len - 1), 0) << "non-dyadic bucket " << len;
+    begin = end;
+  }
+}
+
+PointSet SkewedPoints(std::size_t n, Rng& rng) {
+  PointSet points(2);
+  double p[2];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.7) {
+      p[0] = 0.3 + 0.02 * rng.NextDouble();
+      p[1] = 0.5 + 0.02 * rng.NextDouble();
+    } else {
+      p[0] = rng.NextDouble();
+      p[1] = rng.NextDouble();
+    }
+    points.Add(p);
+  }
+  return points;
+}
+
+TEST(DawaTest, FullDomainQueryNearCardinality) {
+  Rng rng(5);
+  const PointSet points = SkewedPoints(50000, rng);
+  DawaOptions options;
+  options.target_total_cells = 1 << 12;
+  const auto grid =
+      BuildDawaHistogram(points, Box::UnitCube(2), 1.0, options, rng);
+  EXPECT_NEAR(grid.Query(Box::UnitCube(2)), 50000.0, 3000.0);
+}
+
+TEST(DawaTest, AccurateOnModeratelySkewedData) {
+  Rng rng(6);
+  const PointSet points = SkewedPoints(100000, rng);
+  DawaOptions options;
+  options.target_total_cells = 1 << 12;
+  const Box query({0.25, 0.45}, {0.4, 0.6});
+  const double exact = static_cast<double>(points.ExactRangeCount(query));
+  ASSERT_GT(exact, 30000.0);
+  double total_error = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto grid =
+        BuildDawaHistogram(points, Box::UnitCube(2), 0.8, options, rng);
+    total_error += std::abs(grid.Query(query) - exact);
+  }
+  EXPECT_LT(total_error / 5.0, 0.15 * exact);
+}
+
+TEST(DawaTest, FourDimensionalBuildWorks) {
+  Rng rng(7);
+  PointSet points(4);
+  double p[4];
+  for (int i = 0; i < 20000; ++i) {
+    for (auto& x : p) x = rng.NextDouble();
+    points.Add(p);
+  }
+  DawaOptions options;
+  options.target_total_cells = 1 << 12;
+  const auto grid =
+      BuildDawaHistogram(points, Box::UnitCube(4), 1.6, options, rng);
+  EXPECT_NEAR(grid.Query(Box::UnitCube(4)), 20000.0, 6000.0);
+}
+
+TEST(DawaDeathTest, InvalidBudgetSplitAborts) {
+  Rng rng(8);
+  const PointSet points = SkewedPoints(100, rng);
+  DawaOptions options;
+  options.partition_budget_fraction = 1.0;
+  EXPECT_DEATH(
+      BuildDawaHistogram(points, Box::UnitCube(2), 1.0, options, rng),
+      "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,84 @@
+// Randomized fuzz of the prefix-sum grid query against the O(cells)
+// brute-force fractional sum, across dimensions and grid shapes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/rng.h"
+#include "hist/grid.h"
+
+namespace privtree {
+namespace {
+
+struct GridFuzzCase {
+  std::vector<std::int64_t> cells;
+  std::uint64_t seed;
+};
+
+class GridFuzzTest : public ::testing::TestWithParam<GridFuzzCase> {};
+
+double BruteForce(const GridHistogram& grid, const Box& query) {
+  const std::size_t d = grid.dim();
+  std::vector<std::int64_t> cell(d, 0);
+  double expected = 0.0;
+  bool done = false;
+  while (!done) {
+    const Box box = grid.CellBox(cell);
+    const double volume = box.Volume();
+    if (volume > 0.0) {
+      expected += grid.counts()[grid.FlatIndex(cell)] *
+                  box.IntersectionVolume(query) / volume;
+    }
+    done = true;
+    for (std::size_t j = d; j-- > 0;) {
+      if (++cell[j] < grid.cells_per_dim()[j]) {
+        done = false;
+        break;
+      }
+      cell[j] = 0;
+    }
+  }
+  return expected;
+}
+
+TEST_P(GridFuzzTest, QueriesMatchBruteForce) {
+  const GridFuzzCase& config = GetParam();
+  Rng rng(config.seed);
+  const std::size_t d = config.cells.size();
+  GridHistogram grid(Box::UnitCube(d), config.cells);
+  for (double& c : grid.counts()) {
+    c = rng.NextDouble() * 100.0 - 20.0;  // Include negative cells.
+  }
+  grid.BuildPrefixSums();
+
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> lo(d), hi(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      // Occasionally out-of-domain coordinates to exercise clipping.
+      double a = rng.NextDouble() * 1.4 - 0.2;
+      double b = rng.NextDouble() * 1.4 - 0.2;
+      lo[j] = std::min(a, b);
+      hi[j] = std::max(a, b) + 1e-9;
+    }
+    const Box query(lo, hi);
+    const double fast = grid.Query(query);
+    const double slow = BruteForce(grid, query);
+    ASSERT_NEAR(fast, slow, 1e-6 * (1.0 + std::abs(slow)))
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridFuzzTest,
+    ::testing::Values(GridFuzzCase{{17}, 1}, GridFuzzCase{{1}, 2},
+                      GridFuzzCase{{5, 9}, 3}, GridFuzzCase{{16, 16}, 4},
+                      GridFuzzCase{{1, 7}, 5}, GridFuzzCase{{3, 4, 5}, 6},
+                      GridFuzzCase{{2, 3, 2, 3}, 7}),
+    [](const auto& info) {
+      std::string name = "cells";
+      for (auto c : info.param.cells) name += "_" + std::to_string(c);
+      return name;
+    });
+
+}  // namespace
+}  // namespace privtree

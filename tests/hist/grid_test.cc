@@ -1,0 +1,157 @@
+#include "hist/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+namespace {
+
+PointSet RandomPoints(std::size_t n, std::size_t dim, Rng& rng) {
+  PointSet points(dim);
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& x : p) x = rng.NextDouble();
+    points.Add(p);
+  }
+  return points;
+}
+
+TEST(GridHistogramTest, FromPointsCountsExactly) {
+  PointSet points(2);
+  const std::vector<std::vector<double>> data = {
+      {0.1, 0.1}, {0.1, 0.15}, {0.9, 0.9}};
+  for (const auto& p : data) points.Add(p);
+  GridHistogram grid =
+      GridHistogram::FromPoints(points, Box::UnitCube(2), {4, 4});
+  EXPECT_DOUBLE_EQ(grid.counts()[grid.FlatIndex({0, 0})], 2.0);
+  EXPECT_DOUBLE_EQ(grid.counts()[grid.FlatIndex({3, 3})], 1.0);
+  EXPECT_DOUBLE_EQ(grid.Total(), 3.0);
+}
+
+TEST(GridHistogramTest, CellOfClampsOutOfRange) {
+  GridHistogram grid(Box::UnitCube(1), {10});
+  EXPECT_EQ(grid.CellOf(-0.5, 0), 0);
+  EXPECT_EQ(grid.CellOf(1.5, 0), 9);
+  EXPECT_EQ(grid.CellOf(0.35, 0), 3);
+}
+
+TEST(GridHistogramTest, CellBoxTilesDomain) {
+  GridHistogram grid(Box({0.0, 0.0}, {2.0, 4.0}), {2, 4});
+  const Box cell = grid.CellBox({1, 2});
+  EXPECT_DOUBLE_EQ(cell.lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(cell.hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(cell.lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(cell.hi(1), 3.0);
+}
+
+TEST(GridHistogramTest, QueryFullDomainEqualsTotal) {
+  Rng rng(1);
+  const PointSet points = RandomPoints(5000, 2, rng);
+  GridHistogram grid =
+      GridHistogram::FromPoints(points, Box::UnitCube(2), {16, 16});
+  grid.BuildPrefixSums();
+  EXPECT_NEAR(grid.Query(Box::UnitCube(2)), 5000.0, 1e-6);
+}
+
+TEST(GridHistogramTest, QueryAlignedBoxIsExact) {
+  Rng rng(2);
+  const PointSet points = RandomPoints(20000, 2, rng);
+  GridHistogram grid =
+      GridHistogram::FromPoints(points, Box::UnitCube(2), {8, 8});
+  grid.BuildPrefixSums();
+  // Cell-aligned query: the uniformity assumption is exact.
+  const Box query({0.25, 0.5}, {0.75, 0.875});
+  EXPECT_NEAR(grid.Query(query),
+              static_cast<double>(points.ExactRangeCount(query)), 1e-6);
+}
+
+TEST(GridHistogramTest, QueryMatchesBruteForceFractionalSum) {
+  Rng rng(3);
+  const PointSet points = RandomPoints(3000, 2, rng);
+  GridHistogram grid =
+      GridHistogram::FromPoints(points, Box::UnitCube(2), {7, 5});
+  grid.BuildPrefixSums();
+  const Box query({0.13, 0.22}, {0.61, 0.77});
+  // Brute force: Σ count(cell)·fraction-of-cell-in-query.
+  double expected = 0.0;
+  for (std::int64_t cx = 0; cx < 7; ++cx) {
+    for (std::int64_t cy = 0; cy < 5; ++cy) {
+      const Box cell = grid.CellBox({cx, cy});
+      expected += grid.counts()[grid.FlatIndex({cx, cy})] *
+                  cell.IntersectionVolume(query) / cell.Volume();
+    }
+  }
+  EXPECT_NEAR(grid.Query(query), expected, 1e-9);
+}
+
+TEST(GridHistogramTest, QueryMatchesBruteForce4D) {
+  Rng rng(4);
+  const PointSet points = RandomPoints(5000, 4, rng);
+  GridHistogram grid = GridHistogram::FromPoints(points, Box::UnitCube(4),
+                                                 {3, 4, 2, 5});
+  grid.BuildPrefixSums();
+  const Box query({0.1, 0.2, 0.05, 0.3}, {0.8, 0.55, 0.95, 0.66});
+  double expected = 0.0;
+  std::vector<std::int64_t> cell(4, 0);
+  bool done = false;
+  while (!done) {
+    const Box box = grid.CellBox(cell);
+    expected += grid.counts()[grid.FlatIndex(cell)] *
+                box.IntersectionVolume(query) / box.Volume();
+    done = true;
+    const std::vector<std::int64_t> dims = {3, 4, 2, 5};
+    for (std::size_t j = 4; j-- > 0;) {
+      if (++cell[j] < dims[j]) {
+        done = false;
+        break;
+      }
+      cell[j] = 0;
+    }
+  }
+  EXPECT_NEAR(grid.Query(query), expected, 1e-9);
+}
+
+TEST(GridHistogramTest, QueryOutsideDomainIsZero) {
+  GridHistogram grid(Box::UnitCube(2), {4, 4});
+  grid.BuildPrefixSums();
+  EXPECT_DOUBLE_EQ(grid.Query(Box({2.0, 2.0}, {3.0, 3.0})), 0.0);
+}
+
+TEST(GridHistogramTest, QueryClipsToDomain) {
+  PointSet points(1);
+  const std::vector<double> p = {0.5};
+  points.Add(p);
+  GridHistogram grid = GridHistogram::FromPoints(points, Box::UnitCube(1),
+                                                 {2});
+  grid.BuildPrefixSums();
+  // A query covering far more than the domain still returns the total.
+  EXPECT_NEAR(grid.Query(Box({-10.0}, {10.0})), 1.0, 1e-9);
+}
+
+TEST(GridHistogramTest, LaplaceNoiseIsUnbiased) {
+  Rng rng(5);
+  GridHistogram grid(Box::UnitCube(2), {32, 32});
+  grid.AddLaplaceNoise(2.0, rng);
+  grid.BuildPrefixSums();
+  // Sum of 1024 zero-mean Laplace(2) draws: sd ≈ 2·√2·32 ≈ 90.
+  EXPECT_NEAR(grid.Query(Box::UnitCube(2)), 0.0, 400.0);
+}
+
+TEST(GridHistogramDeathTest, QueryBeforePrefixSumsAborts) {
+  GridHistogram grid(Box::UnitCube(1), {4});
+  EXPECT_DEATH((void)grid.Query(Box::UnitCube(1)), "PRIVTREE_CHECK");
+}
+
+TEST(GridHistogramDeathTest, BadConstructionAborts) {
+  EXPECT_DEATH(GridHistogram(Box::UnitCube(2), {4}), "PRIVTREE_CHECK");
+  EXPECT_DEATH(GridHistogram(Box::UnitCube(1), {0}), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,93 @@
+#include "hist/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+namespace privtree {
+namespace {
+
+TEST(HilbertTest, Order1TwoDimensionalIsTheClassicCurve) {
+  // The four cells of the order-1 2-d curve, in curve order:
+  // (0,0), (0,1), (1,1), (1,0).
+  EXPECT_EQ(HilbertIndex({0, 0}, 1), 0u);
+  EXPECT_EQ(HilbertIndex({0, 1}, 1), 1u);
+  EXPECT_EQ(HilbertIndex({1, 1}, 1), 2u);
+  EXPECT_EQ(HilbertIndex({1, 0}, 1), 3u);
+}
+
+TEST(HilbertTest, RoundTrip2D) {
+  const int bits = 5;
+  for (std::uint32_t x = 0; x < 32; ++x) {
+    for (std::uint32_t y = 0; y < 32; ++y) {
+      const std::uint64_t h = HilbertIndex({x, y}, bits);
+      const auto coords = HilbertCoords(h, bits, 2);
+      EXPECT_EQ(coords[0], x);
+      EXPECT_EQ(coords[1], y);
+    }
+  }
+}
+
+TEST(HilbertTest, IsABijection2D) {
+  const int bits = 4;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 16; ++x) {
+    for (std::uint32_t y = 0; y < 16; ++y) {
+      const std::uint64_t h = HilbertIndex({x, y}, bits);
+      EXPECT_LT(h, 256u);
+      EXPECT_TRUE(seen.insert(h).second) << "duplicate index " << h;
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreAdjacentCells) {
+  // The defining property of the Hilbert curve: successive cells differ by
+  // 1 in exactly one coordinate.
+  const int bits = 5;
+  auto prev = HilbertCoords(0, bits, 2);
+  for (std::uint64_t h = 1; h < 1024; ++h) {
+    const auto cur = HilbertCoords(h, bits, 2);
+    const int dx = std::abs(static_cast<int>(cur[0]) -
+                            static_cast<int>(prev[0]));
+    const int dy = std::abs(static_cast<int>(cur[1]) -
+                            static_cast<int>(prev[1]));
+    EXPECT_EQ(dx + dy, 1) << "jump at h=" << h;
+    prev = cur;
+  }
+}
+
+TEST(HilbertTest, ConsecutiveIndicesAreAdjacentCells4D) {
+  const int bits = 3;
+  auto prev = HilbertCoords(0, bits, 4);
+  const std::uint64_t total = 1ULL << (bits * 4);
+  for (std::uint64_t h = 1; h < total; ++h) {
+    const auto cur = HilbertCoords(h, bits, 4);
+    int manhattan = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      manhattan += std::abs(static_cast<int>(cur[j]) -
+                            static_cast<int>(prev[j]));
+    }
+    EXPECT_EQ(manhattan, 1) << "jump at h=" << h;
+    prev = cur;
+  }
+}
+
+TEST(HilbertTest, RoundTrip4D) {
+  const int bits = 3;
+  const std::uint64_t total = 1ULL << (bits * 4);
+  for (std::uint64_t h = 0; h < total; ++h) {
+    const auto coords = HilbertCoords(h, bits, 4);
+    EXPECT_EQ(HilbertIndex(coords, bits), h);
+  }
+}
+
+TEST(HilbertDeathTest, BitBudgetEnforced) {
+  EXPECT_DEATH(HilbertIndex({0, 0}, 32), "PRIVTREE_CHECK");
+  EXPECT_DEATH(HilbertCoords(0, 16, 4), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

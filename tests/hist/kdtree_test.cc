@@ -1,0 +1,118 @@
+#include "hist/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+PointSet SkewedPoints(std::size_t n, Rng& rng) {
+  PointSet points(2);
+  double p[2];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.7) {
+      p[0] = 0.2 + 0.05 * rng.NextDouble();
+      p[1] = 0.8 + 0.05 * rng.NextDouble();
+    } else {
+      p[0] = rng.NextDouble();
+      p[1] = rng.NextDouble();
+    }
+    points.Add(p);
+  }
+  return points;
+}
+
+TEST(PrivateMedianTest, HighEpsilonNearTrueMedian) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 1001; ++i) values.push_back(i / 1000.0);
+  double total = 0.0;
+  for (int rep = 0; rep < 30; ++rep) {
+    total += PrivateMedianSplit(values, 0.0, 1.0, 20.0, rng);
+  }
+  EXPECT_NEAR(total / 30.0, 0.5, 0.05);
+}
+
+TEST(KdTreeTest, LeafCountIsTwoToTheHeight) {
+  Rng rng(2);
+  const PointSet points = SkewedPoints(10000, rng);
+  KdTreeOptions options;
+  options.height = 6;
+  const KdTreeHistogram hist(points, Box::UnitCube(2), 1.0, options, rng);
+  EXPECT_EQ(hist.LeafCount(), 64u);
+}
+
+TEST(KdTreeTest, LeavesPartitionTheDomain) {
+  Rng rng(3);
+  const PointSet points = SkewedPoints(5000, rng);
+  KdTreeOptions options;
+  options.height = 5;
+  const KdTreeHistogram hist(points, Box::UnitCube(2), 1.0, options, rng);
+  double volume = 0.0;
+  for (NodeId leaf : hist.tree().LeafIds()) {
+    volume += hist.tree().node(leaf).domain.Volume();
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-9);
+}
+
+TEST(KdTreeTest, FullDomainQueryNearCardinality) {
+  Rng rng(4);
+  const PointSet points = SkewedPoints(50000, rng);
+  const KdTreeHistogram hist(points, Box::UnitCube(2), 1.0, {}, rng);
+  EXPECT_NEAR(hist.Query(Box::UnitCube(2)), 50000.0, 3000.0);
+}
+
+TEST(KdTreeTest, AdaptsSplitsTowardDenseRegions) {
+  Rng rng(5);
+  const PointSet points = SkewedPoints(50000, rng);
+  KdTreeOptions options;
+  options.height = 8;
+  const KdTreeHistogram hist(points, Box::UnitCube(2), 1.6, options, rng);
+  // The leaf containing the cluster centre should be much smaller than the
+  // leaf containing the empty corner.
+  const std::vector<double> cluster = {0.22, 0.82};
+  const std::vector<double> corner = {0.95, 0.05};
+  double cluster_volume = 0.0, corner_volume = 0.0;
+  for (NodeId leaf : hist.tree().LeafIds()) {
+    const Box& box = hist.tree().node(leaf).domain;
+    if (box.Contains(cluster)) cluster_volume = box.Volume();
+    if (box.Contains(corner)) corner_volume = box.Volume();
+  }
+  ASSERT_GT(cluster_volume, 0.0);
+  ASSERT_GT(corner_volume, 0.0);
+  EXPECT_LT(cluster_volume, corner_volume);
+}
+
+TEST(KdTreeTest, QueryAccuracyOnCluster) {
+  Rng rng(6);
+  const PointSet points = SkewedPoints(100000, rng);
+  const Box query({0.18, 0.78}, {0.28, 0.88});
+  const double exact = static_cast<double>(points.ExactRangeCount(query));
+  ASSERT_GT(exact, 50000.0);
+  double total_error = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const KdTreeHistogram hist(points, Box::UnitCube(2), 1.0, {}, rng);
+    total_error += std::abs(hist.Query(query) - exact);
+  }
+  EXPECT_LT(total_error / 5.0, 0.2 * exact);
+}
+
+TEST(KdTreeDeathTest, InvalidOptionsAbort) {
+  Rng rng(7);
+  const PointSet points = SkewedPoints(100, rng);
+  KdTreeOptions options;
+  options.height = 0;
+  EXPECT_DEATH(KdTreeHistogram(points, Box::UnitCube(2), 1.0, options, rng),
+               "PRIVTREE_CHECK");
+  options.height = 2;
+  options.split_budget_fraction = 1.0;
+  EXPECT_DEATH(KdTreeHistogram(points, Box::UnitCube(2), 1.0, options, rng),
+               "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

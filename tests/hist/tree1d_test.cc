@@ -1,0 +1,111 @@
+#include "hist/tree1d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "dp/distributions.h"
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+TEST(Tree1DTest, PreservesLength) {
+  Rng rng(1);
+  const std::vector<double> exact(100, 5.0);
+  const auto noisy = MeasureHierarchical1D(exact, 1.0, {}, rng);
+  EXPECT_EQ(noisy.size(), exact.size());
+}
+
+TEST(Tree1DTest, EmptyInput) {
+  Rng rng(2);
+  const auto noisy = MeasureHierarchical1D({}, 1.0, {}, rng);
+  EXPECT_TRUE(noisy.empty());
+}
+
+TEST(Tree1DTest, SmallInputUsesFlatMeasurement) {
+  Rng rng(3);
+  const std::vector<double> exact = {10.0, 20.0, 30.0};
+  const auto noisy = MeasureHierarchical1D(exact, 5.0, {}, rng);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_NEAR(noisy[i], exact[i], 3.0);
+  }
+}
+
+TEST(Tree1DTest, EstimatesAreUnbiased) {
+  Rng rng(4);
+  std::vector<double> exact(256);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    exact[i] = static_cast<double>(i % 17);
+  }
+  std::vector<double> mean(exact.size(), 0.0);
+  constexpr int kReps = 200;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto noisy = MeasureHierarchical1D(exact, 1.0, {}, rng);
+    for (std::size_t i = 0; i < exact.size(); ++i) mean[i] += noisy[i];
+  }
+  for (std::size_t i = 0; i < exact.size(); i += 37) {
+    EXPECT_NEAR(mean[i] / kReps, exact[i], 1.5) << i;
+  }
+}
+
+TEST(Tree1DTest, RangeSumsBeatFlatMeasurementForLargeRanges) {
+  // The point of the hierarchy: a prefix sum over half the domain touches
+  // O(log n) nodes instead of n/2 cells.
+  Rng rng(5);
+  std::vector<double> exact(4096, 3.0);
+  const double true_half =
+      std::accumulate(exact.begin(), exact.begin() + 2048, 0.0);
+  const double epsilon = 0.5;
+
+  double hier_error = 0.0, flat_error = 0.0;
+  constexpr int kReps = 30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto hier = MeasureHierarchical1D(exact, epsilon, {}, rng);
+    hier_error += std::abs(
+        std::accumulate(hier.begin(), hier.begin() + 2048, 0.0) - true_half);
+    // Flat: Lap(1/ε) per cell.
+    double flat_sum = 0.0;
+    for (int i = 0; i < 2048; ++i) {
+      flat_sum += exact[static_cast<std::size_t>(i)] +
+                  SampleLaplace(rng, 1.0 / epsilon);
+    }
+    flat_error += std::abs(flat_sum - true_half);
+  }
+  EXPECT_LT(hier_error, flat_error);
+}
+
+TEST(Tree1DTest, ConsistencyHoldsAcrossBranches) {
+  // After mean-consistency, the sum of all leaves under any level-1 node
+  // equals that node's final value — indirectly testable: two runs of the
+  // full-vector sum have variance governed by the top level only, which is
+  // far below n·Var(leaf).
+  Rng rng(6);
+  const std::vector<double> exact(4096, 1.0);
+  const double total_true = 4096.0;
+  double total_error = 0.0;
+  constexpr int kReps = 20;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto noisy = MeasureHierarchical1D(exact, 1.0, {}, rng);
+    total_error += std::abs(
+        std::accumulate(noisy.begin(), noisy.end(), 0.0) - total_true);
+  }
+  // Flat noise would give mean |error| ≈ √(2·4096/π) ≈ 51; the hierarchy's
+  // top level (16 nodes at scale 3) gives ≈ √(2·16/π)·3 ≈ 9.6.
+  EXPECT_LT(total_error / kReps, 30.0);
+}
+
+TEST(Tree1DDeathTest, InvalidOptionsAbort) {
+  Rng rng(7);
+  const std::vector<double> exact(10, 1.0);
+  EXPECT_DEATH(MeasureHierarchical1D(exact, 0.0, {}, rng), "PRIVTREE_CHECK");
+  Tree1DOptions options;
+  options.branching = 1;
+  EXPECT_DEATH(MeasureHierarchical1D(exact, 1.0, options, rng),
+               "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,74 @@
+#include "hist/ug.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+PointSet RandomPoints(std::size_t n, std::size_t dim, Rng& rng) {
+  PointSet points(dim);
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& x : p) x = rng.NextDouble();
+    points.Add(p);
+  }
+  return points;
+}
+
+TEST(UgTest, GranularityFollowsHeuristic) {
+  // m = (nε/10)^(2/(d+2)); for n = 10^6, ε = 1, d = 2: (10^5)^(1/2) ≈ 317.
+  const std::int64_t m = UniformGridGranularity(1000000, 2, 1.0);
+  EXPECT_NEAR(static_cast<double>(m), std::sqrt(1e5), 2.0);
+}
+
+TEST(UgTest, GranularityGrowsWithEpsilon) {
+  EXPECT_LT(UniformGridGranularity(100000, 2, 0.05),
+            UniformGridGranularity(100000, 2, 1.6));
+}
+
+TEST(UgTest, GranularityShrinksWithDimension) {
+  EXPECT_GT(UniformGridGranularity(100000, 2, 1.0),
+            UniformGridGranularity(100000, 4, 1.0));
+}
+
+TEST(UgTest, CellScaleMultipliesTotalCells) {
+  UniformGridOptions big;
+  big.cell_scale = 9.0;
+  const std::int64_t base = UniformGridGranularity(500000, 2, 0.5);
+  const std::int64_t scaled = UniformGridGranularity(500000, 2, 0.5, big);
+  // 9× the cells is 3× per dimension in 2-d.
+  EXPECT_NEAR(static_cast<double>(scaled) / static_cast<double>(base), 3.0,
+              0.15);
+}
+
+TEST(UgTest, SmallDatasetsGetAtLeastOneCell) {
+  EXPECT_GE(UniformGridGranularity(1, 2, 0.05), 1);
+}
+
+TEST(UgTest, QueryIsReasonablyAccurateAtHighEpsilon) {
+  Rng rng(1);
+  const PointSet points = RandomPoints(100000, 2, rng);
+  const auto grid =
+      BuildUniformGrid(points, Box::UnitCube(2), 1.6, {}, rng);
+  const Box query({0.2, 0.2}, {0.6, 0.7});
+  const double exact = static_cast<double>(points.ExactRangeCount(query));
+  EXPECT_NEAR(grid.Query(query), exact, 0.1 * exact);
+}
+
+TEST(UgTest, NoiseDominatesAtTinyEpsilonWithManyCells) {
+  // Sanity check of the UG error model: per-cell noise Lap(1/ε) with
+  // ε = 0.05 is large; total still near n because noise cancels.
+  Rng rng(2);
+  const PointSet points = RandomPoints(50000, 2, rng);
+  const auto grid =
+      BuildUniformGrid(points, Box::UnitCube(2), 0.05, {}, rng);
+  EXPECT_NEAR(grid.Query(Box::UnitCube(2)), 50000.0, 5000.0);
+}
+
+}  // namespace
+}  // namespace privtree

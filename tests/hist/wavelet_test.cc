@@ -1,0 +1,161 @@
+#include "hist/wavelet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+TEST(HaarTest, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  std::vector<double> line(64);
+  for (auto& x : line) x = rng.NextDouble() * 10.0;
+  const std::vector<double> original = line;
+  HaarForward(&line);
+  HaarInverse(&line);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    EXPECT_NEAR(line[i], original[i], 1e-9) << i;
+  }
+}
+
+TEST(HaarTest, LengthTwoIsAverageAndHalfDifference) {
+  std::vector<double> line = {3.0, 1.0};
+  HaarForward(&line);
+  EXPECT_DOUBLE_EQ(line[0], 2.0);  // (3+1)/2.
+  EXPECT_DOUBLE_EQ(line[1], 1.0);  // (3−1)/2.
+}
+
+TEST(HaarTest, FirstCoefficientIsGlobalAverage) {
+  std::vector<double> line = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  HaarForward(&line);
+  EXPECT_DOUBLE_EQ(line[0], 4.5);
+}
+
+TEST(HaarTest, ConstantVectorHasZeroDetailCoefficients) {
+  std::vector<double> line(32, 7.0);
+  HaarForward(&line);
+  EXPECT_DOUBLE_EQ(line[0], 7.0);
+  for (std::size_t i = 1; i < line.size(); ++i) {
+    EXPECT_DOUBLE_EQ(line[i], 0.0) << i;
+  }
+}
+
+TEST(HaarWeightsTest, MatchesPaperWeights) {
+  // m = 8: W(0) = 8; positions 1 → 8; 2,3 → 4; 4..7 → 2.
+  const auto weights = HaarWeights(8);
+  ASSERT_EQ(weights.size(), 8u);
+  EXPECT_DOUBLE_EQ(weights[0], 8.0);
+  EXPECT_DOUBLE_EQ(weights[1], 8.0);
+  EXPECT_DOUBLE_EQ(weights[2], 4.0);
+  EXPECT_DOUBLE_EQ(weights[3], 4.0);
+  for (std::size_t p = 4; p < 8; ++p) EXPECT_DOUBLE_EQ(weights[p], 2.0);
+}
+
+TEST(HaarWeightsTest, UnitTupleChangeHasWeightedL1SensitivityOnePlusLogM) {
+  // Generalized sensitivity: adding one point to leaf j changes each
+  // coefficient c by Δc with Σ W(c)·|Δc| = 1 + log2 m.
+  constexpr std::size_t kM = 64;
+  const auto weights = HaarWeights(kM);
+  for (std::size_t leaf : {std::size_t{0}, std::size_t{17}, kM - 1}) {
+    std::vector<double> line(kM, 0.0);
+    line[leaf] = 1.0;
+    HaarForward(&line);
+    double weighted = 0.0;
+    for (std::size_t p = 0; p < kM; ++p) {
+      weighted += weights[p] * std::abs(line[p]);
+    }
+    EXPECT_NEAR(weighted, 1.0 + std::log2(static_cast<double>(kM)), 1e-9)
+        << "leaf " << leaf;
+  }
+}
+
+TEST(HaarWeightsTest, MultiDimSensitivityIsProductOfPerDimFactors) {
+  // Standard (per-dimension) decomposition of a 2-d grid: one tuple's
+  // weighted coefficient change must be (1 + log2 m)^2.
+  constexpr std::size_t kM = 16;
+  const auto weights = HaarWeights(kM);
+  std::vector<double> grid(kM * kM, 0.0);
+  grid[5 * kM + 11] = 1.0;  // One tuple at cell (5, 11).
+  // Transform rows then columns.
+  std::vector<double> line(kM);
+  for (std::size_t r = 0; r < kM; ++r) {
+    for (std::size_t c = 0; c < kM; ++c) line[c] = grid[r * kM + c];
+    HaarForward(&line);
+    for (std::size_t c = 0; c < kM; ++c) grid[r * kM + c] = line[c];
+  }
+  for (std::size_t c = 0; c < kM; ++c) {
+    for (std::size_t r = 0; r < kM; ++r) line[r] = grid[r * kM + c];
+    HaarForward(&line);
+    for (std::size_t r = 0; r < kM; ++r) grid[r * kM + c] = line[r];
+  }
+  double weighted = 0.0;
+  for (std::size_t r = 0; r < kM; ++r) {
+    for (std::size_t c = 0; c < kM; ++c) {
+      weighted += weights[r] * weights[c] * std::abs(grid[r * kM + c]);
+    }
+  }
+  const double per_dim = 1.0 + std::log2(static_cast<double>(kM));
+  EXPECT_NEAR(weighted, per_dim * per_dim, 1e-9);
+}
+
+PointSet RandomPoints(std::size_t n, std::size_t dim, Rng& rng) {
+  PointSet points(dim);
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& x : p) x = rng.NextDouble();
+    points.Add(p);
+  }
+  return points;
+}
+
+TEST(PriveletTest, FullDomainQueryNearCardinality) {
+  Rng rng(2);
+  const PointSet points = RandomPoints(100000, 2, rng);
+  PriveletOptions options;
+  options.target_total_cells = 1 << 12;  // 64×64 keeps the test fast.
+  const auto grid = BuildPriveletHistogram(points, Box::UnitCube(2), 1.0,
+                                           options, rng);
+  EXPECT_NEAR(grid.Query(Box::UnitCube(2)), 100000.0, 5000.0);
+}
+
+TEST(PriveletTest, LargeRangeQueriesHavePolylogError) {
+  // The wavelet mechanism's selling point: large queries do not accumulate
+  // per-cell noise linearly.
+  Rng rng(3);
+  const PointSet points = RandomPoints(200000, 2, rng);
+  PriveletOptions options;
+  options.target_total_cells = 1 << 12;
+  const Box query({0.1, 0.1}, {0.9, 0.9});
+  const double exact = static_cast<double>(points.ExactRangeCount(query));
+  double total_error = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto grid = BuildPriveletHistogram(points, Box::UnitCube(2), 0.8,
+                                             options, rng);
+    total_error += std::abs(grid.Query(query) - exact);
+  }
+  EXPECT_LT(total_error / 5.0, 0.05 * exact);
+}
+
+TEST(PriveletTest, FourDimensionalBuildWorks) {
+  Rng rng(4);
+  const PointSet points = RandomPoints(20000, 4, rng);
+  PriveletOptions options;
+  options.target_total_cells = 1 << 12;  // 8 per dim in 4-d.
+  const auto grid = BuildPriveletHistogram(points, Box::UnitCube(4), 1.6,
+                                           options, rng);
+  EXPECT_NEAR(grid.Query(Box::UnitCube(4)), 20000.0, 8000.0);
+}
+
+TEST(PriveletDeathTest, OddLengthLineAborts) {
+  std::vector<double> line(10, 1.0);
+  EXPECT_DEATH(HaarForward(&line), "PRIVTREE_CHECK");
+  EXPECT_DEATH(HaarInverse(&line), "PRIVTREE_CHECK");
+  EXPECT_DEATH(HaarWeights(12), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,212 @@
+// Failure-injection and boundary-condition tests across the whole
+// pipeline: empty and singleton datasets, duplicate-heavy data, extreme
+// privacy budgets, unusual dimensionalities and alphabets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+#include "hist/ug.h"
+#include "seq/ngram.h"
+#include "seq/pst_privtree.h"
+#include "seq/topk.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree {
+namespace {
+
+TEST(EdgeCaseTest, EmptyPointSetProducesWorkingHistogram) {
+  Rng rng(1);
+  const PointSet empty(2);
+  const auto hist =
+      BuildPrivTreeHistogram(empty, Box::UnitCube(2), 1.0, {}, rng);
+  EXPECT_GE(hist.tree.size(), 1u);
+  const double answer = hist.Query(Box({0.1, 0.1}, {0.9, 0.9}));
+  EXPECT_TRUE(std::isfinite(answer));
+  // Pure noise, but centered at 0.
+  EXPECT_LT(std::abs(answer), 100.0);
+}
+
+TEST(EdgeCaseTest, SinglePointDataset) {
+  Rng rng(2);
+  PointSet points(2);
+  const std::vector<double> p = {0.3, 0.7};
+  points.Add(p);
+  const auto hist =
+      BuildPrivTreeHistogram(points, Box::UnitCube(2), 1.0, {}, rng);
+  EXPECT_TRUE(std::isfinite(hist.Query(Box::UnitCube(2))));
+}
+
+TEST(EdgeCaseTest, AllPointsIdentical) {
+  // 50k copies of one point: the tree must not loop forever, and the
+  // point's cell must be resolvable.
+  Rng rng(3);
+  PointSet points(2);
+  const std::vector<double> p = {0.123456, 0.654321};
+  for (int i = 0; i < 50000; ++i) points.Add(p);
+  const auto hist =
+      BuildPrivTreeHistogram(points, Box::UnitCube(2), 1.0, {}, rng);
+  // Identical points keep counts maximal along one path; the structural
+  // bit budget (63 levels in 2-d) must stop the recursion.
+  EXPECT_LE(hist.tree.Height(), 63);
+  const Box tight({0.12, 0.65}, {0.13, 0.66});
+  EXPECT_NEAR(hist.Query(tight), 50000.0, 2500.0);
+}
+
+TEST(EdgeCaseTest, OneDimensionalData) {
+  Rng rng(4);
+  PointSet points(1);
+  for (int i = 0; i < 10000; ++i) {
+    const std::vector<double> p = {0.5 + 0.001 * rng.NextDouble()};
+    points.Add(p);
+  }
+  const auto hist =
+      BuildPrivTreeHistogram(points, Box::UnitCube(1), 0.8, {}, rng);
+  EXPECT_NEAR(hist.Query(Box({0.49}, {0.51})), 10000.0, 1000.0);
+  EXPECT_NEAR(hist.Query(Box({0.6}, {0.9})), 0.0, 500.0);
+}
+
+TEST(EdgeCaseTest, ThreeDimensionalData) {
+  Rng rng(5);
+  PointSet points(3);
+  double p[3];
+  for (int i = 0; i < 20000; ++i) {
+    for (auto& x : p) x = 0.5 * rng.NextDouble();
+    points.Add(p);
+  }
+  const auto hist =
+      BuildPrivTreeHistogram(points, Box::UnitCube(3), 1.0, {}, rng);
+  EXPECT_NEAR(hist.Query(Box({0.0, 0.0, 0.0}, {0.5, 0.5, 0.5})), 20000.0,
+              2000.0);
+}
+
+TEST(EdgeCaseTest, TinyEpsilonStillTerminatesAndIsFinite) {
+  Rng rng(6);
+  PointSet points(2);
+  double p[2];
+  for (int i = 0; i < 5000; ++i) {
+    p[0] = rng.NextDouble();
+    p[1] = rng.NextDouble();
+    points.Add(p);
+  }
+  const auto hist =
+      BuildPrivTreeHistogram(points, Box::UnitCube(2), 1e-4, {}, rng);
+  EXPECT_LT(hist.tree.size(), 10000u);
+  EXPECT_TRUE(std::isfinite(hist.Query(Box::UnitCube(2))));
+}
+
+TEST(EdgeCaseTest, HugeEpsilonApproachesExactCounts) {
+  Rng rng(7);
+  PointSet points(2);
+  double p[2];
+  for (int i = 0; i < 5000; ++i) {
+    p[0] = rng.NextDouble();
+    p[1] = rng.NextDouble();
+    points.Add(p);
+  }
+  const auto hist =
+      BuildPrivTreeHistogram(points, Box::UnitCube(2), 1000.0, {}, rng);
+  const Box q({0.0, 0.0}, {0.5, 1.0});
+  EXPECT_NEAR(hist.Query(q),
+              static_cast<double>(points.ExactRangeCount(q)), 100.0);
+}
+
+TEST(EdgeCaseTest, PointsOutsideTheDeclaredDomainAreClamped) {
+  Rng rng(8);
+  PointSet points(2);
+  const std::vector<double> inside = {0.5, 0.5};
+  const std::vector<double> outside = {3.0, -2.0};
+  for (int i = 0; i < 1000; ++i) points.Add(i % 2 ? inside : outside);
+  const auto hist =
+      BuildPrivTreeHistogram(points, Box::UnitCube(2), 1.0, {}, rng);
+  EXPECT_TRUE(std::isfinite(hist.Query(Box::UnitCube(2))));
+}
+
+TEST(EdgeCaseTest, UgOnEmptyData) {
+  Rng rng(9);
+  const PointSet empty(2);
+  const auto grid = BuildUniformGrid(empty, Box::UnitCube(2), 1.0, {}, rng);
+  EXPECT_TRUE(std::isfinite(grid.Query(Box::UnitCube(2))));
+}
+
+TEST(EdgeCaseTest, EmptySequenceDatasetProducesWorkingPst) {
+  Rng rng(10);
+  const SequenceDataset empty(3);
+  PrivatePstOptions options;
+  options.l_top = 5;
+  const auto result = BuildPrivatePst(empty, 1.0, options, rng);
+  EXPECT_GE(result.model.size(), 1u);
+  const std::vector<Symbol> s = {0, 1};
+  EXPECT_TRUE(std::isfinite(result.model.EstimateStringFrequency(s)));
+  // Sampling terminates (possibly empty sequences).
+  const auto sampled = result.model.SampleSequence(rng, 5);
+  EXPECT_LE(sampled.size(), 5u);
+}
+
+TEST(EdgeCaseTest, SingleSymbolAlphabet) {
+  Rng rng(11);
+  SequenceDataset data(1);
+  for (int i = 0; i < 1000; ++i) {
+    data.Add(std::vector<Symbol>(3, 0));
+  }
+  PrivatePstOptions options;
+  options.l_top = 4;
+  const auto result = BuildPrivatePst(data.Truncate(4), 1.6, options, rng);
+  const std::vector<Symbol> s = {0, 0};
+  EXPECT_GT(result.model.EstimateStringFrequency(s), 0.0);
+}
+
+TEST(EdgeCaseTest, SequencesOfEmptyStrings) {
+  Rng rng(12);
+  SequenceDataset data(2);
+  for (int i = 0; i < 500; ++i) data.Add(std::vector<Symbol>{});
+  PrivatePstOptions options;
+  options.l_top = 3;
+  const auto result = BuildPrivatePst(data, 1.0, options, rng);
+  // The model should predict immediate termination almost always.
+  int empties = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (result.model.SampleSequence(rng, 3).empty()) ++empties;
+  }
+  EXPECT_GT(empties, 60);
+}
+
+TEST(EdgeCaseTest, NgramOnTinyData) {
+  Rng rng(13);
+  SequenceDataset data(2);
+  data.Add(std::vector<Symbol>{0});
+  NgramOptions options;
+  options.l_top = 2;
+  const NgramModel model(data, 0.5, options, rng);
+  EXPECT_TRUE(std::isfinite(model.InitialCount(0)));
+  const auto sampled = model.SampleSequence(rng, 4);
+  EXPECT_LE(sampled.size(), 4u);
+}
+
+TEST(EdgeCaseTest, TopKWithKOne) {
+  SequenceDataset data(2);
+  for (int i = 0; i < 10; ++i) data.Add(std::vector<Symbol>{0, 1});
+  const auto topk = ExactTopKStrings(data, 1, 3);
+  ASSERT_EQ(topk.strings.size(), 1u);
+}
+
+TEST(EdgeCaseTest, QueryCrossingTheDomainBoundary) {
+  Rng rng(14);
+  PointSet points(2);
+  double p[2];
+  for (int i = 0; i < 2000; ++i) {
+    p[0] = rng.NextDouble();
+    p[1] = rng.NextDouble();
+    points.Add(p);
+  }
+  const auto hist =
+      BuildPrivTreeHistogram(points, Box::UnitCube(2), 1.6, {}, rng);
+  // A query extending past the domain sees only the inside part.
+  const Box crossing({0.5, 0.5}, {2.0, 2.0});
+  const Box inside({0.5, 0.5}, {1.0, 1.0});
+  EXPECT_NEAR(hist.Query(crossing), hist.Query(inside), 1e-9);
+}
+
+}  // namespace
+}  // namespace privtree

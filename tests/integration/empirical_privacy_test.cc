@@ -1,0 +1,126 @@
+// End-to-end empirical differential-privacy checks of the *released tree
+// shapes*, run through the full production stacks (Morton-index spatial
+// policy; posting-list PST policy).  These catch sensitivity bugs — e.g.
+// an off-by-one in occurrence counting — that unit tests of the abstract
+// algorithm cannot see.
+//
+// Method: run the builder many times on neighboring datasets D ⊂ D'
+// (one extra record), histogram the released shapes, and check that
+// frequency ratios stay within e^ε_shape up to sampling slack.  Counts are
+// continuous and cannot be histogrammed; the shape is the part whose
+// privacy Theorem 3.1 covers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "core/privtree.h"
+#include "core/privtree_params.h"
+#include "dp/rng.h"
+#include "seq/pst_privtree.h"
+#include "spatial/morton_index.h"
+#include "spatial/quadtree_policy.h"
+
+namespace privtree {
+namespace {
+
+template <typename Domain>
+std::string ShapeSignature(const DecompTree<Domain>& tree) {
+  std::string signature;
+  signature.reserve(tree.size());
+  for (const auto& node : tree.nodes()) {
+    signature.push_back(static_cast<char>('0' + node.children.size() % 10));
+  }
+  return signature;
+}
+
+std::string ModelShapeSignature(const PstModel& model) {
+  std::string signature;
+  signature.reserve(model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    signature.push_back(static_cast<char>(
+        '0' + model.node(static_cast<NodeId>(i)).children.size() % 10));
+  }
+  return signature;
+}
+
+TEST(EmpiricalPrivacyTest, SpatialTreeShapeThroughMortonStack) {
+  // D: 3 copies of one point; D': 4 copies.  The point-count score changes
+  // by exactly 1 on the point's root-to-leaf path — sensitivity 1.
+  const double epsilon = 1.0;
+  PointSet d_small(2), d_large(2);
+  const std::vector<double> p = {0.31, 0.77};
+  for (int i = 0; i < 3; ++i) d_small.Add(p);
+  for (int i = 0; i < 4; ++i) d_large.Add(p);
+  const Box domain = Box::UnitCube(2);
+  const MortonIndex index_small(d_small, domain);
+  const MortonIndex index_large(d_large, domain);
+  const QuadtreePolicy policy_small(index_small, domain, 2);
+  const QuadtreePolicy policy_large(index_large, domain, 2);
+  auto params = PrivTreeParams::ForEpsilon(epsilon, 4);
+  params.max_depth = 4;  // Keeps the output space histogrammable.
+
+  constexpr int kTrials = 30000;
+  Rng rng(0xE9);
+  std::map<std::string, int> counts_small, counts_large;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    counts_small[ShapeSignature(RunPrivTree(policy_small, params, rng))]++;
+    counts_large[ShapeSignature(RunPrivTree(policy_large, params, rng))]++;
+  }
+  const double bound = std::exp(epsilon);
+  int comparable = 0;
+  for (const auto& [signature, count] : counts_small) {
+    const auto it = counts_large.find(signature);
+    const int other = it == counts_large.end() ? 0 : it->second;
+    if (count < 300 || other < 300) continue;
+    ++comparable;
+    const double ratio = static_cast<double>(count) / other;
+    EXPECT_LT(ratio, bound * 1.3) << signature;
+    EXPECT_GT(ratio, 1.0 / (bound * 1.3)) << signature;
+  }
+  EXPECT_GE(comparable, 2);  // The test must actually test something.
+}
+
+TEST(EmpiricalPrivacyTest, PstTreeShapeThroughPostingStack) {
+  // Alphabet {0}, l⊤ = 2.  D: 4 copies of "00"; D': 5 copies.  One extra
+  // sequence changes each node's Eq.-13 score by at most l⊤ = 2, which is
+  // what the builder's sensitivity parameter assumes.
+  const double epsilon = 2.0;
+  SequenceDataset d_small(1), d_large(1);
+  const std::vector<Symbol> s = {0, 0};
+  for (int i = 0; i < 4; ++i) d_small.Add(s);
+  for (int i = 0; i < 5; ++i) d_large.Add(s);
+  const SequenceDataset t_small = d_small.Truncate(2);
+  const SequenceDataset t_large = d_large.Truncate(2);
+  PrivatePstOptions options;
+  options.l_top = 2;
+
+  constexpr int kTrials = 20000;
+  Rng rng(0xEA);
+  std::map<std::string, int> counts_small, counts_large;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    counts_small[ModelShapeSignature(
+        BuildPrivatePst(t_small, epsilon, options, rng).model)]++;
+    counts_large[ModelShapeSignature(
+        BuildPrivatePst(t_large, epsilon, options, rng).model)]++;
+  }
+  // Whole-release budget ε; the shape alone consumed only ε/β = ε/2, so
+  // shape-frequency ratios must respect e^{ε/2}... the counts consumed the
+  // rest but are not part of the signature.
+  const double bound = std::exp(epsilon / 2.0);
+  int comparable = 0;
+  for (const auto& [signature, count] : counts_small) {
+    const auto it = counts_large.find(signature);
+    const int other = it == counts_large.end() ? 0 : it->second;
+    if (count < 300 || other < 300) continue;
+    ++comparable;
+    const double ratio = static_cast<double>(count) / other;
+    EXPECT_LT(ratio, bound * 1.3) << signature;
+    EXPECT_GT(ratio, 1.0 / (bound * 1.3)) << signature;
+  }
+  EXPECT_GE(comparable, 1);
+}
+
+}  // namespace
+}  // namespace privtree

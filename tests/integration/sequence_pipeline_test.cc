@@ -1,0 +1,142 @@
+// End-to-end integration of the sequence pipeline: synthetic behaviour
+// data → truncation → private models (PrivTree-PST, N-gram, EM) → top-k
+// mining and synthetic-data generation — miniature Figures 6 and 7.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "data/seq_gen.h"
+#include "dp/budget.h"
+#include "dp/quantile.h"
+#include "dp/rng.h"
+#include "eval/metrics.h"
+#include "seq/em_topk.h"
+#include "seq/ngram.h"
+#include "seq/pst_privtree.h"
+#include "seq/topk.h"
+
+namespace privtree {
+namespace {
+
+class SequencePipelineTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 30000;
+  static constexpr std::size_t kLTop = 30;
+  static constexpr std::size_t kMaxLen = 5;
+
+  void SetUp() override {
+    Rng data_rng(4242);
+    raw_ = std::make_unique<SequenceDataset>(GenerateMoocLike(kN, data_rng));
+    truncated_ = std::make_unique<SequenceDataset>(raw_->Truncate(kLTop));
+    exact_topk_ = ExactTopKStrings(*truncated_, 50, kMaxLen);
+  }
+
+  double PstPrecision(double epsilon, Rng& rng) const {
+    PrivatePstOptions options;
+    options.l_top = kLTop;
+    const auto result = BuildPrivatePst(*truncated_, epsilon, options, rng);
+    const auto found = TopKFromModel(result.model, 50, kMaxLen);
+    return TopKPrecision(exact_topk_, found);
+  }
+
+  std::unique_ptr<SequenceDataset> raw_;
+  std::unique_ptr<SequenceDataset> truncated_;
+  TopKStrings exact_topk_;
+};
+
+TEST_F(SequencePipelineTest, PstPrecisionGrowsWithEpsilon) {
+  Rng rng(1);
+  double low = 0.0, high = 0.0;
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    low += PstPrecision(0.05, rng);
+    high += PstPrecision(1.6, rng);
+  }
+  EXPECT_GE(high, low);
+  EXPECT_GT(high / kReps, 0.5);
+}
+
+TEST_F(SequencePipelineTest, PstBeatsEmAtModerateBudget) {
+  // Figure 6's headline: PrivTree ≫ EM.
+  Rng rng(2);
+  double pst_precision = 0.0, em_precision = 0.0;
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    pst_precision += PstPrecision(0.8, rng);
+    EmTopKOptions em_options;
+    em_options.l_top = kLTop;
+    const auto em = EmTopKStrings(*truncated_, 0.8, 50, em_options, rng);
+    em_precision += TopKPrecision(exact_topk_, em);
+  }
+  EXPECT_GT(pst_precision, em_precision);
+}
+
+TEST_F(SequencePipelineTest, PstAtLeastMatchesNgramAtModerateBudget) {
+  Rng rng(3);
+  double pst_precision = 0.0, ngram_precision = 0.0;
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    pst_precision += PstPrecision(0.8, rng);
+    NgramOptions ngram_options;
+    ngram_options.l_top = kLTop;
+    const NgramModel ngram(*truncated_, 0.8, ngram_options, rng);
+    ngram_precision +=
+        TopKPrecision(exact_topk_, TopKFromModel(ngram, 50, kMaxLen));
+  }
+  EXPECT_GE(pst_precision + 0.15, ngram_precision);
+}
+
+TEST_F(SequencePipelineTest, SyntheticLengthDistributionIsClose) {
+  // Figure 7: the PST's synthetic data approximates the length
+  // distribution well at large ε.
+  Rng rng(4);
+  PrivatePstOptions options;
+  options.l_top = kLTop;
+  const auto result = BuildPrivatePst(*truncated_, 1.6, options, rng);
+  SequenceDataset synthetic(truncated_->alphabet_size());
+  for (std::size_t i = 0; i < 5000; ++i) {
+    synthetic.Add(result.model.SampleSequence(rng, kLTop));
+  }
+  const auto real_hist = truncated_->LengthHistogram();
+  const auto synth_hist = synthetic.LengthHistogram();
+  const double tvd = TotalVariationDistance(
+      std::vector<double>(real_hist.begin(), real_hist.end()),
+      std::vector<double>(synth_hist.begin(), synth_hist.end()));
+  EXPECT_LT(tvd, 0.2);
+}
+
+TEST_F(SequencePipelineTest, PrivateQuantileDrivesTheLengthCap) {
+  // Footnote 2's recipe end to end: spend a slice of budget on a private
+  // ~95% quantile, use it as l_top, then build the model with the rest.
+  Rng rng(6);
+  PrivacyBudget budget(1.0);
+  std::vector<double> lengths(raw_->size());
+  for (std::size_t i = 0; i < raw_->size(); ++i) {
+    lengths[i] = static_cast<double>(raw_->LengthWithEnd(i));
+  }
+  const double quantile_epsilon = budget.SpendFraction(0.05);
+  const double q =
+      PrivateQuantile(lengths, 0.95, 1.0, 200.0, quantile_epsilon, rng);
+  const auto l_top = static_cast<std::size_t>(q) + 1;
+  // The mooc generator's 95% quantile is around 30-40.
+  EXPECT_GT(l_top, 15u);
+  EXPECT_LT(l_top, 80u);
+  PrivatePstOptions options;
+  options.l_top = l_top;
+  const auto result = BuildPrivatePst(raw_->Truncate(l_top),
+                                      budget.SpendRemaining(), options, rng);
+  EXPECT_GE(result.model.size(), 1u);
+}
+
+TEST_F(SequencePipelineTest, TruncateBaselineIsAnUpperReference) {
+  // The non-private Truncate baseline answers from the truncated data
+  // itself; its "precision" against its own top-k is 1 by construction,
+  // and any private method stays at or below it.
+  Rng rng(5);
+  const double pst = PstPrecision(1.6, rng);
+  EXPECT_LE(pst, 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,138 @@
+// End-to-end integration of the spatial pipeline: synthetic data →
+// private synopses (PrivTree + all baselines) → range-query workloads →
+// relative-error metrics.  These mirror miniature versions of Figure 5 and
+// assert the paper's *qualitative* findings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/spatial_gen.h"
+#include "dp/rng.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "hist/ag.h"
+#include "hist/dawa.h"
+#include "hist/hierarchy.h"
+#include "hist/ug.h"
+#include "hist/wavelet.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree {
+namespace {
+
+class SpatialPipelineTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 60000;
+
+  void SetUp() override {
+    Rng data_rng(99);
+    points_ = std::make_unique<PointSet>(GenerateRoadLike(kN, data_rng));
+    domain_ = Box::UnitCube(2);
+    Rng workload_rng(7);
+    queries_ = GenerateRangeQueries(domain_, 150, kMediumQueries,
+                                    workload_rng);
+    exact_ = ExactAnswers(queries_, *points_);
+  }
+
+  double PrivTreeError(double epsilon, Rng& rng) const {
+    const auto hist =
+        BuildPrivTreeHistogram(*points_, domain_, epsilon, {}, rng);
+    return MeanRelativeError(
+        queries_, exact_, [&](const Box& q) { return hist.Query(q); }, kN);
+  }
+
+  std::unique_ptr<PointSet> points_;
+  Box domain_;
+  std::vector<Box> queries_;
+  std::vector<double> exact_;
+};
+
+TEST_F(SpatialPipelineTest, PrivTreeErrorDecreasesWithEpsilon) {
+  Rng rng(1);
+  const double coarse = PrivTreeError(0.05, rng);
+  const double fine = PrivTreeError(1.6, rng);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 0.10);
+}
+
+TEST_F(SpatialPipelineTest, PrivTreeBeatsUniformGridOnSkewedData) {
+  // Figure 5(a–c): on road-like data PrivTree ≪ UG.
+  Rng rng(2);
+  double privtree_error = 0.0, ug_error = 0.0;
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    privtree_error += PrivTreeError(0.4, rng);
+    const auto ug = BuildUniformGrid(*points_, domain_, 0.4, {}, rng);
+    ug_error += MeanRelativeError(
+        queries_, exact_, [&](const Box& q) { return ug.Query(q); }, kN);
+  }
+  EXPECT_LT(privtree_error, ug_error);
+}
+
+TEST_F(SpatialPipelineTest, PrivTreeBeatsHierarchyOnSkewedData) {
+  Rng rng(3);
+  double privtree_error = 0.0, hierarchy_error = 0.0;
+  constexpr int kReps = 3;
+  for (int rep = 0; rep < kReps; ++rep) {
+    privtree_error += PrivTreeError(0.4, rng);
+    const HierarchyHistogram hier(*points_, domain_, 0.4, {}, rng);
+    hierarchy_error += MeanRelativeError(
+        queries_, exact_, [&](const Box& q) { return hier.Query(q); }, kN);
+  }
+  EXPECT_LT(privtree_error, hierarchy_error);
+}
+
+TEST_F(SpatialPipelineTest, AgBeatsUg) {
+  // Consistent with Figure 5 and [41]: AG improves on UG.
+  Rng rng(4);
+  double ag_error = 0.0, ug_error = 0.0;
+  constexpr int kReps = 4;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const AdaptiveGrid ag(*points_, domain_, 0.2, {}, rng);
+    ag_error += MeanRelativeError(
+        queries_, exact_, [&](const Box& q) { return ag.Query(q); }, kN);
+    const auto ug = BuildUniformGrid(*points_, domain_, 0.2, {}, rng);
+    ug_error += MeanRelativeError(
+        queries_, exact_, [&](const Box& q) { return ug.Query(q); }, kN);
+  }
+  EXPECT_LT(ag_error, ug_error);
+}
+
+TEST_F(SpatialPipelineTest, AllMethodsProduceFiniteErrors) {
+  Rng rng(5);
+  PriveletOptions privelet_options;
+  privelet_options.target_total_cells = 1 << 14;
+  DawaOptions dawa_options;
+  dawa_options.target_total_cells = 1 << 14;
+  const auto privelet = BuildPriveletHistogram(*points_, domain_, 0.8,
+                                               privelet_options, rng);
+  const auto dawa =
+      BuildDawaHistogram(*points_, domain_, 0.8, dawa_options, rng);
+  for (const auto* grid : {&privelet, &dawa}) {
+    const double error = MeanRelativeError(
+        queries_, exact_, [&](const Box& q) { return grid->Query(q); }, kN);
+    EXPECT_TRUE(std::isfinite(error));
+    EXPECT_LT(error, 10.0);
+  }
+}
+
+TEST_F(SpatialPipelineTest, FourDimensionalPipelineRuns) {
+  Rng data_rng(6);
+  const PointSet nyc = GenerateNycLike(20000, data_rng);
+  const Box domain = Box::UnitCube(4);
+  Rng workload_rng(8);
+  const auto queries =
+      GenerateRangeQueries(domain, 60, kLargeQueries, workload_rng);
+  const auto exact = ExactAnswers(queries, nyc);
+  Rng rng(9);
+  const auto hist = BuildPrivTreeHistogram(nyc, domain, 1.6, {}, rng);
+  const double error = MeanRelativeError(
+      queries, exact, [&](const Box& q) { return hist.Query(q); },
+      nyc.size());
+  EXPECT_TRUE(std::isfinite(error));
+  EXPECT_LT(error, 1.0);
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,85 @@
+#include "seq/em_topk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/rng.h"
+#include "seq/sequence.h"
+#include "seq/topk.h"
+
+namespace privtree {
+namespace {
+
+SequenceDataset SkewedData(std::size_t n) {
+  // Symbol 0 dominates massively.
+  SequenceDataset data(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    data.Add(std::vector<Symbol>{0, 0, 0, 0});
+  }
+  data.Add(std::vector<Symbol>{1});
+  data.Add(std::vector<Symbol>{2});
+  return data;
+}
+
+TEST(EmTopKTest, ReturnsKStrings) {
+  Rng rng(1);
+  const SequenceDataset data = SkewedData(1000);
+  EmTopKOptions options;
+  options.l_top = 5;
+  const auto result = EmTopKStrings(data, 1.0, 10, options, rng);
+  EXPECT_EQ(result.strings.size(), 10u);
+}
+
+TEST(EmTopKTest, HighEpsilonFindsTheDominantStrings) {
+  Rng rng(2);
+  const SequenceDataset data = SkewedData(5000);
+  EmTopKOptions options;
+  options.l_top = 5;
+  const auto result = EmTopKStrings(data, 50.0, 4, options, rng);
+  // With a huge budget the mechanism behaves like exact argmax: "0",
+  // "00", "000", "0000" are the four most frequent strings.
+  const auto exact = ExactTopKStrings(data, 4, 5);
+  EXPECT_GE(TopKPrecision(exact, result), 0.75);
+}
+
+TEST(EmTopKTest, SelectionsAreDistinct) {
+  Rng rng(3);
+  const SequenceDataset data = SkewedData(100);
+  EmTopKOptions options;
+  options.l_top = 5;
+  const auto result = EmTopKStrings(data, 2.0, 8, options, rng);
+  for (std::size_t i = 0; i < result.strings.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.strings.size(); ++j) {
+      EXPECT_NE(result.strings[i], result.strings[j]);
+    }
+  }
+}
+
+TEST(EmTopKTest, LowEpsilonDegradesPrecision) {
+  // The paper's observation: EM precision collapses as k grows / ε shrinks.
+  Rng low_rng(4), high_rng(5);
+  const SequenceDataset data = SkewedData(2000);
+  const auto exact = ExactTopKStrings(data, 10, 5);
+  EmTopKOptions options;
+  options.l_top = 5;
+  double low_precision = 0.0, high_precision = 0.0;
+  for (int rep = 0; rep < 10; ++rep) {
+    low_precision += TopKPrecision(
+        exact, EmTopKStrings(data, 0.05, 10, options, low_rng));
+    high_precision += TopKPrecision(
+        exact, EmTopKStrings(data, 100.0, 10, options, high_rng));
+  }
+  EXPECT_LT(low_precision, high_precision);
+}
+
+TEST(EmTopKDeathTest, InvalidArgumentsAbort) {
+  Rng rng(6);
+  const SequenceDataset data = SkewedData(10);
+  EmTopKOptions options;
+  EXPECT_DEATH(EmTopKStrings(data, 0.0, 5, options, rng), "PRIVTREE_CHECK");
+  EXPECT_DEATH(EmTopKStrings(data, 1.0, 0, options, rng), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

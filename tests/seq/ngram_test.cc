@@ -1,0 +1,126 @@
+#include "seq/ngram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/rng.h"
+#include "seq/sequence.h"
+
+namespace privtree {
+namespace {
+
+SequenceDataset PatternData(std::size_t n, Rng& rng) {
+  // "01" bigrams dominate; occasional "22".
+  SequenceDataset data(3);
+  std::vector<Symbol> s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.clear();
+    const std::size_t pairs = 1 + rng.NextBounded(3);
+    for (std::size_t c = 0; c < pairs; ++c) {
+      if (rng.NextDouble() < 0.85) {
+        s.push_back(0);
+        s.push_back(1);
+      } else {
+        s.push_back(2);
+        s.push_back(2);
+      }
+    }
+    data.Add(s);
+  }
+  return data;
+}
+
+TEST(NgramTest, BuildsAndCountsUnigrams) {
+  Rng rng(1);
+  const SequenceDataset data = PatternData(50000, rng).Truncate(10);
+  NgramOptions options;
+  options.l_top = 10;
+  const NgramModel model(data, 1.6, options, rng);
+  // Symbols 0 and 1 appear equally (one per "01" pair).
+  const double c0 = model.InitialCount(0);
+  const double c1 = model.InitialCount(1);
+  EXPECT_NEAR(c0, c1, 0.2 * c0);
+  EXPECT_GT(c0, model.InitialCount(2));
+}
+
+TEST(NgramTest, ReleasedGramCountGrowsWithEpsilon) {
+  Rng rng(2);
+  const SequenceDataset data = PatternData(20000, rng).Truncate(10);
+  NgramOptions options;
+  options.l_top = 10;
+  double low = 0.0, high = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    low += static_cast<double>(
+        NgramModel(data, 0.05, options, rng).ReleasedGramCount());
+    high += static_cast<double>(
+        NgramModel(data, 1.6, options, rng).ReleasedGramCount());
+  }
+  EXPECT_LE(low, high);
+}
+
+TEST(NgramTest, HeightCapsGramLength) {
+  Rng rng(3);
+  const SequenceDataset data = PatternData(50000, rng).Truncate(10);
+  NgramOptions options;
+  options.l_top = 10;
+  options.n_max = 2;
+  const NgramModel shallow(data, 1.6, options, rng);
+  options.n_max = 5;
+  const NgramModel deep(data, 1.6, options, rng);
+  // A 5-level tree can release strictly more grams than a 2-level one.
+  EXPECT_GE(deep.ReleasedGramCount(), shallow.ReleasedGramCount());
+}
+
+TEST(NgramTest, NextDistributionLearnsTheBigram) {
+  Rng rng(4);
+  const SequenceDataset data = PatternData(100000, rng).Truncate(10);
+  NgramOptions options;
+  options.l_top = 10;
+  const NgramModel model(data, 1.6, options, rng);
+  std::vector<double> dist;
+  const std::vector<Symbol> context = {0};
+  model.NextDistribution(context, false, &dist);
+  ASSERT_EQ(dist.size(), 4u);
+  // After a 0, the next symbol is essentially always 1.
+  double total = 0.0;
+  for (double w : dist) total += w;
+  ASSERT_GT(total, 0.0);
+  EXPECT_GT(dist[1] / total, 0.9);
+}
+
+TEST(NgramTest, StringFrequencyRanksLegalOverIllegal) {
+  Rng rng(5);
+  const SequenceDataset data = PatternData(100000, rng).Truncate(10);
+  NgramOptions options;
+  options.l_top = 10;
+  const NgramModel model(data, 1.6, options, rng);
+  const std::vector<Symbol> legal = {0, 1};
+  const std::vector<Symbol> illegal = {1, 2};
+  EXPECT_GT(model.EstimateStringFrequency(legal),
+            10.0 * std::max(model.EstimateStringFrequency(illegal), 1.0));
+}
+
+TEST(NgramTest, SamplingTerminates) {
+  Rng rng(6);
+  const SequenceDataset data = PatternData(20000, rng).Truncate(10);
+  NgramOptions options;
+  options.l_top = 10;
+  const NgramModel model(data, 0.8, options, rng);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = model.SampleSequence(rng, 10);
+    EXPECT_LE(s.size(), 10u);
+  }
+}
+
+TEST(NgramDeathTest, InvalidOptionsAbort) {
+  Rng rng(7);
+  SequenceDataset data(2);
+  data.Add(std::vector<Symbol>{0});
+  NgramOptions options;
+  options.n_max = 0;
+  EXPECT_DEATH(NgramModel(data, 1.0, options, rng), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,101 @@
+#include "seq/perplexity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/seq_gen.h"
+#include "dp/rng.h"
+#include "seq/exact_pst.h"
+#include "seq/pst_privtree.h"
+
+namespace privtree {
+namespace {
+
+SequenceDataset Alternating(std::size_t n) {
+  SequenceDataset data(2);
+  std::vector<Symbol> s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.clear();
+    for (int j = 0; j < 6; ++j) s.push_back(static_cast<Symbol>(j % 2));
+    data.Add(s);
+  }
+  return data;
+}
+
+TEST(PerplexityTest, PerfectModelApproachesDataEntropy) {
+  // Alternating data is near-deterministic given context; an exact PST's
+  // per-symbol log-loss should be far below the uniform log(3).
+  const SequenceDataset data = Alternating(200);
+  ExactPstOptions options;
+  options.min_magnitude = 1.0;
+  options.min_entropy = 0.0;
+  options.max_depth = 4;
+  const PstModel pst = BuildExactPst(data, options);
+  const double loss = AverageLogLoss(pst, data, 0.01);
+  EXPECT_LT(loss, 0.4);
+  EXPECT_GT(loss, 0.0);
+}
+
+TEST(PerplexityTest, RootOnlyModelIsWorseThanDeepModel) {
+  const SequenceDataset data = Alternating(200);
+  ExactPstOptions deep_options;
+  deep_options.min_magnitude = 1.0;
+  deep_options.min_entropy = 0.0;
+  deep_options.max_depth = 4;
+  const PstModel deep = BuildExactPst(data, deep_options);
+  ExactPstOptions shallow_options;
+  shallow_options.min_magnitude = 1e12;  // Root only.
+  const PstModel shallow = BuildExactPst(data, shallow_options);
+  EXPECT_LT(AverageLogLoss(deep, data, 0.01),
+            AverageLogLoss(shallow, data, 0.01));
+}
+
+TEST(PerplexityTest, PerplexityIsExpOfLoss) {
+  const SequenceDataset data = Alternating(50);
+  ExactPstOptions options;
+  const PstModel pst = BuildExactPst(data, options);
+  EXPECT_NEAR(Perplexity(pst, data),
+              std::exp(AverageLogLoss(pst, data)), 1e-9);
+}
+
+TEST(PerplexityTest, PrivateModelImprovesWithEpsilon) {
+  Rng rng(1);
+  const SequenceDataset train =
+      GenerateMoocLike(20000, rng).Truncate(kMoocLTop);
+  const SequenceDataset held_out =
+      GenerateMoocLike(3000, rng).Truncate(kMoocLTop);
+  PrivatePstOptions options;
+  options.l_top = kMoocLTop;
+  double low_total = 0.0, high_total = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    low_total += AverageLogLoss(
+        BuildPrivatePst(train, 0.05, options, rng).model, held_out);
+    high_total += AverageLogLoss(
+        BuildPrivatePst(train, 1.6, options, rng).model, held_out);
+  }
+  EXPECT_LT(high_total, low_total);
+}
+
+TEST(PerplexityTest, EmptyDataIsZeroLoss) {
+  const SequenceDataset empty(3);
+  ExactPstOptions options;
+  SequenceDataset tiny(3);
+  tiny.Add(std::vector<Symbol>{0});
+  const PstModel pst = BuildExactPst(tiny, options);
+  EXPECT_DOUBLE_EQ(AverageLogLoss(pst, empty), 0.0);
+}
+
+TEST(PerplexityDeathTest, InvalidArgumentsAbort) {
+  SequenceDataset data(3);
+  data.Add(std::vector<Symbol>{0});
+  ExactPstOptions options;
+  const PstModel pst = BuildExactPst(data, options);
+  EXPECT_DEATH(AverageLogLoss(pst, data, 0.0), "PRIVTREE_CHECK");
+  const SequenceDataset other(5);
+  EXPECT_DEATH(AverageLogLoss(pst, other), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,131 @@
+// The posting-list machinery against a naive reference implementation:
+// for random datasets and random predictor strings, HistOf(RefineAll(...))
+// must equal a direct scan counting "occurrences of the predictor followed
+// by each symbol".
+#include "seq/pst_occurrences.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/rng.h"
+#include "seq/sequence.h"
+
+namespace privtree {
+namespace {
+
+/// Naive reference: histogram of symbols following predictor `w` in the
+/// padded sequences ($ x1..xl [&]), where w may contain the $ marker
+/// (encoded as alphabet_size) as its first symbol.
+std::vector<double> NaiveHist(const SequenceDataset& data,
+                              const std::vector<Symbol>& w) {
+  const Symbol dollar = static_cast<Symbol>(data.alphabet_size());
+  std::vector<double> hist(data.alphabet_size() + 1, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto s = data.sequence(i);
+    const std::size_t last = s.size() + (data.has_end(i) ? 1 : 0);
+    // Padded symbol at position pos (0 = $, 1..l = s, l+1 = &).
+    const auto at = [&](std::int64_t pos) -> std::int32_t {
+      if (pos < 0) return -1;
+      if (pos == 0) return dollar;
+      if (pos <= static_cast<std::int64_t>(s.size())) {
+        return s[static_cast<std::size_t>(pos - 1)];
+      }
+      if (pos == static_cast<std::int64_t>(s.size()) + 1 &&
+          data.has_end(i)) {
+        return static_cast<std::int32_t>(data.alphabet_size());
+      }
+      return -1;
+    };
+    for (std::size_t p = 1; p <= last; ++p) {
+      bool match = true;
+      for (std::size_t j = 0; j < w.size() && match; ++j) {
+        const std::int64_t pos =
+            static_cast<std::int64_t>(p) - static_cast<std::int64_t>(j) - 1;
+        match = at(pos) == static_cast<std::int32_t>(
+                               w[w.size() - 1 - j]);
+      }
+      if (!match) continue;
+      const std::int32_t predicted = at(static_cast<std::int64_t>(p));
+      if (predicted >= 0) hist[static_cast<std::size_t>(predicted)] += 1.0;
+    }
+  }
+  return hist;
+}
+
+SequenceDataset RandomData(std::size_t n, std::size_t alphabet,
+                           Rng& rng) {
+  SequenceDataset data(alphabet);
+  std::vector<Symbol> s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.clear();
+    const std::size_t len = 1 + rng.NextBounded(12);
+    for (std::size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<Symbol>(rng.NextBounded(alphabet)));
+    }
+    data.Add(s, /*has_end=*/rng.NextDouble() < 0.8);
+  }
+  return data;
+}
+
+class PstOccurrencesFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PstOccurrencesFuzzTest, RefinementMatchesNaiveCounting) {
+  Rng rng(GetParam());
+  const std::size_t alphabet = 2 + rng.NextBounded(4);
+  const SequenceDataset data = RandomData(300, alphabet, rng);
+  const PstOccurrences occurrences(data);
+
+  // Walk a random refinement chain up to depth 4, checking every node.
+  std::vector<PstPosting> postings = occurrences.RootPostings();
+  std::vector<Symbol> predictor;
+  EXPECT_EQ(occurrences.HistOf(postings), NaiveHist(data, predictor));
+  for (int depth = 0; depth < 4; ++depth) {
+    auto children = occurrences.RefineAll(postings, predictor.size());
+    ASSERT_EQ(children.size(), alphabet + 1);
+    // Check each child against the naive count.
+    std::vector<std::vector<PstPosting>> kept;
+    for (std::size_t c = 0; c <= alphabet; ++c) {
+      std::vector<Symbol> child_predictor;
+      child_predictor.push_back(static_cast<Symbol>(c));
+      child_predictor.insert(child_predictor.end(), predictor.begin(),
+                             predictor.end());
+      EXPECT_EQ(occurrences.HistOf(children[c]),
+                NaiveHist(data, child_predictor))
+          << "depth " << depth << " child " << c;
+    }
+    // Descend into the most populated non-$ child.
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < alphabet; ++c) {
+      if (children[c].size() > children[best].size()) best = c;
+    }
+    if (children[best].empty()) break;
+    predictor.insert(predictor.begin(), static_cast<Symbol>(best));
+    postings = std::move(children[best]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PstOccurrencesFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(PstOccurrencesTest, RootPostingsCountAllPredictedPositions) {
+  SequenceDataset data(2);
+  data.Add(std::vector<Symbol>{0, 1});            // 3 positions (incl &).
+  data.Add(std::vector<Symbol>{1}, false);        // 1 position (open).
+  const PstOccurrences occurrences(data);
+  EXPECT_EQ(occurrences.RootPostings().size(), 4u);
+}
+
+TEST(PstOccurrencesTest, EmptySequenceContributesOnlyEndMarker) {
+  SequenceDataset data(2);
+  data.Add(std::vector<Symbol>{});  // Padded: $&.
+  const PstOccurrences occurrences(data);
+  const auto postings = occurrences.RootPostings();
+  ASSERT_EQ(postings.size(), 1u);
+  const auto hist = occurrences.HistOf(postings);
+  EXPECT_DOUBLE_EQ(hist[occurrences.end_slot()], 1.0);
+}
+
+}  // namespace
+}  // namespace privtree

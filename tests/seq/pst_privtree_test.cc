@@ -1,0 +1,161 @@
+#include "seq/pst_privtree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dp/rng.h"
+#include "seq/pst.h"
+#include "seq/sequence.h"
+
+namespace privtree {
+namespace {
+
+/// A strongly structured language: sequences of the form (012)^k.
+SequenceDataset CyclicData(std::size_t n, Rng& rng) {
+  SequenceDataset data(3);
+  std::vector<Symbol> s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.clear();
+    const std::size_t cycles = 1 + rng.NextBounded(4);
+    for (std::size_t c = 0; c < cycles; ++c) {
+      s.push_back(0);
+      s.push_back(1);
+      s.push_back(2);
+    }
+    data.Add(s);
+  }
+  return data;
+}
+
+TEST(PrivatePstTest, ProducesAValidModel) {
+  Rng rng(1);
+  const SequenceDataset data = CyclicData(20000, rng).Truncate(15);
+  PrivatePstOptions options;
+  options.l_top = 15;
+  const auto result = BuildPrivatePst(data, 1.0, options, rng);
+  EXPECT_GE(result.model.size(), 1u);
+  // Every internal node has β = 4 children.
+  for (std::size_t id = 0; id < result.model.size(); ++id) {
+    const auto& node = result.model.node(static_cast<NodeId>(id));
+    if (!node.children.empty()) {
+      EXPECT_EQ(node.children.size(), 4u);
+    }
+  }
+}
+
+TEST(PrivatePstTest, RootHistogramApproximatesSymbolCounts) {
+  Rng rng(2);
+  const SequenceDataset data = CyclicData(50000, rng).Truncate(15);
+  // Exact symbol counts (0, 1 and 2 appear equally often).
+  double exact0 = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (Symbol x : data.sequence(i)) exact0 += (x == 0) ? 1.0 : 0.0;
+  }
+  PrivatePstOptions options;
+  options.l_top = 15;
+  const auto result = BuildPrivatePst(data, 1.6, options, rng);
+  EXPECT_NEAR(result.model.InitialCount(0), exact0, 0.15 * exact0);
+}
+
+TEST(PrivatePstTest, HistsAreNonNegativeAndConsistent) {
+  Rng rng(3);
+  const SequenceDataset data = CyclicData(5000, rng).Truncate(15);
+  PrivatePstOptions options;
+  options.l_top = 15;
+  const auto result = BuildPrivatePst(data, 0.5, options, rng);
+  for (std::size_t id = 0; id < result.model.size(); ++id) {
+    const auto& node = result.model.node(static_cast<NodeId>(id));
+    for (double h : node.hist) EXPECT_GE(h, 0.0);
+  }
+}
+
+TEST(PrivatePstTest, DollarNodesNeverSplit) {
+  Rng rng(4);
+  const SequenceDataset data = CyclicData(50000, rng).Truncate(15);
+  PrivatePstOptions options;
+  options.l_top = 15;
+  const auto result = BuildPrivatePst(data, 1.6, options, rng);
+  for (std::size_t id = 0; id < result.model.size(); ++id) {
+    const auto& node = result.model.node(static_cast<NodeId>(id));
+    if (!node.predictor.empty() &&
+        node.predictor.front() == result.model.dollar()) {
+      EXPECT_TRUE(node.children.empty());
+    }
+  }
+}
+
+TEST(PrivatePstTest, PredictorLengthRespectsLTop) {
+  Rng rng(5);
+  const SequenceDataset data = CyclicData(50000, rng).Truncate(6);
+  PrivatePstOptions options;
+  options.l_top = 6;
+  const auto result = BuildPrivatePst(data, 1.6, options, rng);
+  for (std::size_t id = 0; id < result.model.size(); ++id) {
+    EXPECT_LE(
+        result.model.node(static_cast<NodeId>(id)).predictor.size(), 7u);
+  }
+}
+
+TEST(PrivatePstTest, HighEpsilonLearnsTheCycle) {
+  Rng rng(6);
+  const SequenceDataset data = CyclicData(100000, rng).Truncate(15);
+  PrivatePstOptions options;
+  options.l_top = 15;
+  const auto result = BuildPrivatePst(data, 1.6, options, rng);
+  // Frequency of the legal trigram "012" must dwarf the illegal "021".
+  const std::vector<Symbol> legal = {0, 1, 2};
+  const std::vector<Symbol> illegal = {0, 2, 1};
+  const double legal_freq = result.model.EstimateStringFrequency(legal);
+  const double illegal_freq = result.model.EstimateStringFrequency(illegal);
+  EXPECT_GT(legal_freq, 20.0 * std::max(illegal_freq, 1.0));
+}
+
+TEST(PrivatePstTest, SampledSequencesFollowTheGrammarAtHighEpsilon) {
+  Rng rng(7);
+  const SequenceDataset data = CyclicData(100000, rng).Truncate(15);
+  PrivatePstOptions options;
+  options.l_top = 15;
+  const auto result = BuildPrivatePst(data, 1.6, options, rng);
+  int legal_transitions = 0, total_transitions = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto s = result.model.SampleSequence(rng, 15);
+    for (std::size_t j = 1; j < s.size(); ++j) {
+      ++total_transitions;
+      if (s[j] == (s[j - 1] + 1) % 3) ++legal_transitions;
+    }
+  }
+  ASSERT_GT(total_transitions, 100);
+  EXPECT_GT(static_cast<double>(legal_transitions) / total_transitions,
+            0.9);
+}
+
+TEST(PrivatePstTest, LowEpsilonProducesSmallerTrees) {
+  Rng rng(8);
+  const SequenceDataset data = CyclicData(30000, rng).Truncate(15);
+  PrivatePstOptions options;
+  options.l_top = 15;
+  double low_total = 0.0, high_total = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    low_total += static_cast<double>(
+        BuildPrivatePst(data, 0.05, options, rng).model.size());
+    high_total += static_cast<double>(
+        BuildPrivatePst(data, 1.6, options, rng).model.size());
+  }
+  EXPECT_LE(low_total, high_total);
+}
+
+TEST(PrivatePstDeathTest, InvalidOptionsAbort) {
+  Rng rng(9);
+  SequenceDataset data(2);
+  data.Add(std::vector<Symbol>{0, 1});
+  PrivatePstOptions options;
+  options.l_top = 0;
+  EXPECT_DEATH(BuildPrivatePst(data, 1.0, options, rng), "PRIVTREE_CHECK");
+  options.l_top = 10;
+  EXPECT_DEATH(BuildPrivatePst(data, 0.0, options, rng), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

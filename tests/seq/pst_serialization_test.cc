@@ -1,0 +1,103 @@
+#include "seq/pst_serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/seq_gen.h"
+#include "dp/rng.h"
+#include "seq/pst_privtree.h"
+
+namespace privtree {
+namespace {
+
+class PstSerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/privtree_pst_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static PstModel MakeModel(Rng& rng) {
+    const SequenceDataset data =
+        GenerateMoocLike(5000, rng).Truncate(kMoocLTop);
+    PrivatePstOptions options;
+    options.l_top = kMoocLTop;
+    return BuildPrivatePst(data, 1.0, options, rng).model;
+  }
+
+  std::string path_;
+};
+
+TEST_F(PstSerializationTest, RoundTripPreservesStructureAndHists) {
+  Rng rng(1);
+  const PstModel original = MakeModel(rng);
+  ASSERT_TRUE(SavePstModel(path_, original).ok());
+  auto loaded = LoadPstModel(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original.node(static_cast<NodeId>(i));
+    const auto& b = loaded.value().node(static_cast<NodeId>(i));
+    ASSERT_EQ(a.children, b.children) << i;
+    ASSERT_EQ(a.predictor, b.predictor) << i;
+    ASSERT_EQ(a.hist, b.hist) << i;
+  }
+}
+
+TEST_F(PstSerializationTest, RoundTripPreservesQueryAnswers) {
+  Rng rng(2);
+  const PstModel original = MakeModel(rng);
+  ASSERT_TRUE(SavePstModel(path_, original).ok());
+  auto loaded = LoadPstModel(path_);
+  ASSERT_TRUE(loaded.ok());
+  Rng probe(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Symbol> s;
+    const std::size_t len = 1 + probe.NextBounded(4);
+    for (std::size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<Symbol>(probe.NextBounded(7)));
+    }
+    ASSERT_DOUBLE_EQ(loaded.value().EstimateStringFrequency(s),
+                     original.EstimateStringFrequency(s));
+  }
+}
+
+TEST_F(PstSerializationTest, MissingFileIsIOError) {
+  const auto loaded = LoadPstModel("/nonexistent/m.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(PstSerializationTest, BadHeadersAreInvalidArgument) {
+  std::ofstream(path_) << "privtree-pst v1\nalphabet 0\nnodes 1\n";
+  EXPECT_EQ(LoadPstModel(path_).status().code(),
+            StatusCode::kInvalidArgument);
+  std::ofstream(path_) << "wrong\n";
+  EXPECT_EQ(LoadPstModel(path_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PstSerializationTest, InconsistentFanoutIsRejected) {
+  // 2 symbols ⇒ β = 3; nodes = 3 would mean (3−1) % 3 ≠ 0.
+  std::ofstream(path_) << "privtree-pst v1\nalphabet 2\nnodes 3\n"
+                       << "-1 1 1 1\n0 1 0 0\n0 0 1 0\n";
+  EXPECT_EQ(LoadPstModel(path_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PstSerializationTest, FracturedSiblingGroupIsRejected) {
+  // β = 2 (alphabet 1): nodes 0 (root), then a group claiming two
+  // different parents.
+  std::ofstream(path_) << "privtree-pst v1\nalphabet 1\nnodes 5\n"
+                       << "-1 1 1\n0 1 0\n0 0 1\n1 1 0\n2 0 1\n";
+  EXPECT_EQ(LoadPstModel(path_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,158 @@
+// Parameterized property tests of the private sequence models across
+// datasets and budgets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "data/seq_gen.h"
+#include "dp/rng.h"
+#include "seq/ngram.h"
+#include "seq/pst_privtree.h"
+#include "seq/topk.h"
+
+namespace privtree {
+namespace {
+
+struct SeqCase {
+  const char* dataset;
+  double epsilon;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<SeqCase>& info) {
+  return std::string(info.param.dataset) + "_eps" +
+         std::to_string(static_cast<int>(info.param.epsilon * 100));
+}
+
+struct Prepared {
+  SequenceDataset truncated;
+  std::size_t l_top;
+};
+
+Prepared Prepare(const std::string& name) {
+  Rng rng(404);
+  if (name == "mooc") {
+    return {GenerateMoocLike(8000, rng).Truncate(kMoocLTop), kMoocLTop};
+  }
+  return {GenerateMsnbcLike(15000, rng).Truncate(kMsnbcLTop), kMsnbcLTop};
+}
+
+class SequenceModelPropertyTest : public ::testing::TestWithParam<SeqCase> {
+};
+
+TEST_P(SequenceModelPropertyTest, PstTreeIsStructurallyValid) {
+  const Prepared data = Prepare(GetParam().dataset);
+  Rng rng(1);
+  PrivatePstOptions options;
+  options.l_top = data.l_top;
+  const auto result =
+      BuildPrivatePst(data.truncated, GetParam().epsilon, options, rng);
+  const std::size_t beta = data.truncated.alphabet_size() + 1;
+  // Node count ≡ 1 (mod β), every internal node has β children, every
+  // histogram entry is non-negative, and $-nodes are leaves.
+  EXPECT_EQ((result.model.size() - 1) % beta, 0u);
+  for (std::size_t i = 0; i < result.model.size(); ++i) {
+    const auto& node = result.model.node(static_cast<NodeId>(i));
+    if (!node.children.empty()) {
+      EXPECT_EQ(node.children.size(), beta);
+    }
+    for (double h : node.hist) EXPECT_GE(h, 0.0);
+    if (!node.predictor.empty() &&
+        node.predictor.front() == result.model.dollar()) {
+      EXPECT_TRUE(node.children.empty());
+    }
+  }
+}
+
+TEST_P(SequenceModelPropertyTest, InternalHistsEqualChildSums) {
+  const Prepared data = Prepare(GetParam().dataset);
+  Rng rng(2);
+  PrivatePstOptions options;
+  options.l_top = data.l_top;
+  const auto result =
+      BuildPrivatePst(data.truncated, GetParam().epsilon, options, rng);
+  // After clamping, internal hists may deviate from raw child sums only
+  // where clamping bit — but since clamping runs after aggregation and
+  // sets negatives to 0, the invariant hist[x] <= Σ child hist[x] + slack
+  // holds, with equality when no child entry was negative.  We check the
+  // weaker monotonic containment.
+  for (std::size_t i = 0; i < result.model.size(); ++i) {
+    const auto& node = result.model.node(static_cast<NodeId>(i));
+    if (node.children.empty()) continue;
+    for (std::size_t x = 0; x < node.hist.size(); ++x) {
+      double child_sum = 0.0;
+      for (NodeId child : node.children) {
+        child_sum += result.model.node(child).hist[x];
+      }
+      EXPECT_LE(node.hist[x], child_sum + 1e-9);
+    }
+  }
+}
+
+TEST_P(SequenceModelPropertyTest, FrequencyEstimatesAreMonotone) {
+  // Extending a string never increases its estimated frequency (the basis
+  // of the top-k pruning).
+  const Prepared data = Prepare(GetParam().dataset);
+  Rng rng(3);
+  PrivatePstOptions options;
+  options.l_top = data.l_top;
+  const auto result =
+      BuildPrivatePst(data.truncated, GetParam().epsilon, options, rng);
+  Rng probe(4);
+  const std::size_t alphabet = data.truncated.alphabet_size();
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Symbol> s = {
+        static_cast<Symbol>(probe.NextBounded(alphabet))};
+    double previous = result.model.EstimateStringFrequency(s);
+    for (int extend = 0; extend < 4; ++extend) {
+      s.push_back(static_cast<Symbol>(probe.NextBounded(alphabet)));
+      const double current = result.model.EstimateStringFrequency(s);
+      ASSERT_LE(current, previous + 1e-9);
+      previous = current;
+    }
+  }
+}
+
+TEST_P(SequenceModelPropertyTest, SampledSequencesRespectLTop) {
+  const Prepared data = Prepare(GetParam().dataset);
+  Rng rng(5);
+  PrivatePstOptions options;
+  options.l_top = data.l_top;
+  const auto result =
+      BuildPrivatePst(data.truncated, GetParam().epsilon, options, rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(result.model.SampleSequence(rng, data.l_top).size(),
+              data.l_top);
+  }
+}
+
+TEST_P(SequenceModelPropertyTest, NgramEstimatesAreMonotoneToo) {
+  const Prepared data = Prepare(GetParam().dataset);
+  Rng rng(6);
+  NgramOptions options;
+  options.l_top = data.l_top;
+  const NgramModel model(data.truncated, GetParam().epsilon, options, rng);
+  Rng probe(7);
+  const std::size_t alphabet = data.truncated.alphabet_size();
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Symbol> s = {
+        static_cast<Symbol>(probe.NextBounded(alphabet))};
+    double previous = model.EstimateStringFrequency(s);
+    for (int extend = 0; extend < 3; ++extend) {
+      s.push_back(static_cast<Symbol>(probe.NextBounded(alphabet)));
+      const double current = model.EstimateStringFrequency(s);
+      ASSERT_LE(current, previous + 1e-9);
+      previous = current;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndBudgets, SequenceModelPropertyTest,
+    ::testing::Values(SeqCase{"mooc", 0.1}, SeqCase{"mooc", 1.6},
+                      SeqCase{"msnbc", 0.1}, SeqCase{"msnbc", 1.6}),
+    CaseName);
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,122 @@
+#include "seq/topk.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "seq/exact_pst.h"
+#include "seq/sequence.h"
+
+namespace privtree {
+namespace {
+
+TEST(PackStringTest, RoundTrips) {
+  const std::vector<Symbol> s = {3, 0, 7, 250};
+  EXPECT_EQ(UnpackString(PackString(s)), s);
+  const std::vector<Symbol> single = {0};
+  EXPECT_EQ(UnpackString(PackString(single)), single);
+}
+
+TEST(PackStringTest, DistinguishesLengthFromContent) {
+  // "0" vs "00": same bytes, different length tag.
+  const std::vector<Symbol> one = {0};
+  const std::vector<Symbol> two = {0, 0};
+  EXPECT_NE(PackString(one), PackString(two));
+}
+
+TEST(CountAllSubstringsTest, CountsOverlappingOccurrences) {
+  SequenceDataset data(2);
+  data.Add(std::vector<Symbol>{0, 0, 0});  // "00" occurs twice (overlap).
+  const auto counts = CountAllSubstrings(data, 3);
+  const std::vector<Symbol> s0 = {0};
+  const std::vector<Symbol> s00 = {0, 0};
+  const std::vector<Symbol> s000 = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(counts.at(PackString(s0)), 3.0);
+  EXPECT_DOUBLE_EQ(counts.at(PackString(s00)), 2.0);
+  EXPECT_DOUBLE_EQ(counts.at(PackString(s000)), 1.0);
+}
+
+TEST(CountAllSubstringsTest, AggregatesAcrossSequences) {
+  SequenceDataset data(3);
+  data.Add(std::vector<Symbol>{0, 1});
+  data.Add(std::vector<Symbol>{1, 0, 1});
+  const auto counts = CountAllSubstrings(data, 2);
+  const std::vector<Symbol> s01 = {0, 1};
+  EXPECT_DOUBLE_EQ(counts.at(PackString(s01)), 2.0);
+}
+
+TEST(ExactTopKTest, RanksByFrequency) {
+  SequenceDataset data(3);
+  for (int i = 0; i < 10; ++i) data.Add(std::vector<Symbol>{0});
+  for (int i = 0; i < 5; ++i) data.Add(std::vector<Symbol>{1});
+  data.Add(std::vector<Symbol>{2});
+  const auto topk = ExactTopKStrings(data, 2, 3);
+  ASSERT_EQ(topk.strings.size(), 2u);
+  EXPECT_EQ(topk.strings[0], std::vector<Symbol>{0});
+  EXPECT_EQ(topk.strings[1], std::vector<Symbol>{1});
+  EXPECT_DOUBLE_EQ(topk.counts[0], 10.0);
+}
+
+TEST(ExactTopKTest, KLargerThanCandidates) {
+  SequenceDataset data(2);
+  data.Add(std::vector<Symbol>{0});
+  const auto topk = ExactTopKStrings(data, 50, 3);
+  EXPECT_EQ(topk.strings.size(), 1u);
+}
+
+TEST(TopKFromModelTest, MatchesExactOnNoiselessModel) {
+  // With an exact PST, the model estimates should rank strings close to
+  // the exact counts, giving high precision.
+  SequenceDataset data(3);
+  // Language: "012" repeated, some "00" runs.
+  for (int i = 0; i < 200; ++i) {
+    data.Add(std::vector<Symbol>{0, 1, 2, 0, 1, 2});
+  }
+  for (int i = 0; i < 50; ++i) {
+    data.Add(std::vector<Symbol>{0, 0, 0});
+  }
+  ExactPstOptions options;
+  options.min_magnitude = 1.0;
+  options.min_entropy = 0.0;
+  options.max_depth = 5;
+  const PstModel pst = BuildExactPst(data, options);
+  const auto exact = ExactTopKStrings(data, 10, 5);
+  const auto model = TopKFromModel(pst, 10, 5);
+  // The Markov estimate misorders some near-tied tail strings; the bulk of
+  // the true top-10 must still surface.
+  EXPECT_GE(TopKPrecision(exact, model), 0.6);
+}
+
+TEST(TopKFromModelTest, ReturnsDescendingCounts) {
+  SequenceDataset data(2);
+  for (int i = 0; i < 30; ++i) data.Add(std::vector<Symbol>{0, 1, 0});
+  ExactPstOptions options;
+  const PstModel pst = BuildExactPst(data, options);
+  const auto topk = TopKFromModel(pst, 5, 3);
+  for (std::size_t i = 1; i < topk.counts.size(); ++i) {
+    EXPECT_GE(topk.counts[i - 1], topk.counts[i]);
+  }
+}
+
+TEST(TopKPrecisionTest, ComputesOverlapFraction) {
+  TopKStrings exact;
+  exact.strings = {{0}, {1}, {2}, {3}};
+  TopKStrings found;
+  found.strings = {{0}, {2}, {7}, {9}};
+  EXPECT_DOUBLE_EQ(TopKPrecision(exact, found), 0.5);
+}
+
+TEST(TopKPrecisionTest, EmptyExactIsZero) {
+  EXPECT_DOUBLE_EQ(TopKPrecision({}, {}), 0.0);
+}
+
+TEST(TopKDeathTest, OverlongStringsAbort) {
+  const std::vector<Symbol> too_long(8, 0);
+  EXPECT_DEATH(PackString(too_long), "PRIVTREE_CHECK");
+  SequenceDataset data(2);
+  data.Add(std::vector<Symbol>{0});
+  EXPECT_DEATH(CountAllSubstrings(data, 9), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,109 @@
+#include "spatial/box.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace privtree {
+namespace {
+
+TEST(BoxTest, UnitCube) {
+  const Box box = Box::UnitCube(3);
+  EXPECT_EQ(box.dim(), 3u);
+  EXPECT_DOUBLE_EQ(box.Volume(), 1.0);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(box.lo(j), 0.0);
+    EXPECT_DOUBLE_EQ(box.hi(j), 1.0);
+  }
+}
+
+TEST(BoxTest, VolumeIsProductOfWidths) {
+  const Box box({0.0, 1.0}, {0.5, 3.0});
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.5 * 2.0);
+  EXPECT_DOUBLE_EQ(box.Width(0), 0.5);
+  EXPECT_DOUBLE_EQ(box.Width(1), 2.0);
+}
+
+TEST(BoxTest, ContainsIsHalfOpen) {
+  const Box box({0.0, 0.0}, {1.0, 1.0});
+  const std::vector<double> inside = {0.0, 0.999};
+  const std::vector<double> on_hi = {0.5, 1.0};
+  const std::vector<double> outside = {-0.1, 0.5};
+  EXPECT_TRUE(box.Contains(inside));
+  EXPECT_FALSE(box.Contains(on_hi));
+  EXPECT_FALSE(box.Contains(outside));
+}
+
+TEST(BoxTest, ContainsBox) {
+  const Box outer({0.0, 0.0}, {1.0, 1.0});
+  const Box inner({0.2, 0.3}, {0.4, 0.5});
+  const Box overlapping({0.5, 0.5}, {1.5, 0.8});
+  EXPECT_TRUE(outer.ContainsBox(inner));
+  EXPECT_TRUE(outer.ContainsBox(outer));
+  EXPECT_FALSE(outer.ContainsBox(overlapping));
+  EXPECT_FALSE(inner.ContainsBox(outer));
+}
+
+TEST(BoxTest, IntersectsAndVolume) {
+  const Box a({0.0, 0.0}, {1.0, 1.0});
+  const Box b({0.5, 0.5}, {2.0, 2.0});
+  const Box c({1.5, 1.5}, {2.0, 2.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(b), 0.25);
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(c), 0.0);
+}
+
+TEST(BoxTest, TouchingBoundariesDoNotIntersect) {
+  const Box a({0.0}, {1.0});
+  const Box b({1.0}, {2.0});
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.IntersectionVolume(b), 0.0);
+}
+
+TEST(BoxTest, BisectDimPartitionsExactly) {
+  const Box box({0.0, 0.0}, {1.0, 2.0});
+  const Box lower = box.BisectDim(1, 0);
+  const Box upper = box.BisectDim(1, 1);
+  EXPECT_DOUBLE_EQ(lower.hi(1), 1.0);
+  EXPECT_DOUBLE_EQ(upper.lo(1), 1.0);
+  EXPECT_DOUBLE_EQ(lower.Volume() + upper.Volume(), box.Volume());
+  // The untouched dimension is unchanged.
+  EXPECT_DOUBLE_EQ(lower.lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(lower.hi(0), 1.0);
+}
+
+TEST(BoxTest, RepeatedBisectionIsExactForDyadics) {
+  Box box = Box::UnitCube(1);
+  for (int i = 0; i < 30; ++i) box = box.BisectDim(0, 1);
+  // lo should be exactly 1 − 2^-30.
+  EXPECT_DOUBLE_EQ(box.lo(0), 1.0 - std::pow(0.5, 30));
+}
+
+TEST(BoxTest, ToStringIsReadable) {
+  const Box box({0.0, 0.25}, {0.5, 0.5});
+  EXPECT_EQ(box.ToString(), "[0,0.5)x[0.25,0.5)");
+}
+
+TEST(BoxDeathTest, MismatchedDimsAbort) {
+  EXPECT_DEATH(Box({0.0}, {1.0, 2.0}), "PRIVTREE_CHECK");
+  const Box box = Box::UnitCube(2);
+  const std::vector<double> p = {0.5};
+  EXPECT_DEATH((void)box.Contains(p), "PRIVTREE_CHECK");
+  EXPECT_DEATH(box.BisectDim(5, 0), "PRIVTREE_CHECK");
+}
+
+TEST(BoxDeathTest, InvertedBoundsAbort) {
+  EXPECT_DEATH(Box({1.0}, {0.0}), "PRIVTREE_CHECK");
+}
+
+TEST(BoxDeathTest, NonFiniteBoundsAbort) {
+  EXPECT_DEATH(Box({std::nan("")}, {1.0}), "PRIVTREE_CHECK");
+  EXPECT_DEATH(Box({0.0}, {std::numeric_limits<double>::infinity()}),
+               "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,179 @@
+// Tests of the Section 3.5 extension: PrivTree over mixed numeric +
+// categorical domains with taxonomy splits.
+#include "spatial/mixed_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/privtree.h"
+#include "dp/rng.h"
+#include "spatial/mixed_policy.h"
+#include "spatial/taxonomy.h"
+
+namespace privtree {
+namespace {
+
+/// One categorical attribute with 4 values grouped {0,1} vs {2,3}, plus
+/// one numeric attribute.
+class MixedFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    taxonomy_.AddRoot("root");
+    const NodeId left = taxonomy_.AddCategory(0, "left");
+    const NodeId right = taxonomy_.AddCategory(0, "right");
+    taxonomy_.AddCategory(left, "a");
+    taxonomy_.AddCategory(left, "b");
+    taxonomy_.AddCategory(right, "c");
+    taxonomy_.AddCategory(right, "d");
+    taxonomy_.Finalize();
+    data_ = std::make_unique<MixedDataset>(
+        1, std::vector<const Taxonomy*>{&taxonomy_});
+    // Skewed data: category "a" with numeric values near 0.25 dominates.
+    Rng rng(1);
+    for (int i = 0; i < 20000; ++i) {
+      MixedRecord record;
+      if (rng.NextDouble() < 0.7) {
+        record.numeric = {0.25 + 0.01 * rng.NextDouble()};
+        record.categories = {0};
+      } else {
+        record.numeric = {rng.NextDouble()};
+        record.categories = {
+            static_cast<CategoryValue>(rng.NextBounded(4))};
+      }
+      data_->Add(std::move(record));
+    }
+  }
+
+  std::size_t ExactCount(const MixedCell& q) const {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < data_->size(); ++i) {
+      if (q.Contains(*data_, data_->record(i))) ++count;
+    }
+    return count;
+  }
+
+  Taxonomy taxonomy_;
+  std::unique_ptr<MixedDataset> data_;
+};
+
+TEST_F(MixedFixture, PolicyRootCoversEverything) {
+  MixedPolicy policy(*data_);
+  const auto root = policy.Root();
+  EXPECT_EQ(policy.Score(root), 20000.0);
+  EXPECT_TRUE(policy.CanSplit(root));
+  EXPECT_EQ(policy.fanout(), 2);
+}
+
+TEST_F(MixedFixture, SplitAlternatesNumericAndCategorical) {
+  MixedPolicy policy(*data_);
+  const auto root = policy.Root();
+  const auto level1 = policy.Split(root);  // Numeric bisection first.
+  ASSERT_EQ(level1.size(), 2u);
+  EXPECT_DOUBLE_EQ(level1[0].box.hi(0), 0.5);
+  EXPECT_EQ(level1[0].category_nodes[0], taxonomy_.root());
+  const auto level2 = policy.Split(level1[0]);  // Then the taxonomy.
+  ASSERT_EQ(level2.size(), 2u);
+  EXPECT_EQ(level2[0].category_nodes[0], taxonomy_.children(0)[0]);
+  EXPECT_DOUBLE_EQ(level2[0].box.hi(0), 0.5);  // Box unchanged.
+}
+
+TEST_F(MixedFixture, ChildScoresPartitionParent) {
+  MixedPolicy policy(*data_);
+  std::vector<MixedCell> frontier = {policy.Root()};
+  for (int level = 0; level < 3; ++level) {
+    std::vector<MixedCell> next;
+    for (const auto& cell : frontier) {
+      if (!policy.CanSplit(cell)) continue;
+      const double parent = policy.Score(cell);
+      double total = 0.0;
+      for (auto& child : policy.Split(cell)) {
+        total += policy.Score(child);
+        next.push_back(std::move(child));
+      }
+      EXPECT_DOUBLE_EQ(total, parent);
+    }
+    frontier = std::move(next);
+  }
+}
+
+TEST_F(MixedFixture, TaxonomySplitsExhaust) {
+  MixedPolicy policy(*data_, /*max_numeric_depth=*/2);
+  // Descend always into the first child: after 2 numeric and 2 taxonomy
+  // levels nothing remains splittable.
+  MixedCell cell = policy.Root();
+  int splits = 0;
+  while (policy.CanSplit(cell)) {
+    cell = policy.Split(cell)[0];
+    ++splits;
+  }
+  EXPECT_EQ(splits, 4);
+}
+
+TEST_F(MixedFixture, HistogramAnswersMixedQueries) {
+  Rng rng(2);
+  const MixedHistogram hist = BuildMixedHistogram(*data_, 1.6, {}, rng);
+  EXPECT_GT(hist.tree.size(), 1u);
+
+  // Query: category subtree "left" (= values {a, b}) with x ∈ [0.2, 0.3).
+  MixedCell query;
+  query.box = Box({0.2}, {0.3});
+  query.category_nodes = {taxonomy_.children(0)[0]};
+  const double exact = static_cast<double>(ExactCount(query));
+  ASSERT_GT(exact, 10000.0);
+  EXPECT_NEAR(hist.Query(query), exact, 0.15 * exact);
+}
+
+TEST_F(MixedFixture, FullDomainQueryNearCardinality) {
+  Rng rng(3);
+  const MixedHistogram hist = BuildMixedHistogram(*data_, 1.0, {}, rng);
+  MixedCell query;
+  query.box = Box({0.0}, {1.0});
+  query.category_nodes = {taxonomy_.root()};
+  EXPECT_NEAR(hist.Query(query), 20000.0, 1500.0);
+}
+
+TEST_F(MixedFixture, LeafCategoryQueryIsAnswerable) {
+  Rng rng(4);
+  const MixedHistogram hist = BuildMixedHistogram(*data_, 1.6, {}, rng);
+  MixedCell query;
+  query.box = Box({0.0}, {1.0});
+  query.category_nodes = {taxonomy_.NodeOf(3)};  // Value "d" only.
+  const double exact = static_cast<double>(ExactCount(query));
+  // "d" holds ~7.5% of the data; tolerate coarse-leaf uniformity error.
+  EXPECT_NEAR(hist.Query(query), exact, 0.5 * exact + 300.0);
+}
+
+TEST(MixedCategoricalOnlyTest, WorksWithoutNumericDims) {
+  Taxonomy taxonomy = Taxonomy::Balanced(8, 2);
+  MixedDataset data(0, {&taxonomy});
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    MixedRecord record;
+    record.categories = {
+        static_cast<CategoryValue>(rng.NextBounded(2))};  // Skewed to 0/1.
+    data.Add(std::move(record));
+  }
+  const MixedHistogram hist = BuildMixedHistogram(data, 1.6, {}, rng);
+  MixedCell query;
+  query.box = Box::UnitCube(0);
+  query.category_nodes = {taxonomy.root()};
+  EXPECT_NEAR(hist.Query(query), 5000.0, 500.0);
+}
+
+TEST(MixedDeathTest, RecordValidationAborts) {
+  Taxonomy taxonomy = Taxonomy::Flat(3);
+  MixedDataset data(1, {&taxonomy});
+  MixedRecord bad_numeric;
+  bad_numeric.numeric = {1.5};
+  bad_numeric.categories = {0};
+  EXPECT_DEATH(data.Add(bad_numeric), "PRIVTREE_CHECK");
+  MixedRecord bad_category;
+  bad_category.numeric = {0.5};
+  bad_category.categories = {7};
+  EXPECT_DEATH(data.Add(bad_category), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,89 @@
+// Randomized consistency fuzz: Morton-prefix counts must equal exact box
+// counts for every cell of random decomposition paths, across dimensions
+// and fanouts.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/rng.h"
+#include "spatial/morton_index.h"
+#include "spatial/point_set.h"
+#include "spatial/quadtree_policy.h"
+
+namespace privtree {
+namespace {
+
+struct FuzzCase {
+  std::size_t dim;
+  int dims_per_split;
+  std::uint64_t seed;
+};
+
+class MortonFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(MortonFuzzTest, RandomDescentCountsMatchGeometry) {
+  const FuzzCase& config = GetParam();
+  Rng rng(config.seed);
+  // Clustered data so deep cells still contain points.
+  PointSet points(config.dim);
+  std::vector<double> p(config.dim);
+  std::vector<double> center(config.dim);
+  for (auto& c : center) c = rng.NextDouble();
+  for (int i = 0; i < 20000; ++i) {
+    const bool clustered = rng.NextDouble() < 0.6;
+    for (std::size_t j = 0; j < config.dim; ++j) {
+      p[j] = clustered
+                 ? std::min(0.999999, center[j] + 0.001 * rng.NextDouble())
+                 : rng.NextDouble();
+    }
+    points.Add(p);
+  }
+  const Box domain = Box::UnitCube(config.dim);
+  const MortonIndex index(points, domain);
+  const QuadtreePolicy policy(index, domain, config.dims_per_split);
+
+  // 20 random root-to-depth-10 walks.
+  for (int walk = 0; walk < 20; ++walk) {
+    SpatialCell cell = policy.Root();
+    for (int depth = 0; depth < 10 && policy.CanSplit(cell); ++depth) {
+      auto children = policy.Split(cell);
+      // Verify all children, then descend into a random one (biased toward
+      // the cluster half the time so deep cells stay populated).
+      double total = 0.0;
+      for (const auto& child : children) {
+        const double score = policy.Score(child);
+        ASSERT_EQ(score,
+                  static_cast<double>(points.ExactRangeCount(child.box)))
+            << "walk " << walk << " depth " << depth;
+        total += score;
+      }
+      ASSERT_EQ(total, policy.Score(cell));
+      if (rng.NextDouble() < 0.5) {
+        // Follow the cluster.
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < children.size(); ++c) {
+          if (policy.Score(children[c]) > policy.Score(children[best])) {
+            best = c;
+          }
+        }
+        cell = children[best];
+      } else {
+        cell = children[rng.NextBounded(children.size())];
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndFanouts, MortonFuzzTest,
+    ::testing::Values(FuzzCase{1, 1, 11}, FuzzCase{2, 2, 22},
+                      FuzzCase{2, 1, 33}, FuzzCase{3, 3, 44},
+                      FuzzCase{3, 2, 55}, FuzzCase{4, 4, 66},
+                      FuzzCase{4, 2, 77}, FuzzCase{4, 1, 88}),
+    [](const auto& info) {
+      return "d" + std::to_string(info.param.dim) + "_i" +
+             std::to_string(info.param.dims_per_split);
+    });
+
+}  // namespace
+}  // namespace privtree

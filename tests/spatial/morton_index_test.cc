@@ -1,0 +1,141 @@
+#include "spatial/morton_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/rng.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+namespace {
+
+PointSet RandomPoints(std::size_t n, std::size_t dim, Rng& rng) {
+  PointSet points(dim);
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& x : p) x = rng.NextDouble();
+    points.Add(p);
+  }
+  return points;
+}
+
+TEST(MortonIndexTest, EmptyPrefixCountsEverything) {
+  Rng rng(1);
+  const PointSet points = RandomPoints(1000, 2, rng);
+  const MortonIndex index(points, Box::UnitCube(2));
+  EXPECT_EQ(index.CountPrefix(0, 0), 1000u);
+}
+
+TEST(MortonIndexTest, FirstLevelPartitions2D) {
+  Rng rng(2);
+  const PointSet points = RandomPoints(5000, 2, rng);
+  const MortonIndex index(points, Box::UnitCube(2));
+  // The four depth-1 quadrants (2 bits) partition the points.
+  std::size_t total = 0;
+  for (MortonKey q = 0; q < 4; ++q) total += index.CountPrefix(q, 2);
+  EXPECT_EQ(total, 5000u);
+}
+
+TEST(MortonIndexTest, PrefixCountsMatchExactBoxCounts2D) {
+  Rng rng(3);
+  const PointSet points = RandomPoints(20000, 2, rng);
+  const Box root = Box::UnitCube(2);
+  const MortonIndex index(points, root);
+  // Check a concrete depth-2 cell: first split x (bit 1 of prefix level 1),
+  // then y.  Bit order is level-major, dim-minor: bits = (x1, y1, x2, y2).
+  // Prefix 0b1010 (x1=1, y1=0, x2=1, y2=0) = x ∈ [0.75,1.0), y ∈ [0,0.25).
+  const std::size_t morton = index.CountPrefix(0b1010, 4);
+  const std::size_t exact =
+      points.ExactRangeCount(Box({0.75, 0.0}, {1.0, 0.25}));
+  EXPECT_EQ(morton, exact);
+}
+
+TEST(MortonIndexTest, PrefixCountsMatchExactBoxCounts4D) {
+  Rng rng(4);
+  const PointSet points = RandomPoints(30000, 4, rng);
+  const MortonIndex index(points, Box::UnitCube(4));
+  // Depth-1 cell (4 bits): lower half in dims 0 and 2, upper in 1 and 3.
+  // Bit order: (d0, d1, d2, d3) → prefix 0b0101.
+  const std::size_t morton = index.CountPrefix(0b0101, 4);
+  const std::size_t exact = points.ExactRangeCount(
+      Box({0.0, 0.5, 0.0, 0.5}, {0.5, 1.0, 0.5, 1.0}));
+  EXPECT_EQ(morton, exact);
+}
+
+TEST(MortonIndexTest, ChildrenPartitionParent) {
+  Rng rng(5);
+  const PointSet points = RandomPoints(10000, 2, rng);
+  const MortonIndex index(points, Box::UnitCube(2));
+  // For a few random prefixes, the two one-bit extensions partition.
+  for (int bits = 0; bits <= 20; bits += 4) {
+    const MortonKey prefix = 0b1001 & ((MortonKey{1} << bits) - 1);
+    const std::size_t parent = index.CountPrefix(prefix, bits);
+    const std::size_t left = index.CountPrefix(prefix << 1, bits + 1);
+    const std::size_t right =
+        index.CountPrefix((prefix << 1) | 1, bits + 1);
+    EXPECT_EQ(parent, left + right) << "bits=" << bits;
+  }
+}
+
+TEST(MortonIndexTest, PointsOutsideRootAreClamped) {
+  PointSet points(2);
+  const std::vector<double> out_low = {-5.0, -5.0};
+  const std::vector<double> out_high = {7.0, 7.0};
+  points.Add(out_low);
+  points.Add(out_high);
+  const MortonIndex index(points, Box::UnitCube(2));
+  EXPECT_EQ(index.CountPrefix(0, 0), 2u);
+  // Clamped to the corners: prefix 00 (lower-left) and 11 (upper-right).
+  EXPECT_EQ(index.CountPrefix(0b00, 2), 1u);
+  EXPECT_EQ(index.CountPrefix(0b11, 2), 1u);
+}
+
+TEST(MortonIndexTest, NonUnitRootBoxCountsMatchGeometry) {
+  Rng rng(9);
+  const Box root({-10.0, 5.0}, {30.0, 6.0});
+  PointSet points(2);
+  double p[2];
+  for (int i = 0; i < 20000; ++i) {
+    p[0] = -10.0 + 40.0 * rng.NextDouble();
+    p[1] = 5.0 + 1.0 * rng.NextDouble();
+    points.Add(p);
+  }
+  const MortonIndex index(points, root);
+  // Depth-2 cell: x-upper then y-lower halves → prefix 0b10 over the
+  // first split of x, then y.  Verify against the geometric box
+  // [10, 30) x [5, 5.5).
+  const std::size_t morton = index.CountPrefix(0b10, 2);
+  const std::size_t exact =
+      points.ExactRangeCount(Box({10.0, 5.0}, {30.0, 5.5}));
+  EXPECT_EQ(morton, exact);
+}
+
+TEST(MortonIndexTest, LevelsPerDimBudget) {
+  Rng rng(6);
+  const PointSet p2 = RandomPoints(10, 2, rng);
+  const MortonIndex i2(p2, Box::UnitCube(2));
+  EXPECT_EQ(i2.levels_per_dim(), 63);
+  EXPECT_EQ(i2.max_prefix_bits(), 126);
+  const PointSet p4 = RandomPoints(10, 4, rng);
+  const MortonIndex i4(p4, Box::UnitCube(4));
+  EXPECT_EQ(i4.levels_per_dim(), 31);
+  EXPECT_EQ(i4.max_prefix_bits(), 124);
+}
+
+TEST(MortonIndexTest, DeepPrefixOfTightClusterKeepsCount) {
+  // 1000 identical points stay together arbitrarily deep.
+  PointSet points(2);
+  const std::vector<double> p = {0.3, 0.3};
+  for (int i = 0; i < 1000; ++i) points.Add(p);
+  const MortonIndex index(points, Box::UnitCube(2));
+  const MortonKey key = index.KeyOf(p);
+  for (int bits = 0; bits <= index.max_prefix_bits(); bits += 6) {
+    const MortonKey prefix = key >> (index.max_prefix_bits() - bits);
+    EXPECT_EQ(index.CountPrefix(prefix, bits), 1000u) << bits;
+  }
+}
+
+}  // namespace
+}  // namespace privtree

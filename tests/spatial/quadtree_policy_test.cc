@@ -1,0 +1,150 @@
+#include "spatial/quadtree_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/rng.h"
+#include "spatial/box.h"
+#include "spatial/morton_index.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+namespace {
+
+PointSet RandomPoints(std::size_t n, std::size_t dim, Rng& rng) {
+  PointSet points(dim);
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& x : p) x = rng.NextDouble();
+    points.Add(p);
+  }
+  return points;
+}
+
+TEST(QuadtreePolicyTest, RootCoversEverything) {
+  Rng rng(1);
+  const PointSet points = RandomPoints(1000, 2, rng);
+  const MortonIndex index(points, Box::UnitCube(2));
+  const QuadtreePolicy policy(index, Box::UnitCube(2), 2);
+  const auto root = policy.Root();
+  EXPECT_EQ(policy.Score(root), 1000.0);
+  EXPECT_EQ(policy.fanout(), 4);
+}
+
+TEST(QuadtreePolicyTest, SplitProducesFanoutChildren) {
+  Rng rng(2);
+  const PointSet points = RandomPoints(100, 4, rng);
+  const MortonIndex index(points, Box::UnitCube(4));
+  for (int i : {1, 2, 3, 4}) {
+    const QuadtreePolicy policy(index, Box::UnitCube(4), i);
+    EXPECT_EQ(policy.fanout(), 1 << i);
+    const auto children = policy.Split(policy.Root());
+    EXPECT_EQ(children.size(), static_cast<std::size_t>(1 << i));
+  }
+}
+
+TEST(QuadtreePolicyTest, ChildScoresSumToParent) {
+  Rng rng(3);
+  const PointSet points = RandomPoints(50000, 2, rng);
+  const MortonIndex index(points, Box::UnitCube(2));
+  const QuadtreePolicy policy(index, Box::UnitCube(2), 2);
+  // Walk two levels down; at each node, children partition the score.
+  std::vector<SpatialCell> frontier = {policy.Root()};
+  for (int level = 0; level < 3; ++level) {
+    std::vector<SpatialCell> next;
+    for (const auto& cell : frontier) {
+      const double parent_score = policy.Score(cell);
+      double child_total = 0.0;
+      for (const auto& child : policy.Split(cell)) {
+        child_total += policy.Score(child);
+        next.push_back(child);
+      }
+      EXPECT_DOUBLE_EQ(child_total, parent_score);
+    }
+    frontier = std::move(next);
+  }
+}
+
+TEST(QuadtreePolicyTest, GeometryMatchesMortonCounts) {
+  // The box geometry and the Morton-prefix count must agree: the score of
+  // every cell equals the exact count of points in its box.
+  Rng rng(4);
+  const PointSet points = RandomPoints(20000, 2, rng);
+  const MortonIndex index(points, Box::UnitCube(2));
+  const QuadtreePolicy policy(index, Box::UnitCube(2), 2);
+  std::vector<SpatialCell> frontier = {policy.Root()};
+  for (int level = 0; level < 4; ++level) {
+    std::vector<SpatialCell> next;
+    for (const auto& cell : frontier) {
+      for (auto& child : policy.Split(cell)) next.push_back(std::move(child));
+    }
+    frontier = std::move(next);
+  }
+  for (const auto& cell : frontier) {
+    EXPECT_EQ(policy.Score(cell),
+              static_cast<double>(points.ExactRangeCount(cell.box)))
+        << cell.box.ToString();
+  }
+}
+
+TEST(QuadtreePolicyTest, RoundRobinSplitsCycleDimensions) {
+  Rng rng(5);
+  const PointSet points = RandomPoints(100, 2, rng);
+  const MortonIndex index(points, Box::UnitCube(2));
+  const QuadtreePolicy policy(index, Box::UnitCube(2), 1);  // β = 2.
+  const auto root = policy.Root();
+  const auto level1 = policy.Split(root);
+  ASSERT_EQ(level1.size(), 2u);
+  // First split bisects dim 0: children differ in x-extent only.
+  EXPECT_DOUBLE_EQ(level1[0].box.hi(0), 0.5);
+  EXPECT_DOUBLE_EQ(level1[0].box.hi(1), 1.0);
+  const auto level2 = policy.Split(level1[0]);
+  // Second split bisects dim 1.
+  EXPECT_DOUBLE_EQ(level2[0].box.hi(1), 0.5);
+  EXPECT_DOUBLE_EQ(level2[0].box.hi(0), 0.5);
+}
+
+TEST(QuadtreePolicyTest, RoundRobinScoresMatchGeometry4D) {
+  Rng rng(6);
+  const PointSet points = RandomPoints(30000, 4, rng);
+  const MortonIndex index(points, Box::UnitCube(4));
+  const QuadtreePolicy policy(index, Box::UnitCube(4), 2);  // β = 4.
+  std::vector<SpatialCell> frontier = {policy.Root()};
+  for (int level = 0; level < 3; ++level) {
+    std::vector<SpatialCell> next;
+    for (const auto& cell : frontier) {
+      for (auto& child : policy.Split(cell)) next.push_back(std::move(child));
+    }
+    frontier = std::move(next);
+  }
+  for (const auto& cell : frontier) {
+    EXPECT_EQ(policy.Score(cell),
+              static_cast<double>(points.ExactRangeCount(cell.box)));
+  }
+}
+
+TEST(QuadtreePolicyTest, CanSplitExhaustsBitBudget) {
+  Rng rng(7);
+  const PointSet points = RandomPoints(10, 2, rng);
+  const MortonIndex index(points, Box::UnitCube(2));
+  const QuadtreePolicy policy(index, Box::UnitCube(2), 2);
+  SpatialCell cell = policy.Root();
+  int splits = 0;
+  while (policy.CanSplit(cell)) {
+    cell = policy.Split(cell)[0];
+    ++splits;
+  }
+  EXPECT_EQ(splits, index.max_prefix_bits() / 2);
+}
+
+TEST(QuadtreePolicyDeathTest, InvalidDimsPerSplitAborts) {
+  Rng rng(8);
+  const PointSet points = RandomPoints(10, 2, rng);
+  const MortonIndex index(points, Box::UnitCube(2));
+  EXPECT_DEATH(QuadtreePolicy(index, Box::UnitCube(2), 0), "PRIVTREE_CHECK");
+  EXPECT_DEATH(QuadtreePolicy(index, Box::UnitCube(2), 3), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,107 @@
+#include "spatial/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "dp/rng.h"
+#include "eval/workload.h"
+
+namespace privtree {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/privtree_hist_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".txt";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static PointSet MakePoints(std::size_t n, Rng& rng) {
+    PointSet points(2);
+    double p[2];
+    for (std::size_t i = 0; i < n; ++i) {
+      p[0] = 0.3 + 0.1 * rng.NextDouble();
+      p[1] = rng.NextDouble();
+      points.Add(p);
+    }
+    return points;
+  }
+
+  std::string path_;
+};
+
+TEST_F(SerializationTest, RoundTripPreservesEveryQueryAnswer) {
+  Rng rng(1);
+  const PointSet points = MakePoints(20000, rng);
+  const auto original =
+      BuildPrivTreeHistogram(points, Box::UnitCube(2), 1.0, {}, rng);
+  ASSERT_TRUE(SaveSpatialHistogram(path_, original).ok());
+  auto loaded = LoadSpatialHistogram(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().tree.size(), original.tree.size());
+  const auto queries =
+      GenerateRangeQueries(Box::UnitCube(2), 50, kMediumQueries, rng);
+  for (const Box& q : queries) {
+    EXPECT_NEAR(loaded.value().Query(q), original.Query(q),
+                1e-9 * (1.0 + std::abs(original.Query(q))));
+  }
+}
+
+TEST_F(SerializationTest, RoundTripPreservesStructure) {
+  Rng rng(2);
+  const PointSet points = MakePoints(5000, rng);
+  const auto original =
+      BuildPrivTreeHistogram(points, Box::UnitCube(2), 0.5, {}, rng);
+  ASSERT_TRUE(SaveSpatialHistogram(path_, original).ok());
+  auto loaded = LoadSpatialHistogram(path_);
+  ASSERT_TRUE(loaded.ok());
+  for (std::size_t i = 0; i < original.tree.size(); ++i) {
+    const auto& a = original.tree.node(static_cast<NodeId>(i));
+    const auto& b = loaded.value().tree.node(static_cast<NodeId>(i));
+    ASSERT_EQ(a.parent, b.parent);
+    ASSERT_EQ(a.depth, b.depth);
+    ASSERT_EQ(a.children.size(), b.children.size());
+    ASSERT_EQ(a.domain.box, b.domain.box);
+  }
+}
+
+TEST_F(SerializationTest, MissingFileIsIOError) {
+  const auto loaded = LoadSpatialHistogram("/nonexistent/h.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(SerializationTest, BadMagicIsInvalidArgument) {
+  std::ofstream(path_) << "not-a-histogram\n";
+  const auto loaded = LoadSpatialHistogram(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, TruncatedFileIsInvalidArgument) {
+  std::ofstream(path_)
+      << "privtree-histogram v1\ndim 2\nnodes 3\n-1 10 0 1 0 1\n";
+  const auto loaded = LoadSpatialHistogram(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, ForwardParentReferenceIsRejected) {
+  std::ofstream(path_) << "privtree-histogram v1\ndim 1\nnodes 2\n"
+                       << "-1 10 0 1\n5 3 0 0.5\n";
+  const auto loaded = LoadSpatialHistogram(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializationTest, SaveEmptyHistogramIsRejected) {
+  SpatialHistogram empty;
+  EXPECT_FALSE(SaveSpatialHistogram(path_, empty).ok());
+}
+
+}  // namespace
+}  // namespace privtree

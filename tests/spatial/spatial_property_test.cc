@@ -1,0 +1,128 @@
+// Parameterized property tests of the end-to-end spatial histogram across
+// dataset shapes and privacy budgets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "data/spatial_gen.h"
+#include "dp/rng.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree {
+namespace {
+
+struct PropertyCase {
+  const char* dataset;
+  double epsilon;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::string name = info.param.dataset;
+  name += "_eps";
+  name += std::to_string(static_cast<int>(info.param.epsilon * 100));
+  return name;
+}
+
+PointSet MakeData(const std::string& name, Rng& rng) {
+  if (name == "road") return GenerateRoadLike(30000, rng);
+  if (name == "gowalla") return GenerateGowallaLike(30000, rng);
+  if (name == "nyc") return GenerateNycLike(20000, rng);
+  return GenerateBeijingLike(20000, rng);
+}
+
+class SpatialHistogramPropertyTest
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(SpatialHistogramPropertyTest, LeavesPartitionDomainVolume) {
+  Rng rng(100);
+  const PointSet points = MakeData(GetParam().dataset, rng);
+  const Box domain = Box::UnitCube(points.dim());
+  const auto hist = BuildPrivTreeHistogram(points, domain,
+                                           GetParam().epsilon, {}, rng);
+  double volume = 0.0;
+  for (NodeId leaf : hist.tree.LeafIds()) {
+    volume += hist.tree.node(leaf).domain.box.Volume();
+  }
+  EXPECT_NEAR(volume, 1.0, 1e-6);
+}
+
+TEST_P(SpatialHistogramPropertyTest, InternalCountsEqualChildSums) {
+  Rng rng(101);
+  const PointSet points = MakeData(GetParam().dataset, rng);
+  const Box domain = Box::UnitCube(points.dim());
+  const auto hist = BuildPrivTreeHistogram(points, domain,
+                                           GetParam().epsilon, {}, rng);
+  for (std::size_t i = 0; i < hist.tree.size(); ++i) {
+    const auto& node = hist.tree.node(static_cast<NodeId>(i));
+    if (node.is_leaf()) continue;
+    double total = 0.0;
+    for (NodeId child : node.children) total += hist.count[child];
+    ASSERT_NEAR(hist.count[i], total, 1e-9);
+  }
+}
+
+TEST_P(SpatialHistogramPropertyTest, RootCountNearCardinality) {
+  Rng rng(102);
+  const PointSet points = MakeData(GetParam().dataset, rng);
+  const Box domain = Box::UnitCube(points.dim());
+  const auto hist = BuildPrivTreeHistogram(points, domain,
+                                           GetParam().epsilon, {}, rng);
+  // Root = sum of L noisy leaf counts; sd = sqrt(2L)·(1/(ε/2)).
+  const double leaves = static_cast<double>(hist.tree.LeafCount());
+  const double sd = std::sqrt(2.0 * leaves) * 2.0 / GetParam().epsilon;
+  EXPECT_NEAR(hist.count[0], static_cast<double>(points.size()),
+              6.0 * sd + 1.0);
+}
+
+TEST_P(SpatialHistogramPropertyTest, QueryAdditivityOverDisjointBoxes) {
+  // Query(A) + Query(B) == Query(A ∪ B) when A, B partition a box along
+  // one axis (the traversal is deterministic given the synopsis).
+  Rng rng(103);
+  const PointSet points = MakeData(GetParam().dataset, rng);
+  const std::size_t d = points.dim();
+  const Box domain = Box::UnitCube(d);
+  const auto hist = BuildPrivTreeHistogram(points, domain,
+                                           GetParam().epsilon, {}, rng);
+  std::vector<double> lo(d, 0.1), hi(d, 0.9);
+  const Box whole(lo, hi);
+  std::vector<double> mid_hi = hi;
+  mid_hi[0] = 0.47;
+  std::vector<double> mid_lo = lo;
+  mid_lo[0] = 0.47;
+  const Box left(lo, mid_hi);
+  const Box right(mid_lo, hi);
+  EXPECT_NEAR(hist.Query(left) + hist.Query(right), hist.Query(whole),
+              1e-6 * (1.0 + std::abs(hist.Query(whole))));
+}
+
+TEST_P(SpatialHistogramPropertyTest, ErrorIsBoundedOnMediumQueries) {
+  Rng rng(104);
+  const PointSet points = MakeData(GetParam().dataset, rng);
+  const Box domain = Box::UnitCube(points.dim());
+  const auto queries = GenerateRangeQueries(domain, 60, kMediumQueries, rng);
+  const auto exact = ExactAnswers(queries, points);
+  const auto hist = BuildPrivTreeHistogram(points, domain,
+                                           GetParam().epsilon, {}, rng);
+  const double error = MeanRelativeError(
+      queries, exact, [&](const Box& q) { return hist.Query(q); },
+      points.size());
+  EXPECT_TRUE(std::isfinite(error));
+  // Loose sanity ceiling; at ε >= 0.1 typical values are far below 1.
+  EXPECT_LT(error, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, SpatialHistogramPropertyTest,
+    ::testing::Values(PropertyCase{"road", 0.1}, PropertyCase{"road", 1.6},
+                      PropertyCase{"gowalla", 0.1},
+                      PropertyCase{"gowalla", 1.6},
+                      PropertyCase{"nyc", 0.4},
+                      PropertyCase{"beijing", 0.4}),
+    CaseName);
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,88 @@
+#include "spatial/synthetic_points.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rng.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree {
+namespace {
+
+PointSet TwoClusterPoints(std::size_t n, Rng& rng) {
+  PointSet points(2);
+  double p[2];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.8) {
+      p[0] = 0.1 + 0.05 * rng.NextDouble();
+      p[1] = 0.1 + 0.05 * rng.NextDouble();
+    } else {
+      p[0] = 0.8 + 0.05 * rng.NextDouble();
+      p[1] = 0.8 + 0.05 * rng.NextDouble();
+    }
+    points.Add(p);
+  }
+  return points;
+}
+
+TEST(SyntheticPointsTest, RequestedCountIsExact) {
+  Rng rng(1);
+  const PointSet real = TwoClusterPoints(20000, rng);
+  const auto hist =
+      BuildPrivTreeHistogram(real, Box::UnitCube(2), 1.0, {}, rng);
+  const PointSet synthetic = SampleSyntheticPoints(hist, 5000, rng);
+  EXPECT_EQ(synthetic.size(), 5000u);
+  EXPECT_EQ(synthetic.dim(), 2u);
+}
+
+TEST(SyntheticPointsTest, PointsStayInsideTheDomain) {
+  Rng rng(2);
+  const PointSet real = TwoClusterPoints(10000, rng);
+  const Box domain = Box::UnitCube(2);
+  const auto hist = BuildPrivTreeHistogram(real, domain, 1.0, {}, rng);
+  const PointSet synthetic = SampleSyntheticPoints(hist, 2000, rng);
+  for (std::size_t i = 0; i < synthetic.size(); ++i) {
+    EXPECT_TRUE(domain.Contains(synthetic.point(i)));
+  }
+}
+
+TEST(SyntheticPointsTest, MassFollowsTheRealDensity) {
+  Rng rng(3);
+  const PointSet real = TwoClusterPoints(100000, rng);
+  const auto hist =
+      BuildPrivTreeHistogram(real, Box::UnitCube(2), 1.6, {}, rng);
+  const PointSet synthetic = SampleSyntheticPoints(hist, 50000, rng);
+  const Box cluster_a({0.05, 0.05}, {0.2, 0.2});
+  const Box cluster_b({0.75, 0.75}, {0.9, 0.9});
+  const double frac_a = static_cast<double>(
+                            synthetic.ExactRangeCount(cluster_a)) /
+                        static_cast<double>(synthetic.size());
+  const double frac_b = static_cast<double>(
+                            synthetic.ExactRangeCount(cluster_b)) /
+                        static_cast<double>(synthetic.size());
+  EXPECT_NEAR(frac_a, 0.8, 0.05);
+  EXPECT_NEAR(frac_b, 0.2, 0.05);
+}
+
+TEST(SyntheticPointsTest, DatasetSizeTracksRootCount) {
+  Rng rng(4);
+  const PointSet real = TwoClusterPoints(30000, rng);
+  const auto hist =
+      BuildPrivTreeHistogram(real, Box::UnitCube(2), 1.0, {}, rng);
+  const PointSet synthetic = SampleSyntheticDataset(hist, rng);
+  EXPECT_NEAR(static_cast<double>(synthetic.size()), 30000.0, 2000.0);
+}
+
+TEST(SyntheticPointsTest, AllNegativeCountsYieldEmptySet) {
+  // Degenerate synopsis: manually zero out the counts.
+  Rng rng(5);
+  const PointSet real = TwoClusterPoints(100, rng);
+  auto hist = BuildPrivTreeHistogram(real, Box::UnitCube(2), 1.0, {}, rng);
+  for (double& c : hist.count) c = -5.0;
+  const PointSet synthetic = SampleSyntheticPoints(hist, 100, rng);
+  EXPECT_TRUE(synthetic.empty());
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,97 @@
+#include "spatial/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace privtree {
+namespace {
+
+/// A small product taxonomy:
+///   root → {hot → {coffee, tea}, cold → {soda, juice, water}}.
+Taxonomy BeverageTaxonomy() {
+  Taxonomy taxonomy;
+  const NodeId root = taxonomy.AddRoot("beverages");
+  const NodeId hot = taxonomy.AddCategory(root, "hot");
+  const NodeId cold = taxonomy.AddCategory(root, "cold");
+  taxonomy.AddCategory(hot, "coffee");
+  taxonomy.AddCategory(hot, "tea");
+  taxonomy.AddCategory(cold, "soda");
+  taxonomy.AddCategory(cold, "juice");
+  taxonomy.AddCategory(cold, "water");
+  taxonomy.Finalize();
+  return taxonomy;
+}
+
+TEST(TaxonomyTest, LeafValuesAreDenseInDfsOrder) {
+  const Taxonomy taxonomy = BeverageTaxonomy();
+  EXPECT_EQ(taxonomy.LeafValueCount(), 5);
+  // DFS order: coffee, tea, soda, juice, water.
+  EXPECT_EQ(taxonomy.label(taxonomy.NodeOf(0)), "coffee");
+  EXPECT_EQ(taxonomy.label(taxonomy.NodeOf(1)), "tea");
+  EXPECT_EQ(taxonomy.label(taxonomy.NodeOf(4)), "water");
+  for (CategoryValue v = 0; v < 5; ++v) {
+    EXPECT_EQ(taxonomy.ValueOf(taxonomy.NodeOf(v)), v);
+  }
+}
+
+TEST(TaxonomyTest, CoversFollowsSubtrees) {
+  const Taxonomy taxonomy = BeverageTaxonomy();
+  const NodeId root = taxonomy.root();
+  const NodeId hot = taxonomy.children(root)[0];
+  const NodeId cold = taxonomy.children(root)[1];
+  for (CategoryValue v = 0; v < 5; ++v) {
+    EXPECT_TRUE(taxonomy.Covers(root, v));
+    EXPECT_EQ(taxonomy.Covers(hot, v), v < 2);
+    EXPECT_EQ(taxonomy.Covers(cold, v), v >= 2);
+  }
+}
+
+TEST(TaxonomyTest, LeafCountOfInternalNodes) {
+  const Taxonomy taxonomy = BeverageTaxonomy();
+  const NodeId root = taxonomy.root();
+  EXPECT_EQ(taxonomy.LeafCountOf(root), 5);
+  EXPECT_EQ(taxonomy.LeafCountOf(taxonomy.children(root)[0]), 2);
+  EXPECT_EQ(taxonomy.LeafCountOf(taxonomy.children(root)[1]), 3);
+  EXPECT_EQ(taxonomy.LeafCountOf(taxonomy.NodeOf(3)), 1);
+}
+
+TEST(TaxonomyTest, FlatTaxonomyHasOneLevel) {
+  const Taxonomy taxonomy = Taxonomy::Flat(6);
+  EXPECT_EQ(taxonomy.LeafValueCount(), 6);
+  EXPECT_EQ(taxonomy.children(taxonomy.root()).size(), 6u);
+  for (NodeId child : taxonomy.children(taxonomy.root())) {
+    EXPECT_TRUE(taxonomy.is_leaf(child));
+  }
+}
+
+TEST(TaxonomyTest, BalancedTaxonomyCoversAllValues) {
+  for (std::int32_t values : {1, 2, 5, 16, 17}) {
+    const Taxonomy taxonomy = Taxonomy::Balanced(values, 2);
+    EXPECT_EQ(taxonomy.LeafValueCount(), values) << values;
+    for (CategoryValue v = 0; v < values; ++v) {
+      EXPECT_TRUE(taxonomy.Covers(taxonomy.root(), v));
+    }
+  }
+}
+
+TEST(TaxonomyTest, BalancedArityIsRespected) {
+  const Taxonomy taxonomy = Taxonomy::Balanced(27, 3);
+  for (std::size_t id = 0; id < taxonomy.size(); ++id) {
+    EXPECT_LE(taxonomy.children(static_cast<NodeId>(id)).size(), 3u);
+  }
+}
+
+TEST(TaxonomyDeathTest, UsageBeforeFinalizeAborts) {
+  Taxonomy taxonomy;
+  taxonomy.AddRoot("r");
+  taxonomy.AddCategory(0, "a");
+  EXPECT_DEATH((void)taxonomy.LeafValueCount(), "PRIVTREE_CHECK");
+  EXPECT_DEATH((void)taxonomy.Covers(0, 0), "PRIVTREE_CHECK");
+}
+
+TEST(TaxonomyDeathTest, ModificationAfterFinalizeAborts) {
+  Taxonomy taxonomy = Taxonomy::Flat(3);
+  EXPECT_DEATH(taxonomy.AddCategory(0, "late"), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

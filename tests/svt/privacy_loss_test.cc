@@ -1,0 +1,78 @@
+// Tests of Section 5's negative results: the binary SVT (Claim 1) and the
+// vanilla SVT (Claim 2) are not ε-DP with k-independent noise.
+#include "svt/privacy_loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+TEST(BinarySvtLossTest, GrowsLinearlyInK) {
+  // Lemma 5.1's derivation gives loss > k/(2λ).
+  const double lambda = 2.0;
+  const double loss_k4 = BinarySvtLossLemma51(4, lambda);
+  const double loss_k8 = BinarySvtLossLemma51(8, lambda);
+  const double loss_k16 = BinarySvtLossLemma51(16, lambda);
+  EXPECT_GT(loss_k4, 4.0 / (2.0 * lambda));
+  EXPECT_GT(loss_k8, 8.0 / (2.0 * lambda));
+  EXPECT_GT(loss_k16, 16.0 / (2.0 * lambda));
+  // Roughly doubling k doubles the loss.
+  EXPECT_NEAR(loss_k16 / loss_k8, 2.0, 0.35);
+}
+
+TEST(BinarySvtLossTest, RefutesClaim1) {
+  // Claim 1 says λ = 2/ε suffices for ε-DP.  Composition over the two
+  // neighboring pairs would then bound the loss by 2ε.  Pick ε = 1,
+  // λ = 2, k = 16 ⇒ λ <= k/(4ε) = 4 and the loss must exceed 2ε = 2.
+  const double loss = BinarySvtLossLemma51(16, 2.0);
+  EXPECT_GT(loss, 2.0);
+}
+
+TEST(BinarySvtLossTest, MonteCarloAgreesWithQuadrature) {
+  const int k = 4;
+  const double lambda = 2.0;
+  const double numeric = BinarySvtLossLemma51(k, lambda);
+  Rng rng(123);
+  const double monte_carlo =
+      BinarySvtLossLemma51MonteCarlo(k, lambda, 400000, rng);
+  EXPECT_NEAR(monte_carlo, numeric, 0.25);
+}
+
+TEST(BinarySvtLossTest, LargeLambdaIsSafe) {
+  // With λ = k/(2ε)·(large slack) the loss falls below 2ε — consistent
+  // with the Ω(k/ε) requirement.
+  const int k = 8;
+  const double epsilon = 1.0;
+  const double lambda = 4.0 * static_cast<double>(k) / epsilon;
+  EXPECT_LT(BinarySvtLossLemma51(k, lambda), 2.0 * epsilon);
+}
+
+TEST(VanillaSvtLossTest, MatchesPaperClosedForm) {
+  // Appendix A derives the ratio e^{k/λ} exactly.
+  for (int k : {2, 8, 32}) {
+    for (double lambda : {1.0, 2.0}) {
+      EXPECT_NEAR(VanillaSvtLossClaim2(k, lambda),
+                  static_cast<double>(k) / lambda, 0.02)
+          << "k=" << k << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(VanillaSvtLossTest, RefutesClaim2) {
+  // Claim 2: λ = 2/ε gives ε-DP, so the loss should be <= 2ε.  With ε = 1,
+  // λ = 2 and k = 16 the loss is k/λ = 8 > 2.
+  EXPECT_GT(VanillaSvtLossClaim2(16, 2.0), 2.0);
+}
+
+TEST(PrivacyLossDeathTest, InvalidArgumentsAbort) {
+  EXPECT_DEATH(BinarySvtLossLemma51(3, 1.0), "PRIVTREE_CHECK");  // Odd k.
+  EXPECT_DEATH(BinarySvtLossLemma51(4, 0.0), "PRIVTREE_CHECK");
+  EXPECT_DEATH(VanillaSvtLossClaim2(1, 1.0), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,135 @@
+#include "svt/svt.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+TEST(BinarySvtTest, AnswersEveryQuery) {
+  Rng rng(1);
+  const std::vector<double> answers = {0.0, 100.0, -50.0, 3.0};
+  const auto out = BinarySvt(answers, 1.0, 1.0, rng);
+  EXPECT_EQ(out.size(), answers.size());
+}
+
+TEST(BinarySvtTest, ClearSignalsAreDetected) {
+  Rng rng(2);
+  const std::vector<double> answers = {1000.0, -1000.0, 1000.0};
+  const auto out = BinarySvt(answers, 0.0, 1.0, rng);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 1);
+}
+
+TEST(BinarySvtTest, PositiveRateMatchesTheory) {
+  // With answer = θ, P(above) = P(Lap − Lap' > 0) = 1/2.
+  Rng rng(3);
+  const std::vector<double> answers(1, 5.0);
+  int positives = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    positives += BinarySvt(answers, 5.0, 1.0, rng)[0];
+  }
+  EXPECT_NEAR(static_cast<double>(positives) / kTrials, 0.5, 0.01);
+}
+
+TEST(VanillaSvtTest, StopsAfterTReleases) {
+  Rng rng(4);
+  const std::vector<double> answers(20, 1000.0);  // All far above θ.
+  const auto out = VanillaSvt(answers, 0.0, 1.0, 3, rng);
+  EXPECT_EQ(out.size(), 3u);
+  for (const auto& release : out) {
+    ASSERT_TRUE(release.has_value());
+    EXPECT_NEAR(*release, 1000.0, 50.0);
+  }
+}
+
+TEST(VanillaSvtTest, BelowThresholdYieldsBottom) {
+  Rng rng(5);
+  const std::vector<double> answers(5, -1000.0);
+  const auto out = VanillaSvt(answers, 0.0, 1.0, 2, rng);
+  EXPECT_EQ(out.size(), 5u);
+  for (const auto& release : out) EXPECT_FALSE(release.has_value());
+}
+
+TEST(VanillaSvtTest, QueryNoiseScalesWithT) {
+  Rng rng(6);
+  const std::vector<double> answers(2000, 1000.0);
+  double spread_t1 = 0.0, spread_t4 = 0.0;
+  for (const auto& v : VanillaSvt(answers, 0.0, 1.0, 2000, rng)) {
+    if (v) spread_t1 += std::abs(*v - 1000.0);
+  }
+  // With t large the per-release noise is t·λ.
+  Rng rng2(7);
+  const auto out4 = VanillaSvt(answers, 0.0, 4.0, 2000, rng2);
+  for (const auto& v : out4) {
+    if (v) spread_t4 += std::abs(*v - 1000.0);
+  }
+  EXPECT_GT(spread_t4, spread_t1);
+}
+
+TEST(ReducedSvtTest, StopsAfterTOnes) {
+  Rng rng(8);
+  const std::vector<double> answers(50, 1000.0);
+  const auto out = ReducedSvt(answers, 0.0, 1.0, 4, rng);
+  EXPECT_EQ(out.size(), 4u);
+  for (int bit : out) EXPECT_EQ(bit, 1);
+}
+
+TEST(ReducedSvtTest, MixedSignalOutputsExpectedPattern) {
+  Rng rng(9);
+  const std::vector<double> answers = {1000.0, -1000.0, -1000.0, 1000.0};
+  const auto out = ReducedSvt(answers, 0.0, 1.0, 5, rng);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 0);
+  EXPECT_EQ(out[3], 1);
+}
+
+TEST(ImprovedSvtTest, StopsAfterTOnes) {
+  Rng rng(10);
+  const std::vector<double> answers(50, 1000.0);
+  const auto out = ImprovedSvt(answers, 0.0, 1.0, 4, rng);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(ImprovedSvtTest, MoreAccurateThanReducedNearThreshold) {
+  // The improved SVT's threshold noise has scale λ instead of t·λ, so for
+  // answers exactly at θ ± margin it misclassifies less often.
+  const double margin = 5.0;
+  const std::vector<double> answers = {margin, -margin, margin, -margin,
+                                       margin, -margin, margin, -margin};
+  const int t = 8;
+  const double lambda = 1.0;
+  Rng rng(11);
+  int improved_errors = 0, reduced_errors = 0;
+  constexpr int kTrials = 4000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto improved = ImprovedSvt(answers, 0.0, lambda, t, rng);
+    const auto reduced = ReducedSvt(answers, 0.0, lambda, t, rng);
+    for (std::size_t i = 0; i < improved.size(); ++i) {
+      improved_errors += improved[i] != (answers[i] > 0.0 ? 1 : 0);
+    }
+    for (std::size_t i = 0; i < reduced.size(); ++i) {
+      reduced_errors += reduced[i] != (answers[i] > 0.0 ? 1 : 0);
+    }
+  }
+  EXPECT_LT(improved_errors, reduced_errors);
+}
+
+TEST(SvtDeathTest, InvalidParametersAbort) {
+  Rng rng(12);
+  const std::vector<double> answers = {1.0};
+  EXPECT_DEATH(BinarySvt(answers, 0.0, 0.0, rng), "PRIVTREE_CHECK");
+  EXPECT_DEATH(VanillaSvt(answers, 0.0, 1.0, 0, rng), "PRIVTREE_CHECK");
+  EXPECT_DEATH(ReducedSvt(answers, 0.0, -1.0, 1, rng), "PRIVTREE_CHECK");
+  EXPECT_DEATH(ImprovedSvt(answers, 0.0, 1.0, -2, rng), "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree
