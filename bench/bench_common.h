@@ -62,16 +62,20 @@ inline SpatialCase MakeSpatialCase(const std::string& name,
   const std::size_t dim = points->dim();
   SpatialCase out{name, std::move(*points), Box::UnitCube(dim), {}, {}};
   Rng workload_rng(0x9E3779B9ULL ^ std::hash<std::string>{}(name));
-  for (const auto& band : {kSmallQueries, kMediumQueries, kLargeQueries}) {
-    out.queries.push_back(GenerateRangeQueries(out.domain, queries_per_band,
-                                               band, workload_rng));
+  for (BandedWorkload& workload :
+       GenerateBandedWorkloads(out.domain, queries_per_band, workload_rng)) {
+    out.queries.push_back(std::move(workload.queries));
     out.exact.push_back(ExactAnswers(out.queries.back(), out.points));
   }
   return out;
 }
 
 inline const std::vector<std::string>& BandNames() {
-  static const std::vector<std::string> names = {"small", "medium", "large"};
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const QuerySizeBand& band : kPaperBands) out.push_back(band.name);
+    return out;
+  }();
   return names;
 }
 

@@ -2,22 +2,21 @@
 // spatial datasets, for PrivTree and the five baselines, across the paper's
 // ε grid and three query-size bands.
 //
+// Methods are not hard-coded: the lineup comes from the release-method
+// registry via ComparativeLineup(), so a newly registered backend joins
+// this comparison by adding itself to the lineup — no bench changes.
+//
 // Expected shape (Section 6.1): PrivTree best everywhere; the gap largest
 // on the highly skewed datasets (road, NYC); AG between UG and PrivTree on
 // 2-d; DAWA the closest competitor; AG/Hierarchy omitted on 4-d data, as
 // in the paper.
-#include <cmath>
 #include <cstdio>
-#include <limits>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "eval/table.h"
-#include "hist/ag.h"
-#include "hist/dawa.h"
-#include "hist/hierarchy.h"
-#include "hist/ug.h"
-#include "hist/wavelet.h"
-#include "spatial/spatial_histogram.h"
 
 namespace privtree {
 namespace bench {
@@ -27,83 +26,28 @@ void RunDataset(const std::string& name) {
   const std::size_t queries = PaperScale() ? 10000 : 500;
   const std::size_t reps = Repetitions(3);
   const SpatialCase data = MakeSpatialCase(name, queries);
-  const bool two_d = data.points.dim() == 2;
   std::printf("[Table 2] %s: d=%zu n=%zu\n", name.c_str(),
               data.points.dim(), data.points.size());
 
-  std::vector<std::string> methods = {"PrivTree", "UG"};
-  if (two_d) {
-    methods.push_back("AG");
-    methods.push_back("Hierarchy");
-  }
-  methods.push_back("DAWA");
-  methods.push_back("Privelet*");
-
-  const auto build_for = [&](const std::string& method,
-                             double epsilon) -> BuildFn {
-    if (method == "PrivTree") {
-      return [&, epsilon](Rng& rng) -> AnswerFn {
-        auto hist = std::make_shared<SpatialHistogram>(
-            BuildPrivTreeHistogram(data.points, data.domain, epsilon, {},
-                                   rng));
-        return [hist](const Box& q) { return hist->Query(q); };
-      };
-    }
-    if (method == "UG") {
-      return [&, epsilon](Rng& rng) -> AnswerFn {
-        auto grid = std::make_shared<GridHistogram>(
-            BuildUniformGrid(data.points, data.domain, epsilon, {}, rng));
-        return [grid](const Box& q) { return grid->Query(q); };
-      };
-    }
-    if (method == "AG") {
-      return [&, epsilon](Rng& rng) -> AnswerFn {
-        auto grid = std::make_shared<AdaptiveGrid>(data.points, data.domain,
-                                                   epsilon,
-                                                   AdaptiveGridOptions{},
-                                                   rng);
-        return [grid](const Box& q) { return grid->Query(q); };
-      };
-    }
-    if (method == "Hierarchy") {
-      return [&, epsilon](Rng& rng) -> AnswerFn {
-        auto hist = std::make_shared<HierarchyHistogram>(
-            data.points, data.domain, epsilon, HierarchyOptions{}, rng);
-        return [hist](const Box& q) { return hist->Query(q); };
-      };
-    }
-    if (method == "DAWA") {
-      return [&, epsilon](Rng& rng) -> AnswerFn {
-        DawaOptions options;
-        options.target_total_cells = DiscretizationCells();
-        auto grid = std::make_shared<GridHistogram>(BuildDawaHistogram(
-            data.points, data.domain, epsilon, options, rng));
-        return [grid](const Box& q) { return grid->Query(q); };
-      };
-    }
-    PRIVTREE_CHECK(method == "Privelet*");
-    return [&, epsilon](Rng& rng) -> AnswerFn {
-      PriveletOptions options;
-      options.target_total_cells = DiscretizationCells();
-      auto grid = std::make_shared<GridHistogram>(BuildPriveletHistogram(
-          data.points, data.domain, epsilon, options, rng));
-      return [grid](const Box& q) { return grid->Query(q); };
-    };
-  };
+  const std::vector<MethodSpec> lineup =
+      ComparativeLineup(data.points.dim(), DiscretizationCells());
+  std::vector<std::string> columns;
+  for (const MethodSpec& spec : lineup) columns.push_back(spec.display);
 
   for (std::size_t band = 0; band < BandNames().size(); ++band) {
     TablePrinter table(
         "Figure 5: " + name + " - " + BandNames()[band] +
             " queries (average relative error)",
-        "epsilon", methods);
+        "epsilon", columns);
     for (double epsilon : PaperEpsilons()) {
       std::vector<double> row;
-      for (const std::string& method : methods) {
-        row.push_back(SweepError(data, band, reps,
-                                 std::hash<std::string>{}(method) ^
-                                     static_cast<std::uint64_t>(
-                                         epsilon * 1e6),
-                                 build_for(method, epsilon)));
+      for (const MethodSpec& spec : lineup) {
+        const std::uint64_t seed =
+            std::hash<std::string>{}(spec.display) ^
+            static_cast<std::uint64_t>(epsilon * 1e6);
+        row.push_back(RegistryMethodError(spec, data.points, data.domain,
+                                          epsilon, data.queries[band],
+                                          data.exact[band], reps, seed));
       }
       table.AddRow(FormatCell(epsilon), row);
     }

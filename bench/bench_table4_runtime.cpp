@@ -4,16 +4,22 @@
 // smaller ε means a larger bias term and therefore earlier stopping.
 //
 // Also reports tree sizes next to the noiseless reference |T*|, making the
-// Lemma 3.2 bound E[|T|] <= 2|T*| observable.
+// Lemma 3.2 bound E[|T|] <= 2|T*| observable, and — new with the unified
+// release API — a registry-wide build-time comparison: every method in
+// release::GlobalMethodRegistry() is timed through the same Method
+// interface, so backends added later show up here automatically.
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
-#include "core/privtree.h"
 #include "data/seq_gen.h"
+#include "dp/budget.h"
 #include "eval/table.h"
+#include "release/registry.h"
 #include "seq/pst_privtree.h"
-#include "spatial/spatial_histogram.h"
 
 namespace privtree {
 namespace bench {
@@ -28,7 +34,7 @@ double Seconds(const std::function<void()>& body) {
 
 void RunSpatial(TablePrinter* time_table, TablePrinter* size_table,
                 const std::string& name) {
-  const SpatialCase data = MakeSpatialCase(name, /*queries_per_band=*/1);
+  const SpatialCase data = MakeSpatialCase(name, /*queries_per_band=*/0);
   const std::size_t reps = Repetitions(3);
   std::vector<double> times, sizes;
   for (double epsilon : PaperEpsilons()) {
@@ -36,12 +42,12 @@ void RunSpatial(TablePrinter* time_table, TablePrinter* size_table,
     Rng master(0x7E57);
     for (std::size_t rep = 0; rep < reps; ++rep) {
       Rng rng = master.Fork();
-      SpatialHistogram hist;
+      auto method = release::GlobalMethodRegistry().Create("privtree");
+      PrivacyBudget budget(epsilon);
       total_time += Seconds([&] {
-        hist = BuildPrivTreeHistogram(data.points, data.domain, epsilon, {},
-                                      rng);
+        method->Fit(data.points, data.domain, budget, rng);
       });
-      total_nodes += static_cast<double>(hist.tree.size());
+      total_nodes += static_cast<double>(method->Metadata().synopsis_size);
     }
     times.push_back(total_time / static_cast<double>(reps));
     sizes.push_back(total_nodes / static_cast<double>(reps));
@@ -82,6 +88,37 @@ void RunSequence(TablePrinter* time_table, TablePrinter* size_table,
   size_table->AddRow(name, sizes);
 }
 
+/// Companion table: build time of *every* registered method on one 2-d
+/// dataset at ε = 1, one row per registry entry.
+void RunRegistrySweep(const std::string& dataset) {
+  const SpatialCase data = MakeSpatialCase(dataset, /*queries_per_band=*/0);
+  const std::size_t reps = Repetitions(3);
+  const double epsilon = 1.0;
+
+  TablePrinter table("Companion: build time by registry method, " + dataset +
+                         " (eps=1)",
+                     "method", {"seconds", "synopsis size"});
+  for (const MethodSpec& spec :
+       AllRegisteredSpecs(data.points.dim(), DiscretizationCells())) {
+    double total_time = 0.0, total_size = 0.0;
+    Rng master(0x7E59 ^ std::hash<std::string>{}(spec.name));
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      Rng rng = master.Fork();
+      auto method =
+          release::GlobalMethodRegistry().Create(spec.name, spec.options);
+      PrivacyBudget budget(epsilon);
+      total_time += Seconds([&] {
+        method->Fit(data.points, data.domain, budget, rng);
+      });
+      total_size += static_cast<double>(method->Metadata().synopsis_size);
+    }
+    table.AddRow(spec.display,
+                 {total_time / static_cast<double>(reps),
+                  total_size / static_cast<double>(reps)});
+  }
+  table.Print();
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace privtree
@@ -108,5 +145,6 @@ int main() {
   }
   time_table.Print();
   size_table.Print();
+  privtree::bench::RunRegistrySweep("gowalla");
   return 0;
 }

@@ -1,56 +1,260 @@
 // privtree_cli — build and query released synopses from the command line.
 //
+//   privtree_cli list
+//   privtree_cli run <points.csv> <dim> <epsilon> --method=<name>
+//                    [--options=k=v,...]        (query boxes on stdin)
 //   privtree_cli build <points.csv> <dim> <epsilon> <synopsis.out>
-//   privtree_cli query <synopsis.out> < queries.txt
+//                    [--method=privtree|simpletree] [--options=k=v,...]
+//   privtree_cli query <synopsis.out>           (query boxes on stdin)
+//
+// `list` prints every method in the release registry.  `run` fits any
+// registered method through a ReleaseSession and answers the stdin query
+// boxes in one QueryBatch — the synopsis lives only in memory.  `build`
+// persists a synopsis to disk (tree-backed methods only, since only the
+// spatial decomposition tree has a serialization format) and `query`
+// answers from the saved file without ever touching the data.
 //
 // Query lines are "lo_1 hi_1 ... lo_d hi_d"; the answer is printed per
-// line.  `build` reads the sensitive data once and writes only the ε-DP
-// synopsis; `query` never touches the data.
+// line.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "data/csv.h"
 #include "dp/rng.h"
+#include "release/builtin_methods.h"
+#include "release/options.h"
+#include "release/registry.h"
+#include "release/session.h"
 #include "spatial/serialization.h"
 #include "spatial/spatial_histogram.h"
 
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  %s build <points.csv> <dim> <epsilon> <synopsis.out>\n"
-               "  %s query <synopsis.out>   (query boxes on stdin)\n",
-               argv0, argv0);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s list\n"
+      "  %s run <points.csv> <dim> <epsilon> --method=<name> "
+      "[--options=k=v,...]\n"
+      "  %s build <points.csv> <dim> <epsilon> <synopsis.out> "
+      "[--method=privtree|simpletree] [--options=k=v,...]\n"
+      "  %s query <synopsis.out>   (query boxes on stdin)\n",
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
-int RunBuild(int argc, char** argv) {
-  if (argc != 6) return Usage(argv[0]);
-  const std::string points_path = argv[2];
-  const auto dim = static_cast<std::size_t>(std::atol(argv[3]));
-  const double epsilon = std::atof(argv[4]);
-  const std::string out_path = argv[5];
-  if (dim == 0 || dim > 8 || epsilon <= 0.0) return Usage(argv[0]);
+/// Flags accepted after the positional arguments.
+struct CliFlags {
+  std::string method = "privtree";
+  privtree::release::MethodOptions options;
+};
 
-  auto points = privtree::LoadPointsCsv(points_path, dim);
+const char* TypeName(privtree::release::OptionType type) {
+  switch (type) {
+    case privtree::release::OptionType::kDouble: return "number";
+    case privtree::release::OptionType::kInt: return "integer";
+    case privtree::release::OptionType::kBool: return "boolean";
+  }
+  return "value";
+}
+
+/// Parses trailing --method=/--options= flags; returns false (after a
+/// diagnostic) on an unknown flag, unregistered method name, malformed
+/// options text, an option key the method does not accept, a non-numeric
+/// option value, or a method that cannot fit `dim`-dimensional data.
+bool ParseFlags(int argc, char** argv, int first_flag, std::size_t dim,
+                CliFlags* flags) {
+  for (int i = first_flag; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--method=", 0) == 0) {
+      flags->method = arg.substr(std::strlen("--method="));
+    } else if (arg.rfind("--options=", 0) == 0) {
+      std::string error;
+      if (!privtree::release::MethodOptions::TryParse(
+              arg.substr(std::strlen("--options=")), &flags->options,
+              &error)) {
+        std::fprintf(stderr, "error: --options: %s\n", error.c_str());
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  const auto& registry = privtree::release::GlobalMethodRegistry();
+  if (!registry.Contains(flags->method)) {
+    std::fprintf(stderr,
+                 "error: unknown method \"%s\" (see `privtree_cli list`)\n",
+                 flags->method.c_str());
+    return false;
+  }
+  const std::size_t required_dim = registry.RequiredDim(flags->method);
+  if (required_dim != 0 && dim != required_dim) {
+    std::fprintf(stderr,
+                 "error: method \"%s\" requires %zu-dimensional data "
+                 "(got dim=%zu)\n",
+                 flags->method.c_str(), required_dim, dim);
+    return false;
+  }
+  const auto& allowed = registry.AllowedKeys(flags->method);
+  for (const std::string& key : flags->options.Keys()) {
+    const auto it =
+        std::find_if(allowed.begin(), allowed.end(),
+                     [&](const auto& candidate) {
+                       return candidate.name == key;
+                     });
+    if (it == allowed.end()) {
+      std::fprintf(stderr, "error: method \"%s\" has no option \"%s\";",
+                   flags->method.c_str(), key.c_str());
+      std::fprintf(stderr, " allowed:");
+      for (const auto& k : allowed) {
+        std::fprintf(stderr, " %s", k.name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return false;
+    }
+    const std::string value = flags->options.GetString(key, "");
+    if (!privtree::release::ValueParsesAs(it->type, value)) {
+      std::fprintf(stderr,
+                   "error: option \"%s\" needs a %s value (got \"%s\")\n",
+                   key.c_str(), TypeName(it->type), value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunList() {
+  const auto& registry = privtree::release::GlobalMethodRegistry();
+  for (const std::string& name : registry.Names()) {
+    std::printf("%-12s %s\n", name.c_str(),
+                registry.Description(name).c_str());
+  }
+  return 0;
+}
+
+/// Reads "lo_1 hi_1 ... lo_d hi_d" lines from stdin until EOF.  Invalid
+/// boxes (lo > hi) are skipped with a diagnostic; a non-numeric token or a
+/// truncated final record stops reading with a warning so the caller can
+/// tell the workload was cut short.
+std::vector<privtree::Box> ReadQueryBoxes(std::size_t dim) {
+  std::vector<privtree::Box> out;
+  std::vector<double> bounds(2 * dim);
+  while (true) {
+    bool stop = false;
+    for (std::size_t j = 0; j < 2 * dim; ++j) {
+      if (std::scanf("%lf", &bounds[j]) != 1) {
+        if (!std::feof(stdin)) {
+          std::fprintf(stderr,
+                       "warning: non-numeric query input after %zu boxes; "
+                       "ignoring the rest\n",
+                       out.size());
+        } else if (j > 0) {
+          std::fprintf(stderr,
+                       "warning: truncated final query record (%zu of %zu "
+                       "coordinates); ignoring it\n",
+                       j, 2 * dim);
+        }
+        stop = true;
+        break;
+      }
+    }
+    if (stop) return out;
+    std::vector<double> lo(dim), hi(dim);
+    bool valid = true;
+    for (std::size_t j = 0; j < dim; ++j) {
+      lo[j] = bounds[2 * j];
+      hi[j] = bounds[2 * j + 1];
+      valid = valid && lo[j] <= hi[j];
+    }
+    if (!valid) {
+      std::fprintf(stderr, "warning: skipping box with lo > hi\n");
+      continue;
+    }
+    out.emplace_back(std::move(lo), std::move(hi));
+  }
+}
+
+/// Loads the CSV; returns nullptr after printing a diagnostic.
+std::unique_ptr<privtree::PointSet> LoadPoints(const char* path,
+                                               std::size_t dim) {
+  auto points = privtree::LoadPointsCsv(path, dim);
   if (!points.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 points.status().ToString().c_str());
-    return 1;
+    std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
+    return nullptr;
   }
   if (points.value().empty()) {
-    std::fprintf(stderr, "error: %s is empty\n", points_path.c_str());
-    return 1;
+    std::fprintf(stderr, "error: %s is empty\n", path);
+    return nullptr;
   }
-  // The declared domain is the unit cube; rescale your data accordingly,
-  // or adjust here.  (A data-derived bounding box would leak information.)
+  return std::make_unique<privtree::PointSet>(std::move(points.value()));
+}
+
+int RunRun(int argc, char** argv) {
+  if (argc < 5) return Usage(argv[0]);
+  const auto dim = static_cast<std::size_t>(std::atol(argv[3]));
+  const double epsilon = std::atof(argv[4]);
+  if (dim == 0 || dim > 8 || epsilon <= 0.0) return Usage(argv[0]);
+  CliFlags flags;
+  if (!ParseFlags(argc, argv, 5, dim, &flags)) return 2;
+  const auto points = LoadPoints(argv[2], dim);
+  if (points == nullptr) return 1;
+
+  // The declared domain is the unit cube; rescale your data accordingly.
+  // (A data-derived bounding box would leak information.)
+  privtree::release::ReleaseSession session(
+      *points, privtree::Box::UnitCube(dim), epsilon, /*seed=*/0xC11);
+  const auto method = session.ReleaseRemaining(flags.method, flags.options);
+  const auto metadata = method->Metadata();
+  std::fprintf(stderr, "fitted %s: synopsis size %zu, epsilon %.4g\n",
+               metadata.method.c_str(), metadata.synopsis_size,
+               metadata.epsilon_spent);
+
+  const std::vector<privtree::Box> queries = ReadQueryBoxes(dim);
+  for (const double answer : method->QueryBatch(queries)) {
+    std::printf("%.2f\n", answer);
+  }
+  return 0;
+}
+
+int RunBuild(int argc, char** argv) {
+  if (argc < 6) return Usage(argv[0]);
+  const auto dim = static_cast<std::size_t>(std::atol(argv[3]));
+  const double epsilon = std::atof(argv[4]);
+  if (dim == 0 || dim > 8 || epsilon <= 0.0) return Usage(argv[0]);
+  const std::string out_path = argv[5];
+  CliFlags flags;
+  if (!ParseFlags(argc, argv, 6, dim, &flags)) return 2;
+  const auto points = LoadPoints(argv[2], dim);
+  if (points == nullptr) return 1;
+
+  // Only the spatial decomposition tree has an on-disk format; the grid
+  // methods answer through `run` instead.
   privtree::Rng rng(0xC11);
-  const auto hist = privtree::BuildPrivTreeHistogram(
-      points.value(), privtree::Box::UnitCube(dim), epsilon, {}, rng);
+  privtree::SpatialHistogram hist;
+  const privtree::Box domain = privtree::Box::UnitCube(dim);
+  if (flags.method == "privtree") {
+    hist = privtree::BuildPrivTreeHistogram(
+        *points, domain, epsilon,
+        privtree::release::ParsePrivTreeHistogramOptions(flags.options), rng);
+  } else if (flags.method == "simpletree") {
+    hist = privtree::BuildSimpleTreeHistogram(
+        *points, domain, epsilon,
+        privtree::release::ParseSimpleTreeHistogramOptions(flags.options),
+        rng);
+  } else {
+    std::fprintf(stderr,
+                 "error: method \"%s\" has no serialization; use "
+                 "`privtree_cli run --method=%s` instead\n",
+                 flags.method.c_str(), flags.method.c_str());
+    return 2;
+  }
   if (auto s = privtree::SaveSpatialHistogram(out_path, hist); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
@@ -70,31 +274,18 @@ int RunQuery(int argc, char** argv) {
   }
   const std::size_t dim =
       hist.value().tree.node(0).domain.box.dim();
-  std::vector<double> bounds(2 * dim);
-  while (true) {
-    for (std::size_t j = 0; j < 2 * dim; ++j) {
-      if (std::scanf("%lf", &bounds[j]) != 1) return 0;  // EOF.
-    }
-    std::vector<double> lo(dim), hi(dim);
-    bool valid = true;
-    for (std::size_t j = 0; j < dim; ++j) {
-      lo[j] = bounds[2 * j];
-      hi[j] = bounds[2 * j + 1];
-      valid = valid && lo[j] <= hi[j];
-    }
-    if (!valid) {
-      std::printf("error: lo > hi\n");
-      continue;
-    }
-    std::printf("%.2f\n",
-                hist.value().Query(privtree::Box(lo, hi)));
+  for (const privtree::Box& q : ReadQueryBoxes(dim)) {
+    std::printf("%.2f\n", hist.value().Query(q));
   }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
+  if (std::strcmp(argv[1], "list") == 0) return RunList();
+  if (std::strcmp(argv[1], "run") == 0) return RunRun(argc, argv);
   if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
   return Usage(argv[0]);

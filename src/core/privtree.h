@@ -8,7 +8,7 @@
 // The output tree reveals only the sub-domains of its nodes; all scores are
 // concealed (Line 11 of Algorithm 2).  Noisy per-node counts, when needed,
 // are produced by a separate post-processing step on a fresh budget slice
-// (Section 3.4) — see spatial/spatial_privtree.h and seq/pst_privtree.h.
+// (Section 3.4) — see spatial/spatial_histogram.h and seq/pst_privtree.h.
 #ifndef PRIVTREE_CORE_PRIVTREE_H_
 #define PRIVTREE_CORE_PRIVTREE_H_
 

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
+#include "dp/budget.h"
 #include "dp/check.h"
+#include "eval/metrics.h"
+#include "release/registry.h"
 
 namespace privtree {
 
@@ -34,6 +38,94 @@ double MeanOverReps(std::size_t reps, std::uint64_t seed,
     total += body(rng);
   }
   return total / static_cast<double>(reps);
+}
+
+namespace {
+
+/// Default options for one registry method: the grid-discretized backends
+/// take their cell budget from the sweep configuration; everything else
+/// runs on its built-in defaults.
+release::MethodOptions DefaultSpecOptions(const std::string& name,
+                                          std::int64_t discretization_cells) {
+  release::MethodOptions options;
+  if (name == "dawa" || name == "wavelet") {
+    options.Set("target_total_cells", std::to_string(discretization_cells));
+  }
+  return options;
+}
+
+/// Paper-style column label, from the registry record (falls back to the
+/// registry name when a backend registered no display label).
+std::string DisplayName(const std::string& name) {
+  const auto& entry = release::GlobalMethodRegistry().Get(name);
+  return entry.display.empty() ? name : entry.display;
+}
+
+/// Whether a registry method supports `dim`-dimensional inputs at a
+/// reasonable cost, per the registry's capability metadata: the hard
+/// `required_dim` constraint (AG is 2-d only) and the advisory
+/// `max_practical_dim` cost ceiling (complete hierarchies).
+bool SupportsDim(const std::string& name, std::size_t dim) {
+  const auto& entry = release::GlobalMethodRegistry().Get(name);
+  if (entry.required_dim != 0 && dim != entry.required_dim) return false;
+  if (entry.max_practical_dim != 0 && dim > entry.max_practical_dim) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<MethodSpec> ComparativeLineup(std::size_t dim,
+                                          std::int64_t discretization_cells) {
+  std::vector<std::string> order = {"privtree", "ug"};
+  if (dim == 2) {
+    order.push_back("ag");
+    order.push_back("hierarchy");
+  }
+  order.push_back("dawa");
+  order.push_back("wavelet");
+
+  std::vector<MethodSpec> out;
+  out.reserve(order.size());
+  for (const std::string& name : order) {
+    PRIVTREE_CHECK(release::GlobalMethodRegistry().Contains(name));
+    out.push_back({name, DisplayName(name),
+                   DefaultSpecOptions(name, discretization_cells)});
+  }
+  return out;
+}
+
+std::vector<MethodSpec> AllRegisteredSpecs(std::size_t dim,
+                                           std::int64_t discretization_cells) {
+  std::vector<MethodSpec> out;
+  for (const std::string& name : release::GlobalMethodRegistry().Names()) {
+    if (!SupportsDim(name, dim)) continue;
+    out.push_back({name, DisplayName(name),
+                   DefaultSpecOptions(name, discretization_cells)});
+  }
+  return out;
+}
+
+double RegistryMethodError(const MethodSpec& spec, const PointSet& points,
+                           const Box& domain, double epsilon,
+                           const std::vector<Box>& queries,
+                           const std::vector<double>& exact,
+                           std::size_t reps, std::uint64_t seed) {
+  PRIVTREE_CHECK_EQ(queries.size(), exact.size());
+  const double smoothing = DefaultSmoothing(points.size());
+  return MeanOverReps(reps, seed, [&](Rng& rng) {
+    auto method =
+        release::GlobalMethodRegistry().Create(spec.name, spec.options);
+    PrivacyBudget budget(epsilon);
+    method->Fit(points, domain, budget, rng);
+    const std::vector<double> answers = method->QueryBatch(queries);
+    double total = 0.0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      total += RelativeError(answers[q], exact[q], smoothing);
+    }
+    return queries.empty() ? 0.0 : total / static_cast<double>(queries.size());
+  });
 }
 
 }  // namespace privtree

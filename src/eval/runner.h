@@ -1,14 +1,20 @@
 // Small experiment-harness utilities shared by the bench binaries:
 // repetition with forked deterministic RNG streams, environment-variable
-// scaling, and the paper's ε grid.
+// scaling, the paper's ε grid, and registry-driven method sweeps (the
+// comparative benches iterate MethodSpecs built from release::
+// GlobalMethodRegistry() instead of hard-coding per-method dispatch).
 #ifndef PRIVTREE_EVAL_RUNNER_H_
 #define PRIVTREE_EVAL_RUNNER_H_
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "dp/rng.h"
+#include "release/options.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
 
 namespace privtree {
 
@@ -34,6 +40,35 @@ std::size_t ScaledCardinality(std::size_t paper_n, std::size_t quick_n);
 /// forked from `seed`, and returns the mean of the returned values.
 double MeanOverReps(std::size_t reps, std::uint64_t seed,
                     const std::function<double(Rng&)>& body);
+
+/// One registry-backed method in a comparative sweep.
+struct MethodSpec {
+  std::string name;     ///< Registry key ("privtree", "ug", ...).
+  std::string display;  ///< Column label ("PrivTree", "UG", ...).
+  release::MethodOptions options;
+};
+
+/// The paper's comparative lineup (Figure 5 / Table 2) for a d-dimensional
+/// dataset, in presentation order: PrivTree, UG, then AG and Hierarchy on
+/// 2-d data only (as in the paper), DAWA, Privelet*.  The grid-discretized
+/// methods get `discretization_cells` as their target cell count.
+std::vector<MethodSpec> ComparativeLineup(std::size_t dim,
+                                          std::int64_t discretization_cells);
+
+/// Every method in the global registry that can fit `dim`-dimensional data
+/// (AG is restricted to 2-d), in registry (sorted-name) order, with the
+/// same discretization defaults as ComparativeLineup.
+std::vector<MethodSpec> AllRegisteredSpecs(std::size_t dim,
+                                           std::int64_t discretization_cells);
+
+/// Builds `spec` afresh `reps` times (independent forked RNG streams and a
+/// fresh ε budget each time), answers the workload with QueryBatch, and
+/// returns the mean smoothed relative error (Δ = 0.1%·n).
+double RegistryMethodError(const MethodSpec& spec, const PointSet& points,
+                           const Box& domain, double epsilon,
+                           const std::vector<Box>& queries,
+                           const std::vector<double>& exact,
+                           std::size_t reps, std::uint64_t seed);
 
 }  // namespace privtree
 

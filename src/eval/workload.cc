@@ -42,4 +42,16 @@ std::vector<Box> GenerateRangeQueries(const Box& domain, std::size_t count,
   return out;
 }
 
+std::vector<BandedWorkload> GenerateBandedWorkloads(const Box& domain,
+                                                    std::size_t per_band,
+                                                    Rng& rng) {
+  std::vector<BandedWorkload> out;
+  out.reserve(std::size(kPaperBands));
+  for (const QuerySizeBand& band : kPaperBands) {
+    out.push_back(
+        {band.name, GenerateRangeQueries(domain, per_band, band, rng)});
+  }
+  return out;
+}
+
 }  // namespace privtree

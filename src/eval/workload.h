@@ -4,6 +4,7 @@
 #ifndef PRIVTREE_EVAL_WORKLOAD_H_
 #define PRIVTREE_EVAL_WORKLOAD_H_
 
+#include <string>
 #include <vector>
 
 #include "dp/rng.h"
@@ -22,12 +23,30 @@ inline constexpr QuerySizeBand kSmallQueries{"small", 1e-4, 1e-3};
 inline constexpr QuerySizeBand kMediumQueries{"medium", 1e-3, 1e-2};
 inline constexpr QuerySizeBand kLargeQueries{"large", 1e-2, 1e-1};
 
+/// The three bands in presentation order, for callers that sweep all of
+/// them (Figure 5 and friends).
+inline constexpr QuerySizeBand kPaperBands[] = {kSmallQueries, kMediumQueries,
+                                                kLargeQueries};
+
+/// One band's query set, ready for batch evaluation through
+/// release::Method::QueryBatch.
+struct BandedWorkload {
+  std::string band;          ///< Band name ("small", "medium", "large").
+  std::vector<Box> queries;  ///< Random boxes inside the domain.
+};
+
 /// Generates `count` random boxes inside `domain`, each covering a volume
 /// fraction drawn uniformly from [band.min_fraction, band.max_fraction).
 /// Aspect ratios are random (log-volume split over dimensions via a uniform
 /// simplex draw) and positions uniform.
 std::vector<Box> GenerateRangeQueries(const Box& domain, std::size_t count,
                                       const QuerySizeBand& band, Rng& rng);
+
+/// One workload per paper band, `per_band` queries each, drawn from `rng`
+/// in band order (so a fixed seed fixes every band's query set).
+std::vector<BandedWorkload> GenerateBandedWorkloads(const Box& domain,
+                                                    std::size_t per_band,
+                                                    Rng& rng);
 
 }  // namespace privtree
 

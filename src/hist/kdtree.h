@@ -43,6 +43,8 @@ class KdTreeHistogram {
 
   std::size_t LeafCount() const { return tree_.LeafCount(); }
   const DecompTree<Box>& tree() const { return tree_; }
+  /// Released noisy counts, indexed by node id.
+  const std::vector<double>& counts() const { return count_; }
 
  private:
   DecompTree<Box> tree_;

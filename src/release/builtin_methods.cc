@@ -1,0 +1,417 @@
+#include "release/builtin_methods.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "dp/check.h"
+#include "hist/ag.h"
+#include "hist/dawa.h"
+#include "hist/grid.h"
+#include "hist/hierarchy.h"
+#include "hist/kdtree.h"
+#include "hist/ug.h"
+#include "hist/wavelet.h"
+#include "release/method.h"
+#include "release/options.h"
+#include "release/tree_batch.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree::release {
+namespace {
+
+/// State every adapter tracks across Fit.
+struct FitState {
+  bool fitted = false;
+  std::size_t dim = 0;
+  double epsilon_spent = 0.0;
+};
+
+/// PrivTree (Section 3.4): the paper's method.
+class PrivTreeMethod final : public Method {
+ public:
+  explicit PrivTreeMethod(const MethodOptions& o)
+      : options_(ParsePrivTreeHistogramOptions(o)) {}
+
+  void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
+           Rng& rng) override {
+    PRIVTREE_CHECK(!state_.fitted);
+    state_ = {true, domain.dim(), budget.SpendRemaining()};
+    hist_ = BuildPrivTreeHistogram(points, domain, state_.epsilon_spent,
+                                   options_, rng);
+  }
+
+  double Query(const Box& q) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return hist_.Query(q);
+  }
+
+  std::vector<double> QueryBatch(std::span<const Box> queries) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return BatchQueryTree(hist_.tree, hist_.count, queries,
+                          [](const SpatialCell& c) -> const Box& {
+                            return c.box;
+                          });
+  }
+
+  MethodMetadata Metadata() const override {
+    return {"privtree", state_.dim, state_.epsilon_spent, hist_.tree.size(),
+            hist_.tree.empty() ? 0 : hist_.tree.Height()};
+  }
+
+ private:
+  PrivTreeHistogramOptions options_;
+  FitState state_;
+  SpatialHistogram hist_;
+};
+
+/// SimpleTree (Algorithm 1): the fixed-height baseline.
+class SimpleTreeMethod final : public Method {
+ public:
+  explicit SimpleTreeMethod(const MethodOptions& o)
+      : options_(ParseSimpleTreeHistogramOptions(o)) {}
+
+  void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
+           Rng& rng) override {
+    PRIVTREE_CHECK(!state_.fitted);
+    state_ = {true, domain.dim(), budget.SpendRemaining()};
+    hist_ = BuildSimpleTreeHistogram(points, domain, state_.epsilon_spent,
+                                     options_, rng);
+  }
+
+  double Query(const Box& q) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return hist_.Query(q);
+  }
+
+  std::vector<double> QueryBatch(std::span<const Box> queries) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return BatchQueryTree(hist_.tree, hist_.count, queries,
+                          [](const SpatialCell& c) -> const Box& {
+                            return c.box;
+                          });
+  }
+
+  MethodMetadata Metadata() const override {
+    return {"simpletree", state_.dim, state_.epsilon_spent,
+            hist_.tree.size(), hist_.tree.empty() ? 0 : hist_.tree.Height()};
+  }
+
+ private:
+  SimpleTreeHistogramOptions options_;
+  FitState state_;
+  SpatialHistogram hist_;
+};
+
+/// Shared adapter for the builders that return a flat GridHistogram (UG,
+/// DAWA, Privelet*); queries go through the O(4^d) prefix-sum lattice, so
+/// the default per-query QueryBatch is already the right batch strategy.
+class GridMethodBase : public Method {
+ public:
+  double Query(const Box& q) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return grid_->Query(q);
+  }
+
+ protected:
+  FitState state_;
+  std::optional<GridHistogram> grid_;
+};
+
+class UniformGridMethod final : public GridMethodBase {
+ public:
+  explicit UniformGridMethod(const MethodOptions& o) {
+    RequireKnownKeys(o, {"cell_scale", "c0"});
+    options_.cell_scale = o.GetDouble("cell_scale", options_.cell_scale);
+    options_.c0 = o.GetDouble("c0", options_.c0);
+  }
+
+  void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
+           Rng& rng) override {
+    PRIVTREE_CHECK(!state_.fitted);
+    state_ = {true, domain.dim(), budget.SpendRemaining()};
+    grid_.emplace(BuildUniformGrid(points, domain, state_.epsilon_spent,
+                                   options_, rng));
+  }
+
+  MethodMetadata Metadata() const override {
+    return {"ug", state_.dim, state_.epsilon_spent,
+            grid_ ? grid_->total_cells() : 0, 0};
+  }
+
+ private:
+  UniformGridOptions options_;
+};
+
+class DawaMethod final : public GridMethodBase {
+ public:
+  explicit DawaMethod(const MethodOptions& o) {
+    RequireKnownKeys(o, {"target_total_cells", "partition_budget_fraction",
+                         "measure_branching"});
+    options_.target_total_cells =
+        o.GetInt("target_total_cells", options_.target_total_cells);
+    options_.partition_budget_fraction = o.GetDouble(
+        "partition_budget_fraction", options_.partition_budget_fraction);
+    options_.measure_branching =
+        o.GetInt("measure_branching", options_.measure_branching);
+  }
+
+  void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
+           Rng& rng) override {
+    PRIVTREE_CHECK(!state_.fitted);
+    state_ = {true, domain.dim(), budget.SpendRemaining()};
+    grid_.emplace(BuildDawaHistogram(points, domain, state_.epsilon_spent,
+                                     options_, rng));
+  }
+
+  MethodMetadata Metadata() const override {
+    return {"dawa", state_.dim, state_.epsilon_spent,
+            grid_ ? grid_->total_cells() : 0, 0};
+  }
+
+ private:
+  DawaOptions options_;
+};
+
+class WaveletMethod final : public GridMethodBase {
+ public:
+  explicit WaveletMethod(const MethodOptions& o) {
+    RequireKnownKeys(o, {"target_total_cells"});
+    options_.target_total_cells =
+        o.GetInt("target_total_cells", options_.target_total_cells);
+  }
+
+  void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
+           Rng& rng) override {
+    PRIVTREE_CHECK(!state_.fitted);
+    state_ = {true, domain.dim(), budget.SpendRemaining()};
+    grid_.emplace(BuildPriveletHistogram(points, domain, state_.epsilon_spent,
+                                         options_, rng));
+  }
+
+  MethodMetadata Metadata() const override {
+    return {"wavelet", state_.dim, state_.epsilon_spent,
+            grid_ ? grid_->total_cells() : 0, 0};
+  }
+
+ private:
+  PriveletOptions options_;
+};
+
+class AdaptiveGridMethod final : public Method {
+ public:
+  explicit AdaptiveGridMethod(const MethodOptions& o) {
+    RequireKnownKeys(o, {"alpha", "c1", "c2", "cell_scale"});
+    options_.alpha = o.GetDouble("alpha", options_.alpha);
+    options_.c1 = o.GetDouble("c1", options_.c1);
+    options_.c2 = o.GetDouble("c2", options_.c2);
+    options_.cell_scale = o.GetDouble("cell_scale", options_.cell_scale);
+  }
+
+  void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
+           Rng& rng) override {
+    PRIVTREE_CHECK(!state_.fitted);
+    state_ = {true, domain.dim(), budget.SpendRemaining()};
+    grid_.emplace(points, domain, state_.epsilon_spent, options_, rng);
+  }
+
+  double Query(const Box& q) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return grid_->Query(q);
+  }
+
+  MethodMetadata Metadata() const override {
+    return {"ag", state_.dim, state_.epsilon_spent,
+            grid_ ? grid_->TotalCells() : 0, 2};
+  }
+
+ private:
+  AdaptiveGridOptions options_;
+  FitState state_;
+  std::optional<AdaptiveGrid> grid_;
+};
+
+class KdTreeMethod final : public Method {
+ public:
+  explicit KdTreeMethod(const MethodOptions& o) {
+    RequireKnownKeys(o, {"height", "split_budget_fraction"});
+    options_.height =
+        static_cast<std::int32_t>(o.GetInt("height", options_.height));
+    options_.split_budget_fraction =
+        o.GetDouble("split_budget_fraction", options_.split_budget_fraction);
+  }
+
+  void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
+           Rng& rng) override {
+    PRIVTREE_CHECK(!state_.fitted);
+    state_ = {true, domain.dim(), budget.SpendRemaining()};
+    tree_.emplace(points, domain, state_.epsilon_spent, options_, rng);
+  }
+
+  double Query(const Box& q) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return tree_->Query(q);
+  }
+
+  std::vector<double> QueryBatch(std::span<const Box> queries) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return BatchQueryTree(tree_->tree(), tree_->counts(), queries,
+                          [](const Box& b) -> const Box& { return b; });
+  }
+
+  MethodMetadata Metadata() const override {
+    return {"kdtree", state_.dim, state_.epsilon_spent,
+            tree_ ? tree_->tree().size() : 0,
+            tree_ ? tree_->tree().Height() : 0};
+  }
+
+ private:
+  KdTreeOptions options_;
+  FitState state_;
+  std::optional<KdTreeHistogram> tree_;
+};
+
+class HierarchyMethod final : public Method {
+ public:
+  explicit HierarchyMethod(const MethodOptions& o) {
+    RequireKnownKeys(o, {"height", "target_leaf_resolution",
+                         "constrained_inference"});
+    options_.height =
+        static_cast<std::int32_t>(o.GetInt("height", options_.height));
+    options_.target_leaf_resolution =
+        o.GetInt("target_leaf_resolution", options_.target_leaf_resolution);
+    options_.constrained_inference =
+        o.GetBool("constrained_inference", options_.constrained_inference);
+  }
+
+  void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
+           Rng& rng) override {
+    PRIVTREE_CHECK(!state_.fitted);
+    state_ = {true, domain.dim(), budget.SpendRemaining()};
+    hier_.emplace(points, domain, state_.epsilon_spent, options_, rng);
+  }
+
+  double Query(const Box& q) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return hier_->Query(q);
+  }
+
+  MethodMetadata Metadata() const override {
+    return {"hierarchy", state_.dim, state_.epsilon_spent,
+            hier_ ? hier_->TotalCounts() : 0,
+            hier_ ? options_.height - 1 : 0};
+  }
+
+ private:
+  HierarchyOptions options_;
+  FitState state_;
+  std::optional<HierarchyHistogram> hier_;
+};
+
+template <typename T>
+MethodFactory FactoryFor() {
+  return [](const MethodOptions& options) -> std::unique_ptr<Method> {
+    return std::make_unique<T>(options);
+  };
+}
+
+}  // namespace
+
+PrivTreeHistogramOptions ParsePrivTreeHistogramOptions(
+    const MethodOptions& options) {
+  RequireKnownKeys(options,
+                   {"dims_per_split", "tree_budget_fraction", "max_depth"});
+  PrivTreeHistogramOptions out;
+  out.dims_per_split =
+      static_cast<int>(options.GetInt("dims_per_split", out.dims_per_split));
+  out.tree_budget_fraction =
+      options.GetDouble("tree_budget_fraction", out.tree_budget_fraction);
+  out.max_depth =
+      static_cast<std::int32_t>(options.GetInt("max_depth", out.max_depth));
+  return out;
+}
+
+SimpleTreeHistogramOptions ParseSimpleTreeHistogramOptions(
+    const MethodOptions& options) {
+  RequireKnownKeys(options, {"dims_per_split", "height", "theta"});
+  SimpleTreeHistogramOptions out;
+  out.dims_per_split =
+      static_cast<int>(options.GetInt("dims_per_split", out.dims_per_split));
+  out.height = static_cast<std::int32_t>(options.GetInt("height", out.height));
+  out.theta = options.GetDouble("theta", out.theta);
+  return out;
+}
+
+void RegisterBuiltinMethods(MethodRegistry& registry) {
+  using enum OptionType;
+  registry.Register(
+      "privtree",
+      {.description = "PrivTree decomposition + noisy leaf counts (Sec. 3.4)",
+       .display = "PrivTree",
+       .allowed_keys = {{"dims_per_split", kInt},
+                        {"tree_budget_fraction", kDouble},
+                        {"max_depth", kInt}},
+       .factory = FactoryFor<PrivTreeMethod>()});
+  registry.Register(
+      "simpletree",
+      {.description = "fixed-height noisy quadtree baseline (Algorithm 1)",
+       .display = "SimpleTree",
+       .allowed_keys = {{"dims_per_split", kInt},
+                        {"height", kInt},
+                        {"theta", kDouble}},
+       .factory = FactoryFor<SimpleTreeMethod>()});
+  registry.Register(
+      "ug",
+      {.description = "uniform grid (Qardaji et al., ICDE 2013)",
+       .display = "UG",
+       .allowed_keys = {{"cell_scale", kDouble}, {"c0", kDouble}},
+       .factory = FactoryFor<UniformGridMethod>()});
+  registry.Register(
+      "ag",
+      {.description = "two-level adaptive grid, 2-d only (ICDE 2013)",
+       .display = "AG",
+       .allowed_keys = {{"alpha", kDouble},
+                        {"c1", kDouble},
+                        {"c2", kDouble},
+                        {"cell_scale", kDouble}},
+       .required_dim = 2,
+       .factory = FactoryFor<AdaptiveGridMethod>()});
+  registry.Register(
+      "kdtree",
+      {.description = "private k-d tree with noisy-median splits ([51])",
+       .display = "KD",
+       .allowed_keys = {{"height", kInt},
+                        {"split_budget_fraction", kDouble}},
+       .factory = FactoryFor<KdTreeMethod>()});
+  registry.Register(
+      "dawa",
+      {.description = "data-aware partition + hierarchical measurement "
+                      "(Li et al., PVLDB 2014)",
+       .display = "DAWA",
+       .allowed_keys = {{"target_total_cells", kInt},
+                        {"partition_budget_fraction", kDouble},
+                        {"measure_branching", kInt}},
+       .factory = FactoryFor<DawaMethod>()});
+  registry.Register(
+      "hierarchy",
+      {.description = "complete noisy-count tree with constrained inference "
+                      "(Qardaji et al., PVLDB 2013)",
+       .display = "Hierarchy",
+       .allowed_keys = {{"height", kInt},
+                        {"target_leaf_resolution", kInt},
+                        {"constrained_inference", kBool}},
+       // The complete tree's leaf level grows as resolution^d; the paper
+       // evaluates it on 2-d data only.
+       .max_practical_dim = 2,
+       .factory = FactoryFor<HierarchyMethod>()});
+  registry.Register(
+      "wavelet",
+      {.description = "Privelet*: noisy Haar coefficients (Xiao et al., "
+                      "TKDE 2011)",
+       .display = "Privelet*",
+       .allowed_keys = {{"target_total_cells", kInt}},
+       .factory = FactoryFor<WaveletMethod>()});
+}
+
+}  // namespace privtree::release

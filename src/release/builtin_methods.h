@@ -1,0 +1,42 @@
+// Registration of the built-in release backends.
+//
+// Each backend adapts one existing builder from hist/ or spatial/ — the
+// free functions and classes there remain the concrete implementations;
+// the adapters only parse options, thread the PrivacyBudget, and forward
+// queries.  Registered names and their option keys:
+//
+//   privtree    dims_per_split, tree_budget_fraction, max_depth
+//   simpletree  dims_per_split, height, theta
+//   ug          cell_scale, c0
+//   ag          alpha, c1, c2, cell_scale            (2-d data only)
+//   kdtree      height, split_budget_fraction
+//   dawa        target_total_cells, partition_budget_fraction,
+//               measure_branching
+//   hierarchy   height, target_leaf_resolution, constrained_inference
+//   wavelet     target_total_cells
+#ifndef PRIVTREE_RELEASE_BUILTIN_METHODS_H_
+#define PRIVTREE_RELEASE_BUILTIN_METHODS_H_
+
+#include "release/options.h"
+#include "release/registry.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree::release {
+
+/// Registers all eight built-in backends into `registry`.  Called once by
+/// GlobalMethodRegistry(); call it directly only on private registries
+/// (e.g. in tests).
+void RegisterBuiltinMethods(MethodRegistry& registry);
+
+/// String-bag → native option-struct translations for the tree-backed
+/// methods, shared between the registry adapters and callers that need
+/// the concrete builders directly (e.g. privtree_cli's serialization
+/// path), so both surfaces honor exactly the same keys.
+PrivTreeHistogramOptions ParsePrivTreeHistogramOptions(
+    const MethodOptions& options);
+SimpleTreeHistogramOptions ParseSimpleTreeHistogramOptions(
+    const MethodOptions& options);
+
+}  // namespace privtree::release
+
+#endif  // PRIVTREE_RELEASE_BUILTIN_METHODS_H_

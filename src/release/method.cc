@@ -1,0 +1,14 @@
+#include "release/method.h"
+
+namespace privtree::release {
+
+Method::~Method() = default;
+
+std::vector<double> Method::QueryBatch(std::span<const Box> queries) const {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const Box& q : queries) out.push_back(Query(q));
+  return out;
+}
+
+}  // namespace privtree::release

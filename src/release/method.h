@@ -1,0 +1,79 @@
+// The unified release API: every histogram backend in this repository —
+// tree-based (PrivTree, SimpleTree, kd-tree), grid-based (UG, AG, DAWA,
+// Privelet*) and hierarchical — is exposed behind one runtime-polymorphic
+// `Method` interface, so benches, examples and services can treat "which
+// private synopsis do we release?" as a string-valued configuration knob
+// (see release/registry.h) instead of a compile-time decision.
+//
+// Contract:
+//   * Fit() consumes the *entire* PrivacyBudget slice it is handed — the
+//     caller decides how much ε this release gets; the method decides how to
+//     split it internally (tree vs. counts, level 1 vs. level 2, ...).
+//   * Query()/QueryBatch() are pure post-processing of released values and
+//     therefore free under differential privacy.
+//   * Metadata() reports what was released (node/cell counts, ε spent) for
+//     logging and accounting.
+#ifndef PRIVTREE_RELEASE_METHOD_H_
+#define PRIVTREE_RELEASE_METHOD_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dp/budget.h"
+#include "dp/rng.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree::release {
+
+/// What a fitted method released, for accounting and diagnostics.
+struct MethodMetadata {
+  /// Registry name the method was created under ("privtree", "ug", ...).
+  std::string method;
+  /// Dimensionality of the fitted domain (0 before Fit).
+  std::size_t dim = 0;
+  /// Total ε consumed by Fit (0 before Fit).
+  double epsilon_spent = 0.0;
+  /// Size of the released synopsis: decomposition-tree nodes for tree
+  /// methods, released noisy cells/counts for grid methods.
+  std::size_t synopsis_size = 0;
+  /// Decomposition height (tree methods and hierarchies; 0 for flat grids).
+  std::int32_t height = 0;
+};
+
+/// A differentially private range-count release mechanism.
+class Method {
+ public:
+  virtual ~Method();
+
+  Method(const Method&) = delete;
+  Method& operator=(const Method&) = delete;
+
+  /// Fits the synopsis on `points` over `domain`, drawing randomness from
+  /// `rng` and consuming all of `budget` (the slice the caller allocated to
+  /// this release).  Must be called exactly once before Query/QueryBatch.
+  virtual void Fit(const PointSet& points, const Box& domain,
+                   PrivacyBudget& budget, Rng& rng) = 0;
+
+  /// Estimated number of points in `q`.  Requires a prior Fit.
+  virtual double Query(const Box& q) const = 0;
+
+  /// Answers many boxes at once.  The default loops over Query; tree-backed
+  /// methods override it with a single level-ordered sweep that classifies
+  /// every query against every visited node in one pass over the node array
+  /// (see release/tree_batch.h), which keeps the tree hot in cache.
+  virtual std::vector<double> QueryBatch(std::span<const Box> queries) const;
+
+  /// Release accounting; `epsilon_spent`/`synopsis_size` are meaningful
+  /// only after Fit.
+  virtual MethodMetadata Metadata() const = 0;
+
+ protected:
+  Method() = default;
+};
+
+}  // namespace privtree::release
+
+#endif  // PRIVTREE_RELEASE_METHOD_H_

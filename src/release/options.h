@@ -1,0 +1,84 @@
+// String-keyed configuration for release methods.
+//
+// Every registered method accepts a MethodOptions bag; keys are parsed into
+// the method's native option struct by its factory.  A flat string map keeps
+// the registry, the CLI (`--options=k=v,...`) and config files decoupled
+// from the per-method option structs.
+#ifndef PRIVTREE_RELEASE_OPTIONS_H_
+#define PRIVTREE_RELEASE_OPTIONS_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace privtree::release {
+
+/// Value type of a method option, for user-facing validation.
+enum class OptionType { kDouble, kInt, kBool };
+
+/// One advertised option key of a registered method.
+struct OptionKey {
+  std::string name;
+  OptionType type = OptionType::kDouble;
+};
+
+/// Whether `value` parses completely as `type` ("1"/"0" are valid for all
+/// three; "true"/"false" only for kBool).  Non-aborting — this is how
+/// user-facing surfaces screen values before the aborting typed getters
+/// see them.
+bool ValueParsesAs(OptionType type, const std::string& value);
+
+/// An ordered bag of `key=value` strings with typed accessors.
+class MethodOptions {
+ public:
+  MethodOptions() = default;
+  MethodOptions(
+      std::initializer_list<std::pair<std::string, std::string>> entries);
+
+  /// Parses "k1=v1,k2=v2" (empty text gives empty options).  Malformed
+  /// entries (no '=', empty key) abort: option strings come from
+  /// developer-controlled surfaces and a typo must not be silently dropped.
+  /// User-facing surfaces (the CLI) should use TryParse instead.
+  static MethodOptions Parse(std::string_view text);
+
+  /// Non-aborting variant for user-supplied text: on success fills `out`
+  /// and returns true; on a malformed entry fills `error` with a
+  /// diagnostic and returns false.
+  static bool TryParse(std::string_view text, MethodOptions* out,
+                       std::string* error);
+
+  void Set(std::string key, std::string value);
+
+  bool Has(const std::string& key) const { return entries_.contains(key); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Typed getters; return `fallback` when the key is absent and abort when
+  /// the stored value does not parse as the requested type.
+  std::string GetString(const std::string& key, std::string fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// All keys, sorted.
+  std::vector<std::string> Keys() const;
+
+  /// Canonical "k1=v1,k2=v2" form (keys sorted).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// Aborts with a diagnostic if `options` holds any key outside `allowed`.
+/// Method factories call this so that a mistyped option name fails loudly
+/// instead of silently running with defaults.
+void RequireKnownKeys(const MethodOptions& options,
+                      std::initializer_list<std::string_view> allowed);
+
+}  // namespace privtree::release
+
+#endif  // PRIVTREE_RELEASE_OPTIONS_H_

@@ -1,0 +1,74 @@
+#include "release/registry.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "dp/check.h"
+#include "release/builtin_methods.h"
+
+namespace privtree::release {
+
+void MethodRegistry::Register(std::string name, Entry entry) {
+  PRIVTREE_CHECK(!name.empty());
+  PRIVTREE_CHECK(entry.factory != nullptr);
+  const auto [it, inserted] = methods_.emplace(std::move(name),
+                                               std::move(entry));
+  if (!inserted) {
+    std::fprintf(stderr, "MethodRegistry: duplicate method \"%s\"\n",
+                 it->first.c_str());
+    PRIVTREE_CHECK(false);
+  }
+}
+
+bool MethodRegistry::Contains(std::string_view name) const {
+  return methods_.find(name) != methods_.end();
+}
+
+std::vector<std::string> MethodRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(methods_.size());
+  for (const auto& [name, entry] : methods_) out.push_back(name);
+  return out;
+}
+
+const MethodRegistry::Entry& MethodRegistry::Get(
+    std::string_view name) const {
+  const auto it = methods_.find(name);
+  PRIVTREE_CHECK(it != methods_.end());
+  return it->second;
+}
+
+const std::string& MethodRegistry::Description(std::string_view name) const {
+  return Get(name).description;
+}
+
+const std::vector<OptionKey>& MethodRegistry::AllowedKeys(
+    std::string_view name) const {
+  return Get(name).allowed_keys;
+}
+
+std::size_t MethodRegistry::RequiredDim(std::string_view name) const {
+  return Get(name).required_dim;
+}
+
+std::unique_ptr<Method> MethodRegistry::Create(
+    std::string_view name, const MethodOptions& options) const {
+  const auto it = methods_.find(name);
+  if (it == methods_.end()) {
+    std::fprintf(stderr, "MethodRegistry: unknown method \"%.*s\"\n",
+                 static_cast<int>(name.size()), name.data());
+    PRIVTREE_CHECK(false);
+  }
+  return it->second.factory(options);
+}
+
+MethodRegistry& GlobalMethodRegistry() {
+  static MethodRegistry* registry = [] {
+    auto* r = new MethodRegistry();
+    RegisterBuiltinMethods(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace privtree::release

@@ -1,0 +1,38 @@
+#include "release/session.h"
+
+#include <utility>
+
+#include "dp/check.h"
+#include "release/registry.h"
+
+namespace privtree::release {
+
+ReleaseSession::ReleaseSession(const PointSet& points, Box domain,
+                               double total_epsilon, std::uint64_t seed)
+    : points_(points),
+      domain_(std::move(domain)),
+      budget_(total_epsilon),
+      rng_(seed) {
+  PRIVTREE_CHECK_EQ(points_.dim(), domain_.dim());
+}
+
+std::unique_ptr<Method> ReleaseSession::Release(std::string_view method,
+                                                double epsilon,
+                                                const MethodOptions& options) {
+  auto instance = GlobalMethodRegistry().Create(method, options);
+  // Account against the session first, then hand the method its own slice;
+  // the method must drain the slice completely (Fit contract).
+  budget_.Spend(epsilon);
+  PrivacyBudget slice(epsilon);
+  Rng rng = rng_.Fork();
+  instance->Fit(points_, domain_, slice, rng);
+  PRIVTREE_CHECK_LE(slice.remaining(), 1e-12 * epsilon);
+  return instance;
+}
+
+std::unique_ptr<Method> ReleaseSession::ReleaseRemaining(
+    std::string_view method, const MethodOptions& options) {
+  return Release(method, budget_.remaining(), options);
+}
+
+}  // namespace privtree::release

@@ -1,0 +1,63 @@
+// ReleaseSession — the front door of the release API.
+//
+// A session binds one sensitive dataset to one total privacy budget and one
+// deterministic randomness stream, then hands out fitted Methods:
+//
+//   ReleaseSession session(points, Box::UnitCube(2),
+//                          /*total_epsilon=*/1.0, /*seed=*/42);
+//   auto coarse = session.Release("ug", /*epsilon=*/0.5);
+//   auto fine = session.ReleaseRemaining("privtree");
+//   double est = fine->Query(box);
+//
+// Successive releases compose sequentially (Lemma 2.1): the session's
+// PrivacyBudget enforces Σ ε_i <= total ε and aborts on over-spend, and
+// each release draws from an independently forked Rng stream, so adding a
+// release never perturbs the randomness of earlier ones.
+#ifndef PRIVTREE_RELEASE_SESSION_H_
+#define PRIVTREE_RELEASE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "dp/budget.h"
+#include "dp/rng.h"
+#include "release/method.h"
+#include "release/options.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree::release {
+
+/// Binds (dataset, domain, total ε, seed) and releases fitted Methods.
+class ReleaseSession {
+ public:
+  /// `points` must outlive the session.  The domain is declared by the
+  /// caller — deriving it from the data would leak information.
+  ReleaseSession(const PointSet& points, Box domain, double total_epsilon,
+                 std::uint64_t seed);
+
+  /// Creates the named method via the global registry, allocates `epsilon`
+  /// from the session budget (aborting on over-spend), fits, and returns
+  /// the fitted method.
+  std::unique_ptr<Method> Release(std::string_view method, double epsilon,
+                                  const MethodOptions& options = {});
+
+  /// As Release, with everything the session has left.
+  std::unique_ptr<Method> ReleaseRemaining(std::string_view method,
+                                           const MethodOptions& options = {});
+
+  const PointSet& points() const { return points_; }
+  const Box& domain() const { return domain_; }
+  const PrivacyBudget& budget() const { return budget_; }
+
+ private:
+  const PointSet& points_;
+  Box domain_;
+  PrivacyBudget budget_;
+  Rng rng_;
+};
+
+}  // namespace privtree::release
+
+#endif  // PRIVTREE_RELEASE_SESSION_H_

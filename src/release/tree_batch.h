@@ -1,0 +1,82 @@
+// Batched range-count evaluation over decomposition trees.
+//
+// The per-query traversal in SpatialHistogram::Query walks the tree once
+// per query; with thousands of workload queries the node array is re-read
+// from memory each time.  BatchQueryTree instead sweeps the node array
+// *once* in id order (children always have larger ids than their parents,
+// see DecompTree::AddChild) carrying, per node, the list of queries that
+// partially overlap it.  Each query/node pair is classified exactly as in
+// the single-query traversal — disjoint, fully covering, partial-internal,
+// partial-leaf (uniformity assumption) — so the answers agree with repeated
+// Query up to floating-point summation order.
+#ifndef PRIVTREE_RELEASE_TREE_BATCH_H_
+#define PRIVTREE_RELEASE_TREE_BATCH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/tree.h"
+#include "dp/check.h"
+#include "spatial/box.h"
+
+namespace privtree::release {
+
+/// Answers all `queries` against a decomposition tree with released counts
+/// `count` (indexed by node id).  `box_of` maps a node's Domain to its
+/// geometric Box.  Returns one estimate per query, in input order.
+template <typename Domain, typename BoxOf>
+std::vector<double> BatchQueryTree(const DecompTree<Domain>& tree,
+                                   const std::vector<double>& count,
+                                   std::span<const Box> queries,
+                                   BoxOf&& box_of) {
+  std::vector<double> answers(queries.size(), 0.0);
+  if (tree.empty() || queries.empty()) return answers;
+  PRIVTREE_CHECK_EQ(count.size(), tree.size());
+
+  // active[v] = queries partially overlapping node v, discovered while
+  // processing v's parent.  Lists are freed as soon as the node is swept.
+  std::vector<std::vector<std::uint32_t>> active(tree.size());
+  const Box& root_box = box_of(tree.node(tree.root()).domain);
+  for (std::uint32_t q = 0; q < queries.size(); ++q) {
+    if (!queries[q].Intersects(root_box)) continue;
+    if (queries[q].ContainsBox(root_box)) {
+      answers[q] += count[tree.root()];
+      continue;
+    }
+    active[tree.root()].push_back(q);
+  }
+
+  for (std::size_t v = 0; v < tree.size(); ++v) {
+    if (active[v].empty()) continue;
+    const auto& node = tree.node(static_cast<NodeId>(v));
+    if (node.is_leaf()) {
+      // Partial leaf: uniformity assumption inside the cell.
+      const Box& dom = box_of(node.domain);
+      const double volume = dom.Volume();
+      if (volume > 0.0) {
+        for (const std::uint32_t q : active[v]) {
+          answers[q] += count[v] * (dom.IntersectionVolume(queries[q]) / volume);
+        }
+      }
+    } else {
+      for (const NodeId child : node.children) {
+        const Box& child_box = box_of(tree.node(child).domain);
+        for (const std::uint32_t q : active[v]) {
+          if (!queries[q].Intersects(child_box)) continue;
+          if (queries[q].ContainsBox(child_box)) {
+            answers[q] += count[child];
+          } else {
+            active[child].push_back(q);
+          }
+        }
+      }
+    }
+    active[v] = {};  // Free the list; the sweep never revisits v.
+  }
+  return answers;
+}
+
+}  // namespace privtree::release
+
+#endif  // PRIVTREE_RELEASE_TREE_BATCH_H_

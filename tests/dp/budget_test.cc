@@ -43,6 +43,42 @@ TEST(BudgetTest, ManySmallFractionsSumToTotal) {
   EXPECT_NEAR(budget.spent(), 1.6, 1e-9);
 }
 
+TEST(BudgetTest, SpendRemainingAfterFractionalSplitsDrainsExactly) {
+  // 1/3 is not representable in binary, so two SpendFraction(1/3) calls
+  // leave a remainder with round-off; SpendRemaining must still drain the
+  // budget to exactly zero without tripping the over-spend check.
+  PrivacyBudget budget(0.7);
+  budget.SpendFraction(1.0 / 3.0);
+  budget.SpendFraction(1.0 / 3.0);
+  const double rest = budget.SpendRemaining();
+  EXPECT_GT(rest, 0.0);
+  EXPECT_DOUBLE_EQ(budget.remaining(), 0.0);
+  EXPECT_DOUBLE_EQ(budget.spent(), 0.7);
+}
+
+TEST(BudgetTest, SpendFractionOfEverythingIsExact) {
+  PrivacyBudget budget(0.3);  // 0.3 is not exactly representable.
+  EXPECT_DOUBLE_EQ(budget.SpendFraction(1.0), 0.3);
+  EXPECT_DOUBLE_EQ(budget.remaining(), 0.0);
+}
+
+TEST(BudgetTest, RoundOffWithinToleranceClampsToTotal) {
+  // Spending the remainder plus a sub-tolerance round-off error must be
+  // accepted and clamp `spent` to the total rather than exceeding it.
+  PrivacyBudget budget(1.0);
+  budget.Spend(0.4);
+  budget.Spend(0.6 + 1e-12);
+  EXPECT_DOUBLE_EQ(budget.spent(), 1.0);
+  EXPECT_DOUBLE_EQ(budget.remaining(), 0.0);
+}
+
+TEST(BudgetTest, SevenWayEqualSplitDrains) {
+  PrivacyBudget budget(1.6);
+  for (int i = 0; i < 6; ++i) budget.SpendFraction(1.0 / 7.0);
+  budget.SpendRemaining();
+  EXPECT_DOUBLE_EQ(budget.remaining(), 0.0);
+}
+
 TEST(BudgetDeathTest, OverspendAborts) {
   PrivacyBudget budget(1.0);
   budget.Spend(0.9);

@@ -1,0 +1,179 @@
+// The adapters in release/builtin_methods.cc must be *wrappers*, not
+// re-implementations: fitting a registry method under a fixed seed must
+// produce bit-for-bit the same released synopsis — and therefore the same
+// query answers — as calling the legacy free function / class directly with
+// the same Rng seed and ε.  A divergence means the adapter consumed
+// randomness or budget differently, which would silently change every
+// published number.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/budget.h"
+#include "dp/rng.h"
+#include "hist/ag.h"
+#include "hist/dawa.h"
+#include "hist/hierarchy.h"
+#include "hist/kdtree.h"
+#include "hist/ug.h"
+#include "hist/wavelet.h"
+#include "release/registry.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xFEEDBEEF;
+constexpr double kEpsilon = 0.7;
+
+PointSet TestPoints() {
+  Rng rng(0xDA7A);
+  PointSet points(2);
+  std::vector<double> p(2);
+  for (int i = 0; i < 600; ++i) {
+    p[0] = rng.NextDouble() * rng.NextDouble();
+    p[1] = rng.NextDouble();
+    points.Add(p);
+  }
+  return points;
+}
+
+std::vector<Box> TestQueries() {
+  std::vector<Box> queries;
+  Rng rng(0x0B0E5);
+  for (int i = 0; i < 25; ++i) {
+    const double x = rng.NextDouble() * 0.7;
+    const double y = rng.NextDouble() * 0.7;
+    queries.emplace_back(std::vector<double>{x, y},
+                         std::vector<double>{x + 0.3, y + 0.3});
+  }
+  return queries;
+}
+
+/// Fits `name` through the registry under (kSeed, kEpsilon) and answers
+/// the shared query set with per-query Query.
+std::vector<double> AdapterAnswers(const std::string& name,
+                                   const release::MethodOptions& options = {}) {
+  auto method = release::GlobalMethodRegistry().Create(name, options);
+  PrivacyBudget budget(kEpsilon);
+  Rng rng(kSeed);
+  method->Fit(TestPoints(), Box::UnitCube(2), budget, rng);
+  std::vector<double> out;
+  for (const Box& q : TestQueries()) out.push_back(method->Query(q));
+  return out;
+}
+
+/// EXPECT_EQ on doubles: bit-for-bit, no tolerance.
+void ExpectIdentical(const std::vector<double>& adapter,
+                     const std::vector<double>& legacy) {
+  ASSERT_EQ(adapter.size(), legacy.size());
+  for (std::size_t i = 0; i < adapter.size(); ++i) {
+    EXPECT_EQ(adapter[i], legacy[i]) << "query " << i;
+  }
+}
+
+TEST(MethodParityTest, PrivTree) {
+  const PointSet points = TestPoints();
+  Rng rng(kSeed);
+  const SpatialHistogram hist = BuildPrivTreeHistogram(
+      points, Box::UnitCube(2), kEpsilon, {}, rng);
+  std::vector<double> legacy;
+  for (const Box& q : TestQueries()) legacy.push_back(hist.Query(q));
+  ExpectIdentical(AdapterAnswers("privtree"), legacy);
+}
+
+TEST(MethodParityTest, SimpleTree) {
+  const PointSet points = TestPoints();
+  Rng rng(kSeed);
+  const SpatialHistogram hist = BuildSimpleTreeHistogram(
+      points, Box::UnitCube(2), kEpsilon, {}, rng);
+  std::vector<double> legacy;
+  for (const Box& q : TestQueries()) legacy.push_back(hist.Query(q));
+  ExpectIdentical(AdapterAnswers("simpletree"), legacy);
+}
+
+TEST(MethodParityTest, UniformGrid) {
+  const PointSet points = TestPoints();
+  Rng rng(kSeed);
+  const GridHistogram grid =
+      BuildUniformGrid(points, Box::UnitCube(2), kEpsilon, {}, rng);
+  std::vector<double> legacy;
+  for (const Box& q : TestQueries()) legacy.push_back(grid.Query(q));
+  ExpectIdentical(AdapterAnswers("ug"), legacy);
+}
+
+TEST(MethodParityTest, AdaptiveGrid) {
+  const PointSet points = TestPoints();
+  Rng rng(kSeed);
+  const AdaptiveGrid grid(points, Box::UnitCube(2), kEpsilon, {}, rng);
+  std::vector<double> legacy;
+  for (const Box& q : TestQueries()) legacy.push_back(grid.Query(q));
+  ExpectIdentical(AdapterAnswers("ag"), legacy);
+}
+
+TEST(MethodParityTest, KdTree) {
+  const PointSet points = TestPoints();
+  Rng rng(kSeed);
+  const KdTreeHistogram tree(points, Box::UnitCube(2), kEpsilon, {}, rng);
+  std::vector<double> legacy;
+  for (const Box& q : TestQueries()) legacy.push_back(tree.Query(q));
+  ExpectIdentical(AdapterAnswers("kdtree"), legacy);
+}
+
+TEST(MethodParityTest, Dawa) {
+  const PointSet points = TestPoints();
+  DawaOptions options;
+  options.target_total_cells = 4096;
+  Rng rng(kSeed);
+  const GridHistogram grid =
+      BuildDawaHistogram(points, Box::UnitCube(2), kEpsilon, options, rng);
+  std::vector<double> legacy;
+  for (const Box& q : TestQueries()) legacy.push_back(grid.Query(q));
+  ExpectIdentical(
+      AdapterAnswers("dawa", {{"target_total_cells", "4096"}}), legacy);
+}
+
+TEST(MethodParityTest, Hierarchy) {
+  const PointSet points = TestPoints();
+  Rng rng(kSeed);
+  const HierarchyHistogram hier(points, Box::UnitCube(2), kEpsilon, {}, rng);
+  std::vector<double> legacy;
+  for (const Box& q : TestQueries()) legacy.push_back(hier.Query(q));
+  ExpectIdentical(AdapterAnswers("hierarchy"), legacy);
+}
+
+TEST(MethodParityTest, Wavelet) {
+  const PointSet points = TestPoints();
+  PriveletOptions options;
+  options.target_total_cells = 4096;
+  Rng rng(kSeed);
+  const GridHistogram grid = BuildPriveletHistogram(
+      points, Box::UnitCube(2), kEpsilon, options, rng);
+  std::vector<double> legacy;
+  for (const Box& q : TestQueries()) legacy.push_back(grid.Query(q));
+  ExpectIdentical(
+      AdapterAnswers("wavelet", {{"target_total_cells", "4096"}}), legacy);
+}
+
+// Non-default options must also round-trip through the string bag into the
+// native option structs.
+TEST(MethodParityTest, PrivTreeWithOptions) {
+  const PointSet points = TestPoints();
+  PrivTreeHistogramOptions options;
+  options.dims_per_split = 1;
+  options.tree_budget_fraction = 0.3;
+  Rng rng(kSeed);
+  const SpatialHistogram hist = BuildPrivTreeHistogram(
+      points, Box::UnitCube(2), kEpsilon, options, rng);
+  std::vector<double> legacy;
+  for (const Box& q : TestQueries()) legacy.push_back(hist.Query(q));
+  ExpectIdentical(
+      AdapterAnswers("privtree", {{"dims_per_split", "1"},
+                                  {"tree_budget_fraction", "0.3"}}),
+      legacy);
+}
+
+}  // namespace
+}  // namespace privtree

@@ -1,0 +1,91 @@
+#include "release/session.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dp/rng.h"
+#include "release/options.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree {
+namespace {
+
+PointSet MakePoints(std::size_t n) {
+  Rng rng(0x10AD);
+  PointSet points(2);
+  std::vector<double> p(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[0] = rng.NextDouble();
+    p[1] = rng.NextDouble() * rng.NextDouble();
+    points.Add(p);
+  }
+  return points;
+}
+
+TEST(ReleaseSessionTest, TracksBudgetAcrossReleases) {
+  const PointSet points = MakePoints(400);
+  release::ReleaseSession session(points, Box::UnitCube(2), 1.0, 7);
+  EXPECT_DOUBLE_EQ(session.budget().remaining(), 1.0);
+
+  const auto ug = session.Release("ug", 0.4);
+  EXPECT_NEAR(session.budget().remaining(), 0.6, 1e-12);
+  EXPECT_NEAR(ug->Metadata().epsilon_spent, 0.4, 1e-12);
+
+  const auto privtree = session.ReleaseRemaining("privtree");
+  EXPECT_NEAR(session.budget().remaining(), 0.0, 1e-12);
+  EXPECT_NEAR(privtree->Metadata().epsilon_spent, 0.6, 1e-12);
+}
+
+TEST(ReleaseSessionTest, DeterministicUnderFixedSeed) {
+  const PointSet points = MakePoints(400);
+  const Box query({0.1, 0.1}, {0.5, 0.5});
+  double answers[2];
+  for (int trial = 0; trial < 2; ++trial) {
+    release::ReleaseSession session(points, Box::UnitCube(2), 1.0, 0xABC);
+    answers[trial] = session.ReleaseRemaining("privtree")->Query(query);
+  }
+  EXPECT_EQ(answers[0], answers[1]);
+}
+
+// Each release gets an independently forked stream: adding a second
+// release must not change the randomness (and hence the answers) of the
+// first.
+TEST(ReleaseSessionTest, EarlierReleasesUnperturbedByLaterOnes) {
+  const PointSet points = MakePoints(400);
+  const Box query({0.2, 0.2}, {0.7, 0.7});
+
+  release::ReleaseSession one(points, Box::UnitCube(2), 1.0, 99);
+  const double solo = one.Release("ug", 0.5)->Query(query);
+
+  release::ReleaseSession two(points, Box::UnitCube(2), 1.0, 99);
+  const double first = two.Release("ug", 0.5)->Query(query);
+  two.Release("simpletree", 0.5);
+  EXPECT_EQ(solo, first);
+}
+
+TEST(ReleaseSessionTest, PassesOptionsThrough) {
+  const PointSet points = MakePoints(400);
+  release::ReleaseSession session(points, Box::UnitCube(2), 1.0, 3);
+  const auto method = session.ReleaseRemaining(
+      "simpletree", release::MethodOptions{{"height", "4"}});
+  EXPECT_LE(method->Metadata().height, 4);
+}
+
+TEST(ReleaseSessionDeathTest, OverspendAborts) {
+  const PointSet points = MakePoints(100);
+  release::ReleaseSession session(points, Box::UnitCube(2), 1.0, 7);
+  session.Release("ug", 0.8);
+  EXPECT_DEATH(session.Release("ug", 0.5), "PRIVTREE_CHECK");
+}
+
+TEST(ReleaseSessionDeathTest, DimensionMismatchAborts) {
+  const PointSet points = MakePoints(100);  // 2-d.
+  EXPECT_DEATH(
+      release::ReleaseSession(points, Box::UnitCube(3), 1.0, 7),
+      "PRIVTREE_CHECK");
+}
+
+}  // namespace
+}  // namespace privtree
