@@ -6,10 +6,10 @@
 // dense regions, large h drowns the split decisions in noise (λ = h/ε).
 // This is the experiment that motivates the whole paper.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "eval/table.h"
-#include "spatial/spatial_histogram.h"
 
 namespace privtree {
 namespace bench {
@@ -20,37 +20,42 @@ void RunDataset(const std::string& name) {
   const std::size_t reps = Repetitions(3);
   const SpatialCase data = MakeSpatialCase(name, queries);
   const std::vector<std::int32_t> heights = {2, 4, 6, 8, 10, 12};
-  std::vector<std::string> columns = {"PrivTree"};
+
+  struct Column {
+    std::string label;
+    MethodSpec spec;
+    std::uint64_t seed;
+  };
+  std::vector<Column> lineup = {
+      {"PrivTree", {"privtree", "PrivTree", {}}, 0xAB1}};
   for (std::int32_t h : heights) {
-    columns.push_back("Alg1 h=" + std::to_string(h));
+    lineup.push_back(
+        {"Alg1 h=" + std::to_string(h),
+         {"simpletree", "SimpleTree", {{"height", std::to_string(h)}}},
+         0xAB2 ^ static_cast<std::uint64_t>(h)});
+  }
+  std::vector<std::string> columns;
+  for (const Column& c : lineup) columns.push_back(c.label);
+
+  std::vector<std::vector<std::vector<double>>> errors(
+      BandNames().size(),
+      std::vector<std::vector<double>>(PaperEpsilons().size()));
+  for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+    const double epsilon = PaperEpsilons()[e];
+    for (const Column& column : lineup) {
+      const std::vector<double> band_errors =
+          RegistryBandErrors(data, column.spec, epsilon, reps, column.seed);
+      for (std::size_t band = 0; band < band_errors.size(); ++band) {
+        errors[band][e].push_back(band_errors[band]);
+      }
+    }
   }
   for (std::size_t band = 0; band < BandNames().size(); ++band) {
     TablePrinter table("Ablation: " + name + " - " + BandNames()[band] +
                            " queries, PrivTree vs Algorithm 1 (h sweep)",
                        "epsilon", columns);
-    for (double epsilon : PaperEpsilons()) {
-      std::vector<double> row;
-      row.push_back(SweepError(
-          data, band, reps, 0xAB1,
-          [&](Rng& rng) -> AnswerFn {
-            auto hist = std::make_shared<SpatialHistogram>(
-                BuildPrivTreeHistogram(data.points, data.domain, epsilon, {},
-                                       rng));
-            return [hist](const Box& q) { return hist->Query(q); };
-          }));
-      for (std::int32_t h : heights) {
-        row.push_back(SweepError(
-            data, band, reps, 0xAB2 ^ static_cast<std::uint64_t>(h),
-            [&, h](Rng& rng) -> AnswerFn {
-              SimpleTreeHistogramOptions options;
-              options.height = h;
-              auto hist = std::make_shared<SpatialHistogram>(
-                  BuildSimpleTreeHistogram(data.points, data.domain, epsilon,
-                                           options, rng));
-              return [hist](const Box& q) { return hist->Query(q); };
-            }));
-      }
-      table.AddRow(FormatCell(epsilon), row);
+    for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+      table.AddRow(FormatCell(PaperEpsilons()[e]), errors[band][e]);
     }
     table.Print();
   }

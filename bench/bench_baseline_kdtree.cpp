@@ -3,12 +3,10 @@
 // bench verifies that ordering holds in our reproduction too, alongside
 // PrivTree.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "eval/table.h"
-#include "hist/kdtree.h"
-#include "hist/ug.h"
-#include "spatial/spatial_histogram.h"
 
 namespace privtree {
 namespace bench {
@@ -18,43 +16,43 @@ void RunDataset(const std::string& name) {
   const std::size_t queries = PaperScale() ? 10000 : 500;
   const std::size_t reps = Repetitions(3);
   const SpatialCase data = MakeSpatialCase(name, queries);
-  const std::vector<std::string> columns = {"PrivTree", "UG", "KD h=8",
-                                            "KD h=12"};
+
+  struct Column {
+    std::string label;
+    MethodSpec spec;
+    std::uint64_t seed;
+  };
+  std::vector<Column> lineup = {
+      {"PrivTree", {"privtree", "PrivTree", {}}, 0xD1},
+      {"UG", {"ug", "UG", {}}, 2},
+  };
+  for (std::int32_t h : {8, 12}) {
+    lineup.push_back({"KD h=" + std::to_string(h),
+                      {"kdtree", "KD", {{"height", std::to_string(h)}}},
+                      3 + static_cast<std::uint64_t>(h)});
+  }
+  std::vector<std::string> columns;
+  for (const Column& c : lineup) columns.push_back(c.label);
+
+  std::vector<std::vector<std::vector<double>>> errors(
+      BandNames().size(),
+      std::vector<std::vector<double>>(PaperEpsilons().size()));
+  for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+    const double epsilon = PaperEpsilons()[e];
+    for (const Column& column : lineup) {
+      const std::vector<double> band_errors =
+          RegistryBandErrors(data, column.spec, epsilon, reps, column.seed);
+      for (std::size_t band = 0; band < band_errors.size(); ++band) {
+        errors[band][e].push_back(band_errors[band]);
+      }
+    }
+  }
   for (std::size_t band = 0; band < BandNames().size(); ++band) {
     TablePrinter table("KD baseline: " + name + " - " + BandNames()[band] +
                            " queries (average relative error)",
                        "epsilon", columns);
-    for (double epsilon : PaperEpsilons()) {
-      std::vector<double> row;
-      row.push_back(SweepError(data, band, reps, 0xD1,
-                               [&](Rng& rng) -> AnswerFn {
-                                 auto hist = std::make_shared<SpatialHistogram>(
-                                     BuildPrivTreeHistogram(
-                                         data.points, data.domain, epsilon,
-                                         {}, rng));
-                                 return [hist](const Box& q) {
-                                   return hist->Query(q);
-                                 };
-                               }));
-      row.push_back(SweepError(
-          data, band, reps, 2,
-          [&](Rng& rng) -> AnswerFn {
-            auto grid = std::make_shared<GridHistogram>(BuildUniformGrid(
-                data.points, data.domain, epsilon, {}, rng));
-            return [grid](const Box& q) { return grid->Query(q); };
-          }));
-      for (std::int32_t h : {8, 12}) {
-        row.push_back(SweepError(
-            data, band, reps, 3 + static_cast<std::uint64_t>(h),
-            [&, h](Rng& rng) -> AnswerFn {
-              KdTreeOptions options;
-              options.height = h;
-              auto hist = std::make_shared<KdTreeHistogram>(
-                  data.points, data.domain, epsilon, options, rng);
-              return [hist](const Box& q) { return hist->Query(q); };
-            }));
-      }
-      table.AddRow(FormatCell(epsilon), row);
+    for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+      table.AddRow(FormatCell(PaperEpsilons()[e]), errors[band][e]);
     }
     table.Print();
   }

@@ -10,6 +10,7 @@
 #define PRIVTREE_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
@@ -93,6 +94,26 @@ inline double SweepError(const SpatialCase& data, std::size_t band,
     return MeanRelativeError(data.queries[band], data.exact[band], answer,
                              data.points.size());
   });
+}
+
+/// Mean relative error per paper band for one registry-backed method.  The
+/// `reps` fitted synopses are built once through serve::SharedPool() (so
+/// --threads/PRIVTREE_THREADS shards them) with serve::SharedSynopsisCache()
+/// memoization, then shared across all bands — unlike the legacy per-band
+/// SweepError, which rebuilt every synopsis once per band.
+inline std::vector<double> RegistryBandErrors(const SpatialCase& data,
+                                              const MethodSpec& spec,
+                                              double epsilon, std::size_t reps,
+                                              std::uint64_t seed) {
+  return RegistryMethodErrorBands(spec, data.points, data.domain, epsilon,
+                                  data.queries, data.exact, reps, seed);
+}
+
+/// Renders a double as a MethodOptions value that parses back exactly.
+inline std::string OptionValue(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
 }
 
 /// The default grid-discretization size: 2^20 cells at paper scale (as in

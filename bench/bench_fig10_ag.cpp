@@ -7,7 +7,6 @@
 
 #include "bench/bench_common.h"
 #include "eval/table.h"
-#include "hist/ag.h"
 
 namespace privtree {
 namespace bench {
@@ -20,25 +19,27 @@ void RunDataset(const std::string& name) {
   const std::vector<double> scales = {1.0 / 9.0, 1.0 / 3.0, 1.0, 3.0, 9.0};
   const std::vector<std::string> columns = {"r=1/9", "r=1/3", "r=1", "r=3",
                                             "r=9"};
+  std::vector<std::vector<std::vector<double>>> errors(
+      BandNames().size(),
+      std::vector<std::vector<double>>(PaperEpsilons().size()));
+  for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+    const double epsilon = PaperEpsilons()[e];
+    for (double r : scales) {
+      const MethodSpec spec{"ag", "AG", {{"cell_scale", OptionValue(r)}}};
+      const std::vector<double> band_errors = RegistryBandErrors(
+          data, spec, epsilon, reps,
+          0xF1A ^ static_cast<std::uint64_t>(r * 100 + epsilon * 1e4));
+      for (std::size_t band = 0; band < band_errors.size(); ++band) {
+        errors[band][e].push_back(band_errors[band]);
+      }
+    }
+  }
   for (std::size_t band = 0; band < BandNames().size(); ++band) {
     TablePrinter table("Figure 10: " + name + " - " + BandNames()[band] +
                            " queries, AG grid-scale sweep",
                        "epsilon", columns);
-    for (double epsilon : PaperEpsilons()) {
-      std::vector<double> row;
-      for (double r : scales) {
-        row.push_back(SweepError(
-            data, band, reps,
-            0xF1A ^ static_cast<std::uint64_t>(r * 100 + epsilon * 1e4),
-            [&, r](Rng& rng) -> AnswerFn {
-              AdaptiveGridOptions options;
-              options.cell_scale = r;
-              auto grid = std::make_shared<AdaptiveGrid>(
-                  data.points, data.domain, epsilon, options, rng);
-              return [grid](const Box& q) { return grid->Query(q); };
-            }));
-      }
-      table.AddRow(FormatCell(epsilon), row);
+    for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+      table.AddRow(FormatCell(PaperEpsilons()[e]), errors[band][e]);
     }
     table.Print();
   }

@@ -4,10 +4,10 @@
 //
 // Expected shape: h = 3 (the [42] heuristic) best in most settings.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "eval/table.h"
-#include "hist/hierarchy.h"
 
 namespace privtree {
 namespace bench {
@@ -19,25 +19,28 @@ void RunDataset(const std::string& name) {
   const SpatialCase data = MakeSpatialCase(name, queries);
   std::vector<std::string> columns;
   for (int h = 3; h <= 8; ++h) columns.push_back("h=" + std::to_string(h));
+  std::vector<std::vector<std::vector<double>>> errors(
+      BandNames().size(),
+      std::vector<std::vector<double>>(PaperEpsilons().size()));
+  for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+    const double epsilon = PaperEpsilons()[e];
+    for (int h = 3; h <= 8; ++h) {
+      const MethodSpec spec{
+          "hierarchy", "Hierarchy", {{"height", std::to_string(h)}}};
+      const std::vector<double> band_errors = RegistryBandErrors(
+          data, spec, epsilon, reps,
+          0xF1B ^ static_cast<std::uint64_t>(h * 1000 + epsilon * 1e4));
+      for (std::size_t band = 0; band < band_errors.size(); ++band) {
+        errors[band][e].push_back(band_errors[band]);
+      }
+    }
+  }
   for (std::size_t band = 0; band < BandNames().size(); ++band) {
     TablePrinter table("Figure 11: " + name + " - " + BandNames()[band] +
                            " queries, Hierarchy height sweep",
                        "epsilon", columns);
-    for (double epsilon : PaperEpsilons()) {
-      std::vector<double> row;
-      for (int h = 3; h <= 8; ++h) {
-        row.push_back(SweepError(
-            data, band, reps,
-            0xF1B ^ static_cast<std::uint64_t>(h * 1000 + epsilon * 1e4),
-            [&, h](Rng& rng) -> AnswerFn {
-              HierarchyOptions options;
-              options.height = h;
-              auto hist = std::make_shared<HierarchyHistogram>(
-                  data.points, data.domain, epsilon, options, rng);
-              return [hist](const Box& q) { return hist->Query(q); };
-            }));
-      }
-      table.AddRow(FormatCell(epsilon), row);
+    for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+      table.AddRow(FormatCell(PaperEpsilons()[e]), errors[band][e]);
     }
     table.Print();
   }

@@ -5,13 +5,11 @@
 // Expected shape: β = 2^d generally best; smaller β slightly worse because
 // the deeper tree accrues larger bias terms; occasional wins for 2^{d/2}
 // on 4-d data.
-#include <cmath>
 #include <cstdio>
-#include <limits>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "eval/table.h"
-#include "spatial/spatial_histogram.h"
 
 namespace privtree {
 namespace bench {
@@ -31,26 +29,28 @@ void RunDataset(const std::string& name) {
     if (i == 1) break;
   }
 
+  std::vector<std::vector<std::vector<double>>> errors(
+      BandNames().size(),
+      std::vector<std::vector<double>>(PaperEpsilons().size()));
+  for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+    const double epsilon = PaperEpsilons()[e];
+    for (int dims : dims_per_split) {
+      const MethodSpec spec{
+          "privtree", "PrivTree", {{"dims_per_split", std::to_string(dims)}}};
+      const std::vector<double> band_errors = RegistryBandErrors(
+          data, spec, epsilon, reps,
+          0xF18 ^ static_cast<std::uint64_t>(dims * 1000 + epsilon * 100));
+      for (std::size_t band = 0; band < band_errors.size(); ++band) {
+        errors[band][e].push_back(band_errors[band]);
+      }
+    }
+  }
   for (std::size_t band = 0; band < BandNames().size(); ++band) {
     TablePrinter table("Figure 8: " + name + " - " + BandNames()[band] +
                            " queries (average relative error)",
                        "epsilon", columns);
-    for (double epsilon : PaperEpsilons()) {
-      std::vector<double> row;
-      for (int dims : dims_per_split) {
-        row.push_back(SweepError(
-            data, band, reps,
-            0xF18 ^ static_cast<std::uint64_t>(dims * 1000 + epsilon * 100),
-            [&, dims](Rng& rng) -> AnswerFn {
-              PrivTreeHistogramOptions options;
-              options.dims_per_split = dims;
-              auto hist = std::make_shared<SpatialHistogram>(
-                  BuildPrivTreeHistogram(data.points, data.domain, epsilon,
-                                         options, rng));
-              return [hist](const Box& q) { return hist->Query(q); };
-            }));
-      }
-      table.AddRow(FormatCell(epsilon), row);
+    for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+      table.AddRow(FormatCell(PaperEpsilons()[e]), errors[band][e]);
     }
     table.Print();
   }

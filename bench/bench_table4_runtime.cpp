@@ -3,23 +3,35 @@
 // slowest (largest cardinality), and the cost *increases* with ε because a
 // smaller ε means a larger bias term and therefore earlier stopping.
 //
-// Also reports tree sizes next to the noiseless reference |T*|, making the
-// Lemma 3.2 bound E[|T|] <= 2|T*| observable, and — new with the unified
-// release API — a registry-wide build-time comparison: every method in
-// release::GlobalMethodRegistry() is timed through the same Method
-// interface, so backends added later show up here automatically.
+// Also reports tree sizes next to the noiseless reference |T*| (making the
+// Lemma 3.2 bound E[|T|] <= 2|T*| observable), a registry-wide build-time
+// comparison, and — new with the serving layer — batch-query throughput for
+// every backend.  The whole (ε × rep) fit sweep is sharded across a
+// serve::ThreadPool via serve::ParallelRunner, so runtime is a function of
+// --threads; the released synopses are bit-for-bit independent of the
+// thread count (each job carries its own pre-forked Rng).
+//
+//   bench_table4_runtime [--threads=N] [--json=PATH] [--datasets=a,b,...]
+//                        [--queries=N]
+//
+// --json writes machine-readable per-method wall-clock (fit seconds,
+// aggregate fit throughput, batch vs per-query serving time) so successive
+// PRs can track a BENCH_*.json trajectory.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "data/seq_gen.h"
-#include "dp/budget.h"
 #include "eval/table.h"
 #include "release/registry.h"
 #include "seq/pst_privtree.h"
+#include "serve/parallel_runner.h"
+#include "serve/thread_pool.h"
 
 namespace privtree {
 namespace bench {
@@ -32,32 +44,63 @@ double Seconds(const std::function<void()>& body) {
   return std::chrono::duration<double>(end - start).count();
 }
 
-void RunSpatial(TablePrinter* time_table, TablePrinter* size_table,
-                const std::string& name) {
+/// Per-dataset sweep results, for the tables and the JSON trail.
+struct DatasetPerf {
+  std::string dataset;
+  std::string kind;  // "spatial" or "sequence".
+  std::vector<double> fit_seconds;     // Mean per ε, in PaperEpsilons order.
+  std::vector<double> synopsis_sizes;  // Mean per ε.
+  std::size_t jobs = 0;                // ε grid × reps.
+  double wall_seconds = 0.0;           // Aggregate wall clock of the sweep.
+};
+
+/// Per-method serving results on one dataset at ε = 1.
+struct MethodPerf {
+  std::string method;
+  double fit_seconds_mean = 0.0;
+  double synopsis_size_mean = 0.0;
+  std::size_t query_count = 0;
+  double batch_query_seconds = 0.0;  // One QueryBatch over the workload.
+  double loop_query_seconds = 0.0;   // The same workload, one Query at a time.
+};
+
+DatasetPerf RunSpatial(serve::ThreadPool& pool, const std::string& name) {
   const SpatialCase data = MakeSpatialCase(name, /*queries_per_band=*/0);
   const std::size_t reps = Repetitions(3);
-  std::vector<double> times, sizes;
+  const serve::ParallelRunner runner(pool);  // Uncached: this bench times fits.
+
+  // One job per (ε, rep); randomness pre-forked per ε exactly as the serial
+  // bench derived it, so the fitted trees match any earlier run bit for bit.
+  std::vector<serve::FitJob> jobs;
+  jobs.reserve(PaperEpsilons().size() * reps);
   for (double epsilon : PaperEpsilons()) {
-    double total_time = 0.0, total_nodes = 0.0;
     Rng master(0x7E57);
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      Rng rng = master.Fork();
-      auto method = release::GlobalMethodRegistry().Create("privtree");
-      PrivacyBudget budget(epsilon);
-      total_time += Seconds([&] {
-        method->Fit(data.points, data.domain, budget, rng);
-      });
-      total_nodes += static_cast<double>(method->Metadata().synopsis_size);
+      jobs.push_back({"privtree", {}, epsilon, master.Fork()});
     }
-    times.push_back(total_time / static_cast<double>(reps));
-    sizes.push_back(total_nodes / static_cast<double>(reps));
   }
-  time_table->AddRow(name, times);
-  size_table->AddRow(name, sizes);
+
+  DatasetPerf perf{name, "spatial", {}, {}, jobs.size(), 0.0};
+  std::vector<serve::FitResult> results;
+  perf.wall_seconds = Seconds([&] {
+    results = runner.FitAllTimed(data.points, data.domain, std::move(jobs));
+  });
+
+  for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+    double total_time = 0.0, total_nodes = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const serve::FitResult& r = results[e * reps + rep];
+      total_time += r.fit_seconds;
+      total_nodes +=
+          static_cast<double>(r.method->Metadata().synopsis_size);
+    }
+    perf.fit_seconds.push_back(total_time / static_cast<double>(reps));
+    perf.synopsis_sizes.push_back(total_nodes / static_cast<double>(reps));
+  }
+  return perf;
 }
 
-void RunSequence(TablePrinter* time_table, TablePrinter* size_table,
-                 const std::string& name) {
+DatasetPerf RunSequence(serve::ThreadPool& pool, const std::string& name) {
   Rng data_rng(0x5EC);
   const bool mooc = name == "mooc";
   const std::size_t n = ScaledCardinality(
@@ -68,67 +111,217 @@ void RunSequence(TablePrinter* time_table, TablePrinter* size_table,
   const SequenceDataset data = raw.Truncate(l_top);
   const std::size_t reps = Repetitions(3);
 
-  std::vector<double> times, sizes;
+  // The sequence pipeline has no registry adapter yet (see ROADMAP), so the
+  // reps are sharded directly over the pool with the same pre-forked-Rng
+  // discipline the runner uses.
+  struct Job {
+    double epsilon;
+    Rng rng;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(PaperEpsilons().size() * reps);
   for (double epsilon : PaperEpsilons()) {
-    double total_time = 0.0, total_nodes = 0.0;
     Rng master(0x7E58);
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      Rng rng = master.Fork();
+      jobs.push_back({epsilon, master.Fork()});
+    }
+  }
+
+  std::vector<double> seconds(jobs.size(), 0.0);
+  std::vector<double> nodes(jobs.size(), 0.0);
+  DatasetPerf perf{name, "sequence", {}, {}, jobs.size(), 0.0};
+  perf.wall_seconds = Seconds([&] {
+    pool.ParallelFor(jobs.size(), [&](std::size_t i) {
+      Rng rng = jobs[i].rng;
       PrivatePstOptions options;
       options.l_top = l_top;
-      total_time += Seconds([&] {
-        const auto result = BuildPrivatePst(data, epsilon, options, rng);
-        total_nodes += static_cast<double>(result.model.size());
+      seconds[i] = Seconds([&] {
+        const auto result =
+            BuildPrivatePst(data, jobs[i].epsilon, options, rng);
+        nodes[i] = static_cast<double>(result.model.size());
       });
+    });
+  });
+
+  for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+    double total_time = 0.0, total_nodes = 0.0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      total_time += seconds[e * reps + rep];
+      total_nodes += nodes[e * reps + rep];
     }
-    times.push_back(total_time / static_cast<double>(reps));
-    sizes.push_back(total_nodes / static_cast<double>(reps));
+    perf.fit_seconds.push_back(total_time / static_cast<double>(reps));
+    perf.synopsis_sizes.push_back(total_nodes / static_cast<double>(reps));
   }
-  time_table->AddRow(name, times);
-  size_table->AddRow(name, sizes);
+  return perf;
 }
 
-/// Companion table: build time of *every* registered method on one 2-d
-/// dataset at ε = 1, one row per registry entry.
-void RunRegistrySweep(const std::string& dataset) {
+/// Companion sweep: build + serving time of *every* registered method on one
+/// 2-d dataset at ε = 1, one row per registry entry.  The batch column is
+/// one QueryBatch over a `query_count`-query workload; the loop column
+/// answers the same workload one Query at a time.
+std::vector<MethodPerf> RunRegistrySweep(serve::ThreadPool& pool,
+                                         const std::string& dataset,
+                                         std::size_t query_count) {
   const SpatialCase data = MakeSpatialCase(dataset, /*queries_per_band=*/0);
   const std::size_t reps = Repetitions(3);
   const double epsilon = 1.0;
+  const serve::ParallelRunner runner(pool, &serve::SharedSynopsisCache());
 
-  TablePrinter table("Companion: build time by registry method, " + dataset +
-                         " (eps=1)",
-                     "method", {"seconds", "synopsis size"});
+  Rng workload_rng(0xBA7C4);
+  std::vector<Box> queries;
+  for (const QuerySizeBand& band : kPaperBands) {
+    const auto band_queries = GenerateRangeQueries(
+        data.domain, query_count / std::size(kPaperBands), band, workload_rng);
+    queries.insert(queries.end(), band_queries.begin(), band_queries.end());
+  }
+
+  std::vector<MethodPerf> out;
   for (const MethodSpec& spec :
        AllRegisteredSpecs(data.points.dim(), DiscretizationCells())) {
-    double total_time = 0.0, total_size = 0.0;
     Rng master(0x7E59 ^ std::hash<std::string>{}(spec.name));
+    std::vector<serve::FitJob> jobs;
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      Rng rng = master.Fork();
-      auto method =
-          release::GlobalMethodRegistry().Create(spec.name, spec.options);
-      PrivacyBudget budget(epsilon);
-      total_time += Seconds([&] {
-        method->Fit(data.points, data.domain, budget, rng);
-      });
-      total_size += static_cast<double>(method->Metadata().synopsis_size);
+      jobs.push_back({spec.name, spec.options, epsilon, master.Fork()});
     }
-    table.AddRow(spec.display,
-                 {total_time / static_cast<double>(reps),
-                  total_size / static_cast<double>(reps)});
+    const auto results =
+        runner.FitAllTimed(data.points, data.domain, std::move(jobs));
+
+    MethodPerf perf;
+    perf.method = spec.name;
+    perf.query_count = queries.size();
+    for (const serve::FitResult& r : results) {
+      perf.fit_seconds_mean += r.fit_seconds;
+      perf.synopsis_size_mean +=
+          static_cast<double>(r.method->Metadata().synopsis_size);
+    }
+    perf.fit_seconds_mean /= static_cast<double>(reps);
+    perf.synopsis_size_mean /= static_cast<double>(reps);
+
+    const release::Method& method = *results.front().method;
+    std::vector<double> batch_answers;
+    perf.batch_query_seconds =
+        Seconds([&] { batch_answers = method.QueryBatch(queries); });
+    double loop_total = 0.0;
+    perf.loop_query_seconds = Seconds([&] {
+      for (const Box& q : queries) loop_total += method.Query(q);
+    });
+    // Keep the loop honest: the sum depends on every Query call.
+    if (loop_total == 0.0 && !batch_answers.empty()) {
+      std::fprintf(stderr, "(workload sum exactly zero on %s)\n",
+                   spec.name.c_str());
+    }
+    out.push_back(perf);
   }
-  table.Print();
+  return out;
+}
+
+void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
+               const std::vector<DatasetPerf>& datasets,
+               const std::string& sweep_dataset,
+               const std::vector<MethodPerf>& methods) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"threads\": %zu,\n  \"reps\": %zu,\n", threads, reps);
+  std::fprintf(f, "  \"paper_scale\": %s,\n", PaperScale() ? "true" : "false");
+  std::fprintf(f, "  \"table4\": [\n");
+  for (std::size_t i = 0; i < datasets.size(); ++i) {
+    const DatasetPerf& d = datasets[i];
+    std::fprintf(f, "    {\"dataset\": \"%s\", \"kind\": \"%s\",\n",
+                 d.dataset.c_str(), d.kind.c_str());
+    std::fprintf(f, "     \"epsilons\": [");
+    for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
+      std::fprintf(f, "%s%g", e ? ", " : "", PaperEpsilons()[e]);
+    }
+    std::fprintf(f, "],\n     \"fit_seconds_mean\": [");
+    for (std::size_t e = 0; e < d.fit_seconds.size(); ++e) {
+      std::fprintf(f, "%s%.6g", e ? ", " : "", d.fit_seconds[e]);
+    }
+    std::fprintf(f, "],\n     \"synopsis_size_mean\": [");
+    for (std::size_t e = 0; e < d.synopsis_sizes.size(); ++e) {
+      std::fprintf(f, "%s%.6g", e ? ", " : "", d.synopsis_sizes[e]);
+    }
+    std::fprintf(f,
+                 "],\n     \"fit_jobs\": %zu, \"fit_wall_seconds\": %.6g, "
+                 "\"fits_per_second\": %.6g}%s\n",
+                 d.jobs, d.wall_seconds,
+                 d.wall_seconds > 0.0
+                     ? static_cast<double>(d.jobs) / d.wall_seconds
+                     : 0.0,
+                 i + 1 < datasets.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"registry_sweep\": {\"dataset\": \"%s\", "
+                  "\"epsilon\": 1, \"methods\": [\n",
+               sweep_dataset.c_str());
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    const MethodPerf& m = methods[i];
+    std::fprintf(
+        f,
+        "    {\"method\": \"%s\", \"fit_seconds_mean\": %.6g, "
+        "\"synopsis_size_mean\": %.6g, \"queries\": %zu, "
+        "\"batch_query_seconds\": %.6g, \"loop_query_seconds\": %.6g}%s\n",
+        m.method.c_str(), m.fit_seconds_mean, m.synopsis_size_mean,
+        m.query_count, m.batch_query_seconds, m.loop_query_seconds,
+        i + 1 < methods.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]}\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace privtree
 
-int main() {
+int main(int argc, char** argv) {
   using privtree::FormatCell;
   using privtree::TablePrinter;
+  using privtree::bench::DatasetPerf;
+  using privtree::bench::MethodPerf;
+
+  std::size_t threads = privtree::serve::DefaultThreadCount();
+  std::string json_path;
+  std::vector<std::string> datasets = {"road", "gowalla", "nyc",
+                                       "beijing", "mooc", "msnbc"};
+  std::size_t query_count = privtree::PaperScale() ? 10000 : 2000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<std::size_t>(
+          std::atol(arg.c_str() + std::strlen("--threads=")));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      query_count = static_cast<std::size_t>(
+          std::atol(arg.c_str() + std::strlen("--queries=")));
+    } else if (arg.rfind("--datasets=", 0) == 0) {
+      datasets.clear();
+      std::string rest = arg.substr(std::strlen("--datasets="));
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        datasets.push_back(rest.substr(0, comma));
+        if (comma == std::string::npos) break;
+        rest.erase(0, comma + 1);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads=N] [--json=PATH] "
+                   "[--datasets=a,b,...] [--queries=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  privtree::serve::SetDefaultThreadCount(threads);
+  privtree::serve::ThreadPool pool(threads);
+
   std::printf(
       "Reproduction of Table 4 (PrivTree, SIGMOD 2016): PrivTree running\n"
-      "time in seconds; larger epsilon => deeper trees => more time.\n");
+      "time in seconds; larger epsilon => deeper trees => more time.\n"
+      "Fit sweep sharded across %zu thread(s).\n",
+      pool.worker_count());
+
   std::vector<std::string> columns;
   for (double epsilon : privtree::PaperEpsilons()) {
     columns.push_back("eps=" + FormatCell(epsilon));
@@ -137,14 +330,51 @@ int main() {
                           "dataset", columns);
   TablePrinter size_table("Companion: mean output tree size (nodes)",
                           "dataset", columns);
-  for (const char* name : {"road", "gowalla", "nyc", "beijing"}) {
-    privtree::bench::RunSpatial(&time_table, &size_table, name);
-  }
-  for (const char* name : {"mooc", "msnbc"}) {
-    privtree::bench::RunSequence(&time_table, &size_table, name);
+  TablePrinter agg_table("Companion: aggregate fit throughput",
+                         "dataset", {"jobs", "wall s", "fits/s"});
+
+  std::vector<DatasetPerf> perfs;
+  std::string sweep_dataset;
+  for (const std::string& name : datasets) {
+    const bool sequence = name == "mooc" || name == "msnbc";
+    DatasetPerf perf = sequence
+                           ? privtree::bench::RunSequence(pool, name)
+                           : privtree::bench::RunSpatial(pool, name);
+    if (!sequence && sweep_dataset.empty()) sweep_dataset = name;
+    time_table.AddRow(name, perf.fit_seconds);
+    size_table.AddRow(name, perf.synopsis_sizes);
+    agg_table.AddRow(name,
+                     {static_cast<double>(perf.jobs), perf.wall_seconds,
+                      perf.wall_seconds > 0.0
+                          ? static_cast<double>(perf.jobs) / perf.wall_seconds
+                          : 0.0});
+    perfs.push_back(std::move(perf));
   }
   time_table.Print();
   size_table.Print();
-  privtree::bench::RunRegistrySweep("gowalla");
+  agg_table.Print();
+
+  std::vector<MethodPerf> methods;
+  if (!sweep_dataset.empty()) {
+    methods =
+        privtree::bench::RunRegistrySweep(pool, sweep_dataset, query_count);
+    TablePrinter sweep_table(
+        "Companion: registry sweep on " + sweep_dataset +
+            " (eps=1): fit + serving a " + std::to_string(query_count) +
+            "-query workload",
+        "method", {"fit s", "synopsis", "batch q s", "loop q s"});
+    for (const MethodPerf& m : methods) {
+      sweep_table.AddRow(m.method,
+                         {m.fit_seconds_mean, m.synopsis_size_mean,
+                          m.batch_query_seconds, m.loop_query_seconds});
+    }
+    sweep_table.Print();
+  }
+
+  if (!json_path.empty()) {
+    privtree::bench::WriteJson(json_path, pool.worker_count(),
+                               privtree::Repetitions(3), perfs, sweep_dataset,
+                               methods);
+  }
   return 0;
 }

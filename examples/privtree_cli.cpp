@@ -2,17 +2,21 @@
 //
 //   privtree_cli list
 //   privtree_cli run <points.csv> <dim> <epsilon> --method=<name>
-//                    [--options=k=v,...]        (query boxes on stdin)
+//                    [--options=k=v,...] [--threads=N]
+//                    (query boxes on stdin)
 //   privtree_cli build <points.csv> <dim> <epsilon> <synopsis.out>
 //                    [--method=privtree|simpletree] [--options=k=v,...]
 //   privtree_cli query <synopsis.out>           (query boxes on stdin)
 //
 // `list` prints every method in the release registry.  `run` fits any
-// registered method through a ReleaseSession and answers the stdin query
-// boxes in one QueryBatch — the synopsis lives only in memory.  `build`
-// persists a synopsis to disk (tree-backed methods only, since only the
-// spatial decomposition tree has a serialization format) and `query`
-// answers from the saved file without ever touching the data.
+// registered method through the serving layer — a serve::ParallelRunner
+// backed by the process synopsis cache — and answers the stdin query boxes
+// with a QueryBatch sharded across --threads workers (default 1, or
+// PRIVTREE_THREADS); the synopsis lives only in memory.  The answers are
+// identical at any thread count.  `build` persists a synopsis to disk
+// (tree-backed methods only, since only the spatial decomposition tree has
+// a serialization format) and `query` answers from the saved file without
+// ever touching the data.
 //
 // Query lines are "lo_1 hi_1 ... lo_d hi_d"; the answer is printed per
 // line.
@@ -29,7 +33,8 @@
 #include "release/builtin_methods.h"
 #include "release/options.h"
 #include "release/registry.h"
-#include "release/session.h"
+#include "serve/parallel_runner.h"
+#include "serve/thread_pool.h"
 #include "spatial/serialization.h"
 #include "spatial/spatial_histogram.h"
 
@@ -41,7 +46,7 @@ int Usage(const char* argv0) {
       "usage:\n"
       "  %s list\n"
       "  %s run <points.csv> <dim> <epsilon> --method=<name> "
-      "[--options=k=v,...]\n"
+      "[--options=k=v,...] [--threads=N]\n"
       "  %s build <points.csv> <dim> <epsilon> <synopsis.out> "
       "[--method=privtree|simpletree] [--options=k=v,...]\n"
       "  %s query <synopsis.out>   (query boxes on stdin)\n",
@@ -53,6 +58,7 @@ int Usage(const char* argv0) {
 struct CliFlags {
   std::string method = "privtree";
   privtree::release::MethodOptions options;
+  std::size_t threads = privtree::serve::DefaultThreadCount();
 };
 
 const char* TypeName(privtree::release::OptionType type) {
@@ -74,6 +80,13 @@ bool ParseFlags(int argc, char** argv, int first_flag, std::size_t dim,
     const std::string arg = argv[i];
     if (arg.rfind("--method=", 0) == 0) {
       flags->method = arg.substr(std::strlen("--method="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const long parsed = std::atol(arg.c_str() + std::strlen("--threads="));
+      if (parsed < 1) {
+        std::fprintf(stderr, "error: --threads needs a positive integer\n");
+        return false;
+      }
+      flags->threads = static_cast<std::size_t>(parsed);
     } else if (arg.rfind("--options=", 0) == 0) {
       std::string error;
       if (!privtree::release::MethodOptions::TryParse(
@@ -207,17 +220,31 @@ int RunRun(int argc, char** argv) {
   if (points == nullptr) return 1;
 
   // The declared domain is the unit cube; rescale your data accordingly.
-  // (A data-derived bounding box would leak information.)
-  privtree::release::ReleaseSession session(
-      *points, privtree::Box::UnitCube(dim), epsilon, /*seed=*/0xC11);
-  const auto method = session.ReleaseRemaining(flags.method, flags.options);
+  // (A data-derived bounding box would leak information.)  The fit goes
+  // through the serving layer: a ParallelRunner over a --threads-sized pool
+  // with the process synopsis cache, the same path a long-lived server
+  // would use, deriving the release randomness exactly as a
+  // ReleaseSession(seed=0xC11) would.
+  privtree::serve::SetDefaultThreadCount(flags.threads);
+  privtree::serve::ThreadPool pool(flags.threads);
+  const privtree::serve::ParallelRunner runner(
+      pool, &privtree::serve::SharedSynopsisCache());
+  privtree::Rng session_rng(0xC11);
+  const privtree::Box domain = privtree::Box::UnitCube(dim);
+  const auto fitted = runner.FitAll(
+      *points, domain,
+      {{flags.method, flags.options, epsilon, session_rng.Fork()}});
+  const auto& method = fitted.front();
   const auto metadata = method->Metadata();
-  std::fprintf(stderr, "fitted %s: synopsis size %zu, epsilon %.4g\n",
+  std::fprintf(stderr,
+               "fitted %s: synopsis size %zu, epsilon %.4g (%zu thread%s)\n",
                metadata.method.c_str(), metadata.synopsis_size,
-               metadata.epsilon_spent);
+               metadata.epsilon_spent, pool.worker_count(),
+               pool.worker_count() == 1 ? "" : "s");
 
   const std::vector<privtree::Box> queries = ReadQueryBoxes(dim);
-  for (const double answer : method->QueryBatch(queries)) {
+  for (const double answer :
+       privtree::serve::ParallelQueryBatch(pool, *method, queries)) {
     std::printf("%.2f\n", answer);
   }
   return 0;

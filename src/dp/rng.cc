@@ -1,5 +1,7 @@
 #include "dp/rng.h"
 
+#include <initializer_list>
+
 #include "dp/check.h"
 
 namespace privtree {
@@ -65,6 +67,27 @@ Rng Rng::Fork() {
   const std::uint64_t seed = Next();
   const std::uint64_t stream = Next();
   return Rng(seed, stream);
+}
+
+std::uint64_t Rng::Fingerprint() const {
+  // SplitMix64 finalizer over the four 64-bit words of (state_, inc_).
+  auto mix = [](std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  };
+  std::uint64_t digest = 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t word :
+       {static_cast<std::uint64_t>(state_),
+        static_cast<std::uint64_t>(state_ >> 64),
+        static_cast<std::uint64_t>(inc_),
+        static_cast<std::uint64_t>(inc_ >> 64)}) {
+    digest = mix(digest ^ word) + 0x9e3779b97f4a7c15ULL;
+  }
+  return digest;
 }
 
 }  // namespace privtree

@@ -55,6 +55,12 @@ class Rng {
   /// deterministic randomness.
   Rng Fork();
 
+  /// A 64-bit digest of the generator's current (state, stream) pair,
+  /// without advancing it.  Two Rngs with equal fingerprints produce the
+  /// same output sequence, so the fingerprint can stand in for "the
+  /// randomness of this fit" in cache keys (see serve/synopsis_cache.h).
+  std::uint64_t Fingerprint() const;
+
  private:
   unsigned __int128 state_ = 0;
   unsigned __int128 inc_ = 0;  // Stream selector; always odd.

@@ -8,6 +8,7 @@
 #include "dp/check.h"
 #include "eval/metrics.h"
 #include "release/registry.h"
+#include "serve/parallel_runner.h"
 
 namespace privtree {
 
@@ -112,20 +113,59 @@ double RegistryMethodError(const MethodSpec& spec, const PointSet& points,
                            const std::vector<Box>& queries,
                            const std::vector<double>& exact,
                            std::size_t reps, std::uint64_t seed) {
-  PRIVTREE_CHECK_EQ(queries.size(), exact.size());
+  return RegistryMethodErrorBands(spec, points, domain, epsilon, {queries},
+                                  {exact}, reps, seed)[0];
+}
+
+std::vector<double> RegistryMethodErrorBands(
+    const MethodSpec& spec, const PointSet& points, const Box& domain,
+    double epsilon, const std::vector<std::vector<Box>>& band_queries,
+    const std::vector<std::vector<double>>& band_exact, std::size_t reps,
+    std::uint64_t seed) {
+  PRIVTREE_CHECK_GE(reps, 1u);
+  PRIVTREE_CHECK_EQ(band_queries.size(), band_exact.size());
+  for (std::size_t band = 0; band < band_queries.size(); ++band) {
+    PRIVTREE_CHECK_EQ(band_queries[band].size(), band_exact[band].size());
+  }
   const double smoothing = DefaultSmoothing(points.size());
-  return MeanOverReps(reps, seed, [&](Rng& rng) {
-    auto method =
-        release::GlobalMethodRegistry().Create(spec.name, spec.options);
-    PrivacyBudget budget(epsilon);
-    method->Fit(points, domain, budget, rng);
-    const std::vector<double> answers = method->QueryBatch(queries);
-    double total = 0.0;
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      total += RelativeError(answers[q], exact[q], smoothing);
+
+  // Every job's randomness is forked here, on one thread, in rep order —
+  // the execution schedule can then not perturb any synopsis.
+  Rng master(seed);
+  std::vector<serve::FitJob> jobs;
+  jobs.reserve(reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    jobs.push_back({spec.name, spec.options, epsilon, master.Fork()});
+  }
+  const serve::ParallelRunner runner(serve::SharedPool(),
+                                     &serve::SharedSynopsisCache());
+  const auto fitted = runner.FitAll(points, domain, std::move(jobs));
+
+  // Per-(rep, band) errors land in fixed slots; the final reduction runs in
+  // rep order, so the mean is identical at any thread count.
+  std::vector<std::vector<double>> errors(
+      reps, std::vector<double>(band_queries.size(), 0.0));
+  serve::SharedPool().ParallelFor(reps, [&](std::size_t rep) {
+    for (std::size_t band = 0; band < band_queries.size(); ++band) {
+      const std::vector<Box>& queries = band_queries[band];
+      if (queries.empty()) continue;
+      const std::vector<double> answers = fitted[rep]->QueryBatch(queries);
+      double total = 0.0;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        total += RelativeError(answers[q], band_exact[band][q], smoothing);
+      }
+      errors[rep][band] = total / static_cast<double>(queries.size());
     }
-    return queries.empty() ? 0.0 : total / static_cast<double>(queries.size());
   });
+
+  std::vector<double> means(band_queries.size(), 0.0);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t band = 0; band < band_queries.size(); ++band) {
+      means[band] += errors[rep][band];
+    }
+  }
+  for (double& m : means) m /= static_cast<double>(reps);
+  return means;
 }
 
 }  // namespace privtree

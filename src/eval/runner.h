@@ -63,12 +63,26 @@ std::vector<MethodSpec> AllRegisteredSpecs(std::size_t dim,
 
 /// Builds `spec` afresh `reps` times (independent forked RNG streams and a
 /// fresh ε budget each time), answers the workload with QueryBatch, and
-/// returns the mean smoothed relative error (Δ = 0.1%·n).
+/// returns the mean smoothed relative error (Δ = 0.1%·n).  Fits are sharded
+/// across serve::SharedPool() and memoized in serve::SharedSynopsisCache(),
+/// so --threads/PRIVTREE_THREADS parallelizes every registry-driven bench;
+/// results are bit-for-bit identical at any thread count.
 double RegistryMethodError(const MethodSpec& spec, const PointSet& points,
                            const Box& domain, double epsilon,
                            const std::vector<Box>& queries,
                            const std::vector<double>& exact,
                            std::size_t reps, std::uint64_t seed);
+
+/// As RegistryMethodError, but evaluates every workload in `band_queries`
+/// against the *same* `reps` fitted synopses (one fit sweep, many query
+/// bands) and returns one mean error per band.  This is the economical
+/// shape for the figure benches, which report small/medium/large bands of
+/// one release.
+std::vector<double> RegistryMethodErrorBands(
+    const MethodSpec& spec, const PointSet& points, const Box& domain,
+    double epsilon, const std::vector<std::vector<Box>>& band_queries,
+    const std::vector<std::vector<double>>& band_exact, std::size_t reps,
+    std::uint64_t seed);
 
 }  // namespace privtree
 

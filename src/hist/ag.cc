@@ -85,21 +85,39 @@ AdaptiveGrid::AdaptiveGrid(const PointSet& points, const Box& domain,
       level2_.push_back(std::move(sub));
     }
   }
+
+  std::vector<double> cell_totals(level2_.size());
+  for (std::size_t i = 0; i < level2_.size(); ++i) {
+    cell_totals[i] = level2_[i].Total();
+  }
+  cell_total_sat_ = SummedAreaTable2D(cell_totals, m1_, m1_);
 }
+
+namespace {
+
+/// The closed level-1 cell range [lo_cell, hi_cell] overlapping `q` along
+/// each dimension; false when `q` misses the domain entirely.
+bool OverlappedCells(const Box& domain, std::int64_t m1, const Box& q,
+                     std::int64_t lo_cell[2], std::int64_t hi_cell[2]) {
+  for (std::size_t j = 0; j < 2; ++j) {
+    const double width = domain.Width(j) / static_cast<double>(m1);
+    const double rel_lo = (q.lo(j) - domain.lo(j)) / width;
+    const double rel_hi = (q.hi(j) - domain.lo(j)) / width;
+    lo_cell[j] = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::floor(rel_lo)), 0, m1 - 1);
+    hi_cell[j] = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(std::ceil(rel_hi)) - 1, 0, m1 - 1);
+    if (rel_hi <= 0.0 || rel_lo >= static_cast<double>(m1)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 double AdaptiveGrid::Query(const Box& q) const {
   // Restrict to the level-1 cells overlapping q.
   std::int64_t lo_cell[2], hi_cell[2];
-  for (std::size_t j = 0; j < 2; ++j) {
-    const double width = domain_.Width(j) / static_cast<double>(m1_);
-    const double rel_lo = (q.lo(j) - domain_.lo(j)) / width;
-    const double rel_hi = (q.hi(j) - domain_.lo(j)) / width;
-    lo_cell[j] = std::clamp<std::int64_t>(
-        static_cast<std::int64_t>(std::floor(rel_lo)), 0, m1_ - 1);
-    hi_cell[j] = std::clamp<std::int64_t>(
-        static_cast<std::int64_t>(std::ceil(rel_hi)) - 1, 0, m1_ - 1);
-    if (rel_hi <= 0.0 || rel_lo >= static_cast<double>(m1_)) return 0.0;
-  }
+  if (!OverlappedCells(domain_, m1_, q, lo_cell, hi_cell)) return 0.0;
   double ans = 0.0;
   for (std::int64_t cx = lo_cell[0]; cx <= hi_cell[0]; ++cx) {
     for (std::int64_t cy = lo_cell[1]; cy <= hi_cell[1]; ++cy) {
@@ -109,6 +127,42 @@ double AdaptiveGrid::Query(const Box& q) const {
     }
   }
   return ans;
+}
+
+std::vector<double> AdaptiveGrid::QueryBatch(
+    std::span<const Box> queries) const {
+  std::vector<double> answers;
+  answers.reserve(queries.size());
+  for (const Box& q : queries) {
+    PRIVTREE_CHECK_EQ(q.dim(), 2u);
+    std::int64_t lo_cell[2], hi_cell[2];
+    if (!OverlappedCells(domain_, m1_, q, lo_cell, hi_cell)) {
+      answers.push_back(0.0);
+      continue;
+    }
+    // Cells strictly inside the overlapped range are fully covered by q
+    // (their boundaries lie beyond q's projection onto the edge cells), so
+    // the summed-area table answers all of them at once.
+    double ans = cell_total_sat_.RectSum(lo_cell[0] + 1, lo_cell[1] + 1,
+                                         hi_cell[0], hi_cell[1]);
+    const auto visit = [&](std::int64_t cx, std::int64_t cy) {
+      const GridHistogram& sub =
+          level2_[static_cast<std::size_t>(cx * m1_ + cy)];
+      if (q.Intersects(sub.domain())) ans += sub.Query(q);
+    };
+    for (std::int64_t cx = lo_cell[0]; cx <= hi_cell[0]; ++cx) {
+      if (cx == lo_cell[0] || cx == hi_cell[0]) {
+        for (std::int64_t cy = lo_cell[1]; cy <= hi_cell[1]; ++cy) {
+          visit(cx, cy);
+        }
+      } else {
+        visit(cx, lo_cell[1]);
+        if (hi_cell[1] != lo_cell[1]) visit(cx, hi_cell[1]);
+      }
+    }
+    answers.push_back(ans);
+  }
+  return answers;
 }
 
 std::size_t AdaptiveGrid::TotalCells() const {

@@ -12,10 +12,12 @@
 #define PRIVTREE_HIST_AG_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dp/rng.h"
 #include "hist/grid.h"
+#include "hist/sat.h"
 #include "spatial/box.h"
 #include "spatial/point_set.h"
 
@@ -41,6 +43,13 @@ class AdaptiveGrid {
   /// Estimated number of points in `q`.
   double Query(const Box& q) const;
 
+  /// Answers many boxes at once.  Per query, the level-1 cells strictly
+  /// inside the range are summed through a summed-area table of sub-grid
+  /// totals in O(1) — Query iterates every overlapped cell — and only the
+  /// O(perimeter) boundary cells fall back to per-sub-grid evaluation.
+  /// Answers agree with Query up to floating-point summation order.
+  std::vector<double> QueryBatch(std::span<const Box> queries) const;
+
   /// Level-1 granularity per dimension.
   std::int64_t level1_granularity() const { return m1_; }
   /// Total number of released cells across both levels.
@@ -53,6 +62,9 @@ class AdaptiveGrid {
   std::vector<double> level1_count_;
   /// One sub-grid per level-1 cell (granularity may be 1 = no refinement).
   std::vector<GridHistogram> level2_;
+  /// Summed-area table of the (constrained) sub-grid totals, for the
+  /// fully-covered interior of batched queries.
+  SummedAreaTable2D cell_total_sat_;
 };
 
 }  // namespace privtree

@@ -122,12 +122,11 @@ void GridHistogram::BuildPrefixSums() {
   prefix_valid_ = true;
 }
 
-double GridHistogram::Cdf(const std::vector<double>& x) const {
+double GridHistogram::Cdf(const double* x) const {
   const std::size_t d = dim();
   // Fractional lattice coordinates, clamped to [0, m_j].
   std::size_t base_cell[8];
   double frac[8];
-  PRIVTREE_CHECK_LE(d, 8u);
   for (std::size_t j = 0; j < d; ++j) {
     double t = (x[j] - domain_.lo(j)) / domain_.Width(j) *
                static_cast<double>(cells_per_dim_[j]);
@@ -154,12 +153,10 @@ double GridHistogram::Cdf(const std::vector<double>& x) const {
   return value;
 }
 
-double GridHistogram::Query(const Box& q) const {
-  PRIVTREE_CHECK(prefix_valid_);
-  PRIVTREE_CHECK_EQ(q.dim(), dim());
+double GridHistogram::QueryImpl(const Box& q) const {
   const std::size_t d = dim();
   // Clip the query to the domain.
-  std::vector<double> lo(d), hi(d);
+  double lo[8], hi[8];
   for (std::size_t j = 0; j < d; ++j) {
     lo[j] = std::max(q.lo(j), domain_.lo(j));
     hi[j] = std::min(q.hi(j), domain_.hi(j));
@@ -167,7 +164,7 @@ double GridHistogram::Query(const Box& q) const {
   }
   // Inclusion-exclusion over the 2^d corners of the clipped box.
   double ans = 0.0;
-  std::vector<double> corner(d);
+  double corner[8];
   for (std::size_t mask = 0; mask < (std::size_t{1} << d); ++mask) {
     int ones = 0;
     for (std::size_t j = 0; j < d; ++j) {
@@ -179,6 +176,26 @@ double GridHistogram::Query(const Box& q) const {
     ans += sign * Cdf(corner);
   }
   return ans;
+}
+
+double GridHistogram::Query(const Box& q) const {
+  PRIVTREE_CHECK(prefix_valid_);
+  PRIVTREE_CHECK_EQ(q.dim(), dim());
+  PRIVTREE_CHECK_LE(dim(), 8u);
+  return QueryImpl(q);
+}
+
+std::vector<double> GridHistogram::QueryBatch(
+    std::span<const Box> queries) const {
+  PRIVTREE_CHECK(prefix_valid_);
+  PRIVTREE_CHECK_LE(dim(), 8u);
+  std::vector<double> answers;
+  answers.reserve(queries.size());
+  for (const Box& q : queries) {
+    PRIVTREE_CHECK_EQ(q.dim(), dim());
+    answers.push_back(QueryImpl(q));
+  }
+  return answers;
 }
 
 double GridHistogram::Total() const {

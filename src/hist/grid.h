@@ -10,6 +10,7 @@
 #define PRIVTREE_HIST_GRID_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dp/rng.h"
@@ -58,13 +59,21 @@ class GridHistogram {
   /// Requires BuildPrefixSums() to have been called.
   double Query(const Box& q) const;
 
+  /// Answers many boxes in one allocation-free pass over the query list;
+  /// each answer is bit-for-bit identical to Query on the same box.
+  std::vector<double> QueryBatch(std::span<const Box> queries) const;
+
   /// Sum of all cell counts.
   double Total() const;
 
  private:
-  /// Continuous CDF at a domain point, via multilinear interpolation of the
-  /// prefix-sum lattice.
-  double Cdf(const std::vector<double>& x) const;
+  /// Query body shared by Query and QueryBatch; callers have validated the
+  /// dimension and prefix state.
+  double QueryImpl(const Box& q) const;
+
+  /// Continuous CDF at a domain point (an array of dim() coordinates), via
+  /// multilinear interpolation of the prefix-sum lattice.
+  double Cdf(const double* x) const;
 
   Box domain_;
   std::vector<std::int64_t> cells_per_dim_;

@@ -68,7 +68,14 @@ HierarchyHistogram::HierarchyHistogram(const PointSet& points,
     for (double& c : counts_[l]) c += SampleLaplace(rng, scale);
   }
 
-  if (options.constrained_inference) ApplyConstrainedInference();
+  if (options.constrained_inference) {
+    ApplyConstrainedInference();
+    GridHistogram view(domain,
+                       std::vector<std::int64_t>(d, resolution_[height_ - 1]));
+    view.counts() = counts_[height_ - 1];
+    view.BuildPrefixSums();
+    leaf_view_.emplace(std::move(view));
+  }
 }
 
 std::size_t HierarchyHistogram::FlatIndex(
@@ -137,6 +144,15 @@ double HierarchyHistogram::QueryNode(
 double HierarchyHistogram::Query(const Box& q) const {
   std::vector<std::int64_t> root(domain_.dim(), 0);
   return QueryNode(q, 0, root);
+}
+
+std::vector<double> HierarchyHistogram::QueryBatch(
+    std::span<const Box> queries) const {
+  if (leaf_view_.has_value()) return leaf_view_->QueryBatch(queries);
+  std::vector<double> answers;
+  answers.reserve(queries.size());
+  for (const Box& q : queries) answers.push_back(Query(q));
+  return answers;
 }
 
 std::size_t HierarchyHistogram::TotalCounts() const {

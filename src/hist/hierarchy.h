@@ -12,9 +12,12 @@
 #define PRIVTREE_HIST_HIERARCHY_H_
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "dp/rng.h"
+#include "hist/grid.h"
 #include "spatial/box.h"
 #include "spatial/point_set.h"
 
@@ -44,6 +47,15 @@ class HierarchyHistogram {
   /// contribute the uniform fraction.
   double Query(const Box& q) const;
 
+  /// Answers many boxes at once.  With constrained inference the levels are
+  /// mutually consistent, so the greedy descent equals the integral of the
+  /// leaf-level density — answered here through the leaf prefix-sum lattice
+  /// in O(2^d) per query instead of a b^d-way recursion.  Without
+  /// constrained inference (no consistent flat view exists) this falls back
+  /// to per-query descent.  Answers agree with Query up to floating-point
+  /// summation order.
+  std::vector<double> QueryBatch(std::span<const Box> queries) const;
+
   /// Per-dimension branching factor b.
   std::int64_t branching() const { return branching_; }
   /// Per-dimension resolution of the leaf level (b^(h−1)).
@@ -68,6 +80,9 @@ class HierarchyHistogram {
   /// counts_[l] = flat row-major counts of level l; counts_[0] is unused
   /// (the root count is not released).
   std::vector<std::vector<double>> counts_;
+  /// Leaf-level counts as a grid with prefix sums, for QueryBatch; built
+  /// only when constrained inference makes the levels consistent.
+  std::optional<GridHistogram> leaf_view_;
 };
 
 }  // namespace privtree

@@ -1,0 +1,44 @@
+#include "hist/sat.h"
+
+#include <algorithm>
+
+#include "dp/check.h"
+
+namespace privtree {
+
+SummedAreaTable2D::SummedAreaTable2D(std::span<const double> cells,
+                                     std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols) {
+  PRIVTREE_CHECK_GE(rows, 0);
+  PRIVTREE_CHECK_GE(cols, 0);
+  PRIVTREE_CHECK_EQ(cells.size(),
+                    static_cast<std::size_t>(rows) *
+                        static_cast<std::size_t>(cols));
+  const std::size_t width = static_cast<std::size_t>(cols) + 1;
+  prefix_.assign((static_cast<std::size_t>(rows) + 1) * width, 0.0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double row_sum = 0.0;
+    const double* cell_row = cells.data() + static_cast<std::size_t>(r * cols);
+    const double* above = prefix_.data() + static_cast<std::size_t>(r) * width;
+    double* out = prefix_.data() + (static_cast<std::size_t>(r) + 1) * width;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      row_sum += cell_row[c];
+      out[c + 1] = above[c + 1] + row_sum;
+    }
+  }
+}
+
+double SummedAreaTable2D::RectSum(std::int64_t r0, std::int64_t c0,
+                                  std::int64_t r1, std::int64_t c1) const {
+  r0 = std::clamp<std::int64_t>(r0, 0, rows_);
+  r1 = std::clamp<std::int64_t>(r1, 0, rows_);
+  c0 = std::clamp<std::int64_t>(c0, 0, cols_);
+  c1 = std::clamp<std::int64_t>(c1, 0, cols_);
+  if (r0 >= r1 || c0 >= c1) return 0.0;
+  const std::size_t width = static_cast<std::size_t>(cols_) + 1;
+  const double* lo_row = prefix_.data() + static_cast<std::size_t>(r0) * width;
+  const double* hi_row = prefix_.data() + static_cast<std::size_t>(r1) * width;
+  return hi_row[c1] - hi_row[c0] - lo_row[c1] + lo_row[c0];
+}
+
+}  // namespace privtree

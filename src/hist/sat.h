@@ -1,0 +1,40 @@
+// A 2-D summed-area table (integral image) over a dense row-major cell
+// array: any axis-aligned rectangle of whole cells is summed with four
+// lookups, independent of its area.  The grid-family batch-query paths use
+// it to answer the fully-covered interior of a range query in O(1), leaving
+// only the O(perimeter) boundary cells to per-cell evaluation.
+#ifndef PRIVTREE_HIST_SAT_H_
+#define PRIVTREE_HIST_SAT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace privtree {
+
+/// Summed-area table over `rows` × `cols` cells (row-major, column fastest).
+class SummedAreaTable2D {
+ public:
+  SummedAreaTable2D() = default;
+
+  /// Builds the (rows+1) × (cols+1) prefix lattice in one pass.
+  SummedAreaTable2D(std::span<const double> cells, std::int64_t rows,
+                    std::int64_t cols);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  /// Sum of the cells in [r0, r1) × [c0, c1).  Ranges are clamped to the
+  /// table; empty or inverted ranges return 0.
+  double RectSum(std::int64_t r0, std::int64_t c0, std::int64_t r1,
+                 std::int64_t c1) const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<double> prefix_;  // (rows_+1) × (cols_+1), row-major.
+};
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_HIST_SAT_H_

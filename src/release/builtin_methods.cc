@@ -105,13 +105,18 @@ class SimpleTreeMethod final : public Method {
 };
 
 /// Shared adapter for the builders that return a flat GridHistogram (UG,
-/// DAWA, Privelet*); queries go through the O(4^d) prefix-sum lattice, so
-/// the default per-query QueryBatch is already the right batch strategy.
+/// DAWA, Privelet*); queries go through the O(4^d) prefix-sum lattice, and
+/// QueryBatch through the grid's allocation-free one-pass batch path.
 class GridMethodBase : public Method {
  public:
   double Query(const Box& q) const override {
     PRIVTREE_CHECK(state_.fitted);
     return grid_->Query(q);
+  }
+
+  std::vector<double> QueryBatch(std::span<const Box> queries) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return grid_->QueryBatch(queries);
   }
 
  protected:
@@ -221,6 +226,11 @@ class AdaptiveGridMethod final : public Method {
     return grid_->Query(q);
   }
 
+  std::vector<double> QueryBatch(std::span<const Box> queries) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return grid_->QueryBatch(queries);
+  }
+
   MethodMetadata Metadata() const override {
     return {"ag", state_.dim, state_.epsilon_spent,
             grid_ ? grid_->TotalCells() : 0, 2};
@@ -295,6 +305,11 @@ class HierarchyMethod final : public Method {
   double Query(const Box& q) const override {
     PRIVTREE_CHECK(state_.fitted);
     return hier_->Query(q);
+  }
+
+  std::vector<double> QueryBatch(std::span<const Box> queries) const override {
+    PRIVTREE_CHECK(state_.fitted);
+    return hier_->QueryBatch(queries);
   }
 
   MethodMetadata Metadata() const override {

@@ -60,10 +60,14 @@ class Method {
   /// Estimated number of points in `q`.  Requires a prior Fit.
   virtual double Query(const Box& q) const = 0;
 
-  /// Answers many boxes at once.  The default loops over Query; tree-backed
-  /// methods override it with a single level-ordered sweep that classifies
-  /// every query against every visited node in one pass over the node array
-  /// (see release/tree_batch.h), which keeps the tree hot in cache.
+  /// Answers many boxes at once.  The default loops over Query; every
+  /// built-in backend overrides it with a batch strategy: tree-backed
+  /// methods sweep the node array once, classifying every query against
+  /// every visited node (see release/tree_batch.h), and the grid family
+  /// answers through prefix-sum lattices / summed-area tables with the
+  /// per-query allocations hoisted out (see hist/grid.h, hist/ag.h,
+  /// hist/hierarchy.h).  A fitted Method is immutable, so Query/QueryBatch
+  /// may be called concurrently from many threads (see serve/).
   virtual std::vector<double> QueryBatch(std::span<const Box> queries) const;
 
   /// Release accounting; `epsilon_spent`/`synopsis_size` are meaningful

@@ -1,0 +1,153 @@
+#include "serve/synopsis_cache.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "dp/check.h"
+#include "release/registry.h"
+
+namespace privtree::serve {
+
+namespace {
+
+/// Order-sensitive accumulation of one 64-bit word: xor-then-avalanche
+/// (SplitMix64 finalizer).  Word-at-a-time keeps the whole-dataset hash to
+/// a few ops per coordinate — it runs once per FitAll sweep, over every
+/// point.
+inline std::uint64_t MixWord(std::uint64_t hash, std::uint64_t word) {
+  std::uint64_t x = hash ^ word;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x + 0x9e3779b97f4a7c15ULL;
+}
+
+inline std::uint64_t MixDouble(std::uint64_t hash, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return MixWord(hash, bits);
+}
+
+}  // namespace
+
+std::uint64_t DatasetFingerprint(const PointSet& points, const Box& domain) {
+  PRIVTREE_CHECK_EQ(points.dim(), domain.dim());
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  hash = MixWord(hash, points.dim());
+  hash = MixWord(hash, points.size());
+  for (const double c : points.coords()) hash = MixDouble(hash, c);
+  for (std::size_t j = 0; j < domain.dim(); ++j) {
+    hash = MixDouble(hash, domain.lo(j));
+    hash = MixDouble(hash, domain.hi(j));
+  }
+  return hash;
+}
+
+std::string CanonicalOptionsText(std::string_view method,
+                                 const release::MethodOptions& options) {
+  const auto& allowed = release::GlobalMethodRegistry().AllowedKeys(method);
+  std::string out;
+  for (const std::string& key : options.Keys()) {  // Keys() is sorted.
+    const auto it = std::find_if(
+        allowed.begin(), allowed.end(),
+        [&](const release::OptionKey& k) { return k.name == key; });
+    std::string value;
+    if (it == allowed.end()) {
+      value = options.GetString(key, "");
+    } else {
+      char buffer[64];
+      switch (it->type) {
+        case release::OptionType::kDouble:
+          std::snprintf(buffer, sizeof(buffer), "%.17g",
+                        options.GetDouble(key, 0.0));
+          value = buffer;
+          break;
+        case release::OptionType::kInt:
+          std::snprintf(buffer, sizeof(buffer), "%" PRId64,
+                        options.GetInt(key, 0));
+          value = buffer;
+          break;
+        case release::OptionType::kBool:
+          value = options.GetBool(key, false) ? "true" : "false";
+          break;
+      }
+    }
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+SynopsisCache::SynopsisCache(std::size_t capacity) : capacity_(capacity) {}
+
+void SynopsisCache::InsertLocked(
+    const SynopsisKey& key, std::shared_ptr<const release::Method> value) {
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
+    const SynopsisKey& key, const FitFn& fit) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (const auto it = index_.find(key); it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    if (!inflight_.contains(key)) break;
+    // Another thread is fitting this key; wait for it rather than fitting
+    // the same synopsis twice.
+    inflight_cv_.wait(lk);
+  }
+  ++stats_.misses;
+  inflight_.insert(key);
+  lk.unlock();
+
+  std::shared_ptr<const release::Method> fitted = fit();
+  PRIVTREE_CHECK(fitted != nullptr);
+
+  lk.lock();
+  inflight_.erase(key);
+  if (capacity_ > 0) InsertLocked(key, fitted);
+  inflight_cv_.notify_all();
+  return fitted;
+}
+
+std::shared_ptr<const release::Method> SynopsisCache::Lookup(
+    const SynopsisKey& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+std::size_t SynopsisCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lru_.size();
+}
+
+SynopsisCache::Stats SynopsisCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void SynopsisCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace privtree::serve

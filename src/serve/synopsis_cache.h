@@ -1,0 +1,114 @@
+// Memoization of fitted release::Method synopses.
+//
+// A fitted synopsis is a pure function of (dataset, method, options, ε,
+// randomness): re-fitting with the same inputs reproduces it bit for bit,
+// so a serving layer that answers many workloads over the same releases can
+// cache the fit — the expensive, data-touching step — and share one
+// immutable synopsis across threads via shared_ptr.  Keys canonicalize the
+// options text through the registry's type metadata ("cell_scale=3" and
+// "cell_scale=3.0" are the same fit) and identify the dataset and the RNG
+// stream by fingerprint, so the cache never conflates two releases that
+// could differ.
+//
+// Concurrency: one mutex guards the LRU structures; a fit for a missing key
+// runs *outside* the lock, with an in-flight set making concurrent callers
+// of the same key wait for the single fit instead of duplicating it (the
+// same memoization discipline I/O-co-designed systems use to keep one
+// read-ahead per block).
+#ifndef PRIVTREE_SERVE_SYNOPSIS_CACHE_H_
+#define PRIVTREE_SERVE_SYNOPSIS_CACHE_H_
+
+#include <compare>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "release/method.h"
+#include "release/options.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree::serve {
+
+/// Identity of one fitted synopsis.
+struct SynopsisKey {
+  std::uint64_t dataset_fingerprint = 0;  ///< DatasetFingerprint().
+  std::string method;                     ///< Registry name.
+  std::string options;                    ///< CanonicalOptionsText().
+  double epsilon = 0.0;                   ///< Total ε of the fit.
+  std::uint64_t rng_fingerprint = 0;      ///< Rng::Fingerprint() at fit time.
+
+  friend auto operator<=>(const SynopsisKey&, const SynopsisKey&) = default;
+};
+
+/// Order-sensitive 64-bit digest of (dim, coordinates, domain bounds).
+/// Collisions are astronomically unlikely but not impossible; the cache
+/// trades that risk for never storing the data itself.
+std::uint64_t DatasetFingerprint(const PointSet& points, const Box& domain);
+
+/// Renders `options` with every key the registered `method` accepts
+/// normalized through its declared type (so "3", "3.0" and "3.00" collapse
+/// to one double spelling, "1"/"true" to one boolean).  Keys the method
+/// does not declare are passed through verbatim — the factory will reject
+/// them at Create.  Aborts on unregistered method names.
+std::string CanonicalOptionsText(std::string_view method,
+                                 const release::MethodOptions& options);
+
+/// A thread-safe LRU cache of fitted methods.
+class SynopsisCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+  };
+
+  /// Builds the fitted method for a missing key; must not return null.
+  using FitFn = std::function<std::shared_ptr<const release::Method>()>;
+
+  /// Keeps at most `capacity` synopses (0 disables retention: every call
+  /// fits, nothing is stored).
+  explicit SynopsisCache(std::size_t capacity);
+
+  /// Returns the cached synopsis for `key`, fitting (and caching) it via
+  /// `fit` on a miss.  Concurrent calls for the same key fit once.
+  std::shared_ptr<const release::Method> GetOrFit(const SynopsisKey& key,
+                                                  const FitFn& fit);
+
+  /// The cached synopsis, or null without side effects beyond LRU touch.
+  std::shared_ptr<const release::Method> Lookup(const SynopsisKey& key);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+  void Clear();
+
+ private:
+  using LruList =
+      std::list<std::pair<SynopsisKey, std::shared_ptr<const release::Method>>>;
+
+  /// Inserts (key, value) at the front, evicting from the back; caller
+  /// holds mu_.
+  void InsertLocked(const SynopsisKey& key,
+                    std::shared_ptr<const release::Method> value);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable inflight_cv_;
+  LruList lru_;  // Front = most recently used.
+  std::map<SynopsisKey, LruList::iterator> index_;
+  std::set<SynopsisKey> inflight_;
+  Stats stats_;
+};
+
+}  // namespace privtree::serve
+
+#endif  // PRIVTREE_SERVE_SYNOPSIS_CACHE_H_

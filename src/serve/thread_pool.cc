@@ -1,0 +1,157 @@
+#include "serve/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dp/check.h"
+
+namespace privtree::serve {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t count = std::max<std::size_t>(workers, 1);
+  queues_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { RunWorker(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  PRIVTREE_CHECK(task != nullptr);
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  // in_flight_ rises before the task becomes poppable: a worker that pops
+  // and finishes it immediately must not drive the counter negative (which
+  // would skip the idle notification), and a concurrent WaitIdle must not
+  // return while the task is pending.
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // The wait predicate reads queued_; raising it under sleep_mu_ closes
+    // the window where a worker has evaluated the predicate as false but
+    // not yet blocked — notifying in that window would be lost and could
+    // leave every worker asleep with a task queued.
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(std::size_t self, std::function<void()>* task) {
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    WorkerQueue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::FinishTask() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Lock before notifying so a WaitIdle caller between its predicate
+    // check and its wait cannot miss the wakeup.
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunWorker(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (TryPop(self, &task)) {
+      task();
+      FinishTask();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    wake_cv_.wait(lk, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && queued_.load(std::memory_order_acquire) <= 0) return;
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lk(sleep_mu_);
+  idle_cv_.wait(lk, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // One claiming helper per worker; every participant (helpers and the
+  // caller) claims indices from a shared counter until the range is
+  // exhausted, so an uneven workload balances itself without up-front
+  // partitioning.  The wait below is on *index completion*, not helper
+  // completion: if the workers are stuck behind unrelated long-running
+  // tasks, the caller finishes the whole range alone and returns, and the
+  // helpers — which share ownership of the loop state — later wake, find
+  // no indices left, and exit without touching anything stale.
+  struct LoopState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    std::function<void(std::size_t)> body;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->body = body;
+  const auto run = [](const std::shared_ptr<LoopState>& s) {
+    for (;;) {
+      const std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->n) return;
+      s->body(i);
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+        // Lock so a waiter between its predicate check and its wait cannot
+        // miss the notification.
+        std::lock_guard<std::mutex> lk(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+  const std::size_t helpers = std::min(n, worker_count());
+  for (std::size_t s = 0; s < helpers; ++s) {
+    Submit([run, state] { run(state); });
+  }
+  run(state);
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->cv.wait(lk, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+}
+
+}  // namespace privtree::serve

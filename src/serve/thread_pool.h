@@ -1,0 +1,83 @@
+// A small work-stealing thread pool with no external dependencies.
+//
+// Each worker owns a deque: its own tasks are popped LIFO (newest first,
+// cache-warm), and an idle worker steals FIFO from a sibling (oldest first,
+// largest remaining work).  Submission round-robins across the deques, so a
+// burst of fit jobs spreads out even before stealing kicks in.  The pool is
+// deliberately minimal — fixed worker count, plain std::function tasks, one
+// ParallelFor primitive — because the serving layer's units of work (whole
+// synopsis fits, query-batch shards) are coarse enough that sophisticated
+// scheduling would buy nothing.
+#ifndef PRIVTREE_SERVE_THREAD_POOL_H_
+#define PRIVTREE_SERVE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace privtree::serve {
+
+/// Fixed-size work-stealing pool.  Tasks must not throw.
+class ThreadPool {
+ public:
+  /// Starts `workers` threads (a request for 0 is clamped to 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueues `task` for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  /// Runs body(0) ... body(n-1), sharded across the workers, and returns
+  /// when all calls have finished.  The calling thread participates, so the
+  /// loop makes progress even when every worker is busy.  `body` must be
+  /// safe to call concurrently for distinct indices.  Must not be called
+  /// from inside a pool task (the inner wait could deadlock the worker).
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t)>& body);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pops from the caller's own deque (back) or steals from a sibling
+  /// (front); false when every deque is empty.
+  bool TryPop(std::size_t self, std::function<void()>* task);
+  void RunWorker(std::size_t self);
+  void FinishTask();
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex sleep_mu_;
+  std::condition_variable wake_cv_;  // Signalled on submit and stop.
+  std::condition_variable idle_cv_;  // Signalled when in_flight_ hits 0.
+  // Tasks queued but not yet popped; may transiently undercount between a
+  // push and its counter increment, which only costs a spurious wakeup.
+  std::atomic<std::ptrdiff_t> queued_{0};
+  // Tasks submitted and not yet finished (queued + running).
+  std::atomic<std::ptrdiff_t> in_flight_{0};
+  bool stop_ = false;  // Guarded by sleep_mu_.
+  std::atomic<std::size_t> next_queue_{0};
+};
+
+}  // namespace privtree::serve
+
+#endif  // PRIVTREE_SERVE_THREAD_POOL_H_

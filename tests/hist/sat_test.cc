@@ -1,0 +1,73 @@
+// SummedAreaTable2D: rectangle sums against brute force, clamping, and
+// empty/degenerate ranges.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/rng.h"
+#include "hist/sat.h"
+
+namespace privtree {
+namespace {
+
+TEST(SummedAreaTableTest, KnownSmallTable) {
+  // 2 × 3 cells:
+  //   1 2 3
+  //   4 5 6
+  const std::vector<double> cells = {1, 2, 3, 4, 5, 6};
+  const SummedAreaTable2D sat(cells, 2, 3);
+  EXPECT_EQ(sat.rows(), 2);
+  EXPECT_EQ(sat.cols(), 3);
+  EXPECT_DOUBLE_EQ(sat.RectSum(0, 0, 2, 3), 21.0);
+  EXPECT_DOUBLE_EQ(sat.RectSum(0, 0, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(sat.RectSum(1, 1, 2, 3), 11.0);
+  EXPECT_DOUBLE_EQ(sat.RectSum(0, 2, 2, 3), 9.0);
+}
+
+TEST(SummedAreaTableTest, EmptyAndInvertedRangesAreZero) {
+  const std::vector<double> cells = {1, 2, 3, 4};
+  const SummedAreaTable2D sat(cells, 2, 2);
+  EXPECT_EQ(sat.RectSum(0, 0, 0, 2), 0.0);  // Empty row range.
+  EXPECT_EQ(sat.RectSum(1, 1, 1, 1), 0.0);  // Point.
+  EXPECT_EQ(sat.RectSum(2, 0, 1, 2), 0.0);  // Inverted.
+}
+
+TEST(SummedAreaTableTest, RangesClampToTheTable) {
+  const std::vector<double> cells = {1, 2, 3, 4};
+  const SummedAreaTable2D sat(cells, 2, 2);
+  EXPECT_DOUBLE_EQ(sat.RectSum(-5, -5, 10, 10), 10.0);
+  EXPECT_DOUBLE_EQ(sat.RectSum(1, 0, 99, 99), 7.0);
+}
+
+TEST(SummedAreaTableTest, MatchesBruteForceOnRandomTables) {
+  Rng rng(0x5A7);
+  const std::int64_t rows = 13, cols = 17;
+  std::vector<double> cells(static_cast<std::size_t>(rows * cols));
+  for (double& c : cells) c = rng.NextDouble() * 10.0 - 3.0;
+  const SummedAreaTable2D sat(cells, rows, cols);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::int64_t r0 = static_cast<std::int64_t>(rng.NextBounded(rows + 1));
+    std::int64_t r1 = static_cast<std::int64_t>(rng.NextBounded(rows + 1));
+    std::int64_t c0 = static_cast<std::int64_t>(rng.NextBounded(cols + 1));
+    std::int64_t c1 = static_cast<std::int64_t>(rng.NextBounded(cols + 1));
+    if (r0 > r1) std::swap(r0, r1);
+    if (c0 > c1) std::swap(c0, c1);
+    double expected = 0.0;
+    for (std::int64_t r = r0; r < r1; ++r) {
+      for (std::int64_t c = c0; c < c1; ++c) {
+        expected += cells[static_cast<std::size_t>(r * cols + c)];
+      }
+    }
+    EXPECT_NEAR(sat.RectSum(r0, c0, r1, c1), expected, 1e-9)
+        << "rect [" << r0 << "," << r1 << ")x[" << c0 << "," << c1 << ")";
+  }
+}
+
+TEST(SummedAreaTableTest, ZeroSizedTable) {
+  const SummedAreaTable2D sat(std::vector<double>{}, 0, 0);
+  EXPECT_EQ(sat.RectSum(0, 0, 1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace privtree
