@@ -5,7 +5,7 @@
 //                    [--options=k=v,...] [--threads=N]
 //                    (query boxes on stdin)
 //   privtree_cli build <points.csv> <dim> <epsilon> <synopsis.out>
-//                    [--method=privtree|simpletree] [--options=k=v,...]
+//                    [--method=<name>] [--options=k=v,...]
 //   privtree_cli query <synopsis.out>           (query boxes on stdin)
 //
 // `list` prints every method in the release registry.  `run` fits any
@@ -13,10 +13,13 @@
 // backed by the process synopsis cache — and answers the stdin query boxes
 // with a QueryBatch sharded across --threads workers (default 1, or
 // PRIVTREE_THREADS); the synopsis lives only in memory.  The answers are
-// identical at any thread count.  `build` persists a synopsis to disk
-// (tree-backed methods only, since only the spatial decomposition tree has
-// a serialization format) and `query` answers from the saved file without
-// ever touching the data.
+// identical at any thread count.  `build` fits through the same serving
+// path and persists the synopsis — *any* registered method — in the
+// universal envelope format (release/serialization.h); `query` re-loads it
+// and answers without ever touching the data (persisting a released
+// synopsis is pure post-processing, free under DP).  `build` and `run` fit
+// with the same deterministic seed, so the on-disk answers match an
+// in-memory `run` bit for bit.  Legacy v1 text files still load.
 //
 // Query lines are "lo_1 hi_1 ... lo_d hi_d"; the answer is printed per
 // line.
@@ -33,10 +36,9 @@
 #include "release/builtin_methods.h"
 #include "release/options.h"
 #include "release/registry.h"
+#include "release/serialization.h"
 #include "serve/parallel_runner.h"
 #include "serve/thread_pool.h"
-#include "spatial/serialization.h"
-#include "spatial/spatial_histogram.h"
 
 namespace {
 
@@ -48,7 +50,7 @@ int Usage(const char* argv0) {
       "  %s run <points.csv> <dim> <epsilon> --method=<name> "
       "[--options=k=v,...] [--threads=N]\n"
       "  %s build <points.csv> <dim> <epsilon> <synopsis.out> "
-      "[--method=privtree|simpletree] [--options=k=v,...]\n"
+      "[--method=<name>] [--options=k=v,...]\n"
       "  %s query <synopsis.out>   (query boxes on stdin)\n",
       argv0, argv0, argv0, argv0);
   return 2;
@@ -209,6 +211,33 @@ std::unique_ptr<privtree::PointSet> LoadPoints(const char* path,
   return std::make_unique<privtree::PointSet>(std::move(points.value()));
 }
 
+/// Fits `flags.method` on the CSV through the serving layer (ParallelRunner
+/// over the process cache), deriving the release randomness exactly as a
+/// ReleaseSession(seed=0xC11) would, so `run` and `build` release the same
+/// synopsis.  The declared domain is the unit cube; rescale your data
+/// accordingly (a data-derived bounding box would leak information).
+std::shared_ptr<const privtree::release::Method> FitFromCsv(
+    const char* csv_path, std::size_t dim, double epsilon,
+    const CliFlags& flags, privtree::serve::ThreadPool& pool) {
+  const auto points = LoadPoints(csv_path, dim);
+  if (points == nullptr) return nullptr;
+  const privtree::serve::ParallelRunner runner(
+      pool, &privtree::serve::SharedSynopsisCache());
+  privtree::Rng session_rng(0xC11);
+  const privtree::Box domain = privtree::Box::UnitCube(dim);
+  auto fitted = runner.FitAll(
+      *points, domain,
+      {{flags.method, flags.options, epsilon, session_rng.Fork()}});
+  auto method = std::move(fitted.front());
+  const auto metadata = method->Metadata();
+  std::fprintf(stderr,
+               "fitted %s: synopsis size %zu, epsilon %.4g (%zu thread%s)\n",
+               metadata.method.c_str(), metadata.synopsis_size,
+               metadata.epsilon_spent, pool.worker_count(),
+               pool.worker_count() == 1 ? "" : "s");
+  return method;
+}
+
 int RunRun(int argc, char** argv) {
   if (argc < 5) return Usage(argv[0]);
   const auto dim = static_cast<std::size_t>(std::atol(argv[3]));
@@ -216,31 +245,11 @@ int RunRun(int argc, char** argv) {
   if (dim == 0 || dim > 8 || epsilon <= 0.0) return Usage(argv[0]);
   CliFlags flags;
   if (!ParseFlags(argc, argv, 5, dim, &flags)) return 2;
-  const auto points = LoadPoints(argv[2], dim);
-  if (points == nullptr) return 1;
 
-  // The declared domain is the unit cube; rescale your data accordingly.
-  // (A data-derived bounding box would leak information.)  The fit goes
-  // through the serving layer: a ParallelRunner over a --threads-sized pool
-  // with the process synopsis cache, the same path a long-lived server
-  // would use, deriving the release randomness exactly as a
-  // ReleaseSession(seed=0xC11) would.
   privtree::serve::SetDefaultThreadCount(flags.threads);
   privtree::serve::ThreadPool pool(flags.threads);
-  const privtree::serve::ParallelRunner runner(
-      pool, &privtree::serve::SharedSynopsisCache());
-  privtree::Rng session_rng(0xC11);
-  const privtree::Box domain = privtree::Box::UnitCube(dim);
-  const auto fitted = runner.FitAll(
-      *points, domain,
-      {{flags.method, flags.options, epsilon, session_rng.Fork()}});
-  const auto& method = fitted.front();
-  const auto metadata = method->Metadata();
-  std::fprintf(stderr,
-               "fitted %s: synopsis size %zu, epsilon %.4g (%zu thread%s)\n",
-               metadata.method.c_str(), metadata.synopsis_size,
-               metadata.epsilon_spent, pool.worker_count(),
-               pool.worker_count() == 1 ? "" : "s");
+  const auto method = FitFromCsv(argv[2], dim, epsilon, flags, pool);
+  if (method == nullptr) return 1;
 
   const std::vector<privtree::Box> queries = ReadQueryBoxes(dim);
   for (const double answer :
@@ -258,51 +267,45 @@ int RunBuild(int argc, char** argv) {
   const std::string out_path = argv[5];
   CliFlags flags;
   if (!ParseFlags(argc, argv, 6, dim, &flags)) return 2;
-  const auto points = LoadPoints(argv[2], dim);
-  if (points == nullptr) return 1;
 
-  // Only the spatial decomposition tree has an on-disk format; the grid
-  // methods answer through `run` instead.
-  privtree::Rng rng(0xC11);
-  privtree::SpatialHistogram hist;
-  const privtree::Box domain = privtree::Box::UnitCube(dim);
-  if (flags.method == "privtree") {
-    hist = privtree::BuildPrivTreeHistogram(
-        *points, domain, epsilon,
-        privtree::release::ParsePrivTreeHistogramOptions(flags.options), rng);
-  } else if (flags.method == "simpletree") {
-    hist = privtree::BuildSimpleTreeHistogram(
-        *points, domain, epsilon,
-        privtree::release::ParseSimpleTreeHistogramOptions(flags.options),
-        rng);
-  } else {
-    std::fprintf(stderr,
-                 "error: method \"%s\" has no serialization; use "
-                 "`privtree_cli run --method=%s` instead\n",
-                 flags.method.c_str(), flags.method.c_str());
-    return 2;
-  }
-  if (auto s = privtree::SaveSpatialHistogram(out_path, hist); !s.ok()) {
+  // Every registered method persists through the universal synopsis
+  // envelope; the fit is identical to `run` with the same arguments.
+  privtree::serve::SetDefaultThreadCount(flags.threads);
+  privtree::serve::ThreadPool pool(flags.threads);
+  const auto method = FitFromCsv(argv[2], dim, epsilon, flags, pool);
+  if (method == nullptr) return 1;
+
+  if (auto s = privtree::release::SaveMethodToFile(*method, out_path);
+      !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "wrote %s: %zu nodes, height %d, epsilon %.4g\n",
-               out_path.c_str(), hist.tree.size(), hist.tree.Height(),
-               epsilon);
+  const auto metadata = method->Metadata();
+  std::fprintf(stderr,
+               "wrote %s: method %s, synopsis size %zu, height %d, "
+               "epsilon %.4g\n",
+               out_path.c_str(), metadata.method.c_str(),
+               metadata.synopsis_size, metadata.height,
+               metadata.epsilon_spent);
   return 0;
 }
 
 int RunQuery(int argc, char** argv) {
   if (argc != 3) return Usage(argv[0]);
-  auto hist = privtree::LoadSpatialHistogram(argv[2]);
-  if (!hist.ok()) {
-    std::fprintf(stderr, "error: %s\n", hist.status().ToString().c_str());
+  auto method = privtree::release::LoadMethodFromFile(argv[2]);
+  if (!method.ok()) {
+    std::fprintf(stderr, "error: %s\n", method.status().ToString().c_str());
     return 1;
   }
-  const std::size_t dim =
-      hist.value().tree.node(0).domain.box.dim();
-  for (const privtree::Box& q : ReadQueryBoxes(dim)) {
-    std::printf("%.2f\n", hist.value().Query(q));
+  const auto metadata = method.value()->Metadata();
+  std::fprintf(stderr,
+               "loaded %s: method %s, dim %zu, synopsis size %zu, "
+               "epsilon %.4g\n",
+               argv[2], metadata.method.c_str(), metadata.dim,
+               metadata.synopsis_size, metadata.epsilon_spent);
+  const std::vector<privtree::Box> queries = ReadQueryBoxes(metadata.dim);
+  for (const double answer : method.value()->QueryBatch(queries)) {
+    std::printf("%.2f\n", answer);
   }
   return 0;
 }

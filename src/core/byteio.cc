@@ -1,0 +1,148 @@
+#include "core/byteio.h"
+
+#include <cstring>
+
+namespace privtree {
+
+namespace {
+
+inline void AppendLe(std::string* out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline std::uint64_t ReadLe(const char* p, std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void ByteWriter::U32(std::uint32_t v) { AppendLe(out_, v, 4); }
+void ByteWriter::U64(std::uint64_t v) { AppendLe(out_, v, 8); }
+void ByteWriter::I32(std::int32_t v) {
+  AppendLe(out_, static_cast<std::uint32_t>(v), 4);
+}
+void ByteWriter::I64(std::int64_t v) {
+  AppendLe(out_, static_cast<std::uint64_t>(v), 8);
+}
+
+void ByteWriter::F64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendLe(out_, bits, 8);
+}
+
+void ByteWriter::F64Span(std::span<const double> values) {
+  for (const double v : values) F64(v);
+}
+
+void ByteWriter::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  out_->append(s.data(), s.size());
+}
+
+bool ByteReader::Take(std::size_t n, const char** p) {
+  if (failed_ || remaining() < n) {
+    failed_ = true;
+    return false;
+  }
+  *p = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::U32(std::uint32_t* v) {
+  const char* p;
+  if (!Take(4, &p)) return false;
+  *v = static_cast<std::uint32_t>(ReadLe(p, 4));
+  return true;
+}
+
+bool ByteReader::U64(std::uint64_t* v) {
+  const char* p;
+  if (!Take(8, &p)) return false;
+  *v = ReadLe(p, 8);
+  return true;
+}
+
+bool ByteReader::I32(std::int32_t* v) {
+  std::uint32_t raw;
+  if (!U32(&raw)) return false;
+  *v = static_cast<std::int32_t>(raw);
+  return true;
+}
+
+bool ByteReader::I64(std::int64_t* v) {
+  std::uint64_t raw;
+  if (!U64(&raw)) return false;
+  *v = static_cast<std::int64_t>(raw);
+  return true;
+}
+
+bool ByteReader::F64(double* v) {
+  std::uint64_t bits;
+  if (!U64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool ByteReader::F64Vec(std::size_t n, std::vector<double>* out) {
+  if (failed_ || remaining() < 8 * n) {
+    failed_ = true;
+    return false;
+  }
+  out->resize(n);
+  for (std::size_t i = 0; i < n; ++i) F64(&(*out)[i]);
+  return true;
+}
+
+bool ByteReader::Str(std::string* out) {
+  std::uint32_t len;
+  if (!U32(&len)) return false;
+  const char* p;
+  if (!Take(len, &p)) return false;
+  out->assign(p, len);
+  return true;
+}
+
+std::uint64_t ByteChecksum(std::string_view bytes) {
+  // SplitMix64 finalizer over 8-byte words, seeded with the length so
+  // "truncated but zero-padded" never collides with the original.
+  std::uint64_t hash = 0x9e3779b97f4a7c15ULL ^ bytes.size();
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, bytes.data() + i, 8);
+    std::uint64_t x = hash ^ word;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    hash = x + 0x9e3779b97f4a7c15ULL;
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t j = 0; i + j < bytes.size(); ++j) {
+    tail |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(bytes[i + j]))
+            << (8 * j);
+  }
+  if (i < bytes.size()) {
+    std::uint64_t x = hash ^ tail;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    hash = x + 0x9e3779b97f4a7c15ULL;
+  }
+  return hash;
+}
+
+}  // namespace privtree

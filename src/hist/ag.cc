@@ -93,6 +93,25 @@ AdaptiveGrid::AdaptiveGrid(const PointSet& points, const Box& domain,
   cell_total_sat_ = SummedAreaTable2D(cell_totals, m1_, m1_);
 }
 
+AdaptiveGrid::AdaptiveGrid(Box domain, std::int64_t m1,
+                           std::vector<double> level1_counts,
+                           std::vector<GridHistogram> level2)
+    : m1_(m1),
+      domain_(std::move(domain)),
+      level1_count_(std::move(level1_counts)),
+      level2_(std::move(level2)) {
+  PRIVTREE_CHECK_EQ(domain_.dim(), 2u);
+  PRIVTREE_CHECK_GE(m1_, 1);
+  const auto cells = static_cast<std::size_t>(m1_ * m1_);
+  PRIVTREE_CHECK_EQ(level1_count_.size(), cells);
+  PRIVTREE_CHECK_EQ(level2_.size(), cells);
+  std::vector<double> cell_totals(level2_.size());
+  for (std::size_t i = 0; i < level2_.size(); ++i) {
+    cell_totals[i] = level2_[i].Total();
+  }
+  cell_total_sat_ = SummedAreaTable2D(cell_totals, m1_, m1_);
+}
+
 namespace {
 
 /// The closed level-1 cell range [lo_cell, hi_cell] overlapping `q` along

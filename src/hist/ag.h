@@ -40,6 +40,15 @@ class AdaptiveGrid {
   AdaptiveGrid(const PointSet& points, const Box& domain, double epsilon,
                const AdaptiveGridOptions& options, Rng& rng);
 
+  /// Restores a released grid from its serialized parts (the v2 synopsis
+  /// payload — see release/serialization.h): `level1_counts` is the
+  /// row-major m1 × m1 noisy level-1 lattice and `level2` one sub-grid per
+  /// level-1 cell, already constrained (sub-grid counts are persisted
+  /// post-inference).  The summed-area table is derived state and is
+  /// rebuilt here, bit for bit.
+  AdaptiveGrid(Box domain, std::int64_t m1, std::vector<double> level1_counts,
+               std::vector<GridHistogram> level2);
+
   /// Estimated number of points in `q`.
   double Query(const Box& q) const;
 
@@ -54,6 +63,11 @@ class AdaptiveGrid {
   std::int64_t level1_granularity() const { return m1_; }
   /// Total number of released cells across both levels.
   std::size_t TotalCells() const;
+
+  /// Released state, exposed for the synopsis codec.
+  const Box& domain() const { return domain_; }
+  const std::vector<double>& level1_counts() const { return level1_count_; }
+  const std::vector<GridHistogram>& level2() const { return level2_; }
 
  private:
   std::int64_t m1_ = 1;

@@ -1,0 +1,53 @@
+#include "hist/grid_codec.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spatial/serialization.h"
+
+namespace privtree {
+
+void WriteGridHistogram(ByteWriter& out, const GridHistogram& grid) {
+  WriteBox(out, grid.domain());
+  for (const std::int64_t m : grid.cells_per_dim()) {
+    out.U64(static_cast<std::uint64_t>(m));
+  }
+  out.F64Span(grid.counts());
+}
+
+Result<GridHistogram> ReadGridHistogram(ByteReader& in, std::size_t dim) {
+  Box domain;
+  std::string box_error;
+  if (!ReadBox(in, dim, &domain, &box_error)) {
+    return Status::InvalidArgument("grid body: " + box_error);
+  }
+  std::vector<std::int64_t> cells(dim);
+  std::uint64_t total = 1;
+  for (std::size_t j = 0; j < dim; ++j) {
+    std::uint64_t m = 0;
+    if (!in.U64(&m) || m == 0) {
+      return Status::InvalidArgument("grid body: bad granularity");
+    }
+    // Overflow-safe running product, bounded by the bytes actually present
+    // so a small corrupted file can never force a huge allocation.
+    if (m > std::numeric_limits<std::uint64_t>::max() / total) {
+      return Status::InvalidArgument("grid body: cell count overflow");
+    }
+    total *= m;
+    if (total > in.remaining() / 8) {
+      return Status::InvalidArgument("grid body: cell count exceeds payload");
+    }
+    cells[j] = static_cast<std::int64_t>(m);
+  }
+  GridHistogram grid(std::move(domain), std::move(cells));
+  if (!in.F64Vec(total, &grid.counts())) {
+    return Status::InvalidArgument("grid body: truncated counts");
+  }
+  grid.BuildPrefixSums();
+  return grid;
+}
+
+}  // namespace privtree

@@ -1,0 +1,31 @@
+// Binary codec for released GridHistogram lattices (the v2 synopsis
+// payload of the grid-family backends, and the sub-grid records of AG).
+//
+// Body layout, relative to a known dimensionality d:
+//
+//   f64 lo_j, f64 hi_j   for j = 0..d-1     (domain box)
+//   u64 cells_j          for j = 0..d-1     (per-dimension granularity)
+//   f64 count            × Π_j cells_j      (row-major released counts)
+//
+// The prefix-sum lattice is derived state and is rebuilt on read, which
+// reproduces it bit for bit from identical counts.
+#ifndef PRIVTREE_HIST_GRID_CODEC_H_
+#define PRIVTREE_HIST_GRID_CODEC_H_
+
+#include "core/byteio.h"
+#include "dp/status.h"
+#include "hist/grid.h"
+
+namespace privtree {
+
+/// Appends the grid's domain, granularities and counts to `out`.
+void WriteGridHistogram(ByteWriter& out, const GridHistogram& grid);
+
+/// Reads a `dim`-dimensional grid written by WriteGridHistogram and rebuilds
+/// its prefix sums.  Every malformed input (truncation, zero granularity,
+/// cell totals that overflow or exceed the payload) yields a clean error.
+Result<GridHistogram> ReadGridHistogram(ByteReader& in, std::size_t dim);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_HIST_GRID_CODEC_H_

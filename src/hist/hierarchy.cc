@@ -78,6 +78,39 @@ HierarchyHistogram::HierarchyHistogram(const PointSet& points,
   }
 }
 
+HierarchyHistogram HierarchyHistogram::Restore(
+    Box domain, std::int32_t height, std::int64_t branching,
+    std::vector<std::vector<double>> level_counts, bool consistent) {
+  PRIVTREE_CHECK_GE(height, 2);
+  PRIVTREE_CHECK_GE(branching, 2);
+  PRIVTREE_CHECK_EQ(level_counts.size(), static_cast<std::size_t>(height));
+  HierarchyHistogram hier;
+  hier.domain_ = std::move(domain);
+  hier.height_ = height;
+  hier.branching_ = branching;
+  hier.resolution_.resize(height);
+  hier.resolution_[0] = 1;
+  const std::size_t d = hier.domain_.dim();
+  for (std::int32_t l = 1; l < height; ++l) {
+    hier.resolution_[l] = hier.resolution_[l - 1] * branching;
+    std::size_t expected = 1;
+    for (std::size_t j = 0; j < d; ++j) {
+      expected *= static_cast<std::size_t>(hier.resolution_[l]);
+    }
+    PRIVTREE_CHECK_EQ(level_counts[l].size(), expected);
+  }
+  hier.counts_ = std::move(level_counts);
+  if (consistent) {
+    GridHistogram view(
+        hier.domain_,
+        std::vector<std::int64_t>(d, hier.resolution_[height - 1]));
+    view.counts() = hier.counts_[height - 1];
+    view.BuildPrefixSums();
+    hier.leaf_view_.emplace(std::move(view));
+  }
+  return hier;
+}
+
 std::size_t HierarchyHistogram::FlatIndex(
     std::int32_t level, const std::vector<std::int64_t>& cell) const {
   const std::int64_t res = resolution_[level];

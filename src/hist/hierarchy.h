@@ -42,6 +42,18 @@ class HierarchyHistogram {
   HierarchyHistogram(const PointSet& points, const Box& domain, double epsilon,
                      const HierarchyOptions& options, Rng& rng);
 
+  /// Restores a released hierarchy from its serialized parts (the v2
+  /// synopsis payload — see release/serialization.h).  `level_counts[l]`
+  /// holds the flat level-l counts for l = 1..height-1 (`level_counts[0]`
+  /// is ignored: the root count is never released); persisted counts are
+  /// already post-inference, so `consistent` only controls whether the
+  /// leaf-level prefix-sum view used by QueryBatch is rebuilt.
+  static HierarchyHistogram Restore(Box domain, std::int32_t height,
+                                    std::int64_t branching,
+                                    std::vector<std::vector<double>>
+                                        level_counts,
+                                    bool consistent);
+
   /// Estimated number of points in `q`, via greedy tree descent: fully
   /// covered nodes contribute their count, partially covered leaves
   /// contribute the uniform fraction.
@@ -63,7 +75,18 @@ class HierarchyHistogram {
   /// Total number of released (noisy) counts.
   std::size_t TotalCounts() const;
 
+  /// Released state, exposed for the synopsis codec.
+  const Box& domain() const { return domain_; }
+  std::int32_t height() const { return height_; }
+  /// Whether constrained inference ran (and the flat leaf view exists).
+  bool consistent() const { return leaf_view_.has_value(); }
+  const std::vector<std::vector<double>>& level_counts() const {
+    return counts_;
+  }
+
  private:
+  HierarchyHistogram() = default;
+
   std::size_t FlatIndex(std::int32_t level,
                         const std::vector<std::int64_t>& cell) const;
   Box CellBox(std::int32_t level,

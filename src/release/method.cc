@@ -11,4 +11,9 @@ std::vector<double> Method::QueryBatch(std::span<const Box> queries) const {
   return out;
 }
 
+Status Method::Save(std::ostream&) const {
+  return Status::InvalidArgument("method \"" + Metadata().method +
+                                 "\" does not support serialization");
+}
+
 }  // namespace privtree::release

@@ -17,12 +17,14 @@
 #define PRIVTREE_RELEASE_METHOD_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "dp/budget.h"
 #include "dp/rng.h"
+#include "dp/status.h"
 #include "spatial/box.h"
 #include "spatial/point_set.h"
 
@@ -41,6 +43,15 @@ struct MethodMetadata {
   std::size_t synopsis_size = 0;
   /// Decomposition height (tree methods and hierarchies; 0 for flat grids).
   std::int32_t height = 0;
+};
+
+/// The self-describing header of a serialized synopsis: what was released
+/// (metadata) and the exact options the method was created with, in the
+/// canonical "k1=v1,k2=v2" spelling.  See release/serialization.h for the
+/// on-disk envelope that carries it.
+struct SynopsisEnvelope {
+  MethodMetadata metadata;
+  std::string options_text;
 };
 
 /// A differentially private range-count release mechanism.
@@ -73,6 +84,15 @@ class Method {
   /// Release accounting; `epsilon_spent`/`synopsis_size` are meaningful
   /// only after Fit.
   virtual MethodMetadata Metadata() const = 0;
+
+  /// Serializes the fitted synopsis — a versioned envelope plus a
+  /// per-backend payload (see release/serialization.h for the format) — so
+  /// a later process can re-load and query it without touching the data
+  /// (pure post-processing, free under DP).  Every registry backend
+  /// implements this; the default rejects with InvalidArgument so
+  /// out-of-registry Method implementations (test stubs) keep compiling.
+  /// Requires a prior Fit; load back through release::LoadMethod.
+  virtual Status Save(std::ostream& out) const;
 
  protected:
   Method() = default;

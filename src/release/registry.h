@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "core/byteio.h"
+#include "dp/status.h"
 #include "release/method.h"
 #include "release/options.h"
 
@@ -25,6 +27,15 @@ namespace privtree::release {
 /// their options eagerly, so a typo fails at Create rather than at Fit.
 using MethodFactory =
     std::function<std::unique_ptr<Method>(const MethodOptions&)>;
+
+/// Reconstructs a fitted Method from a deserialized envelope and its
+/// payload bytes (see release/serialization.h).  The envelope's options
+/// text has been validated against the entry's allowed keys and the payload
+/// checksum verified before a loader runs; the loader must consume the
+/// payload exactly and return a method whose Metadata() reproduces the
+/// envelope's.  Corrupt payloads yield a Status error, never a crash.
+using MethodLoader = std::function<Result<std::unique_ptr<Method>>(
+    const SynopsisEnvelope& envelope, ByteReader& payload)>;
 
 /// A string-keyed collection of method factories.
 class MethodRegistry {
@@ -45,6 +56,9 @@ class MethodRegistry {
     /// enforced at Fit.
     std::size_t max_practical_dim = 0;
     MethodFactory factory;
+    /// Payload codec for LoadMethod; null means the backend's synopses
+    /// cannot be re-loaded (every built-in registers one).
+    MethodLoader loader;
   };
 
   /// Registers a backend under `name`; duplicate names abort.

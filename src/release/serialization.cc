@@ -1,0 +1,203 @@
+#include "release/serialization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "core/byteio.h"
+#include "release/builtin_methods.h"
+#include "release/options.h"
+#include "spatial/serialization.h"
+
+namespace privtree::release {
+
+namespace {
+
+constexpr std::string_view kV1Magic = "privtree-histogram v1";
+
+/// Header size: magic (8) + version (4) + body size (8) + checksum (8).
+constexpr std::size_t kHeaderBytes = 28;
+
+Status ValidateOptionsText(const MethodRegistry& registry,
+                           const std::string& method,
+                           const std::string& options_text,
+                           MethodOptions* out) {
+  std::string error;
+  if (!MethodOptions::TryParse(options_text, out, &error)) {
+    return Status::InvalidArgument("synopsis options: " + error);
+  }
+  const auto& allowed = registry.AllowedKeys(method);
+  for (const std::string& key : out->Keys()) {
+    const auto it = std::find_if(
+        allowed.begin(), allowed.end(),
+        [&](const OptionKey& k) { return k.name == key; });
+    if (it == allowed.end()) {
+      return Status::InvalidArgument("synopsis options: method \"" + method +
+                                     "\" has no option \"" + key + "\"");
+    }
+    if (!ValueParsesAs(it->type, out->GetString(key, ""))) {
+      return Status::InvalidArgument("synopsis options: bad value for \"" +
+                                     key + "\"");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteSynopsis(std::ostream& out, const MethodMetadata& metadata,
+                     std::string_view options_text,
+                     std::string_view payload) {
+  std::string body;
+  ByteWriter w(&body);
+  w.Str(metadata.method);
+  w.Str(options_text);
+  w.U64(metadata.dim);
+  w.F64(metadata.epsilon_spent);
+  w.U64(metadata.synopsis_size);
+  w.I32(metadata.height);
+  body.append(payload.data(), payload.size());
+
+  std::string header;
+  ByteWriter h(&header);
+  header.append(kSynopsisMagic.data(), kSynopsisMagic.size());
+  h.U32(kSynopsisFormatVersion);
+  h.U64(body.size());
+  h.U64(ByteChecksum(body));
+
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!out) return Status::IOError("synopsis write failure");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Method>> LoadMethod(std::istream& in,
+                                           const MethodRegistry& registry) {
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("synopsis read failure");
+
+  // Legacy v1 text files (only the spatial tree ever had them) load through
+  // the compat shim: the persisted release carries no method name or ε, so
+  // they come back as a "privtree" synopsis with epsilon_spent = 0.
+  if (data.size() >= kV1Magic.size() &&
+      std::string_view(data).substr(0, kV1Magic.size()) == kV1Magic) {
+    std::istringstream text(data);
+    auto hist = LoadSpatialHistogramText(text, "<v1 synopsis>");
+    if (!hist.ok()) return hist.status();
+    return WrapSpatialHistogram("privtree", std::move(hist).value(),
+                                /*epsilon_spent=*/0.0);
+  }
+
+  if (data.size() < kHeaderBytes ||
+      std::string_view(data).substr(0, kSynopsisMagic.size()) !=
+          kSynopsisMagic) {
+    return Status::InvalidArgument("synopsis: bad magic");
+  }
+  ByteReader header(std::string_view(data).substr(kSynopsisMagic.size()));
+  std::uint32_t version = 0;
+  std::uint64_t body_size = 0, checksum = 0;
+  header.U32(&version);
+  header.U64(&body_size);
+  header.U64(&checksum);
+  if (version != kSynopsisFormatVersion) {
+    return Status::InvalidArgument("synopsis: unsupported format version " +
+                                   std::to_string(version));
+  }
+  const std::string_view body =
+      std::string_view(data).substr(kHeaderBytes);
+  if (body_size != body.size()) {
+    return Status::InvalidArgument(
+        body_size > body.size() ? "synopsis: truncated body"
+                                : "synopsis: trailing bytes after body");
+  }
+  if (ByteChecksum(body) != checksum) {
+    return Status::InvalidArgument("synopsis: checksum mismatch");
+  }
+
+  ByteReader r(body);
+  SynopsisEnvelope envelope;
+  std::uint64_t dim = 0, synopsis_size = 0;
+  if (!r.Str(&envelope.metadata.method) || !r.Str(&envelope.options_text) ||
+      !r.U64(&dim) || !r.F64(&envelope.metadata.epsilon_spent) ||
+      !r.U64(&synopsis_size) || !r.I32(&envelope.metadata.height)) {
+    return Status::InvalidArgument("synopsis: truncated envelope");
+  }
+  if (dim == 0 || dim > 8) {
+    return Status::InvalidArgument("synopsis: bad dimensionality " +
+                                   std::to_string(dim));
+  }
+  if (!(envelope.metadata.epsilon_spent >= 0.0) ||
+      !std::isfinite(envelope.metadata.epsilon_spent)) {
+    return Status::InvalidArgument("synopsis: bad epsilon");
+  }
+  envelope.metadata.dim = dim;
+  envelope.metadata.synopsis_size = synopsis_size;
+
+  const std::string& name = envelope.metadata.method;
+  if (!registry.Contains(name)) {
+    return Status::NotFound("synopsis: unknown method \"" + name + "\"");
+  }
+  const MethodRegistry::Entry& entry = registry.Get(name);
+  if (!entry.loader) {
+    return Status::InvalidArgument("synopsis: method \"" + name +
+                                   "\" has no registered loader");
+  }
+  if (entry.required_dim != 0 && dim != entry.required_dim) {
+    return Status::InvalidArgument(
+        "synopsis: method \"" + name + "\" requires dim " +
+        std::to_string(entry.required_dim) + ", file has " +
+        std::to_string(dim));
+  }
+  MethodOptions options;
+  if (Status s = ValidateOptionsText(registry, name, envelope.options_text,
+                                     &options);
+      !s.ok()) {
+    return s;
+  }
+
+  auto loaded = entry.loader(envelope, r);
+  if (!loaded.ok()) return loaded.status();
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("synopsis: trailing payload bytes");
+  }
+
+  // Cross-check the loader's reconstruction against the envelope: a
+  // mismatch means a codec bug or a crafted file, and either way the
+  // synopsis must not be served.
+  const MethodMetadata metadata = loaded.value()->Metadata();
+  if (metadata.method != name || metadata.dim != envelope.metadata.dim ||
+      metadata.epsilon_spent != envelope.metadata.epsilon_spent ||
+      metadata.synopsis_size != envelope.metadata.synopsis_size ||
+      metadata.height != envelope.metadata.height) {
+    return Status::InvalidArgument(
+        "synopsis: loaded metadata does not match envelope");
+  }
+  return loaded;
+}
+
+Result<std::unique_ptr<Method>> LoadMethod(std::istream& in) {
+  return LoadMethod(in, GlobalMethodRegistry());
+}
+
+Status SaveMethodToFile(const Method& method, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  if (Status s = method.Save(out); !s.ok()) return s;
+  out.flush();
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Method>> LoadMethodFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadMethod(in);
+}
+
+}  // namespace privtree::release

@@ -1,0 +1,92 @@
+// The universal synopsis on-disk format: every registered release::Method
+// persists through one versioned, self-describing binary envelope, so
+// `privtree_cli build`/`query` and the SynopsisCache spill tier work for
+// all backends, not just the spatial tree.
+//
+// ── Format spec (v2) ───────────────────────────────────────────────────────
+//
+// A synopsis file is a fixed header followed by a checksummed body.  All
+// integers are little-endian; doubles are IEEE-754 binary64 bit patterns
+// (so released values round-trip bit for bit).
+//
+//   offset  size  field
+//   0       8     magic "PRIVTSYN"
+//   8       4     u32 format version (currently 2; v1 is the legacy text
+//                 format of spatial/serialization.h)
+//   12      8     u64 body size in bytes
+//   20      8     u64 body checksum (core/byteio.h ByteChecksum)
+//   28      ...   body (exactly `body size` bytes; nothing may follow)
+//
+//   body:
+//     str   method name          (u32 length + bytes; a registry name)
+//     str   options text         (canonical "k1=v1,k2=v2", sorted keys —
+//                                 exactly what the method was created with)
+//     u64   dim                  (dimensionality of the fitted domain)
+//     f64   epsilon spent        (total ε consumed by Fit)
+//     u64   synopsis size        (released nodes / cells, as Metadata())
+//     i32   height               (decomposition height, as Metadata())
+//     ...   per-backend payload  (the rest of the body)
+//
+// Per-backend payloads:
+//   privtree, simpletree   spatial tree body (spatial/serialization.h):
+//                          u64 node count, then per node in id order
+//                          {i32 parent, f64 count, f64 lo_j/hi_j × dim}
+//   kdtree                 the same body over plain boxes
+//   ug, dawa, wavelet      grid body (hist/grid_codec.h): domain box,
+//                          u64 cells per dim, f64 counts row-major
+//   ag                     i64 m1, domain box, f64 level-1 counts (m1²),
+//                          then m1² grid bodies (the level-2 sub-grids,
+//                          post-constrained-inference)
+//   hierarchy              domain box, i32 height, i64 branching,
+//                          u32 consistent flag (0/1), then per level
+//                          1..height-1 the flat f64 counts (sizes derived
+//                          from branching; post-inference)
+//
+// Loading re-derives every piece of derived state (prefix-sum lattices,
+// summed-area tables, tree depths) deterministically from the released
+// values, so a loaded synopsis answers Query/QueryBatch bit-for-bit
+// identically to the in-memory fit, and Metadata() reports identical
+// accounting.  Any corruption — truncation, bit flips, a wrong magic, an
+// unknown method, trailing bytes — surfaces as a clean Status error.
+#ifndef PRIVTREE_RELEASE_SERIALIZATION_H_
+#define PRIVTREE_RELEASE_SERIALIZATION_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "dp/status.h"
+#include "release/method.h"
+#include "release/registry.h"
+
+namespace privtree::release {
+
+inline constexpr std::string_view kSynopsisMagic = "PRIVTSYN";
+inline constexpr std::uint32_t kSynopsisFormatVersion = 2;
+
+/// Writes the envelope header + body for a fitted method; backends call
+/// this from their Save overrides with the payload they encoded.
+Status WriteSynopsis(std::ostream& out, const MethodMetadata& metadata,
+                     std::string_view options_text, std::string_view payload);
+
+/// Reads one serialized synopsis from `in` (the whole remaining stream) and
+/// reconstructs the fitted method through `registry`'s loader for the
+/// recorded method name.  v1 text files (the legacy spatial tree format)
+/// are recognized by their magic line and loaded through the compat shim as
+/// a "privtree" method with unknown (zero) ε.  Every malformed input yields
+/// a Status error, never a crash or a partial synopsis.
+Result<std::unique_ptr<Method>> LoadMethod(std::istream& in,
+                                           const MethodRegistry& registry);
+
+/// As above, against the global registry.
+Result<std::unique_ptr<Method>> LoadMethod(std::istream& in);
+
+/// File-path convenience wrappers (binary mode, whole-file).
+Status SaveMethodToFile(const Method& method, const std::string& path);
+Result<std::unique_ptr<Method>> LoadMethodFromFile(const std::string& path);
+
+}  // namespace privtree::release
+
+#endif  // PRIVTREE_RELEASE_SERIALIZATION_H_

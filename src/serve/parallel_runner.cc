@@ -131,8 +131,19 @@ ThreadPool& SharedPool() {
 }
 
 SynopsisCache& SharedSynopsisCache() {
-  static SynopsisCache* cache =
-      new SynopsisCache(EnvCount("PRIVTREE_CACHE_CAPACITY", 64));
+  static SynopsisCache* cache = [] {
+    const std::size_t capacity = EnvCount("PRIVTREE_CACHE_CAPACITY", 64);
+    // PRIVTREE_CACHE_SPILL_DIR turns on the disk tier: evicted synopses
+    // persist there (bounded by PRIVTREE_CACHE_SPILL_ENTRIES) and survive
+    // process restarts.
+    const char* spill_dir = std::getenv("PRIVTREE_CACHE_SPILL_DIR");
+    if (spill_dir == nullptr || *spill_dir == '\0') {
+      return new SynopsisCache(capacity);
+    }
+    return new SynopsisCache(
+        capacity,
+        SpillOptions{spill_dir, EnvCount("PRIVTREE_CACHE_SPILL_ENTRIES", 256)});
+  }();
   return *cache;
 }
 

@@ -4,9 +4,13 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <vector>
 
 #include "dp/check.h"
 #include "release/registry.h"
+#include "release/serialization.h"
 
 namespace privtree::serve {
 
@@ -84,22 +88,124 @@ std::string CanonicalOptionsText(std::string_view method,
   return out;
 }
 
-SynopsisCache::SynopsisCache(std::size_t capacity) : capacity_(capacity) {}
+std::string SynopsisKeyFingerprint(const SynopsisKey& key) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  hash = MixWord(hash, key.dataset_fingerprint);
+  for (const char c : key.method) {
+    hash = MixWord(hash, static_cast<unsigned char>(c));
+  }
+  hash = MixWord(hash, key.method.size());
+  for (const char c : key.options) {
+    hash = MixWord(hash, static_cast<unsigned char>(c));
+  }
+  hash = MixWord(hash, key.options.size());
+  hash = MixDouble(hash, key.epsilon);
+  hash = MixWord(hash, key.rng_fingerprint);
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016" PRIx64, hash);
+  return buffer;
+}
+
+namespace {
+
+constexpr std::string_view kSpillExtension = ".synopsis";
+
+}  // namespace
+
+SynopsisCache::SynopsisCache(std::size_t capacity)
+    : SynopsisCache(capacity, SpillOptions{}) {}
+
+SynopsisCache::SynopsisCache(std::size_t capacity, SpillOptions spill)
+    : capacity_(capacity), spill_(std::move(spill)) {
+  if (!spill_enabled()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(spill_.directory, ec);
+  // Adopt files left by an earlier run (warm restart), oldest last so they
+  // are the first trimmed.
+  std::vector<std::pair<fs::file_time_type, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(spill_.directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != kSpillExtension) continue;
+    found.emplace_back(fs::last_write_time(p, ec), p.filename().string());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (auto& [time, name] : found) {
+    spill_lru_.push_back(name);
+    spill_index_.insert(std::move(name));
+  }
+}
+
+std::string SynopsisCache::SpillPathFor(const std::string& file) const {
+  return (std::filesystem::path(spill_.directory) / file).string();
+}
+
+void SynopsisCache::TouchSpillLocked(const std::string& file) {
+  spill_lru_.remove(file);
+  spill_lru_.push_front(file);
+}
 
 void SynopsisCache::InsertLocked(
-    const SynopsisKey& key, std::shared_ptr<const release::Method> value) {
+    const SynopsisKey& key, std::shared_ptr<const release::Method> value,
+    std::vector<Evicted>* evicted) {
   lru_.emplace_front(key, std::move(value));
   index_[key] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
+    if (spill_enabled()) evicted->push_back(std::move(lru_.back()));
     lru_.pop_back();
     ++stats_.evictions;
+  }
+}
+
+void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
+  namespace fs = std::filesystem;
+  for (const auto& [key, method] : evicted) {
+    const std::string file =
+        SynopsisKeyFingerprint(key) + std::string(kSpillExtension);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      // A synopsis is immutable, so a file written for an earlier eviction
+      // of the same key is still valid — skip the rewrite, but refresh its
+      // LRU position: this key was hot enough to re-enter memory.
+      if (spill_index_.contains(file)) {
+        TouchSpillLocked(file);
+        continue;
+      }
+    }
+    // Write to a temp name and rename so a crash mid-write never leaves a
+    // torn file for a warm restart (or a shared spill dir) to adopt.
+    const std::string path = SpillPathFor(file);
+    const std::string tmp_path = path + ".tmp";
+    const Status saved = release::SaveMethodToFile(*method, tmp_path);
+    std::error_code ec;
+    if (saved.ok()) fs::rename(tmp_path, path, ec);
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!saved.ok() || ec) {
+      ++stats_.spill_failures;  // E.g. a non-serializable test stub.
+      std::error_code cleanup_ec;
+      fs::remove(tmp_path, cleanup_ec);
+      continue;
+    }
+    ++stats_.spill_writes;
+    if (spill_index_.insert(file).second) spill_lru_.push_front(file);
+    while (spill_.max_entries > 0 && spill_lru_.size() > spill_.max_entries) {
+      std::error_code remove_ec;
+      fs::remove(SpillPathFor(spill_lru_.back()), remove_ec);
+      spill_index_.erase(spill_lru_.back());
+      spill_lru_.pop_back();
+      ++stats_.spill_evictions;
+    }
   }
 }
 
 std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
     const SynopsisKey& key, const FitFn& fit) {
   std::unique_lock<std::mutex> lk(mu_);
+  std::string spill_file;
   for (;;) {
     if (const auto it = index_.find(key); it != index_.end()) {
       ++stats_.hits;
@@ -107,22 +213,58 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
       return it->second->second;
     }
     if (!inflight_.contains(key)) break;
-    // Another thread is fitting this key; wait for it rather than fitting
-    // the same synopsis twice.
+    // Another thread is fitting (or rehydrating) this key; wait for it
+    // rather than duplicating the work.
     inflight_cv_.wait(lk);
   }
   ++stats_.misses;
   inflight_.insert(key);
+  if (spill_enabled()) {
+    const std::string file =
+        SynopsisKeyFingerprint(key) + std::string(kSpillExtension);
+    if (spill_index_.contains(file)) spill_file = file;
+  }
   lk.unlock();
 
-  std::shared_ptr<const release::Method> fitted = fit();
-  PRIVTREE_CHECK(fitted != nullptr);
+  // Rehydrate from the spill tier if this key was evicted to disk; fall
+  // back to a fresh fit when the file is missing or corrupt.
+  std::shared_ptr<const release::Method> value;
+  bool from_spill = false;
+  bool spill_broken = false;
+  if (!spill_file.empty()) {
+    auto loaded = release::LoadMethodFromFile(SpillPathFor(spill_file));
+    if (loaded.ok()) {
+      value = std::move(loaded).value();
+      from_spill = true;
+    } else {
+      spill_broken = true;
+    }
+  }
+  if (value == nullptr) {
+    value = fit();
+    PRIVTREE_CHECK(value != nullptr);
+  }
 
+  std::vector<Evicted> evicted;
   lk.lock();
   inflight_.erase(key);
-  if (capacity_ > 0) InsertLocked(key, fitted);
+  if (from_spill) {
+    ++stats_.spill_hits;
+    TouchSpillLocked(spill_file);
+  } else if (spill_broken) {
+    ++stats_.spill_failures;
+    if (spill_index_.erase(spill_file) > 0) {
+      spill_lru_.remove(spill_file);
+      std::error_code ec;
+      std::filesystem::remove(SpillPathFor(spill_file), ec);
+    }
+  }
+  if (capacity_ > 0) InsertLocked(key, value, &evicted);
   inflight_cv_.notify_all();
-  return fitted;
+  lk.unlock();
+
+  if (!evicted.empty()) SpillEvicted(evicted);
+  return value;
 }
 
 std::shared_ptr<const release::Method> SynopsisCache::Lookup(
@@ -139,6 +281,11 @@ std::size_t SynopsisCache::size() const {
   return lru_.size();
 }
 
+std::size_t SynopsisCache::SpillFileCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spill_index_.size();
+}
+
 SynopsisCache::Stats SynopsisCache::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
@@ -148,6 +295,12 @@ void SynopsisCache::Clear() {
   std::lock_guard<std::mutex> lk(mu_);
   lru_.clear();
   index_.clear();
+  for (const std::string& file : spill_lru_) {
+    std::error_code ec;
+    std::filesystem::remove(SpillPathFor(file), ec);
+  }
+  spill_lru_.clear();
+  spill_index_.clear();
 }
 
 }  // namespace privtree::serve

@@ -15,6 +15,17 @@
 // of the same key wait for the single fit instead of duplicating it (the
 // same memoization discipline I/O-co-designed systems use to keep one
 // read-ahead per block).
+//
+// Disk spill: with SpillOptions, entries evicted from the in-memory LRU are
+// serialized to `<directory>/<key fingerprint>.synopsis` through the
+// universal release::Method envelope (release/serialization.h), and a later
+// miss on the same key rehydrates from that file instead of re-fitting —
+// the load shares the single-flight discipline with fits, so concurrent
+// callers trigger one disk read.  The spill tier is itself capacity-bounded
+// (oldest file evicted first) and survives process restarts: a fresh cache
+// pointed at the same directory serves previous spills as warm hits.  A
+// file that fails to load (corruption, version drift) is deleted and the
+// synopsis silently re-fitted.
 #ifndef PRIVTREE_SERVE_SYNOPSIS_CACHE_H_
 #define PRIVTREE_SERVE_SYNOPSIS_CACHE_H_
 
@@ -30,6 +41,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "release/method.h"
 #include "release/options.h"
@@ -62,13 +74,28 @@ std::uint64_t DatasetFingerprint(const PointSet& points, const Box& domain);
 std::string CanonicalOptionsText(std::string_view method,
                                  const release::MethodOptions& options);
 
-/// A thread-safe LRU cache of fitted methods.
+/// Filesystem-safe 16-hex-digit digest of a key, naming its spill file.
+std::string SynopsisKeyFingerprint(const SynopsisKey& key);
+
+/// Configuration of the disk-spill tier.
+struct SpillOptions {
+  /// Spill directory; created on construction.  Empty disables spilling.
+  std::string directory;
+  /// Max synopsis files kept on disk (oldest evicted first); 0 = unbounded.
+  std::size_t max_entries = 256;
+};
+
+/// A thread-safe LRU cache of fitted methods with an optional disk tier.
 class SynopsisCache {
  public:
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t evictions = 0;
+    std::size_t spill_writes = 0;     ///< Evictions serialized to disk.
+    std::size_t spill_hits = 0;       ///< Misses served by rehydration.
+    std::size_t spill_evictions = 0;  ///< Spill files deleted for capacity.
+    std::size_t spill_failures = 0;   ///< Unserializable or corrupt spills.
   };
 
   /// Builds the fitted method for a missing key; must not return null.
@@ -77,6 +104,11 @@ class SynopsisCache {
   /// Keeps at most `capacity` synopses (0 disables retention: every call
   /// fits, nothing is stored).
   explicit SynopsisCache(std::size_t capacity);
+
+  /// As above, with evictions spilling to `spill.directory`.  Spill files
+  /// already in the directory (from an earlier run or cache) are adopted,
+  /// oldest-first.
+  SynopsisCache(std::size_t capacity, SpillOptions spill);
 
   /// Returns the cached synopsis for `key`, fitting (and caching) it via
   /// `fit` on a miss.  Concurrent calls for the same key fit once.
@@ -88,24 +120,47 @@ class SynopsisCache {
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  bool spill_enabled() const { return !spill_.directory.empty(); }
+  /// Number of synopsis files currently tracked in the spill directory.
+  std::size_t SpillFileCount() const;
   Stats stats() const;
+  /// Drops every cached synopsis, including the spill files on disk.
   void Clear();
 
  private:
   using LruList =
       std::list<std::pair<SynopsisKey, std::shared_ptr<const release::Method>>>;
+  using Evicted =
+      std::pair<SynopsisKey, std::shared_ptr<const release::Method>>;
 
-  /// Inserts (key, value) at the front, evicting from the back; caller
-  /// holds mu_.
+  /// Inserts (key, value) at the front, evicting from the back into
+  /// `*evicted` for the caller to spill after unlocking; caller holds mu_.
   void InsertLocked(const SynopsisKey& key,
-                    std::shared_ptr<const release::Method> value);
+                    std::shared_ptr<const release::Method> value,
+                    std::vector<Evicted>* evicted);
+
+  /// Serializes evicted entries to the spill directory (temp-file + rename,
+  /// no lock held during the write), then registers the files and trims the
+  /// spill tier to capacity, oldest-or-coldest file first.
+  void SpillEvicted(const std::vector<Evicted>& evicted);
+
+  /// Full path of a spill file name (fingerprint + extension).
+  std::string SpillPathFor(const std::string& file) const;
+
+  /// Moves `file` to the front of the spill LRU; caller holds mu_.
+  void TouchSpillLocked(const std::string& file);
 
   const std::size_t capacity_;
+  const SpillOptions spill_;
   mutable std::mutex mu_;
   std::condition_variable inflight_cv_;
   LruList lru_;  // Front = most recently used.
   std::map<SynopsisKey, LruList::iterator> index_;
   std::set<SynopsisKey> inflight_;
+  /// Spill-file names (fingerprint + extension), front = most recent; the
+  /// set mirrors the list for O(log n) membership.
+  std::list<std::string> spill_lru_;
+  std::set<std::string> spill_index_;
   Stats stats_;
 };
 

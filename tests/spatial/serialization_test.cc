@@ -103,5 +103,44 @@ TEST_F(SerializationTest, SaveEmptyHistogramIsRejected) {
   EXPECT_FALSE(SaveSpatialHistogram(path_, empty).ok());
 }
 
+TEST_F(SerializationTest, V1TextFormatIsPinnedForever) {
+  // The v1 layout is frozen: files written by old builds must keep loading
+  // even though new synopses are written in the v2 binary envelope.  This
+  // literal file IS the format — do not regenerate it from code.
+  std::ofstream(path_) << "privtree-histogram v1\n"
+                          "dim 2\n"
+                          "nodes 3\n"
+                          "-1 10.5 0 1 0 1\n"
+                          "0 4.25 0 0.5 0 1\n"
+                          "0 6.25 0.5 1 0 1\n";
+  const auto loaded = LoadSpatialHistogram(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().tree.size(), 3u);
+  EXPECT_EQ(loaded.value().count[0], 10.5);
+  EXPECT_EQ(loaded.value().count[1], 4.25);
+  EXPECT_EQ(loaded.value().count[2], 6.25);
+  EXPECT_EQ(loaded.value().tree.node(1).parent, 0);
+  EXPECT_EQ(loaded.value().tree.node(1).domain.box,
+            Box({0.0, 0.0}, {0.5, 1.0}));
+  // Full-domain query serves the released root count.
+  EXPECT_DOUBLE_EQ(loaded.value().Query(Box({0.0, 0.0}, {1.0, 1.0})), 10.5);
+}
+
+TEST_F(SerializationTest, SaveStillWritesTheV1Header) {
+  Rng rng(4);
+  const PointSet points = MakePoints(500, rng);
+  const auto hist =
+      BuildPrivTreeHistogram(points, Box::UnitCube(2), 1.0, {}, rng);
+  ASSERT_TRUE(SaveSpatialHistogram(path_, hist).ok());
+  std::ifstream in(path_);
+  std::string magic, dim_keyword;
+  ASSERT_TRUE(std::getline(in, magic));
+  EXPECT_EQ(magic, "privtree-histogram v1");
+  std::size_t dim = 0;
+  ASSERT_TRUE(in >> dim_keyword >> dim);
+  EXPECT_EQ(dim_keyword, "dim");
+  EXPECT_EQ(dim, 2u);
+}
+
 }  // namespace
 }  // namespace privtree
