@@ -12,17 +12,28 @@
 // thread count (each job carries its own pre-forked Rng).
 //
 //   bench_table4_runtime [--threads=N] [--json=PATH] [--datasets=a,b,...]
-//                        [--queries=N]
+//                        [--queries=N] [--clients=N]
+//
+// The serving phase of the registry sweep runs through the *real* serving
+// path — a server::AsyncEngine (request queue + admission control +
+// completion futures) over the pool and the shared synopsis cache — so the
+// --threads numbers measure what a privtree_server process would deliver.
+// --clients=N drives a closed-loop load test per method: N client threads
+// each submit query batches back to back (next request only after the
+// previous response), reported as aggregate queries/second.
 //
 // --json writes machine-readable per-method wall-clock (fit seconds,
-// aggregate fit throughput, batch vs per-query serving time) so successive
-// PRs can track a BENCH_*.json trajectory.
+// aggregate fit throughput, batch vs per-query serving time, async engine
+// serving time and closed-loop throughput) so successive PRs can track a
+// BENCH_*.json trajectory.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -32,6 +43,8 @@
 #include "seq/pst_privtree.h"
 #include "serve/parallel_runner.h"
 #include "serve/thread_pool.h"
+#include "server/async_engine.h"
+#include "server/request.h"
 
 namespace privtree {
 namespace bench {
@@ -62,6 +75,11 @@ struct MethodPerf {
   std::size_t query_count = 0;
   double batch_query_seconds = 0.0;  // One QueryBatch over the workload.
   double loop_query_seconds = 0.0;   // The same workload, one Query at a time.
+  // The serving path itself: the workload submitted through the
+  // AsyncEngine (queue + admission + future), and a closed loop of
+  // `clients` concurrent clients (aggregate answered queries / second).
+  double async_batch_seconds = 0.0;
+  double closed_loop_qps = 0.0;
 };
 
 DatasetPerf RunSpatial(serve::ThreadPool& pool, const std::string& name) {
@@ -161,11 +179,16 @@ DatasetPerf RunSequence(serve::ThreadPool& pool, const std::string& name) {
 /// answers the same workload one Query at a time.
 std::vector<MethodPerf> RunRegistrySweep(serve::ThreadPool& pool,
                                          const std::string& dataset,
-                                         std::size_t query_count) {
+                                         std::size_t query_count,
+                                         std::size_t clients) {
   const SpatialCase data = MakeSpatialCase(dataset, /*queries_per_band=*/0);
   const std::size_t reps = Repetitions(3);
   const double epsilon = 1.0;
   const serve::ParallelRunner runner(pool, &serve::SharedSynopsisCache());
+  // The serving measurements run through the real serving path: an
+  // AsyncEngine over the same pool and cache a privtree_server would use.
+  server::AsyncEngine engine(data.points, data.domain, pool,
+                             serve::SharedSynopsisCache());
 
   Rng workload_rng(0xBA7C4);
   std::vector<Box> queries;
@@ -210,13 +233,55 @@ std::vector<MethodPerf> RunRegistrySweep(serve::ThreadPool& pool,
       std::fprintf(stderr, "(workload sum exactly zero on %s)\n",
                    spec.name.c_str());
     }
+
+    // The same workload through the AsyncEngine.  The spec's seed recreates
+    // the first rep's randomness (Rng(seed).Fork() — the ReleaseSession
+    // derivation), so the engine serves the already-cached synopsis and the
+    // measurement isolates the queue + dispatch + query cost.
+    const server::FitSpec fit_spec{
+        spec.name, spec.options, epsilon,
+        0x7E59 ^ std::hash<std::string>{}(spec.name)};
+    perf.async_batch_seconds = Seconds([&] {
+      const auto response = engine.SubmitQueryBatch(fit_spec, queries).Get();
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "error: async serving %s: %s\n",
+                     spec.name.c_str(),
+                     response.status.ToString().c_str());
+      }
+    });
+
+    // Closed loop: `clients` concurrent clients, each submitting the
+    // workload `rounds` times back to back.
+    const std::size_t rounds = 3;
+    std::size_t answered = 0;
+    const double closed_loop_seconds = Seconds([&] {
+      std::vector<std::thread> threads;
+      std::atomic<std::size_t> total{0};
+      for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+          std::size_t mine = 0;
+          for (std::size_t r = 0; r < rounds; ++r) {
+            const auto response =
+                engine.SubmitQueryBatch(fit_spec, queries).Get();
+            if (response.status.ok()) mine += response.answers.size();
+          }
+          total.fetch_add(mine, std::memory_order_relaxed);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      answered = total.load();
+    });
+    perf.closed_loop_qps = closed_loop_seconds > 0.0
+                               ? static_cast<double>(answered) /
+                                     closed_loop_seconds
+                               : 0.0;
     out.push_back(perf);
   }
   return out;
 }
 
 void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
-               const std::vector<DatasetPerf>& datasets,
+               std::size_t clients, const std::vector<DatasetPerf>& datasets,
                const std::string& sweep_dataset,
                const std::vector<MethodPerf>& methods) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -225,6 +290,7 @@ void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
     return;
   }
   std::fprintf(f, "{\n  \"threads\": %zu,\n  \"reps\": %zu,\n", threads, reps);
+  std::fprintf(f, "  \"clients\": %zu,\n", clients);
   std::fprintf(f, "  \"paper_scale\": %s,\n", PaperScale() ? "true" : "false");
   std::fprintf(f, "  \"table4\": [\n");
   for (std::size_t i = 0; i < datasets.size(); ++i) {
@@ -261,9 +327,11 @@ void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
         f,
         "    {\"method\": \"%s\", \"fit_seconds_mean\": %.6g, "
         "\"synopsis_size_mean\": %.6g, \"queries\": %zu, "
-        "\"batch_query_seconds\": %.6g, \"loop_query_seconds\": %.6g}%s\n",
+        "\"batch_query_seconds\": %.6g, \"loop_query_seconds\": %.6g, "
+        "\"async_batch_seconds\": %.6g, \"closed_loop_qps\": %.6g}%s\n",
         m.method.c_str(), m.fit_seconds_mean, m.synopsis_size_mean,
         m.query_count, m.batch_query_seconds, m.loop_query_seconds,
+        m.async_batch_seconds, m.closed_loop_qps,
         i + 1 < methods.size() ? "," : "");
   }
   std::fprintf(f, "  ]}\n}\n");
@@ -286,11 +354,16 @@ int main(int argc, char** argv) {
   std::vector<std::string> datasets = {"road", "gowalla", "nyc",
                                        "beijing", "mooc", "msnbc"};
   std::size_t query_count = privtree::PaperScale() ? 10000 : 2000;
+  std::size_t clients = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<std::size_t>(
           std::atol(arg.c_str() + std::strlen("--threads=")));
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      clients = static_cast<std::size_t>(
+          std::atol(arg.c_str() + std::strlen("--clients=")));
+      if (clients == 0) clients = 1;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--json="));
     } else if (arg.rfind("--queries=", 0) == 0) {
@@ -308,7 +381,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--threads=N] [--json=PATH] "
-                   "[--datasets=a,b,...] [--queries=N]\n",
+                   "[--datasets=a,b,...] [--queries=N] [--clients=N]\n",
                    argv[0]);
       return 2;
     }
@@ -356,25 +429,29 @@ int main(int argc, char** argv) {
 
   std::vector<MethodPerf> methods;
   if (!sweep_dataset.empty()) {
-    methods =
-        privtree::bench::RunRegistrySweep(pool, sweep_dataset, query_count);
+    methods = privtree::bench::RunRegistrySweep(pool, sweep_dataset,
+                                                query_count, clients);
     TablePrinter sweep_table(
         "Companion: registry sweep on " + sweep_dataset +
             " (eps=1): fit + serving a " + std::to_string(query_count) +
-            "-query workload",
-        "method", {"fit s", "synopsis", "batch q s", "loop q s"});
+            "-query workload (async columns via AsyncEngine, " +
+            std::to_string(clients) + " closed-loop client" +
+            (clients == 1 ? "" : "s") + ")",
+        "method",
+        {"fit s", "synopsis", "batch q s", "loop q s", "async q s", "qps"});
     for (const MethodPerf& m : methods) {
       sweep_table.AddRow(m.method,
                          {m.fit_seconds_mean, m.synopsis_size_mean,
-                          m.batch_query_seconds, m.loop_query_seconds});
+                          m.batch_query_seconds, m.loop_query_seconds,
+                          m.async_batch_seconds, m.closed_loop_qps});
     }
     sweep_table.Print();
   }
 
   if (!json_path.empty()) {
     privtree::bench::WriteJson(json_path, pool.worker_count(),
-                               privtree::Repetitions(3), perfs, sweep_dataset,
-                               methods);
+                               privtree::Repetitions(3), clients, perfs,
+                               sweep_dataset, methods);
   }
   return 0;
 }

@@ -7,6 +7,10 @@
 //   privtree_cli build <points.csv> <dim> <epsilon> <synopsis.out>
 //                    [--method=<name>] [--options=k=v,...]
 //   privtree_cli query <synopsis.out>           (query boxes on stdin)
+//   privtree_cli query --connect=<host:port> <epsilon> [--method=<name>]
+//                    [--options=k=v,...] [--deadline-ms=N]
+//                    (query boxes on stdin)
+//   privtree_cli shutdown --connect=<host:port>
 //
 // `list` prints every method in the release registry.  `run` fits any
 // registered method through the serving layer — a serve::ParallelRunner
@@ -20,6 +24,12 @@
 // synopsis is pure post-processing, free under DP).  `build` and `run` fit
 // with the same deterministic seed, so the on-disk answers match an
 // in-memory `run` bit for bit.  Legacy v1 text files still load.
+//
+// `query --connect` answers through a running privtree_server instead: the
+// boxes travel over the serving protocol (src/server/protocol.h) and the
+// fit happens server-side with the same seed `run` uses, so remote answers
+// diff clean against local ones (the CI smoke relies on this).  `shutdown
+// --connect` asks that server to exit cleanly.
 //
 // Query lines are "lo_1 hi_1 ... lo_d hi_d"; the answer is printed per
 // line.
@@ -39,6 +49,8 @@
 #include "release/serialization.h"
 #include "serve/parallel_runner.h"
 #include "serve/thread_pool.h"
+#include "server/client.h"
+#include "server/request.h"
 
 namespace {
 
@@ -51,8 +63,11 @@ int Usage(const char* argv0) {
       "[--options=k=v,...] [--threads=N]\n"
       "  %s build <points.csv> <dim> <epsilon> <synopsis.out> "
       "[--method=<name>] [--options=k=v,...]\n"
-      "  %s query <synopsis.out>   (query boxes on stdin)\n",
-      argv0, argv0, argv0, argv0);
+      "  %s query <synopsis.out>   (query boxes on stdin)\n"
+      "  %s query --connect=<host:port> <epsilon> [--method=<name>] "
+      "[--options=k=v,...] [--deadline-ms=N]\n"
+      "  %s shutdown --connect=<host:port>\n",
+      argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -61,21 +76,14 @@ struct CliFlags {
   std::string method = "privtree";
   privtree::release::MethodOptions options;
   std::size_t threads = privtree::serve::DefaultThreadCount();
+  std::int64_t deadline_ms = 0;  ///< Remote-request deadline; 0 = none.
 };
-
-const char* TypeName(privtree::release::OptionType type) {
-  switch (type) {
-    case privtree::release::OptionType::kDouble: return "number";
-    case privtree::release::OptionType::kInt: return "integer";
-    case privtree::release::OptionType::kBool: return "boolean";
-  }
-  return "value";
-}
 
 /// Parses trailing --method=/--options= flags; returns false (after a
 /// diagnostic) on an unknown flag, unregistered method name, malformed
-/// options text, an option key the method does not accept, a non-numeric
-/// option value, or a method that cannot fit `dim`-dimensional data.
+/// options text, an option key the method does not accept, a value that
+/// fails the key's type or declared range, or a method that cannot fit
+/// `dim`-dimensional data.
 bool ParseFlags(int argc, char** argv, int first_flag, std::size_t dim,
                 CliFlags* flags) {
   for (int i = first_flag; i < argc; ++i) {
@@ -89,6 +97,14 @@ bool ParseFlags(int argc, char** argv, int first_flag, std::size_t dim,
         return false;
       }
       flags->threads = static_cast<std::size_t>(parsed);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      flags->deadline_ms = std::atol(arg.c_str() +
+                                     std::strlen("--deadline-ms="));
+      if (flags->deadline_ms < 0) {
+        std::fprintf(stderr, "error: --deadline-ms needs a non-negative "
+                             "integer\n");
+        return false;
+      }
     } else if (arg.rfind("--options=", 0) == 0) {
       std::string error;
       if (!privtree::release::MethodOptions::TryParse(
@@ -135,10 +151,8 @@ bool ParseFlags(int argc, char** argv, int first_flag, std::size_t dim,
       return false;
     }
     const std::string value = flags->options.GetString(key, "");
-    if (!privtree::release::ValueParsesAs(it->type, value)) {
-      std::fprintf(stderr,
-                   "error: option \"%s\" needs a %s value (got \"%s\")\n",
-                   key.c_str(), TypeName(it->type), value.c_str());
+    if (auto s = privtree::release::CheckOptionValue(*it, value); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
       return false;
     }
   }
@@ -290,7 +304,101 @@ int RunBuild(int argc, char** argv) {
   return 0;
 }
 
+/// Splits "--connect=host:port"; false (after a diagnostic) when malformed.
+bool ParseConnect(const std::string& arg, std::string* host,
+                  std::uint16_t* port) {
+  const std::string value = arg.substr(std::strlen("--connect="));
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == value.size()) {
+    std::fprintf(stderr, "error: --connect needs host:port (got \"%s\")\n",
+                 value.c_str());
+    return false;
+  }
+  const long parsed = std::atol(value.c_str() + colon + 1);
+  if (parsed <= 0 || parsed > 65535) {
+    std::fprintf(stderr, "error: --connect port out of range\n");
+    return false;
+  }
+  *host = value.substr(0, colon);
+  *port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+/// `query --connect=<host:port> <epsilon> [--method=...]`: fit + query
+/// through a running privtree_server.  The fit seed is the one `run` and
+/// `build` use (0xC11), so the remote answers diff clean against local
+/// execution on the same data.
+int RunRemoteQuery(int argc, char** argv) {
+  if (argc < 4) return Usage(argv[0]);
+  std::string host;
+  std::uint16_t port = 0;
+  if (!ParseConnect(argv[2], &host, &port)) return 2;
+  const double epsilon = std::atof(argv[3]);
+  if (epsilon <= 0.0) return Usage(argv[0]);
+
+  auto connected = privtree::server::Client::Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  privtree::server::Client client = std::move(connected).value();
+  const auto dim = static_cast<std::size_t>(client.info().dim);
+  CliFlags flags;
+  if (!ParseFlags(argc, argv, 4, dim, &flags)) return 2;
+
+  const privtree::server::FitSpec spec{flags.method, flags.options, epsilon,
+                                       /*seed=*/0xC11};
+  const auto fitted = client.Fit(spec, flags.deadline_ms);
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "error: %s\n", fitted.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "fitted %s on %s:%u: synopsis size %zu, epsilon %.4g%s\n",
+               fitted.value().metadata.method.c_str(), host.c_str(), port,
+               fitted.value().metadata.synopsis_size,
+               fitted.value().metadata.epsilon_spent,
+               fitted.value().cache_hit ? " (cache hit)" : "");
+
+  const std::vector<privtree::Box> queries = ReadQueryBoxes(dim);
+  const auto answers = client.QueryBatch(spec, queries, flags.deadline_ms);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "error: %s\n", answers.status().ToString().c_str());
+    return 1;
+  }
+  for (const double answer : answers.value()) {
+    std::printf("%.2f\n", answer);
+  }
+  return 0;
+}
+
+int RunShutdown(int argc, char** argv) {
+  if (argc != 3 || std::strncmp(argv[2], "--connect=", 10) != 0) {
+    return Usage(argv[0]);
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!ParseConnect(argv[2], &host, &port)) return 2;
+  auto connected = privtree::server::Client::Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  if (privtree::Status s = connected.value().Shutdown(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "asked %s:%u to shut down\n", host.c_str(), port);
+  return 0;
+}
+
 int RunQuery(int argc, char** argv) {
+  if (argc >= 3 && std::strncmp(argv[2], "--connect=", 10) == 0) {
+    return RunRemoteQuery(argc, argv);
+  }
   if (argc != 3) return Usage(argv[0]);
   auto method = privtree::release::LoadMethodFromFile(argv[2]);
   if (!method.ok()) {
@@ -318,5 +426,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "run") == 0) return RunRun(argc, argv);
   if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
+  if (std::strcmp(argv[1], "shutdown") == 0) return RunShutdown(argc, argv);
   return Usage(argv[0]);
 }

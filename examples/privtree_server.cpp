@@ -1,0 +1,148 @@
+// privtree_server — serve DP synopses of one dataset over a socket.
+//
+//   privtree_server <points.csv> <dim> [--port=N] [--threads=N]
+//                   [--cache=N] [--max-queue=N] [--max-pending-spills=N]
+//                   [--spill-dir=PATH]
+//
+// Loads the CSV once (domain: the unit cube — rescale your data; a
+// data-derived bounding box would leak), then serves concurrent fit,
+// query-batch, warm and stats requests over the length-prefixed binary
+// protocol (src/server/protocol.h) on 127.0.0.1:--port (default 7311;
+// 0 picks an ephemeral port).  Requests execute on an AsyncEngine over a
+// --threads pool and a --cache-synopsis SynopsisCache, so every client
+// shares one cache and one admission controller; answers equal in-process
+// ReleaseSession answers for the same seed, bit for bit.  The process runs
+// until a client sends Shutdown (`privtree_cli shutdown --connect=...`) or
+// it is signalled.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "data/csv.h"
+#include "serve/parallel_runner.h"
+#include "serve/synopsis_cache.h"
+#include "serve/thread_pool.h"
+#include "server/async_engine.h"
+#include "server/server_loop.h"
+#include "server/socket.h"
+#include "spatial/box.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <points.csv> <dim> [--port=N] [--threads=N] "
+               "[--cache=N] [--max-queue=N] [--max-pending-spills=N] "
+               "[--spill-dir=PATH]\n",
+               argv0);
+  return 2;
+}
+
+struct ServerFlags {
+  std::uint16_t port = 7311;
+  std::size_t threads = privtree::serve::DefaultThreadCount();
+  std::size_t cache_capacity = 64;
+  std::size_t max_queue = 256;
+  std::size_t max_pending_spills = 128;
+  std::string spill_dir;
+};
+
+bool ParseSizeFlag(const std::string& arg, const char* name,
+                   std::size_t* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const long parsed = std::atol(arg.c_str() + prefix.size());
+  if (parsed < 0) {
+    std::fprintf(stderr, "error: %s needs a non-negative integer\n", name);
+    std::exit(2);
+  }
+  *out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  const auto dim = static_cast<std::size_t>(std::atol(argv[2]));
+  if (dim == 0 || dim > 8) return Usage(argv[0]);
+
+  ServerFlags flags;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::size_t port_value = 0;
+    if (ParseSizeFlag(arg, "--port", &port_value)) {
+      if (port_value > 65535) {
+        std::fprintf(stderr, "error: --port out of range\n");
+        return 2;
+      }
+      flags.port = static_cast<std::uint16_t>(port_value);
+    } else if (ParseSizeFlag(arg, "--threads", &flags.threads) ||
+               ParseSizeFlag(arg, "--cache", &flags.cache_capacity) ||
+               ParseSizeFlag(arg, "--max-queue", &flags.max_queue) ||
+               ParseSizeFlag(arg, "--max-pending-spills",
+                             &flags.max_pending_spills)) {
+    } else if (arg.rfind("--spill-dir=", 0) == 0) {
+      flags.spill_dir = arg.substr(std::strlen("--spill-dir="));
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto points = privtree::LoadPointsCsv(argv[1], dim);
+  if (!points.ok()) {
+    std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
+    return 1;
+  }
+  if (points.value().empty()) {
+    std::fprintf(stderr, "error: %s is empty\n", argv[1]);
+    return 1;
+  }
+
+  privtree::serve::SetDefaultThreadCount(flags.threads);
+  privtree::serve::ThreadPool pool(flags.threads);
+  auto cache =
+      flags.spill_dir.empty()
+          ? std::make_unique<privtree::serve::SynopsisCache>(
+                flags.cache_capacity)
+          : std::make_unique<privtree::serve::SynopsisCache>(
+                flags.cache_capacity,
+                privtree::serve::SpillOptions{flags.spill_dir, 256});
+
+  privtree::server::EngineOptions options;
+  options.admission.max_queue_depth = flags.max_queue;
+  options.admission.max_pending_spills = flags.max_pending_spills;
+  privtree::server::AsyncEngine engine(points.value(),
+                                       privtree::Box::UnitCube(dim), pool,
+                                       *cache, options);
+
+  auto listener = privtree::server::ListenSocket::Listen(flags.port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  privtree::server::ServerLoop loop(engine, std::move(listener).value());
+  std::fprintf(stderr,
+               "privtree_server listening on 127.0.0.1:%u "
+               "(%zu points, dim %zu, %zu worker%s, cache %zu)\n",
+               loop.port(), points.value().size(), dim, pool.worker_count(),
+               pool.worker_count() == 1 ? "" : "s", flags.cache_capacity);
+  std::fflush(stderr);
+  const privtree::Status served = loop.Run();
+  if (!served.ok()) {
+    std::fprintf(stderr, "error: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  const auto stats = engine.Stats();
+  std::fprintf(stderr,
+               "privtree_server stopped: %zu admitted, %zu shed "
+               "(queue), %zu shed (cache), %zu expired, %zu coalesced\n",
+               stats.admission.admitted, stats.admission.shed_queue_full,
+               stats.admission.shed_cache_saturated, stats.admission.expired,
+               stats.admission.coalesced_fits);
+  return 0;
+}

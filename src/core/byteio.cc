@@ -93,7 +93,9 @@ bool ByteReader::F64(double* v) {
 }
 
 bool ByteReader::F64Vec(std::size_t n, std::vector<double>* out) {
-  if (failed_ || remaining() < 8 * n) {
+  // Divide instead of multiplying: 8·n wraps for attacker-huge n, and the
+  // promise is to fail without allocating.
+  if (failed_ || n > remaining() / 8) {
     failed_ = true;
     return false;
   }

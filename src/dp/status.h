@@ -22,6 +22,8 @@ enum class StatusCode {
   kIOError,
   kOutOfRange,
   kInternal,
+  kUnavailable,        ///< Transient overload; retrying later may succeed.
+  kDeadlineExceeded,   ///< The request's deadline passed before execution.
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -48,6 +50,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "release/builtin_methods.h"
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -650,21 +651,30 @@ SimpleTreeHistogramOptions ParseSimpleTreeHistogramOptions(
 
 void RegisterBuiltinMethods(MethodRegistry& registry) {
   using enum OptionType;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // The per-key ranges mirror the contract checks the fitters enforce
+  // (fractions in (0,1), heights/branchings with hard minima) plus sanity
+  // caps on size-driving knobs, so user-facing surfaces can reject an
+  // out-of-range value with a clean error before an aborting
+  // PRIVTREE_CHECK — a requirement once specs arrive over a socket.
   registry.Register(
       "privtree",
       {.description = "PrivTree decomposition + noisy leaf counts (Sec. 3.4)",
        .display = "PrivTree",
-       .allowed_keys = {{"dims_per_split", kInt},
-                        {"tree_budget_fraction", kDouble},
-                        {"max_depth", kInt}},
+       // dims_per_split <= 0 means "use the default"; the upper bound is
+       // the global dimensionality cap (ValidateSpec additionally checks
+       // it against the served dataset's dim).
+       .allowed_keys = {{"dims_per_split", kInt, 0, 8},
+                        {"tree_budget_fraction", kDouble, 0, 1, true},
+                        {"max_depth", kInt, 1, 4096}},
        .factory = FactoryFor<PrivTreeMethod>(),
        .loader = SpatialTreeLoaderFor<PrivTreeMethod>()});
   registry.Register(
       "simpletree",
       {.description = "fixed-height noisy quadtree baseline (Algorithm 1)",
        .display = "SimpleTree",
-       .allowed_keys = {{"dims_per_split", kInt},
-                        {"height", kInt},
+       .allowed_keys = {{"dims_per_split", kInt, 0, 8},
+                        {"height", kInt, 1, 64},
                         {"theta", kDouble}},
        .factory = FactoryFor<SimpleTreeMethod>(),
        .loader = SpatialTreeLoaderFor<SimpleTreeMethod>()});
@@ -672,17 +682,18 @@ void RegisterBuiltinMethods(MethodRegistry& registry) {
       "ug",
       {.description = "uniform grid (Qardaji et al., ICDE 2013)",
        .display = "UG",
-       .allowed_keys = {{"cell_scale", kDouble}, {"c0", kDouble}},
+       .allowed_keys = {{"cell_scale", kDouble, 0, 1024, true},
+                        {"c0", kDouble, 0, kInf, true}},
        .factory = FactoryFor<UniformGridMethod>(),
        .loader = GridLoaderFor<UniformGridMethod>()});
   registry.Register(
       "ag",
       {.description = "two-level adaptive grid, 2-d only (ICDE 2013)",
        .display = "AG",
-       .allowed_keys = {{"alpha", kDouble},
-                        {"c1", kDouble},
-                        {"c2", kDouble},
-                        {"cell_scale", kDouble}},
+       .allowed_keys = {{"alpha", kDouble, 0, 1, true},
+                        {"c1", kDouble, 0, kInf, true},
+                        {"c2", kDouble, 0, kInf, true},
+                        {"cell_scale", kDouble, 0, 1024, true}},
        .required_dim = 2,
        .factory = FactoryFor<AdaptiveGridMethod>(),
        .loader = LoadAdaptiveGrid});
@@ -690,8 +701,8 @@ void RegisterBuiltinMethods(MethodRegistry& registry) {
       "kdtree",
       {.description = "private k-d tree with noisy-median splits ([51])",
        .display = "KD",
-       .allowed_keys = {{"height", kInt},
-                        {"split_budget_fraction", kDouble}},
+       .allowed_keys = {{"height", kInt, 1, 64},
+                        {"split_budget_fraction", kDouble, 0, 1, true}},
        .factory = FactoryFor<KdTreeMethod>(),
        .loader = LoadKdTree});
   registry.Register(
@@ -699,9 +710,9 @@ void RegisterBuiltinMethods(MethodRegistry& registry) {
       {.description = "data-aware partition + hierarchical measurement "
                       "(Li et al., PVLDB 2014)",
        .display = "DAWA",
-       .allowed_keys = {{"target_total_cells", kInt},
-                        {"partition_budget_fraction", kDouble},
-                        {"measure_branching", kInt}},
+       .allowed_keys = {{"target_total_cells", kInt, 1, 1 << 24},
+                        {"partition_budget_fraction", kDouble, 0, 1, true},
+                        {"measure_branching", kInt, 2, 1024}},
        .factory = FactoryFor<DawaMethod>(),
        .loader = GridLoaderFor<DawaMethod>()});
   registry.Register(
@@ -709,8 +720,8 @@ void RegisterBuiltinMethods(MethodRegistry& registry) {
       {.description = "complete noisy-count tree with constrained inference "
                       "(Qardaji et al., PVLDB 2013)",
        .display = "Hierarchy",
-       .allowed_keys = {{"height", kInt},
-                        {"target_leaf_resolution", kInt},
+       .allowed_keys = {{"height", kInt, 2, 64},
+                        {"target_leaf_resolution", kInt, 2, 1 << 20},
                         {"constrained_inference", kBool}},
        // The complete tree's leaf level grows as resolution^d; the paper
        // evaluates it on 2-d data only.
@@ -722,7 +733,7 @@ void RegisterBuiltinMethods(MethodRegistry& registry) {
       {.description = "Privelet*: noisy Haar coefficients (Xiao et al., "
                       "TKDE 2011)",
        .display = "Privelet*",
-       .allowed_keys = {{"target_total_cells", kInt}},
+       .allowed_keys = {{"target_total_cells", kInt, 1, 1 << 24}},
        .factory = FactoryFor<WaveletMethod>(),
        .loader = GridLoaderFor<WaveletMethod>()});
 }

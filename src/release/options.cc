@@ -1,5 +1,6 @@
 #include "release/options.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -22,6 +23,29 @@ bool ValueParsesAs(OptionType type, const std::string& value) {
              value == "false";
   }
   return tail != nullptr && *tail == '\0' && tail != value.c_str();
+}
+
+Status CheckOptionValue(const OptionKey& key, const std::string& value) {
+  if (!ValueParsesAs(key.type, value)) {
+    const char* want = key.type == OptionType::kDouble    ? "a number"
+                       : key.type == OptionType::kInt     ? "an integer"
+                                                          : "a boolean";
+    return Status::InvalidArgument("option \"" + key.name + "\" needs " +
+                                   want + " (got \"" + value + "\")");
+  }
+  if (key.type == OptionType::kBool) return Status::OK();
+  const double parsed = std::strtod(value.c_str(), nullptr);
+  const bool in_range =
+      key.open_bounds
+          ? parsed > key.min_value && parsed < key.max_value
+          : parsed >= key.min_value && parsed <= key.max_value;
+  if (!std::isnan(parsed) && in_range) return Status::OK();
+  char range[96];
+  std::snprintf(range, sizeof(range), "%s%g, %g%s",
+                key.open_bounds ? "(" : "[", key.min_value, key.max_value,
+                key.open_bounds ? ")" : "]");
+  return Status::InvalidArgument("option \"" + key.name + "\" must be in " +
+                                 range + " (got \"" + value + "\")");
 }
 
 MethodOptions::MethodOptions(

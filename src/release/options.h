@@ -9,21 +9,34 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "dp/status.h"
+
 namespace privtree::release {
 
 /// Value type of a method option, for user-facing validation.
 enum class OptionType { kDouble, kInt, kBool };
 
-/// One advertised option key of a registered method.
+/// One advertised option key of a registered method, with the numeric
+/// range its method accepts.  User-facing surfaces (the CLI, the serving
+/// front end) screen values against the range *before* the method sees
+/// them, so an out-of-range value from an untrusted client yields a clean
+/// error instead of tripping the method's aborting contract checks.
 struct OptionKey {
   std::string name;
   OptionType type = OptionType::kDouble;
+  /// Valid numeric range (ignored for kBool).  `open_bounds` makes both
+  /// ends strict — the "fraction in (0, 1)" case; an infinite end is
+  /// always satisfied either way.
+  double min_value = -std::numeric_limits<double>::infinity();
+  double max_value = std::numeric_limits<double>::infinity();
+  bool open_bounds = false;
 };
 
 /// Whether `value` parses completely as `type` ("1"/"0" are valid for all
@@ -31,6 +44,11 @@ struct OptionKey {
 /// user-facing surfaces screen values before the aborting typed getters
 /// see them.
 bool ValueParsesAs(OptionType type, const std::string& value);
+
+/// Full non-aborting screen of one option value against its key: type
+/// parse plus declared range.  OK, or InvalidArgument with a diagnostic
+/// naming the key and its valid range.
+Status CheckOptionValue(const OptionKey& key, const std::string& value);
 
 /// An ordered bag of `key=value` strings with typed accessors.
 class MethodOptions {

@@ -15,9 +15,9 @@ namespace privtree::serve {
 ParallelRunner::ParallelRunner(ThreadPool& pool, SynopsisCache* cache)
     : pool_(pool), cache_(cache) {}
 
-FitResult ParallelRunner::FitOne(const PointSet& points, const Box& domain,
-                                 std::uint64_t dataset_fingerprint,
-                                 const FitJob& job) const {
+FitResult FitSynopsis(const PointSet& points, const Box& domain,
+                      std::uint64_t dataset_fingerprint, const FitJob& job,
+                      SynopsisCache* cache) {
   FitResult result;
   const auto build = [&]() -> std::shared_ptr<const release::Method> {
     const auto start = std::chrono::steady_clock::now();
@@ -34,7 +34,7 @@ FitResult ParallelRunner::FitOne(const PointSet& points, const Box& domain,
     result.cache_hit = false;
     return std::shared_ptr<const release::Method>(std::move(method));
   };
-  if (cache_ == nullptr) {
+  if (cache == nullptr) {
     result.method = build();
     return result;
   }
@@ -42,8 +42,14 @@ FitResult ParallelRunner::FitOne(const PointSet& points, const Box& domain,
   const SynopsisKey key{dataset_fingerprint, job.method,
                         CanonicalOptionsText(job.method, job.options),
                         job.epsilon, job.rng.Fingerprint()};
-  result.method = cache_->GetOrFit(key, build);
+  result.method = cache->GetOrFit(key, build);
   return result;
+}
+
+FitResult ParallelRunner::FitOne(const PointSet& points, const Box& domain,
+                                 std::uint64_t dataset_fingerprint,
+                                 const FitJob& job) const {
+  return FitSynopsis(points, domain, dataset_fingerprint, job, cache_);
 }
 
 std::vector<FitResult> ParallelRunner::FitAllTimed(

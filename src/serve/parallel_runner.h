@@ -83,6 +83,16 @@ class ParallelRunner {
   SynopsisCache* cache_;
 };
 
+/// Fits one job with the runner's fit discipline — create via the global
+/// registry, drain exactly `job.epsilon`, consume the job's private Rng
+/// copy — memoized through `cache` when non-null.  This is the one fit
+/// path shared by ParallelRunner and the async serving engine
+/// (server/async_engine.h), so every serving surface releases bit-for-bit
+/// identical synopses.
+FitResult FitSynopsis(const PointSet& points, const Box& domain,
+                      std::uint64_t dataset_fingerprint, const FitJob& job,
+                      SynopsisCache* cache);
+
 /// Answers `queries` through method.QueryBatch, sharded into contiguous
 /// chunks across the pool.  Every built-in backend computes each query's
 /// answer independently of its batch neighbours, so the result is identical

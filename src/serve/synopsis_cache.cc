@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <iterator>
 #include <system_error>
 #include <vector>
 
@@ -136,6 +137,19 @@ SynopsisCache::SynopsisCache(std::size_t capacity, SpillOptions spill)
     spill_lru_.push_back(name);
     spill_index_.insert(std::move(name));
   }
+  if (spill_.background_writer) {
+    spill_writer_ = std::thread(&SynopsisCache::RunSpillWriter, this);
+  }
+}
+
+SynopsisCache::~SynopsisCache() {
+  if (!spill_writer_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_writer_ = true;
+  }
+  spill_cv_.notify_all();
+  spill_writer_.join();  // Drains the remaining backlog first.
 }
 
 std::string SynopsisCache::SpillPathFor(const std::string& file) const {
@@ -202,6 +216,54 @@ void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
   }
 }
 
+bool SynopsisCache::EnqueueSpillLocked(std::vector<Evicted>* evicted) {
+  if (evicted->empty() || !spill_.background_writer) return false;
+  bool queued = false;
+  for (Evicted& entry : *evicted) {
+    // A key already awaiting its write keeps the one queue slot it has;
+    // the synopsis is immutable, so one write covers every eviction.
+    if (spill_pending_index_.contains(entry.first)) continue;
+    spill_pending_index_.emplace(entry.first, entry.second);
+    spill_queue_.push_back(std::move(entry));
+    queued = true;
+  }
+  evicted->clear();
+  return queued;
+}
+
+void SynopsisCache::RunSpillWriter() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    spill_cv_.wait(lk,
+                   [&] { return stop_writer_ || !spill_queue_.empty(); });
+    if (spill_queue_.empty()) {
+      if (stop_writer_) return;
+      continue;
+    }
+    // Write-behind batching: take the whole backlog in one swap, so a burst
+    // of evictions costs one wakeup and one pass over the directory state.
+    std::vector<Evicted> batch(std::make_move_iterator(spill_queue_.begin()),
+                               std::make_move_iterator(spill_queue_.end()));
+    spill_queue_.clear();
+    ++stats_.spill_write_batches;
+    lk.unlock();
+    SpillEvicted(batch);
+    lk.lock();
+    // Only now do the keys leave the write-behind buffer: a miss during the
+    // write was still served from memory (writeback hit).
+    for (const auto& [key, method] : batch) spill_pending_index_.erase(key);
+    if (spill_queue_.empty()) flush_cv_.notify_all();
+  }
+}
+
+void SynopsisCache::FlushSpill() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!spill_enabled() || !spill_.background_writer) return;
+  flush_cv_.wait(lk, [&] {
+    return spill_queue_.empty() && spill_pending_index_.empty();
+  });
+}
+
 std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
     const SynopsisKey& key, const FitFn& fit) {
   std::unique_lock<std::mutex> lk(mu_);
@@ -211,6 +273,21 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->second;
+    }
+    // An eviction still waiting on (or undergoing) its background write is
+    // served straight from the write-behind buffer and promoted back into
+    // the memory tier — never re-fitted, never read back from disk.
+    if (const auto it = spill_pending_index_.find(key);
+        it != spill_pending_index_.end()) {
+      ++stats_.writeback_hits;
+      const std::shared_ptr<const release::Method> value = it->second;
+      std::vector<Evicted> evicted;
+      if (capacity_ > 0) InsertLocked(key, value, &evicted);
+      const bool notify_writer = EnqueueSpillLocked(&evicted);
+      lk.unlock();
+      if (notify_writer) spill_cv_.notify_all();
+      if (!evicted.empty()) SpillEvicted(evicted);
+      return value;
     }
     if (!inflight_.contains(key)) break;
     // Another thread is fitting (or rehydrating) this key; wait for it
@@ -260,9 +337,11 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
     }
   }
   if (capacity_ > 0) InsertLocked(key, value, &evicted);
+  const bool notify_writer = EnqueueSpillLocked(&evicted);
   inflight_cv_.notify_all();
   lk.unlock();
 
+  if (notify_writer) spill_cv_.notify_all();
   if (!evicted.empty()) SpillEvicted(evicted);
   return value;
 }
@@ -288,10 +367,15 @@ std::size_t SynopsisCache::SpillFileCount() const {
 
 SynopsisCache::Stats SynopsisCache::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  Stats out = stats_;
+  out.spill_pending = spill_pending_index_.size();
+  return out;
 }
 
 void SynopsisCache::Clear() {
+  // Let in-flight background writes land first, so no writer re-registers a
+  // file after we have deleted it.
+  FlushSpill();
   std::lock_guard<std::mutex> lk(mu_);
   lru_.clear();
   index_.clear();

@@ -26,12 +26,26 @@
 // pointed at the same directory serves previous spills as warm hits.  A
 // file that fails to load (corruption, version drift) is deleted and the
 // synopsis silently re-fitted.
+//
+// Spill writes are write-behind: the evicting caller only enqueues the
+// (key, synopsis) pair — a dedicated background writer thread drains the
+// whole pending queue per wakeup (batching bursts of evictions into one
+// pass) and does the serialize + rename off the serving path.  Until its
+// file lands, a pending entry still serves misses directly from the
+// write-behind buffer (a `writeback_hit`), so eviction never makes a hot
+// synopsis transiently unfetchable.  `stats().spill_pending` exposes the
+// writer's backlog — the admission controller sheds fit load when it grows
+// (see server/admission.h) — and FlushSpill() blocks until the backlog is
+// on disk (tests, clean shutdown).  Setting
+// `SpillOptions::background_writer = false` restores synchronous
+// eviction-time writes.
 #ifndef PRIVTREE_SERVE_SYNOPSIS_CACHE_H_
 #define PRIVTREE_SERVE_SYNOPSIS_CACHE_H_
 
 #include <compare>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <map>
@@ -40,6 +54,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -83,6 +98,9 @@ struct SpillOptions {
   std::string directory;
   /// Max synopsis files kept on disk (oldest evicted first); 0 = unbounded.
   std::size_t max_entries = 256;
+  /// Serialize evictions on a dedicated writer thread (write-behind, the
+  /// default) instead of on the evicting caller's thread.
+  bool background_writer = true;
 };
 
 /// A thread-safe LRU cache of fitted methods with an optional disk tier.
@@ -96,6 +114,13 @@ class SynopsisCache {
     std::size_t spill_hits = 0;       ///< Misses served by rehydration.
     std::size_t spill_evictions = 0;  ///< Spill files deleted for capacity.
     std::size_t spill_failures = 0;   ///< Unserializable or corrupt spills.
+    /// Evictions enqueued for the background writer but not yet on disk
+    /// (snapshot of the current backlog, not a cumulative count).
+    std::size_t spill_pending = 0;
+    /// Misses served straight from the pending write-behind buffer.
+    std::size_t writeback_hits = 0;
+    /// Background-writer wakeups that flushed at least one write.
+    std::size_t spill_write_batches = 0;
   };
 
   /// Builds the fitted method for a missing key; must not return null.
@@ -109,6 +134,9 @@ class SynopsisCache {
   /// already in the directory (from an earlier run or cache) are adopted,
   /// oldest-first.
   SynopsisCache(std::size_t capacity, SpillOptions spill);
+
+  /// Flushes the write-behind backlog to disk, then stops the writer.
+  ~SynopsisCache();
 
   /// Returns the cached synopsis for `key`, fitting (and caching) it via
   /// `fit` on a miss.  Concurrent calls for the same key fit once.
@@ -124,7 +152,11 @@ class SynopsisCache {
   /// Number of synopsis files currently tracked in the spill directory.
   std::size_t SpillFileCount() const;
   Stats stats() const;
-  /// Drops every cached synopsis, including the spill files on disk.
+  /// Blocks until every pending write-behind eviction is on disk (no-op
+  /// when spilling is disabled or nothing is pending).
+  void FlushSpill();
+  /// Drops every cached synopsis, including the spill files on disk and
+  /// the pending write-behind backlog.
   void Clear();
 
  private:
@@ -144,6 +176,15 @@ class SynopsisCache {
   /// spill tier to capacity, oldest-or-coldest file first.
   void SpillEvicted(const std::vector<Evicted>& evicted);
 
+  /// Queues evicted entries for the background writer (or hands them to
+  /// SpillEvicted inline when the writer is disabled); caller holds mu_ and
+  /// must call spill_cv_.notify_all() after unlocking when this returns
+  /// true (entries were queued).
+  bool EnqueueSpillLocked(std::vector<Evicted>* evicted);
+
+  /// Background writer main loop: drain the whole pending queue per wakeup.
+  void RunSpillWriter();
+
   /// Full path of a spill file name (fingerprint + extension).
   std::string SpillPathFor(const std::string& file) const;
 
@@ -162,6 +203,16 @@ class SynopsisCache {
   std::list<std::string> spill_lru_;
   std::set<std::string> spill_index_;
   Stats stats_;
+  /// Write-behind state: evictions queued for the writer, plus a key index
+  /// over everything enqueued-or-being-written so a miss can be served from
+  /// the buffer until its file lands.  All guarded by mu_.
+  std::deque<Evicted> spill_queue_;
+  std::map<SynopsisKey, std::shared_ptr<const release::Method>>
+      spill_pending_index_;
+  bool stop_writer_ = false;
+  std::condition_variable spill_cv_;  // Wakes the writer.
+  std::condition_variable flush_cv_;  // Signalled when the backlog drains.
+  std::thread spill_writer_;          // Joined by the destructor.
 };
 
 }  // namespace privtree::serve

@@ -1,0 +1,68 @@
+#include "server/admission.h"
+
+#include <string>
+#include <utility>
+
+#include "dp/check.h"
+
+namespace privtree::server {
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         const serve::SynopsisCache* cache)
+    : options_(std::move(options)), cache_(cache) {}
+
+Status AdmissionController::AdmitFitLoad() {
+  if (cache_ == nullptr || options_.max_pending_spills == 0) {
+    return Status::OK();
+  }
+  const std::size_t pending = cache_->stats().spill_pending;
+  if (pending <= options_.max_pending_spills) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.shed_cache_saturated;
+  }
+  return Status::Unavailable(
+      "cache spill writer saturated (" + std::to_string(pending) +
+      " pending writes); retry later");
+}
+
+void AdmissionController::NoteAdmitted() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.admitted;
+}
+
+void AdmissionController::NoteQueueFull() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.shed_queue_full;
+}
+
+void AdmissionController::NoteExpired() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.expired;
+}
+
+bool AdmissionController::BeginFit(const serve::SynopsisKey& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const bool coalesced = ++inflight_fits_[key] > 1;
+  if (coalesced) ++stats_.coalesced_fits;
+  return coalesced;
+}
+
+void AdmissionController::EndFit(const serve::SynopsisKey& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = inflight_fits_.find(key);
+  PRIVTREE_CHECK(it != inflight_fits_.end());
+  if (--it->second == 0) inflight_fits_.erase(it);
+}
+
+std::size_t AdmissionController::InFlightFits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return inflight_fits_.size();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace privtree::server

@@ -1,0 +1,88 @@
+// Admission control for the async serving front end.
+//
+// The controller is the policy seat between Submit and the RequestQueue: it
+// decides, before a request is queued, whether the system has room for it,
+// and it keeps the serving telemetry (admitted / shed / expired /
+// coalesced counts) that the stats surfaces report.  Two shed conditions:
+//
+//   * queue saturation — the bounded RequestQueue is full; admitting more
+//     would only grow latency, so the request is refused with Unavailable
+//     (the client can back off and retry);
+//   * cache saturation — the synopsis cache's background spill writer has
+//     fallen `max_pending_spills` writes behind, meaning evictions are
+//     outpacing the disk; new fits would churn the cache further, so fit
+//     work is refused until the writer catches up (queries against cached
+//     synopses are unaffected).
+//
+// It also tracks identical in-flight fit keys: a fit for a key some earlier
+// admitted request is already fitting is *admitted* (it will ride the
+// cache's single-flight path and wait for the one real fit, not duplicate
+// it) and counted as coalesced — the de-duplication the serving layer gets
+// structurally from SynopsisCache::GetOrFit.
+#ifndef PRIVTREE_SERVER_ADMISSION_H_
+#define PRIVTREE_SERVER_ADMISSION_H_
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+
+#include "dp/status.h"
+#include "serve/synopsis_cache.h"
+
+namespace privtree::server {
+
+struct AdmissionOptions {
+  /// Max requests waiting in the RequestQueue; pushes beyond it shed.
+  std::size_t max_queue_depth = 256;
+  /// Shed *fit* admissions while more than this many cache evictions await
+  /// the background spill writer; 0 disables the check.
+  std::size_t max_pending_spills = 128;
+};
+
+class AdmissionController {
+ public:
+  struct Stats {
+    std::size_t admitted = 0;
+    std::size_t shed_queue_full = 0;       ///< Refused: queue at max depth.
+    std::size_t shed_cache_saturated = 0;  ///< Refused: spill writer behind.
+    std::size_t expired = 0;      ///< Popped after their deadline; not run.
+    std::size_t coalesced_fits = 0;  ///< Admitted onto an in-flight fit key.
+  };
+
+  /// `cache` (may be null: no saturation check) must outlive the controller.
+  explicit AdmissionController(AdmissionOptions options,
+                               const serve::SynopsisCache* cache = nullptr);
+
+  const AdmissionOptions& options() const { return options_; }
+
+  /// Pre-queue check for fit-carrying requests; OK or Unavailable.  A
+  /// non-OK result has already been counted.
+  Status AdmitFitLoad();
+
+  /// Outcome bookkeeping (the engine owns the actual queue push).
+  void NoteAdmitted();
+  void NoteQueueFull();
+  void NoteExpired();
+
+  /// Marks `key` as having an in-flight fit; true when another admitted
+  /// request already fits the same key (counted as coalesced).  Pair every
+  /// call with EndFit.
+  bool BeginFit(const serve::SynopsisKey& key);
+  void EndFit(const serve::SynopsisKey& key);
+
+  /// Fit keys currently executing (or queued) under BeginFit.
+  std::size_t InFlightFits() const;
+
+  Stats stats() const;
+
+ private:
+  const AdmissionOptions options_;
+  const serve::SynopsisCache* cache_;
+  mutable std::mutex mu_;
+  std::map<serve::SynopsisKey, std::size_t> inflight_fits_;
+  Stats stats_;
+};
+
+}  // namespace privtree::server
+
+#endif  // PRIVTREE_SERVER_ADMISSION_H_

@@ -1,0 +1,227 @@
+#include "server/async_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "dp/check.h"
+#include "dp/rng.h"
+#include "release/options.h"
+#include "release/registry.h"
+
+namespace privtree::server {
+
+AsyncEngine::AsyncEngine(const PointSet& points, Box domain,
+                         serve::ThreadPool& pool, serve::SynopsisCache& cache,
+                         EngineOptions options)
+    : points_(points),
+      domain_(std::move(domain)),
+      pool_(pool),
+      cache_(cache),
+      dataset_fingerprint_(serve::DatasetFingerprint(points, domain_)),
+      admission_(options.admission, &cache),
+      queue_(options.admission.max_queue_depth) {
+  PRIVTREE_CHECK_EQ(points_.dim(), domain_.dim());
+}
+
+AsyncEngine::~AsyncEngine() {
+  // Queued requests capture `this`; do not let them outlive the engine.
+  pool_.WaitIdle();
+}
+
+serve::FitJob AsyncEngine::JobFor(const FitSpec& spec) {
+  // The exact ReleaseSession derivation: the session seeds Rng(seed) and
+  // each release consumes one Fork() — so a served answer is the answer an
+  // in-process session with the same seed would have produced.
+  Rng session_rng(spec.seed);
+  return {spec.method, spec.options, spec.epsilon, session_rng.Fork()};
+}
+
+serve::SynopsisKey AsyncEngine::KeyFor(const FitSpec& spec) const {
+  return {dataset_fingerprint_, spec.method,
+          serve::CanonicalOptionsText(spec.method, spec.options),
+          spec.epsilon, JobFor(spec).rng.Fingerprint()};
+}
+
+Status AsyncEngine::ValidateSpec(const FitSpec& spec) const {
+  const auto& registry = release::GlobalMethodRegistry();
+  if (!registry.Contains(spec.method)) {
+    return Status::InvalidArgument("unknown method \"" + spec.method + "\"");
+  }
+  const std::size_t required = registry.RequiredDim(spec.method);
+  if (required != 0 && required != points_.dim()) {
+    return Status::InvalidArgument(
+        "method \"" + spec.method + "\" requires " +
+        std::to_string(required) + "-dimensional data (serving dim=" +
+        std::to_string(points_.dim()) + ")");
+  }
+  if (!(spec.epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const auto& allowed = registry.AllowedKeys(spec.method);
+  for (const std::string& key : spec.options.Keys()) {
+    const auto it = std::find_if(
+        allowed.begin(), allowed.end(),
+        [&](const release::OptionKey& k) { return k.name == key; });
+    if (it == allowed.end()) {
+      return Status::InvalidArgument("method \"" + spec.method +
+                                     "\" has no option \"" + key + "\"");
+    }
+    // Type + declared range: a wire-supplied value must fail here, with a
+    // Status, never inside the fitter's aborting contract checks.
+    if (Status value = release::CheckOptionValue(
+            *it, spec.options.GetString(key, ""));
+        !value.ok()) {
+      return value;
+    }
+  }
+  // The one dataset-relative range: a tree split cannot span more
+  // dimensions than the served data has.
+  if (spec.options.Has("dims_per_split") &&
+      spec.options.GetInt("dims_per_split", 0) >
+          static_cast<std::int64_t>(points_.dim())) {
+    return Status::InvalidArgument(
+        "dims_per_split exceeds the serving dim (" +
+        std::to_string(points_.dim()) + ")");
+  }
+  return Status::OK();
+}
+
+Status AsyncEngine::Enqueue(QueuedRequest& request, bool needs_fit) {
+  if (needs_fit) {
+    if (Status admitted = admission_.AdmitFitLoad(); !admitted.ok()) {
+      return admitted;
+    }
+  }
+  if (!queue_.TryPush(request)) {
+    admission_.NoteQueueFull();
+    return Status::Unavailable(
+        "request queue full (" + std::to_string(queue_.max_depth()) +
+        " pending); retry later");
+  }
+  admission_.NoteAdmitted();
+  pool_.Submit([this] { RunOne(); });
+  return Status::OK();
+}
+
+void AsyncEngine::RunOne() {
+  QueuedRequest request;
+  if (!queue_.TryPop(&request)) return;
+  if (DeadlineClock::now() > request.deadline) {
+    admission_.NoteExpired();
+    request.expire(
+        Status::DeadlineExceeded("deadline passed while queued; not run"));
+    return;
+  }
+  request.run();
+}
+
+Future<FitResponse> AsyncEngine::SubmitFit(
+    const FitSpec& spec, DeadlineClock::time_point deadline) {
+  Promise<FitResponse> promise;
+  Future<FitResponse> future = promise.future();
+  if (Status valid = ValidateSpec(spec); !valid.ok()) {
+    promise.Set({std::move(valid), {}, false});
+    return future;
+  }
+  const serve::SynopsisKey key = KeyFor(spec);
+  admission_.BeginFit(key);
+  auto shared = std::make_shared<Promise<FitResponse>>(std::move(promise));
+  QueuedRequest request;
+  request.deadline = deadline;
+  request.expire = [this, shared, key](Status status) {
+    admission_.EndFit(key);
+    shared->Set({std::move(status), {}, false});
+  };
+  request.run = [this, shared, spec, key] {
+    const serve::FitResult fitted = serve::FitSynopsis(
+        points_, domain_, dataset_fingerprint_, JobFor(spec), &cache_);
+    admission_.EndFit(key);
+    shared->Set({Status::OK(), fitted.method->Metadata(), fitted.cache_hit});
+  };
+  if (Status queued = Enqueue(request, /*needs_fit=*/true); !queued.ok()) {
+    admission_.EndFit(key);
+    shared->Set({std::move(queued), {}, false});
+  }
+  return future;
+}
+
+Future<QueryBatchResponse> AsyncEngine::SubmitQueryBatch(
+    const FitSpec& spec, std::vector<Box> queries,
+    DeadlineClock::time_point deadline) {
+  Promise<QueryBatchResponse> promise;
+  Future<QueryBatchResponse> future = promise.future();
+  if (Status valid = ValidateSpec(spec); !valid.ok()) {
+    promise.Set({std::move(valid), {}, false});
+    return future;
+  }
+  for (const Box& q : queries) {
+    if (q.dim() != points_.dim()) {
+      promise.Set({Status::InvalidArgument(
+                       "query box dim " + std::to_string(q.dim()) +
+                       " != serving dim " + std::to_string(points_.dim())),
+                   {},
+                   false});
+      return future;
+    }
+  }
+  const serve::SynopsisKey key = KeyFor(spec);
+  // Queries against a cached synopsis bypass the fit-load gate (they cost
+  // no fit); only a query that must fit first counts as fit load.
+  const bool needs_fit = cache_.Lookup(key) == nullptr;
+  if (needs_fit) admission_.BeginFit(key);
+  auto shared =
+      std::make_shared<Promise<QueryBatchResponse>>(std::move(promise));
+  auto boxes = std::make_shared<std::vector<Box>>(std::move(queries));
+  QueuedRequest request;
+  request.deadline = deadline;
+  request.expire = [this, shared, key, needs_fit](Status status) {
+    if (needs_fit) admission_.EndFit(key);
+    shared->Set({std::move(status), {}, false});
+  };
+  request.run = [this, shared, spec, key, needs_fit, boxes] {
+    const serve::FitResult fitted = serve::FitSynopsis(
+        points_, domain_, dataset_fingerprint_, JobFor(spec), &cache_);
+    if (needs_fit) admission_.EndFit(key);
+    // The batch runs on this one pool task; concurrency comes from many
+    // requests in flight, and a fitted Method is safe to query from any
+    // number of them at once.
+    shared->Set(
+        {Status::OK(), fitted.method->QueryBatch(*boxes), fitted.cache_hit});
+  };
+  if (Status queued = Enqueue(request, needs_fit); !queued.ok()) {
+    if (needs_fit) admission_.EndFit(key);
+    shared->Set({std::move(queued), {}, false});
+  }
+  return future;
+}
+
+std::size_t AsyncEngine::Warm(std::span<const FitSpec> specs) {
+  std::size_t accepted = 0;
+  for (const FitSpec& spec : specs) {
+    if (!ValidateSpec(spec).ok()) continue;
+    const serve::SynopsisKey key = KeyFor(spec);
+    if (cache_.Lookup(key) != nullptr) continue;  // Already warm.
+    admission_.BeginFit(key);
+    QueuedRequest request;  // No deadline and nobody waits on a future.
+    request.expire = [this, key](Status) { admission_.EndFit(key); };
+    request.run = [this, spec, key] {
+      serve::FitSynopsis(points_, domain_, dataset_fingerprint_, JobFor(spec),
+                         &cache_);
+      admission_.EndFit(key);
+    };
+    if (Enqueue(request, /*needs_fit=*/true).ok()) {
+      ++accepted;
+    } else {
+      admission_.EndFit(key);
+    }
+  }
+  return accepted;
+}
+
+AsyncEngine::StatsSnapshot AsyncEngine::Stats() const {
+  return {queue_.depth(), queue_.max_depth(), admission_.stats(),
+          cache_.stats()};
+}
+
+}  // namespace privtree::server

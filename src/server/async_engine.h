@@ -1,0 +1,132 @@
+// The asynchronous serving engine: a bounded request queue with completion
+// futures, layered over the shared ThreadPool and SynopsisCache.
+//
+// One engine binds one dataset (the sensitive points and their declared
+// domain) and serves many concurrent clients.  Submission is cheap and
+// non-blocking: SubmitFit/SubmitQueryBatch validate the spec, pass
+// admission control, enqueue the request, and return a Future the caller
+// redeems whenever it likes; execution happens on the pool, one request
+// per task, with every fit memoized through the cache (identical in-flight
+// fits collapse onto the cache's single-flight path and are counted as
+// coalesced by the AdmissionController).  Answers are bit-for-bit the
+// answers an in-process ReleaseSession with the same seed would produce,
+// because the fit path *is* the ParallelRunner fit path
+// (serve::FitSynopsis) and queries are pure post-processing.
+//
+// Overload never queues unboundedly: a full queue or a saturated cache
+// writer sheds the request immediately with Status::Unavailable, and a
+// request whose deadline passes while it waits is retired with
+// Status::DeadlineExceeded without ever executing.
+//
+// Warm() is the Prefetch-driven warming path: feed it the fit specs of an
+// observed workload (e.g. a replayed request log) and it fills the cache
+// through the same admission-controlled queue, so a warmup burst cannot
+// starve live traffic past the queue bound.
+#ifndef PRIVTREE_SERVER_ASYNC_ENGINE_H_
+#define PRIVTREE_SERVER_ASYNC_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dp/status.h"
+#include "release/method.h"
+#include "serve/parallel_runner.h"
+#include "serve/synopsis_cache.h"
+#include "serve/thread_pool.h"
+#include "server/admission.h"
+#include "server/future.h"
+#include "server/request.h"
+#include "server/request_queue.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree::server {
+
+struct EngineOptions {
+  AdmissionOptions admission;
+};
+
+/// One engine per served dataset; safe to call from any number of threads.
+class AsyncEngine {
+ public:
+  /// Everything the engine serves about one dataset and its load state, for
+  /// the stats surfaces (bench telemetry, the wire protocol's Stats reply).
+  struct StatsSnapshot {
+    std::size_t queue_depth = 0;
+    std::size_t queue_max_depth = 0;
+    AdmissionController::Stats admission;
+    serve::SynopsisCache::Stats cache;
+  };
+
+  /// `points`, `pool` and `cache` must outlive the engine.  The domain is
+  /// declared by the caller, exactly as in ReleaseSession.
+  AsyncEngine(const PointSet& points, Box domain, serve::ThreadPool& pool,
+              serve::SynopsisCache& cache, EngineOptions options = {});
+
+  /// Blocks until every outstanding request has resolved.
+  ~AsyncEngine();
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Fits (or re-serves from cache) the spec'd release and resolves the
+  /// future with its accounting.  Shed or invalid requests resolve
+  /// immediately with a non-OK status.
+  Future<FitResponse> SubmitFit(
+      const FitSpec& spec,
+      DeadlineClock::time_point deadline = kNoDeadline);
+
+  /// Answers `queries` against the spec'd release, fitting it first if the
+  /// cache does not hold it.  Every box must have the dataset's dim.
+  Future<QueryBatchResponse> SubmitQueryBatch(
+      const FitSpec& spec, std::vector<Box> queries,
+      DeadlineClock::time_point deadline = kNoDeadline);
+
+  /// Cache warming from an observed workload: enqueues an
+  /// admission-controlled background fit per not-yet-cached spec and
+  /// returns how many were accepted (invalid, shed, and already-cached
+  /// specs are skipped).  Fire-and-forget; redeem progress via Stats().
+  std::size_t Warm(std::span<const FitSpec> specs);
+
+  /// Non-OK when the spec cannot be served: unregistered method, wrong
+  /// dimensionality, non-positive ε, unknown option key or ill-typed value.
+  Status ValidateSpec(const FitSpec& spec) const;
+
+  StatsSnapshot Stats() const;
+
+  const PointSet& points() const { return points_; }
+  const Box& domain() const { return domain_; }
+  std::uint64_t dataset_fingerprint() const { return dataset_fingerprint_; }
+  serve::ThreadPool& pool() const { return pool_; }
+  serve::SynopsisCache& cache() const { return cache_; }
+  AdmissionController& admission() { return admission_; }
+
+  /// The cache key / fit job a spec maps to (exposed for tests and the
+  /// coalescing bookkeeping; the rng derivation matches ReleaseSession).
+  serve::SynopsisKey KeyFor(const FitSpec& spec) const;
+  static serve::FitJob JobFor(const FitSpec& spec);
+
+ private:
+  /// Pool task body: pop one request, expire or run it.
+  void RunOne();
+
+  /// Admission + enqueue for one fit-carrying request; on success schedules
+  /// a pool task and returns OK.  On failure the caller resolves the future
+  /// with the returned status.  `needs_fit` is false when the key is
+  /// already cached (queries skip the fit-load gate then).
+  Status Enqueue(QueuedRequest& request, bool needs_fit);
+
+  const PointSet& points_;
+  const Box domain_;
+  serve::ThreadPool& pool_;
+  serve::SynopsisCache& cache_;
+  const std::uint64_t dataset_fingerprint_;
+  AdmissionController admission_;
+  RequestQueue queue_;
+};
+
+}  // namespace privtree::server
+
+#endif  // PRIVTREE_SERVER_ASYNC_ENGINE_H_

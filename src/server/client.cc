@@ -1,0 +1,126 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace privtree::server {
+
+Client::Client(Connection conn, HelloReply info)
+    : conn_(std::move(conn)), info_(std::move(info)) {}
+
+Result<Client> Client::Connect(const std::string& host, std::uint16_t port) {
+  Result<Connection> dialed = Connection::Dial(host, port);
+  if (!dialed.ok()) return dialed.status();
+  Connection conn = std::move(dialed).value();
+
+  if (Status sent = conn.SendFrame(EncodeHello(HelloRequest{})); !sent.ok()) {
+    return sent;
+  }
+  Result<std::string> frame = conn.RecvFrame();
+  if (!frame.ok()) return frame.status();
+  const Result<MessageType> type = PeekType(frame.value());
+  if (!type.ok()) return type.status();
+  if (type.value() == MessageType::kErrorReply) {
+    Status carried;
+    if (Status s = DecodeErrorReply(frame.value(), &carried); !s.ok()) {
+      return s;
+    }
+    return carried;
+  }
+  HelloReply info;
+  if (Status s = DecodeHelloReply(frame.value(), &info); !s.ok()) return s;
+  if (info.version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        "server speaks protocol version " + std::to_string(info.version) +
+        ", client speaks " + std::to_string(kProtocolVersion));
+  }
+  return Client(std::move(conn), std::move(info));
+}
+
+Result<std::string> Client::RoundTrip(const std::string& payload) {
+  if (Status sent = conn_.SendFrame(payload); !sent.ok()) return sent;
+  Result<std::string> frame = conn_.RecvFrame();
+  if (!frame.ok()) return frame.status();
+  const Result<MessageType> type = PeekType(frame.value());
+  if (!type.ok()) return type.status();
+  if (type.value() == MessageType::kErrorReply) {
+    Status carried;
+    if (Status s = DecodeErrorReply(frame.value(), &carried); !s.ok()) {
+      return s;
+    }
+    return carried;
+  }
+  return frame;
+}
+
+Result<FitReply> Client::Fit(const FitSpec& spec,
+                             std::int64_t deadline_millis) {
+  Result<std::string> frame =
+      RoundTrip(EncodeFit(FitRequest{spec, deadline_millis}));
+  if (!frame.ok()) return frame.status();
+  FitReply reply;
+  if (Status s = DecodeFitReply(frame.value(), &reply); !s.ok()) return s;
+  return reply;
+}
+
+Result<std::vector<double>> Client::QueryBatch(const FitSpec& spec,
+                                               std::span<const Box> queries,
+                                               std::int64_t deadline_millis) {
+  // The wire format declares one dim for the whole batch; a mixed-dim span
+  // would mis-encode into wrong-but-well-formed boxes (silently wrong
+  // answers), so refuse it here.
+  for (const Box& q : queries) {
+    if (q.dim() != queries.front().dim()) {
+      return Status::InvalidArgument(
+          "query batch mixes dimensionalities (" +
+          std::to_string(queries.front().dim()) + " and " +
+          std::to_string(q.dim()) + ")");
+    }
+  }
+  QueryBatchRequest request;
+  request.spec = spec;
+  request.deadline_millis = deadline_millis;
+  request.queries.assign(queries.begin(), queries.end());
+  Result<std::string> frame = RoundTrip(EncodeQueryBatch(request));
+  if (!frame.ok()) return frame.status();
+  QueryBatchReply reply;
+  if (Status s = DecodeQueryBatchReply(frame.value(), &reply); !s.ok()) {
+    return s;
+  }
+  if (reply.answers.size() != queries.size()) {
+    return Status::Internal("server answered " +
+                            std::to_string(reply.answers.size()) + " of " +
+                            std::to_string(queries.size()) + " queries");
+  }
+  return std::move(reply.answers);
+}
+
+Result<std::uint64_t> Client::Warm(std::span<const FitSpec> specs) {
+  WarmRequest request;
+  request.specs.assign(specs.begin(), specs.end());
+  Result<std::string> frame = RoundTrip(EncodeWarm(request));
+  if (!frame.ok()) return frame.status();
+  WarmReply reply;
+  if (Status s = DecodeWarmReply(frame.value(), &reply); !s.ok()) return s;
+  return reply.accepted;
+}
+
+Result<StatsReply> Client::Stats() {
+  Result<std::string> frame = RoundTrip(EncodeStats());
+  if (!frame.ok()) return frame.status();
+  StatsReply reply;
+  if (Status s = DecodeStatsReply(frame.value(), &reply); !s.ok()) return s;
+  return reply;
+}
+
+Status Client::Shutdown() {
+  Result<std::string> frame = RoundTrip(EncodeShutdown());
+  if (!frame.ok()) return frame.status();
+  const Result<MessageType> type = PeekType(frame.value());
+  if (!type.ok()) return type.status();
+  if (type.value() != MessageType::kShutdownReply) {
+    return Status::Internal("unexpected reply to Shutdown");
+  }
+  return Status::OK();
+}
+
+}  // namespace privtree::server

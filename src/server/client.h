@@ -1,0 +1,71 @@
+// The client side of the serving protocol: one blocking call per request.
+//
+// Connect() dials the server, performs the Hello version handshake, and
+// returns a client whose info() describes what is being served (dim, point
+// count, dataset fingerprint, registered methods).  Every method is a
+// frame round trip; a server-side ErrorReply comes back as that call's
+// non-OK Status (shed load is Unavailable, an expired deadline is
+// DeadlineExceeded), so callers branch on status codes, not on parsing.
+// One Client serializes its calls on one connection — use one Client per
+// concurrent caller; the server interleaves them.
+#ifndef PRIVTREE_SERVER_CLIENT_H_
+#define PRIVTREE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dp/status.h"
+#include "server/protocol.h"
+#include "server/request.h"
+#include "server/socket.h"
+#include "spatial/box.h"
+
+namespace privtree::server {
+
+class Client {
+ public:
+  /// Dials `host`:`port` and handshakes; IOError when nothing is
+  /// listening, InvalidArgument on a protocol-version mismatch.
+  static Result<Client> Connect(const std::string& host, std::uint16_t port);
+
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
+
+  /// The server's Hello description of the served dataset.
+  const HelloReply& info() const { return info_; }
+
+  /// Fits (or re-serves) the spec'd release; `deadline_millis` 0 = none.
+  Result<FitReply> Fit(const FitSpec& spec, std::int64_t deadline_millis = 0);
+
+  /// Answers `queries` against the spec'd release, one double per box.
+  Result<std::vector<double>> QueryBatch(const FitSpec& spec,
+                                         std::span<const Box> queries,
+                                         std::int64_t deadline_millis = 0);
+
+  /// Requests background cache warming; returns how many specs the
+  /// server's admission control accepted.
+  Result<std::uint64_t> Warm(std::span<const FitSpec> specs);
+
+  /// Serving telemetry snapshot.
+  Result<StatsReply> Stats();
+
+  /// Asks the server process to stop its loop (it still drains in-flight
+  /// work before exiting).
+  Status Shutdown();
+
+ private:
+  Client(Connection conn, HelloReply info);
+
+  /// Sends `payload`, receives one reply frame, and unwraps ErrorReply
+  /// into its carried Status.
+  Result<std::string> RoundTrip(const std::string& payload);
+
+  Connection conn_;
+  HelloReply info_;
+};
+
+}  // namespace privtree::server
+
+#endif  // PRIVTREE_SERVER_CLIENT_H_

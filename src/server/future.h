@@ -1,0 +1,105 @@
+// Completion handles for asynchronous serving requests.
+//
+// A Promise/Future pair is the contract between the thread that submits a
+// request and the pool thread that eventually fulfils it: the submitter
+// keeps the Future, the executing side keeps the Promise, and the shared
+// state between them is fulfilled exactly once.  Unlike std::future this
+// handle is copyable (a response can be awaited from several places), waits
+// with a timeout without consuming the value, and never throws — a failed
+// request is an ordinary response carrying a non-OK Status, not an
+// exception.  A Promise dropped without being set (an executor died)
+// resolves the Future with an Internal error instead of blocking its
+// waiters forever.
+#ifndef PRIVTREE_SERVER_FUTURE_H_
+#define PRIVTREE_SERVER_FUTURE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace privtree::server {
+
+template <typename T>
+class Promise;
+
+/// A copyable handle to a value that a Promise will set exactly once.
+template <typename T>
+class Future {
+ public:
+  /// Whether the value has been set (non-blocking).
+  bool Ready() const {
+    std::lock_guard<std::mutex> lk(state_->mu);
+    return state_->value.has_value();
+  }
+
+  /// Blocks until the value is set and returns a copy.  By value on
+  /// purpose: `engine.Submit...(...).Get()` — the common one-liner — would
+  /// dangle if this returned a reference into the temporary future's
+  /// state.
+  T Get() const {
+    std::unique_lock<std::mutex> lk(state_->mu);
+    state_->cv.wait(lk, [&] { return state_->value.has_value(); });
+    return *state_->value;
+  }
+
+  /// Blocks up to `timeout`; true when the value arrived in time.
+  template <typename Rep, typename Period>
+  bool WaitFor(std::chrono::duration<Rep, Period> timeout) const {
+    std::unique_lock<std::mutex> lk(state_->mu);
+    return state_->cv.wait_for(lk, timeout,
+                               [&] { return state_->value.has_value(); });
+  }
+
+ private:
+  friend class Promise<T>;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<T> value;
+  };
+
+  explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// The fulfilling side; movable, not copyable (one fulfiller per request).
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<typename Future<T>::State>()) {}
+
+  Promise(Promise&&) noexcept = default;
+  Promise& operator=(Promise&&) noexcept = default;
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+
+  /// Resolves abandoned futures (see class comment) so waiters never hang.
+  ~Promise() {
+    if (state_ == nullptr) return;  // Moved from, or Set already ran.
+    Set(T::Abandoned());
+  }
+
+  Future<T> future() const { return Future<T>(state_); }
+
+  /// Sets the value and wakes every waiter.  Must be called at most once.
+  void Set(T value) {
+    auto state = std::move(state_);
+    {
+      std::lock_guard<std::mutex> lk(state->mu);
+      state->value.emplace(std::move(value));
+    }
+    state->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<typename Future<T>::State> state_;
+};
+
+}  // namespace privtree::server
+
+#endif  // PRIVTREE_SERVER_FUTURE_H_

@@ -1,0 +1,392 @@
+#include "server/protocol.h"
+
+#include <utility>
+
+#include "core/byteio.h"
+#include "release/options.h"
+
+namespace privtree::server {
+
+namespace {
+
+void PutTag(ByteWriter& w, MessageType type) {
+  w.U32(static_cast<std::uint32_t>(type));
+}
+
+/// Consumes and checks the tag; false on underflow or a different tag.
+bool TakeTag(ByteReader& r, MessageType want) {
+  std::uint32_t tag = 0;
+  return r.U32(&tag) && tag == static_cast<std::uint32_t>(want);
+}
+
+Status Malformed(std::string_view what) {
+  return Status::InvalidArgument("malformed " + std::string(what) +
+                                 " message");
+}
+
+/// The decoder epilogue: every body must be consumed exactly.
+Status Finish(const ByteReader& r, std::string_view what) {
+  if (r.failed() || !r.AtEnd()) return Malformed(what);
+  return Status::OK();
+}
+
+void PutSpec(ByteWriter& w, const FitSpec& spec) {
+  w.Str(spec.method);
+  w.Str(spec.options.ToString());
+  w.F64(spec.epsilon);
+  w.U64(spec.seed);
+}
+
+bool TakeSpec(ByteReader& r, FitSpec* spec) {
+  std::string options_text;
+  if (!r.Str(&spec->method) || !r.Str(&options_text) ||
+      !r.F64(&spec->epsilon) || !r.U64(&spec->seed)) {
+    return false;
+  }
+  std::string error;
+  return release::MethodOptions::TryParse(options_text, &spec->options,
+                                          &error);
+}
+
+}  // namespace
+
+Result<MessageType> PeekType(std::string_view payload) {
+  ByteReader r(payload);
+  std::uint32_t tag = 0;
+  if (!r.U32(&tag)) return Malformed("frame");
+  switch (static_cast<MessageType>(tag)) {
+    case MessageType::kHello:
+    case MessageType::kFit:
+    case MessageType::kQueryBatch:
+    case MessageType::kWarm:
+    case MessageType::kStats:
+    case MessageType::kShutdown:
+    case MessageType::kHelloReply:
+    case MessageType::kFitReply:
+    case MessageType::kQueryBatchReply:
+    case MessageType::kWarmReply:
+    case MessageType::kStatsReply:
+    case MessageType::kShutdownReply:
+    case MessageType::kErrorReply:
+      return static_cast<MessageType>(tag);
+  }
+  return Status::InvalidArgument("unknown message type " +
+                                 std::to_string(tag));
+}
+
+std::string EncodeHello(const HelloRequest& request) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kHello);
+  w.U32(request.version);
+  return out;
+}
+
+Status DecodeHello(std::string_view payload, HelloRequest* out) {
+  ByteReader r(payload);
+  if (!TakeTag(r, MessageType::kHello) || !r.U32(&out->version)) {
+    return Malformed("Hello");
+  }
+  return Finish(r, "Hello");
+}
+
+std::string EncodeHelloReply(const HelloReply& reply) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kHelloReply);
+  w.U32(reply.version);
+  w.U64(reply.dim);
+  w.U64(reply.point_count);
+  w.U64(reply.dataset_fingerprint);
+  w.U64(reply.methods.size());
+  for (const std::string& method : reply.methods) w.Str(method);
+  return out;
+}
+
+Status DecodeHelloReply(std::string_view payload, HelloReply* out) {
+  ByteReader r(payload);
+  std::uint64_t count = 0;
+  if (!TakeTag(r, MessageType::kHelloReply) || !r.U32(&out->version) ||
+      !r.U64(&out->dim) || !r.U64(&out->point_count) ||
+      !r.U64(&out->dataset_fingerprint) || !r.U64(&count) ||
+      count > r.remaining()) {  // ≥1 byte per entry: bounds the alloc.
+    return Malformed("HelloReply");
+  }
+  out->methods.clear();
+  out->methods.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string method;
+    if (!r.Str(&method)) return Malformed("HelloReply");
+    out->methods.push_back(std::move(method));
+  }
+  return Finish(r, "HelloReply");
+}
+
+std::string EncodeFit(const FitRequest& request) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kFit);
+  PutSpec(w, request.spec);
+  w.I64(request.deadline_millis);
+  return out;
+}
+
+Status DecodeFit(std::string_view payload, FitRequest* out) {
+  ByteReader r(payload);
+  if (!TakeTag(r, MessageType::kFit) || !TakeSpec(r, &out->spec) ||
+      !r.I64(&out->deadline_millis)) {
+    return Malformed("Fit");
+  }
+  return Finish(r, "Fit");
+}
+
+std::string EncodeFitReply(const FitReply& reply) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kFitReply);
+  w.Str(reply.metadata.method);
+  w.U64(reply.metadata.dim);
+  w.F64(reply.metadata.epsilon_spent);
+  w.U64(reply.metadata.synopsis_size);
+  w.I32(reply.metadata.height);
+  w.U32(reply.cache_hit ? 1 : 0);
+  return out;
+}
+
+Status DecodeFitReply(std::string_view payload, FitReply* out) {
+  ByteReader r(payload);
+  std::uint64_t dim = 0, size = 0;
+  std::uint32_t hit = 0;
+  if (!TakeTag(r, MessageType::kFitReply) || !r.Str(&out->metadata.method) ||
+      !r.U64(&dim) || !r.F64(&out->metadata.epsilon_spent) || !r.U64(&size) ||
+      !r.I32(&out->metadata.height) || !r.U32(&hit) || hit > 1) {
+    return Malformed("FitReply");
+  }
+  out->metadata.dim = static_cast<std::size_t>(dim);
+  out->metadata.synopsis_size = static_cast<std::size_t>(size);
+  out->cache_hit = hit == 1;
+  return Finish(r, "FitReply");
+}
+
+std::string EncodeQueryBatch(const QueryBatchRequest& request) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kQueryBatch);
+  PutSpec(w, request.spec);
+  w.I64(request.deadline_millis);
+  const std::uint64_t dim =
+      request.queries.empty() ? 0 : request.queries.front().dim();
+  w.U64(dim);
+  w.U64(request.queries.size());
+  for (const Box& q : request.queries) {
+    for (std::size_t j = 0; j < q.dim(); ++j) {
+      w.F64(q.lo(j));
+      w.F64(q.hi(j));
+    }
+  }
+  return out;
+}
+
+Status DecodeQueryBatch(std::string_view payload, QueryBatchRequest* out) {
+  ByteReader r(payload);
+  std::uint64_t dim = 0, count = 0;
+  if (!TakeTag(r, MessageType::kQueryBatch) || !TakeSpec(r, &out->spec) ||
+      !r.I64(&out->deadline_millis) || !r.U64(&dim) || !r.U64(&count)) {
+    return Malformed("QueryBatch");
+  }
+  // Bounds the allocations before reading: each box is 16·dim bytes, and
+  // `dim` is screened first so 16·dim can neither wrap u64 nor be zero in
+  // the divisor below.
+  if (count > 0 && (dim == 0 || dim > r.remaining() / 16 ||
+                    count > r.remaining() / (16 * dim))) {
+    return Malformed("QueryBatch");
+  }
+  out->queries.clear();
+  out->queries.reserve(count);
+  std::vector<double> lo(dim), hi(dim);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    for (std::uint64_t j = 0; j < dim; ++j) {
+      if (!r.F64(&lo[j]) || !r.F64(&hi[j])) return Malformed("QueryBatch");
+      if (!(lo[j] <= hi[j])) {  // Also rejects NaN bounds.
+        return Status::InvalidArgument("query box with lo > hi");
+      }
+    }
+    out->queries.emplace_back(lo, hi);
+  }
+  return Finish(r, "QueryBatch");
+}
+
+std::string EncodeQueryBatchReply(const QueryBatchReply& reply) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kQueryBatchReply);
+  w.U32(reply.cache_hit ? 1 : 0);
+  w.U64(reply.answers.size());
+  w.F64Span(reply.answers);
+  return out;
+}
+
+Status DecodeQueryBatchReply(std::string_view payload, QueryBatchReply* out) {
+  ByteReader r(payload);
+  std::uint32_t hit = 0;
+  std::uint64_t count = 0;
+  if (!TakeTag(r, MessageType::kQueryBatchReply) || !r.U32(&hit) || hit > 1 ||
+      !r.U64(&count) || !r.F64Vec(count, &out->answers)) {
+    return Malformed("QueryBatchReply");
+  }
+  out->cache_hit = hit == 1;
+  return Finish(r, "QueryBatchReply");
+}
+
+std::string EncodeWarm(const WarmRequest& request) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kWarm);
+  w.U64(request.specs.size());
+  for (const FitSpec& spec : request.specs) PutSpec(w, spec);
+  return out;
+}
+
+Status DecodeWarm(std::string_view payload, WarmRequest* out) {
+  ByteReader r(payload);
+  std::uint64_t count = 0;
+  // A spec is at least 24 wire bytes (two length prefixes + f64 + u64);
+  // growing the vector as specs actually parse (instead of a count-sized
+  // resize) keeps a lying count from forcing a huge allocation.
+  if (!TakeTag(r, MessageType::kWarm) || !r.U64(&count) ||
+      count > r.remaining() / 24) {
+    return Malformed("Warm");
+  }
+  out->specs.clear();
+  out->specs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FitSpec spec;
+    if (!TakeSpec(r, &spec)) return Malformed("Warm");
+    out->specs.push_back(std::move(spec));
+  }
+  return Finish(r, "Warm");
+}
+
+std::string EncodeWarmReply(const WarmReply& reply) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kWarmReply);
+  w.U64(reply.accepted);
+  return out;
+}
+
+Status DecodeWarmReply(std::string_view payload, WarmReply* out) {
+  ByteReader r(payload);
+  if (!TakeTag(r, MessageType::kWarmReply) || !r.U64(&out->accepted)) {
+    return Malformed("WarmReply");
+  }
+  return Finish(r, "WarmReply");
+}
+
+std::string EncodeStats() {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kStats);
+  return out;
+}
+
+std::string EncodeStatsReply(const StatsReply& reply) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kStatsReply);
+  for (const std::uint64_t value :
+       {reply.queue_depth, reply.queue_max_depth, reply.admitted,
+        reply.shed_queue_full, reply.shed_cache_saturated, reply.expired,
+        reply.coalesced_fits, reply.cache_hits, reply.cache_misses,
+        reply.cache_evictions, reply.spill_writes, reply.spill_pending,
+        reply.writeback_hits}) {
+    w.U64(value);
+  }
+  return out;
+}
+
+Status DecodeStatsReply(std::string_view payload, StatsReply* out) {
+  ByteReader r(payload);
+  bool ok = TakeTag(r, MessageType::kStatsReply);
+  for (std::uint64_t* field :
+       {&out->queue_depth, &out->queue_max_depth, &out->admitted,
+        &out->shed_queue_full, &out->shed_cache_saturated, &out->expired,
+        &out->coalesced_fits, &out->cache_hits, &out->cache_misses,
+        &out->cache_evictions, &out->spill_writes, &out->spill_pending,
+        &out->writeback_hits}) {
+    ok = ok && r.U64(field);
+  }
+  if (!ok) return Malformed("StatsReply");
+  return Finish(r, "StatsReply");
+}
+
+std::string EncodeShutdown() {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kShutdown);
+  return out;
+}
+
+std::string EncodeShutdownReply() {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kShutdownReply);
+  return out;
+}
+
+std::string EncodeErrorReply(const Status& status) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kErrorReply);
+  w.U32(static_cast<std::uint32_t>(status.code()));
+  w.Str(status.message());
+  return out;
+}
+
+Status DecodeErrorReply(std::string_view payload, Status* out) {
+  ByteReader r(payload);
+  std::uint32_t code = 0;
+  std::string message;
+  if (!TakeTag(r, MessageType::kErrorReply) || !r.U32(&code) ||
+      !r.Str(&message)) {
+    return Malformed("ErrorReply");
+  }
+  if (Status finished = Finish(r, "ErrorReply"); !finished.ok()) {
+    return finished;
+  }
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      // An ErrorReply can never legitimately carry OK; treating it as such
+      // would let a misbehaving peer feed an OK Status into Result (which
+      // aborts on OK-as-error).
+      *out = Status::Internal("ErrorReply carried an OK status code: " +
+                              message);
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      *out = Status::InvalidArgument(std::move(message));
+      return Status::OK();
+    case StatusCode::kNotFound:
+      *out = Status::NotFound(std::move(message));
+      return Status::OK();
+    case StatusCode::kIOError:
+      *out = Status::IOError(std::move(message));
+      return Status::OK();
+    case StatusCode::kOutOfRange:
+      *out = Status::OutOfRange(std::move(message));
+      return Status::OK();
+    case StatusCode::kInternal:
+      *out = Status::Internal(std::move(message));
+      return Status::OK();
+    case StatusCode::kUnavailable:
+      *out = Status::Unavailable(std::move(message));
+      return Status::OK();
+    case StatusCode::kDeadlineExceeded:
+      *out = Status::DeadlineExceeded(std::move(message));
+      return Status::OK();
+  }
+  *out = Status::Internal("unknown wire status code " + std::to_string(code) +
+                          ": " + message);
+  return Status::OK();
+}
+
+}  // namespace privtree::server

@@ -1,0 +1,173 @@
+// The length-prefixed binary wire protocol of the serving front end.
+//
+// Transport framing (see server/socket.h): every message travels as one
+// frame — a u32 little-endian payload length followed by the payload.  The
+// payload itself is a u32 message-type tag followed by a type-specific body
+// in the core/byteio encoding (little-endian scalars, u32-length-prefixed
+// strings, IEEE-754 binary64 doubles — so query answers cross the wire bit
+// for bit).
+//
+//   payload:
+//     u32  message type (MessageType)
+//     ...  body
+//
+// Bodies (requests):
+//   Hello       u32 protocol version
+//   Fit         FitSpec, i64 deadline millis (0 = none)
+//   QueryBatch  FitSpec, i64 deadline millis, u64 dim, u64 count,
+//               then per box lo_1 hi_1 ... lo_d hi_d as f64
+//   Warm        u64 count, then count FitSpecs
+//   Stats       (empty)
+//   Shutdown    (empty)
+//
+//   FitSpec :=  str method, str options ("k1=v1,k2=v2"), f64 epsilon,
+//               u64 seed
+//
+// Bodies (replies):
+//   HelloReply       u32 version, u64 dim, u64 point count,
+//                    u64 dataset fingerprint, u64 method count, str × count
+//   FitReply         str method, u64 dim, f64 epsilon spent,
+//                    u64 synopsis size, i32 height, u32 cache hit (0/1)
+//   QueryBatchReply  u32 cache hit, u64 count, f64 × count
+//   WarmReply        u64 accepted
+//   StatsReply       13 × u64 (see struct StatsReply)
+//   ErrorReply       u32 status code (StatusCode), str message
+//
+// Every decoder is total: truncation, trailing bytes, a wrong tag, an
+// unparsable options string or an inverted box yields a Status error, never
+// a crash — the server treats a malformed frame as a client bug and answers
+// with ErrorReply.
+#ifndef PRIVTREE_SERVER_PROTOCOL_H_
+#define PRIVTREE_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dp/status.h"
+#include "release/method.h"
+#include "server/request.h"
+#include "spatial/box.h"
+
+namespace privtree::server {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on one frame payload (a sanity cap against a garbage length
+/// prefix, not a protocol limit).
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class MessageType : std::uint32_t {
+  kHello = 1,
+  kFit = 2,
+  kQueryBatch = 3,
+  kWarm = 4,
+  kStats = 5,
+  kShutdown = 6,
+  kHelloReply = 101,
+  kFitReply = 102,
+  kQueryBatchReply = 103,
+  kWarmReply = 104,
+  kStatsReply = 105,
+  kShutdownReply = 106,
+  kErrorReply = 255,
+};
+
+struct HelloRequest {
+  std::uint32_t version = kProtocolVersion;
+};
+
+struct HelloReply {
+  std::uint32_t version = kProtocolVersion;
+  std::uint64_t dim = 0;
+  std::uint64_t point_count = 0;
+  std::uint64_t dataset_fingerprint = 0;
+  std::vector<std::string> methods;  ///< Registered method names, sorted.
+};
+
+struct FitRequest {
+  FitSpec spec;
+  std::int64_t deadline_millis = 0;  ///< Relative; 0 = no deadline.
+};
+
+struct FitReply {
+  release::MethodMetadata metadata;
+  bool cache_hit = false;
+};
+
+struct QueryBatchRequest {
+  FitSpec spec;
+  std::int64_t deadline_millis = 0;
+  std::vector<Box> queries;
+};
+
+struct QueryBatchReply {
+  std::vector<double> answers;
+  bool cache_hit = false;
+};
+
+struct WarmRequest {
+  std::vector<FitSpec> specs;
+};
+
+struct WarmReply {
+  std::uint64_t accepted = 0;
+};
+
+/// Flat serving telemetry (an AsyncEngine::StatsSnapshot on the wire).
+struct StatsReply {
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_max_depth = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_cache_saturated = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t coalesced_fits = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t spill_writes = 0;
+  std::uint64_t spill_pending = 0;
+  std::uint64_t writeback_hits = 0;
+};
+
+/// Reads the message-type tag without consuming the payload.
+Result<MessageType> PeekType(std::string_view payload);
+
+// Encoders return a complete frame payload (tag + body).
+std::string EncodeHello(const HelloRequest& request);
+std::string EncodeHelloReply(const HelloReply& reply);
+std::string EncodeFit(const FitRequest& request);
+std::string EncodeFitReply(const FitReply& reply);
+/// Every box must share one dimensionality (the wire format declares one
+/// dim for the whole batch); Client::QueryBatch screens this.
+std::string EncodeQueryBatch(const QueryBatchRequest& request);
+std::string EncodeQueryBatchReply(const QueryBatchReply& reply);
+std::string EncodeWarm(const WarmRequest& request);
+std::string EncodeWarmReply(const WarmReply& reply);
+std::string EncodeStats();
+std::string EncodeStatsReply(const StatsReply& reply);
+std::string EncodeShutdown();
+std::string EncodeShutdownReply();
+/// Any non-OK Status crosses the wire as an ErrorReply.
+std::string EncodeErrorReply(const Status& status);
+
+// Decoders fail with InvalidArgument on any malformation (wrong tag,
+// truncation, trailing bytes, unparsable options, inverted boxes).
+Status DecodeHello(std::string_view payload, HelloRequest* out);
+Status DecodeHelloReply(std::string_view payload, HelloReply* out);
+Status DecodeFit(std::string_view payload, FitRequest* out);
+Status DecodeFitReply(std::string_view payload, FitReply* out);
+Status DecodeQueryBatch(std::string_view payload, QueryBatchRequest* out);
+Status DecodeQueryBatchReply(std::string_view payload, QueryBatchReply* out);
+Status DecodeWarm(std::string_view payload, WarmRequest* out);
+Status DecodeWarmReply(std::string_view payload, WarmReply* out);
+Status DecodeStatsReply(std::string_view payload, StatsReply* out);
+/// Reconstructs the Status an ErrorReply carries (an unknown wire code maps
+/// to Internal); fails with InvalidArgument on a malformed payload.
+Status DecodeErrorReply(std::string_view payload, Status* out);
+
+}  // namespace privtree::server
+
+#endif  // PRIVTREE_SERVER_PROTOCOL_H_

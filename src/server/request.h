@@ -1,0 +1,76 @@
+// Request and response value types of the async serving front end.
+//
+// A FitSpec names one release the way a ReleaseSession caller would: which
+// registered method, with which options, how much ε, and the session seed
+// the randomness derives from.  The engine turns (seed) into the release
+// Rng exactly as ReleaseSession does — Rng(seed).Fork() — so an answer
+// served over the socket is bit-for-bit the answer an in-process session
+// with the same seed would have produced (the parity the serving tests and
+// the CI smoke pin down).
+//
+// Responses carry a Status instead of throwing: shed load is Unavailable,
+// an expired deadline is DeadlineExceeded, a bad spec is InvalidArgument.
+#ifndef PRIVTREE_SERVER_REQUEST_H_
+#define PRIVTREE_SERVER_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dp/status.h"
+#include "release/method.h"
+#include "release/options.h"
+
+namespace privtree::server {
+
+/// Identifies one fit the way a ReleaseSession caller would.
+struct FitSpec {
+  std::string method;              ///< Registry name ("privtree", "ug", ...).
+  release::MethodOptions options;  ///< Method options (may be empty).
+  double epsilon = 1.0;            ///< Total ε of the release.
+  std::uint64_t seed = 0;          ///< Session seed; release rng is Fork().
+};
+
+/// Request deadlines are steady-clock points; kNoDeadline means "never".
+using DeadlineClock = std::chrono::steady_clock;
+inline constexpr DeadlineClock::time_point kNoDeadline =
+    DeadlineClock::time_point::max();
+
+/// Converts a wire-format relative deadline (milliseconds from arrival,
+/// 0 = none) into an absolute time point.  Anything beyond ~1 year is
+/// treated as "no deadline" — the wire value is untrusted, and adding a
+/// huge millis to now() would overflow the clock's representation
+/// (wrapping into the past, i.e. instant expiry).
+inline DeadlineClock::time_point DeadlineFromMillis(std::int64_t millis) {
+  constexpr std::int64_t kMaxDeadlineMillis =
+      std::int64_t{366} * 24 * 60 * 60 * 1000;
+  if (millis <= 0 || millis > kMaxDeadlineMillis) return kNoDeadline;
+  return DeadlineClock::now() + std::chrono::milliseconds(millis);
+}
+
+/// Outcome of a fit request: release accounting, never the data.
+struct FitResponse {
+  Status status;
+  release::MethodMetadata metadata;  ///< Meaningful when status.ok().
+  bool cache_hit = false;            ///< Synopsis came from the cache.
+
+  static FitResponse Abandoned() {
+    return {Status::Internal("request abandoned by its executor"), {}, false};
+  }
+};
+
+/// Outcome of a query-batch request.
+struct QueryBatchResponse {
+  Status status;
+  std::vector<double> answers;  ///< One per query when status.ok().
+  bool cache_hit = false;       ///< The backing fit came from the cache.
+
+  static QueryBatchResponse Abandoned() {
+    return {Status::Internal("request abandoned by its executor"), {}, false};
+  }
+};
+
+}  // namespace privtree::server
+
+#endif  // PRIVTREE_SERVER_REQUEST_H_

@@ -1,0 +1,174 @@
+#include "server/server_loop.h"
+
+#include <utility>
+
+#include "release/registry.h"
+#include "server/protocol.h"
+#include "server/request.h"
+
+namespace privtree::server {
+
+ServerLoop::ServerLoop(AsyncEngine& engine, ListenSocket listener)
+    : engine_(engine), listener_(std::move(listener)) {}
+
+ServerLoop::~ServerLoop() { Stop(); }
+
+Status ServerLoop::Run() {
+  for (;;) {
+    Result<Connection> accepted = listener_.Accept();
+    if (!accepted.ok()) break;  // Stop() or a real listener failure.
+    auto conn = std::make_shared<Connection>(std::move(accepted).value());
+    std::vector<std::thread> finished;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) break;
+      conns_.push_back(conn);
+      handlers_.emplace_back([this, conn] { Serve(conn); });
+      finished.swap(finished_);
+    }
+    // Reap handlers whose clients have disconnected (they have already
+    // exited Serve, so these joins return immediately); without this a
+    // long-lived server would accumulate one zombie thread per client.
+    for (std::thread& handler : finished) handler.join();
+  }
+  Stop();
+  // Claim the handler threads under the lock, join outside it (a handler
+  // may be inside Stop() itself when it served the Shutdown frame).
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    handlers.swap(handlers_);
+    for (std::thread& handler : finished_) handlers.push_back(std::move(handler));
+    finished_.clear();
+  }
+  for (std::thread& handler : handlers) handler.join();
+  return Status::OK();
+}
+
+void ServerLoop::Stop() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stopping_ = true;
+  listener_.Shutdown();
+  for (const auto& conn : conns_) conn->ShutdownBoth();
+}
+
+void ServerLoop::Serve(const std::shared_ptr<Connection>& conn) {
+  for (;;) {
+    Result<std::string> frame = conn->RecvFrame();
+    if (!frame.ok()) break;  // Clean close, peer failure, or Stop().
+    bool shutdown = false;
+    const std::string reply = HandleFrame(frame.value(), &shutdown);
+    if (!conn->SendFrame(reply).ok()) break;
+    if (shutdown) {
+      Stop();
+      break;
+    }
+  }
+  // Retire this connection and move our own thread handle to the finished
+  // list for the accept loop to reap, so neither list grows with server
+  // lifetime.
+  std::lock_guard<std::mutex> lk(mu_);
+  std::erase(conns_, conn);
+  const auto self = std::this_thread::get_id();
+  for (auto it = handlers_.begin(); it != handlers_.end(); ++it) {
+    if (it->get_id() == self) {
+      finished_.push_back(std::move(*it));
+      handlers_.erase(it);
+      break;
+    }
+  }
+}
+
+std::string ServerLoop::HandleFrame(std::string_view payload,
+                                    bool* shutdown) {
+  const Result<MessageType> type = PeekType(payload);
+  if (!type.ok()) return EncodeErrorReply(type.status());
+
+  switch (type.value()) {
+    case MessageType::kHello: {
+      HelloRequest request;
+      if (Status s = DecodeHello(payload, &request); !s.ok()) {
+        return EncodeErrorReply(s);
+      }
+      if (request.version != kProtocolVersion) {
+        return EncodeErrorReply(Status::InvalidArgument(
+            "protocol version " + std::to_string(request.version) +
+            " unsupported (server speaks " +
+            std::to_string(kProtocolVersion) + ")"));
+      }
+      HelloReply reply;
+      reply.dim = engine_.points().dim();
+      reply.point_count = engine_.points().size();
+      reply.dataset_fingerprint = engine_.dataset_fingerprint();
+      reply.methods = release::GlobalMethodRegistry().Names();
+      return EncodeHelloReply(reply);
+    }
+
+    case MessageType::kFit: {
+      FitRequest request;
+      if (Status s = DecodeFit(payload, &request); !s.ok()) {
+        return EncodeErrorReply(s);
+      }
+      const FitResponse& response =
+          engine_
+              .SubmitFit(request.spec,
+                         DeadlineFromMillis(request.deadline_millis))
+              .Get();
+      if (!response.status.ok()) return EncodeErrorReply(response.status);
+      return EncodeFitReply({response.metadata, response.cache_hit});
+    }
+
+    case MessageType::kQueryBatch: {
+      QueryBatchRequest request;
+      if (Status s = DecodeQueryBatch(payload, &request); !s.ok()) {
+        return EncodeErrorReply(s);
+      }
+      const QueryBatchResponse& response =
+          engine_
+              .SubmitQueryBatch(request.spec, std::move(request.queries),
+                                DeadlineFromMillis(request.deadline_millis))
+              .Get();
+      if (!response.status.ok()) return EncodeErrorReply(response.status);
+      return EncodeQueryBatchReply({response.answers, response.cache_hit});
+    }
+
+    case MessageType::kWarm: {
+      WarmRequest request;
+      if (Status s = DecodeWarm(payload, &request); !s.ok()) {
+        return EncodeErrorReply(s);
+      }
+      return EncodeWarmReply({engine_.Warm(request.specs)});
+    }
+
+    case MessageType::kStats: {
+      const AsyncEngine::StatsSnapshot snapshot = engine_.Stats();
+      StatsReply reply;
+      reply.queue_depth = snapshot.queue_depth;
+      reply.queue_max_depth = snapshot.queue_max_depth;
+      reply.admitted = snapshot.admission.admitted;
+      reply.shed_queue_full = snapshot.admission.shed_queue_full;
+      reply.shed_cache_saturated = snapshot.admission.shed_cache_saturated;
+      reply.expired = snapshot.admission.expired;
+      reply.coalesced_fits = snapshot.admission.coalesced_fits;
+      reply.cache_hits = snapshot.cache.hits;
+      reply.cache_misses = snapshot.cache.misses;
+      reply.cache_evictions = snapshot.cache.evictions;
+      reply.spill_writes = snapshot.cache.spill_writes;
+      reply.spill_pending = snapshot.cache.spill_pending;
+      reply.writeback_hits = snapshot.cache.writeback_hits;
+      return EncodeStatsReply(reply);
+    }
+
+    case MessageType::kShutdown:
+      *shutdown = true;
+      return EncodeShutdownReply();
+
+    default:
+      return EncodeErrorReply(Status::InvalidArgument(
+          "unexpected message type " +
+          std::to_string(static_cast<std::uint32_t>(type.value())) +
+          " (reply tags are server-to-client only)"));
+  }
+}
+
+}  // namespace privtree::server

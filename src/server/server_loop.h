@@ -1,0 +1,71 @@
+// The blocking accept/serve loop that puts an AsyncEngine on a socket.
+//
+// One thread runs Run(); every accepted client gets its own handler thread
+// that reads frames, dispatches them into the engine, blocks on the
+// completion future, and writes the reply — so slow requests only stall
+// their own connection while the engine interleaves everyone's work on the
+// shared pool.  A malformed frame answers with ErrorReply and keeps the
+// connection; a closed peer retires the handler.  The loop stops when a
+// client sends Shutdown or another thread calls Stop(); either way Run
+// joins every handler before returning, so no request is abandoned
+// mid-reply.
+#ifndef PRIVTREE_SERVER_SERVER_LOOP_H_
+#define PRIVTREE_SERVER_SERVER_LOOP_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "dp/status.h"
+#include "server/async_engine.h"
+#include "server/socket.h"
+
+namespace privtree::server {
+
+class ServerLoop {
+ public:
+  /// `engine` must outlive the loop; the loop takes the listener over.
+  ServerLoop(AsyncEngine& engine, ListenSocket listener);
+
+  /// Stops (but does not join — only Run joins) on destruction; destroy
+  /// only after Run has returned.
+  ~ServerLoop();
+
+  ServerLoop(const ServerLoop&) = delete;
+  ServerLoop& operator=(const ServerLoop&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Accepts and serves clients until Stop() or a Shutdown frame, then
+  /// joins every connection handler.  Call once.
+  Status Run();
+
+  /// Asynchronously stops the loop: fails the pending Accept and every
+  /// blocked connection read.  Idempotent; safe from any thread, including
+  /// a handler's own.
+  void Stop();
+
+ private:
+  /// Handler body for one accepted connection.
+  void Serve(const std::shared_ptr<Connection>& conn);
+
+  /// Dispatches one decoded frame; returns the reply payload and flags a
+  /// Shutdown frame.
+  std::string HandleFrame(std::string_view payload, bool* shutdown);
+
+  AsyncEngine& engine_;
+  ListenSocket listener_;
+  std::mutex mu_;
+  bool stopping_ = false;                            // Guarded by mu_.
+  std::vector<std::thread> handlers_;                // Live; guarded by mu_.
+  std::vector<std::thread> finished_;                // Exited, to reap.
+  std::vector<std::shared_ptr<Connection>> conns_;   // Guarded by mu_.
+};
+
+}  // namespace privtree::server
+
+#endif  // PRIVTREE_SERVER_SERVER_LOOP_H_

@@ -1,0 +1,228 @@
+#include "server/socket.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/byteio.h"
+#include "server/protocol.h"
+
+namespace privtree::server {
+
+namespace {
+
+Status Errno(std::string_view what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Writes all of `data`, absorbing short writes and EINTR.
+Status WriteAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes.  `*eof` is set when the peer closed before
+/// the first byte (only meaningful on failure).
+Status ReadAll(int fd, char* data, std::size_t size, bool* eof) {
+  *eof = false;
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      *eof = got == 0;
+      return Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Result<Connection> Connection::Dial(const std::string& host,
+                                    std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const std::string service = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                                   &found);
+      rc != 0) {
+    return Status::IOError("getaddrinfo " + host + ": " + gai_strerror(rc));
+  }
+  Status last = Status::IOError("no address for " + host);
+  for (const addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(found);
+      return Connection(fd);
+    }
+    last = Errno("connect " + host + ":" + service);
+    ::close(fd);
+  }
+  ::freeaddrinfo(found);
+  return last;
+}
+
+Status Connection::SendFrame(std::string_view payload) {
+  if (!ok()) return Status::IOError("connection is closed");
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds cap");
+  }
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  ByteWriter w(&frame);
+  w.U32(static_cast<std::uint32_t>(payload.size()));
+  frame.append(payload);
+  return WriteAll(fd_, frame.data(), frame.size());
+}
+
+Result<std::string> Connection::RecvFrame() {
+  if (!ok()) return Status::IOError("connection is closed");
+  char prefix[4];
+  bool eof = false;
+  if (Status read = ReadAll(fd_, prefix, sizeof(prefix), &eof); !read.ok()) {
+    if (eof) return Status::NotFound("eof");
+    return read;
+  }
+  ByteReader r(std::string_view(prefix, sizeof(prefix)));
+  std::uint32_t size = 0;
+  r.U32(&size);
+  if (size > kMaxFramePayload) {
+    return Status::InvalidArgument("frame length " + std::to_string(size) +
+                                   " exceeds cap");
+  }
+  std::string payload(size, '\0');
+  if (Status read = ReadAll(fd_, payload.data(), size, &eof); !read.ok()) {
+    return read;
+  }
+  return payload;
+}
+
+void Connection::ShutdownBoth() {
+  if (ok()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Connection::Close() {
+  if (ok()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+Result<ListenSocket> ListenSocket::Listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status bound = Errno("bind 127.0.0.1:" + std::to_string(port));
+    ::close(fd);
+    return bound;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const Status listened = Errno("listen");
+    ::close(fd);
+    return listened;
+  }
+
+  sockaddr_in bound_addr{};
+  socklen_t len = sizeof(bound_addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound_addr), &len) !=
+      0) {
+    const Status named = Errno("getsockname");
+    ::close(fd);
+    return named;
+  }
+  ListenSocket out;
+  out.fd_ = fd;
+  out.port_ = ntohs(bound_addr.sin_port);
+  return out;
+}
+
+Result<Connection> ListenSocket::Accept() {
+  if (!ok()) return Status::Unavailable("listener is shut down");
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Connection(fd);
+    }
+    if (errno == EINTR) continue;
+    // A shut-down listener wakes blocked accepts with EINVAL (or EBADF if
+    // already closed); report it as the clean stop it is.
+    if (errno == EINVAL || errno == EBADF) {
+      return Status::Unavailable("listener is shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+void ListenSocket::Shutdown() {
+  if (ok()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void ListenSocket::Close() {
+  if (ok()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace privtree::server

@@ -78,6 +78,38 @@ TEST(MethodOptionsTest, ValueParsesAsChecksPerType) {
   EXPECT_FALSE(ValueParsesAs(OptionType::kDouble, ""));
 }
 
+TEST(MethodOptionsTest, CheckOptionValueEnforcesDeclaredRanges) {
+  using release::CheckOptionValue;
+  using release::OptionKey;
+  using release::OptionType;
+
+  const OptionKey height{"height", OptionType::kInt, 2, 64};
+  EXPECT_TRUE(CheckOptionValue(height, "2").ok());
+  EXPECT_TRUE(CheckOptionValue(height, "64").ok());
+  EXPECT_FALSE(CheckOptionValue(height, "1").ok());   // Below min.
+  EXPECT_FALSE(CheckOptionValue(height, "-3").ok());  // The fitter CHECKs.
+  EXPECT_FALSE(CheckOptionValue(height, "65").ok());  // Above max.
+  EXPECT_FALSE(CheckOptionValue(height, "2.5").ok());  // Not an integer.
+
+  // Open bounds: the (0, 1) budget-fraction case.
+  const OptionKey fraction{"fraction", OptionType::kDouble, 0, 1, true};
+  EXPECT_TRUE(CheckOptionValue(fraction, "0.5").ok());
+  EXPECT_FALSE(CheckOptionValue(fraction, "0").ok());
+  EXPECT_FALSE(CheckOptionValue(fraction, "1").ok());
+  EXPECT_FALSE(CheckOptionValue(fraction, "nan").ok());
+
+  // An unbounded key still screens the type, and rejects NaN.
+  const OptionKey theta{"theta", OptionType::kDouble};
+  EXPECT_TRUE(CheckOptionValue(theta, "-12.25").ok());
+  EXPECT_FALSE(CheckOptionValue(theta, "nan").ok());
+  EXPECT_FALSE(CheckOptionValue(theta, "oops").ok());
+
+  // Booleans have no range.
+  const OptionKey flag{"flag", OptionType::kBool};
+  EXPECT_TRUE(CheckOptionValue(flag, "true").ok());
+  EXPECT_FALSE(CheckOptionValue(flag, "2").ok());
+}
+
 TEST(MethodOptionsTest, KnownKeysPass) {
   const MethodOptions options = MethodOptions::Parse("cell_scale=2");
   RequireKnownKeys(options, {"cell_scale", "c0"});  // Must not abort.

@@ -2,7 +2,9 @@
 // spill directory, misses rehydrate from disk (single-flight, identical
 // answers, no re-fit), the tier is capacity-bounded, survives a cache
 // restart on the same directory, falls back to fitting on corruption, and
-// Clear() removes the files.
+// Clear() removes the files.  Spill writes happen on a background writer
+// (write-behind): the tests FlushSpill() before asserting on-disk state,
+// and the write-behind buffer itself must serve misses without re-fitting.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -78,7 +80,10 @@ TEST_F(SynopsisSpillTest, EvictedEntriesSpillAndRehydrateIdentically) {
   // Fitting key 2 evicts key 1 from the 1-entry memory tier onto disk.
   cache.GetOrFit(KeyFor(2), [&] { return FitUg(points, 2); });
   EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.FlushSpill();  // The write happens behind the evicting caller.
   EXPECT_EQ(cache.stats().spill_writes, 1u);
+  EXPECT_EQ(cache.stats().spill_pending, 0u);
+  EXPECT_GE(cache.stats().spill_write_batches, 1u);
   EXPECT_EQ(cache.SpillFileCount(), 1u);
 
   // The miss on key 1 must rehydrate from disk — never re-fit.
@@ -105,6 +110,7 @@ TEST_F(SynopsisSpillTest, SpillTierIsCapacityBounded) {
   for (std::uint64_t k = 1; k <= 4; ++k) {
     cache.GetOrFit(KeyFor(k), [&] { return FitUg(points, k); });
   }
+  cache.FlushSpill();
   EXPECT_EQ(cache.stats().evictions, 3u);
   EXPECT_EQ(cache.SpillFileCount(), 1u);
   EXPECT_EQ(cache.stats().spill_evictions, 2u);
@@ -141,6 +147,7 @@ TEST_F(SynopsisSpillTest, CorruptSpillFileFallsBackToFitting) {
   SynopsisCache cache(1, SpillOptions{dir(), 8});
   cache.GetOrFit(KeyFor(1), [&] { return FitUg(points, 1); });
   cache.GetOrFit(KeyFor(2), [&] { return FitUg(points, 2); });
+  cache.FlushSpill();
   ASSERT_EQ(cache.SpillFileCount(), 1u);
 
   // Scribble over the spilled synopsis.
@@ -159,6 +166,7 @@ TEST_F(SynopsisSpillTest, CorruptSpillFileFallsBackToFitting) {
   EXPECT_EQ(cache.stats().spill_failures, 1u);
   // The broken file is dropped from the tier; re-fitting key 1 evicted
   // key 2 from the 1-entry memory tier, which wrote a fresh (valid) file.
+  cache.FlushSpill();
   EXPECT_EQ(cache.SpillFileCount(), 1u);
   EXPECT_EQ(cache.stats().spill_writes, 2u);
   const auto fresh = FitUg(points, 1);
@@ -171,6 +179,7 @@ TEST_F(SynopsisSpillTest, ClearRemovesSpillFiles) {
   SynopsisCache cache(1, SpillOptions{dir(), 8});
   cache.GetOrFit(KeyFor(1), [&] { return FitUg(points, 1); });
   cache.GetOrFit(KeyFor(2), [&] { return FitUg(points, 2); });
+  cache.FlushSpill();
   ASSERT_EQ(cache.SpillFileCount(), 1u);
   cache.Clear();
   EXPECT_EQ(cache.SpillFileCount(), 0u);
@@ -184,6 +193,7 @@ TEST_F(SynopsisSpillTest, ConcurrentRehydrationIsSingleFlight) {
   SynopsisCache cache(1, SpillOptions{dir(), 8});
   cache.GetOrFit(KeyFor(1), [&] { return FitUg(points, 1); });
   cache.GetOrFit(KeyFor(2), [&] { return FitUg(points, 2); });
+  cache.FlushSpill();
   ASSERT_EQ(cache.SpillFileCount(), 1u);
 
   std::atomic<int> fits{0};
@@ -206,6 +216,41 @@ TEST_F(SynopsisSpillTest, ConcurrentRehydrationIsSingleFlight) {
     ASSERT_NE(method, nullptr);
     EXPECT_EQ(method, got[0]);  // All callers share one instance.
   }
+}
+
+TEST_F(SynopsisSpillTest, WritebackBufferServesEvictionsWithoutRefit) {
+  const PointSet points = TestPoints();
+  SynopsisCache cache(1, SpillOptions{dir(), 8});
+  const auto original =
+      cache.GetOrFit(KeyFor(1), [&] { return FitUg(points, 1); });
+  // Evict key 1 and immediately miss on it again.  Whether or not the
+  // background writer has finished its file by then, the miss must be
+  // served without a re-fit: either straight from the write-behind buffer
+  // (writeback hit) or by rehydrating the already-written file.
+  cache.GetOrFit(KeyFor(2), [&] { return FitUg(points, 2); });
+  const auto again = cache.GetOrFit(KeyFor(1), [&] {
+    ADD_FAILURE() << "pending eviction was re-fitted";
+    return FitUg(points, 1);
+  });
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.writeback_hits + stats.spill_hits, 1u);
+  const Box q({0.2, 0.1}, {0.8, 0.7});
+  EXPECT_EQ(again->Query(q), original->Query(q));
+  cache.FlushSpill();
+  EXPECT_EQ(cache.stats().spill_pending, 0u);
+}
+
+TEST_F(SynopsisSpillTest, SynchronousModeWritesOnTheEvictingThread) {
+  const PointSet points = TestPoints();
+  SynopsisCache cache(
+      1, SpillOptions{dir(), 8, /*background_writer=*/false});
+  cache.GetOrFit(KeyFor(1), [&] { return FitUg(points, 1); });
+  cache.GetOrFit(KeyFor(2), [&] { return FitUg(points, 2); });
+  // No flush needed: the evicting caller did the write itself.
+  EXPECT_EQ(cache.stats().spill_writes, 1u);
+  EXPECT_EQ(cache.stats().spill_pending, 0u);
+  EXPECT_EQ(cache.stats().spill_write_batches, 0u);
+  EXPECT_EQ(cache.SpillFileCount(), 1u);
 }
 
 TEST_F(SynopsisSpillTest, KeyFingerprintsAreStableAndDistinct) {

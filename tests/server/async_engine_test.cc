@@ -1,0 +1,366 @@
+// The AsyncEngine serving contract:
+//   * answers are bit-for-bit identical to in-process ReleaseSession
+//     execution, for every registered method, serial or under N client
+//     threads submitting mixed fit/query traffic;
+//   * a saturated queue sheds with a clean Unavailable status instead of
+//     queueing unboundedly;
+//   * a request whose deadline passes while queued is retired with
+//     DeadlineExceeded and never executes;
+//   * identical in-flight fits coalesce onto the cache's single-flight
+//     path; Warm() fills the cache in the background.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dp/rng.h"
+#include "dp/status.h"
+#include "eval/workload.h"
+#include "release/registry.h"
+#include "release/session.h"
+#include "serve/synopsis_cache.h"
+#include "serve/thread_pool.h"
+#include "server/async_engine.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree::server {
+namespace {
+
+constexpr double kEpsilon = 1.0;
+constexpr std::uint64_t kSeed = 0xC11;
+
+PointSet TestPoints(std::size_t n = 400) {
+  Rng rng(0xDA7A);
+  PointSet points(2);
+  std::vector<double> p(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[0] = rng.NextDouble();
+    p[1] = rng.NextDouble() * rng.NextDouble();
+    points.Add(p);
+  }
+  return points;
+}
+
+std::vector<Box> TestQueries(std::size_t n = 40) {
+  Rng rng(0xBEEF);
+  return GenerateRangeQueries(Box::UnitCube(2), n, kMediumQueries, rng);
+}
+
+/// The ground truth the engine must reproduce exactly: an in-process
+/// session release with the same seed.
+std::vector<double> SessionAnswers(const PointSet& points,
+                                   const std::string& method,
+                                   const std::vector<Box>& queries,
+                                   std::uint64_t seed = kSeed) {
+  release::ReleaseSession session(points, Box::UnitCube(2), kEpsilon, seed);
+  return session.Release(method, kEpsilon)->QueryBatch(queries);
+}
+
+/// Blocks the (single) pool worker until Release() is called, so requests
+/// pile up in the engine's queue.  Block() returns only once the worker is
+/// provably inside the wedge task (otherwise a LIFO pop could service a
+/// later-submitted request first and the test would race).
+class Wedge {
+ public:
+  void Block(serve::ThreadPool& pool) {
+    pool.Submit([this] {
+      std::unique_lock<std::mutex> lk(mu_);
+      started_ = true;
+      cv_.notify_all();
+      cv_.wait(lk, [this] { return released_; });
+    });
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return started_; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool released_ = false;
+};
+
+TEST(AsyncEngineTest, EveryMethodMatchesReleaseSessionBitForBit) {
+  const PointSet points = TestPoints();
+  const std::vector<Box> queries = TestQueries();
+  serve::ThreadPool pool(4);
+  serve::SynopsisCache cache(16);
+  AsyncEngine engine(points, Box::UnitCube(2), pool, cache);
+
+  for (const std::string& method :
+       release::GlobalMethodRegistry().Names()) {
+    const FitSpec spec{method, {}, kEpsilon, kSeed};
+    const QueryBatchResponse& response =
+        engine.SubmitQueryBatch(spec, queries).Get();
+    ASSERT_TRUE(response.status.ok()) << method << ": "
+                                      << response.status.ToString();
+    const std::vector<double> want =
+        SessionAnswers(points, method, queries);
+    ASSERT_EQ(response.answers.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(response.answers[i], want[i])
+          << method << " query " << i << " diverged from ReleaseSession";
+    }
+  }
+}
+
+TEST(AsyncEngineTest, FitReportsSessionAccounting) {
+  const PointSet points = TestPoints();
+  serve::ThreadPool pool(2);
+  serve::SynopsisCache cache(16);
+  AsyncEngine engine(points, Box::UnitCube(2), pool, cache);
+
+  const FitSpec spec{"privtree", {}, kEpsilon, kSeed};
+  const FitResponse& first = engine.SubmitFit(spec).Get();
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.metadata.method, "privtree");
+  EXPECT_EQ(first.metadata.dim, 2u);
+  EXPECT_DOUBLE_EQ(first.metadata.epsilon_spent, kEpsilon);
+  EXPECT_GT(first.metadata.synopsis_size, 0u);
+
+  const FitResponse& second = engine.SubmitFit(spec).Get();
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.metadata.synopsis_size, first.metadata.synopsis_size);
+}
+
+TEST(AsyncEngineTest, ConcurrentMixedTrafficMatchesSerialExecution) {
+  const PointSet points = TestPoints();
+  const std::vector<Box> queries = TestQueries();
+  const std::vector<std::string> methods =
+      release::GlobalMethodRegistry().Names();
+
+  // Serial ground truth, one per (method, seed) release.
+  std::map<std::pair<std::string, std::uint64_t>, std::vector<double>> want;
+  for (const std::string& method : methods) {
+    for (const std::uint64_t seed : {kSeed, kSeed + 1}) {
+      want[{method, seed}] = SessionAnswers(points, method, queries, seed);
+    }
+  }
+
+  serve::ThreadPool pool(4);
+  serve::SynopsisCache cache(64);
+  AsyncEngine engine(points, Box::UnitCube(2), pool, cache);
+
+  constexpr std::size_t kClients = 8;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Every client walks the methods at its own phase, mixing fits and
+      // query batches over two seeds; all of them race on the one cache.
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        const std::string& method = methods[(m + c) % methods.size()];
+        const std::uint64_t seed = kSeed + (c % 2);
+        const FitSpec spec{method, {}, kEpsilon, seed};
+        if (c % 2 == 0) {
+          const FitResponse& fitted = engine.SubmitFit(spec).Get();
+          if (!fitted.status.ok()) ++failures;
+        }
+        const QueryBatchResponse& response =
+            engine.SubmitQueryBatch(spec, queries).Get();
+        if (!response.status.ok()) {
+          ++failures;
+          continue;
+        }
+        if (response.answers != want[{method, seed}]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent serving diverged from serial execution";
+}
+
+TEST(AsyncEngineTest, SaturatedQueueShedsWithUnavailable) {
+  const PointSet points = TestPoints(100);
+  serve::ThreadPool pool(1);
+  serve::SynopsisCache cache(16);
+  EngineOptions options;
+  options.admission.max_queue_depth = 2;
+  AsyncEngine engine(points, Box::UnitCube(2), pool, cache, options);
+
+  Wedge wedge;
+  wedge.Block(pool);
+
+  const std::vector<Box> queries = TestQueries(4);
+  std::vector<Future<QueryBatchResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    // Distinct seeds: six distinct requests, no coalescing in play.
+    futures.push_back(engine.SubmitQueryBatch(
+        {"ug", {}, kEpsilon, kSeed + static_cast<std::uint64_t>(i)},
+        queries));
+  }
+  // With the worker wedged, only max_queue_depth requests may wait; the
+  // rest must already be resolved as shed.
+  std::size_t shed = 0;
+  for (const auto& future : futures) {
+    if (future.Ready() &&
+        future.Get().status.code() == StatusCode::kUnavailable) {
+      ++shed;
+    }
+  }
+  EXPECT_EQ(shed, 4u);
+  EXPECT_EQ(engine.Stats().admission.shed_queue_full, 4u);
+  EXPECT_EQ(engine.Stats().admission.admitted, 2u);
+
+  wedge.Release();
+  std::size_t served = 0;
+  for (const auto& future : futures) {
+    const QueryBatchResponse& response = future.Get();
+    if (response.status.ok()) {
+      ++served;
+      EXPECT_EQ(response.answers.size(), queries.size());
+    }
+  }
+  EXPECT_EQ(served, 2u);
+}
+
+TEST(AsyncEngineTest, ExpiredRequestsNeverExecute) {
+  const PointSet points = TestPoints(100);
+  serve::ThreadPool pool(1);
+  serve::SynopsisCache cache(16);
+  AsyncEngine engine(points, Box::UnitCube(2), pool, cache);
+
+  Wedge wedge;
+  wedge.Block(pool);
+
+  const auto deadline =
+      DeadlineClock::now() + std::chrono::milliseconds(20);
+  Future<QueryBatchResponse> future =
+      engine.SubmitQueryBatch({"ug", {}, kEpsilon, kSeed}, TestQueries(4),
+                              deadline);
+  const std::size_t misses_before = cache.stats().misses;
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  wedge.Release();
+
+  const QueryBatchResponse& response = future.Get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(response.answers.empty());
+  pool.WaitIdle();
+  // The fit never ran: no cache traffic happened on the request's behalf.
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  EXPECT_EQ(engine.Stats().admission.expired, 1u);
+  EXPECT_EQ(engine.admission().InFlightFits(), 0u);
+}
+
+TEST(AsyncEngineTest, IdenticalInFlightFitsCoalesce) {
+  const PointSet points = TestPoints(100);
+  serve::ThreadPool pool(1);
+  serve::SynopsisCache cache(16);
+  AsyncEngine engine(points, Box::UnitCube(2), pool, cache);
+
+  Wedge wedge;
+  wedge.Block(pool);
+  const FitSpec spec{"ug", {}, kEpsilon, kSeed};
+  Future<FitResponse> first = engine.SubmitFit(spec);
+  Future<FitResponse> second = engine.SubmitFit(spec);
+  EXPECT_EQ(engine.Stats().admission.coalesced_fits, 1u);
+  EXPECT_EQ(engine.admission().InFlightFits(), 1u);
+  wedge.Release();
+
+  ASSERT_TRUE(first.Get().status.ok());
+  ASSERT_TRUE(second.Get().status.ok());
+  // One real fit; the coalesced request rode the cache's single flight.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(first.Get().metadata.synopsis_size,
+            second.Get().metadata.synopsis_size);
+  EXPECT_EQ(engine.admission().InFlightFits(), 0u);
+}
+
+TEST(AsyncEngineTest, WarmPrefetchesTheCache) {
+  const PointSet points = TestPoints(100);
+  serve::ThreadPool pool(2);
+  serve::SynopsisCache cache(16);
+  AsyncEngine engine(points, Box::UnitCube(2), pool, cache);
+
+  const std::vector<FitSpec> specs = {
+      {"ug", {}, kEpsilon, kSeed},
+      {"privtree", {}, kEpsilon, kSeed},
+      {"nonsense", {}, kEpsilon, kSeed},  // Skipped, not an error.
+  };
+  EXPECT_EQ(engine.Warm(specs), 2u);
+  pool.WaitIdle();
+  EXPECT_NE(cache.Lookup(engine.KeyFor(specs[0])), nullptr);
+  EXPECT_NE(cache.Lookup(engine.KeyFor(specs[1])), nullptr);
+  // A second Warm finds everything cached and accepts nothing.
+  EXPECT_EQ(engine.Warm(specs), 0u);
+  // Warmed fits serve as cache hits.
+  const FitResponse& fitted = engine.SubmitFit(specs[0]).Get();
+  ASSERT_TRUE(fitted.status.ok());
+  EXPECT_TRUE(fitted.cache_hit);
+}
+
+TEST(AsyncEngineTest, InvalidSpecsResolveImmediately) {
+  const PointSet points = TestPoints(100);
+  serve::ThreadPool pool(1);
+  serve::SynopsisCache cache(4);
+  AsyncEngine engine(points, Box::UnitCube(2), pool, cache);
+
+  {
+    Future<FitResponse> future =
+        engine.SubmitFit({"nonsense", {}, kEpsilon, kSeed});
+    ASSERT_TRUE(future.Ready());
+    EXPECT_EQ(future.Get().status.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    Future<FitResponse> future =
+        engine.SubmitFit({"ug", {}, -1.0, kSeed});
+    ASSERT_TRUE(future.Ready());
+    EXPECT_EQ(future.Get().status.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    Future<FitResponse> future = engine.SubmitFit(
+        {"ug", release::MethodOptions::Parse("bogus_key=1"), kEpsilon,
+         kSeed});
+    ASSERT_TRUE(future.Ready());
+    EXPECT_EQ(future.Get().status.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Well-typed but out of the declared range: the fitter's aborting
+    // contract check (height >= 2) must never see this value.
+    Future<FitResponse> future = engine.SubmitFit(
+        {"hierarchy", release::MethodOptions::Parse("height=-3"), kEpsilon,
+         kSeed});
+    ASSERT_TRUE(future.Ready());
+    EXPECT_EQ(future.Get().status.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Dataset-relative range: more split dims than the data has.
+    Future<FitResponse> future = engine.SubmitFit(
+        {"privtree", release::MethodOptions::Parse("dims_per_split=3"),
+         kEpsilon, kSeed});
+    ASSERT_TRUE(future.Ready());
+    EXPECT_EQ(future.Get().status.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // 3-d boxes against a 2-d dataset.
+    Future<QueryBatchResponse> future = engine.SubmitQueryBatch(
+        {"ug", {}, kEpsilon, kSeed},
+        {Box({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0})});
+    ASSERT_TRUE(future.Ready());
+    EXPECT_EQ(future.Get().status.code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(engine.Stats().admission.admitted, 0u);
+}
+
+}  // namespace
+}  // namespace privtree::server

@@ -1,0 +1,288 @@
+// The wire protocol: every message round-trips through encode/decode, and
+// every malformation — truncation, trailing bytes, wrong tags, inverted
+// boxes, unparsable options — decodes to a clean Status error.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/byteio.h"
+#include "dp/status.h"
+#include "server/protocol.h"
+#include "server/request.h"
+#include "spatial/box.h"
+
+namespace privtree::server {
+namespace {
+
+FitSpec SampleSpec() {
+  FitSpec spec;
+  spec.method = "privtree";
+  spec.options = release::MethodOptions::Parse("max_depth=12");
+  spec.epsilon = 0.5;
+  spec.seed = 0xC11;
+  return spec;
+}
+
+TEST(ProtocolTest, HelloRoundTrip) {
+  HelloReply reply;
+  reply.dim = 2;
+  reply.point_count = 1000;
+  reply.dataset_fingerprint = 0xDEADBEEF;
+  reply.methods = {"ag", "privtree", "ug"};
+  const std::string payload = EncodeHelloReply(reply);
+  ASSERT_EQ(PeekType(payload).value(), MessageType::kHelloReply);
+
+  HelloReply decoded;
+  ASSERT_TRUE(DecodeHelloReply(payload, &decoded).ok());
+  EXPECT_EQ(decoded.version, kProtocolVersion);
+  EXPECT_EQ(decoded.dim, 2u);
+  EXPECT_EQ(decoded.point_count, 1000u);
+  EXPECT_EQ(decoded.dataset_fingerprint, 0xDEADBEEFu);
+  EXPECT_EQ(decoded.methods, reply.methods);
+
+  HelloRequest request;
+  ASSERT_TRUE(DecodeHello(EncodeHello(HelloRequest{}), &request).ok());
+  EXPECT_EQ(request.version, kProtocolVersion);
+}
+
+TEST(ProtocolTest, FitRoundTripPreservesSpec) {
+  const std::string payload = EncodeFit({SampleSpec(), 1500});
+  FitRequest decoded;
+  ASSERT_TRUE(DecodeFit(payload, &decoded).ok());
+  EXPECT_EQ(decoded.spec.method, "privtree");
+  EXPECT_EQ(decoded.spec.options.ToString(), "max_depth=12");
+  EXPECT_EQ(decoded.spec.epsilon, 0.5);
+  EXPECT_EQ(decoded.spec.seed, 0xC11u);
+  EXPECT_EQ(decoded.deadline_millis, 1500);
+}
+
+TEST(ProtocolTest, FitReplyRoundTripsMetadata) {
+  FitReply reply;
+  reply.metadata.method = "ug";
+  reply.metadata.dim = 2;
+  reply.metadata.epsilon_spent = 1.25;
+  reply.metadata.synopsis_size = 4096;
+  reply.metadata.height = -1;
+  reply.cache_hit = true;
+  FitReply decoded;
+  ASSERT_TRUE(DecodeFitReply(EncodeFitReply(reply), &decoded).ok());
+  EXPECT_EQ(decoded.metadata.method, "ug");
+  EXPECT_EQ(decoded.metadata.dim, 2u);
+  EXPECT_EQ(decoded.metadata.epsilon_spent, 1.25);
+  EXPECT_EQ(decoded.metadata.synopsis_size, 4096u);
+  EXPECT_EQ(decoded.metadata.height, -1);
+  EXPECT_TRUE(decoded.cache_hit);
+}
+
+TEST(ProtocolTest, QueryBatchRoundTripsBoxesBitForBit) {
+  QueryBatchRequest request;
+  request.spec = SampleSpec();
+  request.deadline_millis = 0;
+  request.queries = {Box({0.125, 0.25}, {0.875, 0.5}),
+                     Box({0.0, 0.0}, {1.0, 1.0})};
+  QueryBatchRequest decoded;
+  ASSERT_TRUE(DecodeQueryBatch(EncodeQueryBatch(request), &decoded).ok());
+  ASSERT_EQ(decoded.queries.size(), 2u);
+  EXPECT_EQ(decoded.queries[0], request.queries[0]);
+  EXPECT_EQ(decoded.queries[1], request.queries[1]);
+
+  QueryBatchReply reply;
+  reply.answers = {1.5, -2.25, 1e-300};
+  reply.cache_hit = false;
+  QueryBatchReply decoded_reply;
+  ASSERT_TRUE(
+      DecodeQueryBatchReply(EncodeQueryBatchReply(reply), &decoded_reply)
+          .ok());
+  EXPECT_EQ(decoded_reply.answers, reply.answers);
+}
+
+TEST(ProtocolTest, EmptyQueryBatchIsValid) {
+  QueryBatchRequest request;
+  request.spec = SampleSpec();
+  QueryBatchRequest decoded;
+  ASSERT_TRUE(DecodeQueryBatch(EncodeQueryBatch(request), &decoded).ok());
+  EXPECT_TRUE(decoded.queries.empty());
+}
+
+TEST(ProtocolTest, WarmRoundTrip) {
+  WarmRequest request;
+  request.specs = {SampleSpec(), SampleSpec()};
+  request.specs[1].method = "ug";
+  request.specs[1].options = {};
+  WarmRequest decoded;
+  ASSERT_TRUE(DecodeWarm(EncodeWarm(request), &decoded).ok());
+  ASSERT_EQ(decoded.specs.size(), 2u);
+  EXPECT_EQ(decoded.specs[0].method, "privtree");
+  EXPECT_EQ(decoded.specs[1].method, "ug");
+
+  WarmReply reply;
+  ASSERT_TRUE(DecodeWarmReply(EncodeWarmReply({2}), &reply).ok());
+  EXPECT_EQ(reply.accepted, 2u);
+}
+
+TEST(ProtocolTest, StatsReplyRoundTrip) {
+  StatsReply reply;
+  reply.queue_depth = 3;
+  reply.admitted = 100;
+  reply.shed_queue_full = 7;
+  reply.expired = 2;
+  reply.writeback_hits = 5;
+  StatsReply decoded;
+  ASSERT_TRUE(DecodeStatsReply(EncodeStatsReply(reply), &decoded).ok());
+  EXPECT_EQ(decoded.queue_depth, 3u);
+  EXPECT_EQ(decoded.admitted, 100u);
+  EXPECT_EQ(decoded.shed_queue_full, 7u);
+  EXPECT_EQ(decoded.expired, 2u);
+  EXPECT_EQ(decoded.writeback_hits, 5u);
+}
+
+TEST(ProtocolTest, ErrorReplyCarriesEveryStatusCode) {
+  for (const Status& status :
+       {Status::InvalidArgument("bad spec"), Status::NotFound("eof"),
+        Status::IOError("io"), Status::OutOfRange("range"),
+        Status::Internal("bug"), Status::Unavailable("shed"),
+        Status::DeadlineExceeded("late")}) {
+    Status decoded;
+    ASSERT_TRUE(DecodeErrorReply(EncodeErrorReply(status), &decoded).ok());
+    EXPECT_EQ(decoded.code(), status.code());
+    EXPECT_EQ(decoded.message(), status.message());
+  }
+}
+
+TEST(ProtocolTest, TruncationAlwaysFailsCleanly) {
+  const std::string payload = EncodeQueryBatch(
+      {SampleSpec(), 10, {Box({0.1, 0.2}, {0.3, 0.4})}});
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    QueryBatchRequest decoded;
+    EXPECT_FALSE(
+        DecodeQueryBatch(payload.substr(0, cut), &decoded).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(ProtocolTest, TrailingBytesAreRejected) {
+  std::string payload = EncodeFit({SampleSpec(), 0});
+  payload += '\0';
+  FitRequest decoded;
+  EXPECT_FALSE(DecodeFit(payload, &decoded).ok());
+}
+
+TEST(ProtocolTest, WrongTagIsRejected) {
+  const std::string payload = EncodeFit({SampleSpec(), 0});
+  QueryBatchRequest decoded;
+  EXPECT_FALSE(DecodeQueryBatch(payload, &decoded).ok());
+  EXPECT_FALSE(PeekType("").ok());
+  std::string unknown;
+  unknown.assign("\xEE\xEE\xEE\xEE", 4);
+  EXPECT_FALSE(PeekType(unknown).ok());
+}
+
+TEST(ProtocolTest, InvertedBoxIsRejected) {
+  QueryBatchRequest request;
+  request.spec = SampleSpec();
+  request.queries = {Box({0.1, 0.1}, {0.9, 0.9})};
+  std::string payload = EncodeQueryBatch(request);
+  // Swap the last box's lo_2/hi_2 doubles in place: lo > hi on the wire.
+  std::string lo = payload.substr(payload.size() - 16, 8);
+  std::string hi = payload.substr(payload.size() - 8, 8);
+  payload.replace(payload.size() - 16, 8, hi);
+  payload.replace(payload.size() - 8, 8, lo);
+  QueryBatchRequest decoded;
+  const Status status = DecodeQueryBatch(payload, &decoded);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, HostileDimensionsAndCountsAreRejectedNotFatal) {
+  // A hand-crafted QueryBatch whose u64 dim makes 16·dim wrap (or whose
+  // count implies a huge allocation) must decode to an error — one frame
+  // must never be able to kill the server via SIGFPE or bad_alloc.
+  for (const std::uint64_t dim :
+       {std::uint64_t{1} << 60, (std::uint64_t{1} << 60) + 1,
+        std::uint64_t{0}, std::uint64_t{1} << 40}) {
+    std::string payload;
+    ByteWriter w(&payload);
+    w.U32(static_cast<std::uint32_t>(MessageType::kQueryBatch));
+    w.Str("ug");
+    w.Str("");
+    w.F64(1.0);
+    w.U64(0xC11);
+    w.I64(0);
+    w.U64(dim);
+    w.U64(1);  // One claimed box.
+    w.F64(0.0);
+    w.F64(1.0);
+    QueryBatchRequest decoded;
+    EXPECT_FALSE(DecodeQueryBatch(payload, &decoded).ok())
+        << "dim=" << dim << " decoded";
+  }
+}
+
+TEST(ProtocolTest, HostileReplyCountsAreRejectedNotFatal) {
+  // A QueryBatchReply claiming 2^61 answers must fail cleanly in the
+  // client (F64Vec bounds-check, no allocation), not throw length_error.
+  std::string payload;
+  ByteWriter w(&payload);
+  w.U32(static_cast<std::uint32_t>(MessageType::kQueryBatchReply));
+  w.U32(0);
+  w.U64(std::uint64_t{1} << 61);
+  w.F64(1.0);
+  QueryBatchReply decoded;
+  EXPECT_FALSE(DecodeQueryBatchReply(payload, &decoded).ok());
+}
+
+TEST(ProtocolTest, HostileWarmCountsAreRejectedNotFatal) {
+  // A Warm frame claiming millions of specs backed by filler bytes must
+  // not pre-allocate count FitSpecs (a multi-GB amplification); specs are
+  // at least 24 wire bytes each, and the count is bounded by that.
+  std::string payload;
+  ByteWriter w(&payload);
+  w.U32(static_cast<std::uint32_t>(MessageType::kWarm));
+  w.U64(67'000'000);
+  payload.append(1024, '\0');  // Filler far short of the claimed specs.
+  WarmRequest decoded;
+  EXPECT_FALSE(DecodeWarm(payload, &decoded).ok());
+  EXPECT_TRUE(decoded.specs.empty());
+}
+
+TEST(ProtocolTest, ErrorReplyWithOkCodeBecomesInternal) {
+  // An ErrorReply can never legitimately carry OK; mapping it to OK would
+  // feed an OK Status into Result (which aborts on OK-as-error).
+  std::string payload;
+  ByteWriter w(&payload);
+  w.U32(static_cast<std::uint32_t>(MessageType::kErrorReply));
+  w.U32(0);  // StatusCode::kOk on the wire.
+  w.Str("liar");
+  Status decoded;
+  ASSERT_TRUE(DecodeErrorReply(payload, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kInternal);
+}
+
+TEST(ProtocolTest, UnparsableOptionsAreRejected) {
+  FitRequest request{SampleSpec(), 0};
+  std::string payload = EncodeFit(request);
+  // Rebuild with a corrupt options string via a hand-rolled spec.
+  FitSpec bad = SampleSpec();
+  bad.options = {};
+  std::string raw = EncodeFit({bad, 0});
+  // "max_depth=12" is absent; craft "no-equals" text by hand instead.
+  // Simpler: the decoder runs TryParse, so feed it through a spec whose
+  // canonical text is malformed — impossible via MethodOptions, so splice
+  // raw bytes: replace the empty options string with "oops" (no '=').
+  const std::string needle(
+      "\x00\x00\x00\x00", 4);  // u32 length 0 of the options string.
+  const std::size_t method_end =
+      4 /*tag*/ + 4 + bad.method.size();  // tag + str header + bytes.
+  ASSERT_EQ(raw.compare(method_end, 4, needle), 0);
+  const std::string options_text = "oops";
+  std::string spliced = raw.substr(0, method_end);
+  spliced += std::string("\x04\x00\x00\x00", 4);
+  spliced += options_text;
+  spliced += raw.substr(method_end + 4);
+  FitRequest decoded;
+  EXPECT_FALSE(DecodeFit(spliced, &decoded).ok());
+}
+
+}  // namespace
+}  // namespace privtree::server

@@ -1,0 +1,272 @@
+// End-to-end over the socket: a ServerLoop on an ephemeral loopback port
+// serves concurrent clients whose fit + query-batch answers are bit-for-bit
+// the in-process ReleaseSession answers, malformed frames answer ErrorReply
+// without killing the connection, Warm/Stats work remotely, and Shutdown
+// stops the loop cleanly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dp/rng.h"
+#include "dp/status.h"
+#include "eval/workload.h"
+#include "release/registry.h"
+#include "release/session.h"
+#include "serve/synopsis_cache.h"
+#include "serve/thread_pool.h"
+#include "server/async_engine.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server_loop.h"
+#include "server/socket.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree::server {
+namespace {
+
+constexpr double kEpsilon = 1.0;
+constexpr std::uint64_t kSeed = 0xC11;
+
+PointSet TestPoints(std::size_t n = 300) {
+  Rng rng(0xDA7A);
+  PointSet points(2);
+  std::vector<double> p(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[0] = rng.NextDouble();
+    p[1] = rng.NextDouble() * rng.NextDouble();
+    points.Add(p);
+  }
+  return points;
+}
+
+std::vector<Box> TestQueries(std::size_t n = 25) {
+  Rng rng(0xBEEF);
+  return GenerateRangeQueries(Box::UnitCube(2), n, kMediumQueries, rng);
+}
+
+/// One serving stack on an ephemeral port, torn down in order.
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    points_ = std::make_unique<PointSet>(TestPoints());
+    pool_ = std::make_unique<serve::ThreadPool>(4);
+    cache_ = std::make_unique<serve::SynopsisCache>(32);
+    engine_ = std::make_unique<AsyncEngine>(*points_, Box::UnitCube(2),
+                                            *pool_, *cache_);
+    auto listener = ListenSocket::Listen(0);
+    ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+    loop_ = std::make_unique<ServerLoop>(*engine_,
+                                         std::move(listener).value());
+    port_ = loop_->port();
+    serving_ = std::thread([this] { loop_->Run(); });
+  }
+
+  void TearDown() override {
+    loop_->Stop();
+    serving_.join();
+  }
+
+  Client MustConnect() {
+    auto connected = Client::Connect("127.0.0.1", port_);
+    EXPECT_TRUE(connected.ok()) << connected.status().ToString();
+    return std::move(connected).value();
+  }
+
+  std::unique_ptr<PointSet> points_;
+  std::unique_ptr<serve::ThreadPool> pool_;
+  std::unique_ptr<serve::SynopsisCache> cache_;
+  std::unique_ptr<AsyncEngine> engine_;
+  std::unique_ptr<ServerLoop> loop_;
+  std::uint16_t port_ = 0;
+  std::thread serving_;
+};
+
+TEST_F(ServerFixture, HelloDescribesTheServedDataset) {
+  Client client = MustConnect();
+  EXPECT_EQ(client.info().dim, 2u);
+  EXPECT_EQ(client.info().point_count, points_->size());
+  EXPECT_EQ(client.info().dataset_fingerprint,
+            engine_->dataset_fingerprint());
+  EXPECT_EQ(client.info().methods,
+            release::GlobalMethodRegistry().Names());
+}
+
+TEST_F(ServerFixture, EveryMethodServesInProcessAnswersOverTheSocket) {
+  Client client = MustConnect();
+  const std::vector<Box> queries = TestQueries();
+  for (const std::string& method :
+       release::GlobalMethodRegistry().Names()) {
+    const FitSpec spec{method, {}, kEpsilon, kSeed};
+    const auto fitted = client.Fit(spec);
+    ASSERT_TRUE(fitted.ok()) << method << ": "
+                             << fitted.status().ToString();
+    EXPECT_EQ(fitted.value().metadata.method, method);
+
+    const auto answers = client.QueryBatch(spec, queries);
+    ASSERT_TRUE(answers.ok()) << method << ": "
+                              << answers.status().ToString();
+    release::ReleaseSession session(*points_, Box::UnitCube(2), kEpsilon,
+                                    kSeed);
+    const std::vector<double> want =
+        session.Release(method, kEpsilon)->QueryBatch(queries);
+    ASSERT_EQ(answers.value().size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(answers.value()[i], want[i])
+          << method << " query " << i << " diverged over the wire";
+    }
+  }
+}
+
+TEST_F(ServerFixture, ConcurrentClientsShareOneCache) {
+  const std::vector<Box> queries = TestQueries();
+  constexpr std::size_t kClients = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto connected = Client::Connect("127.0.0.1", port_);
+      if (!connected.ok()) {
+        ++failures;
+        return;
+      }
+      Client client = std::move(connected).value();
+      for (const char* method : {"privtree", "ug"}) {
+        const FitSpec spec{method, {}, kEpsilon, kSeed};
+        const auto answers = client.QueryBatch(spec, queries);
+        if (!answers.ok()) ++failures;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All clients shared one cache: exactly one fit per method happened.
+  EXPECT_EQ(cache_->stats().misses, 2u);
+  EXPECT_GE(cache_->stats().hits + engine_->Stats().admission.coalesced_fits,
+            2u * (kClients - 1));
+}
+
+TEST_F(ServerFixture, WarmAndStatsWorkRemotely) {
+  Client client = MustConnect();
+  const std::vector<FitSpec> specs = {{"ug", {}, kEpsilon, kSeed},
+                                      {"wavelet", {}, kEpsilon, kSeed}};
+  const auto accepted = client.Warm(specs);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted.value(), 2u);
+  pool_->WaitIdle();
+
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.value().admitted, 2u);
+  EXPECT_EQ(stats.value().queue_max_depth, 256u);
+  // The warmed release now serves as a cache hit.
+  const auto fitted = client.Fit(specs[0]);
+  ASSERT_TRUE(fitted.ok());
+  EXPECT_TRUE(fitted.value().cache_hit);
+}
+
+TEST_F(ServerFixture, ServerSideErrorsComeBackAsStatuses) {
+  Client client = MustConnect();
+  const auto unknown = client.Fit({"nonsense", {}, kEpsilon, kSeed});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+
+  const auto negative = client.Fit({"ug", {}, -2.0, kSeed});
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+
+  // The connection survives rejected requests.
+  const auto fitted = client.Fit({"ug", {}, kEpsilon, kSeed});
+  EXPECT_TRUE(fitted.ok());
+}
+
+TEST_F(ServerFixture, MalformedFramesAnswerErrorReplyAndKeepServing) {
+  auto dialed = Connection::Dial("127.0.0.1", port_);
+  ASSERT_TRUE(dialed.ok());
+  Connection conn = std::move(dialed).value();
+
+  ASSERT_TRUE(conn.SendFrame("garbage frame").ok());
+  auto reply = conn.RecvFrame();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(PeekType(reply.value()).value(), MessageType::kErrorReply);
+  Status carried;
+  ASSERT_TRUE(DecodeErrorReply(reply.value(), &carried).ok());
+  EXPECT_EQ(carried.code(), StatusCode::kInvalidArgument);
+
+  // A reply tag sent as a request is refused, not crashed on.
+  ASSERT_TRUE(conn.SendFrame(EncodeShutdownReply()).ok());
+  reply = conn.RecvFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(PeekType(reply.value()).value(), MessageType::kErrorReply);
+
+  // The same connection still serves a well-formed handshake.
+  ASSERT_TRUE(conn.SendFrame(EncodeHello(HelloRequest{})).ok());
+  reply = conn.RecvFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(PeekType(reply.value()).value(), MessageType::kHelloReply);
+}
+
+TEST_F(ServerFixture, MixedDimBatchesAreRefusedClientSide) {
+  Client client = MustConnect();
+  const std::vector<Box> mixed = {Box({0.1, 0.2}, {0.5, 0.6}),
+                                  Box({0.1}, {0.5})};
+  const auto answers =
+      client.QueryBatch({"ug", {}, kEpsilon, kSeed}, mixed);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerFixture, SequentialReconnectsAreServedAndReaped) {
+  // Many short-lived clients in a row: each must be served, and the loop
+  // reaps finished handler threads as it accepts the next one.
+  const std::vector<Box> queries = TestQueries(5);
+  for (int i = 0; i < 10; ++i) {
+    Client client = MustConnect();
+    const auto answers =
+        client.QueryBatch({"ug", {}, kEpsilon, kSeed}, queries);
+    ASSERT_TRUE(answers.ok()) << "reconnect " << i << ": "
+                              << answers.status().ToString();
+  }
+}
+
+TEST_F(ServerFixture, VersionMismatchIsRefused) {
+  auto dialed = Connection::Dial("127.0.0.1", port_);
+  ASSERT_TRUE(dialed.ok());
+  Connection conn = std::move(dialed).value();
+  HelloRequest hello;
+  hello.version = kProtocolVersion + 1;
+  ASSERT_TRUE(conn.SendFrame(EncodeHello(hello)).ok());
+  auto reply = conn.RecvFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(PeekType(reply.value()).value(), MessageType::kErrorReply);
+}
+
+TEST_F(ServerFixture, ShutdownStopsTheLoop) {
+  Client client = MustConnect();
+  EXPECT_TRUE(client.Shutdown().ok());
+  serving_.join();  // Run() must return on its own after Shutdown.
+  serving_ = std::thread([] {});  // Keep TearDown's join well-defined.
+  // New connections are refused once the loop stopped.
+  auto refused = Client::Connect("127.0.0.1", port_);
+  EXPECT_FALSE(refused.ok());
+}
+
+TEST(ServerSocketTest, DialingAClosedPortFails) {
+  // Bind-then-close to find a port that is very likely unused.
+  auto listener = ListenSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = listener.value().port();
+  listener.value().Close();
+  auto dialed = Connection::Dial("127.0.0.1", port);
+  EXPECT_FALSE(dialed.ok());
+  EXPECT_EQ(dialed.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace privtree::server
