@@ -4,43 +4,49 @@
 // smaller ε means a larger bias term and therefore earlier stopping.
 //
 // Also reports tree sizes next to the noiseless reference |T*| (making the
-// Lemma 3.2 bound E[|T|] <= 2|T*| observable), a registry-wide build-time
-// comparison, and — new with the serving layer — batch-query throughput for
-// every backend.  The whole (ε × rep) fit sweep is sharded across a
-// serve::ThreadPool via serve::ParallelRunner, so runtime is a function of
-// --threads; the released synopses are bit-for-bit independent of the
-// thread count (each job carries its own pre-forked Rng).
+// Lemma 3.2 bound E[|T|] <= 2|T*| observable), registry-wide build-time
+// comparisons for both dataset kinds, and batch-query throughput for every
+// backend.  The whole (ε × rep) fit sweep — spatial *and* sequence — is
+// sharded through one serve::ParallelRunner over a release::Dataset, so
+// there is no per-dataset special case anywhere: every name resolves
+// through one descriptor table (unknown names fail loudly), every fit goes
+// through the registry, and the released synopses are bit-for-bit
+// independent of the thread count (each job carries its own pre-forked
+// Rng).
 //
 //   bench_table4_runtime [--threads=N] [--json=PATH] [--datasets=a,b,...]
 //                        [--queries=N] [--clients=N]
 //
-// The serving phase of the registry sweep runs through the *real* serving
-// path — a server::AsyncEngine (request queue + admission control +
-// completion futures) over the pool and the shared synopsis cache — so the
-// --threads numbers measure what a privtree_server process would deliver.
-// --clients=N drives a closed-loop load test per method: N client threads
-// each submit query batches back to back (next request only after the
-// previous response), reported as aggregate queries/second.
+// The serving phase runs through the *real* serving path for every listed
+// dataset — a server::AsyncEngine (request queue + admission control +
+// completion futures) over the pool and the shared synopsis cache — boxes
+// for the spatial datasets, SequenceQuery frames for mooc/msnbc.  A
+// dataset that bypasses the served path is a hard error, not a silent
+// skip.  --clients=N drives a closed-loop load test per dataset and per
+// sweep method: N client threads each submit query batches back to back
+// (next request only after the previous response), reported as aggregate
+// queries/second.
 //
-// --json writes machine-readable per-method wall-clock (fit seconds,
-// aggregate fit throughput, batch vs per-query serving time, async engine
-// serving time and closed-loop throughput) so successive PRs can track a
-// BENCH_*.json trajectory.
+// --json writes machine-readable per-dataset and per-method wall-clock so
+// successive PRs can track a BENCH_*.json trajectory.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <iterator>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "data/seq_gen.h"
+#include "bench/bench_seq_common.h"
 #include "eval/table.h"
+#include "release/dataset.h"
 #include "release/registry.h"
-#include "seq/pst_privtree.h"
+#include "release/sequence_query.h"
 #include "serve/parallel_runner.h"
 #include "serve/thread_pool.h"
 #include "server/async_engine.h"
@@ -57,6 +63,79 @@ double Seconds(const std::function<void()>& body) {
   return std::chrono::duration<double>(end - start).count();
 }
 
+/// One benchmarked dataset behind the uniform release::Dataset view: the
+/// descriptor every phase (fit sweep, serving, registry sweeps) works
+/// from, with no per-name branching outside MakeDatasetHolder.
+struct DatasetHolder {
+  std::string name;
+  release::DatasetKind kind = release::DatasetKind::kSpatial;
+  std::optional<SpatialCase> spatial;
+  std::optional<SequenceCase> sequence;
+
+  release::Dataset View() const {
+    return kind == release::DatasetKind::kSpatial
+               ? release::Dataset(spatial->points, spatial->domain)
+               : release::Dataset(sequence->truncated);
+  }
+  /// The Table-4 method for this kind: the paper's PrivTree, over points
+  /// or over sequences.
+  std::string FitMethod() const {
+    return kind == release::DatasetKind::kSpatial ? "privtree"
+                                                  : "pst_privtree";
+  }
+  release::MethodOptions FitOptions() const {
+    release::MethodOptions options;
+    if (kind == release::DatasetKind::kSequence) {
+      options.Set("l_top", std::to_string(sequence->l_top));
+    }
+    return options;
+  }
+  /// Distinct master seeds per kind (0x7E57 spatial — unchanged from the
+  /// pre-registry bench, so spatial rows stay comparable across the JSON
+  /// trajectory — and 0x7E58 sequence; the sequence datasets themselves
+  /// now come from the shared MakeSequenceCase generator, so their rows
+  /// start a fresh trajectory with this PR).
+  std::uint64_t FitSeed() const {
+    return kind == release::DatasetKind::kSpatial ? 0x7E57 : 0x7E58;
+  }
+};
+
+const std::vector<std::string>& SpatialNames() {
+  static const std::vector<std::string> names = {"road", "gowalla", "nyc",
+                                                 "beijing"};
+  return names;
+}
+
+const std::vector<std::string>& SequenceNames() {
+  static const std::vector<std::string> names = {"mooc", "msnbc"};
+  return names;
+}
+
+/// Resolves a dataset name through the descriptor table; unknown names are
+/// a usage error, reported loudly (never a silently skipped row).
+DatasetHolder MakeDatasetHolder(const std::string& name) {
+  DatasetHolder holder;
+  holder.name = name;
+  const auto& spatial = SpatialNames();
+  const auto& sequences = SequenceNames();
+  if (std::find(spatial.begin(), spatial.end(), name) != spatial.end()) {
+    holder.kind = release::DatasetKind::kSpatial;
+    holder.spatial.emplace(MakeSpatialCase(name, /*queries_per_band=*/0));
+    return holder;
+  }
+  if (std::find(sequences.begin(), sequences.end(), name) !=
+      sequences.end()) {
+    holder.kind = release::DatasetKind::kSequence;
+    holder.sequence.emplace(MakeSequenceCase(name));
+    return holder;
+  }
+  std::fprintf(stderr,
+               "error: unknown dataset \"%s\" (spatial: road, gowalla, "
+               "nyc, beijing; sequence: mooc, msnbc)\n",
+               name.c_str());
+  std::exit(2);
+}
+
 /// Per-dataset sweep results, for the tables and the JSON trail.
 struct DatasetPerf {
   std::string dataset;
@@ -65,6 +144,14 @@ struct DatasetPerf {
   std::vector<double> synopsis_sizes;  // Mean per ε.
   std::size_t jobs = 0;                // ε grid × reps.
   double wall_seconds = 0.0;           // Aggregate wall clock of the sweep.
+  // The served path: this dataset's default method answering a workload
+  // through the AsyncEngine (queue + admission + future) and a closed loop
+  // of `clients` concurrent clients.
+  std::string served_method;
+  std::size_t served_queries = 0;
+  double async_batch_seconds = 0.0;
+  double closed_loop_qps = 0.0;
+  bool served = false;
 };
 
 /// Per-method serving results on one dataset at ε = 1.
@@ -74,34 +161,34 @@ struct MethodPerf {
   double synopsis_size_mean = 0.0;
   std::size_t query_count = 0;
   double batch_query_seconds = 0.0;  // One QueryBatch over the workload.
-  double loop_query_seconds = 0.0;   // The same workload, one Query at a time.
-  // The serving path itself: the workload submitted through the
-  // AsyncEngine (queue + admission + future), and a closed loop of
-  // `clients` concurrent clients (aggregate answered queries / second).
+  double loop_query_seconds = 0.0;   // Spatial only: one Query at a time.
   double async_batch_seconds = 0.0;
   double closed_loop_qps = 0.0;
+  bool served = false;  // The AsyncEngine closed loop completed cleanly.
 };
 
-DatasetPerf RunSpatial(serve::ThreadPool& pool, const std::string& name) {
-  const SpatialCase data = MakeSpatialCase(name, /*queries_per_band=*/0);
+/// The Table-4 fit sweep — one code path for both kinds: per-(ε, rep) jobs
+/// with pre-forked Rngs, sharded by the runner over the registry method.
+DatasetPerf RunFitSweep(serve::ThreadPool& pool, const DatasetHolder& h) {
   const std::size_t reps = Repetitions(3);
   const serve::ParallelRunner runner(pool);  // Uncached: this bench times fits.
 
-  // One job per (ε, rep); randomness pre-forked per ε exactly as the serial
-  // bench derived it, so the fitted trees match any earlier run bit for bit.
   std::vector<serve::FitJob> jobs;
   jobs.reserve(PaperEpsilons().size() * reps);
   for (double epsilon : PaperEpsilons()) {
-    Rng master(0x7E57);
+    Rng master(h.FitSeed());
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      jobs.push_back({"privtree", {}, epsilon, master.Fork()});
+      jobs.push_back({h.FitMethod(), h.FitOptions(), epsilon, master.Fork()});
     }
   }
 
-  DatasetPerf perf{name, "spatial", {}, {}, jobs.size(), 0.0};
+  DatasetPerf perf;
+  perf.dataset = h.name;
+  perf.kind = std::string(release::DatasetKindName(h.kind));
+  perf.jobs = jobs.size();
   std::vector<serve::FitResult> results;
   perf.wall_seconds = Seconds([&] {
-    results = runner.FitAllTimed(data.points, data.domain, std::move(jobs));
+    results = runner.FitAllTimed(h.View(), std::move(jobs));
   });
 
   for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
@@ -109,8 +196,7 @@ DatasetPerf RunSpatial(serve::ThreadPool& pool, const std::string& name) {
     for (std::size_t rep = 0; rep < reps; ++rep) {
       const serve::FitResult& r = results[e * reps + rep];
       total_time += r.fit_seconds;
-      total_nodes +=
-          static_cast<double>(r.method->Metadata().synopsis_size);
+      total_nodes += static_cast<double>(r.method->Metadata().synopsis_size);
     }
     perf.fit_seconds.push_back(total_time / static_cast<double>(reps));
     perf.synopsis_sizes.push_back(total_nodes / static_cast<double>(reps));
@@ -118,100 +204,139 @@ DatasetPerf RunSpatial(serve::ThreadPool& pool, const std::string& name) {
   return perf;
 }
 
-DatasetPerf RunSequence(serve::ThreadPool& pool, const std::string& name) {
-  Rng data_rng(0x5EC);
-  const bool mooc = name == "mooc";
-  const std::size_t n = ScaledCardinality(
-      mooc ? kMoocCardinality : kMsnbcCardinality, mooc ? 40000 : 80000);
-  const SequenceDataset raw =
-      mooc ? GenerateMoocLike(n, data_rng) : GenerateMsnbcLike(n, data_rng);
-  const std::size_t l_top = mooc ? kMoocLTop : kMsnbcLTop;
-  const SequenceDataset data = raw.Truncate(l_top);
-  const std::size_t reps = Repetitions(3);
-
-  // The sequence pipeline has no registry adapter yet (see ROADMAP), so the
-  // reps are sharded directly over the pool with the same pre-forked-Rng
-  // discipline the runner uses.
-  struct Job {
-    double epsilon;
-    Rng rng;
-  };
-  std::vector<Job> jobs;
-  jobs.reserve(PaperEpsilons().size() * reps);
-  for (double epsilon : PaperEpsilons()) {
-    Rng master(0x7E58);
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      jobs.push_back({epsilon, master.Fork()});
+/// One closed-loop AsyncEngine measurement: submit the workload once for
+/// the async-batch column, then `clients` threads × `rounds` back-to-back
+/// submissions for aggregate throughput.  `submit` wraps the kind-specific
+/// Submit*QueryBatch call; returns false (with a diagnostic) when the
+/// served path failed.
+bool ClosedLoopServe(
+    const std::string& label, std::size_t clients, std::size_t query_count,
+    const std::function<server::Future<server::QueryBatchResponse>()>&
+        submit,
+    double* async_batch_seconds, double* closed_loop_qps) {
+  bool ok = true;
+  *async_batch_seconds = Seconds([&] {
+    const auto response = submit().Get();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "error: async serving %s: %s\n", label.c_str(),
+                   response.status.ToString().c_str());
+      ok = false;
     }
-  }
-
-  std::vector<double> seconds(jobs.size(), 0.0);
-  std::vector<double> nodes(jobs.size(), 0.0);
-  DatasetPerf perf{name, "sequence", {}, {}, jobs.size(), 0.0};
-  perf.wall_seconds = Seconds([&] {
-    pool.ParallelFor(jobs.size(), [&](std::size_t i) {
-      Rng rng = jobs[i].rng;
-      PrivatePstOptions options;
-      options.l_top = l_top;
-      seconds[i] = Seconds([&] {
-        const auto result =
-            BuildPrivatePst(data, jobs[i].epsilon, options, rng);
-        nodes[i] = static_cast<double>(result.model.size());
-      });
-    });
   });
+  if (!ok) return false;
 
-  for (std::size_t e = 0; e < PaperEpsilons().size(); ++e) {
-    double total_time = 0.0, total_nodes = 0.0;
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      total_time += seconds[e * reps + rep];
-      total_nodes += nodes[e * reps + rep];
+  const std::size_t rounds = 3;
+  std::size_t answered = 0;
+  const double closed_loop_seconds = Seconds([&] {
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> total{0};
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        std::size_t mine = 0;
+        for (std::size_t r = 0; r < rounds; ++r) {
+          const auto response = submit().Get();
+          if (response.status.ok()) mine += response.answers.size();
+        }
+        total.fetch_add(mine, std::memory_order_relaxed);
+      });
     }
-    perf.fit_seconds.push_back(total_time / static_cast<double>(reps));
-    perf.synopsis_sizes.push_back(total_nodes / static_cast<double>(reps));
-  }
-  return perf;
+    for (std::thread& t : threads) t.join();
+    answered = total.load();
+  });
+  *closed_loop_qps =
+      closed_loop_seconds > 0.0
+          ? static_cast<double>(answered) / closed_loop_seconds
+          : 0.0;
+  return answered >= query_count * clients * rounds;
 }
 
-/// Companion sweep: build + serving time of *every* registered method on one
-/// 2-d dataset at ε = 1, one row per registry entry.  The batch column is
-/// one QueryBatch over a `query_count`-query workload; the loop column
-/// answers the same workload one Query at a time.
+/// The served path for one dataset: its default method answering a
+/// kind-appropriate workload through a real AsyncEngine.  Every listed
+/// dataset goes through here; a failure is reported by the caller as a
+/// hard error (the closed-loop JSON must never under-report coverage).
+void RunServingPhase(serve::ThreadPool& pool, const DatasetHolder& h,
+                     std::size_t query_count, std::size_t clients,
+                     DatasetPerf* perf) {
+  server::AsyncEngine engine(h.View(), pool, serve::SharedSynopsisCache());
+  const server::FitSpec spec{h.FitMethod(), h.FitOptions(), /*epsilon=*/1.0,
+                             h.FitSeed()};
+  perf->served_method = spec.method;
+
+  if (h.kind == release::DatasetKind::kSpatial) {
+    Rng workload_rng(0xBA7C4);
+    std::vector<Box> queries;
+    for (const QuerySizeBand& band : kPaperBands) {
+      const auto band_queries = GenerateRangeQueries(
+          h.spatial->domain, query_count / std::size(kPaperBands), band,
+          workload_rng);
+      queries.insert(queries.end(), band_queries.begin(),
+                     band_queries.end());
+    }
+    perf->served_queries = queries.size();
+    perf->served = ClosedLoopServe(
+        h.name + "/" + spec.method, clients, queries.size(),
+        [&] { return engine.SubmitQueryBatch(spec, queries); },
+        &perf->async_batch_seconds, &perf->closed_loop_qps);
+    return;
+  }
+  Rng workload_rng(0xBA7C5);
+  const std::vector<release::SequenceQuery> queries =
+      GenerateSequenceQueries(h.sequence->truncated, query_count,
+                              workload_rng);
+  perf->served_queries = queries.size();
+  perf->served = ClosedLoopServe(
+      h.name + "/" + spec.method, clients, queries.size(),
+      [&] { return engine.SubmitSeqQueryBatch(spec, queries); },
+      &perf->async_batch_seconds, &perf->closed_loop_qps);
+}
+
+/// Companion sweep: build + serving time of every registered method of the
+/// dataset's kind at ε = 1, one row per registry entry, all through the
+/// same AsyncEngine closed loop.
 std::vector<MethodPerf> RunRegistrySweep(serve::ThreadPool& pool,
-                                         const std::string& dataset,
+                                         const DatasetHolder& h,
                                          std::size_t query_count,
                                          std::size_t clients) {
-  const SpatialCase data = MakeSpatialCase(dataset, /*queries_per_band=*/0);
   const std::size_t reps = Repetitions(3);
   const double epsilon = 1.0;
   const serve::ParallelRunner runner(pool, &serve::SharedSynopsisCache());
-  // The serving measurements run through the real serving path: an
-  // AsyncEngine over the same pool and cache a privtree_server would use.
-  server::AsyncEngine engine(data.points, data.domain, pool,
-                             serve::SharedSynopsisCache());
+  server::AsyncEngine engine(h.View(), pool, serve::SharedSynopsisCache());
 
-  Rng workload_rng(0xBA7C4);
-  std::vector<Box> queries;
-  for (const QuerySizeBand& band : kPaperBands) {
-    const auto band_queries = GenerateRangeQueries(
-        data.domain, query_count / std::size(kPaperBands), band, workload_rng);
-    queries.insert(queries.end(), band_queries.begin(), band_queries.end());
+  // Kind-appropriate workload, generated once for every method row.
+  std::vector<Box> boxes;
+  std::vector<release::SequenceQuery> seq_queries;
+  if (h.kind == release::DatasetKind::kSpatial) {
+    Rng workload_rng(0xBA7C4);
+    for (const QuerySizeBand& band : kPaperBands) {
+      const auto band_queries = GenerateRangeQueries(
+          h.spatial->domain, query_count / std::size(kPaperBands), band,
+          workload_rng);
+      boxes.insert(boxes.end(), band_queries.begin(), band_queries.end());
+    }
+  } else {
+    Rng workload_rng(0xBA7C5);
+    seq_queries = GenerateSequenceQueries(h.sequence->truncated, query_count,
+                                          workload_rng);
   }
 
+  const std::vector<MethodSpec> specs =
+      h.kind == release::DatasetKind::kSpatial
+          ? AllRegisteredSpecs(h.spatial->points.dim(), DiscretizationCells())
+          : SequenceSpecs(h.sequence->l_top);
+
   std::vector<MethodPerf> out;
-  for (const MethodSpec& spec :
-       AllRegisteredSpecs(data.points.dim(), DiscretizationCells())) {
-    Rng master(0x7E59 ^ std::hash<std::string>{}(spec.name));
+  for (const MethodSpec& spec : specs) {
+    const std::uint64_t seed =
+        0x7E59 ^ std::hash<std::string>{}(spec.name);
+    Rng master(seed);
     std::vector<serve::FitJob> jobs;
     for (std::size_t rep = 0; rep < reps; ++rep) {
       jobs.push_back({spec.name, spec.options, epsilon, master.Fork()});
     }
-    const auto results =
-        runner.FitAllTimed(data.points, data.domain, std::move(jobs));
+    const auto results = runner.FitAllTimed(h.View(), std::move(jobs));
 
     MethodPerf perf;
     perf.method = spec.name;
-    perf.query_count = queries.size();
     for (const serve::FitResult& r : results) {
       perf.fit_seconds_mean += r.fit_seconds;
       perf.synopsis_size_mean +=
@@ -221,69 +346,68 @@ std::vector<MethodPerf> RunRegistrySweep(serve::ThreadPool& pool,
     perf.synopsis_size_mean /= static_cast<double>(reps);
 
     const release::Method& method = *results.front().method;
-    std::vector<double> batch_answers;
-    perf.batch_query_seconds =
-        Seconds([&] { batch_answers = method.QueryBatch(queries); });
-    double loop_total = 0.0;
-    perf.loop_query_seconds = Seconds([&] {
-      for (const Box& q : queries) loop_total += method.Query(q);
-    });
-    // Keep the loop honest: the sum depends on every Query call.
-    if (loop_total == 0.0 && !batch_answers.empty()) {
-      std::fprintf(stderr, "(workload sum exactly zero on %s)\n",
-                   spec.name.c_str());
+    // The spec's seed recreates the first rep's randomness (Rng(seed).
+    // Fork() — the ReleaseSession derivation), so the engine serves the
+    // already-cached synopsis and the measurement isolates the queue +
+    // dispatch + query cost.
+    const server::FitSpec fit_spec{spec.name, spec.options, epsilon, seed};
+    if (h.kind == release::DatasetKind::kSpatial) {
+      perf.query_count = boxes.size();
+      std::vector<double> batch_answers;
+      perf.batch_query_seconds =
+          Seconds([&] { batch_answers = method.QueryBatch(boxes); });
+      double loop_total = 0.0;
+      perf.loop_query_seconds = Seconds([&] {
+        for (const Box& q : boxes) loop_total += method.Query(q);
+      });
+      // Keep the loop honest: the sum depends on every Query call.
+      if (loop_total == 0.0 && !batch_answers.empty()) {
+        std::fprintf(stderr, "(workload sum exactly zero on %s)\n",
+                     spec.name.c_str());
+      }
+      perf.served = ClosedLoopServe(
+          h.name + "/" + spec.name, clients, boxes.size(),
+          [&] { return engine.SubmitQueryBatch(fit_spec, boxes); },
+          &perf.async_batch_seconds, &perf.closed_loop_qps);
+    } else {
+      perf.query_count = seq_queries.size();
+      perf.batch_query_seconds = Seconds(
+          [&] { (void)method.QueryBatch(std::span(seq_queries)); });
+      // Sequence methods have no per-box Query; the batch is the only
+      // client-visible path.
+      perf.loop_query_seconds = 0.0;
+      perf.served = ClosedLoopServe(
+          h.name + "/" + spec.name, clients, seq_queries.size(),
+          [&] { return engine.SubmitSeqQueryBatch(fit_spec, seq_queries); },
+          &perf.async_batch_seconds, &perf.closed_loop_qps);
     }
-
-    // The same workload through the AsyncEngine.  The spec's seed recreates
-    // the first rep's randomness (Rng(seed).Fork() — the ReleaseSession
-    // derivation), so the engine serves the already-cached synopsis and the
-    // measurement isolates the queue + dispatch + query cost.
-    const server::FitSpec fit_spec{
-        spec.name, spec.options, epsilon,
-        0x7E59 ^ std::hash<std::string>{}(spec.name)};
-    perf.async_batch_seconds = Seconds([&] {
-      const auto response = engine.SubmitQueryBatch(fit_spec, queries).Get();
-      if (!response.status.ok()) {
-        std::fprintf(stderr, "error: async serving %s: %s\n",
-                     spec.name.c_str(),
-                     response.status.ToString().c_str());
-      }
-    });
-
-    // Closed loop: `clients` concurrent clients, each submitting the
-    // workload `rounds` times back to back.
-    const std::size_t rounds = 3;
-    std::size_t answered = 0;
-    const double closed_loop_seconds = Seconds([&] {
-      std::vector<std::thread> threads;
-      std::atomic<std::size_t> total{0};
-      for (std::size_t c = 0; c < clients; ++c) {
-        threads.emplace_back([&] {
-          std::size_t mine = 0;
-          for (std::size_t r = 0; r < rounds; ++r) {
-            const auto response =
-                engine.SubmitQueryBatch(fit_spec, queries).Get();
-            if (response.status.ok()) mine += response.answers.size();
-          }
-          total.fetch_add(mine, std::memory_order_relaxed);
-        });
-      }
-      for (std::thread& t : threads) t.join();
-      answered = total.load();
-    });
-    perf.closed_loop_qps = closed_loop_seconds > 0.0
-                               ? static_cast<double>(answered) /
-                                     closed_loop_seconds
-                               : 0.0;
     out.push_back(perf);
   }
   return out;
 }
 
+void WriteMethodsJson(std::FILE* f, const std::vector<MethodPerf>& methods) {
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    const MethodPerf& m = methods[i];
+    std::fprintf(
+        f,
+        "    {\"method\": \"%s\", \"fit_seconds_mean\": %.6g, "
+        "\"synopsis_size_mean\": %.6g, \"queries\": %zu, "
+        "\"batch_query_seconds\": %.6g, \"loop_query_seconds\": %.6g, "
+        "\"async_batch_seconds\": %.6g, \"closed_loop_qps\": %.6g}%s\n",
+        m.method.c_str(), m.fit_seconds_mean, m.synopsis_size_mean,
+        m.query_count, m.batch_query_seconds, m.loop_query_seconds,
+        m.async_batch_seconds, m.closed_loop_qps,
+        i + 1 < methods.size() ? "," : "");
+  }
+}
+
 void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
                std::size_t clients, const std::vector<DatasetPerf>& datasets,
                const std::string& sweep_dataset,
-               const std::vector<MethodPerf>& methods) {
+               const std::vector<MethodPerf>& methods,
+               const std::string& seq_sweep_dataset,
+               const std::vector<MethodPerf>& seq_methods) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -311,29 +435,27 @@ void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
     }
     std::fprintf(f,
                  "],\n     \"fit_jobs\": %zu, \"fit_wall_seconds\": %.6g, "
-                 "\"fits_per_second\": %.6g}%s\n",
+                 "\"fits_per_second\": %.6g,\n",
                  d.jobs, d.wall_seconds,
                  d.wall_seconds > 0.0
                      ? static_cast<double>(d.jobs) / d.wall_seconds
-                     : 0.0,
+                     : 0.0);
+    std::fprintf(f,
+                 "     \"served\": %s, \"served_method\": \"%s\", "
+                 "\"served_queries\": %zu, \"async_batch_seconds\": %.6g, "
+                 "\"closed_loop_qps\": %.6g}%s\n",
+                 d.served ? "true" : "false", d.served_method.c_str(),
+                 d.served_queries, d.async_batch_seconds, d.closed_loop_qps,
                  i + 1 < datasets.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"registry_sweep\": {\"dataset\": \"%s\", "
                   "\"epsilon\": 1, \"methods\": [\n",
                sweep_dataset.c_str());
-  for (std::size_t i = 0; i < methods.size(); ++i) {
-    const MethodPerf& m = methods[i];
-    std::fprintf(
-        f,
-        "    {\"method\": \"%s\", \"fit_seconds_mean\": %.6g, "
-        "\"synopsis_size_mean\": %.6g, \"queries\": %zu, "
-        "\"batch_query_seconds\": %.6g, \"loop_query_seconds\": %.6g, "
-        "\"async_batch_seconds\": %.6g, \"closed_loop_qps\": %.6g}%s\n",
-        m.method.c_str(), m.fit_seconds_mean, m.synopsis_size_mean,
-        m.query_count, m.batch_query_seconds, m.loop_query_seconds,
-        m.async_batch_seconds, m.closed_loop_qps,
-        i + 1 < methods.size() ? "," : "");
-  }
+  WriteMethodsJson(f, methods);
+  std::fprintf(f, "  ]},\n  \"sequence_sweep\": {\"dataset\": \"%s\", "
+                  "\"epsilon\": 1, \"methods\": [\n",
+               seq_sweep_dataset.c_str());
+  WriteMethodsJson(f, seq_methods);
   std::fprintf(f, "  ]}\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
@@ -346,6 +468,7 @@ void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
 int main(int argc, char** argv) {
   using privtree::FormatCell;
   using privtree::TablePrinter;
+  using privtree::bench::DatasetHolder;
   using privtree::bench::DatasetPerf;
   using privtree::bench::MethodPerf;
 
@@ -392,7 +515,9 @@ int main(int argc, char** argv) {
   std::printf(
       "Reproduction of Table 4 (PrivTree, SIGMOD 2016): PrivTree running\n"
       "time in seconds; larger epsilon => deeper trees => more time.\n"
-      "Fit sweep sharded across %zu thread(s).\n",
+      "Fit sweep sharded across %zu thread(s); every dataset — spatial and\n"
+      "sequence — fits through the release registry and serves through an\n"
+      "AsyncEngine.\n",
       pool.worker_count());
 
   std::vector<std::string> columns;
@@ -403,55 +528,101 @@ int main(int argc, char** argv) {
                           "dataset", columns);
   TablePrinter size_table("Companion: mean output tree size (nodes)",
                           "dataset", columns);
-  TablePrinter agg_table("Companion: aggregate fit throughput",
-                         "dataset", {"jobs", "wall s", "fits/s"});
+  TablePrinter agg_table(
+      "Companion: aggregate fit throughput + served workload (" +
+          std::to_string(clients) + " closed-loop client" +
+          (clients == 1 ? "" : "s") + ")",
+      "dataset", {"jobs", "wall s", "fits/s", "async q s", "qps"});
 
   std::vector<DatasetPerf> perfs;
-  std::string sweep_dataset;
+  std::string sweep_dataset, seq_sweep_dataset;
+  std::vector<MethodPerf> methods, seq_methods;
   for (const std::string& name : datasets) {
-    const bool sequence = name == "mooc" || name == "msnbc";
-    DatasetPerf perf = sequence
-                           ? privtree::bench::RunSequence(pool, name)
-                           : privtree::bench::RunSpatial(pool, name);
-    if (!sequence && sweep_dataset.empty()) sweep_dataset = name;
+    const DatasetHolder holder = privtree::bench::MakeDatasetHolder(name);
+    DatasetPerf perf = privtree::bench::RunFitSweep(pool, holder);
+    privtree::bench::RunServingPhase(pool, holder, query_count, clients,
+                                     &perf);
     time_table.AddRow(name, perf.fit_seconds);
     size_table.AddRow(name, perf.synopsis_sizes);
     agg_table.AddRow(name,
                      {static_cast<double>(perf.jobs), perf.wall_seconds,
                       perf.wall_seconds > 0.0
                           ? static_cast<double>(perf.jobs) / perf.wall_seconds
-                          : 0.0});
+                          : 0.0,
+                      perf.async_batch_seconds, perf.closed_loop_qps});
+    // One registry sweep per kind, on the first dataset of that kind.
+    const bool spatial =
+        holder.kind == privtree::release::DatasetKind::kSpatial;
+    if (spatial && sweep_dataset.empty()) {
+      sweep_dataset = name;
+      methods = privtree::bench::RunRegistrySweep(pool, holder, query_count,
+                                                  clients);
+    } else if (!spatial && seq_sweep_dataset.empty()) {
+      seq_sweep_dataset = name;
+      seq_methods = privtree::bench::RunRegistrySweep(pool, holder,
+                                                      query_count, clients);
+    }
     perfs.push_back(std::move(perf));
   }
   time_table.Print();
   size_table.Print();
   agg_table.Print();
 
-  std::vector<MethodPerf> methods;
-  if (!sweep_dataset.empty()) {
-    methods = privtree::bench::RunRegistrySweep(pool, sweep_dataset,
-                                                query_count, clients);
+  const auto print_sweep = [&](const std::string& dataset,
+                               const std::vector<MethodPerf>& rows) {
+    if (dataset.empty()) return;
     TablePrinter sweep_table(
-        "Companion: registry sweep on " + sweep_dataset +
+        "Companion: registry sweep on " + dataset +
             " (eps=1): fit + serving a " + std::to_string(query_count) +
             "-query workload (async columns via AsyncEngine, " +
             std::to_string(clients) + " closed-loop client" +
             (clients == 1 ? "" : "s") + ")",
         "method",
         {"fit s", "synopsis", "batch q s", "loop q s", "async q s", "qps"});
-    for (const MethodPerf& m : methods) {
+    for (const MethodPerf& m : rows) {
       sweep_table.AddRow(m.method,
                          {m.fit_seconds_mean, m.synopsis_size_mean,
                           m.batch_query_seconds, m.loop_query_seconds,
                           m.async_batch_seconds, m.closed_loop_qps});
     }
     sweep_table.Print();
+  };
+  print_sweep(sweep_dataset, methods);
+  print_sweep(seq_sweep_dataset, seq_methods);
+
+  // The closed-loop JSON must never under-report serving coverage: every
+  // listed dataset — sequence ones included — and every sweep method row
+  // goes through the AsyncEngine path, or this bench fails.
+  bool all_served = true;
+  for (const DatasetPerf& perf : perfs) {
+    if (!perf.served) {
+      std::fprintf(stderr,
+                   "error: dataset \"%s\" bypassed the AsyncEngine serving "
+                   "phase\n",
+                   perf.dataset.c_str());
+      all_served = false;
+    }
   }
+  for (const auto& [dataset, rows] :
+       {std::make_pair(sweep_dataset, &methods),
+        std::make_pair(seq_sweep_dataset, &seq_methods)}) {
+    for (const MethodPerf& m : *rows) {
+      if (!m.served) {
+        std::fprintf(stderr,
+                     "error: sweep method %s/%s failed the AsyncEngine "
+                     "closed loop\n",
+                     dataset.c_str(), m.method.c_str());
+        all_served = false;
+      }
+    }
+  }
+  if (!all_served) return 1;
 
   if (!json_path.empty()) {
     privtree::bench::WriteJson(json_path, pool.worker_count(),
                                privtree::Repetitions(3), clients, perfs,
-                               sweep_dataset, methods);
+                               sweep_dataset, methods, seq_sweep_dataset,
+                               seq_methods);
   }
   return 0;
 }

@@ -1,16 +1,21 @@
 // privtree_cli — build and query released synopses from the command line.
 //
 //   privtree_cli list
-//   privtree_cli run <points.csv> <dim> <epsilon> --method=<name>
+//   privtree_cli run <data.csv> <dim> <epsilon> --method=<name>
 //                    [--options=k=v,...] [--threads=N]
-//                    (query boxes on stdin)
-//   privtree_cli build <points.csv> <dim> <epsilon> <synopsis.out>
+//                    (queries on stdin)
+//   privtree_cli build <data.csv> <dim> <epsilon> <synopsis.out>
 //                    [--method=<name>] [--options=k=v,...]
-//   privtree_cli query <synopsis.out>           (query boxes on stdin)
+//   privtree_cli query <synopsis.out>           (queries on stdin)
 //   privtree_cli query --connect=<host:port> <epsilon> [--method=<name>]
 //                    [--options=k=v,...] [--deadline-ms=N]
-//                    (query boxes on stdin)
+//                    (queries on stdin)
 //   privtree_cli shutdown --connect=<host:port>
+//
+// <dim> selects the dataset kind: a plain integer loads a spatial point
+// CSV of that dimensionality; `seq:<alphabet>` loads a sequence dataset
+// (one whitespace-separated row of integer symbols per line) over that
+// alphabet and defaults --method to pst_privtree.
 //
 // `list` prints every method in the release registry.  `run` fits any
 // registered method through the serving layer — a serve::ParallelRunner
@@ -31,22 +36,29 @@
 // diff clean against local ones (the CI smoke relies on this).  `shutdown
 // --connect` asks that server to exit cleanly.
 //
-// Query lines are "lo_1 hi_1 ... lo_d hi_d"; the answer is printed per
-// line.
+// Spatial query lines are "lo_1 hi_1 ... lo_d hi_d"; sequence query lines
+// are "freq s1 s2 ...", "prefix s1 s2 ..." or "topk <k> <max_len>" (see
+// release/sequence_query.h).  The answer is printed per line.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <memory>
+#include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "data/csv.h"
 #include "dp/rng.h"
 #include "release/builtin_methods.h"
+#include "release/dataset.h"
 #include "release/options.h"
 #include "release/registry.h"
+#include "release/sequence_query.h"
 #include "release/serialization.h"
+#include "seq/sequence.h"
 #include "serve/parallel_runner.h"
 #include "serve/thread_pool.h"
 #include "server/client.h"
@@ -59,16 +71,42 @@ int Usage(const char* argv0) {
       stderr,
       "usage:\n"
       "  %s list\n"
-      "  %s run <points.csv> <dim> <epsilon> --method=<name> "
+      "  %s run <data.csv> <dim|seq:alphabet> <epsilon> --method=<name> "
       "[--options=k=v,...] [--threads=N]\n"
-      "  %s build <points.csv> <dim> <epsilon> <synopsis.out> "
+      "  %s build <data.csv> <dim|seq:alphabet> <epsilon> <synopsis.out> "
       "[--method=<name>] [--options=k=v,...]\n"
-      "  %s query <synopsis.out>   (query boxes on stdin)\n"
+      "  %s query <synopsis.out>   (queries on stdin)\n"
       "  %s query --connect=<host:port> <epsilon> [--method=<name>] "
       "[--options=k=v,...] [--deadline-ms=N]\n"
       "  %s shutdown --connect=<host:port>\n",
       argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
+}
+
+/// What the <dim|seq:alphabet> positional selected.
+struct InputKind {
+  bool sequence = false;
+  std::size_t dim = 0;  ///< Spatial dim, or the sequence alphabet size.
+};
+
+/// Parses "<dim>" (1..8) or "seq:<alphabet>" (1..4096); false on anything
+/// else.
+bool ParseDimArg(const char* arg, InputKind* out) {
+  if (std::strncmp(arg, "seq:", 4) == 0) {
+    const long alphabet = std::atol(arg + 4);
+    if (alphabet < 1 ||
+        alphabet > static_cast<long>(privtree::kMaxAlphabetSize)) {
+      return false;
+    }
+    out->sequence = true;
+    out->dim = static_cast<std::size_t>(alphabet);
+    return true;
+  }
+  const long dim = std::atol(arg);
+  if (dim < 1 || dim > 8) return false;
+  out->sequence = false;
+  out->dim = static_cast<std::size_t>(dim);
+  return true;
 }
 
 /// Flags accepted after the positional arguments.
@@ -80,12 +118,14 @@ struct CliFlags {
 };
 
 /// Parses trailing --method=/--options= flags; returns false (after a
-/// diagnostic) on an unknown flag, unregistered method name, malformed
-/// options text, an option key the method does not accept, a value that
-/// fails the key's type or declared range, or a method that cannot fit
-/// `dim`-dimensional data.
-bool ParseFlags(int argc, char** argv, int first_flag, std::size_t dim,
+/// diagnostic) on an unknown flag, unregistered method name, a method
+/// whose registry kind does not match the input kind, malformed options
+/// text, an option key the method does not accept, a value that fails the
+/// key's type or declared range, or a method that cannot fit the input's
+/// dimensionality.
+bool ParseFlags(int argc, char** argv, int first_flag, InputKind input,
                 CliFlags* flags) {
+  if (input.sequence) flags->method = "pst_privtree";
   for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--method=", 0) == 0) {
@@ -125,12 +165,29 @@ bool ParseFlags(int argc, char** argv, int first_flag, std::size_t dim,
                  flags->method.c_str());
     return false;
   }
+  const privtree::release::DatasetKind wanted =
+      input.sequence ? privtree::release::DatasetKind::kSequence
+                     : privtree::release::DatasetKind::kSpatial;
+  if (registry.Kind(flags->method) != wanted) {
+    std::fprintf(
+        stderr,
+        "error: method \"%s\" fits %s datasets; the input here is %s "
+        "(use %s)\n",
+        flags->method.c_str(),
+        std::string(privtree::release::DatasetKindName(
+                        registry.Kind(flags->method)))
+            .c_str(),
+        std::string(privtree::release::DatasetKindName(wanted)).c_str(),
+        input.sequence ? "a sequence method, e.g. --method=pst_privtree"
+                       : "a spatial method, e.g. --method=privtree");
+    return false;
+  }
   const std::size_t required_dim = registry.RequiredDim(flags->method);
-  if (required_dim != 0 && dim != required_dim) {
+  if (!input.sequence && required_dim != 0 && input.dim != required_dim) {
     std::fprintf(stderr,
                  "error: method \"%s\" requires %zu-dimensional data "
                  "(got dim=%zu)\n",
-                 flags->method.c_str(), required_dim, dim);
+                 flags->method.c_str(), required_dim, input.dim);
     return false;
   }
   const auto& allowed = registry.AllowedKeys(flags->method);
@@ -210,6 +267,65 @@ std::vector<privtree::Box> ReadQueryBoxes(std::size_t dim) {
   }
 }
 
+/// Reads sequence query lines from stdin until EOF:
+///   freq s1 s2 ...      estimated occurrences of the string
+///   prefix s1 s2 ...    estimated sequences beginning with the string
+///   topk <k> <max_len>  estimated frequency of the k-th most frequent
+///                       string of length <= max_len
+/// Invalid lines are skipped with a diagnostic (same spirit as the box
+/// reader: a typo must not silently shift the answer rows).
+std::vector<privtree::release::SequenceQuery> ReadSequenceQueries(
+    std::size_t alphabet_size) {
+  using privtree::release::SequenceQuery;
+  std::vector<SequenceQuery> out;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string verb;
+    if (!(in >> verb)) continue;  // Blank line.
+    SequenceQuery query;
+    if (verb == "freq" || verb == "prefix") {
+      query.kind = verb == "freq"
+                       ? privtree::release::SequenceQueryKind::kFrequency
+                       : privtree::release::SequenceQueryKind::kPrefixCount;
+      long symbol = 0;
+      while (in >> symbol) {
+        if (symbol < 0 || symbol > 0xFFFF) {
+          query.symbols.clear();
+          break;
+        }
+        query.symbols.push_back(static_cast<privtree::Symbol>(symbol));
+      }
+      // A non-numeric trailing token must not silently shorten the query
+      // (the answer row would belong to a different question).
+      if (!in.eof()) query.symbols.clear();
+    } else if (verb == "topk") {
+      query.kind = privtree::release::SequenceQueryKind::kTopK;
+      long k = 0, max_len = 0;
+      std::string extra;
+      // Exactly two positive integers; a trailing token must not silently
+      // reshape the query (same contract as the freq/prefix branch).
+      if (in >> k >> max_len && k > 0 && max_len > 0 && !(in >> extra)) {
+        query.k = static_cast<std::uint32_t>(k);
+        query.max_len = static_cast<std::uint32_t>(max_len);
+      }
+    } else {
+      std::fprintf(stderr, "warning: skipping query line \"%s\"\n",
+                   line.c_str());
+      continue;
+    }
+    if (auto s = privtree::release::ValidateSequenceQuery(query,
+                                                          alphabet_size);
+        !s.ok()) {
+      std::fprintf(stderr, "warning: skipping query line \"%s\": %s\n",
+                   line.c_str(), s.message().c_str());
+      continue;
+    }
+    out.push_back(std::move(query));
+  }
+  return out;
+}
+
 /// Loads the CSV; returns nullptr after printing a diagnostic.
 std::unique_ptr<privtree::PointSet> LoadPoints(const char* path,
                                                std::size_t dim) {
@@ -228,21 +344,40 @@ std::unique_ptr<privtree::PointSet> LoadPoints(const char* path,
 /// Fits `flags.method` on the CSV through the serving layer (ParallelRunner
 /// over the process cache), deriving the release randomness exactly as a
 /// ReleaseSession(seed=0xC11) would, so `run` and `build` release the same
-/// synopsis.  The declared domain is the unit cube; rescale your data
-/// accordingly (a data-derived bounding box would leak information).
+/// synopsis.  For spatial input the declared domain is the unit cube;
+/// rescale your data accordingly (a data-derived bounding box would leak
+/// information).  Sequence input loads one symbol row per line over the
+/// declared alphabet.
 std::shared_ptr<const privtree::release::Method> FitFromCsv(
-    const char* csv_path, std::size_t dim, double epsilon,
+    const char* csv_path, InputKind input, double epsilon,
     const CliFlags& flags, privtree::serve::ThreadPool& pool) {
-  const auto points = LoadPoints(csv_path, dim);
-  if (points == nullptr) return nullptr;
   const privtree::serve::ParallelRunner runner(
       pool, &privtree::serve::SharedSynopsisCache());
   privtree::Rng session_rng(0xC11);
-  const privtree::Box domain = privtree::Box::UnitCube(dim);
-  auto fitted = runner.FitAll(
-      *points, domain,
-      {{flags.method, flags.options, epsilon, session_rng.Fork()}});
-  auto method = std::move(fitted.front());
+  privtree::serve::FitJob job{flags.method, flags.options, epsilon,
+                              session_rng.Fork()};
+  std::shared_ptr<const privtree::release::Method> method;
+  if (input.sequence) {
+    auto sequences = privtree::LoadSequencesCsv(csv_path, input.dim);
+    if (!sequences.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   sequences.status().ToString().c_str());
+      return nullptr;
+    }
+    if (sequences.value().empty()) {
+      std::fprintf(stderr, "error: %s is empty\n", csv_path);
+      return nullptr;
+    }
+    auto fitted = runner.FitAll(
+        privtree::release::Dataset(sequences.value()), {std::move(job)});
+    method = std::move(fitted.front());
+  } else {
+    const auto points = LoadPoints(csv_path, input.dim);
+    if (points == nullptr) return nullptr;
+    const privtree::Box domain = privtree::Box::UnitCube(input.dim);
+    auto fitted = runner.FitAll(*points, domain, {std::move(job)});
+    method = std::move(fitted.front());
+  }
   const auto metadata = method->Metadata();
   std::fprintf(stderr,
                "fitted %s: synopsis size %zu, epsilon %.4g (%zu thread%s)\n",
@@ -254,18 +389,28 @@ std::shared_ptr<const privtree::release::Method> FitFromCsv(
 
 int RunRun(int argc, char** argv) {
   if (argc < 5) return Usage(argv[0]);
-  const auto dim = static_cast<std::size_t>(std::atol(argv[3]));
+  InputKind input;
   const double epsilon = std::atof(argv[4]);
-  if (dim == 0 || dim > 8 || epsilon <= 0.0) return Usage(argv[0]);
+  if (!ParseDimArg(argv[3], &input) || epsilon <= 0.0) return Usage(argv[0]);
   CliFlags flags;
-  if (!ParseFlags(argc, argv, 5, dim, &flags)) return 2;
+  if (!ParseFlags(argc, argv, 5, input, &flags)) return 2;
 
   privtree::serve::SetDefaultThreadCount(flags.threads);
   privtree::serve::ThreadPool pool(flags.threads);
-  const auto method = FitFromCsv(argv[2], dim, epsilon, flags, pool);
+  const auto method = FitFromCsv(argv[2], input, epsilon, flags, pool);
   if (method == nullptr) return 1;
 
-  const std::vector<privtree::Box> queries = ReadQueryBoxes(dim);
+  if (input.sequence) {
+    // One unsharded batch, exactly as the serving engine answers it: the
+    // batch-level top-k memo then runs each distinct (k, max_len) mining
+    // pass once instead of once per shard.
+    const auto queries = ReadSequenceQueries(input.dim);
+    for (const double answer : method->QueryBatch(std::span(queries))) {
+      std::printf("%.2f\n", answer);
+    }
+    return 0;
+  }
+  const std::vector<privtree::Box> queries = ReadQueryBoxes(input.dim);
   for (const double answer :
        privtree::serve::ParallelQueryBatch(pool, *method, queries)) {
     std::printf("%.2f\n", answer);
@@ -275,18 +420,18 @@ int RunRun(int argc, char** argv) {
 
 int RunBuild(int argc, char** argv) {
   if (argc < 6) return Usage(argv[0]);
-  const auto dim = static_cast<std::size_t>(std::atol(argv[3]));
+  InputKind input;
   const double epsilon = std::atof(argv[4]);
-  if (dim == 0 || dim > 8 || epsilon <= 0.0) return Usage(argv[0]);
+  if (!ParseDimArg(argv[3], &input) || epsilon <= 0.0) return Usage(argv[0]);
   const std::string out_path = argv[5];
   CliFlags flags;
-  if (!ParseFlags(argc, argv, 6, dim, &flags)) return 2;
+  if (!ParseFlags(argc, argv, 6, input, &flags)) return 2;
 
   // Every registered method persists through the universal synopsis
   // envelope; the fit is identical to `run` with the same arguments.
   privtree::serve::SetDefaultThreadCount(flags.threads);
   privtree::serve::ThreadPool pool(flags.threads);
-  const auto method = FitFromCsv(argv[2], dim, epsilon, flags, pool);
+  const auto method = FitFromCsv(argv[2], input, epsilon, flags, pool);
   if (method == nullptr) return 1;
 
   if (auto s = privtree::release::SaveMethodToFile(*method, out_path);
@@ -344,9 +489,14 @@ int RunRemoteQuery(int argc, char** argv) {
     return 1;
   }
   privtree::server::Client client = std::move(connected).value();
-  const auto dim = static_cast<std::size_t>(client.info().dim);
+  // The Hello handshake tells the client what is served: the dataset kind
+  // picks the query frame, and dim is the spatial dim or the alphabet.
+  InputKind input;
+  input.sequence =
+      client.info().kind == privtree::release::DatasetKind::kSequence;
+  input.dim = static_cast<std::size_t>(client.info().dim);
   CliFlags flags;
-  if (!ParseFlags(argc, argv, 4, dim, &flags)) return 2;
+  if (!ParseFlags(argc, argv, 4, input, &flags)) return 2;
 
   const privtree::server::FitSpec spec{flags.method, flags.options, epsilon,
                                        /*seed=*/0xC11};
@@ -362,8 +512,15 @@ int RunRemoteQuery(int argc, char** argv) {
                fitted.value().metadata.epsilon_spent,
                fitted.value().cache_hit ? " (cache hit)" : "");
 
-  const std::vector<privtree::Box> queries = ReadQueryBoxes(dim);
-  const auto answers = client.QueryBatch(spec, queries, flags.deadline_ms);
+  privtree::Result<std::vector<double>> answers =
+      privtree::Status::Internal("unreachable");
+  if (input.sequence) {
+    const auto queries = ReadSequenceQueries(input.dim);
+    answers = client.SeqQueryBatch(spec, queries, flags.deadline_ms);
+  } else {
+    const std::vector<privtree::Box> queries = ReadQueryBoxes(input.dim);
+    answers = client.QueryBatch(spec, queries, flags.deadline_ms);
+  }
   if (!answers.ok()) {
     std::fprintf(stderr, "error: %s\n", answers.status().ToString().c_str());
     return 1;
@@ -406,11 +563,23 @@ int RunQuery(int argc, char** argv) {
     return 1;
   }
   const auto metadata = method.value()->Metadata();
+  const bool sequence =
+      privtree::release::GlobalMethodRegistry().Kind(metadata.method) ==
+      privtree::release::DatasetKind::kSequence;
   std::fprintf(stderr,
-               "loaded %s: method %s, dim %zu, synopsis size %zu, "
+               "loaded %s: method %s, %s %zu, synopsis size %zu, "
                "epsilon %.4g\n",
-               argv[2], metadata.method.c_str(), metadata.dim,
+               argv[2], metadata.method.c_str(),
+               sequence ? "alphabet" : "dim", metadata.dim,
                metadata.synopsis_size, metadata.epsilon_spent);
+  if (sequence) {
+    const auto queries = ReadSequenceQueries(metadata.dim);
+    for (const double answer :
+         method.value()->QueryBatch(std::span(queries))) {
+      std::printf("%.2f\n", answer);
+    }
+    return 0;
+  }
   const std::vector<privtree::Box> queries = ReadQueryBoxes(metadata.dim);
   for (const double answer : method.value()->QueryBatch(queries)) {
     std::printf("%.2f\n", answer);

@@ -1,26 +1,32 @@
 // privtree_server — serve DP synopses of one dataset over a socket.
 //
-//   privtree_server <points.csv> <dim> [--port=N] [--threads=N]
+//   privtree_server <data.csv> <dim|seq:alphabet> [--port=N] [--threads=N]
 //                   [--cache=N] [--max-queue=N] [--max-pending-spills=N]
 //                   [--spill-dir=PATH]
 //
-// Loads the CSV once (domain: the unit cube — rescale your data; a
-// data-derived bounding box would leak), then serves concurrent fit,
-// query-batch, warm and stats requests over the length-prefixed binary
-// protocol (src/server/protocol.h) on 127.0.0.1:--port (default 7311;
-// 0 picks an ephemeral port).  Requests execute on an AsyncEngine over a
-// --threads pool and a --cache-synopsis SynopsisCache, so every client
-// shares one cache and one admission controller; answers equal in-process
-// ReleaseSession answers for the same seed, bit for bit.  The process runs
-// until a client sends Shutdown (`privtree_cli shutdown --connect=...`) or
-// it is signalled.
+// A plain <dim> loads a spatial point CSV (domain: the unit cube — rescale
+// your data; a data-derived bounding box would leak); `seq:<alphabet>`
+// loads a sequence dataset (one whitespace-separated symbol row per line)
+// and serves the sequence-kind methods (pst_privtree, ngram) through
+// SeqQueryBatch frames instead of box batches.  Either way the server
+// answers concurrent fit, query-batch, warm and stats requests over the
+// length-prefixed binary protocol (src/server/protocol.h) on
+// 127.0.0.1:--port (default 7311; 0 picks an ephemeral port).  Requests
+// execute on an AsyncEngine over a --threads pool and a --cache-synopsis
+// SynopsisCache, so every client shares one cache and one admission
+// controller; answers equal in-process ReleaseSession answers for the same
+// seed, bit for bit.  The process runs until a client sends Shutdown
+// (`privtree_cli shutdown --connect=...`) or it is signalled.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "data/csv.h"
+#include "release/dataset.h"
+#include "seq/sequence.h"
 #include "serve/parallel_runner.h"
 #include "serve/synopsis_cache.h"
 #include "serve/thread_pool.h"
@@ -33,9 +39,9 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <points.csv> <dim> [--port=N] [--threads=N] "
-               "[--cache=N] [--max-queue=N] [--max-pending-spills=N] "
-               "[--spill-dir=PATH]\n",
+               "usage: %s <data.csv> <dim|seq:alphabet> [--port=N] "
+               "[--threads=N] [--cache=N] [--max-queue=N] "
+               "[--max-pending-spills=N] [--spill-dir=PATH]\n",
                argv0);
   return 2;
 }
@@ -66,8 +72,12 @@ bool ParseSizeFlag(const std::string& arg, const char* name,
 
 int main(int argc, char** argv) {
   if (argc < 3) return Usage(argv[0]);
-  const auto dim = static_cast<std::size_t>(std::atol(argv[2]));
-  if (dim == 0 || dim > 8) return Usage(argv[0]);
+  const bool sequence = std::strncmp(argv[2], "seq:", 4) == 0;
+  const auto dim = static_cast<std::size_t>(
+      std::atol(sequence ? argv[2] + 4 : argv[2]));
+  if (dim == 0 || dim > (sequence ? privtree::kMaxAlphabetSize : 8)) {
+    return Usage(argv[0]);
+  }
 
   ServerFlags flags;
   for (int i = 3; i < argc; ++i) {
@@ -92,14 +102,34 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto points = privtree::LoadPointsCsv(argv[1], dim);
-  if (!points.ok()) {
-    std::fprintf(stderr, "error: %s\n", points.status().ToString().c_str());
-    return 1;
-  }
-  if (points.value().empty()) {
-    std::fprintf(stderr, "error: %s is empty\n", argv[1]);
-    return 1;
+  // One of the two holds the served data for the process lifetime; the
+  // engine only views it.
+  std::optional<privtree::PointSet> points;
+  std::optional<privtree::SequenceDataset> sequences;
+  if (sequence) {
+    auto loaded = privtree::LoadSequencesCsv(argv[1], dim);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    sequences.emplace(std::move(loaded).value());
+    if (sequences->empty()) {
+      std::fprintf(stderr, "error: %s is empty\n", argv[1]);
+      return 1;
+    }
+  } else {
+    auto loaded = privtree::LoadPointsCsv(argv[1], dim);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    points.emplace(std::move(loaded).value());
+    if (points->empty()) {
+      std::fprintf(stderr, "error: %s is empty\n", argv[1]);
+      return 1;
+    }
   }
 
   privtree::serve::SetDefaultThreadCount(flags.threads);
@@ -115,9 +145,11 @@ int main(int argc, char** argv) {
   privtree::server::EngineOptions options;
   options.admission.max_queue_depth = flags.max_queue;
   options.admission.max_pending_spills = flags.max_pending_spills;
-  privtree::server::AsyncEngine engine(points.value(),
-                                       privtree::Box::UnitCube(dim), pool,
-                                       *cache, options);
+  const privtree::release::Dataset dataset =
+      sequence ? privtree::release::Dataset(*sequences)
+               : privtree::release::Dataset(*points,
+                                            privtree::Box::UnitCube(dim));
+  privtree::server::AsyncEngine engine(dataset, pool, *cache, options);
 
   auto listener = privtree::server::ListenSocket::Listen(flags.port);
   if (!listener.ok()) {
@@ -128,8 +160,10 @@ int main(int argc, char** argv) {
   privtree::server::ServerLoop loop(engine, std::move(listener).value());
   std::fprintf(stderr,
                "privtree_server listening on 127.0.0.1:%u "
-               "(%zu points, dim %zu, %zu worker%s, cache %zu)\n",
-               loop.port(), points.value().size(), dim, pool.worker_count(),
+               "(%zu %s, %s %zu, %zu worker%s, cache %zu)\n",
+               loop.port(), dataset.size(),
+               sequence ? "sequences" : "points",
+               sequence ? "alphabet" : "dim", dim, pool.worker_count(),
                pool.worker_count() == 1 ? "" : "s", flags.cache_capacity);
   std::fflush(stderr);
   const privtree::Status served = loop.Run();

@@ -147,4 +147,10 @@ std::uint64_t ByteChecksum(std::string_view bytes) {
   return hash;
 }
 
+std::uint64_t MixFingerprintDouble(std::uint64_t hash, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return MixFingerprintWord(hash, bits);
+}
+
 }  // namespace privtree

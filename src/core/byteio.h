@@ -74,6 +74,26 @@ class ByteReader {
 /// integrity check; it detects corruption, it is not cryptographic.
 std::uint64_t ByteChecksum(std::string_view bytes);
 
+/// Order-sensitive accumulation of one 64-bit word into a running digest:
+/// xor-then-avalanche (SplitMix64 finalizer).  The one mixer behind every
+/// fingerprint in the serving stack — dataset content digests
+/// (release/dataset.cc) and synopsis cache keys / spill-file names
+/// (serve/synopsis_cache.cc) — kept in one place so the two can never
+/// silently diverge.
+inline std::uint64_t MixFingerprintWord(std::uint64_t hash,
+                                        std::uint64_t word) {
+  std::uint64_t x = hash ^ word;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x + 0x9e3779b97f4a7c15ULL;
+}
+
+/// As MixFingerprintWord, over a double's IEEE-754 bit pattern.
+std::uint64_t MixFingerprintDouble(std::uint64_t hash, double value);
+
 }  // namespace privtree
 
 #endif  // PRIVTREE_CORE_BYTEIO_H_

@@ -100,10 +100,24 @@ std::vector<MethodSpec> ComparativeLineup(std::size_t dim,
 std::vector<MethodSpec> AllRegisteredSpecs(std::size_t dim,
                                            std::int64_t discretization_cells) {
   std::vector<MethodSpec> out;
-  for (const std::string& name : release::GlobalMethodRegistry().Names()) {
+  // Spatial lineups only: the sequence-kind methods (pst_privtree, ngram)
+  // cannot fit a PointSet — they get their own sweeps (SequenceSpecs).
+  for (const std::string& name : release::GlobalMethodRegistry().Names(
+           release::DatasetKind::kSpatial)) {
     if (!SupportsDim(name, dim)) continue;
     out.push_back({name, DisplayName(name),
                    DefaultSpecOptions(name, discretization_cells)});
+  }
+  return out;
+}
+
+std::vector<MethodSpec> SequenceSpecs(std::size_t l_top) {
+  std::vector<MethodSpec> out;
+  for (const std::string& name : release::GlobalMethodRegistry().Names(
+           release::DatasetKind::kSequence)) {
+    release::MethodOptions options;
+    options.Set("l_top", std::to_string(l_top));
+    out.push_back({name, DisplayName(name), std::move(options)});
   }
   return out;
 }
@@ -166,6 +180,42 @@ std::vector<double> RegistryMethodErrorBands(
   }
   for (double& m : means) m /= static_cast<double>(reps);
   return means;
+}
+
+double RegistrySequenceMethodError(
+    const MethodSpec& spec, const SequenceDataset& data, double epsilon,
+    const std::vector<release::SequenceQuery>& queries,
+    const std::vector<double>& exact, std::size_t reps, std::uint64_t seed) {
+  PRIVTREE_CHECK_GE(reps, 1u);
+  PRIVTREE_CHECK_EQ(queries.size(), exact.size());
+  const double smoothing = DefaultSmoothing(data.size());
+
+  Rng master(seed);
+  std::vector<serve::FitJob> jobs;
+  jobs.reserve(reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    jobs.push_back({spec.name, spec.options, epsilon, master.Fork()});
+  }
+  const serve::ParallelRunner runner(serve::SharedPool(),
+                                     &serve::SharedSynopsisCache());
+  const auto fitted =
+      runner.FitAll(release::Dataset(data), std::move(jobs));
+
+  std::vector<double> errors(reps, 0.0);
+  serve::SharedPool().ParallelFor(reps, [&](std::size_t rep) {
+    if (queries.empty()) return;
+    const std::vector<double> answers =
+        fitted[rep]->QueryBatch(std::span(queries));
+    double total = 0.0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      total += RelativeError(answers[q], exact[q], smoothing);
+    }
+    errors[rep] = total / static_cast<double>(queries.size());
+  });
+
+  double mean = 0.0;
+  for (const double e : errors) mean += e;
+  return mean / static_cast<double>(reps);
 }
 
 }  // namespace privtree

@@ -13,6 +13,8 @@
 
 #include "dp/rng.h"
 #include "release/options.h"
+#include "release/sequence_query.h"
+#include "seq/sequence.h"
 #include "spatial/box.h"
 #include "spatial/point_set.h"
 
@@ -55,11 +57,17 @@ struct MethodSpec {
 std::vector<MethodSpec> ComparativeLineup(std::size_t dim,
                                           std::int64_t discretization_cells);
 
-/// Every method in the global registry that can fit `dim`-dimensional data
-/// (AG is restricted to 2-d), in registry (sorted-name) order, with the
-/// same discretization defaults as ComparativeLineup.
+/// Every spatial-kind method in the global registry that can fit
+/// `dim`-dimensional data (AG is restricted to 2-d), in registry
+/// (sorted-name) order, with the same discretization defaults as
+/// ComparativeLineup.
 std::vector<MethodSpec> AllRegisteredSpecs(std::size_t dim,
                                            std::int64_t discretization_cells);
+
+/// Every sequence-kind method in the global registry (pst_privtree,
+/// ngram), in registry order, each configured with the public length cap
+/// `l_top` of the swept dataset.
+std::vector<MethodSpec> SequenceSpecs(std::size_t l_top);
 
 /// Builds `spec` afresh `reps` times (independent forked RNG streams and a
 /// fresh ε budget each time), answers the workload with QueryBatch, and
@@ -83,6 +91,17 @@ std::vector<double> RegistryMethodErrorBands(
     double epsilon, const std::vector<std::vector<Box>>& band_queries,
     const std::vector<std::vector<double>>& band_exact, std::size_t reps,
     std::uint64_t seed);
+
+/// The sequence twin of RegistryMethodError: fits the sequence-kind `spec`
+/// (pst_privtree / ngram) `reps` times through serve::SharedPool() +
+/// SharedSynopsisCache() — the same pre-forked-Rng discipline, so results
+/// are bit-for-bit identical at any thread count — answers `queries`
+/// through the SequenceQuery batch path, and returns the mean smoothed
+/// relative error against `exact`.
+double RegistrySequenceMethodError(
+    const MethodSpec& spec, const SequenceDataset& data, double epsilon,
+    const std::vector<release::SequenceQuery>& queries,
+    const std::vector<double>& exact, std::size_t reps, std::uint64_t seed);
 
 }  // namespace privtree
 

@@ -21,6 +21,7 @@
 #include "hist/wavelet.h"
 #include "release/method.h"
 #include "release/options.h"
+#include "release/sequence_methods.h"
 #include "release/serialization.h"
 #include "release/tree_batch.h"
 #include "spatial/serialization.h"
@@ -736,6 +737,9 @@ void RegisterBuiltinMethods(MethodRegistry& registry) {
        .allowed_keys = {{"target_total_cells", kInt, 1, 1 << 24}},
        .factory = FactoryFor<WaveletMethod>(),
        .loader = GridLoaderFor<WaveletMethod>()});
+  // The sequence pipeline of Sections 4–5 registers alongside the spatial
+  // backends, so every registry-driven surface sees both kinds.
+  RegisterSequenceMethods(registry);
 }
 
 }  // namespace privtree::release

@@ -14,6 +14,9 @@
 //               measure_branching
 //   hierarchy   height, target_leaf_resolution, constrained_inference
 //   wavelet     target_total_cells
+//
+// RegisterBuiltinMethods also registers the two sequence-kind backends
+// (pst_privtree, ngram) via release/sequence_methods.h.
 #ifndef PRIVTREE_RELEASE_BUILTIN_METHODS_H_
 #define PRIVTREE_RELEASE_BUILTIN_METHODS_H_
 
@@ -26,10 +29,11 @@
 
 namespace privtree::release {
 
-/// Registers all eight built-in backends into `registry`.  Called once by
-/// GlobalMethodRegistry(); call it directly only on private registries
-/// (e.g. in tests).  Every entry registers both a factory and a loader, so
-/// all backends round-trip through release/serialization.h.
+/// Registers all built-in backends into `registry` — the eight spatial
+/// ones plus the two sequence-kind ones (release/sequence_methods.h).
+/// Called once by GlobalMethodRegistry(); call it directly only on private
+/// registries (e.g. in tests).  Every entry registers both a factory and a
+/// loader, so all backends round-trip through release/serialization.h.
 void RegisterBuiltinMethods(MethodRegistry& registry);
 
 /// Wraps an already-released decomposition-tree histogram as a fitted

@@ -1,14 +1,41 @@
 #include "release/method.h"
 
+#include <string>
+
+#include "dp/check.h"
+
 namespace privtree::release {
 
 Method::~Method() = default;
+
+void Method::Fit(const Dataset& data, PrivacyBudget& budget, Rng& rng) {
+  // Spatial methods only override the spatial overload; a sequence-kind
+  // dataset reaching one of them means a caller skipped the registry-kind
+  // screen (see registry.h Entry::kind).
+  PRIVTREE_CHECK(data.is_spatial());
+  Fit(data.points(), data.domain(), budget, rng);
+}
+
+void Method::Fit(const PointSet&, const Box&, PrivacyBudget&, Rng&) {
+  PRIVTREE_CHECK(false);  // Sequence-only methods fit through Fit(Dataset).
+}
+
+double Method::Query(const Box&) const {
+  PRIVTREE_CHECK(false);  // Sequence methods answer SequenceQuery batches.
+  return 0.0;
+}
 
 std::vector<double> Method::QueryBatch(std::span<const Box> queries) const {
   std::vector<double> out;
   out.reserve(queries.size());
   for (const Box& q : queries) out.push_back(Query(q));
   return out;
+}
+
+std::vector<double> Method::QueryBatch(
+    std::span<const SequenceQuery>) const {
+  PRIVTREE_CHECK(false);  // Spatial methods answer Box batches.
+  return {};
 }
 
 Status Method::Save(std::ostream&) const {

@@ -25,6 +25,8 @@
 #include "dp/budget.h"
 #include "dp/rng.h"
 #include "dp/status.h"
+#include "release/dataset.h"
+#include "release/sequence_query.h"
 #include "spatial/box.h"
 #include "spatial/point_set.h"
 
@@ -34,7 +36,8 @@ namespace privtree::release {
 struct MethodMetadata {
   /// Registry name the method was created under ("privtree", "ug", ...).
   std::string method;
-  /// Dimensionality of the fitted domain (0 before Fit).
+  /// Dimensionality of the fitted domain (0 before Fit).  Sequence-kind
+  /// methods report the alphabet size here.
   std::size_t dim = 0;
   /// Total ε consumed by Fit (0 before Fit).
   double epsilon_spent = 0.0;
@@ -62,14 +65,27 @@ class Method {
   Method(const Method&) = delete;
   Method& operator=(const Method&) = delete;
 
-  /// Fits the synopsis on `points` over `domain`, drawing randomness from
-  /// `rng` and consuming all of `budget` (the slice the caller allocated to
-  /// this release).  Must be called exactly once before Query/QueryBatch.
-  virtual void Fit(const PointSet& points, const Box& domain,
-                   PrivacyBudget& budget, Rng& rng) = 0;
+  /// Fits the synopsis on `data`, drawing randomness from `rng` and
+  /// consuming all of `budget` (the slice the caller allocated to this
+  /// release).  Must be called exactly once before Query/QueryBatch.  The
+  /// default dispatches spatial datasets to the spatial Fit overload and
+  /// aborts on any other kind; sequence methods override this directly.
+  /// Callers screen the dataset kind against the registry entry's `kind`
+  /// before fitting (ReleaseSession, the serving engine and the CLI all
+  /// do), so a kind mismatch here is a programming error, not user input.
+  virtual void Fit(const Dataset& data, PrivacyBudget& budget, Rng& rng);
 
-  /// Estimated number of points in `q`.  Requires a prior Fit.
-  virtual double Query(const Box& q) const = 0;
+  /// Spatial fit over `points` in the declared `domain`.  Every spatial
+  /// backend overrides this; the default aborts (sequence-only methods fit
+  /// through the Dataset overload).
+  virtual void Fit(const PointSet& points, const Box& domain,
+                   PrivacyBudget& budget, Rng& rng);
+
+  /// Estimated number of points in `q`.  Requires a prior Fit.  The
+  /// default aborts — sequence methods answer SequenceQuery batches, not
+  /// boxes, and user-facing surfaces screen the query shape against the
+  /// method kind before dispatching.
+  virtual double Query(const Box& q) const;
 
   /// Answers many boxes at once.  The default loops over Query; every
   /// built-in backend overrides it with a batch strategy: tree-backed
@@ -80,6 +96,14 @@ class Method {
   /// hist/hierarchy.h).  A fitted Method is immutable, so Query/QueryBatch
   /// may be called concurrently from many threads (see serve/).
   virtual std::vector<double> QueryBatch(std::span<const Box> queries) const;
+
+  /// Answers many sequence queries at once (one double per spec — see
+  /// release/sequence_query.h for the kinds).  Sequence-kind methods
+  /// override this; the default aborts, mirroring Query(Box) on sequence
+  /// methods.  Callers must have validated every spec against the fitted
+  /// alphabet (ValidateSequenceQuery) — the serving engine and the CLI do.
+  virtual std::vector<double> QueryBatch(
+      std::span<const SequenceQuery> queries) const;
 
   /// Release accounting; `epsilon_spent`/`synopsis_size` are meaningful
   /// only after Fit.

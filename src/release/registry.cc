@@ -51,6 +51,18 @@ std::size_t MethodRegistry::RequiredDim(std::string_view name) const {
   return Get(name).required_dim;
 }
 
+DatasetKind MethodRegistry::Kind(std::string_view name) const {
+  return Get(name).kind;
+}
+
+std::vector<std::string> MethodRegistry::Names(DatasetKind kind) const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : methods_) {
+    if (entry.kind == kind) out.push_back(name);
+  }
+  return out;
+}
+
 std::unique_ptr<Method> MethodRegistry::Create(
     std::string_view name, const MethodOptions& options) const {
   const auto it = methods_.find(name);

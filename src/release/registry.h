@@ -18,6 +18,7 @@
 
 #include "core/byteio.h"
 #include "dp/status.h"
+#include "release/dataset.h"
 #include "release/method.h"
 #include "release/options.h"
 
@@ -49,6 +50,11 @@ class MethodRegistry {
     std::string description;  ///< One-line summary for `--list` surfaces.
     std::string display;      ///< Column label for tables ("PrivTree").
     std::vector<OptionKey> allowed_keys;  ///< Valid option keys + types.
+    /// Input shape the method fits: spatial (PointSet + Box) or sequence
+    /// (SequenceDataset).  User-facing surfaces screen a dataset's kind
+    /// against this before Create/Fit, so a sequence method asked to fit
+    /// points (or vice versa) fails with a clean error, never an abort.
+    DatasetKind kind = DatasetKind::kSpatial;
     std::size_t required_dim = 0;  ///< Exact input dim required; 0 = any.
     /// Largest dimensionality the method is practical at (cost grows too
     /// fast beyond it — e.g. complete hierarchies); 0 = no limit.
@@ -81,6 +87,12 @@ class MethodRegistry {
   /// The exact input dimensionality the named method requires, or 0 when
   /// any dimension is supported; aborts on unknown names.
   std::size_t RequiredDim(std::string_view name) const;
+
+  /// The dataset kind the named method fits; aborts on unknown names.
+  DatasetKind Kind(std::string_view name) const;
+
+  /// Registered names of one dataset kind, sorted.
+  std::vector<std::string> Names(DatasetKind kind) const;
 
   /// Instantiates (but does not fit) the named method.  Unknown names
   /// abort; call Contains first when the name comes from user input.

@@ -1,0 +1,54 @@
+#include "release/sequence_query.h"
+
+#include <string>
+
+namespace privtree::release {
+
+Status ValidateSequenceQuery(const SequenceQuery& query,
+                             std::size_t alphabet_size) {
+  switch (query.kind) {
+    case SequenceQueryKind::kFrequency:
+    case SequenceQueryKind::kPrefixCount: {
+      if (query.symbols.empty()) {
+        return Status::InvalidArgument(
+            "sequence query needs at least one symbol");
+      }
+      if (query.symbols.size() > kMaxSequenceQuerySymbols) {
+        return Status::InvalidArgument(
+            "sequence query has " + std::to_string(query.symbols.size()) +
+            " symbols (max " + std::to_string(kMaxSequenceQuerySymbols) + ")");
+      }
+      for (const Symbol s : query.symbols) {
+        if (s >= alphabet_size) {
+          return Status::InvalidArgument(
+              "sequence query symbol " + std::to_string(s) +
+              " outside alphabet [0, " + std::to_string(alphabet_size) + ")");
+        }
+      }
+      return Status::OK();
+    }
+    case SequenceQueryKind::kTopK: {
+      if (query.k < 1 || query.k > kMaxTopKRank) {
+        return Status::InvalidArgument(
+            "top-k rank must be in [1, " + std::to_string(kMaxTopKRank) +
+            "] (got " + std::to_string(query.k) + ")");
+      }
+      if (query.max_len < 1 || query.max_len > kMaxTopKLen) {
+        return Status::InvalidArgument(
+            "top-k max_len must be in [1, " + std::to_string(kMaxTopKLen) +
+            "] (got " + std::to_string(query.max_len) + ")");
+      }
+      if (alphabet_size > 255) {
+        return Status::InvalidArgument(
+            "top-k queries require alphabet_size <= 255 (packed candidate "
+            "keys); serving alphabet is " + std::to_string(alphabet_size));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument(
+      "unknown sequence query kind " +
+      std::to_string(static_cast<std::uint32_t>(query.kind)));
+}
+
+}  // namespace privtree::release

@@ -1,0 +1,78 @@
+// Query specs for sequence-kind release methods (the PST of Section 4 and
+// the n-gram baseline of Section 6.2).  Every spec evaluates to one double,
+// so a sequence QueryBatch has exactly the shape of a spatial one — a
+// vector of answers that crosses caches, sockets and benches unchanged.
+//
+// The three kinds map to the paper's sequence tasks:
+//   * kFrequency    — estimated number of occurrences of the symbol string
+//                     anywhere in the dataset (Equation (12) chaining).
+//   * kPrefixCount  — estimated number of sequences that *begin* with the
+//                     symbol string (the chain anchored at the $ marker).
+//   * kTopK         — the estimated frequency of the k-th most frequent
+//                     string of length <= max_len (Section 6.2's top-k
+//                     mining, reduced to its rank-k support value; 0 when
+//                     the model yields fewer than k strings).
+//
+// Validation is non-aborting: specs arrive from sockets and CLIs, so
+// ValidateSequenceQuery screens symbols/ranks against the served alphabet
+// and returns a clean Status — the models' aborting contract checks never
+// see a hostile spec.
+#ifndef PRIVTREE_RELEASE_SEQUENCE_QUERY_H_
+#define PRIVTREE_RELEASE_SEQUENCE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/status.h"
+#include "seq/sequence.h"
+
+namespace privtree::release {
+
+enum class SequenceQueryKind : std::uint32_t {
+  kFrequency = 1,
+  kPrefixCount = 2,
+  kTopK = 3,
+};
+
+/// One sequence query.  `symbols` carries the string for kFrequency /
+/// kPrefixCount; `k` and `max_len` parameterize kTopK (symbols unused).
+struct SequenceQuery {
+  SequenceQueryKind kind = SequenceQueryKind::kFrequency;
+  std::vector<Symbol> symbols;
+  std::uint32_t k = 0;
+  std::uint32_t max_len = 0;
+
+  static SequenceQuery Frequency(std::vector<Symbol> symbols) {
+    return {SequenceQueryKind::kFrequency, std::move(symbols), 0, 0};
+  }
+  static SequenceQuery PrefixCount(std::vector<Symbol> symbols) {
+    return {SequenceQueryKind::kPrefixCount, std::move(symbols), 0, 0};
+  }
+  static SequenceQuery TopK(std::uint32_t k, std::uint32_t max_len) {
+    return {SequenceQueryKind::kTopK, {}, k, max_len};
+  }
+};
+
+/// Longest string accepted in a frequency/prefix query (a sanity cap: the
+/// public length cap l⊤ is at most 4096 everywhere in this repo).
+inline constexpr std::size_t kMaxSequenceQuerySymbols = 4096;
+/// Largest enumeration depth a kTopK query may request (TopKFromModel packs
+/// candidate strings into 8-bit symbol slots, 7 per key).
+inline constexpr std::uint32_t kMaxTopKLen = 7;
+/// Largest rank a kTopK query may request.  Deliberately small: the top-k
+/// DFS prunes nothing until k candidates exist, so a huge rank from a
+/// hostile client would force a near-exhaustive alphabet^max_len walk —
+/// unbounded CPU on the serving path.
+inline constexpr std::uint32_t kMaxTopKRank = 1024;
+
+/// Full non-aborting screen of one query against the served alphabet:
+/// known kind, symbols in [0, alphabet_size), non-empty string for
+/// frequency/prefix kinds, k >= 1 and 1 <= max_len <= kMaxTopKLen for
+/// top-k (top-k additionally requires alphabet_size <= 255, the packed
+/// candidate-key limit).  OK, or InvalidArgument with a diagnostic.
+Status ValidateSequenceQuery(const SequenceQuery& query,
+                             std::size_t alphabet_size);
+
+}  // namespace privtree::release
+
+#endif  // PRIVTREE_RELEASE_SEQUENCE_QUERY_H_

@@ -12,6 +12,8 @@
 #include "core/byteio.h"
 #include "release/builtin_methods.h"
 #include "release/options.h"
+#include "release/sequence_methods.h"
+#include "seq/pst_serialization.h"
 #include "spatial/serialization.h"
 
 namespace privtree::release {
@@ -82,9 +84,9 @@ Result<std::unique_ptr<Method>> LoadMethod(std::istream& in,
                    std::istreambuf_iterator<char>());
   if (in.bad()) return Status::IOError("synopsis read failure");
 
-  // Legacy v1 text files (only the spatial tree ever had them) load through
-  // the compat shim: the persisted release carries no method name or ε, so
-  // they come back as a "privtree" synopsis with epsilon_spent = 0.
+  // Legacy v1 text files load through compat shims: the persisted releases
+  // carry no method name or ε, so they come back as a "privtree" (spatial
+  // tree) or "pst_privtree" (sequence PST) synopsis with epsilon_spent = 0.
   if (data.size() >= kV1Magic.size() &&
       std::string_view(data).substr(0, kV1Magic.size()) == kV1Magic) {
     std::istringstream text(data);
@@ -92,6 +94,13 @@ Result<std::unique_ptr<Method>> LoadMethod(std::istream& in,
     if (!hist.ok()) return hist.status();
     return WrapSpatialHistogram("privtree", std::move(hist).value(),
                                 /*epsilon_spent=*/0.0);
+  }
+  if (data.size() >= kPstV1Magic.size() &&
+      std::string_view(data).substr(0, kPstV1Magic.size()) == kPstV1Magic) {
+    std::istringstream text(data);
+    auto model = LoadPstModelStream(text, "<pst v1 synopsis>");
+    if (!model.ok()) return model.status();
+    return WrapPstModel(std::move(model).value(), /*epsilon_spent=*/0.0);
   }
 
   if (data.size() < kHeaderBytes ||
@@ -128,10 +137,6 @@ Result<std::unique_ptr<Method>> LoadMethod(std::istream& in,
       !r.U64(&synopsis_size) || !r.I32(&envelope.metadata.height)) {
     return Status::InvalidArgument("synopsis: truncated envelope");
   }
-  if (dim == 0 || dim > 8) {
-    return Status::InvalidArgument("synopsis: bad dimensionality " +
-                                   std::to_string(dim));
-  }
   if (!(envelope.metadata.epsilon_spent >= 0.0) ||
       !std::isfinite(envelope.metadata.epsilon_spent)) {
     return Status::InvalidArgument("synopsis: bad epsilon");
@@ -147,6 +152,15 @@ Result<std::unique_ptr<Method>> LoadMethod(std::istream& in,
   if (!entry.loader) {
     return Status::InvalidArgument("synopsis: method \"" + name +
                                    "\" has no registered loader");
+  }
+  // `dim` is kind-relative: spatial methods fit 1..8-dimensional domains;
+  // sequence methods report the alphabet size.  The bound is checked only
+  // after the registry lookup names the kind.
+  const std::uint64_t max_dim =
+      entry.kind == DatasetKind::kSequence ? kMaxAlphabetSize : 8;
+  if (dim == 0 || dim > max_dim) {
+    return Status::InvalidArgument("synopsis: bad dimensionality " +
+                                   std::to_string(dim));
   }
   if (entry.required_dim != 0 && dim != entry.required_dim) {
     return Status::InvalidArgument(

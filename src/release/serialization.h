@@ -21,7 +21,9 @@
 //     str   method name          (u32 length + bytes; a registry name)
 //     str   options text         (canonical "k1=v1,k2=v2", sorted keys —
 //                                 exactly what the method was created with)
-//     u64   dim                  (dimensionality of the fitted domain)
+//     u64   dim                  (dimensionality of the fitted domain;
+//                                 sequence methods record the alphabet
+//                                 size here)
 //     f64   epsilon spent        (total ε consumed by Fit)
 //     u64   synopsis size        (released nodes / cells, as Metadata())
 //     i32   height               (decomposition height, as Metadata())
@@ -41,6 +43,13 @@
 //                          u32 consistent flag (0/1), then per level
 //                          1..height-1 the flat f64 counts (sizes derived
 //                          from branching; post-inference)
+//   pst_privtree           u64 node count, then per node in id order
+//                          {i32 parent, f64 hist × (alphabet+1)}; children
+//                          are implied by parent links + creation order
+//                          (the SplitNode sibling-group invariant)
+//   ngram                  u64 node count, then per node in id order
+//                          {i32 parent, f64 noisy count} under the same
+//                          sibling-group invariant
 //
 // Loading re-derives every piece of derived state (prefix-sum lattices,
 // summed-area tables, tree depths) deterministically from the released
@@ -73,10 +82,11 @@ Status WriteSynopsis(std::ostream& out, const MethodMetadata& metadata,
 
 /// Reads one serialized synopsis from `in` (the whole remaining stream) and
 /// reconstructs the fitted method through `registry`'s loader for the
-/// recorded method name.  v1 text files (the legacy spatial tree format)
-/// are recognized by their magic line and loaded through the compat shim as
-/// a "privtree" method with unknown (zero) ε.  Every malformed input yields
-/// a Status error, never a crash or a partial synopsis.
+/// recorded method name.  v1 text files — the legacy spatial tree format
+/// and the legacy `privtree-pst v1` sequence format — are recognized by
+/// their magic lines and loaded through compat shims as a "privtree" /
+/// "pst_privtree" method with unknown (zero) ε.  Every malformed input
+/// yields a Status error, never a crash or a partial synopsis.
 Result<std::unique_ptr<Method>> LoadMethod(std::istream& in,
                                            const MethodRegistry& registry);
 

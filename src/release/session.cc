@@ -7,25 +7,32 @@
 
 namespace privtree::release {
 
+ReleaseSession::ReleaseSession(Dataset data, double total_epsilon,
+                               std::uint64_t seed)
+    : data_(std::move(data)), budget_(total_epsilon), rng_(seed) {}
+
 ReleaseSession::ReleaseSession(const PointSet& points, Box domain,
                                double total_epsilon, std::uint64_t seed)
-    : points_(points),
-      domain_(std::move(domain)),
-      budget_(total_epsilon),
-      rng_(seed) {
-  PRIVTREE_CHECK_EQ(points_.dim(), domain_.dim());
-}
+    : ReleaseSession(Dataset(points, std::move(domain)), total_epsilon,
+                     seed) {}
+
+ReleaseSession::ReleaseSession(const SequenceDataset& sequences,
+                               double total_epsilon, std::uint64_t seed)
+    : ReleaseSession(Dataset(sequences), total_epsilon, seed) {}
 
 std::unique_ptr<Method> ReleaseSession::Release(std::string_view method,
                                                 double epsilon,
                                                 const MethodOptions& options) {
+  // A method of the wrong kind would abort inside Fit with a less helpful
+  // message; check here where the registry name is still in hand.
+  PRIVTREE_CHECK(GlobalMethodRegistry().Kind(method) == data_.kind());
   auto instance = GlobalMethodRegistry().Create(method, options);
   // Account against the session first, then hand the method its own slice;
   // the method must drain the slice completely (Fit contract).
   budget_.Spend(epsilon);
   PrivacyBudget slice(epsilon);
   Rng rng = rng_.Fork();
-  instance->Fit(points_, domain_, slice, rng);
+  instance->Fit(data_, slice, rng);
   PRIVTREE_CHECK_LE(slice.remaining(), 1e-12 * epsilon);
   return instance;
 }

@@ -9,6 +9,13 @@
 //   auto fine = session.ReleaseRemaining("privtree");
 //   double est = fine->Query(box);
 //
+// The dataset may be of either registry kind — spatial points with a
+// declared domain, or a symbol-sequence dataset:
+//
+//   ReleaseSession seq_session(sequences, /*total_epsilon=*/1.0, 42);
+//   auto pst = seq_session.ReleaseRemaining("pst_privtree");
+//   auto answers = pst->QueryBatch(std::span(sequence_queries));
+//
 // Successive releases compose sequentially (Lemma 2.1): the session's
 // PrivacyBudget enforces Σ ε_i <= total ε and aborts on over-spend, and
 // each release draws from an independently forked Rng stream, so adding a
@@ -22,24 +29,35 @@
 
 #include "dp/budget.h"
 #include "dp/rng.h"
+#include "release/dataset.h"
 #include "release/method.h"
 #include "release/options.h"
+#include "seq/sequence.h"
 #include "spatial/box.h"
 #include "spatial/point_set.h"
 
 namespace privtree::release {
 
-/// Binds (dataset, domain, total ε, seed) and releases fitted Methods.
+/// Binds (dataset, total ε, seed) and releases fitted Methods.
 class ReleaseSession {
  public:
-  /// `points` must outlive the session.  The domain is declared by the
-  /// caller — deriving it from the data would leak information.
+  /// General form; the viewed data must outlive the session.
+  ReleaseSession(Dataset data, double total_epsilon, std::uint64_t seed);
+
+  /// Spatial convenience: `points` must outlive the session.  The domain
+  /// is declared by the caller — deriving it from the data would leak.
   ReleaseSession(const PointSet& points, Box domain, double total_epsilon,
                  std::uint64_t seed);
 
-  /// Creates the named method via the global registry, allocates `epsilon`
-  /// from the session budget (aborting on over-spend), fits, and returns
-  /// the fitted method.
+  /// Sequence convenience: `sequences` must outlive the session.
+  ReleaseSession(const SequenceDataset& sequences, double total_epsilon,
+                 std::uint64_t seed);
+
+  /// Creates the named method via the global registry (aborting when its
+  /// kind does not match the session dataset — screen user-supplied names
+  /// against MethodRegistry::Kind first), allocates `epsilon` from the
+  /// session budget (aborting on over-spend), fits, and returns the fitted
+  /// method.
   std::unique_ptr<Method> Release(std::string_view method, double epsilon,
                                   const MethodOptions& options = {});
 
@@ -47,13 +65,15 @@ class ReleaseSession {
   std::unique_ptr<Method> ReleaseRemaining(std::string_view method,
                                            const MethodOptions& options = {});
 
-  const PointSet& points() const { return points_; }
-  const Box& domain() const { return domain_; }
+  const Dataset& data() const { return data_; }
+  /// Spatial accessors; abort on sequence sessions (kept for the many
+  /// spatial call sites).
+  const PointSet& points() const { return data_.points(); }
+  const Box& domain() const { return data_.domain(); }
   const PrivacyBudget& budget() const { return budget_; }
 
  private:
-  const PointSet& points_;
-  Box domain_;
+  Dataset data_;
   PrivacyBudget budget_;
   Rng rng_;
 };

@@ -24,6 +24,28 @@ double SequenceModel::EstimateStringFrequency(
   return std::max(ans, 0.0);
 }
 
+double SequenceModel::EstimatePrefixCount(std::span<const Symbol> s) const {
+  PRIVTREE_CHECK(!s.empty());
+  std::vector<double> dist;
+  double ans = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    NextDistribution(s.subspan(0, i), /*context_starts_sequence=*/true,
+                     &dist);
+    if (i == 0) {
+      // Count-scale anchor: the next-symbol weights after $ estimate how
+      // many sequences start with each symbol.
+      ans = std::max(dist[s[0]], 0.0);
+    } else {
+      double magnitude = 0.0;
+      for (double w : dist) magnitude += w;
+      if (magnitude <= 0.0) return 0.0;
+      ans *= dist[s[i]] / magnitude;
+    }
+    if (ans <= 0.0) return 0.0;
+  }
+  return std::max(ans, 0.0);
+}
+
 std::vector<Symbol> SequenceModel::SampleSequence(Rng& rng,
                                                   std::size_t max_len) const {
   std::vector<Symbol> out;

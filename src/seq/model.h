@@ -38,6 +38,11 @@ class SequenceModel {
   /// InitialCount(s[0]) chained with conditional probabilities.
   double EstimateStringFrequency(std::span<const Symbol> s) const;
 
+  /// Estimated number of sequences that *begin* with `s`: the same chain,
+  /// anchored at the sequence start — the first factor is the next-symbol
+  /// count after $, and every conditional keeps the $-anchored context.
+  double EstimatePrefixCount(std::span<const Symbol> s) const;
+
   /// Samples a synthetic sequence; stops at & or after max_len symbols.
   std::vector<Symbol> SampleSequence(Rng& rng, std::size_t max_len) const;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <string>
 #include <utility>
 
 #include "dp/check.h"
@@ -141,6 +142,96 @@ void NgramModel::NextDistribution(std::span<const Symbol> context,
     (*dist)[c] = std::max(
         nodes_[static_cast<std::size_t>(node.children[c])].count, 0.0);
   }
+}
+
+std::int32_t NgramModel::Height() const {
+  // Depth of each node is depth(parent) + 1; ids are topologically ordered
+  // (a child's id always exceeds its parent's), so one forward pass works.
+  std::vector<std::int32_t> depth(nodes_.size(), 0);
+  std::int32_t height = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const NodeId child : nodes_[i].children) {
+      depth[static_cast<std::size_t>(child)] = depth[i] + 1;
+      height = std::max(height, depth[i] + 1);
+    }
+  }
+  return height;
+}
+
+double NgramModel::NodeCount(NodeId id) const {
+  return nodes_[static_cast<std::size_t>(id)].count;
+}
+
+std::vector<NodeId> NgramModel::ParentLinks() const {
+  std::vector<NodeId> parents(nodes_.size(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const NodeId child : nodes_[i].children) {
+      parents[static_cast<std::size_t>(child)] = static_cast<NodeId>(i);
+    }
+  }
+  return parents;
+}
+
+Result<NgramModel> NgramModel::Restore(std::size_t alphabet_size,
+                                       std::span<const NodeId> parents,
+                                       std::span<const double> counts) {
+  if (alphabet_size < 1 || alphabet_size > kMaxAlphabetSize) {
+    return Status::InvalidArgument("ngram restore: bad alphabet size");
+  }
+  const std::size_t beta = alphabet_size + 1;
+  const std::size_t n = parents.size();
+  if (counts.size() != n) {
+    return Status::InvalidArgument("ngram restore: row count mismatch");
+  }
+  // The building constructor always extends the root, so a released model
+  // has at least the beta unigram children.
+  if (n < 1 + beta || (n - 1) % beta != 0) {
+    return Status::InvalidArgument(
+        "ngram restore: node count inconsistent with fanout");
+  }
+  if (parents[0] != kInvalidNode) {
+    return Status::InvalidArgument("ngram restore: root must have parent -1");
+  }
+  NgramModel model(alphabet_size);
+  model.nodes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) model.nodes_[i].count = counts[i];
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId p = parents[i];
+    if (p < 0 || static_cast<std::size_t>(p) >= i) {
+      return Status::InvalidArgument("ngram restore: bad parent at node " +
+                                     std::to_string(i));
+    }
+    // Children of one parent arrive consecutively in groups of beta; the
+    // first of each group claims the (so far childless) parent.
+    if ((i - 1) % beta == 0) {
+      auto& node = model.nodes_[static_cast<std::size_t>(p)];
+      if (!node.children.empty()) {
+        return Status::InvalidArgument(
+            "ngram restore: parent extended twice at node " +
+            std::to_string(i));
+      }
+      // An &-child (sibling index alphabet_size within its own group) is
+      // structurally unextendable.
+      if (p != 0) {
+        const NodeId q = parents[static_cast<std::size_t>(p)];
+        const NodeId first_sibling =
+            model.nodes_[static_cast<std::size_t>(q)].children.front();
+        if (static_cast<std::size_t>(p - first_sibling) == alphabet_size) {
+          return Status::InvalidArgument(
+              "ngram restore: extended &-gram at node " + std::to_string(p));
+        }
+      }
+      node.children.reserve(beta);
+      for (std::size_t c = 0; c < beta; ++c) {
+        node.children.push_back(static_cast<NodeId>(i + c));
+      }
+    } else if (parents[i] != parents[i - 1]) {
+      return Status::InvalidArgument(
+          "ngram restore: fractured sibling group at node " +
+          std::to_string(i));
+    }
+  }
+  return model;
 }
 
 double NgramModel::InitialCount(Symbol x) const {

@@ -18,6 +18,7 @@
 
 #include "core/tree.h"
 #include "dp/rng.h"
+#include "dp/status.h"
 #include "seq/model.h"
 #include "seq/sequence.h"
 
@@ -54,11 +55,41 @@ class NgramModel : public SequenceModel {
   /// Number of released gram counts.
   std::size_t ReleasedGramCount() const { return nodes_.size() - 1; }
 
+  /// Total tree nodes (the uncounted root plus every released gram).
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Height of the released tree: the longest gram's length.
+  std::int32_t Height() const;
+
+  /// The released noisy count of node `id` (0 for the root, which carries
+  /// no count).
+  double NodeCount(NodeId id) const;
+
+  /// Flat parent links (entry i = parent of node i; kInvalidNode for the
+  /// root), recovered from the children lists.  Together with NodeCount
+  /// this is the whole released state — the envelope codec's row order
+  /// (release/sequence_methods.cc).
+  std::vector<NodeId> ParentLinks() const;
+
+  /// Restores a released model from (parent, count) rows, the inverse of
+  /// ParentLinks()/NodeCount(): children of one extended node are the
+  /// alphabet_size+1 consecutive nodes naming it as parent, in prepended-
+  /// symbol order (the invariant the building constructor produces).  Any
+  /// structural inconsistency — fractured sibling groups, an extended
+  /// &-child, a childless root — yields InvalidArgument, never a crash.
+  static Result<NgramModel> Restore(std::size_t alphabet_size,
+                                    std::span<const NodeId> parents,
+                                    std::span<const double> counts);
+
  private:
   struct GramNode {
     double count = 0.0;            ///< Noisy occurrence count.
     std::vector<NodeId> children;  ///< Size alphabet_size+1 when extended.
   };
+
+  /// Restore() shell: a model with no nodes yet.
+  explicit NgramModel(std::size_t alphabet_size)
+      : alphabet_size_(alphabet_size) {}
 
   /// The deepest tree node reachable by following `context`'s suffix, that
   /// has children.  Returns the root when nothing longer matches.

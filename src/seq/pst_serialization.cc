@@ -1,6 +1,8 @@
 #include "seq/pst_serialization.h"
 
 #include <fstream>
+#include <istream>
+#include <string>
 #include <vector>
 
 namespace privtree {
@@ -37,17 +39,25 @@ Status SavePstModel(const std::string& path, const PstModel& model) {
 Result<PstModel> LoadPstModel(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
+  return LoadPstModelStream(in, path);
+}
+
+Result<PstModel> LoadPstModelStream(std::istream& in,
+                                    const std::string& path) {
   std::string line;
-  if (!std::getline(in, line) || line != "privtree-pst v1") {
+  if (!std::getline(in, line) || line != kPstV1Magic) {
     return Status::InvalidArgument(path + ": bad magic line");
   }
   std::string keyword;
   std::size_t alphabet = 0, nodes = 0;
   if (!(in >> keyword >> alphabet) || keyword != "alphabet" ||
-      alphabet == 0 || alphabet > 4096) {
+      alphabet == 0 || alphabet > kMaxAlphabetSize) {
     return Status::InvalidArgument(path + ": bad alphabet header");
   }
-  if (!(in >> keyword >> nodes) || keyword != "nodes" || nodes == 0) {
+  // The node cap keeps a crafted header from forcing a huge up-front
+  // allocation (the rows below would run out of input long before then).
+  if (!(in >> keyword >> nodes) || keyword != "nodes" || nodes == 0 ||
+      nodes > (std::size_t{1} << 22)) {
     return Status::InvalidArgument(path + ": bad nodes header");
   }
   const std::size_t beta = alphabet + 1;
@@ -83,8 +93,13 @@ Result<PstModel> LoadPstModel(const std::string& path) {
                                        std::to_string(i));
       }
       // Children of one parent arrive consecutively in groups of β, and
-      // the first of each group triggers the split.
+      // the first of each group triggers the split.  A parent named by two
+      // group starts is a crafted file — SplitNode would abort on it.
       if ((i - 1) % beta == 0) {
+        if (!model.node(parents[i]).children.empty()) {
+          return Status::InvalidArgument(
+              path + ": parent split twice at node " + std::to_string(i));
+        }
         if (model.SplitNode(parents[i]) != static_cast<NodeId>(i)) {
           return Status::InvalidArgument(
               path + ": children out of order at node " + std::to_string(i));

@@ -14,18 +14,29 @@
 #ifndef PRIVTREE_SEQ_PST_SERIALIZATION_H_
 #define PRIVTREE_SEQ_PST_SERIALIZATION_H_
 
+#include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "dp/status.h"
 #include "seq/pst.h"
 
 namespace privtree {
 
+/// The v1 magic line; release/serialization.cc's compat shim recognizes it
+/// so legacy files load through release::LoadMethod as a "pst_privtree"
+/// method (with unknown, i.e. zero, ε).
+inline constexpr std::string_view kPstV1Magic = "privtree-pst v1";
+
 /// Writes the model to `path`.
 Status SavePstModel(const std::string& path, const PstModel& model);
 
 /// Reads a model written by SavePstModel.
 Result<PstModel> LoadPstModel(const std::string& path);
+
+/// As LoadPstModel, from an already-open stream (`name` labels errors).
+Result<PstModel> LoadPstModelStream(std::istream& in,
+                                    const std::string& name);
 
 }  // namespace privtree
 

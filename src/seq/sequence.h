@@ -17,6 +17,12 @@ namespace privtree {
 /// A symbol of the alphabet I; values in [0, alphabet_size).
 using Symbol = std::uint16_t;
 
+/// Largest alphabet accepted anywhere in the pipeline — dataset loaders,
+/// the persisted-synopsis `dim` bound, PST/n-gram restores, and the CLI /
+/// server `seq:<alphabet>` parsers all enforce this one constant, so the
+/// load-time, serve-time and parse-time bounds cannot drift apart.
+inline constexpr std::size_t kMaxAlphabetSize = 4096;
+
 /// A dataset of symbol sequences.
 class SequenceDataset {
  public:

@@ -15,7 +15,7 @@ namespace privtree::serve {
 ParallelRunner::ParallelRunner(ThreadPool& pool, SynopsisCache* cache)
     : pool_(pool), cache_(cache) {}
 
-FitResult FitSynopsis(const PointSet& points, const Box& domain,
+FitResult FitSynopsis(const release::Dataset& data,
                       std::uint64_t dataset_fingerprint, const FitJob& job,
                       SynopsisCache* cache) {
   FitResult result;
@@ -25,7 +25,7 @@ FitResult FitSynopsis(const PointSet& points, const Box& domain,
         release::GlobalMethodRegistry().Create(job.method, job.options);
     PrivacyBudget budget(job.epsilon);
     Rng rng = job.rng;  // Private copy: the job stays reusable.
-    method->Fit(points, domain, budget, rng);
+    method->Fit(data, budget, rng);
     // The Fit contract: the method drains the slice it was handed.
     PRIVTREE_CHECK_LE(budget.remaining(), 1e-12 * job.epsilon);
     result.fit_seconds =
@@ -46,50 +46,70 @@ FitResult FitSynopsis(const PointSet& points, const Box& domain,
   return result;
 }
 
-FitResult ParallelRunner::FitOne(const PointSet& points, const Box& domain,
+FitResult ParallelRunner::FitOne(const release::Dataset& data,
                                  std::uint64_t dataset_fingerprint,
                                  const FitJob& job) const {
-  return FitSynopsis(points, domain, dataset_fingerprint, job, cache_);
+  return FitSynopsis(data, dataset_fingerprint, job, cache_);
 }
 
 std::vector<FitResult> ParallelRunner::FitAllTimed(
-    const PointSet& points, const Box& domain, std::vector<FitJob> jobs) const {
+    const release::Dataset& data, std::vector<FitJob> jobs) const {
   std::vector<FitResult> fitted(jobs.size());
   if (jobs.empty()) return fitted;
   const std::uint64_t fingerprint =
-      cache_ != nullptr ? DatasetFingerprint(points, domain) : 0;
+      cache_ != nullptr ? data.Fingerprint() : 0;
   pool_.ParallelFor(jobs.size(), [&](std::size_t i) {
-    fitted[i] = FitOne(points, domain, fingerprint, jobs[i]);
+    fitted[i] = FitOne(data, fingerprint, jobs[i]);
   });
   return fitted;
 }
 
+std::vector<FitResult> ParallelRunner::FitAllTimed(
+    const PointSet& points, const Box& domain, std::vector<FitJob> jobs) const {
+  return FitAllTimed(release::Dataset(points, domain), std::move(jobs));
+}
+
 std::vector<std::shared_ptr<const release::Method>> ParallelRunner::FitAll(
-    const PointSet& points, const Box& domain,
-    std::vector<FitJob> jobs) const {
-  std::vector<FitResult> timed =
-      FitAllTimed(points, domain, std::move(jobs));
+    const release::Dataset& data, std::vector<FitJob> jobs) const {
+  std::vector<FitResult> timed = FitAllTimed(data, std::move(jobs));
   std::vector<std::shared_ptr<const release::Method>> fitted;
   fitted.reserve(timed.size());
   for (FitResult& r : timed) fitted.push_back(std::move(r.method));
   return fitted;
 }
 
-void ParallelRunner::Prefetch(const PointSet& points, const Box& domain,
+std::vector<std::shared_ptr<const release::Method>> ParallelRunner::FitAll(
+    const PointSet& points, const Box& domain,
+    std::vector<FitJob> jobs) const {
+  return FitAll(release::Dataset(points, domain), std::move(jobs));
+}
+
+void ParallelRunner::Prefetch(release::Dataset data,
                               std::vector<FitJob> jobs) const {
   PRIVTREE_CHECK(cache_ != nullptr);
-  const std::uint64_t fingerprint = DatasetFingerprint(points, domain);
+  const std::uint64_t fingerprint = data.Fingerprint();
   auto shared_jobs = std::make_shared<std::vector<FitJob>>(std::move(jobs));
   for (std::size_t i = 0; i < shared_jobs->size(); ++i) {
-    pool_.Submit([this, &points, &domain, fingerprint, shared_jobs, i] {
-      FitOne(points, domain, fingerprint, (*shared_jobs)[i]);
+    // `data` is a cheap view; each task captures its own copy (the viewed
+    // dataset must outlive the pool drain, as before).
+    pool_.Submit([this, data, fingerprint, shared_jobs, i] {
+      FitOne(data, fingerprint, (*shared_jobs)[i]);
     });
   }
 }
 
-std::vector<double> ParallelQueryBatch(ThreadPool& pool,
-                                       const release::Method& method,
-                                       std::span<const Box> queries) {
+void ParallelRunner::Prefetch(const PointSet& points, const Box& domain,
+                              std::vector<FitJob> jobs) const {
+  Prefetch(release::Dataset(points, domain), std::move(jobs));
+}
+
+namespace {
+
+/// Shards any QueryBatch-shaped workload into contiguous chunks.
+template <typename Query>
+std::vector<double> ShardedQueryBatch(ThreadPool& pool,
+                                      const release::Method& method,
+                                      std::span<const Query> queries) {
   std::vector<double> answers(queries.size(), 0.0);
   if (queries.empty()) return answers;
   // A few chunks per worker so an expensive straggler chunk rebalances.
@@ -104,6 +124,20 @@ std::vector<double> ParallelQueryBatch(ThreadPool& pool,
     std::copy(chunk.begin(), chunk.end(), answers.begin() + begin);
   });
   return answers;
+}
+
+}  // namespace
+
+std::vector<double> ParallelQueryBatch(ThreadPool& pool,
+                                       const release::Method& method,
+                                       std::span<const Box> queries) {
+  return ShardedQueryBatch(pool, method, queries);
+}
+
+std::vector<double> ParallelQueryBatch(
+    ThreadPool& pool, const release::Method& method,
+    std::span<const release::SequenceQuery> queries) {
+  return ShardedQueryBatch(pool, method, queries);
 }
 
 namespace {

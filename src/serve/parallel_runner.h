@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "dp/rng.h"
+#include "release/dataset.h"
 #include "release/method.h"
 #include "release/options.h"
+#include "release/sequence_query.h"
 #include "serve/synopsis_cache.h"
 #include "serve/thread_pool.h"
 #include "spatial/box.h"
@@ -54,21 +56,29 @@ class ParallelRunner {
   /// `pool` and `cache` (when non-null) must outlive the runner.
   explicit ParallelRunner(ThreadPool& pool, SynopsisCache* cache = nullptr);
 
-  /// Fits every job (result[i] belongs to jobs[i]) and blocks until all are
-  /// done.  Each fit consumes exactly jobs[i].epsilon and checks that the
-  /// method drained its budget slice.
+  /// Fits every job (result[i] belongs to jobs[i]) over `data` — spatial or
+  /// sequence — and blocks until all are done.  Each fit consumes exactly
+  /// jobs[i].epsilon and checks that the method drained its budget slice.
+  /// Job method names must match the dataset's kind (registry Entry::kind).
+  std::vector<std::shared_ptr<const release::Method>> FitAll(
+      const release::Dataset& data, std::vector<FitJob> jobs) const;
+
+  /// Spatial convenience.
   std::vector<std::shared_ptr<const release::Method>> FitAll(
       const PointSet& points, const Box& domain,
       std::vector<FitJob> jobs) const;
 
   /// As FitAll, with per-job wall time and cache attribution (the runtime
   /// benches and serving telemetry read these).
+  std::vector<FitResult> FitAllTimed(const release::Dataset& data,
+                                     std::vector<FitJob> jobs) const;
   std::vector<FitResult> FitAllTimed(const PointSet& points, const Box& domain,
                                      std::vector<FitJob> jobs) const;
 
   /// Enqueues the jobs to warm the cache and returns immediately.  Requires
-  /// a cache, and `points`/`domain` must stay alive until the pool drains
-  /// (WaitIdle or destruction).
+  /// a cache, and the data `data` views must stay alive until the pool
+  /// drains (WaitIdle or destruction).
+  void Prefetch(release::Dataset data, std::vector<FitJob> jobs) const;
   void Prefetch(const PointSet& points, const Box& domain,
                 std::vector<FitJob> jobs) const;
 
@@ -76,7 +86,7 @@ class ParallelRunner {
   SynopsisCache* cache() const { return cache_; }
 
  private:
-  FitResult FitOne(const PointSet& points, const Box& domain,
+  FitResult FitOne(const release::Dataset& data,
                    std::uint64_t dataset_fingerprint, const FitJob& job) const;
 
   ThreadPool& pool_;
@@ -88,8 +98,8 @@ class ParallelRunner {
 /// copy — memoized through `cache` when non-null.  This is the one fit
 /// path shared by ParallelRunner and the async serving engine
 /// (server/async_engine.h), so every serving surface releases bit-for-bit
-/// identical synopses.
-FitResult FitSynopsis(const PointSet& points, const Box& domain,
+/// identical synopses for either dataset kind.
+FitResult FitSynopsis(const release::Dataset& data,
                       std::uint64_t dataset_fingerprint, const FitJob& job,
                       SynopsisCache* cache);
 
@@ -100,6 +110,15 @@ FitResult FitSynopsis(const PointSet& points, const Box& domain,
 std::vector<double> ParallelQueryBatch(ThreadPool& pool,
                                        const release::Method& method,
                                        std::span<const Box> queries);
+
+/// The sequence counterpart: shards a SequenceQuery workload the same way.
+/// Note that the sequence batch path memoizes top-k mining per QueryBatch
+/// *call*, so a top-k-heavy workload is cheaper submitted as one unsharded
+/// batch (what the AsyncEngine and the CLI do); shard when the workload is
+/// dominated by per-string frequency/prefix chains.
+std::vector<double> ParallelQueryBatch(
+    ThreadPool& pool, const release::Method& method,
+    std::span<const release::SequenceQuery> queries);
 
 /// The serving thread count: the last SetDefaultThreadCount value, else the
 /// PRIVTREE_THREADS environment variable, else 1.

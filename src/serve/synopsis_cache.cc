@@ -17,39 +17,19 @@ namespace privtree::serve {
 
 namespace {
 
-/// Order-sensitive accumulation of one 64-bit word: xor-then-avalanche
-/// (SplitMix64 finalizer).  Word-at-a-time keeps the whole-dataset hash to
-/// a few ops per coordinate — it runs once per FitAll sweep, over every
-/// point.
-inline std::uint64_t MixWord(std::uint64_t hash, std::uint64_t word) {
-  std::uint64_t x = hash ^ word;
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x + 0x9e3779b97f4a7c15ULL;
-}
-
-inline std::uint64_t MixDouble(std::uint64_t hash, double value) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &value, sizeof(bits));
-  return MixWord(hash, bits);
-}
+// The shared fingerprint mixer (core/byteio.h), used here for
+// SynopsisKeyFingerprint (spill-file names).
+constexpr auto MixWord = MixFingerprintWord;
+constexpr auto MixDouble = MixFingerprintDouble;
 
 }  // namespace
 
 std::uint64_t DatasetFingerprint(const PointSet& points, const Box& domain) {
-  PRIVTREE_CHECK_EQ(points.dim(), domain.dim());
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  hash = MixWord(hash, points.dim());
-  hash = MixWord(hash, points.size());
-  for (const double c : points.coords()) hash = MixDouble(hash, c);
-  for (std::size_t j = 0; j < domain.dim(); ++j) {
-    hash = MixDouble(hash, domain.lo(j));
-    hash = MixDouble(hash, domain.hi(j));
-  }
-  return hash;
+  return release::Dataset(points, domain).Fingerprint();
+}
+
+std::uint64_t DatasetFingerprint(const SequenceDataset& sequences) {
+  return release::Dataset(sequences).Fingerprint();
 }
 
 std::string CanonicalOptionsText(std::string_view method,

@@ -58,6 +58,7 @@
 #include <utility>
 #include <vector>
 
+#include "release/dataset.h"
 #include "release/method.h"
 #include "release/options.h"
 #include "spatial/box.h"
@@ -67,7 +68,7 @@ namespace privtree::serve {
 
 /// Identity of one fitted synopsis.
 struct SynopsisKey {
-  std::uint64_t dataset_fingerprint = 0;  ///< DatasetFingerprint().
+  std::uint64_t dataset_fingerprint = 0;  ///< release::Dataset::Fingerprint.
   std::string method;                     ///< Registry name.
   std::string options;                    ///< CanonicalOptionsText().
   double epsilon = 0.0;                   ///< Total ε of the fit.
@@ -76,10 +77,17 @@ struct SynopsisKey {
   friend auto operator<=>(const SynopsisKey&, const SynopsisKey&) = default;
 };
 
-/// Order-sensitive 64-bit digest of (dim, coordinates, domain bounds).
-/// Collisions are astronomically unlikely but not impossible; the cache
-/// trades that risk for never storing the data itself.
+/// Spatial convenience for release::Dataset::Fingerprint — an
+/// order-sensitive 64-bit digest of (content, kind).  The kind tag makes
+/// fingerprints domain-separate: a sequence dataset can never collide with
+/// a spatial one on a cache or spill key even when their raw content words
+/// coincide.  Within a kind, collisions are astronomically unlikely but
+/// not impossible; the cache trades that risk for never storing the data
+/// itself.
 std::uint64_t DatasetFingerprint(const PointSet& points, const Box& domain);
+
+/// Sequence counterpart.
+std::uint64_t DatasetFingerprint(const SequenceDataset& sequences);
 
 /// Renders `options` with every key the registered `method` accepts
 /// normalized through its declared type (so "3", "3.0" and "3.00" collapse

@@ -11,18 +11,20 @@
 
 namespace privtree::server {
 
+AsyncEngine::AsyncEngine(release::Dataset data, serve::ThreadPool& pool,
+                         serve::SynopsisCache& cache, EngineOptions options)
+    : data_(std::move(data)),
+      pool_(pool),
+      cache_(cache),
+      dataset_fingerprint_(data_.Fingerprint()),
+      admission_(options.admission, &cache),
+      queue_(options.admission.max_queue_depth) {}
+
 AsyncEngine::AsyncEngine(const PointSet& points, Box domain,
                          serve::ThreadPool& pool, serve::SynopsisCache& cache,
                          EngineOptions options)
-    : points_(points),
-      domain_(std::move(domain)),
-      pool_(pool),
-      cache_(cache),
-      dataset_fingerprint_(serve::DatasetFingerprint(points, domain_)),
-      admission_(options.admission, &cache),
-      queue_(options.admission.max_queue_depth) {
-  PRIVTREE_CHECK_EQ(points_.dim(), domain_.dim());
-}
+    : AsyncEngine(release::Dataset(points, std::move(domain)), pool, cache,
+                  options) {}
 
 AsyncEngine::~AsyncEngine() {
   // Queued requests capture `this`; do not let them outlive the engine.
@@ -48,12 +50,19 @@ Status AsyncEngine::ValidateSpec(const FitSpec& spec) const {
   if (!registry.Contains(spec.method)) {
     return Status::InvalidArgument("unknown method \"" + spec.method + "\"");
   }
+  if (registry.Kind(spec.method) != data_.kind()) {
+    return Status::InvalidArgument(
+        "method \"" + spec.method + "\" fits " +
+        std::string(release::DatasetKindName(registry.Kind(spec.method))) +
+        " datasets; this server serves " +
+        std::string(release::DatasetKindName(data_.kind())) + " data");
+  }
   const std::size_t required = registry.RequiredDim(spec.method);
-  if (required != 0 && required != points_.dim()) {
+  if (data_.is_spatial() && required != 0 && required != data_.dim()) {
     return Status::InvalidArgument(
         "method \"" + spec.method + "\" requires " +
         std::to_string(required) + "-dimensional data (serving dim=" +
-        std::to_string(points_.dim()) + ")");
+        std::to_string(data_.dim()) + ")");
   }
   if (!(spec.epsilon > 0.0)) {
     return Status::InvalidArgument("epsilon must be positive");
@@ -77,12 +86,12 @@ Status AsyncEngine::ValidateSpec(const FitSpec& spec) const {
   }
   // The one dataset-relative range: a tree split cannot span more
   // dimensions than the served data has.
-  if (spec.options.Has("dims_per_split") &&
+  if (data_.is_spatial() && spec.options.Has("dims_per_split") &&
       spec.options.GetInt("dims_per_split", 0) >
-          static_cast<std::int64_t>(points_.dim())) {
+          static_cast<std::int64_t>(data_.dim())) {
     return Status::InvalidArgument(
         "dims_per_split exceeds the serving dim (" +
-        std::to_string(points_.dim()) + ")");
+        std::to_string(data_.dim()) + ")");
   }
   return Status::OK();
 }
@@ -135,7 +144,7 @@ Future<FitResponse> AsyncEngine::SubmitFit(
   };
   request.run = [this, shared, spec, key] {
     const serve::FitResult fitted = serve::FitSynopsis(
-        points_, domain_, dataset_fingerprint_, JobFor(spec), &cache_);
+        data_, dataset_fingerprint_, JobFor(spec), &cache_);
     admission_.EndFit(key);
     shared->Set({Status::OK(), fitted.method->Metadata(), fitted.cache_hit});
   };
@@ -155,11 +164,21 @@ Future<QueryBatchResponse> AsyncEngine::SubmitQueryBatch(
     promise.Set({std::move(valid), {}, false});
     return future;
   }
+  // ValidateSpec already rejects spatial methods on a sequence engine, but
+  // box queries carry their own shape; keep the message direct.
+  if (!data_.is_spatial()) {
+    promise.Set({Status::InvalidArgument(
+                     "box query batches need a spatial served dataset; this "
+                     "server serves sequence data (use SeqQueryBatch)"),
+                 {},
+                 false});
+    return future;
+  }
   for (const Box& q : queries) {
-    if (q.dim() != points_.dim()) {
+    if (q.dim() != data_.dim()) {
       promise.Set({Status::InvalidArgument(
                        "query box dim " + std::to_string(q.dim()) +
-                       " != serving dim " + std::to_string(points_.dim())),
+                       " != serving dim " + std::to_string(data_.dim())),
                    {},
                    false});
       return future;
@@ -181,13 +200,64 @@ Future<QueryBatchResponse> AsyncEngine::SubmitQueryBatch(
   };
   request.run = [this, shared, spec, key, needs_fit, boxes] {
     const serve::FitResult fitted = serve::FitSynopsis(
-        points_, domain_, dataset_fingerprint_, JobFor(spec), &cache_);
+        data_, dataset_fingerprint_, JobFor(spec), &cache_);
     if (needs_fit) admission_.EndFit(key);
     // The batch runs on this one pool task; concurrency comes from many
     // requests in flight, and a fitted Method is safe to query from any
     // number of them at once.
     shared->Set(
         {Status::OK(), fitted.method->QueryBatch(*boxes), fitted.cache_hit});
+  };
+  if (Status queued = Enqueue(request, needs_fit); !queued.ok()) {
+    if (needs_fit) admission_.EndFit(key);
+    shared->Set({std::move(queued), {}, false});
+  }
+  return future;
+}
+
+Future<QueryBatchResponse> AsyncEngine::SubmitSeqQueryBatch(
+    const FitSpec& spec, std::vector<release::SequenceQuery> queries,
+    DeadlineClock::time_point deadline) {
+  Promise<QueryBatchResponse> promise;
+  Future<QueryBatchResponse> future = promise.future();
+  if (Status valid = ValidateSpec(spec); !valid.ok()) {
+    promise.Set({std::move(valid), {}, false});
+    return future;
+  }
+  if (!data_.is_sequence()) {
+    promise.Set({Status::InvalidArgument(
+                     "sequence query batches need a sequence served "
+                     "dataset; this server serves spatial data"),
+                 {},
+                 false});
+    return future;
+  }
+  for (const release::SequenceQuery& q : queries) {
+    if (Status screened = release::ValidateSequenceQuery(q, data_.dim());
+        !screened.ok()) {
+      promise.Set({std::move(screened), {}, false});
+      return future;
+    }
+  }
+  const serve::SynopsisKey key = KeyFor(spec);
+  const bool needs_fit = cache_.Lookup(key) == nullptr;
+  if (needs_fit) admission_.BeginFit(key);
+  auto shared =
+      std::make_shared<Promise<QueryBatchResponse>>(std::move(promise));
+  auto specs = std::make_shared<std::vector<release::SequenceQuery>>(
+      std::move(queries));
+  QueuedRequest request;
+  request.deadline = deadline;
+  request.expire = [this, shared, key, needs_fit](Status status) {
+    if (needs_fit) admission_.EndFit(key);
+    shared->Set({std::move(status), {}, false});
+  };
+  request.run = [this, shared, spec, key, needs_fit, specs] {
+    const serve::FitResult fitted = serve::FitSynopsis(
+        data_, dataset_fingerprint_, JobFor(spec), &cache_);
+    if (needs_fit) admission_.EndFit(key);
+    shared->Set(
+        {Status::OK(), fitted.method->QueryBatch(*specs), fitted.cache_hit});
   };
   if (Status queued = Enqueue(request, needs_fit); !queued.ok()) {
     if (needs_fit) admission_.EndFit(key);
@@ -206,8 +276,7 @@ std::size_t AsyncEngine::Warm(std::span<const FitSpec> specs) {
     QueuedRequest request;  // No deadline and nobody waits on a future.
     request.expire = [this, key](Status) { admission_.EndFit(key); };
     request.run = [this, spec, key] {
-      serve::FitSynopsis(points_, domain_, dataset_fingerprint_, JobFor(spec),
-                         &cache_);
+      serve::FitSynopsis(data_, dataset_fingerprint_, JobFor(spec), &cache_);
       admission_.EndFit(key);
     };
     if (Enqueue(request, /*needs_fit=*/true).ok()) {

@@ -1,8 +1,9 @@
 // The asynchronous serving engine: a bounded request queue with completion
 // futures, layered over the shared ThreadPool and SynopsisCache.
 //
-// One engine binds one dataset (the sensitive points and their declared
-// domain) and serves many concurrent clients.  Submission is cheap and
+// One engine binds one dataset — spatial points with their declared
+// domain, or a symbol-sequence dataset — and serves many concurrent
+// clients.  Submission is cheap and
 // non-blocking: SubmitFit/SubmitQueryBatch validate the spec, pass
 // admission control, enqueue the request, and return a Future the caller
 // redeems whenever it likes; execution happens on the pool, one request
@@ -31,7 +32,9 @@
 #include <vector>
 
 #include "dp/status.h"
+#include "release/dataset.h"
 #include "release/method.h"
+#include "release/sequence_query.h"
 #include "serve/parallel_runner.h"
 #include "serve/synopsis_cache.h"
 #include "serve/thread_pool.h"
@@ -60,7 +63,12 @@ class AsyncEngine {
     serve::SynopsisCache::Stats cache;
   };
 
-  /// `points`, `pool` and `cache` must outlive the engine.  The domain is
+  /// General form: one engine per served dataset of either kind.  The data
+  /// `data` views, `pool` and `cache` must outlive the engine.
+  AsyncEngine(release::Dataset data, serve::ThreadPool& pool,
+              serve::SynopsisCache& cache, EngineOptions options = {});
+
+  /// Spatial convenience: `points` must outlive the engine.  The domain is
   /// declared by the caller, exactly as in ReleaseSession.
   AsyncEngine(const PointSet& points, Box domain, serve::ThreadPool& pool,
               serve::SynopsisCache& cache, EngineOptions options = {});
@@ -79,9 +87,19 @@ class AsyncEngine {
       DeadlineClock::time_point deadline = kNoDeadline);
 
   /// Answers `queries` against the spec'd release, fitting it first if the
-  /// cache does not hold it.  Every box must have the dataset's dim.
+  /// cache does not hold it.  Every box must have the dataset's dim;
+  /// requires a spatial-kind served dataset (a clean InvalidArgument
+  /// otherwise).
   Future<QueryBatchResponse> SubmitQueryBatch(
       const FitSpec& spec, std::vector<Box> queries,
+      DeadlineClock::time_point deadline = kNoDeadline);
+
+  /// Sequence counterpart: answers SequenceQuery specs against the spec'd
+  /// release.  Requires a sequence-kind served dataset; every query is
+  /// screened against the served alphabet (ValidateSequenceQuery), so a
+  /// hostile spec resolves with a clean InvalidArgument.
+  Future<QueryBatchResponse> SubmitSeqQueryBatch(
+      const FitSpec& spec, std::vector<release::SequenceQuery> queries,
       DeadlineClock::time_point deadline = kNoDeadline);
 
   /// Cache warming from an observed workload: enqueues an
@@ -90,14 +108,20 @@ class AsyncEngine {
   /// specs are skipped).  Fire-and-forget; redeem progress via Stats().
   std::size_t Warm(std::span<const FitSpec> specs);
 
-  /// Non-OK when the spec cannot be served: unregistered method, wrong
-  /// dimensionality, non-positive ε, unknown option key or ill-typed value.
+  /// Non-OK when the spec cannot be served: unregistered method, a method
+  /// kind that does not match the served dataset, wrong dimensionality,
+  /// non-positive ε, unknown option key or out-of-range value (the
+  /// registry's OptionKey ranges cover the sequence keys too, so a hostile
+  /// socket client never reaches a fitter's aborting contract check).
   Status ValidateSpec(const FitSpec& spec) const;
 
   StatsSnapshot Stats() const;
 
-  const PointSet& points() const { return points_; }
-  const Box& domain() const { return domain_; }
+  const release::Dataset& data() const { return data_; }
+  /// Spatial accessors; abort on sequence engines (kept for the many
+  /// spatial call sites).
+  const PointSet& points() const { return data_.points(); }
+  const Box& domain() const { return data_.domain(); }
   std::uint64_t dataset_fingerprint() const { return dataset_fingerprint_; }
   serve::ThreadPool& pool() const { return pool_; }
   serve::SynopsisCache& cache() const { return cache_; }
@@ -118,8 +142,7 @@ class AsyncEngine {
   /// already cached (queries skip the fit-load gate then).
   Status Enqueue(QueuedRequest& request, bool needs_fit);
 
-  const PointSet& points_;
-  const Box domain_;
+  const release::Dataset data_;
   serve::ThreadPool& pool_;
   serve::SynopsisCache& cache_;
   const std::uint64_t dataset_fingerprint_;

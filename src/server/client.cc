@@ -94,6 +94,27 @@ Result<std::vector<double>> Client::QueryBatch(const FitSpec& spec,
   return std::move(reply.answers);
 }
 
+Result<std::vector<double>> Client::SeqQueryBatch(
+    const FitSpec& spec, std::span<const release::SequenceQuery> queries,
+    std::int64_t deadline_millis) {
+  SeqQueryBatchRequest request;
+  request.spec = spec;
+  request.deadline_millis = deadline_millis;
+  request.queries.assign(queries.begin(), queries.end());
+  Result<std::string> frame = RoundTrip(EncodeSeqQueryBatch(request));
+  if (!frame.ok()) return frame.status();
+  QueryBatchReply reply;
+  if (Status s = DecodeQueryBatchReply(frame.value(), &reply); !s.ok()) {
+    return s;
+  }
+  if (reply.answers.size() != queries.size()) {
+    return Status::Internal("server answered " +
+                            std::to_string(reply.answers.size()) + " of " +
+                            std::to_string(queries.size()) + " queries");
+  }
+  return std::move(reply.answers);
+}
+
 Result<std::uint64_t> Client::Warm(std::span<const FitSpec> specs) {
   WarmRequest request;
   request.specs.assign(specs.begin(), specs.end());

@@ -39,10 +39,17 @@ class Client {
   /// Fits (or re-serves) the spec'd release; `deadline_millis` 0 = none.
   Result<FitReply> Fit(const FitSpec& spec, std::int64_t deadline_millis = 0);
 
-  /// Answers `queries` against the spec'd release, one double per box.
+  /// Answers `queries` against the spec'd release, one double per box
+  /// (spatial servers; a sequence server answers with InvalidArgument).
   Result<std::vector<double>> QueryBatch(const FitSpec& spec,
                                          std::span<const Box> queries,
                                          std::int64_t deadline_millis = 0);
+
+  /// Sequence counterpart: one double per SequenceQuery spec (check
+  /// info().kind to pick the right frame).
+  Result<std::vector<double>> SeqQueryBatch(
+      const FitSpec& spec, std::span<const release::SequenceQuery> queries,
+      std::int64_t deadline_millis = 0);
 
   /// Requests background cache warming; returns how many specs the
   /// server's admission control accepted.

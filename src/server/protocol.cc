@@ -58,6 +58,7 @@ Result<MessageType> PeekType(std::string_view payload) {
     case MessageType::kHello:
     case MessageType::kFit:
     case MessageType::kQueryBatch:
+    case MessageType::kSeqQueryBatch:
     case MessageType::kWarm:
     case MessageType::kStats:
     case MessageType::kShutdown:
@@ -95,6 +96,7 @@ std::string EncodeHelloReply(const HelloReply& reply) {
   ByteWriter w(&out);
   PutTag(w, MessageType::kHelloReply);
   w.U32(reply.version);
+  w.U32(static_cast<std::uint32_t>(reply.kind));
   w.U64(reply.dim);
   w.U64(reply.point_count);
   w.U64(reply.dataset_fingerprint);
@@ -106,12 +108,15 @@ std::string EncodeHelloReply(const HelloReply& reply) {
 Status DecodeHelloReply(std::string_view payload, HelloReply* out) {
   ByteReader r(payload);
   std::uint64_t count = 0;
+  std::uint32_t kind = 0;
   if (!TakeTag(r, MessageType::kHelloReply) || !r.U32(&out->version) ||
-      !r.U64(&out->dim) || !r.U64(&out->point_count) ||
-      !r.U64(&out->dataset_fingerprint) || !r.U64(&count) ||
+      !r.U32(&kind) || kind > 1 || !r.U64(&out->dim) ||
+      !r.U64(&out->point_count) || !r.U64(&out->dataset_fingerprint) ||
+      !r.U64(&count) ||
       count > r.remaining()) {  // ≥1 byte per entry: bounds the alloc.
     return Malformed("HelloReply");
   }
+  out->kind = static_cast<release::DatasetKind>(kind);
   out->methods.clear();
   out->methods.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -214,6 +219,67 @@ Status DecodeQueryBatch(std::string_view payload, QueryBatchRequest* out) {
     out->queries.emplace_back(lo, hi);
   }
   return Finish(r, "QueryBatch");
+}
+
+std::string EncodeSeqQueryBatch(const SeqQueryBatchRequest& request) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kSeqQueryBatch);
+  PutSpec(w, request.spec);
+  w.I64(request.deadline_millis);
+  w.U64(request.queries.size());
+  for (const release::SequenceQuery& q : request.queries) {
+    w.U32(static_cast<std::uint32_t>(q.kind));
+    w.U32(q.k);
+    w.U32(q.max_len);
+    w.U32(static_cast<std::uint32_t>(q.symbols.size()));
+    for (const Symbol s : q.symbols) w.U32(s);
+  }
+  return out;
+}
+
+Status DecodeSeqQueryBatch(std::string_view payload,
+                           SeqQueryBatchRequest* out) {
+  ByteReader r(payload);
+  std::uint64_t count = 0;
+  if (!TakeTag(r, MessageType::kSeqQueryBatch) || !TakeSpec(r, &out->spec) ||
+      !r.I64(&out->deadline_millis) || !r.U64(&count) ||
+      count > r.remaining() / 16) {  // 16 bytes per symbol-less query.
+    return Malformed("SeqQueryBatch");
+  }
+  out->queries.clear();
+  out->queries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    release::SequenceQuery q;
+    std::uint32_t kind = 0, symbol_count = 0;
+    if (!r.U32(&kind) || !r.U32(&q.k) || !r.U32(&q.max_len) ||
+        !r.U32(&symbol_count) || symbol_count > r.remaining() / 4) {
+      return Malformed("SeqQueryBatch");
+    }
+    switch (static_cast<release::SequenceQueryKind>(kind)) {
+      case release::SequenceQueryKind::kFrequency:
+      case release::SequenceQueryKind::kPrefixCount:
+      case release::SequenceQueryKind::kTopK:
+        q.kind = static_cast<release::SequenceQueryKind>(kind);
+        break;
+      default:
+        return Status::InvalidArgument("unknown sequence query kind " +
+                                       std::to_string(kind));
+    }
+    q.symbols.reserve(symbol_count);
+    for (std::uint32_t j = 0; j < symbol_count; ++j) {
+      std::uint32_t symbol = 0;
+      // Symbols are 16-bit; a larger wire value is a malformed frame (the
+      // alphabet-range screen against the *served* alphabet happens in the
+      // engine, with a clean per-request error).
+      if (!r.U32(&symbol) || symbol > 0xFFFF) {
+        return Malformed("SeqQueryBatch");
+      }
+      q.symbols.push_back(static_cast<Symbol>(symbol));
+    }
+    out->queries.push_back(std::move(q));
+  }
+  return Finish(r, "SeqQueryBatch");
 }
 
 std::string EncodeQueryBatchReply(const QueryBatchReply& reply) {

@@ -12,23 +12,31 @@
 //     ...  body
 //
 // Bodies (requests):
-//   Hello       u32 protocol version
-//   Fit         FitSpec, i64 deadline millis (0 = none)
-//   QueryBatch  FitSpec, i64 deadline millis, u64 dim, u64 count,
-//               then per box lo_1 hi_1 ... lo_d hi_d as f64
-//   Warm        u64 count, then count FitSpecs
-//   Stats       (empty)
-//   Shutdown    (empty)
+//   Hello          u32 protocol version
+//   Fit            FitSpec, i64 deadline millis (0 = none)
+//   QueryBatch     FitSpec, i64 deadline millis, u64 dim, u64 count,
+//                  then per box lo_1 hi_1 ... lo_d hi_d as f64
+//   SeqQueryBatch  FitSpec, i64 deadline millis, u64 count, then per query
+//                  u32 query kind (SequenceQueryKind), u32 k, u32 max_len,
+//                  u32 symbol count, u32 × count symbols (each < 65536)
+//   Warm           u64 count, then count FitSpecs
+//   Stats          (empty)
+//   Shutdown       (empty)
 //
 //   FitSpec :=  str method, str options ("k1=v1,k2=v2"), f64 epsilon,
 //               u64 seed
 //
 // Bodies (replies):
-//   HelloReply       u32 version, u64 dim, u64 point count,
-//                    u64 dataset fingerprint, u64 method count, str × count
+//   HelloReply       u32 version, u32 dataset kind (DatasetKind: 0 spatial,
+//                    1 sequence), u64 dim (spatial dim, or the alphabet
+//                    size for sequence data), u64 record count (points or
+//                    sequences), u64 dataset fingerprint, u64 method
+//                    count, str × count
 //   FitReply         str method, u64 dim, f64 epsilon spent,
 //                    u64 synopsis size, i32 height, u32 cache hit (0/1)
-//   QueryBatchReply  u32 cache hit, u64 count, f64 × count
+//   QueryBatchReply  u32 cache hit, u64 count, f64 × count (also answers
+//                    SeqQueryBatch — a sequence batch is one double per
+//                    spec, exactly like a box batch)
 //   WarmReply        u64 accepted
 //   StatsReply       13 × u64 (see struct StatsReply)
 //   ErrorReply       u32 status code (StatusCode), str message
@@ -46,13 +54,16 @@
 #include <vector>
 
 #include "dp/status.h"
+#include "release/dataset.h"
 #include "release/method.h"
+#include "release/sequence_query.h"
 #include "server/request.h"
 #include "spatial/box.h"
 
 namespace privtree::server {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2 added the HelloReply dataset-kind field and the SeqQueryBatch frame.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Upper bound on one frame payload (a sanity cap against a garbage length
 /// prefix, not a protocol limit).
@@ -65,6 +76,7 @@ enum class MessageType : std::uint32_t {
   kWarm = 4,
   kStats = 5,
   kShutdown = 6,
+  kSeqQueryBatch = 7,
   kHelloReply = 101,
   kFitReply = 102,
   kQueryBatchReply = 103,
@@ -80,7 +92,11 @@ struct HelloRequest {
 
 struct HelloReply {
   std::uint32_t version = kProtocolVersion;
+  /// What the server serves; decides which query frame to send.
+  release::DatasetKind kind = release::DatasetKind::kSpatial;
+  /// Spatial dim, or the alphabet size for sequence data.
   std::uint64_t dim = 0;
+  /// Served records: points or sequences.
   std::uint64_t point_count = 0;
   std::uint64_t dataset_fingerprint = 0;
   std::vector<std::string> methods;  ///< Registered method names, sorted.
@@ -105,6 +121,12 @@ struct QueryBatchRequest {
 struct QueryBatchReply {
   std::vector<double> answers;
   bool cache_hit = false;
+};
+
+struct SeqQueryBatchRequest {
+  FitSpec spec;
+  std::int64_t deadline_millis = 0;
+  std::vector<release::SequenceQuery> queries;
 };
 
 struct WarmRequest {
@@ -143,6 +165,9 @@ std::string EncodeFitReply(const FitReply& reply);
 /// Every box must share one dimensionality (the wire format declares one
 /// dim for the whole batch); Client::QueryBatch screens this.
 std::string EncodeQueryBatch(const QueryBatchRequest& request);
+/// Sequence query frames; semantic ranges (symbols vs. the served
+/// alphabet, top-k rank bounds) are screened server-side by the engine.
+std::string EncodeSeqQueryBatch(const SeqQueryBatchRequest& request);
 std::string EncodeQueryBatchReply(const QueryBatchReply& reply);
 std::string EncodeWarm(const WarmRequest& request);
 std::string EncodeWarmReply(const WarmReply& reply);
@@ -160,6 +185,8 @@ Status DecodeHelloReply(std::string_view payload, HelloReply* out);
 Status DecodeFit(std::string_view payload, FitRequest* out);
 Status DecodeFitReply(std::string_view payload, FitReply* out);
 Status DecodeQueryBatch(std::string_view payload, QueryBatchRequest* out);
+Status DecodeSeqQueryBatch(std::string_view payload,
+                           SeqQueryBatchRequest* out);
 Status DecodeQueryBatchReply(std::string_view payload, QueryBatchReply* out);
 Status DecodeWarm(std::string_view payload, WarmRequest* out);
 Status DecodeWarmReply(std::string_view payload, WarmReply* out);

@@ -97,10 +97,14 @@ std::string ServerLoop::HandleFrame(std::string_view payload,
             std::to_string(kProtocolVersion) + ")"));
       }
       HelloReply reply;
-      reply.dim = engine_.points().dim();
-      reply.point_count = engine_.points().size();
+      reply.kind = engine_.data().kind();
+      reply.dim = engine_.data().dim();
+      reply.point_count = engine_.data().size();
       reply.dataset_fingerprint = engine_.dataset_fingerprint();
-      reply.methods = release::GlobalMethodRegistry().Names();
+      // Advertise only what this server can actually fit: a client picking
+      // from the list must never draw a kind-mismatch rejection.
+      reply.methods =
+          release::GlobalMethodRegistry().Names(engine_.data().kind());
       return EncodeHelloReply(reply);
     }
 
@@ -127,6 +131,20 @@ std::string ServerLoop::HandleFrame(std::string_view payload,
           engine_
               .SubmitQueryBatch(request.spec, std::move(request.queries),
                                 DeadlineFromMillis(request.deadline_millis))
+              .Get();
+      if (!response.status.ok()) return EncodeErrorReply(response.status);
+      return EncodeQueryBatchReply({response.answers, response.cache_hit});
+    }
+
+    case MessageType::kSeqQueryBatch: {
+      SeqQueryBatchRequest request;
+      if (Status s = DecodeSeqQueryBatch(payload, &request); !s.ok()) {
+        return EncodeErrorReply(s);
+      }
+      const QueryBatchResponse& response =
+          engine_
+              .SubmitSeqQueryBatch(request.spec, std::move(request.queries),
+                                   DeadlineFromMillis(request.deadline_millis))
               .Get();
       if (!response.status.ok()) return EncodeErrorReply(response.status);
       return EncodeQueryBatchReply({response.answers, response.cache_hit});

@@ -4,8 +4,12 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <vector>
 
 #include "eval/table.h"
+#include "release/sequence_query.h"
+#include "seq/sequence.h"
+#include "seq/topk.h"
 
 namespace privtree {
 namespace {
@@ -57,6 +61,54 @@ TEST(RunnerTest, MeanOverRepsAverages) {
     return static_cast<double>(calls++);
   });
   EXPECT_DOUBLE_EQ(mean, 1.5);  // (0+1+2+3)/4.
+}
+
+TEST(RunnerTest, SequenceSpecsCoverBothMethodsWithLTop) {
+  const auto specs = SequenceSpecs(17);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "ngram");
+  EXPECT_EQ(specs[1].name, "pst_privtree");
+  for (const MethodSpec& spec : specs) {
+    EXPECT_EQ(spec.options.GetInt("l_top", 0), 17);
+  }
+}
+
+TEST(RunnerTest, RegistrySequenceMethodErrorIsDeterministicAndFinite) {
+  Rng data_rng(0x5EC);
+  SequenceDataset data(3);
+  std::vector<Symbol> s;
+  for (int i = 0; i < 200; ++i) {
+    s.clear();
+    const std::size_t len = 1 + data_rng.NextBounded(6);
+    for (std::size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<Symbol>(data_rng.NextBounded(3)));
+    }
+    data.Add(s);
+  }
+  // Frequency queries with exact substring counts as ground truth.
+  const auto counts = CountAllSubstrings(data, 2);
+  std::vector<release::SequenceQuery> queries;
+  std::vector<double> exact;
+  for (Symbol a = 0; a < 3; ++a) {
+    for (Symbol b = 0; b < 3; ++b) {
+      std::vector<Symbol> str = {a, b};
+      queries.push_back(release::SequenceQuery::Frequency(str));
+      const auto it = counts.find(PackString(str));
+      exact.push_back(it == counts.end() ? 0.0 : it->second);
+    }
+  }
+  for (const MethodSpec& spec : SequenceSpecs(8)) {
+    SCOPED_TRACE(spec.name);
+    const double first = RegistrySequenceMethodError(spec, data, 1.0,
+                                                     queries, exact,
+                                                     /*reps=*/2, 0xF1);
+    const double second = RegistrySequenceMethodError(spec, data, 1.0,
+                                                      queries, exact, 2,
+                                                      0xF1);
+    EXPECT_TRUE(std::isfinite(first));
+    EXPECT_GE(first, 0.0);
+    EXPECT_DOUBLE_EQ(first, second);
+  }
 }
 
 TEST(TablePrinterTest, FormatsCells) {

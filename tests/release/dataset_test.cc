@@ -1,0 +1,157 @@
+// release::Dataset: the tagged view both pipelines fit through, and the
+// kind-separated fingerprints that key the serving cache.  The headline
+// test engineers a spatial dataset and a sequence dataset whose raw
+// content words are *identical* — the collision a kind-blind fingerprint
+// would admit — and verifies the tagged fingerprints keep them apart all
+// the way into SynopsisCache.
+#include "release/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "release/method.h"
+#include "seq/sequence.h"
+#include "serve/synopsis_cache.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree::release {
+namespace {
+
+SequenceDataset SmallSequences() {
+  SequenceDataset data(3);
+  const std::vector<Symbol> a = {0, 1, 2};
+  const std::vector<Symbol> b = {2, 2};
+  data.Add(a);
+  data.Add(b, /*has_end=*/false);
+  return data;
+}
+
+TEST(DatasetTest, KindAccessors) {
+  PointSet points(2);
+  points.Add(std::vector<double>{0.25, 0.5});
+  const Box domain = Box::UnitCube(2);
+  const Dataset spatial(points, domain);
+  EXPECT_TRUE(spatial.is_spatial());
+  EXPECT_FALSE(spatial.is_sequence());
+  EXPECT_EQ(spatial.kind(), DatasetKind::kSpatial);
+  EXPECT_EQ(spatial.dim(), 2u);
+  EXPECT_EQ(spatial.size(), 1u);
+  EXPECT_EQ(&spatial.points(), &points);
+
+  const SequenceDataset sequences = SmallSequences();
+  const Dataset seq(sequences);
+  EXPECT_TRUE(seq.is_sequence());
+  EXPECT_EQ(seq.kind(), DatasetKind::kSequence);
+  EXPECT_EQ(seq.dim(), 3u);  // Alphabet size.
+  EXPECT_EQ(seq.size(), 2u);
+  EXPECT_EQ(&seq.sequences(), &sequences);
+}
+
+TEST(DatasetDeathTest, WrongKindAccessorsAbort) {
+  const SequenceDataset sequences = SmallSequences();
+  const Dataset seq(sequences);
+  EXPECT_DEATH(seq.points(), "is_spatial");
+  EXPECT_DEATH(seq.domain(), "is_spatial");
+
+  PointSet points(1);
+  points.Add(std::vector<double>{0.5});
+  const Dataset spatial(points, Box::UnitCube(1));
+  EXPECT_DEATH(spatial.sequences(), "is_sequence");
+}
+
+TEST(DatasetTest, FingerprintIsDeterministicAndContentSensitive) {
+  const SequenceDataset a = SmallSequences();
+  const SequenceDataset b = SmallSequences();
+  EXPECT_EQ(Dataset(a).Fingerprint(), Dataset(b).Fingerprint());
+
+  // Any content difference — a symbol, a length, a lost end marker —
+  // perturbs the digest.
+  SequenceDataset symbol_changed(3);
+  symbol_changed.Add(std::vector<Symbol>{0, 1, 1});
+  symbol_changed.Add(std::vector<Symbol>{2, 2}, false);
+  EXPECT_NE(Dataset(a).Fingerprint(),
+            Dataset(symbol_changed).Fingerprint());
+
+  SequenceDataset end_changed(3);
+  end_changed.Add(std::vector<Symbol>{0, 1, 2});
+  end_changed.Add(std::vector<Symbol>{2, 2}, true);
+  EXPECT_NE(Dataset(a).Fingerprint(), Dataset(end_changed).Fingerprint());
+}
+
+/// The collision a kind-blind fingerprint admits *today*: both digests mix
+/// plain 64-bit words, so a sequence dataset whose
+/// (alphabet, size, encoded length, symbols) words equal a spatial
+/// dataset's (dim, size, coordinate bits, bound bits) words hashes
+/// identically without the kind tag.  Doubles whose bit patterns are tiny
+/// integers (0.0 and denormals) make the construction concrete.
+TEST(DatasetTest, CrossKindContentCollisionIsSeparatedByKindTag) {
+  // Sequence words: [alphabet=2, size=1, (len=5)<<1|end=1 -> 11,
+  //                  symbols 1,0,1,0,1].
+  SequenceDataset sequences(2);
+  sequences.Add(std::vector<Symbol>{1, 0, 1, 0, 1}, /*has_end=*/true);
+
+  // Spatial words: [dim=2, size=1, bits(x)=11, bits(y)=1,
+  //                 bits(lo0)=0, bits(hi0)=1, bits(lo1)=0, bits(hi1)=1].
+  PointSet points(2);
+  points.Add(std::vector<double>{std::bit_cast<double>(std::uint64_t{11}),
+                                 std::bit_cast<double>(std::uint64_t{1})});
+  const double tiny = std::bit_cast<double>(std::uint64_t{1});
+  const Box domain({0.0, 0.0}, {tiny, tiny});
+
+  const Dataset seq(sequences);
+  const Dataset spatial(points, domain);
+  // The raw content words collide...
+  ASSERT_EQ(seq.UntaggedContentDigest(), spatial.UntaggedContentDigest());
+  // ...and the kind tag is what keeps the cache keys apart.
+  EXPECT_NE(seq.Fingerprint(), spatial.Fingerprint());
+  EXPECT_EQ(serve::DatasetFingerprint(sequences), seq.Fingerprint());
+  EXPECT_EQ(serve::DatasetFingerprint(points, domain),
+            spatial.Fingerprint());
+}
+
+/// The same pair must occupy two distinct SynopsisCache slots: with
+/// kind-blind fingerprints the second GetOrFit would serve the first
+/// kind's synopsis.
+TEST(DatasetTest, CollidingContentGetsDistinctCacheEntries) {
+  SequenceDataset sequences(2);
+  sequences.Add(std::vector<Symbol>{1, 0, 1, 0, 1}, true);
+  PointSet points(2);
+  points.Add(std::vector<double>{std::bit_cast<double>(std::uint64_t{11}),
+                                 std::bit_cast<double>(std::uint64_t{1})});
+  const double tiny = std::bit_cast<double>(std::uint64_t{1});
+  const Box domain({0.0, 0.0}, {tiny, tiny});
+  ASSERT_EQ(Dataset(sequences).UntaggedContentDigest(),
+            Dataset(points, domain).UntaggedContentDigest());
+
+  serve::SynopsisCache cache(8);
+  // Identical method/options/ε/rng — only the dataset fingerprint keeps
+  // the keys apart.
+  serve::SynopsisKey seq_key{Dataset(sequences).Fingerprint(), "privtree",
+                             "", 1.0, 7};
+  serve::SynopsisKey spatial_key{Dataset(points, domain).Fingerprint(),
+                                 "privtree", "", 1.0, 7};
+  EXPECT_NE(seq_key, spatial_key);
+
+  int fits = 0;
+  const auto fit_counting = [&]() -> std::shared_ptr<const Method> {
+    ++fits;
+    // The cache never inspects the synopsis; a null-free stub suffices.
+    struct Stub final : Method {
+      MethodMetadata Metadata() const override { return {}; }
+    };
+    return std::make_shared<const Stub>();
+  };
+  const auto first = cache.GetOrFit(seq_key, fit_counting);
+  const auto second = cache.GetOrFit(spatial_key, fit_counting);
+  EXPECT_EQ(fits, 2) << "colliding content must not share a cache slot";
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+}  // namespace
+}  // namespace privtree::release

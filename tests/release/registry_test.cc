@@ -28,13 +28,27 @@ PointSet MakePoints(std::size_t n, std::size_t dim, std::uint64_t seed) {
   return points;
 }
 
-TEST(RegistryTest, AllEightBuiltinsAreRegistered) {
+TEST(RegistryTest, AllBuiltinsAreRegistered) {
   const auto names = release::GlobalMethodRegistry().Names();
   const std::set<std::string> got(names.begin(), names.end());
-  const std::set<std::string> want = {"privtree", "simpletree", "ug",
-                                      "ag",       "kdtree",     "dawa",
-                                      "hierarchy", "wavelet"};
+  const std::set<std::string> want = {
+      "privtree",  "simpletree", "ug",    "ag",           "kdtree",
+      "dawa",      "hierarchy",  "wavelet",
+      // The sequence pipeline (Sections 4–5) registers alongside.
+      "pst_privtree", "ngram"};
   EXPECT_EQ(got, want);
+}
+
+TEST(RegistryTest, NamesFilterByKind) {
+  auto& registry = release::GlobalMethodRegistry();
+  const auto sequence = registry.Names(release::DatasetKind::kSequence);
+  EXPECT_EQ(sequence,
+            (std::vector<std::string>{"ngram", "pst_privtree"}));
+  EXPECT_EQ(registry.Names(release::DatasetKind::kSpatial).size(), 8u);
+  EXPECT_EQ(registry.Kind("privtree"), release::DatasetKind::kSpatial);
+  EXPECT_EQ(registry.Kind("pst_privtree"),
+            release::DatasetKind::kSequence);
+  EXPECT_EQ(registry.Kind("ngram"), release::DatasetKind::kSequence);
 }
 
 TEST(RegistryTest, DescriptionsAreNonEmpty) {
@@ -70,7 +84,8 @@ TEST(RegistryTest, EveryMethodRoundTripsDeterministically) {
   const Box query({0.1, 0.2}, {0.4, 0.6});
   auto& registry = release::GlobalMethodRegistry();
 
-  for (const std::string& name : registry.Names()) {
+  for (const std::string& name :
+       registry.Names(release::DatasetKind::kSpatial)) {
     SCOPED_TRACE(name);
     release::MethodOptions options;
     if (name == "dawa" || name == "wavelet") {
@@ -119,7 +134,8 @@ TEST(RegistryTest, QueryBatchMatchesQuery) {
   }
 
   auto& registry = release::GlobalMethodRegistry();
-  for (const std::string& name : registry.Names()) {
+  for (const std::string& name :
+       registry.Names(release::DatasetKind::kSpatial)) {
     SCOPED_TRACE(name);
     release::MethodOptions options;
     if (name == "dawa" || name == "wavelet") {
@@ -162,7 +178,8 @@ TEST(RegistryTest, PrivateRegistryIsIndependent) {
   EXPECT_FALSE(registry.Contains("privtree"));
   release::RegisterBuiltinMethods(registry);
   EXPECT_TRUE(registry.Contains("privtree"));
-  EXPECT_EQ(registry.Names().size(), 8u);
+  EXPECT_TRUE(registry.Contains("pst_privtree"));
+  EXPECT_EQ(registry.Names().size(), 10u);
 }
 
 TEST(RegistryDeathTest, UnknownMethodAborts) {

@@ -52,7 +52,9 @@ std::vector<Box> TestQueries(std::size_t count = 60) {
 /// Every registered method that fits 2-d data, across an ε × seed sweep.
 std::vector<FitJob> SweepJobs() {
   std::vector<FitJob> jobs;
-  for (const std::string& name : release::GlobalMethodRegistry().Names()) {
+  for (const std::string& name :
+       release::GlobalMethodRegistry().Names(
+           release::DatasetKind::kSpatial)) {
     for (const double epsilon : {0.5, 1.0}) {
       Rng master(0x5EED ^ std::hash<std::string>{}(name));
       for (int rep = 0; rep < 2; ++rep) {
@@ -157,7 +159,9 @@ TEST(ParallelRunnerTest, ParallelQueryBatchMatchesSingleBatch) {
   ThreadPool pool(8);
   const ParallelRunner runner(pool);
   const std::vector<Box> queries = TestQueries(500);
-  for (const std::string& name : release::GlobalMethodRegistry().Names()) {
+  for (const std::string& name :
+       release::GlobalMethodRegistry().Names(
+           release::DatasetKind::kSpatial)) {
     Rng master(0xABCD);
     const auto fitted =
         runner.FitAll(points, domain, {{name, {}, 1.0, master.Fork()}});
@@ -170,7 +174,8 @@ TEST(ParallelRunnerTest, ParallelQueryBatchMatchesSingleBatch) {
     }
   }
   EXPECT_TRUE(ParallelQueryBatch(pool, *runner.FitAll(
-      points, domain, {{"ug", {}, 1.0, Rng(1)}})[0], {}).empty());
+      points, domain, {{"ug", {}, 1.0, Rng(1)}})[0],
+      std::span<const Box>{}).empty());
 }
 
 }  // namespace

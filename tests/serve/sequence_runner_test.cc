@@ -1,0 +1,179 @@
+// The serving layer over sequence datasets: sharded sequence fits are
+// bit-for-bit identical to the serial path at any worker count, the cache
+// memoizes them under the kind-separated fingerprint, and a synopsis
+// loaded from its envelope answers QueryBatch exactly like a freshly
+// fitted one at 1 and 8 threads (the PR's acceptance criterion).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dp/budget.h"
+#include "dp/rng.h"
+#include "release/dataset.h"
+#include "release/method.h"
+#include "release/registry.h"
+#include "release/sequence_query.h"
+#include "release/serialization.h"
+#include "serve/parallel_runner.h"
+#include "serve/synopsis_cache.h"
+#include "serve/thread_pool.h"
+
+namespace privtree::serve {
+namespace {
+
+constexpr std::size_t kAlphabet = 5;
+constexpr std::size_t kLTop = 10;
+
+SequenceDataset TestSequences(std::size_t n = 500) {
+  Rng rng(0x5EC0);
+  SequenceDataset data(kAlphabet);
+  std::vector<Symbol> s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.clear();
+    const std::size_t len = 1 + rng.NextBounded(12);
+    for (std::size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<Symbol>(rng.NextBounded(kAlphabet)));
+    }
+    data.Add(s);
+  }
+  return data.Truncate(kLTop);
+}
+
+release::MethodOptions SeqOptions() {
+  release::MethodOptions options;
+  options.Set("l_top", std::to_string(kLTop));
+  return options;
+}
+
+std::vector<release::SequenceQuery> TestQueries() {
+  std::vector<release::SequenceQuery> queries;
+  Rng rng(0xBEEF5);
+  for (int i = 0; i < 40; ++i) {
+    std::vector<Symbol> s;
+    const std::size_t len = 1 + rng.NextBounded(4);
+    for (std::size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<Symbol>(rng.NextBounded(kAlphabet)));
+    }
+    queries.push_back(i % 3 == 0
+                          ? release::SequenceQuery::PrefixCount(s)
+                          : release::SequenceQuery::Frequency(s));
+  }
+  queries.push_back(release::SequenceQuery::TopK(8, 3));
+  return queries;
+}
+
+/// Both sequence methods across an ε × rep sweep.
+std::vector<FitJob> SweepJobs() {
+  std::vector<FitJob> jobs;
+  for (const std::string& name : release::GlobalMethodRegistry().Names(
+           release::DatasetKind::kSequence)) {
+    for (const double epsilon : {0.5, 1.0}) {
+      Rng master(0x5EED ^ std::hash<std::string>{}(name));
+      for (int rep = 0; rep < 2; ++rep) {
+        jobs.push_back({name, SeqOptions(), epsilon, master.Fork()});
+      }
+    }
+  }
+  return jobs;
+}
+
+TEST(SequenceRunnerTest, AnyWorkerCountMatchesSerialBitForBit) {
+  const SequenceDataset data = TestSequences();
+  const release::Dataset dataset(data);
+  const std::vector<release::SequenceQuery> queries = TestQueries();
+
+  // The serial reference: fit each job inline, no pool involved.
+  std::vector<std::vector<double>> reference;
+  for (const FitJob& job : SweepJobs()) {
+    auto method =
+        release::GlobalMethodRegistry().Create(job.method, job.options);
+    PrivacyBudget budget(job.epsilon);
+    Rng rng = job.rng;
+    method->Fit(dataset, budget, rng);
+    EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+    reference.push_back(method->QueryBatch(std::span(queries)));
+  }
+
+  for (const std::size_t workers : {1u, 8u}) {
+    ThreadPool pool(workers);
+    const ParallelRunner runner(pool);
+    const auto fitted = runner.FitAll(dataset, SweepJobs());
+    ASSERT_EQ(fitted.size(), reference.size());
+    for (std::size_t i = 0; i < fitted.size(); ++i) {
+      const std::vector<double> answers =
+          fitted[i]->QueryBatch(std::span(queries));
+      ASSERT_EQ(answers.size(), reference[i].size());
+      for (std::size_t q = 0; q < answers.size(); ++q) {
+        ASSERT_EQ(answers[q], reference[i][q])
+            << "workers=" << workers << " job=" << i << " query=" << q;
+      }
+    }
+  }
+}
+
+TEST(SequenceRunnerTest, SecondSweepIsAllCacheHits) {
+  const SequenceDataset data = TestSequences();
+  const release::Dataset dataset(data);
+  ThreadPool pool(4);
+  SynopsisCache cache(64);
+  const ParallelRunner runner(pool, &cache);
+
+  const auto first = runner.FitAllTimed(dataset, SweepJobs());
+  for (const FitResult& r : first) EXPECT_FALSE(r.cache_hit);
+  const auto second = runner.FitAllTimed(dataset, SweepJobs());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_TRUE(second[i].cache_hit) << "job " << i;
+    EXPECT_EQ(second[i].method.get(), first[i].method.get());
+  }
+}
+
+// The acceptance criterion: a loaded-from-envelope PST synopsis answers
+// QueryBatch bit-for-bit identically to a freshly fitted one at 1 and 8
+// threads.
+TEST(SequenceRunnerTest, LoadedEnvelopeMatchesFreshFitAtAnyThreadCount) {
+  const SequenceDataset data = TestSequences();
+  const release::Dataset dataset(data);
+  const std::vector<release::SequenceQuery> queries = TestQueries();
+
+  // Fit once, persist through the envelope, reload.
+  Rng master(0x7E58);
+  ThreadPool fit_pool(2);
+  const ParallelRunner fit_runner(fit_pool);
+  const auto fresh = fit_runner.FitAll(
+      dataset, {{"pst_privtree", SeqOptions(), 1.0, master.Fork()}})[0];
+  std::ostringstream out;
+  ASSERT_TRUE(fresh->Save(out).ok());
+  std::istringstream in(std::move(out).str());
+  auto loaded = release::LoadMethod(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  for (const std::size_t workers : {1u, 8u}) {
+    ThreadPool pool(workers);
+    const ParallelRunner runner(pool);
+    Rng remaster(0x7E58);
+    const auto refit = runner.FitAll(
+        dataset,
+        {{"pst_privtree", SeqOptions(), 1.0, remaster.Fork()}})[0];
+    const std::vector<double> want = refit->QueryBatch(std::span(queries));
+    // Both full-batch and sharded serving answers match the loaded
+    // synopsis exactly.
+    const std::vector<double> got =
+        loaded.value()->QueryBatch(std::span(queries));
+    const std::vector<double> sharded =
+        ParallelQueryBatch(pool, *loaded.value(), std::span(queries));
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t q = 0; q < want.size(); ++q) {
+      ASSERT_EQ(got[q], want[q]) << "workers=" << workers << " q=" << q;
+      ASSERT_EQ(sharded[q], want[q]) << "workers=" << workers << " q=" << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privtree::serve

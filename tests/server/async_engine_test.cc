@@ -103,7 +103,8 @@ TEST(AsyncEngineTest, EveryMethodMatchesReleaseSessionBitForBit) {
   AsyncEngine engine(points, Box::UnitCube(2), pool, cache);
 
   for (const std::string& method :
-       release::GlobalMethodRegistry().Names()) {
+       release::GlobalMethodRegistry().Names(
+           release::DatasetKind::kSpatial)) {
     const FitSpec spec{method, {}, kEpsilon, kSeed};
     const QueryBatchResponse& response =
         engine.SubmitQueryBatch(spec, queries).Get();
@@ -144,7 +145,8 @@ TEST(AsyncEngineTest, ConcurrentMixedTrafficMatchesSerialExecution) {
   const PointSet points = TestPoints();
   const std::vector<Box> queries = TestQueries();
   const std::vector<std::string> methods =
-      release::GlobalMethodRegistry().Names();
+      release::GlobalMethodRegistry().Names(
+          release::DatasetKind::kSpatial);
 
   // Serial ground truth, one per (method, seed) release.
   std::map<std::pair<std::string, std::uint64_t>, std::vector<double>> want;

@@ -95,14 +95,16 @@ TEST_F(ServerFixture, HelloDescribesTheServedDataset) {
   EXPECT_EQ(client.info().dataset_fingerprint,
             engine_->dataset_fingerprint());
   EXPECT_EQ(client.info().methods,
-            release::GlobalMethodRegistry().Names());
+            release::GlobalMethodRegistry().Names(
+                release::DatasetKind::kSpatial));
 }
 
 TEST_F(ServerFixture, EveryMethodServesInProcessAnswersOverTheSocket) {
   Client client = MustConnect();
   const std::vector<Box> queries = TestQueries();
   for (const std::string& method :
-       release::GlobalMethodRegistry().Names()) {
+       release::GlobalMethodRegistry().Names(
+           release::DatasetKind::kSpatial)) {
     const FitSpec spec{method, {}, kEpsilon, kSeed};
     const auto fitted = client.Fit(spec);
     ASSERT_TRUE(fitted.ok()) << method << ": "
