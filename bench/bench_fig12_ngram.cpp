@@ -1,13 +1,20 @@
 // Figure 12 (Appendix C): sensitivity of N-gram to its exploration-tree
 // height h = n_max ∈ {3, ..., 7}, measured by top-k precision.
 //
+// Every fit rides the release registry via
+// eval::RegistrySequenceModelMetric, so the k ∈ {50, 100, 200} sweep
+// re-uses each (ε, h) synopsis from serve::SharedSynopsisCache instead of
+// refitting it three times.
+//
 // Expected shape: h = 5 (the N-gram paper's recommendation) among the best
 // overall, with h = 4 a close competitor.
 #include <cstdio>
 
 #include "bench/bench_seq_common.h"
+#include "eval/runner.h"
 #include "eval/table.h"
-#include "seq/ngram.h"
+#include "release/options.h"
+#include "seq/model.h"
 #include "seq/topk.h"
 
 namespace privtree {
@@ -27,15 +34,15 @@ void RunDataset(const std::string& name) {
     for (double epsilon : PaperEpsilons()) {
       std::vector<double> row;
       for (int h = 3; h <= 7; ++h) {
-        row.push_back(MeanOverReps(
-            reps, 0xF1C ^ static_cast<std::uint64_t>(h),
-            [&](Rng& rng) {
-              NgramOptions options;
-              options.l_top = data.l_top;
-              options.n_max = static_cast<std::size_t>(h);
-              const NgramModel model(data.truncated, epsilon, options, rng);
-              return TopKPrecision(exact,
-                                   TopKFromModel(model, k, kTopKMaxLen));
+        release::MethodOptions options;
+        options.Set("l_top", std::to_string(data.l_top));
+        options.Set("n_max", std::to_string(h));
+        const MethodSpec spec{"ngram", "N-gram", std::move(options)};
+        row.push_back(RegistrySequenceModelMetric(
+            spec, data.truncated, epsilon, reps,
+            0xF1C ^ static_cast<std::uint64_t>(h),
+            [&](const SequenceModel& model, Rng&) {
+              return TopKPrecision(exact, TopKFromModel(model, k, kTopKMaxLen));
             }));
       }
       table.AddRow(FormatCell(epsilon), row);

@@ -2,21 +2,37 @@
 // two sequence datasets, k ∈ {50, 100, 200}, for Truncate (non-private),
 // PrivTree (private PST), N-gram and EM.
 //
+// The private tree methods (PrivTree, N-gram) fit through the release
+// registry via eval::RegistrySequenceModelMetric — the same
+// serve::ParallelRunner / SharedSynopsisCache path the server dispatches,
+// so this bench exercises (and memoizes across the k sweep) exactly the
+// synopses a served tenant would get.  EM releases strings, not a
+// generative model, and Truncate is the non-private baseline; both stay
+// direct.
+//
 // Expected shape (Section 6.2): PrivTree > N-gram > EM among the private
 // methods; Truncate flat in ε; PrivTree approaches (and on msnbc at large ε
 // can exceed) Truncate.
 #include <cstdio>
 
 #include "bench/bench_seq_common.h"
+#include "eval/runner.h"
 #include "eval/table.h"
+#include "release/options.h"
 #include "seq/em_topk.h"
-#include "seq/ngram.h"
-#include "seq/pst_privtree.h"
+#include "seq/model.h"
 #include "seq/topk.h"
 
 namespace privtree {
 namespace bench {
 namespace {
+
+MethodSpec SequenceSpec(const std::string& name, const std::string& display,
+                        std::size_t l_top) {
+  release::MethodOptions options;
+  options.Set("l_top", std::to_string(l_top));
+  return {name, display, std::move(options)};
+}
 
 void RunDataset(const std::string& name) {
   const SequenceCase data = MakeSequenceCase(name);
@@ -25,6 +41,9 @@ void RunDataset(const std::string& name) {
               data.raw.AverageLength(), data.l_top);
 
   const std::size_t reps = Repetitions(3);
+  const MethodSpec pst_spec =
+      SequenceSpec("pst_privtree", "PrivTree", data.l_top);
+  const MethodSpec ngram_spec = SequenceSpec("ngram", "N-gram", data.l_top);
   // Ground truth is computed on the *raw* data, as in the paper (the
   // methods see only the truncated data; Truncate's precision gap at k is
   // exactly the information lost to truncation).
@@ -38,19 +57,14 @@ void RunDataset(const std::string& name) {
         "Figure 6: " + name + " - top" + std::to_string(k) + " precision",
         "epsilon", {"Truncate", "PrivTree", "N-gram", "EM"});
     for (double epsilon : PaperEpsilons()) {
-      const double pst_precision = MeanOverReps(reps, 0xF16A, [&](Rng& rng) {
-        PrivatePstOptions options;
-        options.l_top = data.l_top;
-        const auto result =
-            BuildPrivatePst(data.truncated, epsilon, options, rng);
-        return TopKPrecision(exact,
-                             TopKFromModel(result.model, k, kTopKMaxLen));
-      });
-      const double ngram_precision =
-          MeanOverReps(reps, 0xF16B, [&](Rng& rng) {
-            NgramOptions options;
-            options.l_top = data.l_top;
-            const NgramModel model(data.truncated, epsilon, options, rng);
+      const double pst_precision = RegistrySequenceModelMetric(
+          pst_spec, data.truncated, epsilon, reps, 0xF16A,
+          [&](const SequenceModel& model, Rng&) {
+            return TopKPrecision(exact, TopKFromModel(model, k, kTopKMaxLen));
+          });
+      const double ngram_precision = RegistrySequenceModelMetric(
+          ngram_spec, data.truncated, epsilon, reps, 0xF16B,
+          [&](const SequenceModel& model, Rng&) {
             return TopKPrecision(exact, TopKFromModel(model, k, kTopKMaxLen));
           });
       const double em_precision = MeanOverReps(reps, 0xF16C, [&](Rng& rng) {

@@ -14,22 +14,49 @@
 // independent of the thread count (each job carries its own pre-forked
 // Rng).
 //
-//   bench_table4_runtime [--threads=N] [--json=PATH] [--datasets=a,b,...]
-//                        [--queries=N] [--clients=N]
+//   bench_table4_runtime [--threads=N] [--json[=PATH]] [--datasets=a,b,...]
+//                        [--queries=N] [--clients=N] [--loop=epoll|threads]
 //
 // The serving phase runs through the *real* serving path for every listed
 // dataset — a server::AsyncEngine (request queue + admission control +
 // completion futures) over the pool and the shared synopsis cache — boxes
 // for the spatial datasets, SequenceQuery frames for mooc/msnbc.  A
 // dataset that bypasses the served path is a hard error, not a silent
-// skip.  --clients=N drives a closed-loop load test per dataset and per
-// sweep method: N client threads each submit query batches back to back
-// (next request only after the previous response), reported as aggregate
-// queries/second.
+// skip.
+//
+// On top of the in-process engine measurements, a *socket* phase hosts
+// every dataset as a tenant of one DatasetRegistry behind the selected
+// wire loop (--loop=epoll, the default, or --loop=threads for the
+// thread-per-connection oracle) and drives it with --clients=N concurrent
+// TCP connections from a single-threaded epoll client driver: each
+// connection runs a closed loop of pre-encoded query-batch frames
+// (round-robin across the tenants, so spatial and sequence traffic mix),
+// and every request's wall-clock latency is recorded for p50/p99.  The
+// driver multiplexes all N connections on one thread, so --clients=1000+
+// measures connection scaling of the server loop, not of the driver.  The
+// phase ends with a parity check: the answers served over the socket must
+// be bit-for-bit identical to the in-process AsyncEngine answers (and, in
+// epoll mode, to a thread-per-connection ServerLoop on the same
+// dispatcher).
+//
+// --clients also sizes the in-process closed loop, capped at 16 threads
+// there (that loop measures engine dispatch, not connection scaling — the
+// socket phase is the one that takes the full count).
 //
 // --json writes machine-readable per-dataset and per-method wall-clock so
-// successive PRs can track a BENCH_*.json trajectory.
+// successive PRs can track a BENCH_*.json trajectory; a bare --json
+// defaults to BENCH_table4.json for the committed repo-root snapshot.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -50,7 +77,14 @@
 #include "serve/parallel_runner.h"
 #include "serve/thread_pool.h"
 #include "server/async_engine.h"
+#include "server/client.h"
+#include "server/dataset_registry.h"
+#include "server/dispatcher.h"
+#include "server/event/event_loop.h"
+#include "server/protocol.h"
 #include "server/request.h"
+#include "server/server_loop.h"
+#include "server/socket.h"
 
 namespace privtree {
 namespace bench {
@@ -386,6 +420,443 @@ std::vector<MethodPerf> RunRegistrySweep(serve::ThreadPool& pool,
   return out;
 }
 
+/// Socket-phase results: the selected wire loop serving every dataset as a
+/// tenant, driven by `clients` concurrent connections.
+struct SocketPerf {
+  std::string loop;            // "epoll" or "threads".
+  std::size_t clients = 0;     // Concurrent connections.
+  std::size_t rounds = 0;      // Closed-loop requests per connection.
+  std::size_t batch = 0;       // Queries per request frame.
+  std::size_t requests = 0;    // Completed request/reply pairs.
+  std::size_t failed = 0;      // Connections that errored or stalled.
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+  double queries_per_second = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t peak_connections = 0;  // Epoll loop's max_concurrent.
+  bool parity = false;  // Socket answers == in-process (== oracle loop).
+  bool ok = false;
+};
+
+/// Latency percentile over the recorded per-request samples (nearest-rank
+/// on the sorted vector; sorts in place).
+double PercentileMs(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  const double rank = q * static_cast<double>(samples->size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+  return (*samples)[std::min(idx, samples->size() - 1)];
+}
+
+/// Raises RLIMIT_NOFILE towards `want` descriptors (driver + server ends
+/// of every connection live in this one process); best effort.
+void EnsureFdHeadroom(std::size_t want) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  const rlim_t target = static_cast<rlim_t>(want);
+  if (rl.rlim_cur >= target) return;
+  rl.rlim_cur =
+      rl.rlim_max == RLIM_INFINITY ? target : std::min(target, rl.rlim_max);
+  ::setrlimit(RLIMIT_NOFILE, &rl);
+}
+
+/// Single-threaded epoll client driver: `clients` concurrent non-blocking
+/// connections, each a closed loop of `rounds` pre-framed requests (peer i
+/// replays wires[i % wires.size()], so traffic round-robins the tenants).
+/// Per-request latency — first request byte to last reply byte — lands in
+/// `latencies_ms`.  Returns true when every connection completed all its
+/// rounds with well-formed QueryBatchReply frames.
+bool DriveSocketClosedLoop(std::uint16_t port,
+                           const std::vector<std::string>& wires,
+                           std::size_t clients, std::size_t rounds,
+                           std::vector<double>* latencies_ms,
+                           std::size_t* failed) {
+  struct Peer {
+    int fd = -1;
+    const std::string* wire = nullptr;
+    std::size_t sent = 0;
+    std::string reply;
+    std::size_t rounds_done = 0;
+    bool connecting = true;
+    bool done = false;
+    std::chrono::steady_clock::time_point start;
+  };
+  const auto read_u32 = [](const char* p) {
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;  // Wire scalars are little-endian; so is every target here.
+  };
+
+  const int ep = ::epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+
+  std::vector<Peer> peers(clients);
+  std::size_t active = 0;
+  const auto fail_peer = [&](Peer& p, const char* why) {
+    if (*failed < 5 && !p.done) {
+      std::fprintf(stderr,
+                   "warning: socket client failed: %s (errno=%d, "
+                   "completed rounds=%zu)\n",
+                   why, errno, p.rounds_done);
+    }
+    if (p.fd >= 0) {
+      ::close(p.fd);  // close() drops the epoll registration with the fd.
+      p.fd = -1;
+    }
+    if (!p.done) {
+      p.done = true;
+      ++*failed;
+      --active;
+    }
+  };
+  const auto start_round = [&](Peer& p, std::uint64_t idx) {
+    p.sent = 0;
+    p.reply.clear();
+    p.start = std::chrono::steady_clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.u64 = idx;
+    ::epoll_ctl(ep, EPOLL_CTL_MOD, p.fd, &ev);
+  };
+
+  for (std::size_t i = 0; i < clients; ++i) {
+    Peer& p = peers[i];
+    p.wire = &wires[i % wires.size()];
+    p.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (p.fd < 0) {
+      p.done = true;
+      ++*failed;
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(p.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const int rc =
+        ::connect(p.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      ::close(p.fd);
+      p.fd = -1;
+      p.done = true;
+      ++*failed;
+      continue;
+    }
+    p.connecting = rc != 0;
+    ++active;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.u64 = i;
+    if (::epoll_ctl(ep, EPOLL_CTL_ADD, p.fd, &ev) != 0) {
+      fail_peer(p, "ctl-add");
+      continue;
+    }
+    if (!p.connecting) start_round(p, i);
+  }
+
+  epoll_event events[256];
+  while (active > 0) {
+    const int n = ::epoll_wait(ep, events, 256, 30000);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // 30 s of total silence: the loop under test hung.
+    for (int e = 0; e < n; ++e) {
+      const std::uint64_t idx = events[e].data.u64;
+      Peer& p = peers[idx];
+      if (p.done) continue;
+      if ((events[e].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        fail_peer(p, "err/hup");
+        continue;
+      }
+      if ((events[e].events & EPOLLOUT) != 0) {
+        if (p.connecting) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          if (::getsockopt(p.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+              err != 0) {
+            fail_peer(p, "connect");
+            continue;
+          }
+          p.connecting = false;
+          start_round(p, idx);
+        }
+        bool dead = false;
+        while (p.sent < p.wire->size()) {
+          const ssize_t w =
+              ::send(p.fd, p.wire->data() + p.sent, p.wire->size() - p.sent,
+                     MSG_NOSIGNAL);
+          if (w > 0) {
+            p.sent += static_cast<std::size_t>(w);
+            continue;
+          }
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          fail_peer(p, "send");
+          dead = true;
+          break;
+        }
+        if (dead) continue;
+        if (p.sent == p.wire->size()) {
+          epoll_event ev{};  // Level-triggered: stop polling writability.
+          ev.events = EPOLLIN;
+          ev.data.u64 = idx;
+          ::epoll_ctl(ep, EPOLL_CTL_MOD, p.fd, &ev);
+        }
+      }
+      if ((events[e].events & EPOLLIN) == 0 || p.connecting) continue;
+      bool dead = false;
+      while (true) {
+        char buf[65536];
+        const ssize_t r = ::recv(p.fd, buf, sizeof(buf), 0);
+        if (r > 0) {
+          p.reply.append(buf, static_cast<std::size_t>(r));
+          continue;
+        }
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        fail_peer(p, "recv");  // 0 = server closed mid-conversation: a failure.
+        dead = true;
+        break;
+      }
+      if (dead) continue;
+      if (p.reply.size() < 4) continue;
+      const std::uint32_t frame_len = read_u32(p.reply.data());
+      if (p.reply.size() < 4 + static_cast<std::size_t>(frame_len)) continue;
+      if (p.reply.size() != 4 + static_cast<std::size_t>(frame_len) ||
+          frame_len < 4 ||
+          read_u32(p.reply.data() + 4) !=
+              static_cast<std::uint32_t>(
+                  server::MessageType::kQueryBatchReply)) {
+        fail_peer(p, "reply");  // ErrorReply or garbage: the served path failed.
+        continue;
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - p.start)
+                            .count();
+      latencies_ms->push_back(ms);
+      if (++p.rounds_done == rounds) {
+        ::close(p.fd);
+        p.fd = -1;
+        p.done = true;
+        --active;
+      } else {
+        start_round(p, idx);
+      }
+    }
+  }
+  for (Peer& p : peers) {
+    if (!p.done) fail_peer(p, "leftover");
+  }
+  ::close(ep);
+  return *failed == 0;
+}
+
+/// One tenant's socket-phase material: its registry fingerprint, the warm
+/// spec, the pre-encoded request frame and the decoded workload for the
+/// parity check.
+struct TenantTraffic {
+  std::uint64_t fingerprint = 0;
+  server::FitSpec spec;
+  std::string payload;  // Encoded QueryBatch/SeqQueryBatch frame payload.
+  std::vector<Box> boxes;
+  std::vector<release::SequenceQuery> seq_queries;
+};
+
+/// Fetches every tenant's workload answers through one blocking client on
+/// `port`; clears *ok on any failure.
+std::vector<std::vector<double>> FetchSocketAnswers(
+    std::uint16_t port, const std::vector<TenantTraffic>& traffic, bool* ok) {
+  std::vector<std::vector<double>> out;
+  auto client = server::Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    *ok = false;
+    return out;
+  }
+  for (const TenantTraffic& t : traffic) {
+    client.value().SelectDataset(t.fingerprint);
+    auto answers =
+        t.boxes.empty()
+            ? client.value().SeqQueryBatch(t.spec, t.seq_queries)
+            : client.value().QueryBatch(t.spec, t.boxes);
+    if (!answers.ok()) {
+      std::fprintf(stderr, "error: socket parity fetch: %s\n",
+                   answers.status().ToString().c_str());
+      *ok = false;
+      return out;
+    }
+    out.push_back(std::move(answers.value()));
+  }
+  return out;
+}
+
+/// The socket serving phase: every dataset registered as a tenant of one
+/// DatasetRegistry, served by the selected loop, load-tested by the epoll
+/// client driver, then parity-checked against the in-process engines (and,
+/// in epoll mode, against a ServerLoop oracle on the same dispatcher).
+SocketPerf RunSocketPhase(serve::ThreadPool& pool,
+                          const std::vector<DatasetHolder>& holders,
+                          const std::string& loop_kind, std::size_t clients) {
+  SocketPerf perf;
+  perf.loop = loop_kind;
+  perf.clients = clients;
+  perf.rounds = 3;
+  perf.batch = 16;
+  EnsureFdHeadroom(2 * clients + 256);
+
+  // A deployment sized for N concurrent connections provisions its request
+  // queue for N in-flight requests — otherwise admission control correctly
+  // sheds the burst (that behaviour has its own tests; this phase measures
+  // sustained serving, so every request must be admitted).
+  server::DatasetRegistryOptions registry_options;
+  registry_options.engine.admission.max_queue_depth =
+      std::max<std::size_t>(256, 2 * clients);
+  server::DatasetRegistry registry(pool, serve::SharedSynopsisCache(),
+                                   registry_options);
+  server::Dispatcher dispatcher(registry);
+  std::vector<TenantTraffic> traffic;
+  std::vector<std::string> wires;
+  for (const DatasetHolder& h : holders) {
+    const auto fingerprint = registry.Register(h.name, h.View());
+    if (!fingerprint.ok()) {
+      std::fprintf(stderr, "error: registering %s: %s\n", h.name.c_str(),
+                   fingerprint.status().ToString().c_str());
+      return perf;
+    }
+    TenantTraffic t;
+    t.fingerprint = fingerprint.value();
+    t.spec = {h.FitMethod(), h.FitOptions(), /*epsilon=*/1.0, h.FitSeed()};
+    if (h.kind == release::DatasetKind::kSpatial) {
+      Rng workload_rng(0xBA7C6);
+      t.boxes = GenerateRangeQueries(h.spatial->domain, perf.batch,
+                                     kPaperBands[0], workload_rng);
+      t.payload = server::EncodeQueryBatch(
+          {t.spec, /*deadline=*/0, t.fingerprint, t.boxes});
+    } else {
+      Rng workload_rng(0xBA7C7);
+      t.seq_queries = GenerateSequenceQueries(h.sequence->truncated,
+                                              perf.batch, workload_rng);
+      t.payload = server::EncodeSeqQueryBatch(
+          {t.spec, /*deadline=*/0, t.fingerprint, t.seq_queries});
+    }
+    std::string wire;
+    const std::uint32_t len = static_cast<std::uint32_t>(t.payload.size());
+    wire.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    wire += t.payload;
+    wires.push_back(std::move(wire));
+    traffic.push_back(std::move(t));
+  }
+
+  auto listener = server::ListenSocket::Listen(0);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "error: socket phase listen: %s\n",
+                 listener.status().ToString().c_str());
+    return perf;
+  }
+  std::optional<server::EventLoop> event_loop;
+  std::optional<server::ServerLoop> thread_loop;
+  std::uint16_t port = 0;
+  std::thread server_thread;
+  if (loop_kind == "epoll") {
+    event_loop.emplace(dispatcher, std::move(listener).value());
+    port = event_loop->port();
+    server_thread = std::thread([&] { (void)event_loop->Run(); });
+  } else {
+    thread_loop.emplace(dispatcher, std::move(listener).value());
+    port = thread_loop->port();
+    server_thread = std::thread([&] { (void)thread_loop->Run(); });
+  }
+  const auto stop_server = [&] {
+    if (event_loop) event_loop->Stop();
+    if (thread_loop) thread_loop->Stop();
+    if (server_thread.joinable()) server_thread.join();
+  };
+
+  // Warm every tenant's ε=1 synopsis through the wire, so the load test
+  // measures serving (queue + dispatch + query), not first-fit cost.
+  {
+    auto warm = server::Client::Connect("127.0.0.1", port);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "error: socket phase warm connect: %s\n",
+                   warm.status().ToString().c_str());
+      stop_server();
+      return perf;
+    }
+    for (const TenantTraffic& t : traffic) {
+      warm.value().SelectDataset(t.fingerprint);
+      const auto fit = warm.value().Fit(t.spec);
+      if (!fit.ok()) {
+        std::fprintf(stderr, "error: warming %s: %s\n",
+                     t.spec.method.c_str(), fit.status().ToString().c_str());
+        stop_server();
+        return perf;
+      }
+    }
+  }
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(clients * perf.rounds);
+  const double wall = Seconds([&] {
+    perf.ok = DriveSocketClosedLoop(port, wires, clients, perf.rounds,
+                                    &latencies_ms, &perf.failed);
+  });
+  perf.requests = latencies_ms.size();
+  perf.wall_seconds = wall;
+  perf.requests_per_second =
+      wall > 0.0 ? static_cast<double>(perf.requests) / wall : 0.0;
+  perf.queries_per_second =
+      perf.requests_per_second * static_cast<double>(perf.batch);
+  perf.p50_ms = PercentileMs(&latencies_ms, 0.50);
+  perf.p99_ms = PercentileMs(&latencies_ms, 0.99);
+
+  // Parity: the answers this loop serves vs. the in-process AsyncEngine
+  // answers for the same (spec, fingerprint, workload) — and, in epoll
+  // mode, vs. a thread-per-connection oracle sharing the dispatcher.
+  bool parity = true;
+  const auto socket_answers = FetchSocketAnswers(port, traffic, &parity);
+  std::vector<std::vector<double>> local_answers;
+  for (const TenantTraffic& t : traffic) {
+    server::AsyncEngine* engine = registry.Find(t.fingerprint);
+    if (engine == nullptr) {
+      parity = false;
+      break;
+    }
+    auto response = t.boxes.empty()
+                        ? engine->SubmitSeqQueryBatch(t.spec, t.seq_queries)
+                              .Get()
+                        : engine->SubmitQueryBatch(t.spec, t.boxes).Get();
+    if (!response.status.ok()) {
+      parity = false;
+      break;
+    }
+    local_answers.push_back(std::move(response.answers));
+  }
+  parity = parity && socket_answers == local_answers;
+  if (loop_kind == "epoll" && parity) {
+    auto oracle_listener = server::ListenSocket::Listen(0);
+    if (oracle_listener.ok()) {
+      server::ServerLoop oracle(dispatcher,
+                                std::move(oracle_listener).value());
+      std::thread oracle_thread([&] { (void)oracle.Run(); });
+      bool oracle_ok = true;
+      const auto oracle_answers =
+          FetchSocketAnswers(oracle.port(), traffic, &oracle_ok);
+      oracle.Stop();
+      oracle_thread.join();
+      parity = oracle_ok && oracle_answers == socket_answers;
+    } else {
+      parity = false;
+    }
+  }
+  perf.parity = parity;
+  perf.ok = perf.ok && parity;
+
+  if (event_loop) perf.peak_connections = event_loop->stats().max_concurrent;
+  stop_server();
+  return perf;
+}
+
 void WriteMethodsJson(std::FILE* f, const std::vector<MethodPerf>& methods) {
   for (std::size_t i = 0; i < methods.size(); ++i) {
     const MethodPerf& m = methods[i];
@@ -407,7 +878,8 @@ void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
                const std::string& sweep_dataset,
                const std::vector<MethodPerf>& methods,
                const std::string& seq_sweep_dataset,
-               const std::vector<MethodPerf>& seq_methods) {
+               const std::vector<MethodPerf>& seq_methods,
+               const SocketPerf& socket) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -456,7 +928,21 @@ void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
                   "\"epsilon\": 1, \"methods\": [\n",
                seq_sweep_dataset.c_str());
   WriteMethodsJson(f, seq_methods);
-  std::fprintf(f, "  ]}\n}\n");
+  std::fprintf(
+      f,
+      "  ]},\n  \"socket\": {\"loop\": \"%s\", \"clients\": %zu, "
+      "\"rounds\": %zu, \"batch\": %zu,\n"
+      "    \"requests\": %zu, \"failed\": %zu, \"wall_seconds\": %.6g, "
+      "\"requests_per_second\": %.6g,\n"
+      "    \"served_qps\": %.6g, \"p50_ms\": %.6g, \"p99_ms\": %.6g, "
+      "\"peak_connections\": %llu, \"parity\": %s}\n",
+      socket.loop.c_str(), socket.clients, socket.rounds, socket.batch,
+      socket.requests, socket.failed, socket.wall_seconds,
+      socket.requests_per_second, socket.queries_per_second, socket.p50_ms,
+      socket.p99_ms,
+      static_cast<unsigned long long>(socket.peak_connections),
+      socket.parity ? "true" : "false");
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
 }
@@ -474,6 +960,7 @@ int main(int argc, char** argv) {
 
   std::size_t threads = privtree::serve::DefaultThreadCount();
   std::string json_path;
+  std::string loop_kind = "epoll";
   std::vector<std::string> datasets = {"road", "gowalla", "nyc",
                                        "beijing", "mooc", "msnbc"};
   std::size_t query_count = privtree::PaperScale() ? 10000 : 2000;
@@ -487,8 +974,16 @@ int main(int argc, char** argv) {
       clients = static_cast<std::size_t>(
           std::atol(arg.c_str() + std::strlen("--clients=")));
       if (clients == 0) clients = 1;
+    } else if (arg == "--json") {
+      json_path = "BENCH_table4.json";  // The committed repo-root snapshot.
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--json="));
+    } else if (arg.rfind("--loop=", 0) == 0) {
+      loop_kind = arg.substr(std::strlen("--loop="));
+      if (loop_kind != "epoll" && loop_kind != "threads") {
+        std::fprintf(stderr, "error: --loop must be epoll or threads\n");
+        return 2;
+      }
     } else if (arg.rfind("--queries=", 0) == 0) {
       query_count = static_cast<std::size_t>(
           std::atol(arg.c_str() + std::strlen("--queries=")));
@@ -503,8 +998,9 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads=N] [--json=PATH] "
-                   "[--datasets=a,b,...] [--queries=N] [--clients=N]\n",
+                   "usage: %s [--threads=N] [--json[=PATH]] "
+                   "[--datasets=a,b,...] [--queries=N] [--clients=N] "
+                   "[--loop=epoll|threads]\n",
                    argv[0]);
       return 2;
     }
@@ -528,20 +1024,30 @@ int main(int argc, char** argv) {
                           "dataset", columns);
   TablePrinter size_table("Companion: mean output tree size (nodes)",
                           "dataset", columns);
+  // The in-process AsyncEngine closed loop spawns one std::thread per
+  // client, so it takes a capped count; the socket phase below takes the
+  // full --clients (its driver multiplexes them on one thread).
+  const std::size_t engine_clients = std::min<std::size_t>(clients, 16);
   TablePrinter agg_table(
       "Companion: aggregate fit throughput + served workload (" +
-          std::to_string(clients) + " closed-loop client" +
-          (clients == 1 ? "" : "s") + ")",
+          std::to_string(engine_clients) + " closed-loop client" +
+          (engine_clients == 1 ? "" : "s") + ")",
       "dataset", {"jobs", "wall s", "fits/s", "async q s", "qps"});
+
+  std::vector<DatasetHolder> holders;
+  holders.reserve(datasets.size());
+  for (const std::string& name : datasets) {
+    holders.push_back(privtree::bench::MakeDatasetHolder(name));
+  }
 
   std::vector<DatasetPerf> perfs;
   std::string sweep_dataset, seq_sweep_dataset;
   std::vector<MethodPerf> methods, seq_methods;
-  for (const std::string& name : datasets) {
-    const DatasetHolder holder = privtree::bench::MakeDatasetHolder(name);
+  for (const DatasetHolder& holder : holders) {
+    const std::string& name = holder.name;
     DatasetPerf perf = privtree::bench::RunFitSweep(pool, holder);
-    privtree::bench::RunServingPhase(pool, holder, query_count, clients,
-                                     &perf);
+    privtree::bench::RunServingPhase(pool, holder, query_count,
+                                     engine_clients, &perf);
     time_table.AddRow(name, perf.fit_seconds);
     size_table.AddRow(name, perf.synopsis_sizes);
     agg_table.AddRow(name,
@@ -556,11 +1062,11 @@ int main(int argc, char** argv) {
     if (spatial && sweep_dataset.empty()) {
       sweep_dataset = name;
       methods = privtree::bench::RunRegistrySweep(pool, holder, query_count,
-                                                  clients);
+                                                  engine_clients);
     } else if (!spatial && seq_sweep_dataset.empty()) {
       seq_sweep_dataset = name;
-      seq_methods = privtree::bench::RunRegistrySweep(pool, holder,
-                                                      query_count, clients);
+      seq_methods = privtree::bench::RunRegistrySweep(
+          pool, holder, query_count, engine_clients);
     }
     perfs.push_back(std::move(perf));
   }
@@ -575,8 +1081,8 @@ int main(int argc, char** argv) {
         "Companion: registry sweep on " + dataset +
             " (eps=1): fit + serving a " + std::to_string(query_count) +
             "-query workload (async columns via AsyncEngine, " +
-            std::to_string(clients) + " closed-loop client" +
-            (clients == 1 ? "" : "s") + ")",
+            std::to_string(engine_clients) + " closed-loop client" +
+            (engine_clients == 1 ? "" : "s") + ")",
         "method",
         {"fit s", "synopsis", "batch q s", "loop q s", "async q s", "qps"});
     for (const MethodPerf& m : rows) {
@@ -589,6 +1095,32 @@ int main(int argc, char** argv) {
   };
   print_sweep(sweep_dataset, methods);
   print_sweep(seq_sweep_dataset, seq_methods);
+
+  // The socket phase: every dataset a tenant of one registry behind the
+  // selected wire loop, --clients concurrent connections, p50/p99 per
+  // request, and a bit-for-bit parity check against the in-process
+  // engines.
+  const privtree::bench::SocketPerf socket_perf =
+      privtree::bench::RunSocketPhase(pool, holders, loop_kind, clients);
+  TablePrinter socket_table(
+      "Companion: socket serving (" + socket_perf.loop + " loop, " +
+          std::to_string(socket_perf.clients) + " connection" +
+          (socket_perf.clients == 1 ? "" : "s") + " x " +
+          std::to_string(socket_perf.rounds) + " rounds, " +
+          std::to_string(socket_perf.batch) + "-query frames)",
+      "loop",
+      {"requests", "wall s", "req/s", "qps", "p50 ms", "p99 ms", "peak"});
+  socket_table.AddRow(
+      socket_perf.loop,
+      {static_cast<double>(socket_perf.requests), socket_perf.wall_seconds,
+       socket_perf.requests_per_second, socket_perf.queries_per_second,
+       socket_perf.p50_ms, socket_perf.p99_ms,
+       static_cast<double>(socket_perf.peak_connections)});
+  socket_table.Print();
+  std::printf("socket parity (%s vs in-process%s): %s\n",
+              socket_perf.loop.c_str(),
+              socket_perf.loop == "epoll" ? " vs threads oracle" : "",
+              socket_perf.parity ? "bit-for-bit identical" : "MISMATCH");
 
   // The closed-loop JSON must never under-report serving coverage: every
   // listed dataset — sequence ones included — and every sweep method row
@@ -616,13 +1148,20 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (!socket_perf.ok) {
+    std::fprintf(stderr,
+                 "error: socket phase failed (%zu failed connections, "
+                 "parity %s)\n",
+                 socket_perf.failed, socket_perf.parity ? "ok" : "broken");
+    all_served = false;
+  }
   if (!all_served) return 1;
 
   if (!json_path.empty()) {
     privtree::bench::WriteJson(json_path, pool.worker_count(),
                                privtree::Repetitions(3), clients, perfs,
                                sweep_dataset, methods, seq_sweep_dataset,
-                               seq_methods);
+                               seq_methods, socket_perf);
   }
   return 0;
 }

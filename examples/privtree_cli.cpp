@@ -9,7 +9,9 @@
 //   privtree_cli query <synopsis.out>           (queries on stdin)
 //   privtree_cli query --connect=<host:port> <epsilon> [--method=<name>]
 //                    [--options=k=v,...] [--deadline-ms=N]
+//                    [--dataset=<name|fingerprint>]
 //                    (queries on stdin)
+//   privtree_cli datasets --connect=<host:port>
 //   privtree_cli shutdown --connect=<host:port>
 //
 // <dim> selects the dataset kind: a plain integer loads a spatial point
@@ -33,7 +35,10 @@
 // `query --connect` answers through a running privtree_server instead: the
 // boxes travel over the serving protocol (src/server/protocol.h) and the
 // fit happens server-side with the same seed `run` uses, so remote answers
-// diff clean against local ones (the CI smoke relies on this).  `shutdown
+// diff clean against local ones (the CI smoke relies on this).  A
+// multi-tenant server (protocol v3) hosts several datasets; `datasets
+// --connect` lists them and `query --dataset=<name|fingerprint>` selects
+// which tenant answers (default: the first registered).  `shutdown
 // --connect` asks that server to exit cleanly.
 //
 // Spatial query lines are "lo_1 hi_1 ... lo_d hi_d"; sequence query lines
@@ -77,9 +82,10 @@ int Usage(const char* argv0) {
       "[--method=<name>] [--options=k=v,...]\n"
       "  %s query <synopsis.out>   (queries on stdin)\n"
       "  %s query --connect=<host:port> <epsilon> [--method=<name>] "
-      "[--options=k=v,...] [--deadline-ms=N]\n"
+      "[--options=k=v,...] [--deadline-ms=N] [--dataset=<name|fp>]\n"
+      "  %s datasets --connect=<host:port>\n"
       "  %s shutdown --connect=<host:port>\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -115,6 +121,7 @@ struct CliFlags {
   privtree::release::MethodOptions options;
   std::size_t threads = privtree::serve::DefaultThreadCount();
   std::int64_t deadline_ms = 0;  ///< Remote-request deadline; 0 = none.
+  std::string dataset;  ///< Remote tenant (name or fingerprint); "" = default.
 };
 
 /// Parses trailing --method=/--options= flags; returns false (after a
@@ -145,6 +152,8 @@ bool ParseFlags(int argc, char** argv, int first_flag, InputKind input,
                              "integer\n");
         return false;
       }
+    } else if (arg.rfind("--dataset=", 0) == 0) {
+      flags->dataset = arg.substr(std::strlen("--dataset="));
     } else if (arg.rfind("--options=", 0) == 0) {
       std::string error;
       if (!privtree::release::MethodOptions::TryParse(
@@ -394,6 +403,10 @@ int RunRun(int argc, char** argv) {
   if (!ParseDimArg(argv[3], &input) || epsilon <= 0.0) return Usage(argv[0]);
   CliFlags flags;
   if (!ParseFlags(argc, argv, 5, input, &flags)) return 2;
+  if (!flags.dataset.empty()) {
+    std::fprintf(stderr, "error: --dataset only applies to --connect\n");
+    return 2;
+  }
 
   privtree::serve::SetDefaultThreadCount(flags.threads);
   privtree::serve::ThreadPool pool(flags.threads);
@@ -426,6 +439,10 @@ int RunBuild(int argc, char** argv) {
   const std::string out_path = argv[5];
   CliFlags flags;
   if (!ParseFlags(argc, argv, 6, input, &flags)) return 2;
+  if (!flags.dataset.empty()) {
+    std::fprintf(stderr, "error: --dataset only applies to --connect\n");
+    return 2;
+  }
 
   // Every registered method persists through the universal synopsis
   // envelope; the fit is identical to `run` with the same arguments.
@@ -470,6 +487,35 @@ bool ParseConnect(const std::string& arg, std::string* host,
   return true;
 }
 
+/// Resolves a --dataset selector (tenant name, or a fingerprint in decimal
+/// or 0x-hex) against the Hello tenant table; false after a diagnostic.
+bool ResolveTenant(const privtree::server::HelloReply& info,
+                   const std::string& selector,
+                   privtree::server::DatasetInfo* out) {
+  for (const auto& dataset : info.datasets) {
+    if (dataset.name == selector) {
+      *out = dataset;
+      return true;
+    }
+  }
+  char* end = nullptr;
+  const unsigned long long parsed =
+      std::strtoull(selector.c_str(), &end, 0);
+  if (end != nullptr && *end == '\0' && !selector.empty()) {
+    for (const auto& dataset : info.datasets) {
+      if (dataset.fingerprint == parsed) {
+        *out = dataset;
+        return true;
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "error: server hosts no dataset \"%s\" (see `privtree_cli "
+               "datasets --connect=...`)\n",
+               selector.c_str());
+  return false;
+}
+
 /// `query --connect=<host:port> <epsilon> [--method=...]`: fit + query
 /// through a running privtree_server.  The fit seed is the one `run` and
 /// `build` use (0xC11), so the remote answers diff clean against local
@@ -491,10 +537,25 @@ int RunRemoteQuery(int argc, char** argv) {
   privtree::server::Client client = std::move(connected).value();
   // The Hello handshake tells the client what is served: the dataset kind
   // picks the query frame, and dim is the spatial dim or the alphabet.
+  // --dataset switches those to the selected tenant's shape, so scan for
+  // it before validating the method against the input kind.
   InputKind input;
   input.sequence =
       client.info().kind == privtree::release::DatasetKind::kSequence;
   input.dim = static_cast<std::size_t>(client.info().dim);
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--dataset=", 0) != 0) continue;
+    privtree::server::DatasetInfo tenant;
+    if (!ResolveTenant(client.info(),
+                       arg.substr(std::strlen("--dataset=")), &tenant)) {
+      return 2;
+    }
+    client.SelectDataset(tenant.fingerprint);
+    input.sequence =
+        tenant.kind == privtree::release::DatasetKind::kSequence;
+    input.dim = static_cast<std::size_t>(tenant.dim);
+  }
   CliFlags flags;
   if (!ParseFlags(argc, argv, 4, input, &flags)) return 2;
 
@@ -527,6 +588,42 @@ int RunRemoteQuery(int argc, char** argv) {
   }
   for (const double answer : answers.value()) {
     std::printf("%.2f\n", answer);
+  }
+  return 0;
+}
+
+/// `datasets --connect=<host:port>`: list every tenant the server hosts,
+/// plus this session's ε budget when the server enforces one.
+int RunDatasets(int argc, char** argv) {
+  if (argc != 3 || std::strncmp(argv[2], "--connect=", 10) != 0) {
+    return Usage(argv[0]);
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!ParseConnect(argv[2], &host, &port)) return 2;
+  auto connected = privtree::server::Client::Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  const privtree::server::HelloReply& info = connected.value().info();
+  std::printf("%-16s %-8s %6s %10s  %s\n", "name", "kind", "dim", "records",
+              "fingerprint");
+  for (std::size_t i = 0; i < info.datasets.size(); ++i) {
+    const auto& dataset = info.datasets[i];
+    std::printf("%-16s %-8s %6llu %10llu  0x%016llx%s\n",
+                dataset.name.c_str(),
+                std::string(privtree::release::DatasetKindName(dataset.kind))
+                    .c_str(),
+                static_cast<unsigned long long>(dataset.dim),
+                static_cast<unsigned long long>(dataset.point_count),
+                static_cast<unsigned long long>(dataset.fingerprint),
+                i == 0 ? "  (default)" : "");
+  }
+  if (info.budget_total > 0) {
+    std::printf("session budget: %.4g of %.4g epsilon spent\n",
+                info.budget_spent, info.budget_total);
   }
   return 0;
 }
@@ -595,6 +692,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "run") == 0) return RunRun(argc, argv);
   if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
+  if (std::strcmp(argv[1], "datasets") == 0) return RunDatasets(argc, argv);
   if (std::strcmp(argv[1], "shutdown") == 0) return RunShutdown(argc, argv);
   return Usage(argv[0]);
 }

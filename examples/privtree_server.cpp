@@ -1,28 +1,43 @@
-// privtree_server — serve DP synopses of one dataset over a socket.
+// privtree_server — serve DP synopses of one or more datasets over a
+// socket.
 //
-//   privtree_server <data.csv> <dim|seq:alphabet> [--port=N] [--threads=N]
-//                   [--cache=N] [--max-queue=N] [--max-pending-spills=N]
-//                   [--spill-dir=PATH]
+//   privtree_server <data.csv> <dim|seq:alphabet> [flags]
+//   privtree_server --data=<name>:<path>:<dim|seq:alphabet> [--data=...]
+//                   [flags]
+//
+// Flags: [--port=N] [--threads=N] [--cache=N] [--max-queue=N]
+//        [--max-pending-spills=N] [--spill-dir=PATH]
+//        [--loop=epoll|threads] [--idle-timeout-ms=N]
+//        [--drain-timeout-ms=N] [--max-connections=N]
+//        [--session-budget=EPS] [--no-uploads]
 //
 // A plain <dim> loads a spatial point CSV (domain: the unit cube — rescale
 // your data; a data-derived bounding box would leak); `seq:<alphabet>`
 // loads a sequence dataset (one whitespace-separated symbol row per line)
 // and serves the sequence-kind methods (pst_privtree, ngram) through
-// SeqQueryBatch frames instead of box batches.  Either way the server
-// answers concurrent fit, query-batch, warm and stats requests over the
-// length-prefixed binary protocol (src/server/protocol.h) on
-// 127.0.0.1:--port (default 7311; 0 picks an ephemeral port).  Requests
-// execute on an AsyncEngine over a --threads pool and a --cache-synopsis
-// SynopsisCache, so every client shares one cache and one admission
-// controller; answers equal in-process ReleaseSession answers for the same
-// seed, bit for bit.  The process runs until a client sends Shutdown
-// (`privtree_cli shutdown --connect=...`) or it is signalled.
+// SeqQueryBatch frames instead of box batches.  Repeated --data flags host
+// several tenants in one process: each dataset gets its own AsyncEngine
+// behind a shared ThreadPool and SynopsisCache, keyed by its fingerprint
+// (clients select tenants per request; the first --data is the default).
+// Clients may also upload datasets at runtime via RegisterDataset frames
+// unless --no-uploads.
+//
+// --loop picks the serving front end: `epoll` (default) multiplexes every
+// connection over one readiness loop — the production choice at high
+// connection counts — while `threads` parks one thread per client and
+// exists as the parity oracle; both route through one Dispatcher, so their
+// answers are bit-for-bit identical (and equal in-process ReleaseSession
+// answers for the same seed).  --session-budget caps each connection's
+// total ε across its fits (0 = unlimited).  The process runs until a
+// client sends Shutdown (`privtree_cli shutdown --connect=...`) or it is
+// signalled.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <chrono>
 #include <memory>
-#include <optional>
 #include <string>
+#include <vector>
 
 #include "data/csv.h"
 #include "release/dataset.h"
@@ -30,7 +45,9 @@
 #include "serve/parallel_runner.h"
 #include "serve/synopsis_cache.h"
 #include "serve/thread_pool.h"
-#include "server/async_engine.h"
+#include "server/dataset_registry.h"
+#include "server/dispatcher.h"
+#include "server/event/event_loop.h"
 #include "server/server_loop.h"
 #include "server/socket.h"
 #include "spatial/box.h"
@@ -38,13 +55,26 @@
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <data.csv> <dim|seq:alphabet> [--port=N] "
-               "[--threads=N] [--cache=N] [--max-queue=N] "
-               "[--max-pending-spills=N] [--spill-dir=PATH]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s <data.csv> <dim|seq:alphabet> [flags]\n"
+      "       %s --data=<name>:<path>:<dim|seq:alphabet> [--data=...] "
+      "[flags]\n"
+      "flags: [--port=N] [--threads=N] [--cache=N] [--max-queue=N]\n"
+      "       [--max-pending-spills=N] [--spill-dir=PATH]\n"
+      "       [--loop=epoll|threads] [--idle-timeout-ms=N]\n"
+      "       [--drain-timeout-ms=N] [--max-connections=N]\n"
+      "       [--session-budget=EPS] [--no-uploads]\n",
+      argv0, argv0);
   return 2;
 }
+
+struct DataSpec {
+  std::string name;
+  std::string path;
+  bool sequence = false;
+  std::size_t dim = 0;  ///< Spatial dim or alphabet size.
+};
 
 struct ServerFlags {
   std::uint16_t port = 7311;
@@ -53,6 +83,12 @@ struct ServerFlags {
   std::size_t max_queue = 256;
   std::size_t max_pending_spills = 128;
   std::string spill_dir;
+  bool epoll = true;
+  std::size_t idle_timeout_ms = 30000;
+  std::size_t drain_timeout_ms = 5000;
+  std::size_t max_connections = 4096;
+  double session_budget = 0.0;
+  bool allow_uploads = true;
 };
 
 bool ParseSizeFlag(const std::string& arg, const char* name,
@@ -68,22 +104,79 @@ bool ParseSizeFlag(const std::string& arg, const char* name,
   return true;
 }
 
+/// Parses "<dim>" or "seq:<alphabet>" into (sequence, dim); 0 on failure.
+bool ParseDimSpec(const char* text, bool* sequence, std::size_t* dim) {
+  *sequence = std::strncmp(text, "seq:", 4) == 0;
+  *dim = static_cast<std::size_t>(
+      std::atol(*sequence ? text + 4 : text));
+  return *dim != 0 &&
+         *dim <= (*sequence ? privtree::kMaxAlphabetSize : std::size_t{8});
+}
+
+/// Parses "--data=<name>:<path>:<dimspec>".  The name is everything before
+/// the first ':'.  The dimspec is either the piece after the last ':' (a
+/// spatial dim) or — since a sequence dimspec "seq:<alphabet>" carries a
+/// ':' of its own — a trailing ":seq:<alphabet>"; the path, which may
+/// itself contain ':', is everything in between.
+bool ParseDataFlag(const std::string& arg, DataSpec* out) {
+  if (arg.rfind("--data=", 0) != 0) return false;
+  const std::string body = arg.substr(std::strlen("--data="));
+  const std::size_t first = body.find(':');
+  if (first == std::string::npos) {
+    std::fprintf(stderr, "error: --data needs <name>:<path>:<dimspec>\n");
+    std::exit(2);
+  }
+  out->name = body.substr(0, first);
+  const std::string rest = body.substr(first + 1);
+  const std::size_t seq = rest.rfind(":seq:");
+  std::size_t split = std::string::npos;  // Path/dimspec boundary.
+  if (seq != std::string::npos &&
+      ParseDimSpec(rest.c_str() + seq + 1, &out->sequence, &out->dim)) {
+    split = seq;
+  } else {
+    const std::size_t last = rest.rfind(':');
+    if (last != std::string::npos &&
+        ParseDimSpec(rest.c_str() + last + 1, &out->sequence, &out->dim)) {
+      split = last;
+    }
+  }
+  if (split == std::string::npos) {
+    std::fprintf(stderr, "error: bad --data spec '%s'\n", body.c_str());
+    std::exit(2);
+  }
+  out->path = rest.substr(0, split);
+  if (out->name.empty() || out->path.empty()) {
+    std::fprintf(stderr, "error: bad --data spec '%s'\n", body.c_str());
+    std::exit(2);
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage(argv[0]);
-  const bool sequence = std::strncmp(argv[2], "seq:", 4) == 0;
-  const auto dim = static_cast<std::size_t>(
-      std::atol(sequence ? argv[2] + 4 : argv[2]));
-  if (dim == 0 || dim > (sequence ? privtree::kMaxAlphabetSize : 8)) {
-    return Usage(argv[0]);
+  std::vector<DataSpec> data;
+  int flag_start = 1;
+  // Legacy positional form: <data.csv> <dim|seq:alphabet> first.
+  if (argc >= 3 && argv[1][0] != '-') {
+    DataSpec spec;
+    spec.name = "default";
+    spec.path = argv[1];
+    if (!ParseDimSpec(argv[2], &spec.sequence, &spec.dim)) {
+      return Usage(argv[0]);
+    }
+    data.push_back(std::move(spec));
+    flag_start = 3;
   }
 
   ServerFlags flags;
-  for (int i = 3; i < argc; ++i) {
+  for (int i = flag_start; i < argc; ++i) {
     const std::string arg = argv[i];
     std::size_t port_value = 0;
-    if (ParseSizeFlag(arg, "--port", &port_value)) {
+    DataSpec data_spec;
+    if (ParseDataFlag(arg, &data_spec)) {
+      data.push_back(std::move(data_spec));
+    } else if (ParseSizeFlag(arg, "--port", &port_value)) {
       if (port_value > 65535) {
         std::fprintf(stderr, "error: --port out of range\n");
         return 2;
@@ -93,44 +186,34 @@ int main(int argc, char** argv) {
                ParseSizeFlag(arg, "--cache", &flags.cache_capacity) ||
                ParseSizeFlag(arg, "--max-queue", &flags.max_queue) ||
                ParseSizeFlag(arg, "--max-pending-spills",
-                             &flags.max_pending_spills)) {
+                             &flags.max_pending_spills) ||
+               ParseSizeFlag(arg, "--idle-timeout-ms",
+                             &flags.idle_timeout_ms) ||
+               ParseSizeFlag(arg, "--drain-timeout-ms",
+                             &flags.drain_timeout_ms) ||
+               ParseSizeFlag(arg, "--max-connections",
+                             &flags.max_connections)) {
     } else if (arg.rfind("--spill-dir=", 0) == 0) {
       flags.spill_dir = arg.substr(std::strlen("--spill-dir="));
+    } else if (arg == "--loop=epoll") {
+      flags.epoll = true;
+    } else if (arg == "--loop=threads") {
+      flags.epoll = false;
+    } else if (arg.rfind("--session-budget=", 0) == 0) {
+      flags.session_budget =
+          std::atof(arg.c_str() + std::strlen("--session-budget="));
+      if (flags.session_budget < 0) {
+        std::fprintf(stderr, "error: --session-budget must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--no-uploads") {
+      flags.allow_uploads = false;
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       return 2;
     }
   }
-
-  // One of the two holds the served data for the process lifetime; the
-  // engine only views it.
-  std::optional<privtree::PointSet> points;
-  std::optional<privtree::SequenceDataset> sequences;
-  if (sequence) {
-    auto loaded = privtree::LoadSequencesCsv(argv[1], dim);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   loaded.status().ToString().c_str());
-      return 1;
-    }
-    sequences.emplace(std::move(loaded).value());
-    if (sequences->empty()) {
-      std::fprintf(stderr, "error: %s is empty\n", argv[1]);
-      return 1;
-    }
-  } else {
-    auto loaded = privtree::LoadPointsCsv(argv[1], dim);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   loaded.status().ToString().c_str());
-      return 1;
-    }
-    points.emplace(std::move(loaded).value());
-    if (points->empty()) {
-      std::fprintf(stderr, "error: %s is empty\n", argv[1]);
-      return 1;
-    }
-  }
+  if (data.empty()) return Usage(argv[0]);
 
   privtree::serve::SetDefaultThreadCount(flags.threads);
   privtree::serve::ThreadPool pool(flags.threads);
@@ -142,14 +225,47 @@ int main(int argc, char** argv) {
                 flags.cache_capacity,
                 privtree::serve::SpillOptions{flags.spill_dir, 256});
 
-  privtree::server::EngineOptions options;
-  options.admission.max_queue_depth = flags.max_queue;
-  options.admission.max_pending_spills = flags.max_pending_spills;
-  const privtree::release::Dataset dataset =
-      sequence ? privtree::release::Dataset(*sequences)
-               : privtree::release::Dataset(*points,
-                                            privtree::Box::UnitCube(dim));
-  privtree::server::AsyncEngine engine(dataset, pool, *cache, options);
+  privtree::server::DatasetRegistryOptions registry_options;
+  registry_options.engine.admission.max_queue_depth = flags.max_queue;
+  registry_options.engine.admission.max_pending_spills =
+      flags.max_pending_spills;
+  privtree::server::DatasetRegistry registry(pool, *cache,
+                                             registry_options);
+
+  // Load every dataset into the registry; the registry owns the storage.
+  for (DataSpec& spec : data) {
+    privtree::Result<std::uint64_t> registered =
+        privtree::Status::Internal("unreachable");
+    if (spec.sequence) {
+      auto loaded = privtree::LoadSequencesCsv(spec.path, spec.dim);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", spec.path.c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      registered = registry.Register(spec.name, std::move(loaded).value());
+    } else {
+      auto loaded = privtree::LoadPointsCsv(spec.path, spec.dim);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", spec.path.c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      registered =
+          registry.Register(spec.name, std::move(loaded).value(),
+                            privtree::Box::UnitCube(spec.dim));
+    }
+    if (!registered.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", spec.name.c_str(),
+                   registered.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  privtree::server::DispatcherOptions dispatch_options;
+  dispatch_options.session_budget = flags.session_budget;
+  dispatch_options.allow_uploads = flags.allow_uploads;
+  privtree::server::Dispatcher dispatcher(registry, dispatch_options);
 
   auto listener = privtree::server::ListenSocket::Listen(flags.port);
   if (!listener.ok()) {
@@ -157,21 +273,56 @@ int main(int argc, char** argv) {
                  listener.status().ToString().c_str());
     return 1;
   }
-  privtree::server::ServerLoop loop(engine, std::move(listener).value());
-  std::fprintf(stderr,
-               "privtree_server listening on 127.0.0.1:%u "
-               "(%zu %s, %s %zu, %zu worker%s, cache %zu)\n",
-               loop.port(), dataset.size(),
-               sequence ? "sequences" : "points",
-               sequence ? "alphabet" : "dim", dim, pool.worker_count(),
-               pool.worker_count() == 1 ? "" : "s", flags.cache_capacity);
-  std::fflush(stderr);
-  const privtree::Status served = loop.Run();
+
+  privtree::Status served = privtree::Status::OK();
+  std::uint16_t port = 0;
+  if (flags.epoll) {
+    privtree::server::EventLoopOptions loop_options;
+    loop_options.idle_timeout =
+        std::chrono::milliseconds(flags.idle_timeout_ms);
+    loop_options.drain_timeout =
+        std::chrono::milliseconds(flags.drain_timeout_ms);
+    loop_options.max_connections = flags.max_connections;
+    privtree::server::EventLoop loop(dispatcher,
+                                     std::move(listener).value(),
+                                     loop_options);
+    port = loop.port();
+    std::fprintf(stderr,
+                 "privtree_server listening on 127.0.0.1:%u "
+                 "(epoll, %zu tenant%s, %zu worker%s, cache %zu)\n",
+                 port, registry.size(), registry.size() == 1 ? "" : "s",
+                 pool.worker_count(), pool.worker_count() == 1 ? "" : "s",
+                 flags.cache_capacity);
+    std::fflush(stderr);
+    served = loop.Run();
+    const auto stats = loop.stats();
+    std::fprintf(stderr,
+                 "privtree_server event loop: %llu accepted, %llu frames, "
+                 "%llu reaped idle, %llu malformed, %llu refused\n",
+                 static_cast<unsigned long long>(stats.accepted),
+                 static_cast<unsigned long long>(stats.served_frames),
+                 static_cast<unsigned long long>(stats.reaped_idle),
+                 static_cast<unsigned long long>(stats.malformed_frames),
+                 static_cast<unsigned long long>(stats.refused_at_capacity));
+  } else {
+    privtree::server::ServerLoop loop(dispatcher,
+                                      std::move(listener).value());
+    port = loop.port();
+    std::fprintf(stderr,
+                 "privtree_server listening on 127.0.0.1:%u "
+                 "(threads, %zu tenant%s, %zu worker%s, cache %zu)\n",
+                 port, registry.size(), registry.size() == 1 ? "" : "s",
+                 pool.worker_count(), pool.worker_count() == 1 ? "" : "s",
+                 flags.cache_capacity);
+    std::fflush(stderr);
+    served = loop.Run();
+  }
   if (!served.ok()) {
     std::fprintf(stderr, "error: %s\n", served.ToString().c_str());
     return 1;
   }
-  const auto stats = engine.Stats();
+  const auto stats =
+      registry.Find(registry.default_fingerprint())->Stats();
   std::fprintf(stderr,
                "privtree_server stopped: %zu admitted, %zu shed "
                "(queue), %zu shed (cache), %zu expired, %zu coalesced\n",

@@ -218,4 +218,40 @@ double RegistrySequenceMethodError(
   return mean / static_cast<double>(reps);
 }
 
+double RegistrySequenceModelMetric(
+    const MethodSpec& spec, const SequenceDataset& data, double epsilon,
+    std::size_t reps, std::uint64_t seed,
+    const std::function<double(const SequenceModel&, Rng&)>& metric) {
+  PRIVTREE_CHECK_GE(reps, 1u);
+
+  // Fit streams are forked first, then the metric streams, all on one
+  // thread in rep order — neither the execution schedule nor the metric's
+  // own draws can perturb any synopsis or any other rep's metric.
+  Rng master(seed);
+  std::vector<serve::FitJob> jobs;
+  jobs.reserve(reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    jobs.push_back({spec.name, spec.options, epsilon, master.Fork()});
+  }
+  std::vector<Rng> metric_rngs;
+  metric_rngs.reserve(reps);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    metric_rngs.push_back(master.Fork());
+  }
+  const serve::ParallelRunner runner(serve::SharedPool(),
+                                     &serve::SharedSynopsisCache());
+  const auto fitted = runner.FitAll(release::Dataset(data), std::move(jobs));
+
+  std::vector<double> values(reps, 0.0);
+  serve::SharedPool().ParallelFor(reps, [&](std::size_t rep) {
+    const SequenceModel* model = fitted[rep]->sequence_model();
+    PRIVTREE_CHECK(model != nullptr);
+    values[rep] = metric(*model, metric_rngs[rep]);
+  });
+
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  return mean / static_cast<double>(reps);
+}
+
 }  // namespace privtree

@@ -20,6 +20,8 @@
 
 namespace privtree {
 
+class SequenceModel;  // seq/model.h
+
 /// The ε grid used throughout Section 6.
 inline const std::vector<double>& PaperEpsilons() {
   static const std::vector<double> epsilons = {0.05, 0.1, 0.2, 0.4, 0.8, 1.6};
@@ -102,6 +104,19 @@ double RegistrySequenceMethodError(
     const MethodSpec& spec, const SequenceDataset& data, double epsilon,
     const std::vector<release::SequenceQuery>& queries,
     const std::vector<double>& exact, std::size_t reps, std::uint64_t seed);
+
+/// Model-level sibling of RegistrySequenceMethodError for the figure
+/// benches whose metrics read the fitted generative model directly (top-k
+/// string mining, synthetic-sequence sampling) instead of a SequenceQuery
+/// workload.  Fits `spec` `reps` times through serve::SharedPool() +
+/// SharedSynopsisCache(), then evaluates `metric` on each fitted
+/// Method::sequence_model() with its own pre-forked Rng stream (forked
+/// after the fit streams, in rep order), and returns the mean.  Results
+/// are bit-for-bit identical at any thread count.
+double RegistrySequenceModelMetric(
+    const MethodSpec& spec, const SequenceDataset& data, double epsilon,
+    std::size_t reps, std::uint64_t seed,
+    const std::function<double(const SequenceModel&, Rng&)>& metric);
 
 }  // namespace privtree
 

@@ -30,6 +30,10 @@
 #include "spatial/box.h"
 #include "spatial/point_set.h"
 
+namespace privtree {
+class SequenceModel;  // seq/model.h
+}
+
 namespace privtree::release {
 
 /// What a fitted method released, for accounting and diagnostics.
@@ -117,6 +121,15 @@ class Method {
   /// out-of-registry Method implementations (test stubs) keep compiling.
   /// Requires a prior Fit; load back through release::LoadMethod.
   virtual Status Save(std::ostream& out) const;
+
+  /// The fitted generative model behind a sequence-kind method (the PST or
+  /// n-gram SequenceModel), or nullptr for spatial methods and before Fit.
+  /// Model-level consumers — top-k string mining, synthetic-sequence
+  /// sampling in the figure benches — read it through this accessor so
+  /// their fits ride the registry/serving path instead of re-implementing
+  /// builder calls.  The model is owned by the method and immutable after
+  /// Fit, so it shares the method's thread-safety.
+  virtual const SequenceModel* sequence_model() const { return nullptr; }
 
  protected:
   Method() = default;

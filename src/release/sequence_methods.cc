@@ -170,6 +170,10 @@ class PstPrivTreeMethod final : public SequenceMethodBase {
     return SaveSynopsis(out, payload);
   }
 
+  const SequenceModel* sequence_model() const override {
+    return model_ ? &*model_ : nullptr;
+  }
+
  private:
   static PrivatePstOptions ParseOptions(const MethodOptions& o) {
     RequireKnownKeys(o, {"l_top", "tree_budget_fraction", "max_depth"});
@@ -232,6 +236,10 @@ class NgramMethod final : public SequenceMethodBase {
       w.F64(model_->NodeCount(static_cast<NodeId>(i)));
     }
     return SaveSynopsis(out, payload);
+  }
+
+  const SequenceModel* sequence_model() const override {
+    return model_ ? &*model_ : nullptr;
   }
 
  private:

@@ -55,7 +55,7 @@ Result<std::string> Client::RoundTrip(const std::string& payload) {
 Result<FitReply> Client::Fit(const FitSpec& spec,
                              std::int64_t deadline_millis) {
   Result<std::string> frame =
-      RoundTrip(EncodeFit(FitRequest{spec, deadline_millis}));
+      RoundTrip(EncodeFit(FitRequest{spec, deadline_millis, dataset_}));
   if (!frame.ok()) return frame.status();
   FitReply reply;
   if (Status s = DecodeFitReply(frame.value(), &reply); !s.ok()) return s;
@@ -79,6 +79,7 @@ Result<std::vector<double>> Client::QueryBatch(const FitSpec& spec,
   QueryBatchRequest request;
   request.spec = spec;
   request.deadline_millis = deadline_millis;
+  request.dataset_fingerprint = dataset_;
   request.queries.assign(queries.begin(), queries.end());
   Result<std::string> frame = RoundTrip(EncodeQueryBatch(request));
   if (!frame.ok()) return frame.status();
@@ -100,6 +101,7 @@ Result<std::vector<double>> Client::SeqQueryBatch(
   SeqQueryBatchRequest request;
   request.spec = spec;
   request.deadline_millis = deadline_millis;
+  request.dataset_fingerprint = dataset_;
   request.queries.assign(queries.begin(), queries.end());
   Result<std::string> frame = RoundTrip(EncodeSeqQueryBatch(request));
   if (!frame.ok()) return frame.status();
@@ -117,12 +119,25 @@ Result<std::vector<double>> Client::SeqQueryBatch(
 
 Result<std::uint64_t> Client::Warm(std::span<const FitSpec> specs) {
   WarmRequest request;
+  request.dataset_fingerprint = dataset_;
   request.specs.assign(specs.begin(), specs.end());
   Result<std::string> frame = RoundTrip(EncodeWarm(request));
   if (!frame.ok()) return frame.status();
   WarmReply reply;
   if (Status s = DecodeWarmReply(frame.value(), &reply); !s.ok()) return s;
   return reply.accepted;
+}
+
+Result<RegisterDatasetReply> Client::RegisterDataset(
+    const RegisterDatasetRequest& request) {
+  Result<std::string> frame = RoundTrip(EncodeRegisterDataset(request));
+  if (!frame.ok()) return frame.status();
+  RegisterDatasetReply reply;
+  if (Status s = DecodeRegisterDatasetReply(frame.value(), &reply);
+      !s.ok()) {
+    return s;
+  }
+  return reply;
 }
 
 Result<StatsReply> Client::Stats() {

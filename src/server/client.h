@@ -33,8 +33,21 @@ class Client {
   Client(Client&&) noexcept = default;
   Client& operator=(Client&&) noexcept = default;
 
-  /// The server's Hello description of the served dataset.
+  /// The server's Hello description of the served datasets (the default
+  /// tenant's shape, the full tenant table, and this session's budget).
   const HelloReply& info() const { return info_; }
+
+  /// Routes subsequent Fit/QueryBatch/SeqQueryBatch/Warm calls at the
+  /// tenant with this fingerprint (see info().datasets); 0 restores the
+  /// server default.  An unknown fingerprint answers NotFound per call.
+  void SelectDataset(std::uint64_t fingerprint) { dataset_ = fingerprint; }
+  std::uint64_t selected_dataset() const { return dataset_; }
+
+  /// Uploads a dataset for this server to host (protocol v3) and returns
+  /// its fingerprint; registration is idempotent by content.  Does not
+  /// auto-select the new tenant.
+  Result<RegisterDatasetReply> RegisterDataset(
+      const RegisterDatasetRequest& request);
 
   /// Fits (or re-serves) the spec'd release; `deadline_millis` 0 = none.
   Result<FitReply> Fit(const FitSpec& spec, std::int64_t deadline_millis = 0);
@@ -71,6 +84,7 @@ class Client {
 
   Connection conn_;
   HelloReply info_;
+  std::uint64_t dataset_ = 0;  ///< Selected tenant; 0 = server default.
 };
 
 }  // namespace privtree::server

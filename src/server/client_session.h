@@ -1,0 +1,89 @@
+// Per-connection serving state: privacy-budget accounting that makes one
+// socket connection behave like one release::ReleaseSession.
+//
+// A ReleaseSession charges ε once per distinct release and refuses to
+// overdraw its total; a connection to the serving front end gets the same
+// contract here.  Every fit-carrying request (Fit, QueryBatch,
+// SeqQueryBatch) charges its spec's ε against this session the *first*
+// time the session touches that synopsis key — repeating a spec is free,
+// exactly like re-querying a released synopsis in process, because queries
+// are pure post-processing.  An exhausted budget answers OutOfRange (the
+// Status a PrivacyBudget overdraw maps to on this surface) and never
+// aborts: budget exhaustion is expected client behaviour, not a bug.
+//
+// A charge for a request that subsequently *fails* (shed load, expired
+// deadline, invalid spec caught server-side) is refunded, so transient
+// overload cannot eat a tenant's budget.
+//
+// Thread-safe: the event loop charges on the loop thread and refunds from
+// pool-thread completion callbacks.
+#ifndef PRIVTREE_SERVER_CLIENT_SESSION_H_
+#define PRIVTREE_SERVER_CLIENT_SESSION_H_
+
+#include <mutex>
+#include <set>
+
+#include "dp/status.h"
+#include "serve/synopsis_cache.h"
+
+namespace privtree::server {
+
+class ClientSession {
+ public:
+  /// Outcome of one budget charge.  `charged` is true only when this call
+  /// actually debited the budget (a repeated key is free and a refusal
+  /// debits nothing) — the flag the completion path needs to decide
+  /// whether a failed request must refund.
+  struct ChargeOutcome {
+    Status status;
+    bool charged = false;
+  };
+
+  /// `budget_total` is the Σε ceiling across this session's fits; 0 means
+  /// unlimited (the default when the server enforces no session budget).
+  explicit ClientSession(double budget_total) : total_(budget_total) {}
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// Charges `epsilon` for `key` unless this session already paid for it.
+  /// OutOfRange when the charge would overdraw the budget.
+  ChargeOutcome Charge(const serve::SynopsisKey& key, double epsilon) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (paid_.contains(key)) return {Status::OK(), false};
+    if (total_ > 0.0 && spent_ + epsilon > total_ * (1.0 + 1e-12)) {
+      return {Status::OutOfRange(
+                  "session privacy budget exhausted: spent " +
+                  std::to_string(spent_) + " of " + std::to_string(total_) +
+                  ", request needs " + std::to_string(epsilon)),
+              false};
+    }
+    spent_ += epsilon;
+    paid_.insert(key);
+    return {Status::OK(), true};
+  }
+
+  /// Reverses a Charge whose request failed; only call when the matching
+  /// ChargeOutcome reported `charged`.
+  void Refund(const serve::SynopsisKey& key, double epsilon) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (paid_.erase(key) > 0) spent_ -= epsilon;
+  }
+
+  double budget_total() const { return total_; }
+
+  double spent() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return spent_;
+  }
+
+ private:
+  const double total_;
+  mutable std::mutex mu_;
+  double spent_ = 0.0;                  // Guarded by mu_.
+  std::set<serve::SynopsisKey> paid_;   // Keys already charged; by mu_.
+};
+
+}  // namespace privtree::server
+
+#endif  // PRIVTREE_SERVER_CLIENT_SESSION_H_

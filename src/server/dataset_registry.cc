@@ -1,0 +1,99 @@
+#include "server/dataset_registry.h"
+
+#include <utility>
+
+namespace privtree::server {
+
+DatasetRegistry::DatasetRegistry(serve::ThreadPool& pool,
+                                 serve::SynopsisCache& cache,
+                                 DatasetRegistryOptions options)
+    : pool_(pool), cache_(cache), options_(options) {}
+
+Result<std::uint64_t> DatasetRegistry::Register(std::string name,
+                                                release::Dataset data) {
+  return Insert(std::move(name), data, nullptr, nullptr);
+}
+
+Result<std::uint64_t> DatasetRegistry::Register(std::string name,
+                                                PointSet points, Box domain) {
+  auto owned = std::make_unique<PointSet>(std::move(points));
+  const release::Dataset data(*owned, std::move(domain));
+  return Insert(std::move(name), data, std::move(owned), nullptr);
+}
+
+Result<std::uint64_t> DatasetRegistry::Register(std::string name,
+                                                SequenceDataset sequences) {
+  auto owned = std::make_unique<SequenceDataset>(std::move(sequences));
+  const release::Dataset data(*owned);
+  return Insert(std::move(name), data, nullptr, std::move(owned));
+}
+
+Result<std::uint64_t> DatasetRegistry::Insert(
+    std::string name, release::Dataset data,
+    std::unique_ptr<PointSet> owned_points,
+    std::unique_ptr<SequenceDataset> owned_seqs) {
+  if (data.size() == 0) {
+    return Status::InvalidArgument("refusing to register an empty dataset");
+  }
+  const std::uint64_t fingerprint = data.Fingerprint();
+  std::lock_guard<std::mutex> lk(mu_);
+  if (const auto it = entries_.find(fingerprint); it != entries_.end()) {
+    // Same fingerprint ⇒ same content ⇒ same engine; re-registration (a
+    // retried upload, a duplicated --data flag) is a harmless no-op.
+    return fingerprint;
+  }
+  if (entries_.size() >= options_.max_datasets) {
+    return Status::Unavailable(
+        "dataset registry is full (" +
+        std::to_string(options_.max_datasets) + " tenants)");
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::move(name);
+  entry->owned_points = std::move(owned_points);
+  entry->owned_sequences = std::move(owned_seqs);
+  entry->engine = std::make_unique<AsyncEngine>(data, pool_, cache_,
+                                                options_.engine);
+  entries_.emplace(fingerprint, std::move(entry));
+  order_.push_back(fingerprint);
+  return fingerprint;
+}
+
+AsyncEngine* DatasetRegistry::Find(std::uint64_t fingerprint) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fingerprint == 0) {
+    if (order_.empty()) return nullptr;
+    fingerprint = order_.front();
+  }
+  const auto it = entries_.find(fingerprint);
+  return it == entries_.end() ? nullptr : it->second->engine.get();
+}
+
+std::uint64_t DatasetRegistry::default_fingerprint() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return order_.empty() ? 0 : order_.front();
+}
+
+std::vector<DatasetInfo> DatasetRegistry::List() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<DatasetInfo> out;
+  out.reserve(order_.size());
+  for (const std::uint64_t fingerprint : order_) {
+    const Entry& entry = *entries_.at(fingerprint);
+    const release::Dataset& data = entry.engine->data();
+    DatasetInfo info;
+    info.name = entry.name;
+    info.kind = data.kind();
+    info.dim = data.dim();
+    info.point_count = data.size();
+    info.fingerprint = fingerprint;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::size_t DatasetRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+}  // namespace privtree::server

@@ -1,0 +1,114 @@
+// The multi-tenant dataset registry: one privtree_server process hosting
+// many datasets, each behind its own AsyncEngine, keyed by the dataset's
+// release::Dataset fingerprint.
+//
+// Every tenant shares one ThreadPool and one SynopsisCache — the
+// SynopsisKey already carries the dataset fingerprint, so two tenants can
+// never collide on a cached (or spilled) synopsis even when they fit the
+// same method with the same options and ε; isolation is structural, not
+// policed.  Engines are created at registration and never removed, so the
+// pointer Find() hands out stays valid for the registry's lifetime and the
+// dispatcher can hold it across an asynchronous completion.
+//
+// Registration is idempotent by content: registering a dataset whose
+// fingerprint is already hosted returns the existing fingerprint (same
+// content ⇒ same engine ⇒ same answers), which makes wire-side uploads
+// retry-safe.  The first registered dataset is the *default* — the tenant
+// a fingerprint of 0 selects, which is exactly the single-dataset protocol
+// v2 behaviour.
+//
+// Thread-safe: startup registers from main, the wire path registers from
+// connection handlers, and every loop thread resolves fingerprints.
+#ifndef PRIVTREE_SERVER_DATASET_REGISTRY_H_
+#define PRIVTREE_SERVER_DATASET_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dp/status.h"
+#include "release/dataset.h"
+#include "seq/sequence.h"
+#include "serve/synopsis_cache.h"
+#include "serve/thread_pool.h"
+#include "server/async_engine.h"
+#include "server/protocol.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+
+namespace privtree::server {
+
+struct DatasetRegistryOptions {
+  /// Hard cap on hosted tenants; a registration past it is refused with
+  /// Unavailable (an uploaded dataset costs real memory — unbounded
+  /// acceptance would let one client OOM the server).
+  std::size_t max_datasets = 64;
+  /// Engine configuration shared by every tenant.
+  EngineOptions engine;
+};
+
+class DatasetRegistry {
+ public:
+  /// `pool` and `cache` must outlive the registry (and are shared by every
+  /// tenant's engine).
+  DatasetRegistry(serve::ThreadPool& pool, serve::SynopsisCache& cache,
+                  DatasetRegistryOptions options = {});
+
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  /// Registers a view over caller-owned data (the startup `--data` path);
+  /// the viewed data must outlive the registry.  Returns the fingerprint
+  /// requests select the tenant by.
+  Result<std::uint64_t> Register(std::string name, release::Dataset data);
+
+  /// Registers an *owned* spatial dataset (the wire upload path).
+  Result<std::uint64_t> Register(std::string name, PointSet points,
+                                 Box domain);
+
+  /// Registers an owned sequence dataset.
+  Result<std::uint64_t> Register(std::string name,
+                                 SequenceDataset sequences);
+
+  /// The engine serving `fingerprint`; 0 selects the default (first
+  /// registered) tenant.  Null when the fingerprint is unknown or the
+  /// registry is empty — the dispatcher maps that to NotFound.
+  AsyncEngine* Find(std::uint64_t fingerprint) const;
+
+  /// Fingerprint of the default tenant (0 when empty).
+  std::uint64_t default_fingerprint() const;
+
+  /// Every hosted tenant, registration order (front = default).
+  std::vector<DatasetInfo> List() const;
+
+  std::size_t size() const;
+
+ private:
+  /// One hosted tenant.  Owned storage is optional (startup registrations
+  /// view caller data); unique_ptr keeps addresses stable across map
+  /// growth, which the Dataset view and the engine both rely on.
+  struct Entry {
+    std::string name;
+    std::unique_ptr<PointSet> owned_points;
+    std::unique_ptr<SequenceDataset> owned_sequences;
+    std::unique_ptr<AsyncEngine> engine;
+  };
+
+  Result<std::uint64_t> Insert(std::string name, release::Dataset data,
+                               std::unique_ptr<PointSet> owned_points,
+                               std::unique_ptr<SequenceDataset> owned_seqs);
+
+  serve::ThreadPool& pool_;
+  serve::SynopsisCache& cache_;
+  const DatasetRegistryOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::unique_ptr<Entry>> entries_;  // By mu_.
+  std::vector<std::uint64_t> order_;  // Registration order; by mu_.
+};
+
+}  // namespace privtree::server
+
+#endif  // PRIVTREE_SERVER_DATASET_REGISTRY_H_

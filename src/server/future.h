@@ -15,10 +15,12 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace privtree::server {
 
@@ -53,6 +55,22 @@ class Future {
                                [&] { return state_->value.has_value(); });
   }
 
+  /// Registers `callback` to run exactly once with the value: on the
+  /// setting thread when Set arrives later, or inline right now when the
+  /// value is already present.  The non-blocking redemption path the event
+  /// loop uses — never call Get() from inside a callback registered on the
+  /// same future (the value is already in hand).  Callbacks must not throw.
+  void OnReady(std::function<void(const T&)> callback) const {
+    {
+      std::unique_lock<std::mutex> lk(state_->mu);
+      if (!state_->value.has_value()) {
+        state_->callbacks.push_back(std::move(callback));
+        return;
+      }
+    }
+    callback(*state_->value);
+  }
+
  private:
   friend class Promise<T>;
 
@@ -60,6 +78,8 @@ class Future {
     std::mutex mu;
     std::condition_variable cv;
     std::optional<T> value;
+    /// Registered before the value arrived; drained (and invoked) by Set.
+    std::vector<std::function<void(const T&)>> callbacks;
   };
 
   explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
@@ -86,14 +106,19 @@ class Promise {
 
   Future<T> future() const { return Future<T>(state_); }
 
-  /// Sets the value and wakes every waiter.  Must be called at most once.
+  /// Sets the value, wakes every waiter, and runs every callback that
+  /// OnReady registered before the value arrived.  Must be called at most
+  /// once.
   void Set(T value) {
     auto state = std::move(state_);
+    std::vector<std::function<void(const T&)>> callbacks;
     {
       std::lock_guard<std::mutex> lk(state->mu);
       state->value.emplace(std::move(value));
+      callbacks.swap(state->callbacks);
     }
     state->cv.notify_all();
+    for (const auto& callback : callbacks) callback(*state->value);
   }
 
  private:

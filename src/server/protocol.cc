@@ -1,9 +1,11 @@
 #include "server/protocol.h"
 
+#include <cmath>
 #include <utility>
 
 #include "core/byteio.h"
 #include "release/options.h"
+#include "seq/sequence.h"
 
 namespace privtree::server {
 
@@ -62,12 +64,14 @@ Result<MessageType> PeekType(std::string_view payload) {
     case MessageType::kWarm:
     case MessageType::kStats:
     case MessageType::kShutdown:
+    case MessageType::kRegisterDataset:
     case MessageType::kHelloReply:
     case MessageType::kFitReply:
     case MessageType::kQueryBatchReply:
     case MessageType::kWarmReply:
     case MessageType::kStatsReply:
     case MessageType::kShutdownReply:
+    case MessageType::kRegisterDatasetReply:
     case MessageType::kErrorReply:
       return static_cast<MessageType>(tag);
   }
@@ -102,6 +106,16 @@ std::string EncodeHelloReply(const HelloReply& reply) {
   w.U64(reply.dataset_fingerprint);
   w.U64(reply.methods.size());
   for (const std::string& method : reply.methods) w.Str(method);
+  w.F64(reply.budget_total);
+  w.F64(reply.budget_spent);
+  w.U64(reply.datasets.size());
+  for (const DatasetInfo& dataset : reply.datasets) {
+    w.Str(dataset.name);
+    w.U32(static_cast<std::uint32_t>(dataset.kind));
+    w.U64(dataset.dim);
+    w.U64(dataset.point_count);
+    w.U64(dataset.fingerprint);
+  }
   return out;
 }
 
@@ -124,6 +138,26 @@ Status DecodeHelloReply(std::string_view payload, HelloReply* out) {
     if (!r.Str(&method)) return Malformed("HelloReply");
     out->methods.push_back(std::move(method));
   }
+  std::uint64_t dataset_count = 0;
+  if (!r.F64(&out->budget_total) || !r.F64(&out->budget_spent) ||
+      !r.U64(&dataset_count) ||
+      // ≥32 bytes per dataset entry: bounds the allocation.
+      dataset_count > r.remaining() / 32) {
+    return Malformed("HelloReply");
+  }
+  out->datasets.clear();
+  out->datasets.reserve(dataset_count);
+  for (std::uint64_t i = 0; i < dataset_count; ++i) {
+    DatasetInfo dataset;
+    std::uint32_t dataset_kind = 0;
+    if (!r.Str(&dataset.name) || !r.U32(&dataset_kind) || dataset_kind > 1 ||
+        !r.U64(&dataset.dim) || !r.U64(&dataset.point_count) ||
+        !r.U64(&dataset.fingerprint)) {
+      return Malformed("HelloReply");
+    }
+    dataset.kind = static_cast<release::DatasetKind>(dataset_kind);
+    out->datasets.push_back(std::move(dataset));
+  }
   return Finish(r, "HelloReply");
 }
 
@@ -133,13 +167,14 @@ std::string EncodeFit(const FitRequest& request) {
   PutTag(w, MessageType::kFit);
   PutSpec(w, request.spec);
   w.I64(request.deadline_millis);
+  w.U64(request.dataset_fingerprint);
   return out;
 }
 
 Status DecodeFit(std::string_view payload, FitRequest* out) {
   ByteReader r(payload);
   if (!TakeTag(r, MessageType::kFit) || !TakeSpec(r, &out->spec) ||
-      !r.I64(&out->deadline_millis)) {
+      !r.I64(&out->deadline_millis) || !r.U64(&out->dataset_fingerprint)) {
     return Malformed("Fit");
   }
   return Finish(r, "Fit");
@@ -179,6 +214,7 @@ std::string EncodeQueryBatch(const QueryBatchRequest& request) {
   PutTag(w, MessageType::kQueryBatch);
   PutSpec(w, request.spec);
   w.I64(request.deadline_millis);
+  w.U64(request.dataset_fingerprint);
   const std::uint64_t dim =
       request.queries.empty() ? 0 : request.queries.front().dim();
   w.U64(dim);
@@ -196,7 +232,8 @@ Status DecodeQueryBatch(std::string_view payload, QueryBatchRequest* out) {
   ByteReader r(payload);
   std::uint64_t dim = 0, count = 0;
   if (!TakeTag(r, MessageType::kQueryBatch) || !TakeSpec(r, &out->spec) ||
-      !r.I64(&out->deadline_millis) || !r.U64(&dim) || !r.U64(&count)) {
+      !r.I64(&out->deadline_millis) || !r.U64(&out->dataset_fingerprint) ||
+      !r.U64(&dim) || !r.U64(&count)) {
     return Malformed("QueryBatch");
   }
   // Bounds the allocations before reading: each box is 16·dim bytes, and
@@ -227,6 +264,7 @@ std::string EncodeSeqQueryBatch(const SeqQueryBatchRequest& request) {
   PutTag(w, MessageType::kSeqQueryBatch);
   PutSpec(w, request.spec);
   w.I64(request.deadline_millis);
+  w.U64(request.dataset_fingerprint);
   w.U64(request.queries.size());
   for (const release::SequenceQuery& q : request.queries) {
     w.U32(static_cast<std::uint32_t>(q.kind));
@@ -243,7 +281,8 @@ Status DecodeSeqQueryBatch(std::string_view payload,
   ByteReader r(payload);
   std::uint64_t count = 0;
   if (!TakeTag(r, MessageType::kSeqQueryBatch) || !TakeSpec(r, &out->spec) ||
-      !r.I64(&out->deadline_millis) || !r.U64(&count) ||
+      !r.I64(&out->deadline_millis) || !r.U64(&out->dataset_fingerprint) ||
+      !r.U64(&count) ||
       count > r.remaining() / 16) {  // 16 bytes per symbol-less query.
     return Malformed("SeqQueryBatch");
   }
@@ -308,6 +347,7 @@ std::string EncodeWarm(const WarmRequest& request) {
   std::string out;
   ByteWriter w(&out);
   PutTag(w, MessageType::kWarm);
+  w.U64(request.dataset_fingerprint);
   w.U64(request.specs.size());
   for (const FitSpec& spec : request.specs) PutSpec(w, spec);
   return out;
@@ -319,8 +359,8 @@ Status DecodeWarm(std::string_view payload, WarmRequest* out) {
   // A spec is at least 24 wire bytes (two length prefixes + f64 + u64);
   // growing the vector as specs actually parse (instead of a count-sized
   // resize) keeps a lying count from forcing a huge allocation.
-  if (!TakeTag(r, MessageType::kWarm) || !r.U64(&count) ||
-      count > r.remaining() / 24) {
+  if (!TakeTag(r, MessageType::kWarm) || !r.U64(&out->dataset_fingerprint) ||
+      !r.U64(&count) || count > r.remaining() / 24) {
     return Malformed("Warm");
   }
   out->specs.clear();
@@ -398,6 +438,131 @@ std::string EncodeShutdownReply() {
   ByteWriter w(&out);
   PutTag(w, MessageType::kShutdownReply);
   return out;
+}
+
+std::string EncodeRegisterDataset(const RegisterDatasetRequest& request) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kRegisterDataset);
+  w.Str(request.name);
+  w.U32(static_cast<std::uint32_t>(request.kind));
+  w.U64(request.dim);
+  if (request.kind == release::DatasetKind::kSpatial) {
+    for (std::uint64_t j = 0; j < request.dim; ++j) {
+      w.F64(j < request.domain_lo.size() ? request.domain_lo[j] : 0.0);
+      w.F64(j < request.domain_hi.size() ? request.domain_hi[j] : 1.0);
+    }
+    const std::uint64_t count =
+        request.dim == 0 ? 0 : request.coords.size() / request.dim;
+    w.U64(count);
+    for (std::uint64_t i = 0; i < count * request.dim; ++i) {
+      w.F64(request.coords[i]);
+    }
+  } else {
+    w.U64(request.sequences.size());
+    for (const std::vector<Symbol>& sequence : request.sequences) {
+      w.U32(static_cast<std::uint32_t>(sequence.size()));
+      for (const Symbol s : sequence) w.U32(s);
+    }
+  }
+  return out;
+}
+
+Status DecodeRegisterDataset(std::string_view payload,
+                             RegisterDatasetRequest* out) {
+  ByteReader r(payload);
+  std::uint32_t kind = 0;
+  if (!TakeTag(r, MessageType::kRegisterDataset) || !r.Str(&out->name) ||
+      !r.U32(&kind) || kind > 1 || !r.U64(&out->dim)) {
+    return Malformed("RegisterDataset");
+  }
+  out->kind = static_cast<release::DatasetKind>(kind);
+  out->domain_lo.clear();
+  out->domain_hi.clear();
+  out->coords.clear();
+  out->sequences.clear();
+  if (out->kind == release::DatasetKind::kSpatial) {
+    // Screen dim before it sizes anything: the spatial pipeline caps out
+    // far below 64 axes, and 16·dim must not wrap the divisor below.
+    if (out->dim == 0 || out->dim > 64 || out->dim > r.remaining() / 16) {
+      return Malformed("RegisterDataset");
+    }
+    out->domain_lo.resize(out->dim);
+    out->domain_hi.resize(out->dim);
+    for (std::uint64_t j = 0; j < out->dim; ++j) {
+      if (!r.F64(&out->domain_lo[j]) || !r.F64(&out->domain_hi[j])) {
+        return Malformed("RegisterDataset");
+      }
+      if (!(out->domain_lo[j] <= out->domain_hi[j])) {  // Rejects NaN too.
+        return Status::InvalidArgument("dataset domain with lo > hi");
+      }
+    }
+    std::uint64_t count = 0;
+    if (!r.U64(&count) || count > r.remaining() / (8 * out->dim)) {
+      return Malformed("RegisterDataset");
+    }
+    out->coords.resize(count * out->dim);
+    for (double& coord : out->coords) {
+      if (!r.F64(&coord)) return Malformed("RegisterDataset");
+      if (!std::isfinite(coord)) {
+        return Status::InvalidArgument("non-finite coordinate in dataset");
+      }
+    }
+  } else {
+    if (out->dim == 0 || out->dim > kMaxAlphabetSize) {
+      return Status::InvalidArgument(
+          "alphabet size " + std::to_string(out->dim) +
+          " outside [1, " + std::to_string(kMaxAlphabetSize) + "]");
+    }
+    std::uint64_t count = 0;
+    // ≥4 bytes per row (its length prefix) bounds the row allocation.
+    if (!r.U64(&count) || count > r.remaining() / 4) {
+      return Malformed("RegisterDataset");
+    }
+    out->sequences.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint32_t length = 0;
+      if (!r.U32(&length) || length > r.remaining() / 4) {
+        return Malformed("RegisterDataset");
+      }
+      std::vector<Symbol> sequence;
+      sequence.reserve(length);
+      for (std::uint32_t j = 0; j < length; ++j) {
+        std::uint32_t symbol = 0;
+        if (!r.U32(&symbol) || symbol > 0xFFFF) {
+          return Malformed("RegisterDataset");
+        }
+        if (symbol >= out->dim) {
+          return Status::InvalidArgument(
+              "sequence symbol " + std::to_string(symbol) +
+              " outside the declared alphabet of " +
+              std::to_string(out->dim));
+        }
+        sequence.push_back(static_cast<Symbol>(symbol));
+      }
+      out->sequences.push_back(std::move(sequence));
+    }
+  }
+  return Finish(r, "RegisterDataset");
+}
+
+std::string EncodeRegisterDatasetReply(const RegisterDatasetReply& reply) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kRegisterDatasetReply);
+  w.U64(reply.fingerprint);
+  w.U64(reply.point_count);
+  return out;
+}
+
+Status DecodeRegisterDatasetReply(std::string_view payload,
+                                  RegisterDatasetReply* out) {
+  ByteReader r(payload);
+  if (!TakeTag(r, MessageType::kRegisterDatasetReply) ||
+      !r.U64(&out->fingerprint) || !r.U64(&out->point_count)) {
+    return Malformed("RegisterDatasetReply");
+  }
+  return Finish(r, "RegisterDatasetReply");
 }
 
 std::string EncodeErrorReply(const Status& status) {

@@ -12,16 +12,25 @@
 //     ...  body
 //
 // Bodies (requests):
-//   Hello          u32 protocol version
-//   Fit            FitSpec, i64 deadline millis (0 = none)
-//   QueryBatch     FitSpec, i64 deadline millis, u64 dim, u64 count,
-//                  then per box lo_1 hi_1 ... lo_d hi_d as f64
-//   SeqQueryBatch  FitSpec, i64 deadline millis, u64 count, then per query
-//                  u32 query kind (SequenceQueryKind), u32 k, u32 max_len,
-//                  u32 symbol count, u32 × count symbols (each < 65536)
-//   Warm           u64 count, then count FitSpecs
-//   Stats          (empty)
-//   Shutdown       (empty)
+//   Hello            u32 protocol version
+//   Fit              FitSpec, i64 deadline millis (0 = none),
+//                    u64 dataset fingerprint (0 = server default)
+//   QueryBatch       FitSpec, i64 deadline millis, u64 dataset fingerprint,
+//                    u64 dim, u64 count, then per box
+//                    lo_1 hi_1 ... lo_d hi_d as f64
+//   SeqQueryBatch    FitSpec, i64 deadline millis, u64 dataset fingerprint,
+//                    u64 count, then per query u32 query kind
+//                    (SequenceQueryKind), u32 k, u32 max_len,
+//                    u32 symbol count, u32 × count symbols (each < 65536)
+//   Warm             u64 dataset fingerprint, u64 count, then count FitSpecs
+//   Stats            (empty)
+//   Shutdown         (empty)
+//   RegisterDataset  str name, u32 dataset kind, u64 dim (spatial dim or
+//                    alphabet size), then
+//                      spatial:  dim × (f64 lo, f64 hi) domain bounds,
+//                                u64 point count, count·dim × f64 coords
+//                      sequence: u64 sequence count, then per sequence
+//                                u32 length, length × u32 symbols
 //
 //   FitSpec :=  str method, str options ("k1=v1,k2=v2"), f64 epsilon,
 //               u64 seed
@@ -30,8 +39,12 @@
 //   HelloReply       u32 version, u32 dataset kind (DatasetKind: 0 spatial,
 //                    1 sequence), u64 dim (spatial dim, or the alphabet
 //                    size for sequence data), u64 record count (points or
-//                    sequences), u64 dataset fingerprint, u64 method
-//                    count, str × count
+//                    sequences), u64 dataset fingerprint (the *default*
+//                    dataset; the table below lists every tenant), u64
+//                    method count, str × count, f64 session budget total
+//                    (0 = unlimited), f64 session budget spent, u64 dataset
+//                    count, then per dataset str name, u32 kind, u64 dim,
+//                    u64 record count, u64 fingerprint
 //   FitReply         str method, u64 dim, f64 epsilon spent,
 //                    u64 synopsis size, i32 height, u32 cache hit (0/1)
 //   QueryBatchReply  u32 cache hit, u64 count, f64 × count (also answers
@@ -39,6 +52,7 @@
 //                    spec, exactly like a box batch)
 //   WarmReply        u64 accepted
 //   StatsReply       13 × u64 (see struct StatsReply)
+//   RegisterDatasetReply  u64 fingerprint, u64 record count
 //   ErrorReply       u32 status code (StatusCode), str message
 //
 // Every decoder is total: truncation, trailing bytes, a wrong tag, an
@@ -63,7 +77,11 @@
 namespace privtree::server {
 
 /// v2 added the HelloReply dataset-kind field and the SeqQueryBatch frame.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v3 added multi-tenant serving: a dataset fingerprint on every
+/// fit-carrying request (0 = the server's default dataset), the
+/// RegisterDataset upload frame, and per-connection session budget
+/// accounting surfaced in HelloReply.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Upper bound on one frame payload (a sanity cap against a garbage length
 /// prefix, not a protocol limit).
@@ -77,12 +95,14 @@ enum class MessageType : std::uint32_t {
   kStats = 5,
   kShutdown = 6,
   kSeqQueryBatch = 7,
+  kRegisterDataset = 8,
   kHelloReply = 101,
   kFitReply = 102,
   kQueryBatchReply = 103,
   kWarmReply = 104,
   kStatsReply = 105,
   kShutdownReply = 106,
+  kRegisterDatasetReply = 107,
   kErrorReply = 255,
 };
 
@@ -90,9 +110,19 @@ struct HelloRequest {
   std::uint32_t version = kProtocolVersion;
 };
 
+/// One served tenant, as listed in HelloReply and the datasets CLI verb.
+struct DatasetInfo {
+  std::string name;
+  release::DatasetKind kind = release::DatasetKind::kSpatial;
+  std::uint64_t dim = 0;          ///< Spatial dim or alphabet size.
+  std::uint64_t point_count = 0;  ///< Points or sequences.
+  std::uint64_t fingerprint = 0;
+};
+
 struct HelloReply {
   std::uint32_t version = kProtocolVersion;
-  /// What the server serves; decides which query frame to send.
+  /// What the *default* dataset serves; decides which query frame to send
+  /// when the client never selects a tenant.
   release::DatasetKind kind = release::DatasetKind::kSpatial;
   /// Spatial dim, or the alphabet size for sequence data.
   std::uint64_t dim = 0;
@@ -100,11 +130,20 @@ struct HelloReply {
   std::uint64_t point_count = 0;
   std::uint64_t dataset_fingerprint = 0;
   std::vector<std::string> methods;  ///< Registered method names, sorted.
+  /// This connection's privacy-budget ceiling (Σε over its fits); 0 means
+  /// the server enforces no per-session budget.
+  double budget_total = 0.0;
+  /// ε already spent by this connection (0 right after Hello).
+  double budget_spent = 0.0;
+  /// Every tenant this server hosts, registration order (front = default).
+  std::vector<DatasetInfo> datasets;
 };
 
 struct FitRequest {
   FitSpec spec;
   std::int64_t deadline_millis = 0;  ///< Relative; 0 = no deadline.
+  /// Which tenant to fit against; 0 selects the server default.
+  std::uint64_t dataset_fingerprint = 0;
 };
 
 struct FitReply {
@@ -115,6 +154,7 @@ struct FitReply {
 struct QueryBatchRequest {
   FitSpec spec;
   std::int64_t deadline_millis = 0;
+  std::uint64_t dataset_fingerprint = 0;  ///< 0 = server default.
   std::vector<Box> queries;
 };
 
@@ -126,11 +166,32 @@ struct QueryBatchReply {
 struct SeqQueryBatchRequest {
   FitSpec spec;
   std::int64_t deadline_millis = 0;
+  std::uint64_t dataset_fingerprint = 0;  ///< 0 = server default.
   std::vector<release::SequenceQuery> queries;
 };
 
 struct WarmRequest {
+  std::uint64_t dataset_fingerprint = 0;  ///< 0 = server default.
   std::vector<FitSpec> specs;
+};
+
+/// A whole tenant dataset crossing the wire (protocol v3).  Spatial uploads
+/// carry their declared domain (deriving it from the data would leak);
+/// sequence uploads are raw rows, every sequence end-terminated — the
+/// server applies no truncation, that is a per-method option.
+struct RegisterDatasetRequest {
+  std::string name;
+  release::DatasetKind kind = release::DatasetKind::kSpatial;
+  std::uint64_t dim = 0;  ///< Spatial dim, or the alphabet size.
+  std::vector<double> domain_lo;  ///< Spatial only; dim entries.
+  std::vector<double> domain_hi;  ///< Spatial only; dim entries.
+  std::vector<double> coords;     ///< Spatial only; count·dim, row-major.
+  std::vector<std::vector<Symbol>> sequences;  ///< Sequence only.
+};
+
+struct RegisterDatasetReply {
+  std::uint64_t fingerprint = 0;  ///< Key for subsequent requests.
+  std::uint64_t point_count = 0;  ///< Points or sequences registered.
 };
 
 struct WarmReply {
@@ -175,6 +236,11 @@ std::string EncodeStats();
 std::string EncodeStatsReply(const StatsReply& reply);
 std::string EncodeShutdown();
 std::string EncodeShutdownReply();
+/// Tenant upload; the decoder screens structural bounds (dim/alphabet caps,
+/// symbol range, allocation-bounding counts) so a hostile frame fails
+/// cleanly before any dataset is built.
+std::string EncodeRegisterDataset(const RegisterDatasetRequest& request);
+std::string EncodeRegisterDatasetReply(const RegisterDatasetReply& reply);
 /// Any non-OK Status crosses the wire as an ErrorReply.
 std::string EncodeErrorReply(const Status& status);
 
@@ -191,6 +257,10 @@ Status DecodeQueryBatchReply(std::string_view payload, QueryBatchReply* out);
 Status DecodeWarm(std::string_view payload, WarmRequest* out);
 Status DecodeWarmReply(std::string_view payload, WarmReply* out);
 Status DecodeStatsReply(std::string_view payload, StatsReply* out);
+Status DecodeRegisterDataset(std::string_view payload,
+                             RegisterDatasetRequest* out);
+Status DecodeRegisterDatasetReply(std::string_view payload,
+                                  RegisterDatasetReply* out);
 /// Reconstructs the Status an ErrorReply carries (an unknown wire code maps
 /// to Internal); fails with InvalidArgument on a malformed payload.
 Status DecodeErrorReply(std::string_view payload, Status* out);

@@ -1,15 +1,12 @@
 #include "server/server_loop.h"
 
+#include <string>
 #include <utility>
-
-#include "release/registry.h"
-#include "server/protocol.h"
-#include "server/request.h"
 
 namespace privtree::server {
 
-ServerLoop::ServerLoop(AsyncEngine& engine, ListenSocket listener)
-    : engine_(engine), listener_(std::move(listener)) {}
+ServerLoop::ServerLoop(Dispatcher& dispatcher, ListenSocket listener)
+    : dispatcher_(dispatcher), listener_(std::move(listener)) {}
 
 ServerLoop::~ServerLoop() { Stop(); }
 
@@ -53,11 +50,15 @@ void ServerLoop::Stop() {
 }
 
 void ServerLoop::Serve(const std::shared_ptr<Connection>& conn) {
+  // One session per connection: the budget-accounting scope the protocol
+  // promises (see server/client_session.h).
+  const std::shared_ptr<ClientSession> session = dispatcher_.NewSession();
   for (;;) {
     Result<std::string> frame = conn->RecvFrame();
     if (!frame.ok()) break;  // Clean close, peer failure, or Stop().
     bool shutdown = false;
-    const std::string reply = HandleFrame(frame.value(), &shutdown);
+    const std::string reply =
+        dispatcher_.HandleFrameBlocking(frame.value(), session, &shutdown);
     if (!conn->SendFrame(reply).ok()) break;
     if (shutdown) {
       Stop();
@@ -76,116 +77,6 @@ void ServerLoop::Serve(const std::shared_ptr<Connection>& conn) {
       handlers_.erase(it);
       break;
     }
-  }
-}
-
-std::string ServerLoop::HandleFrame(std::string_view payload,
-                                    bool* shutdown) {
-  const Result<MessageType> type = PeekType(payload);
-  if (!type.ok()) return EncodeErrorReply(type.status());
-
-  switch (type.value()) {
-    case MessageType::kHello: {
-      HelloRequest request;
-      if (Status s = DecodeHello(payload, &request); !s.ok()) {
-        return EncodeErrorReply(s);
-      }
-      if (request.version != kProtocolVersion) {
-        return EncodeErrorReply(Status::InvalidArgument(
-            "protocol version " + std::to_string(request.version) +
-            " unsupported (server speaks " +
-            std::to_string(kProtocolVersion) + ")"));
-      }
-      HelloReply reply;
-      reply.kind = engine_.data().kind();
-      reply.dim = engine_.data().dim();
-      reply.point_count = engine_.data().size();
-      reply.dataset_fingerprint = engine_.dataset_fingerprint();
-      // Advertise only what this server can actually fit: a client picking
-      // from the list must never draw a kind-mismatch rejection.
-      reply.methods =
-          release::GlobalMethodRegistry().Names(engine_.data().kind());
-      return EncodeHelloReply(reply);
-    }
-
-    case MessageType::kFit: {
-      FitRequest request;
-      if (Status s = DecodeFit(payload, &request); !s.ok()) {
-        return EncodeErrorReply(s);
-      }
-      const FitResponse& response =
-          engine_
-              .SubmitFit(request.spec,
-                         DeadlineFromMillis(request.deadline_millis))
-              .Get();
-      if (!response.status.ok()) return EncodeErrorReply(response.status);
-      return EncodeFitReply({response.metadata, response.cache_hit});
-    }
-
-    case MessageType::kQueryBatch: {
-      QueryBatchRequest request;
-      if (Status s = DecodeQueryBatch(payload, &request); !s.ok()) {
-        return EncodeErrorReply(s);
-      }
-      const QueryBatchResponse& response =
-          engine_
-              .SubmitQueryBatch(request.spec, std::move(request.queries),
-                                DeadlineFromMillis(request.deadline_millis))
-              .Get();
-      if (!response.status.ok()) return EncodeErrorReply(response.status);
-      return EncodeQueryBatchReply({response.answers, response.cache_hit});
-    }
-
-    case MessageType::kSeqQueryBatch: {
-      SeqQueryBatchRequest request;
-      if (Status s = DecodeSeqQueryBatch(payload, &request); !s.ok()) {
-        return EncodeErrorReply(s);
-      }
-      const QueryBatchResponse& response =
-          engine_
-              .SubmitSeqQueryBatch(request.spec, std::move(request.queries),
-                                   DeadlineFromMillis(request.deadline_millis))
-              .Get();
-      if (!response.status.ok()) return EncodeErrorReply(response.status);
-      return EncodeQueryBatchReply({response.answers, response.cache_hit});
-    }
-
-    case MessageType::kWarm: {
-      WarmRequest request;
-      if (Status s = DecodeWarm(payload, &request); !s.ok()) {
-        return EncodeErrorReply(s);
-      }
-      return EncodeWarmReply({engine_.Warm(request.specs)});
-    }
-
-    case MessageType::kStats: {
-      const AsyncEngine::StatsSnapshot snapshot = engine_.Stats();
-      StatsReply reply;
-      reply.queue_depth = snapshot.queue_depth;
-      reply.queue_max_depth = snapshot.queue_max_depth;
-      reply.admitted = snapshot.admission.admitted;
-      reply.shed_queue_full = snapshot.admission.shed_queue_full;
-      reply.shed_cache_saturated = snapshot.admission.shed_cache_saturated;
-      reply.expired = snapshot.admission.expired;
-      reply.coalesced_fits = snapshot.admission.coalesced_fits;
-      reply.cache_hits = snapshot.cache.hits;
-      reply.cache_misses = snapshot.cache.misses;
-      reply.cache_evictions = snapshot.cache.evictions;
-      reply.spill_writes = snapshot.cache.spill_writes;
-      reply.spill_pending = snapshot.cache.spill_pending;
-      reply.writeback_hits = snapshot.cache.writeback_hits;
-      return EncodeStatsReply(reply);
-    }
-
-    case MessageType::kShutdown:
-      *shutdown = true;
-      return EncodeShutdownReply();
-
-    default:
-      return EncodeErrorReply(Status::InvalidArgument(
-          "unexpected message type " +
-          std::to_string(static_cast<std::uint32_t>(type.value())) +
-          " (reply tags are server-to-client only)"));
   }
 }
 

@@ -1,35 +1,40 @@
-// The blocking accept/serve loop that puts an AsyncEngine on a socket.
+// The blocking accept/serve loop that puts the serving stack on a socket —
+// one thread per connection.
 //
 // One thread runs Run(); every accepted client gets its own handler thread
-// that reads frames, dispatches them into the engine, blocks on the
-// completion future, and writes the reply — so slow requests only stall
-// their own connection while the engine interleaves everyone's work on the
-// shared pool.  A malformed frame answers with ErrorReply and keeps the
+// that reads frames, routes them through the shared Dispatcher (blocking on
+// the completion), and writes the reply — so slow requests only stall their
+// own connection while the engines interleave everyone's work on the shared
+// pool.  A malformed frame answers with ErrorReply and keeps the
 // connection; a closed peer retires the handler.  The loop stops when a
 // client sends Shutdown or another thread calls Stop(); either way Run
 // joins every handler before returning, so no request is abandoned
 // mid-reply.
+//
+// This loop is the *parity oracle* for the epoll EventLoop
+// (server/event/event_loop.h): both route every frame through the same
+// Dispatcher, so served answers are identical by construction; what this
+// loop cannot do is sustain production connection counts — each client
+// costs a thread.  Select it with `privtree_server --loop=threads`.
 #ifndef PRIVTREE_SERVER_SERVER_LOOP_H_
 #define PRIVTREE_SERVER_SERVER_LOOP_H_
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <string>
-#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "dp/status.h"
-#include "server/async_engine.h"
+#include "server/dispatcher.h"
 #include "server/socket.h"
 
 namespace privtree::server {
 
 class ServerLoop {
  public:
-  /// `engine` must outlive the loop; the loop takes the listener over.
-  ServerLoop(AsyncEngine& engine, ListenSocket listener);
+  /// `dispatcher` must outlive the loop; the loop takes the listener over.
+  ServerLoop(Dispatcher& dispatcher, ListenSocket listener);
 
   /// Stops (but does not join — only Run joins) on destruction; destroy
   /// only after Run has returned.
@@ -53,11 +58,7 @@ class ServerLoop {
   /// Handler body for one accepted connection.
   void Serve(const std::shared_ptr<Connection>& conn);
 
-  /// Dispatches one decoded frame; returns the reply payload and flags a
-  /// Shutdown frame.
-  std::string HandleFrame(std::string_view payload, bool* shutdown);
-
-  AsyncEngine& engine_;
+  Dispatcher& dispatcher_;
   ListenSocket listener_;
   std::mutex mu_;
   bool stopping_ = false;                            // Guarded by mu_.

@@ -1,5 +1,6 @@
 #include "server/socket.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -37,6 +38,17 @@ Status WriteAll(int fd, const char* data, std::size_t size) {
 
 /// Reads exactly `size` bytes.  `*eof` is set when the peer closed before
 /// the first byte (only meaningful on failure).
+/// Flips O_NONBLOCK on `fd`.
+Status SetFdNonBlocking(int fd, bool nonblocking) {
+  if (fd < 0) return Status::IOError("socket is closed");
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int want =
+      nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
 Status ReadAll(int fd, char* data, std::size_t size, bool* eof) {
   *eof = false;
   std::size_t got = 0;
@@ -139,6 +151,10 @@ void Connection::ShutdownBoth() {
   if (ok()) ::shutdown(fd_, SHUT_RDWR);
 }
 
+Status Connection::SetNonBlocking(bool nonblocking) {
+  return SetFdNonBlocking(fd_, nonblocking);
+}
+
 void Connection::Close() {
   if (ok()) {
     ::close(fd_);
@@ -216,6 +232,10 @@ Result<Connection> ListenSocket::Accept() {
 
 void ListenSocket::Shutdown() {
   if (ok()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status ListenSocket::SetNonBlocking(bool nonblocking) {
+  return SetFdNonBlocking(fd_, nonblocking);
 }
 
 void ListenSocket::Close() {

@@ -51,6 +51,14 @@ class Connection {
 
   void Close();
 
+  /// The raw descriptor (still owned by this Connection; -1 when closed).
+  /// The event loop registers it with epoll and does its own buffered
+  /// non-blocking I/O — SendFrame/RecvFrame are for blocking callers only.
+  int fd() const { return fd_; }
+
+  /// Switches the socket's O_NONBLOCK flag; IOError on fcntl failure.
+  Status SetNonBlocking(bool nonblocking);
+
  private:
   int fd_ = -1;
 };
@@ -82,6 +90,12 @@ class ListenSocket {
   void Shutdown();
 
   void Close();
+
+  /// The raw listening descriptor, for epoll registration (-1 when closed).
+  int fd() const { return fd_; }
+
+  /// Switches the listener's O_NONBLOCK flag (readiness-loop accepts).
+  Status SetNonBlocking(bool nonblocking);
 
  private:
   int fd_ = -1;

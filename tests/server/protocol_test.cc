@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,12 @@ TEST(ProtocolTest, HelloRoundTrip) {
   reply.point_count = 1000;
   reply.dataset_fingerprint = 0xDEADBEEF;
   reply.methods = {"ag", "privtree", "ug"};
+  reply.budget_total = 4.0;
+  reply.budget_spent = 0.5;
+  reply.datasets = {{"taxi", release::DatasetKind::kSpatial, 2, 1000,
+                     0xDEADBEEF},
+                    {"msnbc", release::DatasetKind::kSequence, 17, 500,
+                     0xFEEDFACE}};
   const std::string payload = EncodeHelloReply(reply);
   ASSERT_EQ(PeekType(payload).value(), MessageType::kHelloReply);
 
@@ -41,6 +48,15 @@ TEST(ProtocolTest, HelloRoundTrip) {
   EXPECT_EQ(decoded.point_count, 1000u);
   EXPECT_EQ(decoded.dataset_fingerprint, 0xDEADBEEFu);
   EXPECT_EQ(decoded.methods, reply.methods);
+  EXPECT_EQ(decoded.budget_total, 4.0);
+  EXPECT_EQ(decoded.budget_spent, 0.5);
+  ASSERT_EQ(decoded.datasets.size(), 2u);
+  EXPECT_EQ(decoded.datasets[0].name, "taxi");
+  EXPECT_EQ(decoded.datasets[0].fingerprint, 0xDEADBEEFu);
+  EXPECT_EQ(decoded.datasets[1].name, "msnbc");
+  EXPECT_EQ(decoded.datasets[1].kind, release::DatasetKind::kSequence);
+  EXPECT_EQ(decoded.datasets[1].dim, 17u);
+  EXPECT_EQ(decoded.datasets[1].point_count, 500u);
 
   HelloRequest request;
   ASSERT_TRUE(DecodeHello(EncodeHello(HelloRequest{}), &request).ok());
@@ -153,7 +169,7 @@ TEST(ProtocolTest, ErrorReplyCarriesEveryStatusCode) {
 
 TEST(ProtocolTest, TruncationAlwaysFailsCleanly) {
   const std::string payload = EncodeQueryBatch(
-      {SampleSpec(), 10, {Box({0.1, 0.2}, {0.3, 0.4})}});
+      {SampleSpec(), 10, 0, {Box({0.1, 0.2}, {0.3, 0.4})}});
   for (std::size_t cut = 0; cut < payload.size(); ++cut) {
     QueryBatchRequest decoded;
     EXPECT_FALSE(
@@ -209,6 +225,7 @@ TEST(ProtocolTest, HostileDimensionsAndCountsAreRejectedNotFatal) {
     w.F64(1.0);
     w.U64(0xC11);
     w.I64(0);
+    w.U64(0);  // Dataset fingerprint (v3): 0 = server default.
     w.U64(dim);
     w.U64(1);  // One claimed box.
     w.F64(0.0);
@@ -239,6 +256,7 @@ TEST(ProtocolTest, HostileWarmCountsAreRejectedNotFatal) {
   std::string payload;
   ByteWriter w(&payload);
   w.U32(static_cast<std::uint32_t>(MessageType::kWarm));
+  w.U64(0);  // Dataset fingerprint (v3).
   w.U64(67'000'000);
   payload.append(1024, '\0');  // Filler far short of the claimed specs.
   WarmRequest decoded;
@@ -282,6 +300,117 @@ TEST(ProtocolTest, UnparsableOptionsAreRejected) {
   spliced += raw.substr(method_end + 4);
   FitRequest decoded;
   EXPECT_FALSE(DecodeFit(spliced, &decoded).ok());
+}
+
+TEST(ProtocolTest, DatasetFingerprintRoundTripsOnEveryRequest) {
+  FitRequest fit{SampleSpec(), 100, 0xABCD};
+  FitRequest fit_decoded;
+  ASSERT_TRUE(DecodeFit(EncodeFit(fit), &fit_decoded).ok());
+  EXPECT_EQ(fit_decoded.dataset_fingerprint, 0xABCDu);
+
+  QueryBatchRequest qb{SampleSpec(), 0, 0x1234, {Box({0.0}, {1.0})}};
+  QueryBatchRequest qb_decoded;
+  ASSERT_TRUE(DecodeQueryBatch(EncodeQueryBatch(qb), &qb_decoded).ok());
+  EXPECT_EQ(qb_decoded.dataset_fingerprint, 0x1234u);
+
+  WarmRequest warm{0x5678, {SampleSpec()}};
+  WarmRequest warm_decoded;
+  ASSERT_TRUE(DecodeWarm(EncodeWarm(warm), &warm_decoded).ok());
+  EXPECT_EQ(warm_decoded.dataset_fingerprint, 0x5678u);
+}
+
+TEST(ProtocolTest, RegisterSpatialDatasetRoundTrip) {
+  RegisterDatasetRequest request;
+  request.name = "uploaded";
+  request.kind = release::DatasetKind::kSpatial;
+  request.dim = 2;
+  request.domain_lo = {0.0, -1.0};
+  request.domain_hi = {1.0, 1.0};
+  request.coords = {0.25, 0.5, 0.75, -0.5};
+  const std::string payload = EncodeRegisterDataset(request);
+  ASSERT_EQ(PeekType(payload).value(), MessageType::kRegisterDataset);
+
+  RegisterDatasetRequest decoded;
+  ASSERT_TRUE(DecodeRegisterDataset(payload, &decoded).ok());
+  EXPECT_EQ(decoded.name, "uploaded");
+  EXPECT_EQ(decoded.kind, release::DatasetKind::kSpatial);
+  EXPECT_EQ(decoded.dim, 2u);
+  EXPECT_EQ(decoded.domain_lo, request.domain_lo);
+  EXPECT_EQ(decoded.domain_hi, request.domain_hi);
+  EXPECT_EQ(decoded.coords, request.coords);
+
+  RegisterDatasetReply reply{0xFACE, 2};
+  RegisterDatasetReply reply_decoded;
+  ASSERT_TRUE(DecodeRegisterDatasetReply(EncodeRegisterDatasetReply(reply),
+                                         &reply_decoded)
+                  .ok());
+  EXPECT_EQ(reply_decoded.fingerprint, 0xFACEu);
+  EXPECT_EQ(reply_decoded.point_count, 2u);
+}
+
+TEST(ProtocolTest, RegisterSequenceDatasetRoundTrip) {
+  RegisterDatasetRequest request;
+  request.name = "clicks";
+  request.kind = release::DatasetKind::kSequence;
+  request.dim = 17;  // Alphabet size.
+  request.sequences = {{1, 2, 3}, {}, {16, 0}};
+  RegisterDatasetRequest decoded;
+  ASSERT_TRUE(
+      DecodeRegisterDataset(EncodeRegisterDataset(request), &decoded).ok());
+  EXPECT_EQ(decoded.kind, release::DatasetKind::kSequence);
+  EXPECT_EQ(decoded.dim, 17u);
+  EXPECT_EQ(decoded.sequences, request.sequences);
+}
+
+TEST(ProtocolTest, HostileRegisterDatasetIsRejectedNotFatal) {
+  // Inverted domain.
+  RegisterDatasetRequest bad;
+  bad.name = "d";
+  bad.dim = 1;
+  bad.domain_lo = {1.0};
+  bad.domain_hi = {0.0};
+  RegisterDatasetRequest decoded;
+  EXPECT_EQ(DecodeRegisterDataset(EncodeRegisterDataset(bad), &decoded)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // NaN domain bound (NaN fails the lo <= hi check by design).
+  bad.domain_lo = {std::numeric_limits<double>::quiet_NaN()};
+  bad.domain_hi = {1.0};
+  EXPECT_EQ(DecodeRegisterDataset(EncodeRegisterDataset(bad), &decoded)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Non-finite coordinate.
+  bad.domain_lo = {0.0};
+  bad.coords = {std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(DecodeRegisterDataset(EncodeRegisterDataset(bad), &decoded)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // A symbol outside the declared alphabet.
+  RegisterDatasetRequest seq;
+  seq.name = "s";
+  seq.kind = release::DatasetKind::kSequence;
+  seq.dim = 4;
+  seq.sequences = {{0, 1, 4}};  // 4 >= alphabet size 4.
+  EXPECT_EQ(DecodeRegisterDataset(EncodeRegisterDataset(seq), &decoded)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // A claimed point count far beyond the payload (allocation bomb).
+  std::string payload;
+  ByteWriter w(&payload);
+  w.U32(static_cast<std::uint32_t>(MessageType::kRegisterDataset));
+  w.Str("bomb");
+  w.U32(0);  // kSpatial.
+  w.U64(2);  // dim.
+  w.F64(0.0);
+  w.F64(0.0);
+  w.F64(1.0);
+  w.F64(1.0);
+  w.U64(std::uint64_t{1} << 58);  // Claimed points, no backing bytes.
+  EXPECT_FALSE(DecodeRegisterDataset(payload, &decoded).ok());
 }
 
 }  // namespace

@@ -25,9 +25,13 @@
 #include "serve/thread_pool.h"
 #include "server/async_engine.h"
 #include "server/client.h"
+#include "server/dataset_registry.h"
+#include "server/dispatcher.h"
 #include "server/protocol.h"
 #include "server/server_loop.h"
 #include "server/socket.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
 
 namespace privtree::server {
 namespace {
@@ -92,11 +96,14 @@ class SequenceServerFixture : public ::testing::Test {
     sequences_ = std::make_unique<SequenceDataset>(TestSequences());
     pool_ = std::make_unique<serve::ThreadPool>(4);
     cache_ = std::make_unique<serve::SynopsisCache>(32);
-    engine_ = std::make_unique<AsyncEngine>(release::Dataset(*sequences_),
-                                            *pool_, *cache_);
+    registry_ = std::make_unique<DatasetRegistry>(*pool_, *cache_);
+    auto registered =
+        registry_->Register("seq", release::Dataset(*sequences_));
+    ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+    dispatcher_ = std::make_unique<Dispatcher>(*registry_);
     auto listener = ListenSocket::Listen(0);
     ASSERT_TRUE(listener.ok()) << listener.status().ToString();
-    loop_ = std::make_unique<ServerLoop>(*engine_,
+    loop_ = std::make_unique<ServerLoop>(*dispatcher_,
                                          std::move(listener).value());
     port_ = loop_->port();
     serving_ = std::thread([this] { loop_->Run(); });
@@ -116,7 +123,8 @@ class SequenceServerFixture : public ::testing::Test {
   std::unique_ptr<SequenceDataset> sequences_;
   std::unique_ptr<serve::ThreadPool> pool_;
   std::unique_ptr<serve::SynopsisCache> cache_;
-  std::unique_ptr<AsyncEngine> engine_;
+  std::unique_ptr<DatasetRegistry> registry_;
+  std::unique_ptr<Dispatcher> dispatcher_;
   std::unique_ptr<ServerLoop> loop_;
   std::uint16_t port_ = 0;
   std::thread serving_;
@@ -128,7 +136,7 @@ TEST_F(SequenceServerFixture, HelloDescribesTheSequenceDataset) {
   EXPECT_EQ(client.info().dim, kAlphabet);  // Alphabet size.
   EXPECT_EQ(client.info().point_count, sequences_->size());
   EXPECT_EQ(client.info().dataset_fingerprint,
-            engine_->dataset_fingerprint());
+            registry_->default_fingerprint());
   // Only the methods this server can fit are advertised.
   EXPECT_EQ(client.info().methods,
             release::GlobalMethodRegistry().Names(

@@ -22,6 +22,8 @@
 #include "serve/thread_pool.h"
 #include "server/async_engine.h"
 #include "server/client.h"
+#include "server/dataset_registry.h"
+#include "server/dispatcher.h"
 #include "server/protocol.h"
 #include "server/server_loop.h"
 #include "server/socket.h"
@@ -58,11 +60,14 @@ class ServerFixture : public ::testing::Test {
     points_ = std::make_unique<PointSet>(TestPoints());
     pool_ = std::make_unique<serve::ThreadPool>(4);
     cache_ = std::make_unique<serve::SynopsisCache>(32);
-    engine_ = std::make_unique<AsyncEngine>(*points_, Box::UnitCube(2),
-                                            *pool_, *cache_);
+    registry_ = std::make_unique<DatasetRegistry>(*pool_, *cache_);
+    auto registered = registry_->Register(
+        "test", release::Dataset(*points_, Box::UnitCube(2)));
+    ASSERT_TRUE(registered.ok()) << registered.status().ToString();
+    dispatcher_ = std::make_unique<Dispatcher>(*registry_);
     auto listener = ListenSocket::Listen(0);
     ASSERT_TRUE(listener.ok()) << listener.status().ToString();
-    loop_ = std::make_unique<ServerLoop>(*engine_,
+    loop_ = std::make_unique<ServerLoop>(*dispatcher_,
                                          std::move(listener).value());
     port_ = loop_->port();
     serving_ = std::thread([this] { loop_->Run(); });
@@ -79,10 +84,14 @@ class ServerFixture : public ::testing::Test {
     return std::move(connected).value();
   }
 
+  /// The default tenant's engine (the only one in this fixture).
+  AsyncEngine& engine() { return *registry_->Find(0); }
+
   std::unique_ptr<PointSet> points_;
   std::unique_ptr<serve::ThreadPool> pool_;
   std::unique_ptr<serve::SynopsisCache> cache_;
-  std::unique_ptr<AsyncEngine> engine_;
+  std::unique_ptr<DatasetRegistry> registry_;
+  std::unique_ptr<Dispatcher> dispatcher_;
   std::unique_ptr<ServerLoop> loop_;
   std::uint16_t port_ = 0;
   std::thread serving_;
@@ -93,7 +102,10 @@ TEST_F(ServerFixture, HelloDescribesTheServedDataset) {
   EXPECT_EQ(client.info().dim, 2u);
   EXPECT_EQ(client.info().point_count, points_->size());
   EXPECT_EQ(client.info().dataset_fingerprint,
-            engine_->dataset_fingerprint());
+            registry_->default_fingerprint());
+  ASSERT_EQ(client.info().datasets.size(), 1u);
+  EXPECT_EQ(client.info().datasets[0].name, "test");
+  EXPECT_EQ(client.info().budget_total, 0.0);  // No budget configured.
   EXPECT_EQ(client.info().methods,
             release::GlobalMethodRegistry().Names(
                 release::DatasetKind::kSpatial));
@@ -150,7 +162,7 @@ TEST_F(ServerFixture, ConcurrentClientsShareOneCache) {
   EXPECT_EQ(failures.load(), 0);
   // All clients shared one cache: exactly one fit per method happened.
   EXPECT_EQ(cache_->stats().misses, 2u);
-  EXPECT_GE(cache_->stats().hits + engine_->Stats().admission.coalesced_fits,
+  EXPECT_GE(cache_->stats().hits + engine().Stats().admission.coalesced_fits,
             2u * (kClients - 1));
 }
 
