@@ -16,6 +16,14 @@
 //
 //   bench_table4_runtime [--threads=N] [--json[=PATH]] [--datasets=a,b,...]
 //                        [--queries=N] [--clients=N] [--loop=epoll|threads]
+//                        [--chaos]
+//
+// --chaos replaces the sweep with a resilience run: closed-loop resilient
+// clients drive one tenant over the epoll loop while the server loop is
+// restarted on the same port mid-run; every client must ride through the
+// restart transparently (0 failed requests, answers bit-for-bit identical
+// to the pre-restart reference).  Writes BENCH_chaos.json — recovery time,
+// retry/reconnect counts, error rate — and exits non-zero on any failure.
 //
 // The serving phase runs through the *real* serving path for every listed
 // dataset — a server::AsyncEngine (request queue + admission control +
@@ -857,6 +865,231 @@ SocketPerf RunSocketPhase(serve::ThreadPool& pool,
   return perf;
 }
 
+// ── Chaos phase (--chaos) ─────────────────────────────────────────────────
+//
+// A closed-loop resilience run instead of the Table-4 sweep: N resilient
+// server::Clients hammer one tenant over the epoll loop, the server loop is
+// torn down and restarted on the same port mid-run, and every client must
+// ride through the restart via its reconnect + retry discipline with zero
+// failed requests and answers bit-for-bit identical to the pre-restart
+// reference.  The committed BENCH_chaos.json tracks recovery time, retry
+// counts, and the error rate across PRs.
+
+struct ChaosPerf {
+  std::size_t clients = 0;
+  std::size_t rounds_per_phase = 0;   // Requests per client per phase.
+  std::size_t requests = 0;           // Completed request/reply pairs.
+  std::size_t failed = 0;             // Requests that exhausted retries.
+  std::size_t mismatches = 0;         // Served answers != reference bits.
+  std::uint64_t retries = 0;          // Summed client telemetry.
+  std::uint64_t reconnects = 0;
+  double recovery_millis = 0.0;       // Restart start -> first served reply.
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+  bool ok = false;
+};
+
+ChaosPerf RunChaosPhase(serve::ThreadPool& pool, const DatasetHolder& holder,
+                        std::size_t clients) {
+  ChaosPerf perf;
+  perf.clients = std::max<std::size_t>(2, std::min<std::size_t>(clients, 16));
+  perf.rounds_per_phase = 40;
+
+  server::DatasetRegistry registry(pool, serve::SharedSynopsisCache());
+  server::Dispatcher dispatcher(registry);
+  const auto fingerprint = registry.Register(holder.name, holder.View());
+  if (!fingerprint.ok()) {
+    std::fprintf(stderr, "error: chaos registering %s: %s\n",
+                 holder.name.c_str(),
+                 fingerprint.status().ToString().c_str());
+    return perf;
+  }
+  const server::FitSpec spec{holder.FitMethod(), holder.FitOptions(),
+                             /*epsilon=*/1.0, holder.FitSeed()};
+  Rng workload_rng(0xBA7C6);
+  const std::vector<Box> boxes =
+      GenerateRangeQueries(holder.spatial->domain, 16, kPaperBands[0],
+                           workload_rng);
+
+  auto listener = server::ListenSocket::Listen(0);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "error: chaos listen: %s\n",
+                 listener.status().ToString().c_str());
+    return perf;
+  }
+  const std::uint16_t port = listener.value().port();
+  auto loop = std::make_unique<server::EventLoop>(
+      dispatcher, std::move(listener).value());
+  std::thread serving([&loop] { (void)loop->Run(); });
+
+  server::ClientOptions options;
+  options.max_attempts = 10;
+  options.base_backoff_millis = 10;
+  options.max_backoff_millis = 500;
+
+  // The reference bits every later answer must reproduce exactly (the fit
+  // is deterministic in the spec, and the synopsis cache outlives the
+  // server-loop restart).
+  std::vector<double> reference;
+  {
+    auto warm = server::Client::Connect("127.0.0.1", port, options);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "error: chaos warm connect: %s\n",
+                   warm.status().ToString().c_str());
+      loop->Stop();
+      serving.join();
+      return perf;
+    }
+    warm.value().SelectDataset(fingerprint.value());
+    auto answers = warm.value().QueryBatch(spec, boxes);
+    if (!answers.ok()) {
+      std::fprintf(stderr, "error: chaos warm query: %s\n",
+                   answers.status().ToString().c_str());
+      loop->Stop();
+      serving.join();
+      return perf;
+    }
+    reference = std::move(answers).value();
+  }
+
+  // Two phases per worker with a barrier between: every client finishes
+  // phase 1, the server restarts while all of them hold live (now dead)
+  // connections, then phase 2 forces each one through reconnect + resend.
+  std::atomic<std::size_t> at_barrier{0};
+  std::atomic<bool> barrier_open{false};
+  std::atomic<std::size_t> requests{0}, failed{0}, mismatches{0};
+  std::atomic<std::uint64_t> retries{0}, reconnects{0};
+  const auto worker = [&](std::uint64_t index) {
+    server::ClientOptions worker_options = options;
+    worker_options.backoff_seed = 0xC4A05 + index;
+    auto connected = server::Client::Connect("127.0.0.1", port,
+                                             worker_options);
+    if (!connected.ok()) {
+      failed += 2 * perf.rounds_per_phase;
+      ++at_barrier;
+      return;
+    }
+    server::Client client = std::move(connected).value();
+    client.SelectDataset(fingerprint.value());
+    const auto run_phase = [&] {
+      for (std::size_t r = 0; r < perf.rounds_per_phase; ++r) {
+        auto answers = client.QueryBatch(spec, boxes);
+        ++requests;
+        if (!answers.ok()) {
+          ++failed;
+        } else if (answers.value() != reference) {
+          ++mismatches;
+        }
+      }
+    };
+    run_phase();
+    ++at_barrier;
+    while (!barrier_open.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    run_phase();
+    retries += client.telemetry().retries;
+    reconnects += client.telemetry().reconnects;
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < perf.clients; ++i) {
+    workers.emplace_back(worker, i);
+  }
+  while (at_barrier.load() < perf.clients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The restart: tear the loop down and bring a fresh one up on the same
+  // port.  Recovery time is restart initiation to the first served reply.
+  const auto restart_start = std::chrono::steady_clock::now();
+  loop->Stop();
+  serving.join();
+  auto relisten = server::ListenSocket::Listen(port);
+  if (!relisten.ok()) {
+    std::fprintf(stderr, "error: chaos re-listen: %s\n",
+                 relisten.status().ToString().c_str());
+    barrier_open.store(true, std::memory_order_release);
+    for (std::thread& t : workers) t.join();
+    return perf;
+  }
+  loop = std::make_unique<server::EventLoop>(dispatcher,
+                                             std::move(relisten).value());
+  serving = std::thread([&loop] { (void)loop->Run(); });
+  {
+    auto probe = server::Client::Connect("127.0.0.1", port, options);
+    if (probe.ok()) {
+      probe.value().SelectDataset(fingerprint.value());
+      auto answers = probe.value().QueryBatch(spec, boxes);
+      if (answers.ok()) {
+        perf.recovery_millis =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - restart_start)
+                .count();
+        if (answers.value() != reference) ++mismatches;
+      }
+    }
+    if (perf.recovery_millis == 0.0) {
+      std::fprintf(stderr, "error: chaos recovery probe never served\n");
+    }
+  }
+  barrier_open.store(true, std::memory_order_release);
+  for (std::thread& t : workers) t.join();
+  perf.wall_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+
+  loop->Stop();
+  serving.join();
+
+  perf.requests = requests.load();
+  perf.failed = failed.load();
+  perf.mismatches = mismatches.load();
+  perf.retries = retries.load();
+  perf.reconnects = reconnects.load();
+  perf.requests_per_second =
+      perf.wall_seconds > 0.0
+          ? static_cast<double>(perf.requests) / perf.wall_seconds
+          : 0.0;
+  perf.ok = perf.failed == 0 && perf.mismatches == 0 &&
+            perf.recovery_millis > 0.0 &&
+            perf.requests == 2 * perf.clients * perf.rounds_per_phase;
+  return perf;
+}
+
+void WriteChaosJson(const std::string& path, std::size_t threads,
+                    const std::string& dataset, const ChaosPerf& chaos) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return;
+  }
+  const double error_rate =
+      chaos.requests > 0
+          ? static_cast<double>(chaos.failed) /
+                static_cast<double>(chaos.requests)
+          : 1.0;
+  std::fprintf(
+      f,
+      "{\n  \"threads\": %zu,\n  \"dataset\": \"%s\",\n"
+      "  \"clients\": %zu,\n  \"rounds_per_phase\": %zu,\n"
+      "  \"server_restarts\": 1,\n  \"requests\": %zu,\n"
+      "  \"failed\": %zu,\n  \"error_rate\": %.6g,\n"
+      "  \"parity_mismatches\": %zu,\n  \"retries\": %llu,\n"
+      "  \"reconnects\": %llu,\n  \"recovery_millis\": %.6g,\n"
+      "  \"wall_seconds\": %.6g,\n  \"requests_per_second\": %.6g,\n"
+      "  \"ok\": %s\n}\n",
+      threads, dataset.c_str(), chaos.clients, chaos.rounds_per_phase,
+      chaos.requests, chaos.failed, error_rate, chaos.mismatches,
+      static_cast<unsigned long long>(chaos.retries),
+      static_cast<unsigned long long>(chaos.reconnects),
+      chaos.recovery_millis, chaos.wall_seconds, chaos.requests_per_second,
+      chaos.ok ? "true" : "false");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
 void WriteMethodsJson(std::FILE* f, const std::vector<MethodPerf>& methods) {
   for (std::size_t i = 0; i < methods.size(); ++i) {
     const MethodPerf& m = methods[i];
@@ -965,9 +1198,12 @@ int main(int argc, char** argv) {
                                        "beijing", "mooc", "msnbc"};
   std::size_t query_count = privtree::PaperScale() ? 10000 : 2000;
   std::size_t clients = 1;
+  bool chaos = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
+    if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<std::size_t>(
           std::atol(arg.c_str() + std::strlen("--threads=")));
     } else if (arg.rfind("--clients=", 0) == 0) {
@@ -1000,13 +1236,45 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--threads=N] [--json[=PATH]] "
                    "[--datasets=a,b,...] [--queries=N] [--clients=N] "
-                   "[--loop=epoll|threads]\n",
+                   "[--loop=epoll|threads] [--chaos]\n",
                    argv[0]);
       return 2;
     }
   }
   privtree::serve::SetDefaultThreadCount(threads);
   privtree::serve::ThreadPool pool(threads);
+
+  if (chaos) {
+    // Resilience run instead of the Table-4 sweep: restart the serving
+    // loop under closed-loop load and require zero failed requests.  The
+    // first listed spatial dataset carries the traffic.
+    std::string chaos_dataset;
+    for (const std::string& name : datasets) {
+      const DatasetHolder holder = privtree::bench::MakeDatasetHolder(name);
+      if (holder.kind != privtree::release::DatasetKind::kSpatial) continue;
+      chaos_dataset = name;
+      const privtree::bench::ChaosPerf perf =
+          privtree::bench::RunChaosPhase(pool, holder, clients);
+      std::printf(
+          "chaos: %zu clients x 2x%zu rounds across one server restart: "
+          "%zu requests, %zu failed, %zu parity mismatches,\n"
+          "       %llu retries, %llu reconnects, recovery %.1f ms, "
+          "%.0f req/s — %s\n",
+          perf.clients, perf.rounds_per_phase, perf.requests, perf.failed,
+          perf.mismatches, static_cast<unsigned long long>(perf.retries),
+          static_cast<unsigned long long>(perf.reconnects),
+          perf.recovery_millis, perf.requests_per_second,
+          perf.ok ? "survived transparently" : "FAILED");
+      if (json_path.empty() || json_path == "BENCH_table4.json") {
+        json_path = "BENCH_chaos.json";  // The committed chaos snapshot.
+      }
+      privtree::bench::WriteChaosJson(json_path, pool.worker_count(),
+                                      chaos_dataset, perf);
+      return perf.ok ? 0 : 1;
+    }
+    std::fprintf(stderr, "error: --chaos needs a spatial dataset\n");
+    return 2;
+  }
 
   std::printf(
       "Reproduction of Table 4 (PrivTree, SIGMOD 2016): PrivTree running\n"

@@ -487,6 +487,17 @@ bool ParseConnect(const std::string& arg, std::string* host,
   return true;
 }
 
+/// The CLI's remote calls ride the resilient client: a few retries with
+/// short backoff absorb transient resets and server restarts, while the
+/// client itself keeps non-idempotent frames (Shutdown) single-shot.
+privtree::server::ClientOptions ResilientClientOptions() {
+  privtree::server::ClientOptions options;
+  options.max_attempts = 4;
+  options.base_backoff_millis = 25;
+  options.max_backoff_millis = 1000;
+  return options;
+}
+
 /// Resolves a --dataset selector (tenant name, or a fingerprint in decimal
 /// or 0x-hex) against the Hello tenant table; false after a diagnostic.
 bool ResolveTenant(const privtree::server::HelloReply& info,
@@ -528,7 +539,8 @@ int RunRemoteQuery(int argc, char** argv) {
   const double epsilon = std::atof(argv[3]);
   if (epsilon <= 0.0) return Usage(argv[0]);
 
-  auto connected = privtree::server::Client::Connect(host, port);
+  auto connected = privtree::server::Client::Connect(host, port,
+                                                  ResilientClientOptions());
   if (!connected.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  connected.status().ToString().c_str());
@@ -601,7 +613,8 @@ int RunDatasets(int argc, char** argv) {
   std::string host;
   std::uint16_t port = 0;
   if (!ParseConnect(argv[2], &host, &port)) return 2;
-  auto connected = privtree::server::Client::Connect(host, port);
+  auto connected = privtree::server::Client::Connect(host, port,
+                                                  ResilientClientOptions());
   if (!connected.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  connected.status().ToString().c_str());
@@ -635,7 +648,8 @@ int RunShutdown(int argc, char** argv) {
   std::string host;
   std::uint16_t port = 0;
   if (!ParseConnect(argv[2], &host, &port)) return 2;
-  auto connected = privtree::server::Client::Connect(host, port);
+  auto connected = privtree::server::Client::Connect(host, port,
+                                                  ResilientClientOptions());
   if (!connected.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  connected.status().ToString().c_str());

@@ -1,0 +1,213 @@
+#include "core/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "core/byteio.h"
+
+namespace privtree::fault {
+
+namespace {
+
+/// Deterministic uniform in [0, 1) from (seed, point name, hit index):
+/// the same triple always fires or always passes, independent of thread
+/// interleaving elsewhere in the process.
+double FireDraw(std::uint64_t seed, std::string_view point,
+                std::uint64_t hit_index) {
+  std::uint64_t h = seed;
+  for (const char c : point) {
+    h = MixFingerprintWord(h, static_cast<unsigned char>(c));
+  }
+  h = MixFingerprintWord(h, point.size());
+  h = MixFingerprintWord(h, hit_index);
+  // Top 53 bits → [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Kind ParseKind(std::string_view text) {
+  if (text == "error") return Kind::kError;
+  if (text == "partial") return Kind::kPartialWrite;
+  if (text == "delay") return Kind::kDelay;
+  if (text == "reset") return Kind::kConnReset;
+  return Kind::kNone;
+}
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kError: return "error";
+    case Kind::kPartialWrite: return "partial";
+    case Kind::kDelay: return "delay";
+    case Kind::kConnReset: return "reset";
+  }
+  return "none";
+}
+
+bool Action::MaybeSleep() const {
+  if (kind != Kind::kDelay) return kind != Kind::kNone;
+  if (delay_millis > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_millis));
+  }
+  return false;  // A delay, once slept, is not a failure.
+}
+
+Status Action::ToStatus(std::string_view point) const {
+  return Status::IOError("injected " + std::string(KindName(kind)) +
+                         " fault at " + std::string(point));
+}
+
+Injector& Injector::Global() {
+  static Injector* injector = new Injector();  // Leaked: process lifetime.
+  return *injector;
+}
+
+Injector::Injector() {
+  if (const char* seed_text = std::getenv("PRIVTREE_FAULT_SEED")) {
+    seed_ = std::strtoull(seed_text, nullptr, 10);
+  }
+  if (const char* spec = std::getenv("PRIVTREE_FAULTS")) {
+    ArmFromSpec(spec);  // A malformed env spec arms nothing.
+  }
+}
+
+void Injector::Arm(PointSpec spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = points_.try_emplace(spec.point);
+  it->second = PointState{std::move(spec)};
+  armed_points_.store(points_.size(), std::memory_order_relaxed);
+}
+
+Status Injector::ArmFromSpec(std::string_view text) {
+  std::vector<PointSpec> parsed;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(';', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view item = text.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec needs <point>=<kind>: \"" +
+                                     std::string(item) + "\"");
+    }
+    PointSpec spec;
+    spec.point = std::string(item.substr(0, eq));
+    std::string_view rest = item.substr(eq + 1);
+    bool first = true;
+    while (!rest.empty()) {
+      std::size_t colon = rest.find(':');
+      if (colon == std::string_view::npos) colon = rest.size();
+      const std::string_view field = rest.substr(0, colon);
+      rest = colon < rest.size() ? rest.substr(colon + 1)
+                                 : std::string_view();
+      if (first) {
+        first = false;
+        spec.kind = ParseKind(field);
+        if (spec.kind == Kind::kNone) {
+          return Status::InvalidArgument("unknown fault kind \"" +
+                                         std::string(field) + "\"");
+        }
+        continue;
+      }
+      const std::size_t feq = field.find('=');
+      if (feq == std::string_view::npos) {
+        return Status::InvalidArgument("fault spec field needs k=v: \"" +
+                                       std::string(field) + "\"");
+      }
+      const std::string_view key = field.substr(0, feq);
+      const std::string value(field.substr(feq + 1));
+      char* parse_end = nullptr;
+      if (key == "p") {
+        spec.probability = std::strtod(value.c_str(), &parse_end);
+      } else if (key == "after") {
+        spec.after = std::strtoull(value.c_str(), &parse_end, 10);
+      } else if (key == "count") {
+        spec.max_triggers = std::strtoull(value.c_str(), &parse_end, 10);
+      } else if (key == "delay") {
+        spec.delay_millis =
+            static_cast<int>(std::strtol(value.c_str(), &parse_end, 10));
+      } else {
+        return Status::InvalidArgument("unknown fault spec field \"" +
+                                       std::string(key) + "\"");
+      }
+      if (parse_end == value.c_str() || *parse_end != '\0') {
+        return Status::InvalidArgument("bad fault spec value \"" + value +
+                                       "\" for " + std::string(key));
+      }
+    }
+    if (!(spec.probability >= 0.0 && spec.probability <= 1.0)) {
+      return Status::InvalidArgument("fault probability out of [0,1]");
+    }
+    parsed.push_back(std::move(spec));
+  }
+  for (PointSpec& spec : parsed) Arm(std::move(spec));
+  return Status::OK();
+}
+
+void Injector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return;
+  points_.erase(it);
+  armed_points_.store(points_.size(), std::memory_order_relaxed);
+}
+
+void Injector::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  points_.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+}
+
+void Injector::SetSeed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  seed_ = seed;
+}
+
+std::uint64_t Injector::seed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seed_;
+}
+
+Action Injector::Hit(std::string_view point) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return {};
+  PointState& state = it->second;
+  const std::uint64_t index = state.hits++;
+  if (index < state.spec.after) return {};
+  if (state.spec.max_triggers > 0 && state.fired >= state.spec.max_triggers) {
+    return {};
+  }
+  if (state.spec.probability < 1.0 &&
+      FireDraw(seed_, point, index) >= state.spec.probability) {
+    return {};
+  }
+  ++state.fired;
+  return {state.spec.kind, state.spec.delay_millis};
+}
+
+Injector::PointStats Injector::StatsFor(std::string_view point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return {};
+  return {it->second.hits, it->second.fired};
+}
+
+std::vector<std::pair<std::string, Injector::PointStats>>
+Injector::AllStats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, PointStats>> out;
+  out.reserve(points_.size());
+  for (const auto& [name, state] : points_) {
+    out.emplace_back(name, PointStats{state.hits, state.fired});
+  }
+  return out;
+}
+
+}  // namespace privtree::fault

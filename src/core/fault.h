@@ -1,0 +1,158 @@
+// Deterministic, seeded fault injection for chaos testing the serving stack.
+//
+// A *fault point* is a named site in production code (e.g. "spill.write",
+// "socket.send") that asks the global Injector, on every pass, whether an
+// injected fault should fire here.  Points are compiled to zero-cost no-ops
+// when PRIVTREE_NO_FAULT_INJECTION is defined; in the default build the
+// disarmed fast path is a single relaxed atomic load (no locks, no map
+// lookups), so leaving the hooks in release binaries costs nothing
+// measurable.
+//
+// Determinism is the whole design: whether hit #k of point P fires is a pure
+// function of (seed, P, k) — a SplitMix64 hash of the three, compared
+// against the armed probability — so a chaos run with a fixed seed injects
+// the *same* fault schedule every time, regardless of thread interleaving
+// (each point serializes its own hit counter).  Re-running a failing chaos
+// seed reproduces the failure.
+//
+// Arming is programmatic (Arm/Disarm/Reset, used by tests) or environmental:
+// the first use reads PRIVTREE_FAULTS, a ';'-separated list of specs
+//
+//   <point>=<kind>[:p=<prob>][:after=<n>][:count=<n>][:delay=<millis>]
+//
+// with kinds `error` (the site fails with an injected IOError), `partial`
+// (a write persists only a prefix), `delay` (the site sleeps), and `reset`
+// (a connection is torn down mid-operation), e.g.
+//
+//   PRIVTREE_FAULTS="spill.write=partial:count=1;socket.send=reset:p=0.01"
+//   PRIVTREE_FAULT_SEED=42
+//
+// Each site handles the kinds that make sense for it (a non-I/O site treats
+// `partial` like `error`); `delay` is uniform — call Action::MaybeSleep().
+#ifndef PRIVTREE_CORE_FAULT_H_
+#define PRIVTREE_CORE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dp/status.h"
+
+namespace privtree::fault {
+
+/// What an armed fault point does when it fires.
+enum class Kind : std::uint32_t {
+  kNone = 0,      ///< Not fired; proceed normally.
+  kError,         ///< Fail the operation with an injected IOError.
+  kPartialWrite,  ///< Persist/send only a prefix, then fail.
+  kDelay,         ///< Sleep `delay_millis`, then proceed normally.
+  kConnReset,     ///< Tear the connection down mid-operation.
+};
+
+/// Parses "error" / "partial" / "delay" / "reset"; kNone on anything else.
+Kind ParseKind(std::string_view text);
+const char* KindName(Kind kind);
+
+/// The verdict one pass over a fault point receives.
+struct Action {
+  Kind kind = Kind::kNone;
+  int delay_millis = 0;
+
+  /// True when a fault fired here.
+  explicit operator bool() const { return kind != Kind::kNone; }
+
+  /// Sleeps out a kDelay action (no-op for every other kind) and returns
+  /// true when the action still demands a failure (error/partial/reset).
+  bool MaybeSleep() const;
+
+  /// The canonical injected-failure Status for this action at `point`.
+  Status ToStatus(std::string_view point) const;
+};
+
+/// One armed fault point.
+struct PointSpec {
+  std::string point;             ///< Site name, e.g. "spill.write".
+  Kind kind = Kind::kError;
+  double probability = 1.0;      ///< Chance each eligible hit fires.
+  std::uint64_t after = 0;       ///< Skip the first `after` hits.
+  std::uint64_t max_triggers = 0;  ///< Stop after this many fires; 0 = ∞.
+  int delay_millis = 50;         ///< Sleep length for kDelay.
+};
+
+/// The process-wide fault registry.  All methods are thread-safe; the
+/// disarmed Hit fast path (via the PRIVTREE_FAULT macro) never locks.
+class Injector {
+ public:
+  struct PointStats {
+    std::uint64_t hits = 0;   ///< Times the site was passed while armed.
+    std::uint64_t fired = 0;  ///< Times a fault actually fired.
+  };
+
+  static Injector& Global();
+
+  /// Arms (or re-arms, resetting counters for) one point.
+  void Arm(PointSpec spec);
+
+  /// Parses and arms a ';'-separated PRIVTREE_FAULTS spec list; arms
+  /// nothing on a malformed spec.
+  Status ArmFromSpec(std::string_view text);
+
+  void Disarm(std::string_view point);
+
+  /// Disarms every point and zeroes all counters (test isolation).
+  void Reset();
+
+  /// Seeds the deterministic fire schedule (default 1; also read from
+  /// PRIVTREE_FAULT_SEED at first use).
+  void SetSeed(std::uint64_t seed);
+  std::uint64_t seed() const;
+
+  /// True when any point is armed — the macro's lock-free gate.
+  bool armed() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Evaluates one pass over `point`; called only when armed() (the macro
+  /// short-circuits otherwise, but calling it disarmed is just a no-op).
+  Action Hit(std::string_view point);
+
+  PointStats StatsFor(std::string_view point) const;
+  /// Every armed point with its counters (spec order not preserved).
+  std::vector<std::pair<std::string, PointStats>> AllStats() const;
+
+ private:
+  Injector();
+
+  struct PointState {
+    PointSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+
+  std::atomic<std::size_t> armed_points_{0};
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 1;
+  std::map<std::string, PointState, std::less<>> points_;
+};
+
+}  // namespace privtree::fault
+
+// The per-site hook.  Usage:
+//
+//   if (auto f = PRIVTREE_FAULT("socket.send"); f && f.MaybeSleep()) {
+//     return f.ToStatus("socket.send");
+//   }
+#ifdef PRIVTREE_NO_FAULT_INJECTION
+#define PRIVTREE_FAULT(point) (::privtree::fault::Action{})
+#else
+#define PRIVTREE_FAULT(point)                            \
+  (::privtree::fault::Injector::Global().armed()         \
+       ? ::privtree::fault::Injector::Global().Hit(point) \
+       : ::privtree::fault::Action{})
+#endif
+
+#endif  // PRIVTREE_CORE_FAULT_H_

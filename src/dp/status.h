@@ -6,6 +6,7 @@
 #ifndef PRIVTREE_DP_STATUS_H_
 #define PRIVTREE_DP_STATUS_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -62,6 +63,22 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Transient-error hint: how long the issuer suggests waiting before a
+  /// retry, in milliseconds (0 = no hint).  Carried across the wire on
+  /// ErrorReply frames; resilient clients pace their backoff with it.
+  std::uint64_t retry_after_millis() const { return retry_after_millis_; }
+
+  /// Attaches a retry-after hint (chainable on the factory results, e.g.
+  /// `Status::Unavailable("shed").WithRetryAfter(50)`).
+  Status&& WithRetryAfter(std::uint64_t millis) && {
+    retry_after_millis_ = millis;
+    return std::move(*this);
+  }
+  Status& WithRetryAfter(std::uint64_t millis) & {
+    retry_after_millis_ = millis;
+    return *this;
+  }
+
   /// Renders as e.g. "IOError: cannot open foo.csv"; "OK" when ok().
   std::string ToString() const;
 
@@ -71,6 +88,7 @@ class Status {
 
   StatusCode code_;
   std::string message_;
+  std::uint64_t retry_after_millis_ = 0;
 };
 
 /// Holds either a value of type T or an error Status.

@@ -93,9 +93,21 @@ Result<std::unique_ptr<Method>> LoadMethod(std::istream& in,
 /// As above, against the global registry.
 Result<std::unique_ptr<Method>> LoadMethod(std::istream& in);
 
-/// File-path convenience wrappers (binary mode, whole-file).
-Status SaveMethodToFile(const Method& method, const std::string& path);
+/// File-path convenience wrappers (binary mode, whole-file).  `durable`
+/// fsyncs the file before returning — the crash-safety contract the spill
+/// tier's temp-write + atomic-rename discipline needs (a rename can outlive
+/// an unsynced write in a crash, leaving a torn file under the final name).
+Status SaveMethodToFile(const Method& method, const std::string& path,
+                        bool durable = false);
 Result<std::unique_ptr<Method>> LoadMethodFromFile(const std::string& path);
+
+/// Cheap integrity probe of a synopsis file: magic, version, declared body
+/// size vs actual, and body checksum — no payload decode, no registry
+/// lookup.  OK means "worth loading"; any corruption (truncation, a torn
+/// tail, bit flips, zero length) yields the reason.  Legacy v1 text files
+/// pass on magic alone (they carry no checksum).  The spill tier's
+/// warm-restart scan quarantines files this rejects.
+Status ProbeSynopsisFile(const std::string& path);
 
 }  // namespace privtree::release
 

@@ -1,5 +1,8 @@
 #include "serve/synopsis_cache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -9,6 +12,7 @@
 #include <system_error>
 #include <vector>
 
+#include "core/fault.h"
 #include "dp/check.h"
 #include "release/registry.h"
 #include "release/serialization.h"
@@ -90,6 +94,27 @@ std::string SynopsisKeyFingerprint(const SynopsisKey& key) {
 namespace {
 
 constexpr std::string_view kSpillExtension = ".synopsis";
+constexpr std::string_view kQuarantineExtension = ".quarantined";
+
+/// Flushes a directory's entry table (the rename) to disk; best-effort —
+/// a failure here only weakens crash durability, never correctness.
+void SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Moves a corrupt spill file aside under `.quarantined` (evidence for
+/// operators, invisible to the scan); deletes it when even that fails.
+void QuarantineFile(const std::filesystem::path& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path aside = path;
+  aside += kQuarantineExtension;
+  fs::rename(path, aside, ec);
+  if (ec) fs::remove(path, ec);
+}
 
 }  // namespace
 
@@ -103,12 +128,30 @@ SynopsisCache::SynopsisCache(std::size_t capacity, SpillOptions spill)
   std::error_code ec;
   fs::create_directories(spill_.directory, ec);
   // Adopt files left by an earlier run (warm restart), oldest last so they
-  // are the first trimmed.
+  // are the first trimmed.  The scan validates before it adopts: a stale
+  // `.tmp` is a write the previous run never finished (deleted), and a
+  // file the envelope probe rejects — truncated, bit-flipped, zero-length
+  // — is quarantined, so a crash mid-spill can never poison serving; the
+  // key simply re-fits on its next miss.
   std::vector<std::pair<fs::file_time_type, std::string>> found;
   for (const auto& entry : fs::directory_iterator(spill_.directory, ec)) {
     if (!entry.is_regular_file(ec)) continue;
     const fs::path& p = entry.path();
+    if (p.extension() == ".tmp") {
+      std::error_code remove_ec;
+      fs::remove(p, remove_ec);
+      continue;
+    }
     if (p.extension() != kSpillExtension) continue;
+    if (const Status probed = release::ProbeSynopsisFile(p.string());
+        !probed.ok()) {
+      std::fprintf(stderr,
+                   "privtree: quarantining corrupt spill file %s (%s)\n",
+                   p.string().c_str(), probed.ToString().c_str());
+      QuarantineFile(p);
+      ++stats_.spill_quarantined;
+      continue;
+    }
     found.emplace_back(fs::last_write_time(p, ec), p.filename().string());
   }
   std::sort(found.begin(), found.end(),
@@ -169,17 +212,36 @@ void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
         continue;
       }
     }
-    // Write to a temp name and rename so a crash mid-write never leaves a
-    // torn file for a warm restart (or a shared spill dir) to adopt.
+    // Write to a temp name, fsync, and rename so a crash mid-write never
+    // leaves a torn file *under the final name* for a warm restart (or a
+    // shared spill dir) to adopt: an unsynced write can be reordered past
+    // the rename by the filesystem, so durability of the bytes must come
+    // before visibility of the name.
     const std::string path = SpillPathFor(file);
     const std::string tmp_path = path + ".tmp";
-    const Status saved = release::SaveMethodToFile(*method, tmp_path);
+    Status saved;
+    if (auto f = PRIVTREE_FAULT("spill.write"); f && f.MaybeSleep()) {
+      saved = f.ToStatus("spill.write");
+    } else {
+      saved = release::SaveMethodToFile(*method, tmp_path, /*durable=*/true);
+    }
     std::error_code ec;
-    if (saved.ok()) fs::rename(tmp_path, path, ec);
+    if (saved.ok()) {
+      fs::rename(tmp_path, path, ec);
+      if (!ec) SyncDirectory(spill_.directory);
+    }
 
     std::lock_guard<std::mutex> lk(mu_);
     if (!saved.ok() || ec) {
       ++stats_.spill_failures;  // E.g. a non-serializable test stub.
+      ++stats_.spill_write_failures;
+      if (logged_write_failures_.insert(file).second) {
+        std::fprintf(stderr,
+                     "privtree: spill write failed for %s (%s)\n",
+                     path.c_str(),
+                     saved.ok() ? ec.message().c_str()
+                                : saved.ToString().c_str());
+      }
       std::error_code cleanup_ec;
       fs::remove(tmp_path, cleanup_ec);
       continue;
@@ -312,8 +374,10 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
     ++stats_.spill_failures;
     if (spill_index_.erase(spill_file) > 0) {
       spill_lru_.remove(spill_file);
-      std::error_code ec;
-      std::filesystem::remove(SpillPathFor(spill_file), ec);
+      // Keep the corrupt bytes aside for diagnosis instead of destroying
+      // them; the fresh fit above replaces the entry either way.
+      QuarantineFile(SpillPathFor(spill_file));
+      ++stats_.spill_quarantined;
     }
   }
   if (capacity_ > 0) InsertLocked(key, value, &evicted);

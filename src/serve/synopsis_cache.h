@@ -122,6 +122,13 @@ class SynopsisCache {
     std::size_t spill_hits = 0;       ///< Misses served by rehydration.
     std::size_t spill_evictions = 0;  ///< Spill files deleted for capacity.
     std::size_t spill_failures = 0;   ///< Unserializable or corrupt spills.
+    /// Write-path failures specifically (serialize/rename errors on the
+    /// background writer or the evicting caller); also counted in
+    /// spill_failures.  Each failing key logs one stderr line, once.
+    std::size_t spill_write_failures = 0;
+    /// Corrupt envelopes quarantined (renamed to `.quarantined`) instead
+    /// of served: warm-restart scan rejects + runtime load failures.
+    std::size_t spill_quarantined = 0;
     /// Evictions enqueued for the background writer but not yet on disk
     /// (snapshot of the current backlog, not a cumulative count).
     std::size_t spill_pending = 0;
@@ -210,6 +217,9 @@ class SynopsisCache {
   /// set mirrors the list for O(log n) membership.
   std::list<std::string> spill_lru_;
   std::set<std::string> spill_index_;
+  /// Spill-file names whose write failure was already logged (satellite
+  /// contract: one stderr line per key, not one per retry).
+  std::set<std::string> logged_write_failures_;
   Stats stats_;
   /// Write-behind state: evictions queued for the writer, plus a key index
   /// over everything enqueued-or-being-written so a miss can be served from

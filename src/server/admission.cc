@@ -22,8 +22,9 @@ Status AdmissionController::AdmitFitLoad() {
     ++stats_.shed_cache_saturated;
   }
   return Status::Unavailable(
-      "cache spill writer saturated (" + std::to_string(pending) +
-      " pending writes); retry later");
+             "cache spill writer saturated (" + std::to_string(pending) +
+             " pending writes); retry later")
+      .WithRetryAfter(options_.retry_after_millis);
 }
 
 void AdmissionController::NoteAdmitted() {

@@ -23,6 +23,7 @@
 #define PRIVTREE_SERVER_ADMISSION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <mutex>
 
@@ -37,6 +38,9 @@ struct AdmissionOptions {
   /// Shed *fit* admissions while more than this many cache evictions await
   /// the background spill writer; 0 disables the check.
   std::size_t max_pending_spills = 128;
+  /// Retry-after hint attached to every shed Unavailable (milliseconds,
+  /// carried on the wire in ErrorReply); 0 sends no hint.
+  std::uint64_t retry_after_millis = 50;
 };
 
 class AdmissionController {

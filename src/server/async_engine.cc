@@ -1,15 +1,40 @@
 #include "server/async_engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "core/fault.h"
 #include "dp/check.h"
 #include "dp/rng.h"
 #include "release/options.h"
 #include "release/registry.h"
 
 namespace privtree::server {
+
+namespace {
+
+/// A Promise whose Set is idempotent: the watchdog and the (possibly still
+/// running) executor can race to settle one request, and only the first
+/// settle lands — Promise::Set itself must be called at most once.
+template <typename T>
+struct SettleOnce {
+  explicit SettleOnce(Promise<T> p) : promise(std::move(p)) {}
+
+  void Set(T value) {
+    if (!settled.exchange(true, std::memory_order_acq_rel)) {
+      promise.Set(std::move(value));
+    }
+  }
+
+  Promise<T> promise;
+  std::atomic<bool> settled{false};
+};
+
+}  // namespace
 
 AsyncEngine::AsyncEngine(release::Dataset data, serve::ThreadPool& pool,
                          serve::SynopsisCache& cache, EngineOptions options)
@@ -18,7 +43,12 @@ AsyncEngine::AsyncEngine(release::Dataset data, serve::ThreadPool& pool,
       cache_(cache),
       dataset_fingerprint_(data_.Fingerprint()),
       admission_(options.admission, &cache),
-      queue_(options.admission.max_queue_depth) {}
+      queue_(options.admission.max_queue_depth) {
+  if (options.watchdog_poll_millis > 0) {
+    watchdog_ = std::thread(&AsyncEngine::RunWatchdog, this,
+                            options.watchdog_poll_millis);
+  }
+}
 
 AsyncEngine::AsyncEngine(const PointSet& points, Box domain,
                          serve::ThreadPool& pool, serve::SynopsisCache& cache,
@@ -29,6 +59,52 @@ AsyncEngine::AsyncEngine(const PointSet& points, Box domain,
 AsyncEngine::~AsyncEngine() {
   // Queued requests capture `this`; do not let them outlive the engine.
   pool_.WaitIdle();
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(watch_mu_);
+      stop_watchdog_ = true;
+    }
+    watch_cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+std::uint64_t AsyncEngine::BeginWatch(DeadlineClock::time_point deadline,
+                                      std::function<void()> fail) {
+  if (!watchdog_.joinable() || deadline == kNoDeadline) return 0;
+  std::lock_guard<std::mutex> lk(watch_mu_);
+  const std::uint64_t id = ++next_watch_id_;
+  watched_.emplace(id, Watched{deadline, std::move(fail)});
+  return id;
+}
+
+void AsyncEngine::EndWatch(std::uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lk(watch_mu_);
+  watched_.erase(id);
+}
+
+void AsyncEngine::RunWatchdog(std::uint64_t poll_millis) {
+  std::unique_lock<std::mutex> lk(watch_mu_);
+  while (!stop_watchdog_) {
+    watch_cv_.wait_for(lk, std::chrono::milliseconds(poll_millis));
+    if (stop_watchdog_) return;
+    const DeadlineClock::time_point now = DeadlineClock::now();
+    std::vector<std::function<void()>> fired;
+    for (auto it = watched_.begin(); it != watched_.end();) {
+      if (now > it->second.deadline) {
+        fired.push_back(std::move(it->second.fail));
+        it = watched_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (fired.empty()) continue;
+    watchdog_fired_ += fired.size();
+    lk.unlock();  // Settling runs OnReady callbacks; never under watch_mu_.
+    for (const auto& fail : fired) fail();
+    lk.lock();
+  }
 }
 
 serve::FitJob AsyncEngine::JobFor(const FitSpec& spec) {
@@ -105,8 +181,9 @@ Status AsyncEngine::Enqueue(QueuedRequest& request, bool needs_fit) {
   if (!queue_.TryPush(request)) {
     admission_.NoteQueueFull();
     return Status::Unavailable(
-        "request queue full (" + std::to_string(queue_.max_depth()) +
-        " pending); retry later");
+               "request queue full (" + std::to_string(queue_.max_depth()) +
+               " pending); retry later")
+        .WithRetryAfter(admission_.options().retry_after_millis);
   }
   admission_.NoteAdmitted();
   pool_.Submit([this] { RunOne(); });
@@ -135,16 +212,30 @@ Future<FitResponse> AsyncEngine::SubmitFit(
   }
   const serve::SynopsisKey key = KeyFor(spec);
   admission_.BeginFit(key);
-  auto shared = std::make_shared<Promise<FitResponse>>(std::move(promise));
+  auto shared =
+      std::make_shared<SettleOnce<FitResponse>>(std::move(promise));
   QueuedRequest request;
   request.deadline = deadline;
   request.expire = [this, shared, key](Status status) {
     admission_.EndFit(key);
     shared->Set({std::move(status), {}, false});
   };
-  request.run = [this, shared, spec, key] {
+  request.run = [this, shared, spec, key, deadline] {
+    const std::uint64_t watch = BeginWatch(deadline, [shared] {
+      shared->Set({Status::DeadlineExceeded(
+                       "deadline passed while the fit was running"),
+                   {},
+                   false});
+    });
+    if (auto f = PRIVTREE_FAULT("engine.fit"); f && f.MaybeSleep()) {
+      EndWatch(watch);
+      admission_.EndFit(key);
+      shared->Set({f.ToStatus("engine.fit"), {}, false});
+      return;
+    }
     const serve::FitResult fitted = serve::FitSynopsis(
         data_, dataset_fingerprint_, JobFor(spec), &cache_);
+    EndWatch(watch);
     admission_.EndFit(key);
     shared->Set({Status::OK(), fitted.method->Metadata(), fitted.cache_hit});
   };
@@ -190,7 +281,7 @@ Future<QueryBatchResponse> AsyncEngine::SubmitQueryBatch(
   const bool needs_fit = cache_.Lookup(key) == nullptr;
   if (needs_fit) admission_.BeginFit(key);
   auto shared =
-      std::make_shared<Promise<QueryBatchResponse>>(std::move(promise));
+      std::make_shared<SettleOnce<QueryBatchResponse>>(std::move(promise));
   auto boxes = std::make_shared<std::vector<Box>>(std::move(queries));
   QueuedRequest request;
   request.deadline = deadline;
@@ -198,13 +289,26 @@ Future<QueryBatchResponse> AsyncEngine::SubmitQueryBatch(
     if (needs_fit) admission_.EndFit(key);
     shared->Set({std::move(status), {}, false});
   };
-  request.run = [this, shared, spec, key, needs_fit, boxes] {
+  request.run = [this, shared, spec, key, needs_fit, boxes, deadline] {
+    const std::uint64_t watch = BeginWatch(deadline, [shared] {
+      shared->Set({Status::DeadlineExceeded(
+                       "deadline passed while the request was running"),
+                   {},
+                   false});
+    });
+    if (auto f = PRIVTREE_FAULT("engine.fit"); f && f.MaybeSleep()) {
+      EndWatch(watch);
+      if (needs_fit) admission_.EndFit(key);
+      shared->Set({f.ToStatus("engine.fit"), {}, false});
+      return;
+    }
     const serve::FitResult fitted = serve::FitSynopsis(
         data_, dataset_fingerprint_, JobFor(spec), &cache_);
     if (needs_fit) admission_.EndFit(key);
     // The batch runs on this one pool task; concurrency comes from many
     // requests in flight, and a fitted Method is safe to query from any
     // number of them at once.
+    EndWatch(watch);
     shared->Set(
         {Status::OK(), fitted.method->QueryBatch(*boxes), fitted.cache_hit});
   };
@@ -243,7 +347,7 @@ Future<QueryBatchResponse> AsyncEngine::SubmitSeqQueryBatch(
   const bool needs_fit = cache_.Lookup(key) == nullptr;
   if (needs_fit) admission_.BeginFit(key);
   auto shared =
-      std::make_shared<Promise<QueryBatchResponse>>(std::move(promise));
+      std::make_shared<SettleOnce<QueryBatchResponse>>(std::move(promise));
   auto specs = std::make_shared<std::vector<release::SequenceQuery>>(
       std::move(queries));
   QueuedRequest request;
@@ -252,10 +356,23 @@ Future<QueryBatchResponse> AsyncEngine::SubmitSeqQueryBatch(
     if (needs_fit) admission_.EndFit(key);
     shared->Set({std::move(status), {}, false});
   };
-  request.run = [this, shared, spec, key, needs_fit, specs] {
+  request.run = [this, shared, spec, key, needs_fit, specs, deadline] {
+    const std::uint64_t watch = BeginWatch(deadline, [shared] {
+      shared->Set({Status::DeadlineExceeded(
+                       "deadline passed while the request was running"),
+                   {},
+                   false});
+    });
+    if (auto f = PRIVTREE_FAULT("engine.fit"); f && f.MaybeSleep()) {
+      EndWatch(watch);
+      if (needs_fit) admission_.EndFit(key);
+      shared->Set({f.ToStatus("engine.fit"), {}, false});
+      return;
+    }
     const serve::FitResult fitted = serve::FitSynopsis(
         data_, dataset_fingerprint_, JobFor(spec), &cache_);
     if (needs_fit) admission_.EndFit(key);
+    EndWatch(watch);
     shared->Set(
         {Status::OK(), fitted.method->QueryBatch(*specs), fitted.cache_hit});
   };
@@ -289,8 +406,13 @@ std::size_t AsyncEngine::Warm(std::span<const FitSpec> specs) {
 }
 
 AsyncEngine::StatsSnapshot AsyncEngine::Stats() const {
-  return {queue_.depth(), queue_.max_depth(), admission_.stats(),
-          cache_.stats()};
+  std::size_t watchdog_fired = 0;
+  {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    watchdog_fired = watchdog_fired_;
+  }
+  return {queue_.depth(), queue_.max_depth(), watchdog_fired,
+          admission_.stats(), cache_.stats()};
 }
 
 }  // namespace privtree::server

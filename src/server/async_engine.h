@@ -26,9 +26,14 @@
 #ifndef PRIVTREE_SERVER_ASYNC_ENGINE_H_
 #define PRIVTREE_SERVER_ASYNC_ENGINE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "dp/status.h"
@@ -49,6 +54,12 @@ namespace privtree::server {
 
 struct EngineOptions {
   AdmissionOptions admission;
+  /// Watchdog scan interval.  A request whose deadline passes while it is
+  /// *executing* (a stuck or fault-delayed fit) has its future settled with
+  /// DeadlineExceeded by a background watchdog thread instead of wedging
+  /// the caller's reply slot forever; the execution itself still runs to
+  /// completion (its late result is discarded).  0 disables the watchdog.
+  std::uint64_t watchdog_poll_millis = 50;
 };
 
 /// One engine per served dataset; safe to call from any number of threads.
@@ -59,6 +70,8 @@ class AsyncEngine {
   struct StatsSnapshot {
     std::size_t queue_depth = 0;
     std::size_t queue_max_depth = 0;
+    /// Running requests the watchdog failed with DeadlineExceeded.
+    std::size_t watchdog_fired = 0;
     AdmissionController::Stats admission;
     serve::SynopsisCache::Stats cache;
   };
@@ -136,6 +149,16 @@ class AsyncEngine {
   /// Pool task body: pop one request, expire or run it.
   void RunOne();
 
+  /// Registers an *executing* request with the watchdog: if `deadline`
+  /// passes before EndWatch, the watchdog runs `fail` (which settles the
+  /// request's promise with DeadlineExceeded; the promise wrapper makes a
+  /// later Set from the still-running executor a no-op).  Returns 0 (no
+  /// watch) when the watchdog is disabled or the deadline is kNoDeadline.
+  std::uint64_t BeginWatch(DeadlineClock::time_point deadline,
+                           std::function<void()> fail);
+  void EndWatch(std::uint64_t id);
+  void RunWatchdog(std::uint64_t poll_millis);
+
   /// Admission + enqueue for one fit-carrying request; on success schedules
   /// a pool task and returns OK.  On failure the caller resolves the future
   /// with the returned status.  `needs_fit` is false when the key is
@@ -148,6 +171,18 @@ class AsyncEngine {
   const std::uint64_t dataset_fingerprint_;
   AdmissionController admission_;
   RequestQueue queue_;
+
+  struct Watched {
+    DeadlineClock::time_point deadline;
+    std::function<void()> fail;
+  };
+  mutable std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  std::map<std::uint64_t, Watched> watched_;
+  std::uint64_t next_watch_id_ = 0;
+  std::size_t watchdog_fired_ = 0;
+  bool stop_watchdog_ = false;
+  std::thread watchdog_;
 };
 
 }  // namespace privtree::server

@@ -571,6 +571,7 @@ std::string EncodeErrorReply(const Status& status) {
   PutTag(w, MessageType::kErrorReply);
   w.U32(static_cast<std::uint32_t>(status.code()));
   w.Str(status.message());
+  w.U64(status.retry_after_millis());
   return out;
 }
 
@@ -578,45 +579,50 @@ Status DecodeErrorReply(std::string_view payload, Status* out) {
   ByteReader r(payload);
   std::uint32_t code = 0;
   std::string message;
+  std::uint64_t retry_after_millis = 0;
   if (!TakeTag(r, MessageType::kErrorReply) || !r.U32(&code) ||
-      !r.Str(&message)) {
+      !r.Str(&message) || !r.U64(&retry_after_millis)) {
     return Malformed("ErrorReply");
   }
   if (Status finished = Finish(r, "ErrorReply"); !finished.ok()) {
     return finished;
   }
+  // Reattach the hint after the code switch rebuilds the Status.
+  const auto with_hint = [&](Status carried) {
+    *out = std::move(carried).WithRetryAfter(retry_after_millis);
+  };
   switch (static_cast<StatusCode>(code)) {
     case StatusCode::kOk:
       // An ErrorReply can never legitimately carry OK; treating it as such
       // would let a misbehaving peer feed an OK Status into Result (which
       // aborts on OK-as-error).
-      *out = Status::Internal("ErrorReply carried an OK status code: " +
-                              message);
+      with_hint(Status::Internal("ErrorReply carried an OK status code: " +
+                                 message));
       return Status::OK();
     case StatusCode::kInvalidArgument:
-      *out = Status::InvalidArgument(std::move(message));
+      with_hint(Status::InvalidArgument(std::move(message)));
       return Status::OK();
     case StatusCode::kNotFound:
-      *out = Status::NotFound(std::move(message));
+      with_hint(Status::NotFound(std::move(message)));
       return Status::OK();
     case StatusCode::kIOError:
-      *out = Status::IOError(std::move(message));
+      with_hint(Status::IOError(std::move(message)));
       return Status::OK();
     case StatusCode::kOutOfRange:
-      *out = Status::OutOfRange(std::move(message));
+      with_hint(Status::OutOfRange(std::move(message)));
       return Status::OK();
     case StatusCode::kInternal:
-      *out = Status::Internal(std::move(message));
+      with_hint(Status::Internal(std::move(message)));
       return Status::OK();
     case StatusCode::kUnavailable:
-      *out = Status::Unavailable(std::move(message));
+      with_hint(Status::Unavailable(std::move(message)));
       return Status::OK();
     case StatusCode::kDeadlineExceeded:
-      *out = Status::DeadlineExceeded(std::move(message));
+      with_hint(Status::DeadlineExceeded(std::move(message)));
       return Status::OK();
   }
-  *out = Status::Internal("unknown wire status code " + std::to_string(code) +
-                          ": " + message);
+  with_hint(Status::Internal("unknown wire status code " +
+                             std::to_string(code) + ": " + message));
   return Status::OK();
 }
 

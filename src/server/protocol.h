@@ -53,7 +53,9 @@
 //   WarmReply        u64 accepted
 //   StatsReply       13 × u64 (see struct StatsReply)
 //   RegisterDatasetReply  u64 fingerprint, u64 record count
-//   ErrorReply       u32 status code (StatusCode), str message
+//   ErrorReply       u32 status code (StatusCode), str message,
+//                    u64 retry-after hint in milliseconds (0 = none; set on
+//                    Unavailable shed replies so clients pace their backoff)
 //
 // Every decoder is total: truncation, trailing bytes, a wrong tag, an
 // unparsable options string or an inverted box yields a Status error, never
@@ -81,7 +83,8 @@ namespace privtree::server {
 /// fit-carrying request (0 = the server's default dataset), the
 /// RegisterDataset upload frame, and per-connection session budget
 /// accounting surfaced in HelloReply.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// v4 added the ErrorReply retry-after hint (u64 milliseconds, 0 = none).
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 /// Upper bound on one frame payload (a sanity cap against a garbage length
 /// prefix, not a protocol limit).

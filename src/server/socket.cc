@@ -4,6 +4,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,6 +13,7 @@
 #include <utility>
 
 #include "core/byteio.h"
+#include "core/fault.h"
 #include "server/protocol.h"
 
 namespace privtree::server {
@@ -22,16 +24,34 @@ Status Errno(std::string_view what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
 }
 
-/// Writes all of `data`, absorbing short writes and EINTR.
+/// Writes all of `data`, absorbing short writes and EINTR.  EAGAIN — a
+/// send that blocked past SO_SNDTIMEO — surfaces as DeadlineExceeded.
 Status WriteAll(int fd, const char* data, std::size_t size) {
   while (size > 0) {
     const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("socket send timed out");
+      }
       return Errno("send");
     }
     data += n;
     size -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Applies SO_RCVTIMEO / SO_SNDTIMEO (`millis` 0 clears the bound).
+Status SetFdTimeout(int fd, int option, std::int64_t millis) {
+  if (fd < 0) return Status::IOError("socket is closed");
+  timeval tv{};
+  if (millis > 0) {
+    tv.tv_sec = static_cast<time_t>(millis / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((millis % 1000) * 1000);
+  }
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(timeout)");
   }
   return Status::OK();
 }
@@ -56,6 +76,11 @@ Status ReadAll(int fd, char* data, std::size_t size, bool* eof) {
     const ssize_t n = ::recv(fd, data + got, size - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: the clean, bounded-waiting failure Connect's
+        // half-open-server protection relies on.
+        return Status::DeadlineExceeded("socket read timed out");
+      }
       return Errno("recv");
     }
     if (n == 0) {
@@ -80,8 +105,40 @@ Connection& Connection::operator=(Connection&& other) noexcept {
   return *this;
 }
 
+namespace {
+
+/// Connects `fd` with a bounded wait: non-blocking connect, poll for
+/// writability, then read back SO_ERROR.  Restores blocking mode on
+/// success.
+Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t addrlen,
+                          std::int64_t timeout_millis) {
+  if (Status s = SetFdNonBlocking(fd, true); !s.ok()) return s;
+  if (::connect(fd, addr, addrlen) != 0) {
+    if (errno != EINPROGRESS) return Errno("connect");
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_millis));
+    if (ready < 0) return Errno("poll(connect)");
+    if (ready == 0) {
+      return Status::DeadlineExceeded("connect timed out after " +
+                                      std::to_string(timeout_millis) + "ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::IOError(std::string("connect: ") + std::strerror(err));
+    }
+  }
+  return SetFdNonBlocking(fd, false);
+}
+
+}  // namespace
+
 Result<Connection> Connection::Dial(const std::string& host,
-                                    std::uint16_t port) {
+                                    std::uint16_t port,
+                                    std::int64_t timeout_millis) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -99,17 +156,32 @@ Result<Connection> Connection::Dial(const std::string& host,
       last = Errno("socket");
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    Status connected =
+        timeout_millis > 0
+            ? ConnectWithTimeout(fd, ai->ai_addr, ai->ai_addrlen,
+                                 timeout_millis)
+            : (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0
+                   ? Status::OK()
+                   : Errno("connect " + host + ":" + service));
+    if (connected.ok()) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       ::freeaddrinfo(found);
       return Connection(fd);
     }
-    last = Errno("connect " + host + ":" + service);
+    last = std::move(connected);
     ::close(fd);
   }
   ::freeaddrinfo(found);
   return last;
+}
+
+Status Connection::SetRecvTimeout(std::int64_t millis) {
+  return SetFdTimeout(fd_, SO_RCVTIMEO, millis);
+}
+
+Status Connection::SetSendTimeout(std::int64_t millis) {
+  return SetFdTimeout(fd_, SO_SNDTIMEO, millis);
 }
 
 Status Connection::SendFrame(std::string_view payload) {
@@ -122,11 +194,29 @@ Status Connection::SendFrame(std::string_view payload) {
   ByteWriter w(&frame);
   w.U32(static_cast<std::uint32_t>(payload.size()));
   frame.append(payload);
+  // Chaos hooks: `partial` pushes a torn frame prefix then tears the
+  // connection down (the peer sees a mid-frame close), `reset` tears it
+  // down before any byte, `error` fails without touching the socket,
+  // `delay` just slows the write.
+  if (auto f = PRIVTREE_FAULT("socket.send"); f && f.MaybeSleep()) {
+    if (f.kind == fault::Kind::kPartialWrite && frame.size() > 1) {
+      (void)WriteAll(fd_, frame.data(), frame.size() / 2);
+    }
+    if (f.kind == fault::Kind::kPartialWrite ||
+        f.kind == fault::Kind::kConnReset) {
+      ShutdownBoth();
+    }
+    return f.ToStatus("socket.send");
+  }
   return WriteAll(fd_, frame.data(), frame.size());
 }
 
 Result<std::string> Connection::RecvFrame() {
   if (!ok()) return Status::IOError("connection is closed");
+  if (auto f = PRIVTREE_FAULT("socket.recv"); f && f.MaybeSleep()) {
+    if (f.kind == fault::Kind::kConnReset) ShutdownBoth();
+    return f.ToStatus("socket.recv");
+  }
   char prefix[4];
   bool eof = false;
   if (Status read = ReadAll(fd_, prefix, sizeof(prefix), &eof); !read.ok()) {

@@ -33,9 +33,19 @@ class Connection {
   Connection& operator=(const Connection&) = delete;
 
   /// Connects to `host`:`port` (name resolution via getaddrinfo).
-  static Result<Connection> Dial(const std::string& host, std::uint16_t port);
+  /// `timeout_millis` bounds the TCP connect (0 = block indefinitely); a
+  /// timed-out dial fails with DeadlineExceeded instead of hanging against
+  /// a half-open or blackholed peer.
+  static Result<Connection> Dial(const std::string& host, std::uint16_t port,
+                                 std::int64_t timeout_millis = 0);
 
   bool ok() const { return fd_ >= 0; }
+
+  /// Bounds every subsequent blocking read (SO_RCVTIMEO); a read that
+  /// exceeds it fails with DeadlineExceeded.  0 removes the bound.
+  Status SetRecvTimeout(std::int64_t millis);
+  /// Send-side counterpart (SO_SNDTIMEO).
+  Status SetSendTimeout(std::int64_t millis);
 
   /// Writes one length-prefixed frame; the payload must fit the protocol's
   /// kMaxFramePayload cap.

@@ -210,7 +210,7 @@ TEST_F(SynopsisCorruptionTest, EveryBitFlipFailsCleanly) {
 }
 
 TEST_F(SynopsisCorruptionTest, WrongMagicAndGarbageAreRejected) {
-  for (const std::string bytes :
+  for (const std::string& bytes :
        {std::string(), std::string("PRIVTSYM"), std::string("garbage"),
         std::string(200, '\0'), std::string(200, '\xff')}) {
     auto loaded = LoadFromString(bytes);

@@ -272,9 +272,25 @@ TEST(ProtocolTest, ErrorReplyWithOkCodeBecomesInternal) {
   w.U32(static_cast<std::uint32_t>(MessageType::kErrorReply));
   w.U32(0);  // StatusCode::kOk on the wire.
   w.Str("liar");
+  w.U64(0);  // Retry-after hint (v4).
   Status decoded;
   ASSERT_TRUE(DecodeErrorReply(payload, &decoded).ok());
   EXPECT_EQ(decoded.code(), StatusCode::kInternal);
+}
+
+TEST(ProtocolTest, ErrorReplyRoundTripsRetryAfterHint) {
+  Status shed = Status::Unavailable("queue full").WithRetryAfter(250);
+  Status decoded;
+  ASSERT_TRUE(DecodeErrorReply(EncodeErrorReply(shed), &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(decoded.retry_after_millis(), 250u);
+  // A v3-shaped frame (no trailing u64) is now malformed.
+  std::string payload;
+  ByteWriter w(&payload);
+  w.U32(static_cast<std::uint32_t>(MessageType::kErrorReply));
+  w.U32(static_cast<std::uint32_t>(StatusCode::kUnavailable));
+  w.Str("shed");
+  EXPECT_FALSE(DecodeErrorReply(payload, &decoded).ok());
 }
 
 TEST(ProtocolTest, UnparsableOptionsAreRejected) {
