@@ -16,7 +16,14 @@
 //
 //   bench_table4_runtime [--threads=N] [--json[=PATH]] [--datasets=a,b,...]
 //                        [--queries=N] [--clients=N] [--loop=epoll|threads]
-//                        [--chaos]
+//                        [--chaos] [--kernels[=PATH]]
+//
+// --kernels replaces the sweep with the compression/kernel microbench:
+// compressed (v3) vs raw (v2) envelope bytes and decode GB/s per backend,
+// batch-query throughput of the reference paths vs the flat scalar and
+// SIMD kernels, and a bit-for-bit parity gate over every compressed or
+// vectorized served answer (any divergence exits non-zero).  Writes
+// BENCH_kernels.json, the committed snapshot CI's smoke step checks.
 //
 // --chaos replaces the sweep with a resilience run: closed-loop resilient
 // clients drive one tenant over the epoll loop while the server loop is
@@ -70,7 +77,10 @@
 #include <cstring>
 #include <functional>
 #include <iterator>
+#include <memory>
 #include <optional>
+#include <span>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -78,10 +88,21 @@
 
 #include "bench/bench_common.h"
 #include "bench/bench_seq_common.h"
+#include "core/byteio.h"
+#include "core/codec.h"
+#include "core/simd.h"
+#include "core/tree.h"
 #include "eval/table.h"
+#include "eval/workload.h"
+#include "hist/ag.h"
+#include "hist/grid.h"
+#include "hist/grid_codec.h"
+#include "hist/grid_kernels.h"
 #include "release/dataset.h"
 #include "release/registry.h"
 #include "release/sequence_query.h"
+#include "release/serialization.h"
+#include "release/tree_batch.h"
 #include "serve/parallel_runner.h"
 #include "serve/thread_pool.h"
 #include "server/async_engine.h"
@@ -93,6 +114,8 @@
 #include "server/request.h"
 #include "server/server_loop.h"
 #include "server/socket.h"
+#include "spatial/serialization.h"
+#include "spatial/spatial_histogram.h"
 
 namespace privtree {
 namespace bench {
@@ -1175,9 +1198,495 @@ void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
       socket.p99_ms,
       static_cast<unsigned long long>(socket.peak_connections),
       socket.parity ? "true" : "false");
+  const serve::SynopsisCache::Stats cache = serve::SharedSynopsisCache().stats();
+  std::fprintf(
+      f,
+      "  , \"cache\": {\"resident_bytes\": %zu, \"spill_writes\": %zu, "
+      "\"spill_bytes_written\": %zu, \"spill_hits\": %zu, "
+      "\"spill_bytes_read\": %zu, \"spill_scan_bytes\": %zu}\n",
+      cache.resident_bytes, cache.spill_writes, cache.spill_bytes_written,
+      cache.spill_hits, cache.spill_bytes_read, cache.spill_scan_bytes);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+// ── --kernels: compression + batch-kernel microbench ───────────────────────
+//
+// Measures the v3 (compressed) synopsis envelopes against their transcoded
+// v2 (raw-payload) form, times envelope decode, and races the batch-query
+// kernels against their reference implementations — all under a
+// bit-for-bit parity gate: any divergence between compressed/vectorized
+// served answers and the originals fails the phase (exit 1).  Writes
+// BENCH_kernels.json, the committed snapshot CI's smoke step regenerates.
+
+/// Runs `body` repeatedly until the measurement is long enough to trust on
+/// a busy CI box; returns elapsed seconds and the rep count.
+double TimedReps(std::size_t* reps_out, const std::function<void()>& body) {
+  std::size_t reps = 0;
+  double elapsed = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  do {
+    body();
+    ++reps;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < 0.25 || reps < 3);
+  *reps_out = reps;
+  return elapsed;
+}
+
+struct KernelParity {
+  bool ok = true;
+  void Check(bool condition, const std::string& what) {
+    if (!condition) {
+      ok = false;
+      std::fprintf(stderr, "kernels: PARITY FAILURE: %s\n", what.c_str());
+    }
+  }
+};
+
+std::string SaveMethodToString(const release::Method& method) {
+  std::ostringstream out;
+  PRIVTREE_CHECK(method.Save(out).ok());
+  return std::move(out).str();
+}
+
+/// The v3 envelope pulled apart (header checked, body fields parsed,
+/// per-backend payload kept raw) so the kernel bench can re-wrap the same
+/// synopsis as a v2 envelope and compare sizes honestly.
+struct ParsedSynopsis {
+  release::MethodMetadata metadata;
+  std::string options_text;
+  std::string payload;
+};
+
+constexpr std::size_t kEnvelopeV3HeaderSize = 36;
+
+ParsedSynopsis ParseV3Envelope(const std::string& bytes) {
+  ParsedSynopsis parsed;
+  PRIVTREE_CHECK(bytes.size() >= kEnvelopeV3HeaderSize);
+  ByteReader body(std::string_view(bytes).substr(kEnvelopeV3HeaderSize));
+  std::uint64_t dim = 0, synopsis_size = 0;
+  std::int32_t height = 0;
+  PRIVTREE_CHECK(body.Str(&parsed.metadata.method));
+  PRIVTREE_CHECK(body.Str(&parsed.options_text));
+  PRIVTREE_CHECK(body.U64(&dim));
+  PRIVTREE_CHECK(body.F64(&parsed.metadata.epsilon_spent));
+  PRIVTREE_CHECK(body.U64(&synopsis_size));
+  PRIVTREE_CHECK(body.I32(&height));
+  parsed.metadata.dim = static_cast<std::size_t>(dim);
+  parsed.metadata.synopsis_size = static_cast<std::size_t>(synopsis_size);
+  parsed.metadata.height = height;
+  parsed.payload = bytes.substr(bytes.size() - body.remaining());
+  return parsed;
+}
+
+/// Re-encodes a v3 compressed payload as the raw v2 payload the previous
+/// format stored, through the public codecs.
+std::string TranscodePayloadToV2(const ParsedSynopsis& env) {
+  const std::string& name = env.metadata.method;
+  ByteReader in(env.payload);
+  std::string v2;
+  ByteWriter out(&v2);
+  if (name == "privtree" || name == "simpletree") {
+    DecompTree<SpatialCell> tree;
+    std::vector<double> counts;
+    PRIVTREE_CHECK(
+        ReadSpatialTreeBodyCompressed(in, env.metadata.dim, &tree, &counts)
+            .ok());
+    WriteSpatialTreeBody(out, tree, counts);
+  } else if (name == "kdtree") {
+    DecompTree<Box> tree;
+    std::vector<double> counts;
+    PRIVTREE_CHECK(
+        ReadBoxTreeBodyCompressed(in, env.metadata.dim, &tree, &counts).ok());
+    WriteBoxTreeBody(out, tree, counts);
+  } else if (name == "ag") {
+    auto grid = ReadAdaptiveGridBodyCompressed(in);
+    PRIVTREE_CHECK(grid.ok());
+    out.I64(grid.value().level1_granularity());
+    WriteBox(out, grid.value().domain());
+    out.F64Span(grid.value().level1_counts());
+    for (const GridHistogram& sub : grid.value().level2()) {
+      WriteGridHistogram(out, sub);
+    }
+  } else if (name == "pst_privtree" || name == "ngram") {
+    std::uint64_t n = 0;
+    std::string packed;
+    std::vector<NodeId> parents;
+    PRIVTREE_CHECK(in.U64(&n));
+    PRIVTREE_CHECK(in.Str(&packed));
+    PRIVTREE_CHECK(UnpackDeltaI32(packed, n, &parents));
+    out.U64(n);
+    if (name == "pst_privtree") {
+      const std::size_t beta = env.metadata.dim + 1;  // dim = alphabet size.
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::vector<double> hist;
+        PRIVTREE_CHECK(in.F64Vec(beta, &hist));
+        out.I32(parents[i]);
+        out.F64Span(hist);
+      }
+    } else {
+      std::vector<double> counts;
+      PRIVTREE_CHECK(in.F64Vec(n, &counts));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        out.I32(parents[i]);
+        out.F64(counts[i]);
+      }
+    }
+  } else {
+    // Grid-family payloads are unchanged in v3 (noisy doubles don't pack).
+    v2 = env.payload;
+    return v2;
+  }
+  PRIVTREE_CHECK(in.AtEnd());
+  return v2;
+}
+
+struct EnvelopeRow {
+  std::string method;
+  std::size_t v3_bytes = 0;
+  std::size_t v2_bytes = 0;
+  double decode_gbps = 0.0;
+};
+
+struct BatchRow {
+  std::string path;
+  std::size_t queries = 0;
+  double reference_qps = 0.0;
+  double scalar_qps = 0.0;  ///< 0 when the path has no separate scalar form.
+  double simd_qps = 0.0;    ///< The production kernel (simd where compiled).
+};
+
+int RunKernelPhase(std::string json_path) {
+  if (json_path.empty() || json_path == "BENCH_table4.json") {
+    json_path = "BENCH_kernels.json";  // The committed repo-root snapshot.
+  }
+  KernelParity parity;
+
+  // One skewed 2-d dataset for everything spatial (same shape the tests
+  // pin), one mildly-Markovian sequence set for the sequence envelopes.
+  const std::size_t point_count = privtree::PaperScale() ? 200000 : 40000;
+  Rng data_rng(0x5EED);
+  PointSet points(2);
+  {
+    std::vector<double> p(2);
+    for (std::size_t i = 0; i < point_count; ++i) {
+      p[0] = data_rng.NextDouble() * data_rng.NextDouble();
+      p[1] = data_rng.NextDouble();
+      points.Add(p);
+    }
+  }
+  const Box domain = Box::UnitCube(2);
+  SequenceDataset sequences(4);
+  {
+    Rng rng(0x5EC7E57);
+    std::vector<Symbol> s;
+    for (std::size_t i = 0; i < 1000; ++i) {
+      s.clear();
+      Symbol last = static_cast<Symbol>(rng.NextBounded(4));
+      for (std::size_t j = 0; j <= rng.NextBounded(13); ++j) {
+        last = static_cast<Symbol>(rng.NextDouble() < 0.6 ? last
+                                                          : rng.NextBounded(4));
+        s.push_back(last);
+      }
+      sequences.Add(s);
+    }
+    sequences = sequences.Truncate(12);
+  }
+
+  Rng query_rng(0xBEEF);
+  const std::size_t query_count = privtree::PaperScale() ? 20000 : 4000;
+  const std::vector<Box> queries =
+      GenerateRangeQueries(domain, query_count, kMediumQueries, query_rng);
+  std::vector<release::SequenceQuery> seq_queries;
+  seq_queries.push_back(release::SequenceQuery::Frequency({0}));
+  seq_queries.push_back(release::SequenceQuery::Frequency({1, 2}));
+  seq_queries.push_back(release::SequenceQuery::PrefixCount({0, 1}));
+  seq_queries.push_back(release::SequenceQuery::TopK(5, 3));
+
+  // Envelope sweep: size v3 vs v2, decode throughput, and the served-answer
+  // parity CI's smoke step relies on (compressed round-trip vs the fit).
+  struct EnvelopeCase {
+    std::string name;
+    release::MethodOptions options;
+  };
+  const std::vector<EnvelopeCase> cases = {
+      {"privtree", {}},        {"simpletree", {{"height", "6"}}},
+      {"kdtree", {}},          {"ag", {}},
+      {"ug", {}},              {"pst_privtree", {{"l_top", "12"}}},
+      {"ngram", {{"l_top", "12"}}},
+  };
+  std::vector<EnvelopeRow> envelope_rows;
+  std::uint64_t seed = 17;
+  for (const EnvelopeCase& c : cases) {
+    const auto& entry = release::GlobalMethodRegistry().Get(c.name);
+    const bool sequence_kind = entry.kind == release::DatasetKind::kSequence;
+    auto method = release::GlobalMethodRegistry().Create(c.name, c.options);
+    PrivacyBudget budget(1.0);
+    Rng rng(seed++);
+    if (sequence_kind) {
+      method->Fit(release::Dataset(sequences), budget, rng);
+    } else {
+      method->Fit(points, domain, budget, rng);
+    }
+
+    EnvelopeRow row;
+    row.method = c.name;
+    const std::string v3 = SaveMethodToString(*method);
+    row.v3_bytes = v3.size();
+    const ParsedSynopsis env = ParseV3Envelope(v3);
+    std::ostringstream v2_out;
+    PRIVTREE_CHECK(release::WriteSynopsis(v2_out, env.metadata,
+                                          env.options_text,
+                                          TranscodePayloadToV2(env),
+                                          release::kSynopsisFormatVersionV2)
+                       .ok());
+    row.v2_bytes = std::move(v2_out).str().size();
+
+    // Decode throughput over the compressed envelope.
+    std::size_t reps = 0;
+    std::shared_ptr<const release::Method> loaded;
+    const double secs = TimedReps(&reps, [&] {
+      std::istringstream in(v3);
+      auto result = release::LoadMethod(in);
+      PRIVTREE_CHECK(result.ok());
+      loaded = std::move(result.value());
+    });
+    row.decode_gbps =
+        static_cast<double>(v3.size()) * static_cast<double>(reps) / secs / 1e9;
+
+    // Compressed-vs-uncompressed served answers, bit for bit.
+    if (sequence_kind) {
+      const auto want = method->QueryBatch(std::span(seq_queries));
+      const auto got = loaded->QueryBatch(std::span(seq_queries));
+      parity.Check(want == got, c.name + ": loaded sequence answers diverge");
+    } else {
+      const auto want = method->QueryBatch(queries);
+      const auto got = loaded->QueryBatch(queries);
+      parity.Check(want == got, c.name + ": loaded answers diverge");
+    }
+    envelope_rows.push_back(row);
+  }
+
+  // Batch-kernel races.  Grid: reference vs flat scalar vs SIMD.
+  std::vector<BatchRow> batch_rows;
+  {
+    GridHistogram grid =
+        GridHistogram::FromPoints(points, domain, {256, 256});
+    Rng noise(0xF00D);
+    grid.AddLaplaceNoise(2.0, noise);
+    grid.BuildPrefixSums();
+    const Grid2DView view = grid.KernelView2D();
+    std::vector<double> scalar(queries.size()), simd(queries.size());
+    const std::vector<double> reference = grid.QueryBatchReference(queries);
+    GridQueryBatch2DScalar(view, queries, scalar.data());
+    GridQueryBatch2DSimd(view, queries, simd.data());
+    parity.Check(reference == scalar, "grid scalar kernel diverges");
+    parity.Check(reference == simd, "grid simd kernel diverges");
+    parity.Check(reference == grid.QueryBatch(queries),
+                 "grid QueryBatch diverges");
+
+    BatchRow row;
+    row.path = "grid_256x256";
+    row.queries = queries.size();
+    std::size_t reps = 0;
+    double secs = TimedReps(&reps, [&] { grid.QueryBatchReference(queries); });
+    row.reference_qps =
+        static_cast<double>(queries.size()) * static_cast<double>(reps) / secs;
+    secs = TimedReps(&reps,
+                     [&] { GridQueryBatch2DScalar(view, queries,
+                                                  scalar.data()); });
+    row.scalar_qps =
+        static_cast<double>(queries.size()) * static_cast<double>(reps) / secs;
+    secs = TimedReps(
+        &reps, [&] { GridQueryBatch2DSimd(view, queries, simd.data()); });
+    row.simd_qps =
+        static_cast<double>(queries.size()) * static_cast<double>(reps) / secs;
+    batch_rows.push_back(row);
+  }
+  // AG: the reference is the pre-kernel serving path — per query, every
+  // overlapped level-1 cell answered through the sub-grid's generic scalar
+  // code (GridHistogram::QueryReference), no summed-area table, no kernel
+  // views.  The scalar column is QueryBatchReference (SAT interior +
+  // GridHistogram::Query boundary, the parity oracle); the kernel column
+  // is QueryBatch.  The baseline sums cells in its own order, so it is
+  // timing-only; bitwise parity is checked oracle-vs-kernel.
+  {
+    Rng fit_rng(0xA6);
+    const AdaptiveGrid grid(points, domain, 1.0, {}, fit_rng);
+    const std::vector<double> reference = grid.QueryBatchReference(queries);
+    parity.Check(reference == grid.QueryBatch(queries),
+                 "ag QueryBatch diverges");
+    const std::int64_t m1 = grid.level1_granularity();
+    const Box& ag_domain = grid.domain();
+    std::vector<double> naive(queries.size());
+    const auto naive_batch = [&] {
+      for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        const Box& q = queries[qi];
+        std::int64_t lo_cell[2], hi_cell[2];
+        bool overlaps = true;
+        for (std::size_t j = 0; j < 2; ++j) {
+          const double width =
+              ag_domain.Width(j) / static_cast<double>(m1);
+          const double rel_lo = (q.lo(j) - ag_domain.lo(j)) / width;
+          const double rel_hi = (q.hi(j) - ag_domain.lo(j)) / width;
+          lo_cell[j] = std::clamp<std::int64_t>(
+              static_cast<std::int64_t>(std::floor(rel_lo)), 0, m1 - 1);
+          hi_cell[j] = std::clamp<std::int64_t>(
+              static_cast<std::int64_t>(std::ceil(rel_hi)) - 1, 0, m1 - 1);
+          if (rel_hi <= 0.0 || rel_lo >= static_cast<double>(m1)) {
+            overlaps = false;
+          }
+        }
+        double ans = 0.0;
+        if (overlaps) {
+          for (std::int64_t cx = lo_cell[0]; cx <= hi_cell[0]; ++cx) {
+            for (std::int64_t cy = lo_cell[1]; cy <= hi_cell[1]; ++cy) {
+              const GridHistogram& sub =
+                  grid.level2()[static_cast<std::size_t>(cx * m1 + cy)];
+              if (q.Intersects(sub.domain())) ans += sub.QueryReference(q);
+            }
+          }
+        }
+        naive[qi] = ans;
+      }
+    };
+    BatchRow row;
+    row.path = "ag_sat";
+    row.queries = queries.size();
+    std::size_t reps = 0;
+    double secs = TimedReps(&reps, naive_batch);
+    row.reference_qps =
+        static_cast<double>(queries.size()) * static_cast<double>(reps) / secs;
+    secs = TimedReps(&reps, [&] { grid.QueryBatchReference(queries); });
+    row.scalar_qps =
+        static_cast<double>(queries.size()) * static_cast<double>(reps) / secs;
+    secs = TimedReps(&reps, [&] { grid.QueryBatch(queries); });
+    row.simd_qps =
+        static_cast<double>(queries.size()) * static_cast<double>(reps) / secs;
+    batch_rows.push_back(row);
+  }
+  // Tree: the template sweep (reference) vs the SoA TreeBatchIndex.
+  {
+    Rng fit_rng(0x7EE);
+    const SpatialHistogram hist =
+        BuildPrivTreeHistogram(points, domain, 1.0, {}, fit_rng);
+    const auto box_of = [](const SpatialCell& c) -> const Box& {
+      return c.box;
+    };
+    const release::TreeBatchIndex index(hist.tree, hist.count, box_of);
+    const std::vector<double> reference = release::BatchQueryTree(
+        hist.tree, hist.count, std::span<const Box>(queries), box_of);
+    parity.Check(reference == index.Query(queries),
+                 "tree SoA batch index diverges");
+    BatchRow row;
+    row.path = "privtree_tree";
+    row.queries = queries.size();
+    std::size_t reps = 0;
+    double secs = TimedReps(&reps, [&] {
+      release::BatchQueryTree(hist.tree, hist.count,
+                              std::span<const Box>(queries), box_of);
+    });
+    row.reference_qps =
+        static_cast<double>(queries.size()) * static_cast<double>(reps) / secs;
+    secs = TimedReps(&reps, [&] { index.Query(queries); });
+    row.simd_qps =
+        static_cast<double>(queries.size()) * static_cast<double>(reps) / secs;
+    batch_rows.push_back(row);
+  }
+
+  // Console report.
+  std::printf("Kernel/compression microbench (%s kernels)\n",
+              privtree::SimdKernelName());
+  TablePrinter envelope_table(
+      "Synopsis envelopes: compressed (v3) vs raw (v2) bytes + decode",
+      "method", {"v3 bytes", "v2 bytes", "ratio", "decode GB/s"});
+  bool size_target_met = true;
+  for (const EnvelopeRow& row : envelope_rows) {
+    const double ratio = row.v3_bytes > 0 ? static_cast<double>(row.v2_bytes) /
+                                                static_cast<double>(row.v3_bytes)
+                                          : 0.0;
+    envelope_table.AddRow(row.method,
+                          {static_cast<double>(row.v3_bytes),
+                           static_cast<double>(row.v2_bytes), ratio,
+                           row.decode_gbps});
+    if ((row.method == "privtree" || row.method == "simpletree" ||
+         row.method == "kdtree") &&
+        row.v2_bytes < 2 * row.v3_bytes) {
+      size_target_met = false;
+    }
+  }
+  envelope_table.Print();
+  TablePrinter batch_table(
+      "Batch-query kernels: queries/second (reference vs kernels)", "path",
+      {"queries", "reference q/s", "scalar q/s", "kernel q/s", "speedup"});
+  bool throughput_target_met = true;
+  for (const BatchRow& row : batch_rows) {
+    const double speedup =
+        row.reference_qps > 0.0 ? row.simd_qps / row.reference_qps : 0.0;
+    batch_table.AddRow(row.path,
+                       {static_cast<double>(row.queries), row.reference_qps,
+                        row.scalar_qps, row.simd_qps, speedup});
+    if ((row.path == "grid_256x256" || row.path == "ag_sat") &&
+        speedup < 2.0) {
+      throughput_target_met = false;
+    }
+  }
+  batch_table.Print();
+  std::printf("parity (compressed + vectorized vs originals): %s\n",
+              parity.ok ? "bit-for-bit identical" : "MISMATCH");
+  std::printf("targets: tree envelopes >= 2x smaller: %s; grid/SAT batch "
+              ">= 2x faster: %s\n",
+              size_target_met ? "met" : "MISSED",
+              throughput_target_met ? "met" : "MISSED");
+
+  // JSON snapshot.
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"simd_kernel\": \"%s\",\n",
+               privtree::SimdKernelName());
+  std::fprintf(f, "  \"paper_scale\": %s,\n",
+               privtree::PaperScale() ? "true" : "false");
+  std::fprintf(f, "  \"envelopes\": [\n");
+  for (std::size_t i = 0; i < envelope_rows.size(); ++i) {
+    const EnvelopeRow& row = envelope_rows[i];
+    std::fprintf(
+        f,
+        "    {\"method\": \"%s\", \"v3_bytes\": %zu, \"v2_bytes\": %zu, "
+        "\"compression_ratio\": %.4g, \"decode_gbps\": %.4g}%s\n",
+        row.method.c_str(), row.v3_bytes, row.v2_bytes,
+        row.v3_bytes > 0 ? static_cast<double>(row.v2_bytes) /
+                               static_cast<double>(row.v3_bytes)
+                         : 0.0,
+        row.decode_gbps, i + 1 < envelope_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"batch_query\": [\n");
+  for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+    const BatchRow& row = batch_rows[i];
+    std::fprintf(
+        f,
+        "    {\"path\": \"%s\", \"queries\": %zu, \"reference_qps\": %.6g, "
+        "\"scalar_qps\": %.6g, \"kernel_qps\": %.6g, \"speedup\": %.4g}%s\n",
+        row.path.c_str(), row.queries, row.reference_qps, row.scalar_qps,
+        row.simd_qps,
+        row.reference_qps > 0.0 ? row.simd_qps / row.reference_qps : 0.0,
+        i + 1 < batch_rows.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"parity\": %s,\n  \"size_target_met\": %s,\n"
+               "  \"throughput_target_met\": %s\n}\n",
+               parity.ok ? "true" : "false",
+               size_target_met ? "true" : "false",
+               throughput_target_met ? "true" : "false");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return parity.ok ? 0 : 1;
 }
 
 }  // namespace
@@ -1199,10 +1708,16 @@ int main(int argc, char** argv) {
   std::size_t query_count = privtree::PaperScale() ? 10000 : 2000;
   std::size_t clients = 1;
   bool chaos = false;
+  bool kernels = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--chaos") {
       chaos = true;
+    } else if (arg == "--kernels") {
+      kernels = true;
+    } else if (arg.rfind("--kernels=", 0) == 0) {
+      kernels = true;
+      json_path = arg.substr(std::strlen("--kernels="));
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<std::size_t>(
           std::atol(arg.c_str() + std::strlen("--threads=")));
@@ -1236,13 +1751,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--threads=N] [--json[=PATH]] "
                    "[--datasets=a,b,...] [--queries=N] [--clients=N] "
-                   "[--loop=epoll|threads] [--chaos]\n",
+                   "[--loop=epoll|threads] [--chaos] [--kernels[=PATH]]\n",
                    argv[0]);
       return 2;
     }
   }
   privtree::serve::SetDefaultThreadCount(threads);
   privtree::serve::ThreadPool pool(threads);
+
+  if (kernels) {
+    // Compression + batch-kernel microbench instead of the Table-4 sweep:
+    // envelope sizes and decode rate, kernel races, bit-for-bit parity
+    // gate.  Writes BENCH_kernels.json (or the --kernels=PATH override).
+    return privtree::bench::RunKernelPhase(json_path);
+  }
 
   if (chaos) {
     // Resilience run instead of the Table-4 sweep: restart the serving

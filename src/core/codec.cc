@@ -1,0 +1,144 @@
+#include "core/codec.h"
+
+#include <algorithm>
+
+namespace privtree {
+
+namespace {
+
+constexpr std::size_t kBlock = 128;
+
+/// Bits needed to represent `v` (0 for v == 0).
+unsigned BitWidth32(std::uint32_t v) {
+  unsigned bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+/// Stored byte length class of a u64 under group varint: 1, 2, 4 or 8.
+unsigned VarintClass(std::uint64_t v) {
+  if (v < (std::uint64_t{1} << 8)) return 0;   // 1 byte
+  if (v < (std::uint64_t{1} << 16)) return 1;  // 2 bytes
+  if (v < (std::uint64_t{1} << 32)) return 2;  // 4 bytes
+  return 3;                                    // 8 bytes
+}
+
+constexpr unsigned kVarintBytes[4] = {1, 2, 4, 8};
+
+}  // namespace
+
+std::string PackDeltaI32(std::span<const std::int32_t> values) {
+  std::string out;
+  std::int32_t prev = 0;
+  std::size_t i = 0;
+  std::vector<std::uint32_t> zz(kBlock);
+  while (i < values.size()) {
+    const std::size_t count = std::min(kBlock, values.size() - i);
+    std::uint32_t max_zz = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+      // The delta is computed in unsigned arithmetic (wrap-around), so any
+      // int32 pair round-trips without UB; zigzag keeps small magnitudes
+      // small either way.
+      const std::uint32_t delta =
+          static_cast<std::uint32_t>(values[i + k]) -
+          static_cast<std::uint32_t>(prev);
+      zz[k] = ZigZag32(static_cast<std::int32_t>(delta));
+      max_zz = std::max(max_zz, zz[k]);
+      prev = values[i + k];
+    }
+    const unsigned width = BitWidth32(max_zz);
+    out.push_back(static_cast<char>(width));
+    BitWriter bits(&out);
+    if (width > 0) {
+      for (std::size_t k = 0; k < count; ++k) bits.Put(zz[k], width);
+    }
+    bits.Finish();
+    i += count;
+  }
+  return out;
+}
+
+bool UnpackDeltaI32(std::string_view packed, std::size_t n,
+                    std::vector<std::int32_t>* out) {
+  std::vector<std::int32_t> values;
+  values.reserve(n);
+  std::int32_t prev = 0;
+  std::size_t pos = 0;
+  while (values.size() < n) {
+    if (pos >= packed.size()) return false;
+    const unsigned width = static_cast<unsigned char>(packed[pos++]);
+    if (width > 32) return false;
+    const std::size_t count = std::min(kBlock, n - values.size());
+    const std::size_t bytes = (count * width + 7) / 8;
+    if (packed.size() - pos < bytes) return false;
+    BitReader bits(packed.substr(pos, bytes));
+    for (std::size_t k = 0; k < count; ++k) {
+      std::uint32_t zz = 0;
+      if (width > 0 && !bits.Get(width, &zz)) return false;
+      const std::uint32_t delta =
+          static_cast<std::uint32_t>(UnZigZag32(zz));
+      prev = static_cast<std::int32_t>(static_cast<std::uint32_t>(prev) +
+                                       delta);
+      values.push_back(prev);
+    }
+    pos += bytes;
+  }
+  if (pos != packed.size()) return false;  // Canonical: no trailing bytes.
+  *out = std::move(values);
+  return true;
+}
+
+std::string PackVarintGB(std::span<const std::uint64_t> values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); i += 4) {
+    const std::size_t count = std::min<std::size_t>(4, values.size() - i);
+    unsigned char control = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+      control |= static_cast<unsigned char>(VarintClass(values[i + k])
+                                            << (2 * k));
+    }
+    out.push_back(static_cast<char>(control));
+    for (std::size_t k = 0; k < count; ++k) {
+      const unsigned bytes = kVarintBytes[(control >> (2 * k)) & 3u];
+      std::uint64_t v = values[i + k];
+      for (unsigned b = 0; b < bytes; ++b) {
+        out.push_back(static_cast<char>(v & 0xffu));
+        v >>= 8;
+      }
+    }
+  }
+  return out;
+}
+
+bool UnpackVarintGB(std::string_view packed, std::size_t n,
+                    std::vector<std::uint64_t>* out) {
+  std::vector<std::uint64_t> values;
+  values.reserve(n);
+  std::size_t pos = 0;
+  while (values.size() < n) {
+    if (pos >= packed.size()) return false;
+    const unsigned char control = static_cast<unsigned char>(packed[pos++]);
+    const std::size_t count = std::min<std::size_t>(4, n - values.size());
+    // Unused control slots of the tail group must be zero (canonical form).
+    if (count < 4 && (control >> (2 * count)) != 0) return false;
+    for (std::size_t k = 0; k < count; ++k) {
+      const unsigned bytes = kVarintBytes[(control >> (2 * k)) & 3u];
+      if (packed.size() - pos < bytes) return false;
+      std::uint64_t v = 0;
+      for (unsigned b = 0; b < bytes; ++b) {
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(packed[pos++]))
+             << (8 * b);
+      }
+      values.push_back(v);
+    }
+  }
+  if (pos != packed.size()) return false;
+  *out = std::move(values);
+  return true;
+}
+
+}  // namespace privtree

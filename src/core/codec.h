@@ -1,0 +1,149 @@
+// Integer compression primitives for the synopsis envelope (format v3).
+//
+// The released synopses are mostly *structured* integers — tree parent
+// links (small non-negative deltas in id order), per-cell granularities,
+// quantized counts — and the PISA index-compression playbook (SIMD-BP128,
+// Lemire & Boytsov 2015; group varint) applies directly:
+//
+//  * PackDeltaI32 / UnpackDeltaI32 — delta + zigzag + block bit-packing.
+//    Values are delta-coded against their predecessor (v[-1] = 0), the
+//    signed deltas zigzag-mapped to unsigned, and packed in blocks of 128
+//    with one byte-width header per block (the scalar layout of SIMD-BP128:
+//    each block stores its max bit width b, then ceil(count·b/8) LSB-first
+//    bytes).  Tree parent arrays compress to well under a byte per node.
+//
+//  * PackVarintGB / UnpackVarintGB — group-varint over u64s: groups of 4
+//    values share one control byte whose 2-bit fields select a stored width
+//    of 1, 2, 4 or 8 bytes.  Used for quantized noisy counts (zigzagged
+//    integers) and per-cell granularity lists.
+//
+//  * BitWriter / BitReader — an LSB-first bit stream for the fixed-width
+//    side channels (the 2-bit box-bound codes of the compressed tree body).
+//
+// Every decoder is total: malformed input (truncation, an impossible bit
+// width, a lying element count) returns false and never reads out of
+// bounds, matching the ByteReader discipline the envelope loader builds on.
+// Encoding is canonical and deterministic, so byte-identical synopses
+// produce byte-identical envelopes.
+#ifndef PRIVTREE_CORE_CODEC_H_
+#define PRIVTREE_CORE_CODEC_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace privtree {
+
+/// Maps a signed value to unsigned so small magnitudes of either sign get
+/// small codes: 0,-1,1,-2,2... → 0,1,2,3,4...
+inline std::uint32_t ZigZag32(std::int32_t v) {
+  return (static_cast<std::uint32_t>(v) << 1) ^
+         static_cast<std::uint32_t>(v >> 31);
+}
+inline std::int32_t UnZigZag32(std::uint32_t v) {
+  return static_cast<std::int32_t>(v >> 1) ^
+         -static_cast<std::int32_t>(v & 1u);
+}
+inline std::uint64_t ZigZag64(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t UnZigZag64(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1u);
+}
+
+/// Delta + zigzag + 128-value block bit-packing of an int32 array.
+std::string PackDeltaI32(std::span<const std::int32_t> values);
+
+/// Inverse of PackDeltaI32 for a known element count.  `*out` is assigned
+/// exactly `n` values on success; any mismatch between `packed` and `n`
+/// (truncation, trailing bytes, a bit width over 32) fails cleanly.
+bool UnpackDeltaI32(std::string_view packed, std::size_t n,
+                    std::vector<std::int32_t>* out);
+
+/// Group-varint encoding of a u64 array (groups of 4, one control byte).
+std::string PackVarintGB(std::span<const std::uint64_t> values);
+
+/// Inverse of PackVarintGB for a known element count; total like
+/// UnpackDeltaI32.
+bool UnpackVarintGB(std::string_view packed, std::size_t n,
+                    std::vector<std::uint64_t>* out);
+
+/// Appends fixed-width little bit fields to a byte string, LSB first.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  /// Appends the low `bits` bits of `v` (bits <= 32).
+  void Put(std::uint32_t v, unsigned bits) {
+    acc_ |= static_cast<std::uint64_t>(v & ((bits < 32 ? (1u << bits) : 0u) - 1u))
+            << filled_;
+    filled_ += bits;
+    while (filled_ >= 8) {
+      out_->push_back(static_cast<char>(acc_ & 0xffu));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Flushes a trailing partial byte (zero-padded).  Call exactly once.
+  void Finish() {
+    if (filled_ > 0) {
+      out_->push_back(static_cast<char>(acc_ & 0xffu));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  std::string* out_;
+  std::uint64_t acc_ = 0;
+  unsigned filled_ = 0;
+};
+
+/// Consumes the BitWriter stream; Get returns false on underflow.
+class BitReader {
+ public:
+  explicit BitReader(std::string_view data) : data_(data) {}
+
+  bool Get(unsigned bits, std::uint32_t* v) {
+    while (filled_ < bits) {
+      if (pos_ >= data_.size()) return false;
+      acc_ |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(data_[pos_++]))
+              << filled_;
+      filled_ += 8;
+    }
+    *v = static_cast<std::uint32_t>(
+        acc_ & ((bits < 32 ? (std::uint64_t{1} << bits) : 0x100000000ULL) - 1));
+    acc_ >>= bits;
+    filled_ -= bits;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned filled_ = 0;
+};
+
+/// Snaps a released count to the nearest multiple of `quantum` (the opt-in
+/// `count_quantum` MethodOptions knob).  Identity for quantum <= 0,
+/// non-finite counts, or magnitudes whose multiple index leaves the exact
+/// double-integer range — so the result is always either exact-on-grid or
+/// the untouched input, and the envelope codec can verify which.
+inline double QuantizeCount(double count, double quantum) {
+  if (!(quantum > 0.0) || !std::isfinite(count)) return count;
+  const double k = std::nearbyint(count / quantum);
+  if (!(std::fabs(k) < 9007199254740992.0)) return count;  // 2^53
+  return k * quantum;
+}
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_CORE_CODEC_H_

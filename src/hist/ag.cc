@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "dp/check.h"
 #include "dp/distributions.h"
@@ -91,6 +92,10 @@ AdaptiveGrid::AdaptiveGrid(const PointSet& points, const Box& domain,
     cell_totals[i] = level2_[i].Total();
   }
   cell_total_sat_ = SummedAreaTable2D(cell_totals, m1_, m1_);
+  level2_view_.reserve(level2_.size());
+  for (const GridHistogram& sub : level2_) {
+    level2_view_.push_back(sub.KernelView2D());
+  }
 }
 
 AdaptiveGrid::AdaptiveGrid(Box domain, std::int64_t m1,
@@ -110,6 +115,10 @@ AdaptiveGrid::AdaptiveGrid(Box domain, std::int64_t m1,
     cell_totals[i] = level2_[i].Total();
   }
   cell_total_sat_ = SummedAreaTable2D(cell_totals, m1_, m1_);
+  level2_view_.reserve(level2_.size());
+  for (const GridHistogram& sub : level2_) {
+    level2_view_.push_back(sub.KernelView2D());
+  }
 }
 
 namespace {
@@ -162,6 +171,46 @@ std::vector<double> AdaptiveGrid::QueryBatch(
     // Cells strictly inside the overlapped range are fully covered by q
     // (their boundaries lie beyond q's projection onto the edge cells), so
     // the summed-area table answers all of them at once.
+    double ans = cell_total_sat_.RectSum(lo_cell[0] + 1, lo_cell[1] + 1,
+                                         hi_cell[0], hi_cell[1]);
+    // Boundary cells run on the flat kernel views.  The intersection test
+    // replicates Box::Intersects on the view's domain scalars, and
+    // GridQueryOne2D is bit-for-bit GridHistogram::Query — with the
+    // domain-edge coordinate shortcuts, every side of a boundary cell that
+    // q fully covers resolves without a division.
+    const auto visit = [&](std::int64_t cx, std::int64_t cy) {
+      const Grid2DView& sub =
+          level2_view_[static_cast<std::size_t>(cx * m1_ + cy)];
+      if (std::min(q.hi(0), sub.dhi0) <= std::max(q.lo(0), sub.dlo0)) return;
+      if (std::min(q.hi(1), sub.dhi1) <= std::max(q.lo(1), sub.dlo1)) return;
+      ans += GridQueryOne2D(sub, q);
+    };
+    for (std::int64_t cx = lo_cell[0]; cx <= hi_cell[0]; ++cx) {
+      if (cx == lo_cell[0] || cx == hi_cell[0]) {
+        for (std::int64_t cy = lo_cell[1]; cy <= hi_cell[1]; ++cy) {
+          visit(cx, cy);
+        }
+      } else {
+        visit(cx, lo_cell[1]);
+        if (hi_cell[1] != lo_cell[1]) visit(cx, hi_cell[1]);
+      }
+    }
+    answers.push_back(ans);
+  }
+  return answers;
+}
+
+std::vector<double> AdaptiveGrid::QueryBatchReference(
+    std::span<const Box> queries) const {
+  std::vector<double> answers;
+  answers.reserve(queries.size());
+  for (const Box& q : queries) {
+    PRIVTREE_CHECK_EQ(q.dim(), 2u);
+    std::int64_t lo_cell[2], hi_cell[2];
+    if (!OverlappedCells(domain_, m1_, q, lo_cell, hi_cell)) {
+      answers.push_back(0.0);
+      continue;
+    }
     double ans = cell_total_sat_.RectSum(lo_cell[0] + 1, lo_cell[1] + 1,
                                          hi_cell[0], hi_cell[1]);
     const auto visit = [&](std::int64_t cx, std::int64_t cy) {

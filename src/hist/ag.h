@@ -55,9 +55,16 @@ class AdaptiveGrid {
   /// Answers many boxes at once.  Per query, the level-1 cells strictly
   /// inside the range are summed through a summed-area table of sub-grid
   /// totals in O(1) — Query iterates every overlapped cell — and only the
-  /// O(perimeter) boundary cells fall back to per-sub-grid evaluation.
-  /// Answers agree with Query up to floating-point summation order.
+  /// O(perimeter) boundary cells fall back to per-sub-grid evaluation,
+  /// which runs on precomputed flat kernel views (hist/grid_kernels.h)
+  /// instead of re-entering GridHistogram::Query.  Answers agree with
+  /// Query up to floating-point summation order and are bit-for-bit equal
+  /// to QueryBatchReference.
   std::vector<double> QueryBatch(std::span<const Box> queries) const;
+
+  /// The pre-kernel batch path (SAT interior + GridHistogram::Query on the
+  /// boundary cells), kept as the parity oracle for QueryBatch.
+  std::vector<double> QueryBatchReference(std::span<const Box> queries) const;
 
   /// Level-1 granularity per dimension.
   std::int64_t level1_granularity() const { return m1_; }
@@ -76,6 +83,9 @@ class AdaptiveGrid {
   std::vector<double> level1_count_;
   /// One sub-grid per level-1 cell (granularity may be 1 = no refinement).
   std::vector<GridHistogram> level2_;
+  /// Flat kernel view of every sub-grid, precomputed once per fit/restore
+  /// so the batched boundary path touches no vectors or contract checks.
+  std::vector<Grid2DView> level2_view_;
   /// Summed-area table of the (constrained) sub-grid totals, for the
   /// fully-covered interior of batched queries.
   SummedAreaTable2D cell_total_sat_;

@@ -182,10 +182,27 @@ double GridHistogram::Query(const Box& q) const {
   PRIVTREE_CHECK(prefix_valid_);
   PRIVTREE_CHECK_EQ(q.dim(), dim());
   PRIVTREE_CHECK_LE(dim(), 8u);
+  if (dim() == 2) return GridQueryOne2D(KernelView2D(), q);
   return QueryImpl(q);
 }
 
 std::vector<double> GridHistogram::QueryBatch(
+    std::span<const Box> queries) const {
+  PRIVTREE_CHECK(prefix_valid_);
+  PRIVTREE_CHECK_LE(dim(), 8u);
+  std::vector<double> answers(queries.size(), 0.0);
+  for (const Box& q : queries) PRIVTREE_CHECK_EQ(q.dim(), dim());
+  if (dim() == 2) {
+    GridQueryBatch2DSimd(KernelView2D(), queries, answers.data());
+    return answers;
+  }
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    answers[i] = QueryImpl(queries[i]);
+  }
+  return answers;
+}
+
+std::vector<double> GridHistogram::QueryBatchReference(
     std::span<const Box> queries) const {
   PRIVTREE_CHECK(prefix_valid_);
   PRIVTREE_CHECK_LE(dim(), 8u);
@@ -196,6 +213,30 @@ std::vector<double> GridHistogram::QueryBatch(
     answers.push_back(QueryImpl(q));
   }
   return answers;
+}
+
+double GridHistogram::QueryReference(const Box& q) const {
+  PRIVTREE_CHECK(prefix_valid_);
+  PRIVTREE_CHECK_EQ(q.dim(), dim());
+  PRIVTREE_CHECK_LE(dim(), 8u);
+  return QueryImpl(q);
+}
+
+Grid2DView GridHistogram::KernelView2D() const {
+  PRIVTREE_CHECK(prefix_valid_);
+  PRIVTREE_CHECK_EQ(dim(), 2u);
+  Grid2DView view;
+  view.prefix = prefix_.data();
+  view.stride0 = lattice_stride_[0];
+  view.m0d = static_cast<double>(cells_per_dim_[0]);
+  view.m1d = static_cast<double>(cells_per_dim_[1]);
+  view.dlo0 = domain_.lo(0);
+  view.dlo1 = domain_.lo(1);
+  view.dhi0 = domain_.hi(0);
+  view.dhi1 = domain_.hi(1);
+  view.w0 = domain_.Width(0);
+  view.w1 = domain_.Width(1);
+  return view;
 }
 
 double GridHistogram::Total() const {

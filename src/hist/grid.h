@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dp/rng.h"
+#include "hist/grid_kernels.h"
 #include "spatial/box.h"
 #include "spatial/point_set.h"
 
@@ -60,8 +61,22 @@ class GridHistogram {
   double Query(const Box& q) const;
 
   /// Answers many boxes in one allocation-free pass over the query list;
-  /// each answer is bit-for-bit identical to Query on the same box.
+  /// each answer is bit-for-bit identical to Query on the same box.  On 2-d
+  /// grids this runs the vectorized kernel (hist/grid_kernels.h).
   std::vector<double> QueryBatch(std::span<const Box> queries) const;
+
+  /// The original generic-dimension batch path, kept as the parity oracle
+  /// for the specialized kernels (tests compare the two bit-for-bit).
+  std::vector<double> QueryBatchReference(std::span<const Box> queries) const;
+
+  /// One query through the generic-dimension path (the pre-kernel scalar
+  /// code), bit-for-bit equal to Query.  For parity tests and baseline
+  /// timings; serving goes through Query/QueryBatch.
+  double QueryReference(const Box& q) const;
+
+  /// Flat kernel view of a 2-d grid (requires dim() == 2 and a valid prefix
+  /// lattice); valid while this histogram is alive and unmodified.
+  Grid2DView KernelView2D() const;
 
   /// Sum of all cell counts.
   double Total() const;

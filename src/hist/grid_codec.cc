@@ -1,11 +1,14 @@
 #include "hist/grid_codec.h"
 
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/codec.h"
 #include "spatial/serialization.h"
 
 namespace privtree {
@@ -48,6 +51,126 @@ Result<GridHistogram> ReadGridHistogram(ByteReader& in, std::size_t dim) {
   }
   grid.BuildPrefixSums();
   return grid;
+}
+
+namespace {
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// The level-1 cell box, mirroring GridHistogram::CellBox operand for
+/// operand on an m1 × m1 lattice over `domain`, so implicit sub-grid
+/// domains decode bit-for-bit.
+void Level1CellBounds(const Box& domain, std::int64_t m1, std::int64_t cx,
+                      std::int64_t cy, double lo[2], double hi[2]) {
+  const std::int64_t cell[2] = {cx, cy};
+  for (std::size_t j = 0; j < 2; ++j) {
+    const double width = domain.Width(j) / static_cast<double>(m1);
+    lo[j] = domain.lo(j) + width * static_cast<double>(cell[j]);
+    hi[j] = lo[j] + width;
+  }
+}
+
+}  // namespace
+
+void WriteAdaptiveGridBodyCompressed(ByteWriter& out,
+                                     const AdaptiveGrid& grid) {
+  const std::int64_t m1 = grid.level1_granularity();
+  const std::vector<GridHistogram>& level2 = grid.level2();
+  out.I64(m1);
+  WriteBox(out, grid.domain());
+  out.F64Span(grid.level1_counts());
+  bool implicit = true;
+  std::vector<std::uint64_t> gran;
+  gran.reserve(level2.size() * 2);
+  for (std::int64_t cx = 0; cx < m1; ++cx) {
+    for (std::int64_t cy = 0; cy < m1; ++cy) {
+      const GridHistogram& sub =
+          level2[static_cast<std::size_t>(cx * m1 + cy)];
+      gran.push_back(static_cast<std::uint64_t>(sub.cells_per_dim()[0]));
+      gran.push_back(static_cast<std::uint64_t>(sub.cells_per_dim()[1]));
+      double lo[2], hi[2];
+      Level1CellBounds(grid.domain(), m1, cx, cy, lo, hi);
+      for (std::size_t j = 0; j < 2; ++j) {
+        implicit = implicit && SameBits(sub.domain().lo(j), lo[j]) &&
+                   SameBits(sub.domain().hi(j), hi[j]);
+      }
+    }
+  }
+  out.U32(implicit ? 1 : 0);
+  out.Str(PackVarintGB(gran));
+  if (!implicit) {
+    for (const GridHistogram& sub : level2) WriteBox(out, sub.domain());
+  }
+  for (const GridHistogram& sub : level2) out.F64Span(sub.counts());
+}
+
+Result<AdaptiveGrid> ReadAdaptiveGridBodyCompressed(ByteReader& in) {
+  std::int64_t m1 = 0;
+  if (!in.I64(&m1) || m1 < 1 || m1 > 1'000'000) {
+    return Status::InvalidArgument("ag body: bad level-1 granularity");
+  }
+  Box domain;
+  std::string box_error;
+  if (!ReadBox(in, 2, &domain, &box_error)) {
+    return Status::InvalidArgument("ag body: " + box_error);
+  }
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(m1) * static_cast<std::uint64_t>(m1);
+  std::vector<double> level1;
+  if (!in.F64Vec(cells, &level1)) {
+    return Status::InvalidArgument("ag body: truncated level-1 counts");
+  }
+  std::uint32_t implicit = 0;
+  std::string packed;
+  if (!in.U32(&implicit) || implicit > 1 || !in.Str(&packed)) {
+    return Status::InvalidArgument("ag body: bad box mode");
+  }
+  std::vector<std::uint64_t> gran;
+  if (!UnpackVarintGB(packed, 2 * cells, &gran)) {
+    return Status::InvalidArgument("ag body: bad granularities");
+  }
+  std::vector<GridHistogram> level2;
+  level2.reserve(cells);
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    const std::uint64_t g0 = gran[2 * i];
+    const std::uint64_t g1 = gran[2 * i + 1];
+    // Bounded before construction: GridHistogram's constructor CHECK-caps
+    // the cell total, and a lying granularity must not abort the process.
+    if (g0 == 0 || g1 == 0 || g0 > (1u << 28) || g1 > (1u << 28) ||
+        g0 * g1 > (1u << 28)) {
+      return Status::InvalidArgument("ag body: bad sub-grid granularity");
+    }
+    const std::uint64_t total = g0 * g1;
+    if (total > in.remaining() / 8) {
+      return Status::InvalidArgument("ag body: sub-grid exceeds payload");
+    }
+    Box sub_domain;
+    if (implicit == 1) {
+      double lo[2], hi[2];
+      Level1CellBounds(domain, m1, static_cast<std::int64_t>(i) / m1,
+                       static_cast<std::int64_t>(i) % m1, lo, hi);
+      for (std::size_t j = 0; j < 2; ++j) {
+        if (!std::isfinite(lo[j]) || !std::isfinite(hi[j]) || lo[j] > hi[j]) {
+          return Status::InvalidArgument("ag body: bad cell geometry");
+        }
+      }
+      sub_domain = Box({lo[0], lo[1]}, {hi[0], hi[1]});
+    } else if (!ReadBox(in, 2, &sub_domain, &box_error)) {
+      return Status::InvalidArgument("ag body: " + box_error);
+    }
+    GridHistogram sub(std::move(sub_domain),
+                      {static_cast<std::int64_t>(g0),
+                       static_cast<std::int64_t>(g1)});
+    if (!in.F64Vec(total, &sub.counts())) {
+      return Status::InvalidArgument("ag body: truncated sub-grid counts");
+    }
+    sub.BuildPrefixSums();
+    level2.push_back(std::move(sub));
+  }
+  return AdaptiveGrid(std::move(domain), m1, std::move(level1),
+                      std::move(level2));
 }
 
 }  // namespace privtree

@@ -14,6 +14,7 @@
 
 #include "core/byteio.h"
 #include "dp/status.h"
+#include "hist/ag.h"
 #include "hist/grid.h"
 
 namespace privtree {
@@ -25,6 +26,31 @@ void WriteGridHistogram(ByteWriter& out, const GridHistogram& grid);
 /// its prefix sums.  Every malformed input (truncation, zero granularity,
 /// cell totals that overflow or exceed the payload) yields a clean error.
 Result<GridHistogram> ReadGridHistogram(ByteReader& in, std::size_t dim);
+
+/// Compressed AG body used inside v3 envelopes.  The v2 payload repeats a
+/// full WriteGridHistogram record (box + granularities + counts) for every
+/// level-1 cell, but the boxes are the level-1 lattice geometry — fully
+/// determined by the domain and m1 — and the granularities are small
+/// integers.  The v3 body drops the boxes and group-varint-packs the
+/// granularities; the noisy counts stay raw (they do not compress).
+///
+///   i64  m1
+///   box  domain                      (raw f64 pairs)
+///   f64  × m1²  level-1 counts
+///   u32  box mode                    (1 = implicit, 0 = explicit)
+///   str  packed granularities        (PackVarintGB, 2 per cell, cell order)
+///   mode 0 only: box × m1²           (per-cell sub-grid domains)
+///   f64… concatenated sub-grid counts (cell order, Π granularities each)
+///
+/// Mode 1 is written whenever every sub-grid's domain matches the level-1
+/// cell box *bitwise* (always true for grids this codebase fit; a foreign
+/// v2 payload re-saved as v3 falls back to mode 0), and decoding recomputes
+/// the boxes with the exact GridHistogram::CellBox arithmetic, so the
+/// round-trip is bit-for-bit either way.
+void WriteAdaptiveGridBodyCompressed(ByteWriter& out, const AdaptiveGrid& grid);
+
+/// Reads a body written by WriteAdaptiveGridBodyCompressed; 2-d only.
+Result<AdaptiveGrid> ReadAdaptiveGridBodyCompressed(ByteReader& in);
 
 }  // namespace privtree
 

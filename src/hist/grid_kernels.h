@@ -1,0 +1,67 @@
+// Specialized 2-d batch-query kernels over a grid prefix-sum lattice.
+//
+// GridHistogram::QueryImpl is generic over the dimension: per query it runs
+// 2^d-corner inclusion-exclusion with mask loops, per-dimension branches
+// and a heap-held Box on every access.  Almost every served grid is 2-d
+// (the paper's datasets, AG's sub-grids), so these kernels restructure that
+// path into a flat structure-of-arrays view (Grid2DView: raw lattice
+// pointer + unpacked domain scalars) with the d = 2 case fully unrolled,
+// and a SIMD batch variant (core/simd.h: AVX2 4-wide / SSE2 2-wide, `#if`
+// selected) that evaluates several queries per instruction stream.
+//
+// Bit-for-bit contract: every kernel — scalar one-shot, scalar batch, SIMD
+// batch — returns answers identical to GridHistogram::QueryImpl on the
+// same box, on every input.  The vector code mirrors the scalar operation
+// order exactly (no FMA, no reassociation; the `weight != 0` guard becomes
+// a mask so skipped terms still never perturb the accumulator), and
+// tests/release/kernel_parity_test.cc fuzzes the equivalence.  This is
+// what lets AG's summed-area-table boundary path and the grid family's
+// QueryBatch adopt the kernels with unchanged released answers.
+#ifndef PRIVTREE_HIST_GRID_KERNELS_H_
+#define PRIVTREE_HIST_GRID_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spatial/box.h"
+
+namespace privtree {
+
+/// Flat, pointer-based view of a 2-d grid's query state: everything the
+/// kernels need, with no vector indirection on the hot path.  Built by
+/// GridHistogram::KernelView2D(); valid while the grid outlives it.
+struct Grid2DView {
+  const double* prefix = nullptr;  ///< (m0+1) × (m1+1) lattice, row-major.
+  std::size_t stride0 = 0;         ///< Lattice row stride (= m1 + 1).
+  double m0d = 0.0, m1d = 0.0;     ///< Cells per dimension, as doubles.
+  double dlo0 = 0.0, dlo1 = 0.0;   ///< Domain lower bounds.
+  double dhi0 = 0.0, dhi1 = 0.0;   ///< Domain upper bounds.
+  double w0 = 0.0, w1 = 0.0;       ///< Domain widths.
+};
+
+/// One query against the view; bitwise equal to QueryImpl on the same box.
+double GridQueryOne2D(const Grid2DView& g, const Box& q);
+
+/// Scalar batch: GridQueryOne2D over the span, answers written in order.
+void GridQueryBatch2DScalar(const Grid2DView& g, std::span<const Box> queries,
+                            double* answers);
+
+/// Vectorized batch (AVX2/SSE2 when compiled in, scalar otherwise);
+/// bitwise equal to the scalar batch.
+void GridQueryBatch2DSimd(const Grid2DView& g, std::span<const Box> queries,
+                          double* answers);
+
+/// Indexed vectorized batch: answers[j] = GridQueryOne2D(g, queries[idx[j]])
+/// for j in [0, n), same ISA selection and bitwise contract as the
+/// contiguous batch.  For callers that stage scattered (query, grid)
+/// visits — e.g. grouping many queries' boundary cells by sub-grid —
+/// without copying Box objects; duplicate indices are fine.
+void GridQueryBatch2DSimdIdx(const Grid2DView& g, const Box* queries,
+                             const std::uint32_t* idx, std::size_t n,
+                             double* answers);
+
+}  // namespace privtree
+
+#endif  // PRIVTREE_HIST_GRID_KERNELS_H_

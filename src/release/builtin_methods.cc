@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/byteio.h"
+#include "core/codec.h"
 #include "dp/check.h"
 #include "hist/ag.h"
 #include "hist/dawa.h"
@@ -62,17 +63,31 @@ class BuiltinMethod : public Method {
   FitState state_;
 };
 
+/// The `count_quantum` knob of the tree-family methods: released counts are
+/// snapped to multiples of the quantum as post-processing (DP-safe), which
+/// lets the v3 payload store them as group-varint integers instead of raw
+/// doubles.  0 (the default) disables quantization.
+double ParseCountQuantum(const MethodOptions& o) {
+  return o.GetDouble("count_quantum", 0.0);
+}
+
 /// PrivTree (Section 3.4): the paper's method.
 class PrivTreeMethod final : public BuiltinMethod {
  public:
   explicit PrivTreeMethod(const MethodOptions& o)
-      : BuiltinMethod(o), options_(ParsePrivTreeHistogramOptions(o)) {}
+      : BuiltinMethod(o),
+        options_(ParsePrivTreeHistogramOptions(o)),
+        count_quantum_(ParseCountQuantum(o)) {}
 
   PrivTreeMethod(const SynopsisEnvelope& env, SpatialHistogram hist)
       : BuiltinMethod(env),
         options_(ParsePrivTreeHistogramOptions(
             MethodOptions::Parse(env.options_text))),
-        hist_(std::move(hist)) {}
+        count_quantum_(
+            ParseCountQuantum(MethodOptions::Parse(env.options_text))),
+        hist_(std::move(hist)) {
+    RebuildBatchIndex();
+  }
 
   void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
            Rng& rng) override {
@@ -80,6 +95,8 @@ class PrivTreeMethod final : public BuiltinMethod {
     state_ = {true, domain.dim(), budget.SpendRemaining()};
     hist_ = BuildPrivTreeHistogram(points, domain, state_.epsilon_spent,
                                    options_, rng);
+    for (double& c : hist_.count) c = QuantizeCount(c, count_quantum_);
+    RebuildBatchIndex();
   }
 
   double Query(const Box& q) const override {
@@ -89,10 +106,7 @@ class PrivTreeMethod final : public BuiltinMethod {
 
   std::vector<double> QueryBatch(std::span<const Box> queries) const override {
     PRIVTREE_CHECK(state_.fitted);
-    return BatchQueryTree(hist_.tree, hist_.count, queries,
-                          [](const SpatialCell& c) -> const Box& {
-                            return c.box;
-                          });
+    return batch_.Query(queries);
   }
 
   MethodMetadata Metadata() const override {
@@ -104,26 +118,42 @@ class PrivTreeMethod final : public BuiltinMethod {
     if (!state_.fitted) return NotFitted();
     std::string payload;
     ByteWriter w(&payload);
-    WriteSpatialTreeBody(w, hist_.tree, hist_.count);
+    WriteSpatialTreeBodyCompressed(w, hist_.tree, hist_.count,
+                                   count_quantum_);
     return SaveSynopsis(out, payload);
   }
 
  private:
+  void RebuildBatchIndex() {
+    batch_ = TreeBatchIndex(hist_.tree, hist_.count,
+                            [](const SpatialCell& c) -> const Box& {
+                              return c.box;
+                            });
+  }
+
   PrivTreeHistogramOptions options_;
+  double count_quantum_ = 0.0;
   SpatialHistogram hist_;
+  TreeBatchIndex batch_;
 };
 
 /// SimpleTree (Algorithm 1): the fixed-height baseline.
 class SimpleTreeMethod final : public BuiltinMethod {
  public:
   explicit SimpleTreeMethod(const MethodOptions& o)
-      : BuiltinMethod(o), options_(ParseSimpleTreeHistogramOptions(o)) {}
+      : BuiltinMethod(o),
+        options_(ParseSimpleTreeHistogramOptions(o)),
+        count_quantum_(ParseCountQuantum(o)) {}
 
   SimpleTreeMethod(const SynopsisEnvelope& env, SpatialHistogram hist)
       : BuiltinMethod(env),
         options_(ParseSimpleTreeHistogramOptions(
             MethodOptions::Parse(env.options_text))),
-        hist_(std::move(hist)) {}
+        count_quantum_(
+            ParseCountQuantum(MethodOptions::Parse(env.options_text))),
+        hist_(std::move(hist)) {
+    RebuildBatchIndex();
+  }
 
   void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
            Rng& rng) override {
@@ -131,6 +161,8 @@ class SimpleTreeMethod final : public BuiltinMethod {
     state_ = {true, domain.dim(), budget.SpendRemaining()};
     hist_ = BuildSimpleTreeHistogram(points, domain, state_.epsilon_spent,
                                      options_, rng);
+    for (double& c : hist_.count) c = QuantizeCount(c, count_quantum_);
+    RebuildBatchIndex();
   }
 
   double Query(const Box& q) const override {
@@ -140,10 +172,7 @@ class SimpleTreeMethod final : public BuiltinMethod {
 
   std::vector<double> QueryBatch(std::span<const Box> queries) const override {
     PRIVTREE_CHECK(state_.fitted);
-    return BatchQueryTree(hist_.tree, hist_.count, queries,
-                          [](const SpatialCell& c) -> const Box& {
-                            return c.box;
-                          });
+    return batch_.Query(queries);
   }
 
   MethodMetadata Metadata() const override {
@@ -155,13 +184,23 @@ class SimpleTreeMethod final : public BuiltinMethod {
     if (!state_.fitted) return NotFitted();
     std::string payload;
     ByteWriter w(&payload);
-    WriteSpatialTreeBody(w, hist_.tree, hist_.count);
+    WriteSpatialTreeBodyCompressed(w, hist_.tree, hist_.count,
+                                   count_quantum_);
     return SaveSynopsis(out, payload);
   }
 
  private:
+  void RebuildBatchIndex() {
+    batch_ = TreeBatchIndex(hist_.tree, hist_.count,
+                            [](const SpatialCell& c) -> const Box& {
+                              return c.box;
+                            });
+  }
+
   SimpleTreeHistogramOptions options_;
+  double count_quantum_ = 0.0;
   SpatialHistogram hist_;
+  TreeBatchIndex batch_;
 };
 
 /// Shared adapter for the builders that return a flat GridHistogram (UG,
@@ -342,12 +381,7 @@ class AdaptiveGridMethod final : public BuiltinMethod {
     if (!state_.fitted) return NotFitted();
     std::string payload;
     ByteWriter w(&payload);
-    w.I64(grid_->level1_granularity());
-    WriteBox(w, grid_->domain());
-    w.F64Span(grid_->level1_counts());
-    for (const GridHistogram& sub : grid_->level2()) {
-      WriteGridHistogram(w, sub);
-    }
+    WriteAdaptiveGridBodyCompressed(w, *grid_);
     return SaveSynopsis(out, payload);
   }
 
@@ -369,12 +403,17 @@ class AdaptiveGridMethod final : public BuiltinMethod {
 class KdTreeMethod final : public BuiltinMethod {
  public:
   explicit KdTreeMethod(const MethodOptions& o)
-      : BuiltinMethod(o), options_(ParseOptions(o)) {}
+      : BuiltinMethod(o),
+        options_(ParseOptions(o)),
+        count_quantum_(ParseCountQuantum(o)) {}
 
   KdTreeMethod(const SynopsisEnvelope& env, KdTreeHistogram hist)
       : BuiltinMethod(env),
-        options_(ParseOptions(MethodOptions::Parse(env.options_text))) {
+        options_(ParseOptions(MethodOptions::Parse(env.options_text))),
+        count_quantum_(
+            ParseCountQuantum(MethodOptions::Parse(env.options_text))) {
     tree_.emplace(std::move(hist));
+    RebuildBatchIndex();
   }
 
   void Fit(const PointSet& points, const Box& domain, PrivacyBudget& budget,
@@ -382,6 +421,14 @@ class KdTreeMethod final : public BuiltinMethod {
     PRIVTREE_CHECK(!state_.fitted);
     state_ = {true, domain.dim(), budget.SpendRemaining()};
     tree_.emplace(points, domain, state_.epsilon_spent, options_, rng);
+    if (count_quantum_ > 0.0) {
+      DecompTree<Box> tree = tree_->tree();
+      std::vector<double> counts = tree_->counts();
+      for (double& c : counts) c = QuantizeCount(c, count_quantum_);
+      tree_.emplace(
+          KdTreeHistogram::Restore(std::move(tree), std::move(counts)));
+    }
+    RebuildBatchIndex();
   }
 
   double Query(const Box& q) const override {
@@ -391,8 +438,7 @@ class KdTreeMethod final : public BuiltinMethod {
 
   std::vector<double> QueryBatch(std::span<const Box> queries) const override {
     PRIVTREE_CHECK(state_.fitted);
-    return BatchQueryTree(tree_->tree(), tree_->counts(), queries,
-                          [](const Box& b) -> const Box& { return b; });
+    return batch_.Query(queries);
   }
 
   MethodMetadata Metadata() const override {
@@ -405,13 +451,14 @@ class KdTreeMethod final : public BuiltinMethod {
     if (!state_.fitted) return NotFitted();
     std::string payload;
     ByteWriter w(&payload);
-    WriteBoxTreeBody(w, tree_->tree(), tree_->counts());
+    WriteBoxTreeBodyCompressed(w, tree_->tree(), tree_->counts(),
+                               count_quantum_);
     return SaveSynopsis(out, payload);
   }
 
  private:
   static KdTreeOptions ParseOptions(const MethodOptions& o) {
-    RequireKnownKeys(o, {"height", "split_budget_fraction"});
+    RequireKnownKeys(o, {"height", "split_budget_fraction", "count_quantum"});
     KdTreeOptions out;
     out.height = static_cast<std::int32_t>(o.GetInt("height", out.height));
     out.split_budget_fraction =
@@ -419,8 +466,15 @@ class KdTreeMethod final : public BuiltinMethod {
     return out;
   }
 
+  void RebuildBatchIndex() {
+    batch_ = TreeBatchIndex(tree_->tree(), tree_->counts(),
+                            [](const Box& b) -> const Box& { return b; });
+  }
+
   KdTreeOptions options_;
+  double count_quantum_ = 0.0;
   std::optional<KdTreeHistogram> tree_;
+  TreeBatchIndex batch_;
 };
 
 class HierarchyMethod final : public BuiltinMethod {
@@ -496,17 +550,20 @@ MethodFactory FactoryFor() {
   };
 }
 
-/// Loader for the spatial tree family (PrivTree, SimpleTree).
+/// Loader for the spatial tree family (PrivTree, SimpleTree).  v3 payloads
+/// carry the compressed tree body, v2 the raw node array; both restore the
+/// same histogram bit for bit.
 template <typename T>
 MethodLoader SpatialTreeLoaderFor() {
   return [](const SynopsisEnvelope& env,
             ByteReader& payload) -> Result<std::unique_ptr<Method>> {
     SpatialHistogram hist;
-    if (Status s = ReadSpatialTreeBody(payload, env.metadata.dim, &hist.tree,
-                                       &hist.count);
-        !s.ok()) {
-      return s;
-    }
+    Status s = env.format_version >= kSynopsisFormatVersion
+                   ? ReadSpatialTreeBodyCompressed(payload, env.metadata.dim,
+                                                   &hist.tree, &hist.count)
+                   : ReadSpatialTreeBody(payload, env.metadata.dim,
+                                         &hist.tree, &hist.count);
+    if (!s.ok()) return s;
     return std::unique_ptr<Method>(
         std::make_unique<T>(env, std::move(hist)));
   };
@@ -528,16 +585,18 @@ Result<std::unique_ptr<Method>> LoadKdTree(const SynopsisEnvelope& env,
                                            ByteReader& payload) {
   DecompTree<Box> tree;
   std::vector<double> counts;
-  if (Status s = ReadBoxTreeBody(payload, env.metadata.dim, &tree, &counts);
-      !s.ok()) {
-    return s;
-  }
+  Status s = env.format_version >= kSynopsisFormatVersion
+                 ? ReadBoxTreeBodyCompressed(payload, env.metadata.dim, &tree,
+                                             &counts)
+                 : ReadBoxTreeBody(payload, env.metadata.dim, &tree, &counts);
+  if (!s.ok()) return s;
   return std::unique_ptr<Method>(std::make_unique<KdTreeMethod>(
       env, KdTreeHistogram::Restore(std::move(tree), std::move(counts))));
 }
 
-Result<std::unique_ptr<Method>> LoadAdaptiveGrid(const SynopsisEnvelope& env,
-                                                 ByteReader& payload) {
+/// The v2 AG payload: one full WriteGridHistogram record per level-1 cell.
+Result<std::unique_ptr<Method>> LoadAdaptiveGridV2(const SynopsisEnvelope& env,
+                                                   ByteReader& payload) {
   std::int64_t m1 = 0;
   if (!payload.I64(&m1) || m1 < 1) {
     return Status::InvalidArgument("ag payload: bad level-1 granularity");
@@ -562,6 +621,17 @@ Result<std::unique_ptr<Method>> LoadAdaptiveGrid(const SynopsisEnvelope& env,
   return std::unique_ptr<Method>(std::make_unique<AdaptiveGridMethod>(
       env, AdaptiveGrid(std::move(domain), m1, std::move(level1),
                         std::move(level2))));
+}
+
+Result<std::unique_ptr<Method>> LoadAdaptiveGrid(const SynopsisEnvelope& env,
+                                                 ByteReader& payload) {
+  if (env.format_version < kSynopsisFormatVersion) {
+    return LoadAdaptiveGridV2(env, payload);
+  }
+  auto grid = ReadAdaptiveGridBodyCompressed(payload);
+  if (!grid.ok()) return grid.status();
+  return std::unique_ptr<Method>(
+      std::make_unique<AdaptiveGridMethod>(env, std::move(grid).value()));
 }
 
 Result<std::unique_ptr<Method>> LoadHierarchy(const SynopsisEnvelope& env,
@@ -627,8 +697,8 @@ std::unique_ptr<Method> WrapSpatialHistogram(std::string_view method,
 
 PrivTreeHistogramOptions ParsePrivTreeHistogramOptions(
     const MethodOptions& options) {
-  RequireKnownKeys(options,
-                   {"dims_per_split", "tree_budget_fraction", "max_depth"});
+  RequireKnownKeys(options, {"dims_per_split", "tree_budget_fraction",
+                             "max_depth", "count_quantum"});
   PrivTreeHistogramOptions out;
   out.dims_per_split =
       static_cast<int>(options.GetInt("dims_per_split", out.dims_per_split));
@@ -641,7 +711,8 @@ PrivTreeHistogramOptions ParsePrivTreeHistogramOptions(
 
 SimpleTreeHistogramOptions ParseSimpleTreeHistogramOptions(
     const MethodOptions& options) {
-  RequireKnownKeys(options, {"dims_per_split", "height", "theta"});
+  RequireKnownKeys(options,
+                   {"dims_per_split", "height", "theta", "count_quantum"});
   SimpleTreeHistogramOptions out;
   out.dims_per_split =
       static_cast<int>(options.GetInt("dims_per_split", out.dims_per_split));
@@ -667,7 +738,8 @@ void RegisterBuiltinMethods(MethodRegistry& registry) {
        // it against the served dataset's dim).
        .allowed_keys = {{"dims_per_split", kInt, 0, 8},
                         {"tree_budget_fraction", kDouble, 0, 1, true},
-                        {"max_depth", kInt, 1, 4096}},
+                        {"max_depth", kInt, 1, 4096},
+                        {"count_quantum", kDouble, 0, kInf}},
        .factory = FactoryFor<PrivTreeMethod>(),
        .loader = SpatialTreeLoaderFor<PrivTreeMethod>()});
   registry.Register(
@@ -676,7 +748,8 @@ void RegisterBuiltinMethods(MethodRegistry& registry) {
        .display = "SimpleTree",
        .allowed_keys = {{"dims_per_split", kInt, 0, 8},
                         {"height", kInt, 1, 64},
-                        {"theta", kDouble}},
+                        {"theta", kDouble},
+                        {"count_quantum", kDouble, 0, kInf}},
        .factory = FactoryFor<SimpleTreeMethod>(),
        .loader = SpatialTreeLoaderFor<SimpleTreeMethod>()});
   registry.Register(
@@ -703,7 +776,8 @@ void RegisterBuiltinMethods(MethodRegistry& registry) {
       {.description = "private k-d tree with noisy-median splits ([51])",
        .display = "KD",
        .allowed_keys = {{"height", kInt, 1, 64},
-                        {"split_budget_fraction", kDouble, 0, 1, true}},
+                        {"split_budget_fraction", kDouble, 0, 1, true},
+                        {"count_quantum", kDouble, 0, kInf}},
        .factory = FactoryFor<KdTreeMethod>(),
        .loader = LoadKdTree});
   registry.Register(

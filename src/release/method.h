@@ -59,6 +59,11 @@ struct MethodMetadata {
 struct SynopsisEnvelope {
   MethodMetadata metadata;
   std::string options_text;
+  /// Envelope format version the synopsis was read from (see
+  /// release/serialization.h).  Loaders dispatch on it: 2 = raw payloads,
+  /// 3 = compressed payload sections.  Writers always emit the current
+  /// version; the field exists so v2 spill files keep loading.
+  std::uint32_t format_version = 0;
 };
 
 /// A differentially private range-count release mechanism.

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/byteio.h"
+#include "core/codec.h"
 #include "core/tree.h"
 #include "dp/check.h"
 #include "release/options.h"
@@ -150,9 +151,10 @@ class PstPrivTreeMethod final : public SequenceMethodBase {
 
   Status Save(std::ostream& out) const override {
     if (!state_.fitted) return NotFitted();
-    // Flat (parent, histogram) rows in id order: children are implied by
-    // parent links + creation order, the SplitNode invariant (the binary
-    // twin of the seq/pst_serialization.h v1 text format).
+    // v3 payload: node count, delta-bit-packed parent links (children are
+    // implied by parent links + creation order, the SplitNode invariant),
+    // then the histograms concatenated in id order.  The parents are
+    // near-sequential, so they pack to a few bits each.
     std::string payload;
     ByteWriter w(&payload);
     w.U64(model_->size());
@@ -163,8 +165,8 @@ class PstPrivTreeMethod final : public SequenceMethodBase {
         parents[static_cast<std::size_t>(child)] = static_cast<NodeId>(i);
       }
     }
+    w.Str(PackDeltaI32(parents));
     for (std::size_t i = 0; i < model_->size(); ++i) {
-      w.I32(parents[i]);
       w.F64Span(model_->node(static_cast<NodeId>(i)).hist);
     }
     return SaveSynopsis(out, payload);
@@ -227,12 +229,13 @@ class NgramMethod final : public SequenceMethodBase {
 
   Status Save(std::ostream& out) const override {
     if (!state_.fitted) return NotFitted();
+    // v3 payload: node count, delta-bit-packed parent links, raw released
+    // counts in id order.
     std::string payload;
     ByteWriter w(&payload);
     w.U64(model_->size());
-    const std::vector<NodeId> parents = model_->ParentLinks();
+    w.Str(PackDeltaI32(model_->ParentLinks()));
     for (std::size_t i = 0; i < model_->size(); ++i) {
-      w.I32(parents[i]);
       w.F64(model_->NodeCount(static_cast<NodeId>(i)));
     }
     return SaveSynopsis(out, payload);
@@ -311,19 +314,35 @@ Result<std::unique_ptr<Method>> LoadPstPrivTree(const SynopsisEnvelope& env,
     return Status::InvalidArgument("pst payload: bad alphabet size");
   }
   const std::size_t beta = alphabet + 1;
+  const bool packed = env.format_version >= kSynopsisFormatVersion;
   std::uint64_t n = 0;
-  // Each row is 4 + 8·beta bytes; bounding n before allocating keeps a
-  // lying count from forcing a huge allocation.
+  // Histograms alone cost 8·beta bytes per node (plus 4 for the inline v2
+  // parent); bounding n before allocating keeps a lying count from forcing
+  // a huge allocation.
   if (!payload.U64(&n) || n == 0 ||
-      n > payload.remaining() / (4 + 8 * beta)) {
+      n > payload.remaining() / (packed ? 8 * beta : 4 + 8 * beta)) {
     return Status::InvalidArgument("pst payload: bad node count");
   }
   std::vector<NodeId> parents(n);
   std::vector<std::vector<double>> hists(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    if (!payload.I32(&parents[i]) || !payload.F64Vec(beta, &hists[i])) {
-      return Status::InvalidArgument("pst payload: truncated node " +
-                                     std::to_string(i));
+  if (packed) {
+    std::string packed_parents;
+    if (!payload.Str(&packed_parents) ||
+        !UnpackDeltaI32(packed_parents, n, &parents)) {
+      return Status::InvalidArgument("pst payload: bad parent links");
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!payload.F64Vec(beta, &hists[i])) {
+        return Status::InvalidArgument("pst payload: truncated node " +
+                                       std::to_string(i));
+      }
+    }
+  } else {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!payload.I32(&parents[i]) || !payload.F64Vec(beta, &hists[i])) {
+        return Status::InvalidArgument("pst payload: truncated node " +
+                                       std::to_string(i));
+      }
     }
   }
   auto model = RestorePstModel(alphabet, parents, std::move(hists));
@@ -338,16 +357,29 @@ Result<std::unique_ptr<Method>> LoadNgram(const SynopsisEnvelope& env,
   if (alphabet < 1 || alphabet > kMaxAlphabet) {
     return Status::InvalidArgument("ngram payload: bad alphabet size");
   }
+  const bool packed = env.format_version >= kSynopsisFormatVersion;
   std::uint64_t n = 0;
-  if (!payload.U64(&n) || n == 0 || n > payload.remaining() / 12) {
+  if (!payload.U64(&n) || n == 0 ||
+      n > payload.remaining() / (packed ? 8 : 12)) {
     return Status::InvalidArgument("ngram payload: bad node count");
   }
   std::vector<NodeId> parents(n);
   std::vector<double> counts(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    if (!payload.I32(&parents[i]) || !payload.F64(&counts[i])) {
-      return Status::InvalidArgument("ngram payload: truncated node " +
-                                     std::to_string(i));
+  if (packed) {
+    std::string packed_parents;
+    if (!payload.Str(&packed_parents) ||
+        !UnpackDeltaI32(packed_parents, n, &parents)) {
+      return Status::InvalidArgument("ngram payload: bad parent links");
+    }
+    if (!payload.F64Vec(n, &counts)) {
+      return Status::InvalidArgument("ngram payload: truncated counts");
+    }
+  } else {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!payload.I32(&parents[i]) || !payload.F64(&counts[i])) {
+        return Status::InvalidArgument("ngram payload: truncated node " +
+                                       std::to_string(i));
+      }
     }
   }
   auto model = NgramModel::Restore(alphabet, parents, counts);

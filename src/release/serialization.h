@@ -3,7 +3,7 @@
 // `privtree_cli build`/`query` and the SynopsisCache spill tier work for
 // all backends, not just the spatial tree.
 //
-// ── Format spec (v2) ───────────────────────────────────────────────────────
+// ── Format spec (v3) ───────────────────────────────────────────────────────
 //
 // A synopsis file is a fixed header followed by a checksummed body.  All
 // integers are little-endian; doubles are IEEE-754 binary64 bit patterns
@@ -11,11 +11,24 @@
 //
 //   offset  size  field
 //   0       8     magic "PRIVTSYN"
-//   8       4     u32 format version (currently 2; v1 is the legacy text
+//   8       4     u32 format version (currently 3; v1 is the legacy text
 //                 format of spatial/serialization.h)
 //   12      8     u64 body size in bytes
 //   20      8     u64 body checksum (core/byteio.h ByteChecksum)
-//   28      ...   body (exactly `body size` bytes; nothing may follow)
+//   28      8     u64 header checksum (ByteChecksum of bytes [0, 28); v3+
+//                 only) — lets the spill tier's warm-restart scan verify a
+//                 file header-only, without reading the body
+//   36      ...   body (exactly `body size` bytes; nothing may follow)
+//
+// v2 files have no header checksum (the body starts at offset 28) and
+// carry the raw per-backend payloads documented below; they keep loading
+// forever through the same LoadMethod entry point.  v3 bodies share the
+// envelope fields but compress the structured payload sections with the
+// core/codec.h primitives (delta + bit-packed tree topology, 2-bit
+// box-bound codes against the parent, group-varint quantized counts — see
+// spatial/serialization.h for the compressed tree body and the per-backend
+// notes below).  Released doubles are stored verbatim unless the method
+// opted into `count_quantum`, so loading stays bit-for-bit lossless.
 //
 //   body:
 //     str   method name          (u32 length + bytes; a registry name)
@@ -29,27 +42,40 @@
 //     i32   height               (decomposition height, as Metadata())
 //     ...   per-backend payload  (the rest of the body)
 //
-// Per-backend payloads:
+// Per-backend payloads (v2 form; the → notes give the v3 compressed form):
 //   privtree, simpletree   spatial tree body (spatial/serialization.h):
 //                          u64 node count, then per node in id order
 //                          {i32 parent, f64 count, f64 lo_j/hi_j × dim}
-//   kdtree                 the same body over plain boxes
+//                          → v3: compressed tree body (packed parents,
+//                          root box + 2-bit bound codes, counts section)
+//   kdtree                 the same body over plain boxes (v2 and v3)
 //   ug, dawa, wavelet      grid body (hist/grid_codec.h): domain box,
 //                          u64 cells per dim, f64 counts row-major
-//   ag                     i64 m1, domain box, f64 level-1 counts (m1²),
-//                          then m1² grid bodies (the level-2 sub-grids,
-//                          post-constrained-inference)
+//                          (unchanged in v3 — noisy doubles don't pack)
+//   ag                     v2: i64 m1, domain box, f64 level-1 counts
+//                          (m1²), then m1² grid bodies (the level-2
+//                          sub-grids, post-constrained-inference)
+//                          → v3: i64 m1, domain box, f64 level-1 counts,
+//                          group-varint per-cell granularities (2 per
+//                          cell), then the concatenated raw sub-grid
+//                          counts — sub-grid boxes are recomputed from the
+//                          level-1 cell geometry, which is deterministic
 //   hierarchy              domain box, i32 height, i64 branching,
 //                          u32 consistent flag (0/1), then per level
 //                          1..height-1 the flat f64 counts (sizes derived
-//                          from branching; post-inference)
+//                          from branching; post-inference; unchanged in v3)
 //   pst_privtree           u64 node count, then per node in id order
 //                          {i32 parent, f64 hist × (alphabet+1)}; children
 //                          are implied by parent links + creation order
 //                          (the SplitNode sibling-group invariant)
+//                          → v3: u64 node count, packed parents
+//                          (core/codec.h PackDeltaI32), then the f64
+//                          histograms in id order
 //   ngram                  u64 node count, then per node in id order
 //                          {i32 parent, f64 noisy count} under the same
 //                          sibling-group invariant
+//                          → v3: u64 node count, packed parents, then the
+//                          f64 noisy counts in id order
 //
 // Loading re-derives every piece of derived state (prefix-sum lattices,
 // summed-area tables, tree depths) deterministically from the released
@@ -73,12 +99,19 @@
 namespace privtree::release {
 
 inline constexpr std::string_view kSynopsisMagic = "PRIVTSYN";
-inline constexpr std::uint32_t kSynopsisFormatVersion = 2;
+inline constexpr std::uint32_t kSynopsisFormatVersion = 3;
+/// The previous raw-payload format, still loadable (spill dirs written
+/// before the compressed envelopes landed keep warm-restarting).
+inline constexpr std::uint32_t kSynopsisFormatVersionV2 = 2;
 
 /// Writes the envelope header + body for a fitted method; backends call
-/// this from their Save overrides with the payload they encoded.
+/// this from their Save overrides with the payload they encoded.  `version`
+/// selects the header layout and must match the payload encoding the
+/// caller produced — production writers always use the default; tests use
+/// kSynopsisFormatVersionV2 to pin the legacy format.
 Status WriteSynopsis(std::ostream& out, const MethodMetadata& metadata,
-                     std::string_view options_text, std::string_view payload);
+                     std::string_view options_text, std::string_view payload,
+                     std::uint32_t version = kSynopsisFormatVersion);
 
 /// Reads one serialized synopsis from `in` (the whole remaining stream) and
 /// reconstructs the fitted method through `registry`'s loader for the
@@ -101,13 +134,20 @@ Status SaveMethodToFile(const Method& method, const std::string& path,
                         bool durable = false);
 Result<std::unique_ptr<Method>> LoadMethodFromFile(const std::string& path);
 
-/// Cheap integrity probe of a synopsis file: magic, version, declared body
-/// size vs actual, and body checksum — no payload decode, no registry
-/// lookup.  OK means "worth loading"; any corruption (truncation, a torn
-/// tail, bit flips, zero length) yields the reason.  Legacy v1 text files
-/// pass on magic alone (they carry no checksum).  The spill tier's
-/// warm-restart scan quarantines files this rejects.
-Status ProbeSynopsisFile(const std::string& path);
+/// Cheap integrity probe of a synopsis file — no payload decode, no
+/// registry lookup.  For v3 files this is header-only: magic, version,
+/// header checksum, and declared body size vs the file's actual size, all
+/// from one small read (the body checksum is deferred to LoadMethod, which
+/// verifies it on first access).  v2 files, which carry no header
+/// checksum, fall back to the legacy full read + body checksum; legacy v1
+/// text files pass on magic alone.  OK means "worth loading"; any
+/// structural corruption (truncation, a torn tail, a damaged header, zero
+/// length) yields the reason.  The spill tier's warm-restart scan
+/// quarantines files this rejects.  `bytes_scanned`, when non-null, is
+/// incremented by the number of file bytes actually read — the startup-cost
+/// stat the cache surfaces.
+Status ProbeSynopsisFile(const std::string& path,
+                         std::uint64_t* bytes_scanned = nullptr);
 
 }  // namespace privtree::release
 

@@ -173,16 +173,21 @@ ThreadPool& SharedPool() {
 SynopsisCache& SharedSynopsisCache() {
   static SynopsisCache* cache = [] {
     const std::size_t capacity = EnvCount("PRIVTREE_CACHE_CAPACITY", 64);
+    // PRIVTREE_CACHE_MAX_BYTES caps the summed serialized size of resident
+    // synopses (0 = unbounded); compression shrinks each entry's footprint,
+    // so the same budget now holds more synopses.
+    const std::size_t max_bytes = EnvCount("PRIVTREE_CACHE_MAX_BYTES", 0);
     // PRIVTREE_CACHE_SPILL_DIR turns on the disk tier: evicted synopses
     // persist there (bounded by PRIVTREE_CACHE_SPILL_ENTRIES) and survive
     // process restarts.
     const char* spill_dir = std::getenv("PRIVTREE_CACHE_SPILL_DIR");
     if (spill_dir == nullptr || *spill_dir == '\0') {
-      return new SynopsisCache(capacity);
+      return new SynopsisCache(capacity, SpillOptions{}, max_bytes);
     }
     return new SynopsisCache(
         capacity,
-        SpillOptions{spill_dir, EnvCount("PRIVTREE_CACHE_SPILL_ENTRIES", 256)});
+        SpillOptions{spill_dir, EnvCount("PRIVTREE_CACHE_SPILL_ENTRIES", 256)},
+        max_bytes);
   }();
   return *cache;
 }

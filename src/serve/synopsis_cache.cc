@@ -9,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 #include <iterator>
+#include <sstream>
 #include <system_error>
 #include <vector>
 
@@ -105,6 +106,14 @@ void SyncDirectory(const std::string& dir) {
   ::close(fd);
 }
 
+/// The envelope size `method` would occupy on disk (what the resident byte
+/// cap budgets); 0 for non-serializable methods (test stubs).
+std::size_t SerializedSizeOf(const release::Method& method) {
+  std::ostringstream out;
+  if (!method.Save(out).ok()) return 0;
+  return out.str().size();
+}
+
 /// Moves a corrupt spill file aside under `.quarantined` (evidence for
 /// operators, invisible to the scan); deletes it when even that fails.
 void QuarantineFile(const std::filesystem::path& path) {
@@ -121,8 +130,11 @@ void QuarantineFile(const std::filesystem::path& path) {
 SynopsisCache::SynopsisCache(std::size_t capacity)
     : SynopsisCache(capacity, SpillOptions{}) {}
 
-SynopsisCache::SynopsisCache(std::size_t capacity, SpillOptions spill)
-    : capacity_(capacity), spill_(std::move(spill)) {
+SynopsisCache::SynopsisCache(std::size_t capacity, SpillOptions spill,
+                             std::size_t max_resident_bytes)
+    : capacity_(capacity),
+      spill_(std::move(spill)),
+      max_resident_bytes_(max_resident_bytes) {
   if (!spill_enabled()) return;
   namespace fs = std::filesystem;
   std::error_code ec;
@@ -143,8 +155,10 @@ SynopsisCache::SynopsisCache(std::size_t capacity, SpillOptions spill)
       continue;
     }
     if (p.extension() != kSpillExtension) continue;
-    if (const Status probed = release::ProbeSynopsisFile(p.string());
-        !probed.ok()) {
+    std::uint64_t scanned = 0;
+    const Status probed = release::ProbeSynopsisFile(p.string(), &scanned);
+    stats_.spill_scan_bytes += static_cast<std::size_t>(scanned);
+    if (!probed.ok()) {
       std::fprintf(stderr,
                    "privtree: quarantining corrupt spill file %s (%s)\n",
                    p.string().c_str(), probed.ToString().c_str());
@@ -187,10 +201,23 @@ void SynopsisCache::TouchSpillLocked(const std::string& file) {
 void SynopsisCache::InsertLocked(
     const SynopsisKey& key, std::shared_ptr<const release::Method> value,
     std::vector<Evicted>* evicted) {
+  const std::size_t bytes = SerializedSizeOf(*value);
   lru_.emplace_front(key, std::move(value));
   index_[key] = lru_.begin();
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
+  resident_size_[key] = bytes;
+  stats_.resident_bytes += bytes;
+  // Evict past the entry cap, then past the byte cap — but never the entry
+  // just inserted, so one oversized synopsis still serves.
+  while (lru_.size() > capacity_ ||
+         (max_resident_bytes_ > 0 && lru_.size() > 1 &&
+          stats_.resident_bytes > max_resident_bytes_)) {
+    const SynopsisKey& victim = lru_.back().first;
+    if (const auto it = resident_size_.find(victim);
+        it != resident_size_.end()) {
+      stats_.resident_bytes -= it->second;
+      resident_size_.erase(it);
+    }
+    index_.erase(victim);
     if (spill_enabled()) evicted->push_back(std::move(lru_.back()));
     lru_.pop_back();
     ++stats_.evictions;
@@ -226,9 +253,15 @@ void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
       saved = release::SaveMethodToFile(*method, tmp_path, /*durable=*/true);
     }
     std::error_code ec;
+    std::uintmax_t written = 0;
     if (saved.ok()) {
       fs::rename(tmp_path, path, ec);
-      if (!ec) SyncDirectory(spill_.directory);
+      if (!ec) {
+        SyncDirectory(spill_.directory);
+        std::error_code size_ec;
+        written = fs::file_size(path, size_ec);
+        if (size_ec) written = 0;
+      }
     }
 
     std::lock_guard<std::mutex> lk(mu_);
@@ -247,6 +280,7 @@ void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
       continue;
     }
     ++stats_.spill_writes;
+    stats_.spill_bytes_written += static_cast<std::size_t>(written);
     if (spill_index_.insert(file).second) spill_lru_.push_front(file);
     while (spill_.max_entries > 0 && spill_lru_.size() > spill_.max_entries) {
       std::error_code remove_ec;
@@ -350,11 +384,16 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
   std::shared_ptr<const release::Method> value;
   bool from_spill = false;
   bool spill_broken = false;
+  std::uintmax_t read_bytes = 0;
   if (!spill_file.empty()) {
-    auto loaded = release::LoadMethodFromFile(SpillPathFor(spill_file));
+    const std::string path = SpillPathFor(spill_file);
+    auto loaded = release::LoadMethodFromFile(path);
     if (loaded.ok()) {
       value = std::move(loaded).value();
       from_spill = true;
+      std::error_code size_ec;
+      read_bytes = std::filesystem::file_size(path, size_ec);
+      if (size_ec) read_bytes = 0;
     } else {
       spill_broken = true;
     }
@@ -369,6 +408,7 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
   inflight_.erase(key);
   if (from_spill) {
     ++stats_.spill_hits;
+    stats_.spill_bytes_read += static_cast<std::size_t>(read_bytes);
     TouchSpillLocked(spill_file);
   } else if (spill_broken) {
     ++stats_.spill_failures;
@@ -423,6 +463,8 @@ void SynopsisCache::Clear() {
   std::lock_guard<std::mutex> lk(mu_);
   lru_.clear();
   index_.clear();
+  resident_size_.clear();
+  stats_.resident_bytes = 0;
   for (const std::string& file : spill_lru_) {
     std::error_code ec;
     std::filesystem::remove(SpillPathFor(file), ec);

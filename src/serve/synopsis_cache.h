@@ -136,6 +136,16 @@ class SynopsisCache {
     std::size_t writeback_hits = 0;
     /// Background-writer wakeups that flushed at least one write.
     std::size_t spill_write_batches = 0;
+    /// Serialized size of every resident synopsis (envelope bytes, the
+    /// size its spill file would have), maintained incrementally.
+    std::size_t resident_bytes = 0;
+    /// Cumulative bytes of spill files written to disk.
+    std::size_t spill_bytes_written = 0;
+    /// Cumulative bytes of spill files read back on rehydration.
+    std::size_t spill_bytes_read = 0;
+    /// Bytes read by the warm-restart scan (header probes; full files only
+    /// for legacy envelopes without a header checksum).
+    std::size_t spill_scan_bytes = 0;
   };
 
   /// Builds the fitted method for a missing key; must not return null.
@@ -147,8 +157,12 @@ class SynopsisCache {
 
   /// As above, with evictions spilling to `spill.directory`.  Spill files
   /// already in the directory (from an earlier run or cache) are adopted,
-  /// oldest-first.
-  SynopsisCache(std::size_t capacity, SpillOptions spill);
+  /// oldest-first.  `max_resident_bytes` additionally caps the summed
+  /// serialized size of resident synopses (0 = unbounded): when the byte
+  /// budget is exceeded the LRU evicts past `capacity`, always keeping at
+  /// least the most recent entry.
+  SynopsisCache(std::size_t capacity, SpillOptions spill,
+                std::size_t max_resident_bytes = 0);
 
   /// Flushes the write-behind backlog to disk, then stops the writer.
   ~SynopsisCache();
@@ -208,10 +222,14 @@ class SynopsisCache {
 
   const std::size_t capacity_;
   const SpillOptions spill_;
+  const std::size_t max_resident_bytes_;
   mutable std::mutex mu_;
   std::condition_variable inflight_cv_;
   LruList lru_;  // Front = most recently used.
   std::map<SynopsisKey, LruList::iterator> index_;
+  /// Serialized size per resident key, mirrored into
+  /// stats_.resident_bytes; measured once at insert (Save to a string).
+  std::map<SynopsisKey, std::size_t> resident_size_;
   std::set<SynopsisKey> inflight_;
   /// Spill-file names (fingerprint + extension), front = most recent; the
   /// set mirrors the list for O(log n) membership.

@@ -77,6 +77,45 @@ void WriteBoxTreeBody(ByteWriter& out, const DecompTree<Box>& tree,
 Status ReadBoxTreeBody(ByteReader& in, std::size_t dim, DecompTree<Box>* tree,
                        std::vector<double>* counts);
 
+/// The compressed tree body used inside v3 envelopes.  Decomposition trees
+/// are highly redundant: every child bound either equals the parent's bound
+/// or the parent's midpoint (`0.5 * (lo + hi)`, the BisectDim expression),
+/// so boxes shrink to a 2-bit code per bound (0 = inherit, 1 = midpoint,
+/// 2 = explicit f64 — matched *bitwise*, so decoding is exact by
+/// construction) on top of delta-bit-packed parent links (core/codec.h).
+/// Layout:
+///
+///   u64  node count n
+///   str  packed parent ids            (PackDeltaI32, id order, root = -1)
+///   box  root box                     (raw f64 pairs)
+///   str  bound codes                  (nodes 1..n-1 × dim × {lo, hi},
+///                                      2 bits each, LSB-first)
+///   u64  explicit bound count
+///   f64… explicit bounds              (in code-stream order)
+///   u32  counts mode                  (0 = raw, 1 = quantized)
+///   mode 0:  f64 × n  released counts
+///   mode 1:  f64 quantum, str packed counts (PackVarintGB of
+///            zigzag(count / quantum)); written only when every count is
+///            *bitwise* reproducible as multiple × quantum (the
+///            `count_quantum` knob quantized them at Fit), else mode 0
+///
+/// Reading validates everything (parents, code stream size, bound
+/// finiteness and ordering, count sections) before constructing boxes, and
+/// returns counts bit-for-bit equal to what was written.
+void WriteSpatialTreeBodyCompressed(ByteWriter& out,
+                                    const DecompTree<SpatialCell>& tree,
+                                    const std::vector<double>& counts,
+                                    double count_quantum = 0.0);
+Status ReadSpatialTreeBodyCompressed(ByteReader& in, std::size_t dim,
+                                     DecompTree<SpatialCell>* tree,
+                                     std::vector<double>* counts);
+void WriteBoxTreeBodyCompressed(ByteWriter& out, const DecompTree<Box>& tree,
+                                const std::vector<double>& counts,
+                                double count_quantum = 0.0);
+Status ReadBoxTreeBodyCompressed(ByteReader& in, std::size_t dim,
+                                 DecompTree<Box>* tree,
+                                 std::vector<double>* counts);
+
 }  // namespace privtree
 
 #endif  // PRIVTREE_SPATIAL_SERIALIZATION_H_

@@ -1,0 +1,251 @@
+// The envelope compression primitives (core/codec.h): exact round-trips
+// over adversarial value shapes, canonical (deterministic) encodings, and
+// total decoders — every malformed input returns false instead of reading
+// out of bounds or trusting a lying length.
+#include "core/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dp/rng.h"
+
+namespace privtree {
+namespace {
+
+// ── PackDeltaI32 / UnpackDeltaI32 ──────────────────────────────────────────
+
+TEST(DeltaI32Test, RoundTripsRepresentativeShapes) {
+  const std::vector<std::vector<std::int32_t>> cases = {
+      {},                                   // Empty.
+      {0},                                  // Single zero.
+      {-1},                                 // Single negative (root parent).
+      {42},                                 //
+      {0, 0, 0, 0, 0, 0, 0},                // Constant.
+      {-1, 0, 0, 1, 1, 2, 2, 3},            // A parent-link array.
+      {5, 4, 3, 2, 1, 0, -1, -2},           // Descending (negative deltas).
+      {std::numeric_limits<std::int32_t>::min(),
+       std::numeric_limits<std::int32_t>::max(), 0,
+       std::numeric_limits<std::int32_t>::min()},  // Extreme swings.
+  };
+  for (const auto& values : cases) {
+    const std::string packed = PackDeltaI32(values);
+    std::vector<std::int32_t> got;
+    ASSERT_TRUE(UnpackDeltaI32(packed, values.size(), &got))
+        << "n=" << values.size();
+    EXPECT_EQ(got, values);
+  }
+}
+
+TEST(DeltaI32Test, RoundTripsRandomArraysAcrossBlockBoundaries) {
+  Rng rng(0xC0DEC);
+  // Sizes straddling the 128-value block boundary, plus a multi-block one.
+  for (const std::size_t n : {1u, 127u, 128u, 129u, 255u, 256u, 1000u}) {
+    std::vector<std::int32_t> values(n);
+    std::int32_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mostly small deltas (the parent-link regime) with occasional jumps.
+      const double u = rng.NextDouble();
+      const std::int32_t delta =
+          u < 0.9 ? static_cast<std::int32_t>(rng.NextDouble() * 8.0)
+                  : static_cast<std::int32_t>(rng.NextDouble() * 1e6) - 500000;
+      prev += delta;
+      values[i] = prev;
+    }
+    const std::string packed = PackDeltaI32(values);
+    std::vector<std::int32_t> got;
+    ASSERT_TRUE(UnpackDeltaI32(packed, n, &got)) << "n=" << n;
+    EXPECT_EQ(got, values) << "n=" << n;
+  }
+}
+
+TEST(DeltaI32Test, ParentLinksCompressWellBelowRawWidth) {
+  // A realistic parent array: sorted, small deltas.  Raw i32 storage is
+  // 4 bytes per value; the packed form must beat 1 byte per value.
+  std::vector<std::int32_t> parents;
+  parents.push_back(-1);
+  for (std::int32_t i = 1; i < 4096; ++i) parents.push_back((i - 1) / 4);
+  const std::string packed = PackDeltaI32(parents);
+  EXPECT_LT(packed.size(), parents.size());
+}
+
+TEST(DeltaI32Test, EncodingIsDeterministic) {
+  const std::vector<std::int32_t> values = {-1, 0, 0, 1, 2, 2, 5};
+  EXPECT_EQ(PackDeltaI32(values), PackDeltaI32(values));
+}
+
+TEST(DeltaI32Test, RejectsMalformedInput) {
+  // Deltas wide enough (>1 byte each) that a lying element count changes
+  // the byte footprint — sub-byte slack would make n-1 undetectable.
+  const std::vector<std::int32_t> values = {-1, 300, 1, 1, 2, 3, 3, 7};
+  const std::string packed = PackDeltaI32(values);
+  std::vector<std::int32_t> out;
+  // Truncation at every prefix length must fail (n > 0 needs bytes).
+  for (std::size_t cut = 0; cut < packed.size(); ++cut) {
+    EXPECT_FALSE(UnpackDeltaI32(packed.substr(0, cut), values.size(), &out))
+        << "cut=" << cut;
+  }
+  // Trailing garbage is not silently ignored.
+  EXPECT_FALSE(UnpackDeltaI32(packed + std::string(1, '\0'), values.size(),
+                              &out));
+  // A lying element count fails both ways.
+  EXPECT_FALSE(UnpackDeltaI32(packed, values.size() + 1, &out));
+  EXPECT_FALSE(UnpackDeltaI32(packed, values.size() - 1, &out));
+  // An impossible bit width in the block header (> 32) fails.
+  std::string bad_width = packed;
+  bad_width[0] = static_cast<char>(33);
+  EXPECT_FALSE(UnpackDeltaI32(bad_width, values.size(), &out));
+  // Empty input round-trips only for n = 0.
+  EXPECT_TRUE(UnpackDeltaI32("", 0, &out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(UnpackDeltaI32("", 1, &out));
+}
+
+// ── PackVarintGB / UnpackVarintGB ──────────────────────────────────────────
+
+TEST(VarintGBTest, RoundTripsRepresentativeShapes) {
+  const std::vector<std::vector<std::uint64_t>> cases = {
+      {},
+      {0},
+      {1, 2, 3},                                  // Partial final group.
+      {0, 255, 256, 65535},                       // Width-1/2 boundaries.
+      {65536, 1u << 31, (1ull << 32) - 1},        // Width-4 boundary.
+      {1ull << 32, 1ull << 63,
+       std::numeric_limits<std::uint64_t>::max()},  // Width 8.
+      {7, 7, 7, 7, 7, 7, 7, 7, 7},                // Multiple groups.
+  };
+  for (const auto& values : cases) {
+    const std::string packed = PackVarintGB(values);
+    std::vector<std::uint64_t> got;
+    ASSERT_TRUE(UnpackVarintGB(packed, values.size(), &got))
+        << "n=" << values.size();
+    EXPECT_EQ(got, values);
+  }
+}
+
+TEST(VarintGBTest, RoundTripsRandomArrays) {
+  Rng rng(0x6B);
+  for (const std::size_t n : {1u, 3u, 4u, 5u, 100u, 1024u}) {
+    std::vector<std::uint64_t> values(n);
+    for (auto& v : values) {
+      // Spread across all four width classes.
+      const double u = rng.NextDouble();
+      const unsigned shift = u < 0.25 ? 7 : u < 0.5 ? 15 : u < 0.75 ? 31 : 63;
+      v = static_cast<std::uint64_t>(rng.NextDouble() *
+                                     static_cast<double>(1ull << shift));
+    }
+    const std::string packed = PackVarintGB(values);
+    std::vector<std::uint64_t> got;
+    ASSERT_TRUE(UnpackVarintGB(packed, n, &got)) << "n=" << n;
+    EXPECT_EQ(got, values) << "n=" << n;
+  }
+}
+
+TEST(VarintGBTest, SmallValuesCompressToOneBytePlusControl) {
+  // 4 small values = 1 control byte + 4 data bytes, vs 32 raw bytes.
+  const std::vector<std::uint64_t> values = {3, 250, 17, 0};
+  EXPECT_EQ(PackVarintGB(values).size(), 5u);
+}
+
+TEST(VarintGBTest, RejectsMalformedInput) {
+  const std::vector<std::uint64_t> values = {1, 300, 70000, 5000000000ull, 9};
+  const std::string packed = PackVarintGB(values);
+  std::vector<std::uint64_t> out;
+  for (std::size_t cut = 0; cut < packed.size(); ++cut) {
+    EXPECT_FALSE(UnpackVarintGB(packed.substr(0, cut), values.size(), &out))
+        << "cut=" << cut;
+  }
+  EXPECT_FALSE(UnpackVarintGB(packed + std::string(1, '\0'), values.size(),
+                              &out));
+  EXPECT_FALSE(UnpackVarintGB(packed, values.size() + 1, &out));
+  EXPECT_FALSE(UnpackVarintGB(packed, values.size() - 1, &out));
+  EXPECT_TRUE(UnpackVarintGB("", 0, &out));
+  EXPECT_FALSE(UnpackVarintGB("", 1, &out));
+}
+
+// ── BitWriter / BitReader ──────────────────────────────────────────────────
+
+TEST(BitStreamTest, RoundTripsMixedWidths) {
+  std::string buffer;
+  BitWriter writer(&buffer);
+  // The envelope's real use is 2-bit codes; mix widths to stress carries.
+  const std::vector<std::pair<std::uint32_t, unsigned>> fields = {
+      {0b10, 2},  {0b01, 2}, {0b11, 2}, {0, 2},       {0x5, 3},
+      {0x1ff, 9}, {1, 1},    {0x7f, 7}, {0xdead, 16}, {0xffffffffu, 32},
+  };
+  for (const auto& [v, bits] : fields) writer.Put(v, bits);
+  writer.Finish();
+
+  BitReader reader(buffer);
+  for (const auto& [want, bits] : fields) {
+    std::uint32_t got = 0;
+    ASSERT_TRUE(reader.Get(bits, &got)) << "bits=" << bits;
+    EXPECT_EQ(got, want) << "bits=" << bits;
+  }
+  // The stream is exhausted up to zero padding: a full extra byte is gone.
+  std::uint32_t spare = 0;
+  EXPECT_FALSE(reader.Get(8, &spare));
+}
+
+TEST(BitStreamTest, TwoBitCodesPackFourPerByte) {
+  std::string buffer;
+  BitWriter writer(&buffer);
+  for (int i = 0; i < 8; ++i) writer.Put(static_cast<std::uint32_t>(i % 3), 2);
+  writer.Finish();
+  EXPECT_EQ(buffer.size(), 2u);  // 16 bits exactly.
+  BitReader reader(buffer);
+  for (int i = 0; i < 8; ++i) {
+    std::uint32_t v = 0;
+    ASSERT_TRUE(reader.Get(2, &v));
+    EXPECT_EQ(v, static_cast<std::uint32_t>(i % 3));
+  }
+}
+
+TEST(BitStreamTest, ReaderFailsCleanlyOnUnderflow) {
+  std::string buffer;
+  BitWriter writer(&buffer);
+  writer.Put(0b101, 3);
+  writer.Finish();
+  BitReader reader(buffer);
+  std::uint32_t v = 0;
+  ASSERT_TRUE(reader.Get(3, &v));
+  EXPECT_EQ(v, 0b101u);
+  EXPECT_TRUE(reader.Get(5, &v));   // The zero padding of the final byte.
+  EXPECT_EQ(v, 0u);
+  EXPECT_FALSE(reader.Get(1, &v));  // Now truly empty.
+}
+
+// ── QuantizeCount ──────────────────────────────────────────────────────────
+
+TEST(QuantizeCountTest, SnapsToGridAndKeepsExactReproducibility) {
+  EXPECT_EQ(QuantizeCount(3.24, 0.5), 3.0);
+  EXPECT_EQ(QuantizeCount(3.26, 0.5), 3.5);
+  EXPECT_EQ(QuantizeCount(-3.26, 0.5), -3.5);
+  EXPECT_EQ(QuantizeCount(0.0, 0.5), 0.0);
+  // The codec's invariant: the result is bitwise multiple × quantum.
+  const double quantum = 0.25;
+  Rng rng(0x9);
+  for (int i = 0; i < 1000; ++i) {
+    const double count = (rng.NextDouble() - 0.5) * 2e6;
+    const double q = QuantizeCount(count, quantum);
+    const double k = std::nearbyint(q / quantum);
+    EXPECT_EQ(q, k * quantum) << "count=" << count;
+  }
+}
+
+TEST(QuantizeCountTest, IdentityOutsideTheContract) {
+  EXPECT_EQ(QuantizeCount(3.24, 0.0), 3.24);    // Quantum off.
+  EXPECT_EQ(QuantizeCount(3.24, -1.0), 3.24);   // Negative quantum.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(QuantizeCount(inf, 0.5), inf);      // Non-finite count.
+  EXPECT_TRUE(std::isnan(QuantizeCount(std::nan(""), 0.5)));
+  // A magnitude whose multiple index exceeds 2^53 is returned untouched.
+  EXPECT_EQ(QuantizeCount(1e300, 1e-10), 1e300);
+}
+
+}  // namespace
+}  // namespace privtree

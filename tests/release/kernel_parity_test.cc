@@ -1,0 +1,239 @@
+// The bit-for-bit contract of the batch-query kernels.  Every specialized
+// path — the flat 2-d grid kernels (scalar and SIMD), the SoA tree sweep
+// (TreeBatchIndex), AG's kernel-view boundary path — must answer exactly
+// like its reference implementation on every input, including degenerate
+// and adversarial boxes, and must stay deterministic under concurrent
+// callers.  Parity is EXPECT_EQ on doubles throughout: "close" is a bug
+// here, because the serving layer promises compressed/vectorized answers
+// indistinguishable from the originals.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dp/rng.h"
+#include "eval/workload.h"
+#include "hist/ag.h"
+#include "hist/grid.h"
+#include "hist/grid_kernels.h"
+#include "hist/kdtree.h"
+#include "release/tree_batch.h"
+#include "serve/thread_pool.h"
+#include "spatial/box.h"
+#include "spatial/point_set.h"
+#include "spatial/spatial_histogram.h"
+
+namespace privtree {
+namespace {
+
+PointSet TestPoints(std::size_t n, std::uint64_t seed, std::size_t dim = 2) {
+  Rng rng(seed);
+  PointSet points(dim);
+  std::vector<double> p(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = j == 0 ? rng.NextDouble() * rng.NextDouble() : rng.NextDouble();
+    }
+    points.Add(p);
+  }
+  return points;
+}
+
+/// Random boxes plus the degenerate shapes the kernels must not special-case
+/// differently from the reference: empty intersections, zero-width slabs,
+/// exact domain covers, boxes straddling or outside the domain.
+std::vector<Box> AdversarialQueries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Box> queries =
+      GenerateRangeQueries(Box::UnitCube(2), n, kMediumQueries, rng);
+  queries.push_back(Box::UnitCube(2));                    // Full cover.
+  queries.push_back(Box({0.0, 0.0}, {0.0, 0.0}));         // A point.
+  queries.push_back(Box({0.3, 0.3}, {0.3, 0.9}));         // Zero width.
+  queries.push_back(Box({0.25, 0.9}, {0.75, 0.9}));       // Zero height.
+  queries.push_back(Box({-2.0, -2.0}, {-1.0, -1.0}));     // Disjoint.
+  queries.push_back(Box({-1.0, -1.0}, {2.0, 2.0}));       // Superset.
+  queries.push_back(Box({0.5, -1.0}, {2.0, 0.5}));        // Corner overlap.
+  queries.push_back(Box({0.0, 0.4}, {1.0, 0.6}));         // Full-width band.
+  queries.push_back(Box({1.0, 0.0}, {1.0, 1.0}));         // Upper boundary.
+  return queries;
+}
+
+GridHistogram NoisyGrid(std::int64_t m0, std::int64_t m1, std::uint64_t seed) {
+  GridHistogram grid = GridHistogram::FromPoints(
+      TestPoints(3000, seed), Box::UnitCube(2), {m0, m1});
+  Rng rng(seed ^ 0xF00D);
+  grid.AddLaplaceNoise(2.0, rng);
+  grid.BuildPrefixSums();
+  return grid;
+}
+
+TEST(GridKernelParityTest, ScalarAndSimdMatchQueryAndReferenceBitwise) {
+  const std::vector<Box> queries = AdversarialQueries(300, 0xA11CE);
+  // Granularities around SIMD lane widths (1..5) and a large grid.
+  const std::vector<std::pair<std::int64_t, std::int64_t>> shapes = {
+      {1, 1}, {2, 3}, {4, 4}, {5, 7}, {16, 16}, {64, 64}, {128, 32}};
+  std::uint64_t seed = 1;
+  for (const auto& [m0, m1] : shapes) {
+    SCOPED_TRACE(testing::Message() << "grid " << m0 << "x" << m1);
+    const GridHistogram grid = NoisyGrid(m0, m1, seed++);
+    const Grid2DView view = grid.KernelView2D();
+
+    const std::vector<double> reference = grid.QueryBatchReference(queries);
+    const std::vector<double> batch = grid.QueryBatch(queries);
+    std::vector<double> scalar(queries.size()), simd(queries.size());
+    GridQueryBatch2DScalar(view, queries, scalar.data());
+    GridQueryBatch2DSimd(view, queries, simd.data());
+
+    ASSERT_EQ(batch.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const double want = grid.Query(queries[i]);
+      EXPECT_EQ(reference[i], want) << "query " << i;
+      EXPECT_EQ(batch[i], want) << "query " << i;
+      EXPECT_EQ(scalar[i], want) << "query " << i;
+      EXPECT_EQ(simd[i], want) << "query " << i;
+      EXPECT_EQ(GridQueryOne2D(view, queries[i]), want) << "query " << i;
+    }
+  }
+}
+
+TEST(GridKernelParityTest, IndexedBatchMatchesOneShotOnScatteredIndices) {
+  // The AG boundary path feeds the kernel scattered, duplicated query
+  // indices; every answer must equal the one-shot kernel on that query.
+  const GridHistogram grid = NoisyGrid(16, 48, 0x1DB0);
+  const Grid2DView view = grid.KernelView2D();
+  const std::vector<Box> queries = AdversarialQueries(100, 0x1D0);
+  Rng rng(0x1D1);
+  std::vector<std::uint32_t> idx;
+  for (std::size_t j = 0; j < 777; ++j) {
+    idx.push_back(static_cast<std::uint32_t>(rng.NextBounded(
+        static_cast<std::uint64_t>(queries.size()))));
+  }
+  std::vector<double> got(idx.size());
+  GridQueryBatch2DSimdIdx(view, queries.data(), idx.data(), idx.size(),
+                          got.data());
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    EXPECT_EQ(got[j], GridQueryOne2D(view, queries[idx[j]])) << "slot " << j;
+  }
+}
+
+TEST(GridKernelParityTest, NonTwoDimensionalGridsKeepTheGenericPath) {
+  // 3-d grids take the generic QueryImpl everywhere; QueryBatch must still
+  // equal Query and the reference bitwise.
+  GridHistogram grid = GridHistogram::FromPoints(
+      TestPoints(2000, 0x3D, 3), Box::UnitCube(3), {8, 4, 6});
+  Rng noise(0x3D1);
+  grid.AddLaplaceNoise(1.5, noise);
+  grid.BuildPrefixSums();
+  Rng rng(0x3D2);
+  const std::vector<Box> queries =
+      GenerateRangeQueries(Box::UnitCube(3), 120, kMediumQueries, rng);
+  const std::vector<double> batch = grid.QueryBatch(queries);
+  const std::vector<double> reference = grid.QueryBatchReference(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], grid.Query(queries[i])) << "query " << i;
+    EXPECT_EQ(reference[i], batch[i]) << "query " << i;
+  }
+}
+
+TEST(TreeBatchIndexParityTest, MatchesTheTemplateSweepOnSpatialTrees) {
+  const PointSet points = TestPoints(4000, 0x7EE);
+  const std::vector<Box> queries = AdversarialQueries(250, 0x7EE1);
+  const auto box_of = [](const SpatialCell& c) -> const Box& { return c.box; };
+
+  Rng privtree_rng(5);
+  const SpatialHistogram privtree = BuildPrivTreeHistogram(
+      points, Box::UnitCube(2), 1.0, {}, privtree_rng);
+  Rng simple_rng(6);
+  SimpleTreeHistogramOptions simple_options;
+  simple_options.height = 6;
+  const SpatialHistogram simple = BuildSimpleTreeHistogram(
+      points, Box::UnitCube(2), 1.0, simple_options, simple_rng);
+
+  for (const SpatialHistogram* hist : {&privtree, &simple}) {
+    const std::vector<double> want = release::BatchQueryTree(
+        hist->tree, hist->count, std::span<const Box>(queries), box_of);
+    const release::TreeBatchIndex index(hist->tree, hist->count, box_of);
+    EXPECT_EQ(index.size(), hist->tree.size());
+    const std::vector<double> got = index.Query(queries);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "query " << i;
+    }
+  }
+}
+
+TEST(TreeBatchIndexParityTest, MatchesTheTemplateSweepOnKdTrees) {
+  const PointSet points = TestPoints(3000, 0x1D);
+  Rng rng(0x1D1);
+  KdTreeOptions options;
+  options.height = 6;
+  const KdTreeHistogram kd(points, Box::UnitCube(2), 1.0, options, rng);
+  const auto box_of = [](const Box& b) -> const Box& { return b; };
+  const std::vector<Box> queries = AdversarialQueries(250, 0x1D2);
+  const std::vector<double> want = release::BatchQueryTree(
+      kd.tree(), kd.counts(), std::span<const Box>(queries), box_of);
+  const release::TreeBatchIndex index(kd.tree(), kd.counts(), box_of);
+  const std::vector<double> got = index.Query(queries);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "query " << i;
+  }
+}
+
+TEST(TreeBatchIndexParityTest, EmptyIndexAnswersZero) {
+  const release::TreeBatchIndex index;
+  const std::vector<Box> queries = {Box::UnitCube(2)};
+  const std::vector<double> got = index.Query(queries);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 0.0);
+}
+
+TEST(AdaptiveGridParityTest, QueryBatchMatchesReferenceBitwise) {
+  const PointSet points = TestPoints(5000, 0xA6);
+  Rng fit_rng(0xA61);
+  const AdaptiveGrid grid(points, Box::UnitCube(2), 1.0, {}, fit_rng);
+  const std::vector<Box> queries = AdversarialQueries(300, 0xA62);
+  const std::vector<double> got = grid.QueryBatch(queries);
+  const std::vector<double> want = grid.QueryBatchReference(queries);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "query " << i;
+  }
+}
+
+TEST(KernelConcurrencyTest, EightThreadsReproduceSerialAnswersBitwise) {
+  // The kernels hold no mutable state, so concurrent batches over one
+  // synopsis must equal the serial run exactly — at every thread count.
+  const GridHistogram grid = NoisyGrid(32, 32, 0xC0);
+  const PointSet points = TestPoints(3000, 0xC1);
+  Rng tree_rng(0xC2);
+  const SpatialHistogram tree = BuildPrivTreeHistogram(
+      points, Box::UnitCube(2), 1.0, {}, tree_rng);
+  const release::TreeBatchIndex index(
+      tree.tree, tree.count,
+      [](const SpatialCell& c) -> const Box& { return c.box; });
+
+  const std::vector<Box> queries = AdversarialQueries(400, 0xC3);
+  const std::vector<double> grid_serial = grid.QueryBatch(queries);
+  const std::vector<double> tree_serial = index.Query(queries);
+
+  serve::ThreadPool pool(8);
+  std::vector<std::vector<double>> grid_runs(16), tree_runs(16);
+  pool.ParallelFor(grid_runs.size(), [&](std::size_t i) {
+    grid_runs[i] = grid.QueryBatch(queries);
+    tree_runs[i] = index.Query(queries);
+  });
+  for (std::size_t r = 0; r < grid_runs.size(); ++r) {
+    ASSERT_EQ(grid_runs[r].size(), grid_serial.size());
+    ASSERT_EQ(tree_runs[r].size(), tree_serial.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(grid_runs[r][i], grid_serial[i]) << "run " << r;
+      EXPECT_EQ(tree_runs[r][i], tree_serial[i]) << "run " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privtree

@@ -6,6 +6,13 @@
 // envelopes bit-for-bit identically to a fresh fit.  This is the on-disk
 // half of the crash-safety contract: a crash mid-spill-write can never
 // poison serving.
+//
+// The warm scan probes envelope *headers* only (v3 files carry a header
+// checksum + body size, release/serialization.h), so structural damage —
+// truncation, zero length, a torn header — is caught at startup, while a
+// silently bit-flipped body passes the scan and is quarantined at its
+// first load, when the body checksum fails.  Either way the corruption
+// never serves; only the detection point moved.
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -119,16 +126,36 @@ TEST_F(SpillRecoveryTest, CorruptEnvelopesAreQuarantinedHealthyOnesServed) {
 
   SynopsisCache cache(1, SpillOptions{dir(), 16});
 
-  // Only the healthy file is adopted; the corrupt three are set aside.
-  EXPECT_EQ(cache.stats().spill_quarantined, 3u);
-  EXPECT_EQ(cache.SpillFileCount(), 1u);
+  // The scan's header probes reject the structurally damaged files (keys 1
+  // and 3); the body bit-flip (key 2) is invisible to a header check and
+  // stays adopted for now.  The probes read headers only — a few dozen
+  // bytes per file, never the payloads.
+  EXPECT_EQ(cache.stats().spill_quarantined, 2u);
+  EXPECT_EQ(cache.SpillFileCount(), 2u);
+  EXPECT_GT(cache.stats().spill_scan_bytes, 0u);
+  EXPECT_LE(cache.stats().spill_scan_bytes, 64u * 4u);
   EXPECT_FALSE(fs::exists(dir_ / "dead.synopsis.tmp"));
   EXPECT_TRUE(fs::exists(dir_ / "README.txt"));
-  for (std::uint64_t k = 1; k <= 3; ++k) {
+  for (const std::uint64_t k : {1u, 3u}) {
     EXPECT_FALSE(fs::exists(SpillFileFor(k))) << "key " << k;
     const fs::path aside = SpillFileFor(k).string() + ".quarantined";
     EXPECT_TRUE(fs::exists(aside)) << "key " << k;
   }
+  EXPECT_TRUE(fs::exists(SpillFileFor(2)));
+
+  // The bit-flipped body fails its checksum at first load: the file is
+  // quarantined then, the key re-fits exactly once, and serving still
+  // never sees the corrupt bytes.
+  int flipped_fits = 0;
+  cache.GetOrFit(KeyFor(2), [&] {
+    ++flipped_fits;
+    return FitUg(points, 2);
+  });
+  EXPECT_EQ(flipped_fits, 1);
+  EXPECT_EQ(cache.stats().spill_quarantined, 3u);
+  EXPECT_FALSE(fs::exists(SpillFileFor(2)));
+  EXPECT_TRUE(fs::exists(fs::path(SpillFileFor(2).string() +
+                                  ".quarantined")));
 
   // The healthy envelope serves bit-for-bit without a re-fit.
   const auto served = cache.GetOrFit(KeyFor(4), [&] {

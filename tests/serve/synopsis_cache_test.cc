@@ -1,10 +1,13 @@
 // SynopsisCache behavior: hit/miss/evict accounting, LRU order, key
-// canonicalization (option spelling, dataset and RNG fingerprints), and
-// single-flight fitting under concurrency.
+// canonicalization (option spelling, dataset and RNG fingerprints),
+// single-flight fitting under concurrency, and the byte-level accounting
+// added with the compressed envelopes (resident_bytes, the
+// max_resident_bytes cap, spill read/write byte counters).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstddef>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -158,6 +161,84 @@ TEST(SynopsisCacheKeyTest, CanonicalOptionsCollapseSpellings) {
   EXPECT_EQ(CanonicalOptionsText("kdtree", a),
             CanonicalOptionsText("kdtree", b));
   EXPECT_EQ(CanonicalOptionsText("ug", {}), "");
+}
+
+TEST(SynopsisCacheBytesTest, ResidentBytesTrackInsertEvictAndClear) {
+  const PointSet points = TestPoints();
+  SynopsisCache cache(2);
+  const auto fit = [&] { return FitUg(points, 1); };
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+
+  cache.GetOrFit(KeyFor(1), fit);
+  const std::size_t one = cache.stats().resident_bytes;
+  EXPECT_GT(one, 0u);  // The serialized envelope size of one ug synopsis.
+
+  cache.GetOrFit(KeyFor(2), fit);
+  const std::size_t two = cache.stats().resident_bytes;
+  EXPECT_GT(two, one);
+
+  // Evicting key 1 releases exactly its contribution.
+  cache.GetOrFit(KeyFor(3), fit);
+  EXPECT_EQ(cache.stats().resident_bytes, two);  // Same-size synopses swap.
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+}
+
+TEST(SynopsisCacheBytesTest, ByteCapEvictsPastCapacityButKeepsNewest) {
+  const PointSet points = TestPoints();
+  // Entry capacity 8, but a 1-byte budget: every insert overflows it, so
+  // the cache holds exactly the most recent entry (never zero — the cap
+  // must not turn the cache into a fit-every-time no-op).
+  SynopsisCache cache(8, SpillOptions{}, /*max_resident_bytes=*/1);
+  const auto fit = [&] { return FitUg(points, 1); };
+  for (std::uint64_t k = 1; k <= 4; ++k) cache.GetOrFit(KeyFor(k), fit);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  EXPECT_NE(cache.Lookup(KeyFor(4)), nullptr);
+  EXPECT_EQ(cache.Lookup(KeyFor(1)), nullptr);
+
+  // A generous budget holds everything the entry capacity allows.
+  SynopsisCache roomy(8, SpillOptions{}, /*max_resident_bytes=*/1 << 30);
+  for (std::uint64_t k = 1; k <= 4; ++k) roomy.GetOrFit(KeyFor(k), fit);
+  EXPECT_EQ(roomy.size(), 4u);
+  EXPECT_EQ(roomy.stats().evictions, 0u);
+}
+
+TEST(SynopsisCacheBytesTest, SpillByteCountersTrackWritesAndReads) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "privtree_cache_bytes";
+  fs::remove_all(dir);
+  const PointSet points = TestPoints();
+  {
+    SynopsisCache cache(1, SpillOptions{dir.string(), 16});
+    cache.GetOrFit(KeyFor(1), [&] { return FitUg(points, 1); });
+    cache.GetOrFit(KeyFor(2), [&] { return FitUg(points, 2); });  // Evicts 1.
+    cache.FlushSpill();
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.spill_writes, 1u);
+    EXPECT_GT(stats.spill_bytes_written, 0u);
+    EXPECT_EQ(stats.spill_bytes_read, 0u);
+    // The counter is the real on-disk footprint.
+    std::size_t on_disk = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      on_disk += static_cast<std::size_t>(fs::file_size(entry.path()));
+    }
+    EXPECT_EQ(stats.spill_bytes_written, on_disk);
+
+    // Rehydrating key 1 reads those bytes back.
+    cache.GetOrFit(KeyFor(1), [&] {
+      ADD_FAILURE() << "spilled key was re-fitted";
+      return FitUg(points, 1);
+    });
+    EXPECT_EQ(cache.stats().spill_hits, 1u);
+    EXPECT_GT(cache.stats().spill_bytes_read, 0u);
+    EXPECT_LE(cache.stats().spill_bytes_read,
+              cache.stats().spill_bytes_written);
+  }
+  fs::remove_all(dir);
 }
 
 TEST(SynopsisCacheKeyTest, DatasetFingerprintSeparatesDatasets) {
