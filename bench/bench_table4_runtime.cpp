@@ -18,6 +18,10 @@
 //                        [--queries=N] [--clients=N] [--loop=epoll|threads]
 //                        [--chaos] [--kernels[=PATH]]
 //
+// PRIVTREE_SOCKET_ROUNDS=<r> overrides the closed-loop requests per
+// connection in the socket phase (default 3) — useful for longer, less
+// noisy throughput comparisons (e.g. metrics-on vs PRIVTREE_NO_METRICS).
+//
 // --kernels replaces the sweep with the compression/kernel microbench:
 // compressed (v3) vs raw (v2) envelope bytes and decode GB/s per backend,
 // batch-query throughput of the reference paths vs the flat scalar and
@@ -74,6 +78,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <iterator>
@@ -90,6 +95,7 @@
 #include "bench/bench_seq_common.h"
 #include "core/byteio.h"
 #include "core/codec.h"
+#include "core/fault.h"
 #include "core/simd.h"
 #include "core/tree.h"
 #include "eval/table.h"
@@ -98,6 +104,7 @@
 #include "hist/grid.h"
 #include "hist/grid_codec.h"
 #include "hist/grid_kernels.h"
+#include "obs/metrics.h"
 #include "release/dataset.h"
 #include "release/registry.h"
 #include "release/sequence_query.h"
@@ -201,6 +208,22 @@ DatasetHolder MakeDatasetHolder(const std::string& name) {
   std::exit(2);
 }
 
+/// Server-side latency breakdown lifted from the obs metrics registry:
+/// one histogram's sample count and nearest-rank quantiles (microseconds,
+/// bucket lower bounds — ≤25% below the true value by construction).
+struct LatencyBreakdown {
+  std::uint64_t count = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+};
+
+LatencyBreakdown SnapshotBreakdown(const char* histogram_name) {
+  const obs::Histogram& h =
+      obs::Registry::Global().GetHistogram(histogram_name);
+  return {h.Count(), h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999)};
+}
+
 /// Per-dataset sweep results, for the tables and the JSON trail.
 struct DatasetPerf {
   std::string dataset;
@@ -216,6 +239,10 @@ struct DatasetPerf {
   std::size_t served_queries = 0;
   double async_batch_seconds = 0.0;
   double closed_loop_qps = 0.0;
+  // Engine-side breakdown of the served workload, from the metrics
+  // registry (reset at the start of this dataset's serving phase).
+  LatencyBreakdown queue_wait;
+  LatencyBreakdown kernel;
   bool served = false;
 };
 
@@ -327,6 +354,12 @@ void RunServingPhase(serve::ThreadPool& pool, const DatasetHolder& h,
                              h.FitSeed()};
   perf->served_method = spec.method;
 
+  // Scope the engine's queue-wait and kernel histograms to this dataset's
+  // serving phase: datasets run serially, so a Reset here makes the
+  // snapshot below a per-dataset breakdown.
+  obs::Registry::Global().GetHistogram("engine.queue_wait_us").Reset();
+  obs::Registry::Global().GetHistogram("engine.kernel_us").Reset();
+
   if (h.kind == release::DatasetKind::kSpatial) {
     Rng workload_rng(0xBA7C4);
     std::vector<Box> queries;
@@ -342,17 +375,19 @@ void RunServingPhase(serve::ThreadPool& pool, const DatasetHolder& h,
         h.name + "/" + spec.method, clients, queries.size(),
         [&] { return engine.SubmitQueryBatch(spec, queries); },
         &perf->async_batch_seconds, &perf->closed_loop_qps);
-    return;
+  } else {
+    Rng workload_rng(0xBA7C5);
+    const std::vector<release::SequenceQuery> queries =
+        GenerateSequenceQueries(h.sequence->truncated, query_count,
+                                workload_rng);
+    perf->served_queries = queries.size();
+    perf->served = ClosedLoopServe(
+        h.name + "/" + spec.method, clients, queries.size(),
+        [&] { return engine.SubmitSeqQueryBatch(spec, queries); },
+        &perf->async_batch_seconds, &perf->closed_loop_qps);
   }
-  Rng workload_rng(0xBA7C5);
-  const std::vector<release::SequenceQuery> queries =
-      GenerateSequenceQueries(h.sequence->truncated, query_count,
-                              workload_rng);
-  perf->served_queries = queries.size();
-  perf->served = ClosedLoopServe(
-      h.name + "/" + spec.method, clients, queries.size(),
-      [&] { return engine.SubmitSeqQueryBatch(spec, queries); },
-      &perf->async_batch_seconds, &perf->closed_loop_qps);
+  perf->queue_wait = SnapshotBreakdown("engine.queue_wait_us");
+  perf->kernel = SnapshotBreakdown("engine.kernel_us");
 }
 
 /// Companion sweep: build + serving time of every registered method of the
@@ -466,9 +501,29 @@ struct SocketPerf {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   std::uint64_t peak_connections = 0;  // Epoll loop's max_concurrent.
+  // Server-side breakdown of the closed-loop traffic, from the metrics
+  // registry (reset after warm-up, so counts cover exactly the loop).
+  LatencyBreakdown queue_wait;
+  LatencyBreakdown kernel;
+  LatencyBreakdown request;  // End-to-end per-frame; epoll loop only.
+  // The GetStats-over-the-wire consistency gate: counters the server
+  // reports must agree bit-for-bit with this driver's own accounting.
+  std::uint64_t stats_admitted = 0;
+  std::uint64_t stats_shed = 0;
+  bool stats_consistent = false;
   bool parity = false;  // Socket answers == in-process (== oracle loop).
   bool ok = false;
 };
+
+/// The integer right after `"name":` in a JSON snapshot (searching from
+/// `from`, so histogram sub-objects can be scoped); 0 when absent.
+std::uint64_t JsonUintField(const std::string& json, const std::string& name,
+                            std::size_t from = 0) {
+  const std::string key = "\"" + name + "\":";
+  const std::size_t at = json.find(key, from);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + at + key.size(), nullptr, 10);
+}
 
 /// Latency percentile over the recorded per-request samples (nearest-rank
 /// on the sorted vector; sorts in place).
@@ -733,6 +788,10 @@ SocketPerf RunSocketPhase(serve::ThreadPool& pool,
   perf.loop = loop_kind;
   perf.clients = clients;
   perf.rounds = 3;
+  if (const char* value = std::getenv("PRIVTREE_SOCKET_ROUNDS")) {
+    const long parsed = std::strtol(value, nullptr, 10);
+    if (parsed > 0) perf.rounds = static_cast<std::size_t>(parsed);
+  }
   perf.batch = 16;
   EnsureFdHeadroom(2 * clients + 256);
 
@@ -826,6 +885,15 @@ SocketPerf RunSocketPhase(serve::ThreadPool& pool,
     }
   }
 
+  // Zero the registry so its counters cover exactly the closed loop.  The
+  // admission / engine / served-frame increments all land strictly before
+  // their reply bytes — which this thread has already received — so none
+  // of the warm traffic can trickle in after the Reset.  (The one
+  // exception: the final warm request's *trace* finishes after its reply
+  // flushes, so "server.request_us" may carry one stray sample; no
+  // consistency check below leans on it.)
+  obs::Registry::Global().Reset();
+
   std::vector<double> latencies_ms;
   latencies_ms.reserve(clients * perf.rounds);
   const double wall = Seconds([&] {
@@ -840,6 +908,78 @@ SocketPerf RunSocketPhase(serve::ThreadPool& pool,
       perf.requests_per_second * static_cast<double>(perf.batch);
   perf.p50_ms = PercentileMs(&latencies_ms, 0.50);
   perf.p99_ms = PercentileMs(&latencies_ms, 0.99);
+  perf.queue_wait = SnapshotBreakdown("engine.queue_wait_us");
+  perf.kernel = SnapshotBreakdown("engine.kernel_us");
+  perf.request = SnapshotBreakdown("server.request_us");
+
+  // GetStats over the wire — fetched *before* the parity traffic below
+  // adds requests: the snapshot's admission and engine counters must agree
+  // bit-for-bit with this driver's closed-loop accounting.  Every driver
+  // frame is one admitted request, one queue wait, and one kernel batch;
+  // the shed counters must read zero (the queue was provisioned for
+  // 2x clients above).  On the epoll loop, served frames additionally
+  // equal the driver's requests plus this client's Hello and the GetStats
+  // frame itself.
+#ifdef PRIVTREE_NO_METRICS
+  // Nothing to compare: the registry is compiled out and GetStats
+  // truthfully reports empty sections.  The gate passes vacuously so the
+  // metrics-off build still runs end to end for throughput comparison.
+  perf.stats_consistent = true;
+#else
+  if (perf.ok) {
+    auto stats_client = server::Client::Connect("127.0.0.1", port);
+    if (!stats_client.ok()) {
+      std::fprintf(stderr, "error: GetStats connect: %s\n",
+                   stats_client.status().ToString().c_str());
+      perf.ok = false;
+    } else {
+      const auto json = stats_client.value().GetStatsJson();
+      if (!json.ok()) {
+        std::fprintf(stderr, "error: GetStats fetch: %s\n",
+                     json.status().ToString().c_str());
+        perf.ok = false;
+      } else {
+        const std::string& snapshot = json.value();
+        perf.stats_admitted = JsonUintField(snapshot, "admission.admitted");
+        perf.stats_shed =
+            JsonUintField(snapshot, "admission.shed_queue_full") +
+            JsonUintField(snapshot, "admission.shed_cache_saturated");
+        const std::size_t queue_at =
+            snapshot.find("\"engine.queue_wait_us\":");
+        const std::size_t kernel_at = snapshot.find("\"engine.kernel_us\":");
+        const std::uint64_t queue_count =
+            queue_at == std::string::npos
+                ? 0
+                : JsonUintField(snapshot, "count", queue_at);
+        const std::uint64_t kernel_count =
+            kernel_at == std::string::npos
+                ? 0
+                : JsonUintField(snapshot, "count", kernel_at);
+        perf.stats_consistent =
+            perf.stats_admitted == perf.requests && perf.stats_shed == 0 &&
+            queue_count == perf.requests && kernel_count == perf.requests;
+        if (loop_kind == "epoll") {
+          const std::uint64_t served_frames =
+              JsonUintField(snapshot, "event.served_frames");
+          perf.stats_consistent = perf.stats_consistent &&
+                                  served_frames == perf.requests + 2;
+        }
+        if (!perf.stats_consistent) {
+          std::fprintf(stderr,
+                       "error: GetStats counters disagree with the driver: "
+                       "admitted=%llu shed=%llu queue_wait=%llu "
+                       "kernel=%llu vs %zu driver requests\n",
+                       static_cast<unsigned long long>(perf.stats_admitted),
+                       static_cast<unsigned long long>(perf.stats_shed),
+                       static_cast<unsigned long long>(queue_count),
+                       static_cast<unsigned long long>(kernel_count),
+                       perf.requests);
+          perf.ok = false;
+        }
+      }
+    }
+  }
+#endif  // PRIVTREE_NO_METRICS
 
   // Parity: the answers this loop serves vs. the in-process AsyncEngine
   // answers for the same (spec, fingerprint, workload) — and, in epoll
@@ -1101,16 +1241,41 @@ void WriteChaosJson(const std::string& path, std::size_t threads,
       "  \"failed\": %zu,\n  \"error_rate\": %.6g,\n"
       "  \"parity_mismatches\": %zu,\n  \"retries\": %llu,\n"
       "  \"reconnects\": %llu,\n  \"recovery_millis\": %.6g,\n"
-      "  \"wall_seconds\": %.6g,\n  \"requests_per_second\": %.6g,\n"
-      "  \"ok\": %s\n}\n",
+      "  \"wall_seconds\": %.6g,\n  \"requests_per_second\": %.6g,\n",
       threads, dataset.c_str(), chaos.clients, chaos.rounds_per_phase,
       chaos.requests, chaos.failed, error_rate, chaos.mismatches,
       static_cast<unsigned long long>(chaos.retries),
       static_cast<unsigned long long>(chaos.reconnects),
-      chaos.recovery_millis, chaos.wall_seconds, chaos.requests_per_second,
-      chaos.ok ? "true" : "false");
+      chaos.recovery_millis, chaos.wall_seconds, chaos.requests_per_second);
+  // Which fault-injection points actually fired (armed via
+  // PRIVTREE_FAULTS; empty object on a fault-free run) — so a chaos
+  // snapshot records not just that the run survived, but what it survived.
+  auto fault_stats = fault::Injector::Global().AllStats();
+  std::sort(fault_stats.begin(), fault_stats.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::fprintf(f, "  \"faults\": {");
+  for (std::size_t i = 0; i < fault_stats.size(); ++i) {
+    std::fprintf(f, "%s\"%s\": {\"hits\": %llu, \"fired\": %llu}",
+                 i ? ", " : "", fault_stats[i].first.c_str(),
+                 static_cast<unsigned long long>(fault_stats[i].second.hits),
+                 static_cast<unsigned long long>(fault_stats[i].second.fired));
+  }
+  std::fprintf(f, "},\n  \"ok\": %s\n}\n", chaos.ok ? "true" : "false");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+/// One registry-histogram breakdown as an inline JSON object (no trailing
+/// separator): {"count":N,"p50_us":a,"p99_us":b,"p999_us":c}.
+void WriteBreakdownJson(std::FILE* f, const char* name,
+                        const LatencyBreakdown& b) {
+  std::fprintf(f,
+               "\"%s\": {\"count\": %llu, \"p50_us\": %llu, "
+               "\"p99_us\": %llu, \"p999_us\": %llu}",
+               name, static_cast<unsigned long long>(b.count),
+               static_cast<unsigned long long>(b.p50_us),
+               static_cast<unsigned long long>(b.p99_us),
+               static_cast<unsigned long long>(b.p999_us));
 }
 
 void WriteMethodsJson(std::FILE* f, const std::vector<MethodPerf>& methods) {
@@ -1171,10 +1336,13 @@ void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
     std::fprintf(f,
                  "     \"served\": %s, \"served_method\": \"%s\", "
                  "\"served_queries\": %zu, \"async_batch_seconds\": %.6g, "
-                 "\"closed_loop_qps\": %.6g}%s\n",
+                 "\"closed_loop_qps\": %.6g,\n     ",
                  d.served ? "true" : "false", d.served_method.c_str(),
-                 d.served_queries, d.async_batch_seconds, d.closed_loop_qps,
-                 i + 1 < datasets.size() ? "," : "");
+                 d.served_queries, d.async_batch_seconds, d.closed_loop_qps);
+    WriteBreakdownJson(f, "queue_wait_us", d.queue_wait);
+    std::fprintf(f, ", ");
+    WriteBreakdownJson(f, "kernel_us", d.kernel);
+    std::fprintf(f, "}%s\n", i + 1 < datasets.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"registry_sweep\": {\"dataset\": \"%s\", "
                   "\"epsilon\": 1, \"methods\": [\n",
@@ -1191,13 +1359,25 @@ void WriteJson(const std::string& path, std::size_t threads, std::size_t reps,
       "    \"requests\": %zu, \"failed\": %zu, \"wall_seconds\": %.6g, "
       "\"requests_per_second\": %.6g,\n"
       "    \"served_qps\": %.6g, \"p50_ms\": %.6g, \"p99_ms\": %.6g, "
-      "\"peak_connections\": %llu, \"parity\": %s}\n",
+      "\"peak_connections\": %llu, \"parity\": %s,\n    ",
       socket.loop.c_str(), socket.clients, socket.rounds, socket.batch,
       socket.requests, socket.failed, socket.wall_seconds,
       socket.requests_per_second, socket.queries_per_second, socket.p50_ms,
       socket.p99_ms,
       static_cast<unsigned long long>(socket.peak_connections),
       socket.parity ? "true" : "false");
+  WriteBreakdownJson(f, "queue_wait_us", socket.queue_wait);
+  std::fprintf(f, ", ");
+  WriteBreakdownJson(f, "kernel_us", socket.kernel);
+  std::fprintf(f, ", ");
+  WriteBreakdownJson(f, "request_us", socket.request);
+  std::fprintf(
+      f,
+      ",\n    \"stats\": {\"admitted\": %llu, \"shed\": %llu, "
+      "\"consistent\": %s}}\n",
+      static_cast<unsigned long long>(socket.stats_admitted),
+      static_cast<unsigned long long>(socket.stats_shed),
+      socket.stats_consistent ? "true" : "false");
   const serve::SynopsisCache::Stats cache = serve::SharedSynopsisCache().stats();
   std::fprintf(
       f,
@@ -1911,6 +2091,18 @@ int main(int argc, char** argv) {
               socket_perf.loop.c_str(),
               socket_perf.loop == "epoll" ? " vs threads oracle" : "",
               socket_perf.parity ? "bit-for-bit identical" : "MISMATCH");
+  std::printf(
+      "socket GetStats: admitted=%llu shed=%llu vs %zu driver requests "
+      "(queue-wait p50/p99 %llu/%llu us, kernel p50/p99 %llu/%llu us) — "
+      "%s\n",
+      static_cast<unsigned long long>(socket_perf.stats_admitted),
+      static_cast<unsigned long long>(socket_perf.stats_shed),
+      socket_perf.requests,
+      static_cast<unsigned long long>(socket_perf.queue_wait.p50_us),
+      static_cast<unsigned long long>(socket_perf.queue_wait.p99_us),
+      static_cast<unsigned long long>(socket_perf.kernel.p50_us),
+      static_cast<unsigned long long>(socket_perf.kernel.p99_us),
+      socket_perf.stats_consistent ? "bit-consistent" : "MISMATCH");
 
   // The closed-loop JSON must never under-report serving coverage: every
   // listed dataset — sequence ones included — and every sweep method row

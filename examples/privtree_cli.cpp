@@ -12,6 +12,7 @@
 //                    [--dataset=<name|fingerprint>]
 //                    (queries on stdin)
 //   privtree_cli datasets --connect=<host:port>
+//   privtree_cli stats --connect=<host:port>
 //   privtree_cli shutdown --connect=<host:port>
 //
 // <dim> selects the dataset kind: a plain integer loads a spatial point
@@ -84,8 +85,9 @@ int Usage(const char* argv0) {
       "  %s query --connect=<host:port> <epsilon> [--method=<name>] "
       "[--options=k=v,...] [--deadline-ms=N] [--dataset=<name|fp>]\n"
       "  %s datasets --connect=<host:port>\n"
+      "  %s stats --connect=<host:port>\n"
       "  %s shutdown --connect=<host:port>\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -641,6 +643,32 @@ int RunDatasets(int argc, char** argv) {
   return 0;
 }
 
+/// `stats --connect=<host:port>`: print the server's live observability
+/// snapshot — the whole metrics registry plus trace-ring and fault-point
+/// sections — as one JSON object (protocol v5 GetStats).
+int RunStats(int argc, char** argv) {
+  if (argc != 3 || std::strncmp(argv[2], "--connect=", 10) != 0) {
+    return Usage(argv[0]);
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!ParseConnect(argv[2], &host, &port)) return 2;
+  auto connected = privtree::server::Client::Connect(host, port,
+                                                  ResilientClientOptions());
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  auto json = connected.value().GetStatsJson();
+  if (!json.ok()) {
+    std::fprintf(stderr, "error: %s\n", json.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", json.value().c_str());
+  return 0;
+}
+
 int RunShutdown(int argc, char** argv) {
   if (argc != 3 || std::strncmp(argv[2], "--connect=", 10) != 0) {
     return Usage(argv[0]);
@@ -707,6 +735,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "build") == 0) return RunBuild(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return RunQuery(argc, argv);
   if (std::strcmp(argv[1], "datasets") == 0) return RunDatasets(argc, argv);
+  if (std::strcmp(argv[1], "stats") == 0) return RunStats(argc, argv);
   if (std::strcmp(argv[1], "shutdown") == 0) return RunShutdown(argc, argv);
   return Usage(argv[0]);
 }

@@ -10,6 +10,7 @@
 //        [--loop=epoll|threads] [--idle-timeout-ms=N]
 //        [--drain-timeout-ms=N] [--max-connections=N]
 //        [--session-budget=EPS] [--no-uploads]
+//        [--stats-file=PATH] [--stats-interval-ms=N] [--trace-slow-ms=N]
 //
 // A plain <dim> loads a spatial point CSV (domain: the unit cube — rescale
 // your data; a data-derived bounding box would leak); `seq:<alphabet>`
@@ -31,15 +32,27 @@
 // total ε across its fits (0 = unlimited).  The process runs until a
 // client sends Shutdown (`privtree_cli shutdown --connect=...`) or it is
 // signalled.
+//
+// Observability: --stats-file=PATH snapshots the whole metrics registry
+// (the same JSON a GetStats frame returns) to PATH every
+// --stats-interval-ms (default 1000), atomically via rename, plus one
+// final snapshot at exit; --trace-slow-ms=N logs the full span breakdown
+// of any request slower than N milliseconds to stderr.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/csv.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "release/dataset.h"
 #include "seq/sequence.h"
 #include "serve/parallel_runner.h"
@@ -64,10 +77,60 @@ int Usage(const char* argv0) {
       "       [--max-pending-spills=N] [--spill-dir=PATH]\n"
       "       [--loop=epoll|threads] [--idle-timeout-ms=N]\n"
       "       [--drain-timeout-ms=N] [--max-connections=N]\n"
-      "       [--session-budget=EPS] [--no-uploads]\n",
+      "       [--session-budget=EPS] [--no-uploads]\n"
+      "       [--stats-file=PATH] [--stats-interval-ms=N] "
+      "[--trace-slow-ms=N]\n",
       argv0, argv0);
   return 2;
 }
+
+/// Snapshots the metrics registry to `path` every `interval_ms` until
+/// Stop(), plus once more on the way out (so a short-lived server still
+/// leaves its final numbers behind).
+class StatsFileWriter {
+ public:
+  StatsFileWriter(std::string path, std::size_t interval_ms)
+      : path_(std::move(path)), interval_ms_(interval_ms) {
+    writer_ = std::thread([this] { Run(); });
+  }
+
+  ~StatsFileWriter() { Stop(); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    writer_.join();
+    privtree::obs::WriteStatsFile(path_);  // The final snapshot.
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stopped_) {
+      cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stopped_; });
+      if (stopped_) break;
+      lk.unlock();
+      if (!privtree::obs::WriteStatsFile(path_)) {
+        std::fprintf(stderr,
+                     "privtree_server: stats snapshot to %s failed\n",
+                     path_.c_str());
+      }
+      lk.lock();
+    }
+  }
+
+  const std::string path_;
+  const std::size_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread writer_;
+};
 
 struct DataSpec {
   std::string name;
@@ -89,6 +152,9 @@ struct ServerFlags {
   std::size_t max_connections = 4096;
   double session_budget = 0.0;
   bool allow_uploads = true;
+  std::string stats_file;
+  std::size_t stats_interval_ms = 1000;
+  std::size_t trace_slow_ms = 0;
 };
 
 bool ParseSizeFlag(const std::string& arg, const char* name,
@@ -192,7 +258,13 @@ int main(int argc, char** argv) {
                ParseSizeFlag(arg, "--drain-timeout-ms",
                              &flags.drain_timeout_ms) ||
                ParseSizeFlag(arg, "--max-connections",
-                             &flags.max_connections)) {
+                             &flags.max_connections) ||
+               ParseSizeFlag(arg, "--stats-interval-ms",
+                             &flags.stats_interval_ms) ||
+               ParseSizeFlag(arg, "--trace-slow-ms",
+                             &flags.trace_slow_ms)) {
+    } else if (arg.rfind("--stats-file=", 0) == 0) {
+      flags.stats_file = arg.substr(std::strlen("--stats-file="));
     } else if (arg.rfind("--spill-dir=", 0) == 0) {
       flags.spill_dir = arg.substr(std::strlen("--spill-dir="));
     } else if (arg == "--loop=epoll") {
@@ -267,6 +339,16 @@ int main(int argc, char** argv) {
   dispatch_options.allow_uploads = flags.allow_uploads;
   privtree::server::Dispatcher dispatcher(registry, dispatch_options);
 
+  if (flags.trace_slow_ms > 0) {
+    privtree::obs::TraceRing::Global().SetSlowThresholdMillis(
+        static_cast<std::int64_t>(flags.trace_slow_ms));
+  }
+  std::unique_ptr<StatsFileWriter> stats_writer;
+  if (!flags.stats_file.empty()) {
+    stats_writer = std::make_unique<StatsFileWriter>(
+        flags.stats_file, std::max<std::size_t>(1, flags.stats_interval_ms));
+  }
+
   auto listener = privtree::server::ListenSocket::Listen(flags.port);
   if (!listener.ok()) {
     std::fprintf(stderr, "error: %s\n",
@@ -317,6 +399,7 @@ int main(int argc, char** argv) {
     std::fflush(stderr);
     served = loop.Run();
   }
+  if (stats_writer) stats_writer->Stop();
   if (!served.ok()) {
     std::fprintf(stderr, "error: %s\n", served.ToString().c_str());
     return 1;

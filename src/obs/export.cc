@@ -1,0 +1,63 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "core/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace privtree::obs {
+
+std::string ProcessStatsJson() {
+  std::string registry_json = Registry::Global().ToJson();
+  // Registry::ToJson returns "{...}"; splice the trace and fault sections
+  // into the same top-level object.
+  std::ostringstream out;
+  out << registry_json.substr(0, registry_json.size() - 1);
+  const TraceRing& ring = TraceRing::Global();
+  out << ",\"traces\":{\"finished\":" << ring.finished()
+      << ",\"slow_threshold_ms\":" << ring.slow_threshold_millis() << '}';
+  out << ",\"faults\":{";
+  auto fault_stats = fault::Injector::Global().AllStats();
+  std::sort(fault_stats.begin(), fault_stats.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  bool first = true;
+  for (const auto& [point, stats] : fault_stats) {
+    if (!first) out << ',';
+    first = false;
+    out << '"';
+    for (char c : point) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << "\":{\"hits\":" << stats.hits << ",\"fired\":" << stats.fired
+        << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+bool WriteStatsFile(const std::string& path) {
+  const std::string json = ProcessStatsJson();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+      std::fputc('\n', f) != EOF;
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace privtree::obs

@@ -1,0 +1,25 @@
+// Snapshot export: the whole process's observable state as one JSON
+// object — the metrics registry (counters/gauges/histograms), trace-ring
+// totals, and fault-injection point hit counts.  This is the payload of
+// the GetStats protocol frame, the `privtree_cli stats` verb, and the
+// --stats-file periodic snapshot.
+#ifndef PRIVTREE_OBS_EXPORT_H_
+#define PRIVTREE_OBS_EXPORT_H_
+
+#include <string>
+
+namespace privtree::obs {
+
+/// {"counters":{...},"gauges":{...},"histograms":{...},
+///  "traces":{"finished":N,"slow_threshold_ms":M},
+///  "faults":{"point":{"hits":H,"fired":F},...}}
+std::string ProcessStatsJson();
+
+/// Atomically replaces `path` with the current ProcessStatsJson (write to
+/// `path`.tmp then rename, so readers never see a torn snapshot).
+/// Returns false on I/O failure.
+bool WriteStatsFile(const std::string& path);
+
+}  // namespace privtree::obs
+
+#endif  // PRIVTREE_OBS_EXPORT_H_

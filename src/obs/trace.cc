@@ -1,0 +1,151 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace privtree::obs {
+
+const char* SpanName(Span span) {
+  switch (span) {
+    case Span::kSocketRead:
+      return "socket_read";
+    case Span::kDispatch:
+      return "dispatch";
+    case Span::kAdmission:
+      return "admission";
+    case Span::kQueueWait:
+      return "queue_wait";
+    case Span::kFit:
+      return "fit";
+    case Span::kKernel:
+      return "kernel";
+    case Span::kSerialize:
+      return "serialize";
+    case Span::kSocketWrite:
+      return "socket_write";
+    case Span::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::uint64_t NextTraceId() {
+  // SplitMix64 finalizer over a process-wide sequence: unique, non-zero,
+  // and well-mixed so ids from concurrent servers rarely collide.
+  static std::atomic<std::uint64_t> sequence{0x9e3779b97f4a7c15ull};
+  std::uint64_t x =
+      sequence.fetch_add(0x9e3779b97f4a7c15ull, std::memory_order_relaxed);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+TracePtr StartTrace(std::uint64_t id) {
+  auto trace = std::make_shared<TraceContext>();
+  if (id == 0) {
+    trace->trace_id = NextTraceId();
+  } else {
+    trace->trace_id = id;
+    trace->client_supplied_id = true;
+  }
+  return trace;
+}
+
+std::string FormatTrace(const TraceContext& trace) {
+  std::ostringstream out;
+  char id_hex[32];
+  std::snprintf(id_hex, sizeof id_hex, "0x%016llx",
+                static_cast<unsigned long long>(trace.trace_id));
+  out << "trace=" << id_hex;
+  if (trace.total_us >= 0) {
+    out << " total=" << static_cast<double>(trace.total_us) / 1000.0 << "ms";
+  }
+  out << (trace.cache_hit ? " cache_hit" : " cache_miss");
+  for (std::size_t i = 0; i < kSpanCount; ++i) {
+    const std::int64_t us = trace.span_us[i];
+    if (us < 0) continue;
+    out << ' ' << SpanName(static_cast<Span>(i)) << '='
+        << static_cast<double>(us) / 1000.0 << "ms";
+  }
+  return out.str();
+}
+
+TraceRing::TraceRing() : capacity_(256) { ring_.reserve(capacity_); }
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* instance = new TraceRing();
+  return *instance;
+}
+
+void TraceRing::SetCapacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n == 0 ? 1 : n;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+}
+
+void TraceRing::SetSlowThresholdMillis(std::int64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_ms_ = ms;
+}
+
+std::int64_t TraceRing::slow_threshold_millis() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_threshold_ms_;
+}
+
+void TraceRing::Push(const TraceContext& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+  } else {
+    ring_[next_ % capacity_] = trace;
+  }
+  ++next_;
+  ++finished_;
+}
+
+std::vector<TraceContext> TraceRing::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+std::uint64_t TraceRing::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+void TraceRing::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+  finished_ = 0;
+}
+
+void FinishTrace(TraceContext& trace) {
+  const auto now = std::chrono::steady_clock::now();
+  trace.total_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       now - trace.start)
+                       .count();
+  static Histogram& request_us =
+      Registry::Global().GetHistogram("server.request_us");
+  request_us.Observe(
+      trace.total_us < 0 ? 0 : static_cast<std::uint64_t>(trace.total_us));
+  TraceRing& ring = TraceRing::Global();
+  ring.Push(trace);
+  const std::int64_t slow_ms = ring.slow_threshold_millis();
+  if (slow_ms > 0 && trace.total_us >= slow_ms * 1000) {
+    std::fprintf(stderr, "[privtree_server] slow request: %s\n",
+                 FormatTrace(trace).c_str());
+  }
+}
+
+}  // namespace privtree::obs

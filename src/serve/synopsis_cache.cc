@@ -15,6 +15,7 @@
 
 #include "core/fault.h"
 #include "dp/check.h"
+#include "obs/metrics.h"
 #include "release/registry.h"
 #include "release/serialization.h"
 
@@ -125,6 +126,48 @@ void QuarantineFile(const std::filesystem::path& path) {
   if (ec) fs::remove(path, ec);
 }
 
+// Registry mirrors of the Stats fields, bumped at the same mutation sites
+// (under mu_, so registry and struct stay in lockstep).  Counters are the
+// cumulative tallies; the two level values (resident bytes, write-behind
+// backlog) are gauges Set to the post-mutation value.
+struct CacheMetrics {
+  obs::Counter& hits = obs::Registry::Global().GetCounter("cache.hits");
+  obs::Counter& misses = obs::Registry::Global().GetCounter("cache.misses");
+  obs::Counter& evictions =
+      obs::Registry::Global().GetCounter("cache.evictions");
+  obs::Counter& spill_writes =
+      obs::Registry::Global().GetCounter("cache.spill_writes");
+  obs::Counter& spill_hits =
+      obs::Registry::Global().GetCounter("cache.spill_hits");
+  obs::Counter& spill_evictions =
+      obs::Registry::Global().GetCounter("cache.spill_evictions");
+  obs::Counter& spill_failures =
+      obs::Registry::Global().GetCounter("cache.spill_failures");
+  obs::Counter& spill_write_failures =
+      obs::Registry::Global().GetCounter("cache.spill_write_failures");
+  obs::Counter& spill_quarantined =
+      obs::Registry::Global().GetCounter("cache.spill_quarantined");
+  obs::Counter& writeback_hits =
+      obs::Registry::Global().GetCounter("cache.writeback_hits");
+  obs::Counter& spill_write_batches =
+      obs::Registry::Global().GetCounter("cache.spill_write_batches");
+  obs::Counter& spill_bytes_written =
+      obs::Registry::Global().GetCounter("cache.spill_bytes_written");
+  obs::Counter& spill_bytes_read =
+      obs::Registry::Global().GetCounter("cache.spill_bytes_read");
+  obs::Counter& spill_scan_bytes =
+      obs::Registry::Global().GetCounter("cache.spill_scan_bytes");
+  obs::Gauge& resident_bytes =
+      obs::Registry::Global().GetGauge("cache.resident_bytes");
+  obs::Gauge& spill_pending =
+      obs::Registry::Global().GetGauge("cache.spill_pending");
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics* metrics = new CacheMetrics();
+  return *metrics;
+}
+
 }  // namespace
 
 SynopsisCache::SynopsisCache(std::size_t capacity)
@@ -158,12 +201,14 @@ SynopsisCache::SynopsisCache(std::size_t capacity, SpillOptions spill,
     std::uint64_t scanned = 0;
     const Status probed = release::ProbeSynopsisFile(p.string(), &scanned);
     stats_.spill_scan_bytes += static_cast<std::size_t>(scanned);
+    Metrics().spill_scan_bytes.Inc(scanned);
     if (!probed.ok()) {
       std::fprintf(stderr,
                    "privtree: quarantining corrupt spill file %s (%s)\n",
                    p.string().c_str(), probed.ToString().c_str());
       QuarantineFile(p);
       ++stats_.spill_quarantined;
+      Metrics().spill_quarantined.Inc();
       continue;
     }
     found.emplace_back(fs::last_write_time(p, ec), p.filename().string());
@@ -221,7 +266,9 @@ void SynopsisCache::InsertLocked(
     if (spill_enabled()) evicted->push_back(std::move(lru_.back()));
     lru_.pop_back();
     ++stats_.evictions;
+    Metrics().evictions.Inc();
   }
+  Metrics().resident_bytes.Set(stats_.resident_bytes);
 }
 
 void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
@@ -268,6 +315,8 @@ void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
     if (!saved.ok() || ec) {
       ++stats_.spill_failures;  // E.g. a non-serializable test stub.
       ++stats_.spill_write_failures;
+      Metrics().spill_failures.Inc();
+      Metrics().spill_write_failures.Inc();
       if (logged_write_failures_.insert(file).second) {
         std::fprintf(stderr,
                      "privtree: spill write failed for %s (%s)\n",
@@ -281,6 +330,8 @@ void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
     }
     ++stats_.spill_writes;
     stats_.spill_bytes_written += static_cast<std::size_t>(written);
+    Metrics().spill_writes.Inc();
+    Metrics().spill_bytes_written.Inc(written);
     if (spill_index_.insert(file).second) spill_lru_.push_front(file);
     while (spill_.max_entries > 0 && spill_lru_.size() > spill_.max_entries) {
       std::error_code remove_ec;
@@ -288,6 +339,7 @@ void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
       spill_index_.erase(spill_lru_.back());
       spill_lru_.pop_back();
       ++stats_.spill_evictions;
+      Metrics().spill_evictions.Inc();
     }
   }
 }
@@ -304,6 +356,7 @@ bool SynopsisCache::EnqueueSpillLocked(std::vector<Evicted>* evicted) {
     queued = true;
   }
   evicted->clear();
+  Metrics().spill_pending.Set(spill_pending_index_.size());
   return queued;
 }
 
@@ -322,12 +375,14 @@ void SynopsisCache::RunSpillWriter() {
                                std::make_move_iterator(spill_queue_.end()));
     spill_queue_.clear();
     ++stats_.spill_write_batches;
+    Metrics().spill_write_batches.Inc();
     lk.unlock();
     SpillEvicted(batch);
     lk.lock();
     // Only now do the keys leave the write-behind buffer: a miss during the
     // write was still served from memory (writeback hit).
     for (const auto& [key, method] : batch) spill_pending_index_.erase(key);
+    Metrics().spill_pending.Set(spill_pending_index_.size());
     if (spill_queue_.empty()) flush_cv_.notify_all();
   }
 }
@@ -347,6 +402,7 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
   for (;;) {
     if (const auto it = index_.find(key); it != index_.end()) {
       ++stats_.hits;
+      Metrics().hits.Inc();
       lru_.splice(lru_.begin(), lru_, it->second);
       return it->second->second;
     }
@@ -356,6 +412,7 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
     if (const auto it = spill_pending_index_.find(key);
         it != spill_pending_index_.end()) {
       ++stats_.writeback_hits;
+      Metrics().writeback_hits.Inc();
       const std::shared_ptr<const release::Method> value = it->second;
       std::vector<Evicted> evicted;
       if (capacity_ > 0) InsertLocked(key, value, &evicted);
@@ -371,6 +428,7 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
     inflight_cv_.wait(lk);
   }
   ++stats_.misses;
+  Metrics().misses.Inc();
   inflight_.insert(key);
   if (spill_enabled()) {
     const std::string file =
@@ -409,15 +467,19 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
   if (from_spill) {
     ++stats_.spill_hits;
     stats_.spill_bytes_read += static_cast<std::size_t>(read_bytes);
+    Metrics().spill_hits.Inc();
+    Metrics().spill_bytes_read.Inc(read_bytes);
     TouchSpillLocked(spill_file);
   } else if (spill_broken) {
     ++stats_.spill_failures;
+    Metrics().spill_failures.Inc();
     if (spill_index_.erase(spill_file) > 0) {
       spill_lru_.remove(spill_file);
       // Keep the corrupt bytes aside for diagnosis instead of destroying
       // them; the fresh fit above replaces the entry either way.
       QuarantineFile(SpillPathFor(spill_file));
       ++stats_.spill_quarantined;
+      Metrics().spill_quarantined.Inc();
     }
   }
   if (capacity_ > 0) InsertLocked(key, value, &evicted);
@@ -465,6 +527,7 @@ void SynopsisCache::Clear() {
   index_.clear();
   resident_size_.clear();
   stats_.resident_bytes = 0;
+  Metrics().resident_bytes.Set(0);
   for (const std::string& file : spill_lru_) {
     std::error_code ec;
     std::filesystem::remove(SpillPathFor(file), ec);

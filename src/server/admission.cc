@@ -4,8 +4,34 @@
 #include <utility>
 
 #include "dp/check.h"
+#include "obs/metrics.h"
 
 namespace privtree::server {
+
+namespace {
+
+// Registry mirrors of the per-engine stats_ fields: one process-wide
+// counter per outcome, summed over every engine, so a GetStats snapshot
+// needs no engine enumeration.
+struct AdmissionCounters {
+  obs::Counter& admitted =
+      obs::Registry::Global().GetCounter("admission.admitted");
+  obs::Counter& shed_queue_full =
+      obs::Registry::Global().GetCounter("admission.shed_queue_full");
+  obs::Counter& shed_cache_saturated =
+      obs::Registry::Global().GetCounter("admission.shed_cache_saturated");
+  obs::Counter& expired =
+      obs::Registry::Global().GetCounter("admission.expired");
+  obs::Counter& coalesced_fits =
+      obs::Registry::Global().GetCounter("admission.coalesced_fits");
+};
+
+AdmissionCounters& Counters() {
+  static AdmissionCounters* counters = new AdmissionCounters();
+  return *counters;
+}
+
+}  // namespace
 
 AdmissionController::AdmissionController(AdmissionOptions options,
                                          const serve::SynopsisCache* cache)
@@ -21,6 +47,7 @@ Status AdmissionController::AdmitFitLoad() {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.shed_cache_saturated;
   }
+  Counters().shed_cache_saturated.Inc();
   return Status::Unavailable(
              "cache spill writer saturated (" + std::to_string(pending) +
              " pending writes); retry later")
@@ -28,24 +55,37 @@ Status AdmissionController::AdmitFitLoad() {
 }
 
 void AdmissionController::NoteAdmitted() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++stats_.admitted;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.admitted;
+  }
+  Counters().admitted.Inc();
 }
 
 void AdmissionController::NoteQueueFull() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++stats_.shed_queue_full;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.shed_queue_full;
+  }
+  Counters().shed_queue_full.Inc();
 }
 
 void AdmissionController::NoteExpired() {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++stats_.expired;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.expired;
+  }
+  Counters().expired.Inc();
 }
 
 bool AdmissionController::BeginFit(const serve::SynopsisKey& key) {
-  std::lock_guard<std::mutex> lk(mu_);
-  const bool coalesced = ++inflight_fits_[key] > 1;
-  if (coalesced) ++stats_.coalesced_fits;
+  bool coalesced = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    coalesced = ++inflight_fits_[key] > 1;
+    if (coalesced) ++stats_.coalesced_fits;
+  }
+  if (coalesced) Counters().coalesced_fits.Inc();
   return coalesced;
 }
 

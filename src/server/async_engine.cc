@@ -10,12 +10,47 @@
 #include "core/fault.h"
 #include "dp/check.h"
 #include "dp/rng.h"
+#include "obs/metrics.h"
 #include "release/options.h"
 #include "release/registry.h"
 
 namespace privtree::server {
 
 namespace {
+
+// Registry handles resolved once per process; recording through them is
+// lock-free.  Every engine shares these (the names are per-process, like
+// the cache the engines share).
+obs::Histogram& QueueWaitHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("engine.queue_wait_us");
+  return h;
+}
+
+obs::Histogram& FitHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("engine.fit_us");
+  return h;
+}
+
+obs::Histogram& KernelHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("engine.kernel_us");
+  return h;
+}
+
+obs::Counter& WatchdogFiredCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("engine.watchdog_fired");
+  return c;
+}
+
+std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+}
 
 /// A Promise whose Set is idempotent: the watchdog and the (possibly still
 /// running) executor can race to settle one request, and only the first
@@ -101,6 +136,7 @@ void AsyncEngine::RunWatchdog(std::uint64_t poll_millis) {
     }
     if (fired.empty()) continue;
     watchdog_fired_ += fired.size();
+    WatchdogFiredCounter().Inc(fired.size());
     lk.unlock();  // Settling runs OnReady callbacks; never under watch_mu_.
     for (const auto& fail : fired) fail();
     lk.lock();
@@ -172,20 +208,28 @@ Status AsyncEngine::ValidateSpec(const FitSpec& spec) const {
   return Status::OK();
 }
 
-Status AsyncEngine::Enqueue(QueuedRequest& request, bool needs_fit) {
+Status AsyncEngine::Enqueue(QueuedRequest& request, bool needs_fit,
+                            const obs::TracePtr& trace) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto stamp = [&] {
+    if (trace) trace->Record(obs::Span::kAdmission, MicrosSince(start));
+  };
   if (needs_fit) {
     if (Status admitted = admission_.AdmitFitLoad(); !admitted.ok()) {
+      stamp();
       return admitted;
     }
   }
   if (!queue_.TryPush(request)) {
     admission_.NoteQueueFull();
+    stamp();
     return Status::Unavailable(
                "request queue full (" + std::to_string(queue_.max_depth()) +
                " pending); retry later")
         .WithRetryAfter(admission_.options().retry_after_millis);
   }
   admission_.NoteAdmitted();
+  stamp();
   pool_.Submit([this] { RunOne(); });
   return Status::OK();
 }
@@ -203,7 +247,8 @@ void AsyncEngine::RunOne() {
 }
 
 Future<FitResponse> AsyncEngine::SubmitFit(
-    const FitSpec& spec, DeadlineClock::time_point deadline) {
+    const FitSpec& spec, DeadlineClock::time_point deadline,
+    obs::TracePtr trace) {
   Promise<FitResponse> promise;
   Future<FitResponse> future = promise.future();
   if (Status valid = ValidateSpec(spec); !valid.ok()) {
@@ -220,7 +265,11 @@ Future<FitResponse> AsyncEngine::SubmitFit(
     admission_.EndFit(key);
     shared->Set({std::move(status), {}, false});
   };
-  request.run = [this, shared, spec, key, deadline] {
+  const auto submitted = std::chrono::steady_clock::now();
+  request.run = [this, shared, spec, key, deadline, trace, submitted] {
+    const std::uint64_t wait_us = MicrosSince(submitted);
+    QueueWaitHistogram().Observe(wait_us);
+    if (trace) trace->Record(obs::Span::kQueueWait, wait_us);
     const std::uint64_t watch = BeginWatch(deadline, [shared] {
       shared->Set({Status::DeadlineExceeded(
                        "deadline passed while the fit was running"),
@@ -233,13 +282,21 @@ Future<FitResponse> AsyncEngine::SubmitFit(
       shared->Set({f.ToStatus("engine.fit"), {}, false});
       return;
     }
+    const auto fit_start = std::chrono::steady_clock::now();
     const serve::FitResult fitted = serve::FitSynopsis(
         data_, dataset_fingerprint_, JobFor(spec), &cache_);
+    const std::uint64_t fit_us = MicrosSince(fit_start);
+    FitHistogram().Observe(fit_us);
+    if (trace) {
+      trace->Record(obs::Span::kFit, fit_us);
+      trace->cache_hit = fitted.cache_hit;
+    }
     EndWatch(watch);
     admission_.EndFit(key);
     shared->Set({Status::OK(), fitted.method->Metadata(), fitted.cache_hit});
   };
-  if (Status queued = Enqueue(request, /*needs_fit=*/true); !queued.ok()) {
+  if (Status queued = Enqueue(request, /*needs_fit=*/true, trace);
+      !queued.ok()) {
     admission_.EndFit(key);
     shared->Set({std::move(queued), {}, false});
   }
@@ -248,7 +305,7 @@ Future<FitResponse> AsyncEngine::SubmitFit(
 
 Future<QueryBatchResponse> AsyncEngine::SubmitQueryBatch(
     const FitSpec& spec, std::vector<Box> queries,
-    DeadlineClock::time_point deadline) {
+    DeadlineClock::time_point deadline, obs::TracePtr trace) {
   Promise<QueryBatchResponse> promise;
   Future<QueryBatchResponse> future = promise.future();
   if (Status valid = ValidateSpec(spec); !valid.ok()) {
@@ -289,7 +346,12 @@ Future<QueryBatchResponse> AsyncEngine::SubmitQueryBatch(
     if (needs_fit) admission_.EndFit(key);
     shared->Set({std::move(status), {}, false});
   };
-  request.run = [this, shared, spec, key, needs_fit, boxes, deadline] {
+  const auto submitted = std::chrono::steady_clock::now();
+  request.run = [this, shared, spec, key, needs_fit, boxes, deadline, trace,
+                 submitted] {
+    const std::uint64_t wait_us = MicrosSince(submitted);
+    QueueWaitHistogram().Observe(wait_us);
+    if (trace) trace->Record(obs::Span::kQueueWait, wait_us);
     const std::uint64_t watch = BeginWatch(deadline, [shared] {
       shared->Set({Status::DeadlineExceeded(
                        "deadline passed while the request was running"),
@@ -302,17 +364,28 @@ Future<QueryBatchResponse> AsyncEngine::SubmitQueryBatch(
       shared->Set({f.ToStatus("engine.fit"), {}, false});
       return;
     }
+    const auto fit_start = std::chrono::steady_clock::now();
     const serve::FitResult fitted = serve::FitSynopsis(
         data_, dataset_fingerprint_, JobFor(spec), &cache_);
+    const std::uint64_t fit_us = MicrosSince(fit_start);
+    FitHistogram().Observe(fit_us);
+    if (trace) {
+      trace->Record(obs::Span::kFit, fit_us);
+      trace->cache_hit = fitted.cache_hit;
+    }
     if (needs_fit) admission_.EndFit(key);
     // The batch runs on this one pool task; concurrency comes from many
     // requests in flight, and a fitted Method is safe to query from any
     // number of them at once.
     EndWatch(watch);
-    shared->Set(
-        {Status::OK(), fitted.method->QueryBatch(*boxes), fitted.cache_hit});
+    const auto kernel_start = std::chrono::steady_clock::now();
+    std::vector<double> answers = fitted.method->QueryBatch(*boxes);
+    const std::uint64_t kernel_us = MicrosSince(kernel_start);
+    KernelHistogram().Observe(kernel_us);
+    if (trace) trace->Record(obs::Span::kKernel, kernel_us);
+    shared->Set({Status::OK(), std::move(answers), fitted.cache_hit});
   };
-  if (Status queued = Enqueue(request, needs_fit); !queued.ok()) {
+  if (Status queued = Enqueue(request, needs_fit, trace); !queued.ok()) {
     if (needs_fit) admission_.EndFit(key);
     shared->Set({std::move(queued), {}, false});
   }
@@ -321,7 +394,7 @@ Future<QueryBatchResponse> AsyncEngine::SubmitQueryBatch(
 
 Future<QueryBatchResponse> AsyncEngine::SubmitSeqQueryBatch(
     const FitSpec& spec, std::vector<release::SequenceQuery> queries,
-    DeadlineClock::time_point deadline) {
+    DeadlineClock::time_point deadline, obs::TracePtr trace) {
   Promise<QueryBatchResponse> promise;
   Future<QueryBatchResponse> future = promise.future();
   if (Status valid = ValidateSpec(spec); !valid.ok()) {
@@ -356,7 +429,12 @@ Future<QueryBatchResponse> AsyncEngine::SubmitSeqQueryBatch(
     if (needs_fit) admission_.EndFit(key);
     shared->Set({std::move(status), {}, false});
   };
-  request.run = [this, shared, spec, key, needs_fit, specs, deadline] {
+  const auto submitted = std::chrono::steady_clock::now();
+  request.run = [this, shared, spec, key, needs_fit, specs, deadline, trace,
+                 submitted] {
+    const std::uint64_t wait_us = MicrosSince(submitted);
+    QueueWaitHistogram().Observe(wait_us);
+    if (trace) trace->Record(obs::Span::kQueueWait, wait_us);
     const std::uint64_t watch = BeginWatch(deadline, [shared] {
       shared->Set({Status::DeadlineExceeded(
                        "deadline passed while the request was running"),
@@ -369,14 +447,25 @@ Future<QueryBatchResponse> AsyncEngine::SubmitSeqQueryBatch(
       shared->Set({f.ToStatus("engine.fit"), {}, false});
       return;
     }
+    const auto fit_start = std::chrono::steady_clock::now();
     const serve::FitResult fitted = serve::FitSynopsis(
         data_, dataset_fingerprint_, JobFor(spec), &cache_);
+    const std::uint64_t fit_us = MicrosSince(fit_start);
+    FitHistogram().Observe(fit_us);
+    if (trace) {
+      trace->Record(obs::Span::kFit, fit_us);
+      trace->cache_hit = fitted.cache_hit;
+    }
     if (needs_fit) admission_.EndFit(key);
     EndWatch(watch);
-    shared->Set(
-        {Status::OK(), fitted.method->QueryBatch(*specs), fitted.cache_hit});
+    const auto kernel_start = std::chrono::steady_clock::now();
+    std::vector<double> answers = fitted.method->QueryBatch(*specs);
+    const std::uint64_t kernel_us = MicrosSince(kernel_start);
+    KernelHistogram().Observe(kernel_us);
+    if (trace) trace->Record(obs::Span::kKernel, kernel_us);
+    shared->Set({Status::OK(), std::move(answers), fitted.cache_hit});
   };
-  if (Status queued = Enqueue(request, needs_fit); !queued.ok()) {
+  if (Status queued = Enqueue(request, needs_fit, trace); !queued.ok()) {
     if (needs_fit) admission_.EndFit(key);
     shared->Set({std::move(queued), {}, false});
   }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "dp/status.h"
+#include "obs/trace.h"
 #include "release/dataset.h"
 #include "release/method.h"
 #include "release/sequence_query.h"
@@ -95,9 +96,15 @@ class AsyncEngine {
   /// Fits (or re-serves from cache) the spec'd release and resolves the
   /// future with its accounting.  Shed or invalid requests resolve
   /// immediately with a non-OK status.
+  ///
+  /// On every Submit*, `trace` (optional) receives the admission,
+  /// queue-wait, fit, and kernel span timings; the same durations feed the
+  /// registry's "engine.*_us" histograms whether or not a trace rides
+  /// along.  Instrumentation never touches the answer path.
   Future<FitResponse> SubmitFit(
       const FitSpec& spec,
-      DeadlineClock::time_point deadline = kNoDeadline);
+      DeadlineClock::time_point deadline = kNoDeadline,
+      obs::TracePtr trace = {});
 
   /// Answers `queries` against the spec'd release, fitting it first if the
   /// cache does not hold it.  Every box must have the dataset's dim;
@@ -105,7 +112,8 @@ class AsyncEngine {
   /// otherwise).
   Future<QueryBatchResponse> SubmitQueryBatch(
       const FitSpec& spec, std::vector<Box> queries,
-      DeadlineClock::time_point deadline = kNoDeadline);
+      DeadlineClock::time_point deadline = kNoDeadline,
+      obs::TracePtr trace = {});
 
   /// Sequence counterpart: answers SequenceQuery specs against the spec'd
   /// release.  Requires a sequence-kind served dataset; every query is
@@ -113,7 +121,8 @@ class AsyncEngine {
   /// hostile spec resolves with a clean InvalidArgument.
   Future<QueryBatchResponse> SubmitSeqQueryBatch(
       const FitSpec& spec, std::vector<release::SequenceQuery> queries,
-      DeadlineClock::time_point deadline = kNoDeadline);
+      DeadlineClock::time_point deadline = kNoDeadline,
+      obs::TracePtr trace = {});
 
   /// Cache warming from an observed workload: enqueues an
   /// admission-controlled background fit per not-yet-cached spec and
@@ -162,8 +171,10 @@ class AsyncEngine {
   /// Admission + enqueue for one fit-carrying request; on success schedules
   /// a pool task and returns OK.  On failure the caller resolves the future
   /// with the returned status.  `needs_fit` is false when the key is
-  /// already cached (queries skip the fit-load gate then).
-  Status Enqueue(QueuedRequest& request, bool needs_fit);
+  /// already cached (queries skip the fit-load gate then).  `trace`
+  /// receives the admission-decision span when non-null.
+  Status Enqueue(QueuedRequest& request, bool needs_fit,
+                 const obs::TracePtr& trace = {});
 
   const release::Dataset data_;
   serve::ThreadPool& pool_;

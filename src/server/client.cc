@@ -5,11 +5,28 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace privtree::server {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Registry mirrors of Telemetry, summed across every Client in the
+/// process (bench worker threads each own a Client; GetStats sees the
+/// fleet total).
+struct ClientCounters {
+  obs::Counter& retries =
+      obs::Registry::Global().GetCounter("client.retries");
+  obs::Counter& reconnects =
+      obs::Registry::Global().GetCounter("client.reconnects");
+};
+
+ClientCounters& Counters() {
+  static ClientCounters* counters = new ClientCounters();
+  return *counters;
+}
 
 /// Failures that mean "this connection is gone; a reconnect may succeed":
 /// resets and torn frames (IOError), a clean close between frames
@@ -153,14 +170,26 @@ Result<std::string> Client::RoundTripOnce(const std::string& payload,
 
 Result<std::string> Client::RoundTrip(const std::string& payload,
                                       bool idempotent) {
+  // A trace-id wrapper never changes the reply bytes (the server unwraps
+  // transparently); resends reuse the same id so the server's trace ring
+  // can correlate them.
+  const std::string* wire = &payload;
+  std::string wrapped;
+  if (trace_ids_enabled_) {
+    if (next_trace_id_ == 0) next_trace_id_ = 1;  // 0 means "absent".
+    wrapped = EncodeTraced(next_trace_id_++, payload);
+    wire = &wrapped;
+  }
   const int attempts = std::max(1, options_.max_attempts);
   const Clock::time_point give_up =
       Clock::now() + std::chrono::milliseconds(options_.retry_budget_millis);
   Result<std::string> result = Status::Internal("round trip never attempted");
+  bool sent_before = false;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (!conn_.ok()) {
       // The previous attempt tore the connection down; re-dial before the
-      // resend.  A failed reconnect consumes this attempt.
+      // resend.  A failed reconnect consumes this attempt but sends
+      // nothing, so it is not a retry.
       HelloReply info;
       Result<Connection> conn =
           DialAndHello(host_, port_, options_, &info);
@@ -168,6 +197,7 @@ Result<std::string> Client::RoundTrip(const std::string& payload,
         conn_ = std::move(conn).value();
         info_ = std::move(info);
         ++telemetry_.reconnects;
+        Counters().reconnects.Inc();
       } else {
         result = conn.status();
         if (!idempotent || !IsTransportError(conn.status())) return result;
@@ -176,13 +206,19 @@ Result<std::string> Client::RoundTrip(const std::string& payload,
             Clock::now() + std::chrono::milliseconds(backoff) > give_up) {
           return result;
         }
-        ++telemetry_.retries;
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
         continue;
       }
     }
+    // Every send after the first is the retry; count it exactly here so
+    // telemetry matches the number of frames the server may have seen.
+    if (sent_before) {
+      ++telemetry_.retries;
+      Counters().retries.Inc();
+    }
+    sent_before = true;
     bool transport = false;
-    result = RoundTripOnce(payload, &transport);
+    result = RoundTripOnce(*wire, &transport);
     if (result.ok()) return result;
     const Status& failure = result.status();
 
@@ -209,7 +245,6 @@ Result<std::string> Client::RoundTrip(const std::string& payload,
         Clock::now() + std::chrono::milliseconds(backoff) > give_up) {
       return result;
     }
-    ++telemetry_.retries;
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
   }
   return result;
@@ -315,6 +350,17 @@ Result<StatsReply> Client::Stats() {
   StatsReply reply;
   if (Status s = DecodeStatsReply(frame.value(), &reply); !s.ok()) return s;
   return reply;
+}
+
+Result<std::string> Client::GetStatsJson() {
+  Result<std::string> frame =
+      RoundTrip(EncodeGetStats(), /*idempotent=*/true);
+  if (!frame.ok()) return frame.status();
+  std::string json;
+  if (Status s = DecodeGetStatsReply(frame.value(), &json); !s.ok()) {
+    return s;
+  }
+  return json;
 }
 
 Status Client::Shutdown() {

@@ -61,7 +61,10 @@ struct ClientOptions {
 class Client {
  public:
   struct Telemetry {
-    std::uint64_t retries = 0;     ///< Resends after any failure.
+    /// Actual resends of a request payload: bumped exactly once per extra
+    /// send, never for a failed reconnect that sent nothing (a chaos run
+    /// summing retries across clients gets the true resend count).
+    std::uint64_t retries = 0;
     std::uint64_t reconnects = 0;  ///< Successful re-dials mid-call.
   };
 
@@ -113,6 +116,21 @@ class Client {
   /// Serving telemetry snapshot.
   Result<StatsReply> Stats();
 
+  /// The server's observability snapshot (protocol v5 GetStats): the whole
+  /// metrics registry as one JSON object, plus trace-ring and fault-point
+  /// sections.  See obs::ProcessStatsJson for the schema.
+  Result<std::string> GetStatsJson();
+
+  /// Wraps every subsequent request in a Traced frame (protocol v5)
+  /// carrying sequential ids starting at `first_id` (0 is skipped — it
+  /// means "absent" on the wire).  Replies are byte-identical either way;
+  /// the id only labels the request in the server's trace ring and slow
+  /// log.  The Hello handshake is never wrapped.
+  void EnableTraceIds(std::uint64_t first_id = 1) {
+    next_trace_id_ = first_id == 0 ? 1 : first_id;
+    trace_ids_enabled_ = true;
+  }
+
   /// Asks the server process to stop its loop (it still drains in-flight
   /// work before exiting).  Never retried: a lost reply leaves the
   /// server's fate unknown, and resending could kill a fresh server.
@@ -154,6 +172,8 @@ class Client {
   Telemetry telemetry_;
   std::minstd_rand jitter_;
   std::uint64_t dataset_ = 0;  ///< Selected tenant; 0 = server default.
+  bool trace_ids_enabled_ = false;
+  std::uint64_t next_trace_id_ = 1;
 };
 
 }  // namespace privtree::server

@@ -1,16 +1,31 @@
 #include "server/dispatcher.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
 
+#include "obs/export.h"
 #include "release/registry.h"
 #include "server/request.h"
 
 namespace privtree::server {
 
 namespace {
+
+/// Runs `encode` and charges its duration to the trace's serialize span.
+template <typename EncodeFn>
+std::string EncodeWithSpan(const obs::TracePtr& trace, EncodeFn&& encode) {
+  if (!trace) return encode();
+  const auto start = std::chrono::steady_clock::now();
+  std::string reply = encode();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  trace->Record(obs::Span::kSerialize, us < 0 ? 0 : us);
+  return reply;
+}
 
 /// Looks up the tenant a request addressed; null already answered `done`.
 AsyncEngine* FindEngine(const DatasetRegistry& registry,
@@ -63,11 +78,34 @@ Dispatcher::Dispatcher(DatasetRegistry& registry, DispatcherOptions options)
 
 void Dispatcher::HandleFrame(std::string_view payload,
                              const std::shared_ptr<ClientSession>& session,
-                             bool* shutdown, Done done) {
-  const Result<MessageType> type = PeekType(payload);
+                             bool* shutdown, Done done, obs::TracePtr trace) {
+  Result<MessageType> type = PeekType(payload);
   if (!type.ok()) {
     done(EncodeErrorReply(type.status()));
     return;
+  }
+
+  // Unwrap the optional v5 trace envelope first: the inner frame is
+  // dispatched exactly as if it had arrived bare, so wrapping never
+  // changes the reply bytes.  DecodeTraced rejects nesting, so one pass
+  // suffices.
+  if (type.value() == MessageType::kTraced) {
+    std::uint64_t trace_id = 0;
+    std::string_view inner;
+    if (Status s = DecodeTraced(payload, &trace_id, &inner); !s.ok()) {
+      done(EncodeErrorReply(s));
+      return;
+    }
+    if (trace) {
+      trace->trace_id = trace_id;
+      trace->client_supplied_id = true;
+    }
+    payload = inner;
+    type = PeekType(payload);
+    if (!type.ok()) {
+      done(EncodeErrorReply(type.status()));
+      return;
+    }
   }
 
   switch (type.value()) {
@@ -90,15 +128,17 @@ void Dispatcher::HandleFrame(std::string_view payload,
       const double epsilon = request.spec.epsilon;
       engine
           ->SubmitFit(request.spec,
-                      DeadlineFromMillis(request.deadline_millis))
-          .OnReady([done = std::move(done), session, ticket,
-                    epsilon](const FitResponse& response) {
+                      DeadlineFromMillis(request.deadline_millis), trace)
+          .OnReady([done = std::move(done), session, ticket, epsilon,
+                    trace](const FitResponse& response) {
             if (!response.status.ok()) {
               if (ticket.charged) session->Refund(ticket.key, epsilon);
               done(EncodeErrorReply(response.status));
               return;
             }
-            done(EncodeFitReply({response.metadata, response.cache_hit}));
+            done(EncodeWithSpan(trace, [&] {
+              return EncodeFitReply({response.metadata, response.cache_hit});
+            }));
           });
       return;
     }
@@ -118,16 +158,19 @@ void Dispatcher::HandleFrame(std::string_view payload,
       const double epsilon = request.spec.epsilon;
       engine
           ->SubmitQueryBatch(request.spec, std::move(request.queries),
-                             DeadlineFromMillis(request.deadline_millis))
-          .OnReady([done = std::move(done), session, ticket,
-                    epsilon](const QueryBatchResponse& response) {
+                             DeadlineFromMillis(request.deadline_millis),
+                             trace)
+          .OnReady([done = std::move(done), session, ticket, epsilon,
+                    trace](const QueryBatchResponse& response) {
             if (!response.status.ok()) {
               if (ticket.charged) session->Refund(ticket.key, epsilon);
               done(EncodeErrorReply(response.status));
               return;
             }
-            done(EncodeQueryBatchReply(
-                {response.answers, response.cache_hit}));
+            done(EncodeWithSpan(trace, [&] {
+              return EncodeQueryBatchReply(
+                  {response.answers, response.cache_hit});
+            }));
           });
       return;
     }
@@ -147,16 +190,19 @@ void Dispatcher::HandleFrame(std::string_view payload,
       const double epsilon = request.spec.epsilon;
       engine
           ->SubmitSeqQueryBatch(request.spec, std::move(request.queries),
-                                DeadlineFromMillis(request.deadline_millis))
-          .OnReady([done = std::move(done), session, ticket,
-                    epsilon](const QueryBatchResponse& response) {
+                                DeadlineFromMillis(request.deadline_millis),
+                                trace)
+          .OnReady([done = std::move(done), session, ticket, epsilon,
+                    trace](const QueryBatchResponse& response) {
             if (!response.status.ok()) {
               if (ticket.charged) session->Refund(ticket.key, epsilon);
               done(EncodeErrorReply(response.status));
               return;
             }
-            done(EncodeQueryBatchReply(
-                {response.answers, response.cache_hit}));
+            done(EncodeWithSpan(trace, [&] {
+              return EncodeQueryBatchReply(
+                  {response.answers, response.cache_hit});
+            }));
           });
       return;
     }
@@ -167,6 +213,10 @@ void Dispatcher::HandleFrame(std::string_view payload,
 
     case MessageType::kStats:
       done(HandleStats());
+      return;
+
+    case MessageType::kGetStats:
+      done(EncodeGetStatsReply(obs::ProcessStatsJson()));
       return;
 
     case MessageType::kRegisterDataset:
@@ -213,13 +263,17 @@ std::string Dispatcher::HandleHello(std::string_view payload,
   if (Status s = DecodeHello(payload, &request); !s.ok()) {
     return EncodeErrorReply(s);
   }
-  if (request.version != kProtocolVersion) {
+  if (request.version < kMinProtocolVersion ||
+      request.version > kProtocolVersion) {
     return EncodeErrorReply(Status::InvalidArgument(
         "protocol version " + std::to_string(request.version) +
-        " unsupported (server speaks " + std::to_string(kProtocolVersion) +
-        ")"));
+        " unsupported (server speaks " + std::to_string(kMinProtocolVersion) +
+        ".." + std::to_string(kProtocolVersion) + ")"));
   }
   HelloReply reply;
+  // Echo the *requested* version: a v4 client checks for exactly 4, so the
+  // reply must carry 4 back for old binaries to round-trip unchanged.
+  reply.version = request.version;
   reply.datasets = registry_.List();
   if (!reply.datasets.empty()) {
     const DatasetInfo& fallback = reply.datasets.front();

@@ -29,6 +29,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/trace.h"
 #include "server/client_session.h"
 #include "server/dataset_registry.h"
 #include "server/protocol.h"
@@ -65,9 +66,14 @@ class Dispatcher {
   /// return) when the frame asks the server to stop; the reply still goes
   /// out first.  `session` is captured by asynchronous completions — the
   /// shared_ptr keeps budget accounting alive however the connection ends.
+  ///
+  /// `trace`, when non-null, collects span timings along the way (and
+  /// receives the client's trace id if the frame arrived in a Traced
+  /// envelope).  Tracing never changes the reply bytes: a Traced wrapper is
+  /// unwrapped transparently whether or not a trace is attached.
   void HandleFrame(std::string_view payload,
                    const std::shared_ptr<ClientSession>& session,
-                   bool* shutdown, Done done);
+                   bool* shutdown, Done done, obs::TracePtr trace = {});
 
   /// Blocking form for the thread-per-connection loop: parks the calling
   /// thread until the reply is ready.

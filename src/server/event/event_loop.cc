@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -18,6 +19,8 @@
 #include <vector>
 
 #include "core/byteio.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/protocol.h"
 
 namespace privtree::server {
@@ -42,6 +45,37 @@ void BumpMax(std::atomic<std::uint64_t>& target, std::uint64_t value) {
          !target.compare_exchange_weak(seen, value,
                                        std::memory_order_relaxed)) {
   }
+}
+
+// Registry mirrors of the loop's AtomicStats, bumped at the same sites so
+// a GetStats snapshot agrees with stats() without any translation layer.
+struct EventCounters {
+  obs::Counter& accepted =
+      obs::Registry::Global().GetCounter("event.accepted");
+  obs::Counter& served_frames =
+      obs::Registry::Global().GetCounter("event.served_frames");
+  obs::Counter& reaped_idle =
+      obs::Registry::Global().GetCounter("event.reaped_idle");
+  obs::Counter& malformed_frames =
+      obs::Registry::Global().GetCounter("event.malformed_frames");
+  obs::Counter& refused_at_capacity =
+      obs::Registry::Global().GetCounter("event.refused_at_capacity");
+  obs::Counter& force_closed_in_drain =
+      obs::Registry::Global().GetCounter("event.force_closed_in_drain");
+  obs::Gauge& max_concurrent =
+      obs::Registry::Global().GetGauge("event.max_concurrent");
+};
+
+EventCounters& Counters() {
+  static EventCounters* counters = new EventCounters();
+  return *counters;
+}
+
+std::int64_t MicrosSince(std::chrono::steady_clock::time_point start) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return us < 0 ? 0 : us;
 }
 
 }  // namespace
@@ -86,6 +120,20 @@ struct EventLoop::CompletionQueue {
 
 /// Per-connection state, all owned by the loop thread.
 struct EventLoop::Conn {
+  /// One reply slot; carries the request's trace so span recording can
+  /// finish when (and only when) the reply's bytes reach the socket.
+  struct PendingSlot {
+    std::optional<std::string> reply;
+    obs::TracePtr trace;
+  };
+  /// A framed reply awaiting transmission: finished once the connection's
+  /// lifetime flushed-byte count passes `end_offset`.
+  struct InFlightWrite {
+    std::uint64_t end_offset = 0;
+    std::chrono::steady_clock::time_point framed_at;
+    obs::TracePtr trace;
+  };
+
   int fd = -1;
   std::uint64_t id = 0;
   std::string inbuf;
@@ -95,7 +143,13 @@ struct EventLoop::Conn {
   /// In-order reply slots: index i holds the reply to the (base_slot+i)-th
   /// dispatched frame once its completion lands; only a contiguous ready
   /// prefix may flush, which is what preserves pipelined request order.
-  std::deque<std::optional<std::string>> pending;
+  std::deque<PendingSlot> pending;
+  std::deque<InFlightWrite> writes;
+  std::uint64_t queued_bytes = 0;   ///< Lifetime bytes framed into outbuf.
+  std::uint64_t flushed_bytes = 0;  ///< Lifetime bytes sent to the socket.
+  /// Duration of the most recent recv loop; every frame parsed out of that
+  /// read inherits it as its socket-read span.
+  std::int64_t last_read_us = 0;
   std::uint64_t base_slot = 0;
   std::size_t in_flight = 0;  ///< Dispatched frames awaiting completion.
   std::shared_ptr<ClientSession> session;
@@ -182,6 +236,7 @@ Status EventLoop::Run() {
       if (std::chrono::steady_clock::now() >= drain_deadline_) {
         stats_.force_closed_in_drain.fetch_add(conns_.size(),
                                                std::memory_order_relaxed);
+        Counters().force_closed_in_drain.Inc(conns_.size());
         while (!conns_.empty()) CloseConn(conns_.begin()->first);
         break;
       }
@@ -245,7 +300,7 @@ void EventLoop::ProcessCompletions() {
     Conn& conn = *it->second;
     const std::uint64_t index = completion.slot - conn.base_slot;
     if (index >= conn.pending.size()) continue;  // Defensive; cannot happen.
-    conn.pending[index].emplace(std::move(completion.reply));
+    conn.pending[index].reply.emplace(std::move(completion.reply));
     if (conn.in_flight > 0) --conn.in_flight;
     FlushConn(conn);
   }
@@ -261,6 +316,7 @@ void EventLoop::HandleAccept() {
     }
     if (conns_.size() >= options_.max_connections) {
       stats_.refused_at_capacity.fetch_add(1, std::memory_order_relaxed);
+      Counters().refused_at_capacity.Inc();
       ::close(fd);
       continue;
     }
@@ -280,13 +336,16 @@ void EventLoop::HandleAccept() {
       continue;  // Conn destructor closes the fd.
     }
     stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    Counters().accepted.Inc();
     conns_.emplace(conn->id, std::move(conn));
     BumpMax(stats_.max_concurrent, conns_.size());
+    Counters().max_concurrent.SetMax(conns_.size());
   }
 }
 
 void EventLoop::HandleReadable(Conn& conn) {
   const std::uint64_t id = conn.id;
+  const auto read_start = std::chrono::steady_clock::now();
   char buf[64 * 1024];
   for (;;) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
@@ -306,6 +365,7 @@ void EventLoop::HandleReadable(Conn& conn) {
     CloseConn(id);  // Torn connection: nothing left to deliver.
     return;
   }
+  conn.last_read_us = MicrosSince(read_start);
   ParseFrames(conn);  // May close the connection via its flush.
   const auto it = conns_.find(id);
   if (it != conns_.end()) CloseIfDone(*it->second);
@@ -320,8 +380,11 @@ void EventLoop::ParseFrames(Conn& conn) {
       // The stream is unsynchronized from here on: answer once, stop
       // reading, close once the error has flushed.
       stats_.malformed_frames.fetch_add(1, std::memory_order_relaxed);
-      conn.pending.emplace_back(EncodeErrorReply(Status::InvalidArgument(
-          "frame length " + std::to_string(length) + " exceeds cap")));
+      Counters().malformed_frames.Inc();
+      conn.pending.push_back(Conn::PendingSlot{
+          EncodeErrorReply(Status::InvalidArgument(
+              "frame length " + std::to_string(length) + " exceeds cap")),
+          nullptr});
       conn.stop_reading = true;
       conn.close_after_flush = true;
       break;
@@ -341,17 +404,25 @@ void EventLoop::ParseFrames(Conn& conn) {
 
 void EventLoop::DispatchFrame(Conn& conn, std::string_view payload) {
   const std::uint64_t slot = conn.base_slot + conn.pending.size();
-  conn.pending.emplace_back(std::nullopt);
+  // Every frame gets a trace (the dispatcher fills in the client's id if
+  // the frame carries one); recording never touches the reply bytes.
+  obs::TracePtr trace = obs::StartTrace();
+  trace->Record(obs::Span::kSocketRead, conn.last_read_us);
+  conn.pending.push_back(Conn::PendingSlot{std::nullopt, trace});
   ++conn.in_flight;
   stats_.served_frames.fetch_add(1, std::memory_order_relaxed);
+  Counters().served_frames.Inc();
 
   bool shutdown = false;
   const std::shared_ptr<CompletionQueue> queue = queue_;
   const std::uint64_t id = conn.id;
+  const auto dispatch_start = std::chrono::steady_clock::now();
   dispatcher_.HandleFrame(payload, conn.session, &shutdown,
                           [queue, id, slot](std::string reply) {
                             queue->Post({id, slot, std::move(reply)});
-                          });
+                          },
+                          trace);
+  trace->Record(obs::Span::kDispatch, MicrosSince(dispatch_start));
   if (shutdown) {
     // Serve the ShutdownReply, then drain the whole loop.
     conn.stop_reading = true;
@@ -362,11 +433,18 @@ void EventLoop::DispatchFrame(Conn& conn, std::string_view payload) {
 
 void EventLoop::FlushConn(Conn& conn) {
   // Frame the contiguous ready prefix into the output buffer.
-  while (!conn.pending.empty() && conn.pending.front().has_value()) {
-    const std::string& reply = *conn.pending.front();
+  while (!conn.pending.empty() && conn.pending.front().reply.has_value()) {
+    Conn::PendingSlot& slot = conn.pending.front();
+    const std::string& reply = *slot.reply;
     ByteWriter w(&conn.outbuf);
     w.U32(static_cast<std::uint32_t>(reply.size()));
     conn.outbuf.append(reply);
+    conn.queued_bytes += 4 + reply.size();
+    if (slot.trace) {
+      conn.writes.push_back(Conn::InFlightWrite{
+          conn.queued_bytes, std::chrono::steady_clock::now(),
+          std::move(slot.trace)});
+    }
     conn.pending.pop_front();
     ++conn.base_slot;
   }
@@ -377,6 +455,7 @@ void EventLoop::FlushConn(Conn& conn) {
                conn.outbuf.size() - conn.outpos, MSG_NOSIGNAL);
     if (n > 0) {
       conn.outpos += static_cast<std::size_t>(n);
+      conn.flushed_bytes += static_cast<std::uint64_t>(n);
       conn.last_activity = std::chrono::steady_clock::now();
       continue;
     }
@@ -384,6 +463,16 @@ void EventLoop::FlushConn(Conn& conn) {
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     CloseConn(conn.id);  // Peer reset; replies are undeliverable.
     return;
+  }
+  // Traces whose reply has fully reached the socket are done: stamp the
+  // socket-write span (framed -> sent) and retire them to the ring.
+  while (!conn.writes.empty() &&
+         conn.writes.front().end_offset <= conn.flushed_bytes) {
+    Conn::InFlightWrite& done = conn.writes.front();
+    done.trace->Record(obs::Span::kSocketWrite,
+                       MicrosSince(done.framed_at));
+    obs::FinishTrace(*done.trace);
+    conn.writes.pop_front();
   }
   if (conn.outpos == conn.outbuf.size()) {
     conn.outbuf.clear();
@@ -468,6 +557,7 @@ void EventLoop::ReapIdle() {
   }
   for (const std::uint64_t id : reap) {
     stats_.reaped_idle.fetch_add(1, std::memory_order_relaxed);
+    Counters().reaped_idle.Inc();
     CloseConn(id);
   }
 }

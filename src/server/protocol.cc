@@ -65,6 +65,8 @@ Result<MessageType> PeekType(std::string_view payload) {
     case MessageType::kStats:
     case MessageType::kShutdown:
     case MessageType::kRegisterDataset:
+    case MessageType::kTraced:
+    case MessageType::kGetStats:
     case MessageType::kHelloReply:
     case MessageType::kFitReply:
     case MessageType::kQueryBatchReply:
@@ -72,6 +74,7 @@ Result<MessageType> PeekType(std::string_view payload) {
     case MessageType::kStatsReply:
     case MessageType::kShutdownReply:
     case MessageType::kRegisterDatasetReply:
+    case MessageType::kGetStatsReply:
     case MessageType::kErrorReply:
       return static_cast<MessageType>(tag);
   }
@@ -424,6 +427,53 @@ Status DecodeStatsReply(std::string_view payload, StatsReply* out) {
   }
   if (!ok) return Malformed("StatsReply");
   return Finish(r, "StatsReply");
+}
+
+std::string EncodeTraced(std::uint64_t trace_id, std::string_view inner) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kTraced);
+  w.U64(trace_id);
+  out.append(inner.data(), inner.size());
+  return out;
+}
+
+Status DecodeTraced(std::string_view payload, std::uint64_t* trace_id,
+                    std::string_view* inner) {
+  ByteReader r(payload);
+  if (!TakeTag(r, MessageType::kTraced) || !r.U64(trace_id)) {
+    return Malformed("Traced");
+  }
+  *inner = payload.substr(payload.size() - r.remaining());
+  if (inner->empty()) return Malformed("Traced");
+  // One level only: the inner payload must itself be a plain frame.
+  Result<MessageType> inner_type = PeekType(*inner);
+  if (!inner_type.ok()) return inner_type.status();
+  if (inner_type.value() == MessageType::kTraced) return Malformed("Traced");
+  return Status::OK();
+}
+
+std::string EncodeGetStats() {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kGetStats);
+  return out;
+}
+
+std::string EncodeGetStatsReply(std::string_view json) {
+  std::string out;
+  ByteWriter w(&out);
+  PutTag(w, MessageType::kGetStatsReply);
+  w.Str(json);
+  return out;
+}
+
+Status DecodeGetStatsReply(std::string_view payload, std::string* json) {
+  ByteReader r(payload);
+  if (!TakeTag(r, MessageType::kGetStatsReply) || !r.Str(json)) {
+    return Malformed("GetStatsReply");
+  }
+  return Finish(r, "GetStatsReply");
 }
 
 std::string EncodeShutdown() {

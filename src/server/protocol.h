@@ -24,6 +24,9 @@
 //                    u32 symbol count, u32 × count symbols (each < 65536)
 //   Warm             u64 dataset fingerprint, u64 count, then count FitSpecs
 //   Stats            (empty)
+//   GetStats         (empty; reply is the JSON observability snapshot)
+//   Traced           u64 trace id, then one complete inner request payload
+//                    (tag + body; nesting Traced inside Traced is rejected)
 //   Shutdown         (empty)
 //   RegisterDataset  str name, u32 dataset kind, u64 dim (spatial dim or
 //                    alphabet size), then
@@ -52,6 +55,7 @@
 //                    spec, exactly like a box batch)
 //   WarmReply        u64 accepted
 //   StatsReply       13 × u64 (see struct StatsReply)
+//   GetStatsReply    str JSON (obs::ProcessStatsJson)
 //   RegisterDatasetReply  u64 fingerprint, u64 record count
 //   ErrorReply       u32 status code (StatusCode), str message,
 //                    u64 retry-after hint in milliseconds (0 = none; set on
@@ -84,7 +88,15 @@ namespace privtree::server {
 /// RegisterDataset upload frame, and per-connection session budget
 /// accounting surfaced in HelloReply.
 /// v4 added the ErrorReply retry-after hint (u64 milliseconds, 0 = none).
-inline constexpr std::uint32_t kProtocolVersion = 4;
+/// v5 added observability: the optional Traced envelope (a u64 trace id
+/// wrapped around any request frame), the GetStats JSON snapshot frame,
+/// and version negotiation — the server accepts any Hello version in
+/// [kMinProtocolVersion, kProtocolVersion] and echoes the *requested*
+/// version, so v4 clients round-trip bit-for-bit.
+inline constexpr std::uint32_t kProtocolVersion = 5;
+
+/// Oldest client version the server still speaks (see HelloReply echo).
+inline constexpr std::uint32_t kMinProtocolVersion = 4;
 
 /// Upper bound on one frame payload (a sanity cap against a garbage length
 /// prefix, not a protocol limit).
@@ -99,6 +111,8 @@ enum class MessageType : std::uint32_t {
   kShutdown = 6,
   kSeqQueryBatch = 7,
   kRegisterDataset = 8,
+  kTraced = 9,
+  kGetStats = 10,
   kHelloReply = 101,
   kFitReply = 102,
   kQueryBatchReply = 103,
@@ -106,6 +120,7 @@ enum class MessageType : std::uint32_t {
   kStatsReply = 105,
   kShutdownReply = 106,
   kRegisterDatasetReply = 107,
+  kGetStatsReply = 108,
   kErrorReply = 255,
 };
 
@@ -237,6 +252,12 @@ std::string EncodeWarm(const WarmRequest& request);
 std::string EncodeWarmReply(const WarmReply& reply);
 std::string EncodeStats();
 std::string EncodeStatsReply(const StatsReply& reply);
+/// Wraps a complete inner request payload with a u64 trace id (protocol
+/// v5); servers unwrap it transparently, so wrapping never changes the
+/// reply bytes.
+std::string EncodeTraced(std::uint64_t trace_id, std::string_view inner);
+std::string EncodeGetStats();
+std::string EncodeGetStatsReply(std::string_view json);
 std::string EncodeShutdown();
 std::string EncodeShutdownReply();
 /// Tenant upload; the decoder screens structural bounds (dim/alphabet caps,
@@ -260,6 +281,11 @@ Status DecodeQueryBatchReply(std::string_view payload, QueryBatchReply* out);
 Status DecodeWarm(std::string_view payload, WarmRequest* out);
 Status DecodeWarmReply(std::string_view payload, WarmReply* out);
 Status DecodeStatsReply(std::string_view payload, StatsReply* out);
+/// The inner view aliases `payload`; it stays valid while payload does.
+/// Rejects an empty inner payload and a nested Traced envelope.
+Status DecodeTraced(std::string_view payload, std::uint64_t* trace_id,
+                    std::string_view* inner);
+Status DecodeGetStatsReply(std::string_view payload, std::string* json);
 Status DecodeRegisterDataset(std::string_view payload,
                              RegisterDatasetRequest* out);
 Status DecodeRegisterDatasetReply(std::string_view payload,

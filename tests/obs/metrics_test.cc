@@ -1,0 +1,232 @@
+// The metrics registry: sharded counters summing exactly under
+// contention, gauge semantics, the log-bucket histogram's nearest-rank
+// quantiles against a sorted-vector oracle (bit-exact on bucket
+// boundaries), and the registry's JSON export / Reset contract.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace privtree::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket layout
+// ---------------------------------------------------------------------------
+
+TEST(HistogramBucketsTest, FirstSixteenBucketsAreExact) {
+  for (std::uint64_t us = 0; us < 16; ++us) {
+    EXPECT_EQ(HistogramBucketIndex(us), us);
+    EXPECT_EQ(HistogramBucketLowerBound(us), us);
+  }
+}
+
+TEST(HistogramBucketsTest, LowerBoundsAreStrictlyIncreasingAndConsistent) {
+  // Every bucket's lower bound must (a) exceed the previous bucket's and
+  // (b) map back into its own bucket — together these make the layout a
+  // partition of [0, 2^63) with no gaps or overlaps.
+  for (std::size_t i = 1; i < kHistogramBuckets; ++i) {
+    const std::uint64_t lower = HistogramBucketLowerBound(i);
+    EXPECT_GT(lower, HistogramBucketLowerBound(i - 1)) << "bucket " << i;
+    EXPECT_EQ(HistogramBucketIndex(lower), i) << "bucket " << i;
+    // The value just below this bucket's lower bound belongs to i-1.
+    EXPECT_EQ(HistogramBucketIndex(lower - 1), i - 1) << "bucket " << i;
+  }
+}
+
+TEST(HistogramBucketsTest, RelativeErrorIsBoundedByQuarter) {
+  // Log-spaced buckets with 4 sub-buckets per octave: a value reported as
+  // its bucket lower bound is never more than 25% below the true value.
+  for (std::uint64_t us : {17ull, 100ull, 999ull, 12345ull, 1ull << 20,
+                           (1ull << 40) + 12345}) {
+    const std::uint64_t reported =
+        HistogramBucketLowerBound(HistogramBucketIndex(us));
+    EXPECT_LE(reported, us);
+    EXPECT_GE(static_cast<double>(reported), 0.75 * static_cast<double>(us))
+        << "us=" << us;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, EightThreadsOfIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, BulkIncrementsAdd) {
+  Counter counter;
+  counter.Inc(41);
+  counter.Inc();
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+TEST(GaugeTest, SetAddSubSetMax) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0u);
+  gauge.Set(10);
+  gauge.Add(5);
+  gauge.Sub(3);
+  EXPECT_EQ(gauge.Value(), 12u);
+  gauge.SetMax(7);  // Below the current value: no effect.
+  EXPECT_EQ(gauge.Value(), 12u);
+  gauge.SetMax(99);
+  EXPECT_EQ(gauge.Value(), 99u);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles vs the sorted-vector oracle
+// ---------------------------------------------------------------------------
+
+/// Nearest-rank quantile over an explicit sample vector: the rank-⌈q·n⌉
+/// smallest sample (1-indexed).
+std::uint64_t OracleQuantile(std::vector<std::uint64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[std::max<std::size_t>(rank, 1) - 1];
+}
+
+TEST(HistogramTest, EmptyHistogramAnswersZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumMicros(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Quantile(0.999), 0u);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryQuantile) {
+  Histogram h;
+  h.Observe(7);  // An exact bucket: reported verbatim.
+  for (const double q : {0.001, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 7u) << "q=" << q;
+  }
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.SumMicros(), 7u);
+}
+
+TEST(HistogramTest, BoundarySamplesMatchSortedVectorOracleExactly) {
+  // Samples drawn exactly on bucket lower bounds survive bucketing
+  // unchanged, so the histogram's nearest-rank must equal the oracle's
+  // bit for bit at every probed quantile — including ones that land
+  // exactly on rank boundaries.
+  std::vector<std::uint64_t> samples;
+  for (std::size_t bucket = 0; bucket < 64; ++bucket) {
+    // Skew the distribution: low buckets carry more samples.
+    for (std::size_t copies = 0; copies < 64 - bucket; ++copies) {
+      samples.push_back(HistogramBucketLowerBound(bucket));
+    }
+  }
+  Histogram h;
+  for (const std::uint64_t s : samples) h.Observe(s);
+  ASSERT_EQ(h.Count(), samples.size());
+  for (const double q :
+       {0.001, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), OracleQuantile(samples, q)) << "q=" << q;
+  }
+  // Quantiles that are exact rank boundaries for this sample count.
+  const double n = static_cast<double>(samples.size());
+  for (const std::size_t rank : {std::size_t{1}, samples.size() / 2,
+                                 samples.size() - 1, samples.size()}) {
+    const double q = static_cast<double>(rank) / n;
+    EXPECT_EQ(h.Quantile(q), OracleQuantile(samples, q)) << "rank=" << rank;
+  }
+}
+
+TEST(HistogramTest, ConcurrentObservesKeepCountAndSumConsistent) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<std::uint64_t>(t));  // Exact buckets 0..7.
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+  // Sum of t over threads, kPerThread each: 0+1+...+7 = 28.
+  EXPECT_EQ(h.SumMicros(), 28 * kPerThread);
+  const auto buckets = h.Buckets();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(buckets[static_cast<std::size_t>(t)], kPerThread);
+  }
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.SumMicros(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, HandlesAreStableAndNamesSorted) {
+  Registry& registry = Registry::Global();
+  Counter& a = registry.GetCounter("test.registry.alpha");
+  Counter& b = registry.GetCounter("test.registry.beta");
+  EXPECT_NE(&a, &b);
+  // The same name resolves to the same object, and Reset keeps it valid.
+  EXPECT_EQ(&registry.GetCounter("test.registry.alpha"), &a);
+  a.Inc(3);
+  registry.Reset();
+  EXPECT_EQ(a.Value(), 0u);
+  EXPECT_EQ(&registry.GetCounter("test.registry.alpha"), &a);
+
+  const std::vector<std::string> names = registry.CounterNames();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(RegistryTest, ToJsonCarriesEveryRegisteredMetric) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("test.json.requests").Inc(5);
+  registry.GetGauge("test.json.depth").Set(3);
+  Histogram& h = registry.GetHistogram("test.json.latency_us");
+  h.Observe(10);
+  h.Observe(10);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"test.json.requests\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.depth\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.latency_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum_us\":20"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50_us\":10"), std::string::npos) << json;
+  // Top-level shape: the three sections in order.
+  EXPECT_EQ(json.find("{\"counters\":{"), 0u) << json;
+  EXPECT_NE(json.find(",\"gauges\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find(",\"histograms\":{"), std::string::npos) << json;
+  registry.Reset();
+}
+
+}  // namespace
+}  // namespace privtree::obs

@@ -1,0 +1,101 @@
+// Request tracing: unique id generation, span recording, the finished-
+// trace ring, FormatTrace's span breakdown, and FinishTrace feeding the
+// "server.request_us" registry histogram.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace privtree::obs {
+namespace {
+
+TEST(TraceIdTest, IdsAreUniqueAndNeverZero) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t id = NextTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  }
+}
+
+TEST(TraceContextTest, SpansStartAbsentAndRecordIndependently) {
+  TraceContext trace;
+  for (std::size_t i = 0; i < kSpanCount; ++i) {
+    EXPECT_EQ(trace.span(static_cast<Span>(i)), -1);
+  }
+  trace.Record(Span::kQueueWait, 120);
+  trace.Record(Span::kKernel, 45);
+  EXPECT_EQ(trace.span(Span::kQueueWait), 120);
+  EXPECT_EQ(trace.span(Span::kKernel), 45);
+  EXPECT_EQ(trace.span(Span::kFit), -1);  // Untouched spans stay absent.
+}
+
+TEST(TraceContextTest, StartTraceGeneratesOrAdoptsTheId) {
+  const TracePtr generated = StartTrace();
+  EXPECT_NE(generated->trace_id, 0u);
+  const TracePtr adopted = StartTrace(0xABCD);
+  EXPECT_EQ(adopted->trace_id, 0xABCDu);
+}
+
+TEST(TraceFormatTest, BreakdownNamesEveryRecordedSpan) {
+  TraceContext trace;
+  trace.trace_id = 0x1234;
+  trace.total_us = 1500;
+  trace.cache_hit = true;
+  trace.Record(Span::kSocketRead, 100);
+  trace.Record(Span::kKernel, 1400);
+  const std::string line = FormatTrace(trace);
+  EXPECT_NE(line.find("trace=0x"), std::string::npos) << line;
+  EXPECT_NE(line.find("cache_hit"), std::string::npos) << line;
+  EXPECT_NE(line.find("socket_read="), std::string::npos) << line;
+  EXPECT_NE(line.find("kernel="), std::string::npos) << line;
+  // Unrecorded spans stay out of the line entirely.
+  EXPECT_EQ(line.find("queue_wait="), std::string::npos) << line;
+}
+
+TEST(TraceRingTest, KeepsTheMostRecentCapacityTraces) {
+  TraceRing& ring = TraceRing::Global();
+  ring.Reset();
+  ring.SetCapacity(4);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    TraceContext trace;
+    trace.trace_id = i;
+    ring.Push(trace);
+  }
+  EXPECT_EQ(ring.finished(), 10u);
+  const std::vector<TraceContext> recent = ring.Recent();
+  ASSERT_EQ(recent.size(), 4u);
+  std::set<std::uint64_t> ids;
+  for (const TraceContext& t : recent) ids.insert(t.trace_id);
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{7, 8, 9, 10}));
+  ring.Reset();
+  EXPECT_EQ(ring.finished(), 0u);
+  EXPECT_TRUE(ring.Recent().empty());
+}
+
+TEST(TraceRingTest, FinishTraceFeedsTheRingAndTheLatencyHistogram) {
+  TraceRing& ring = TraceRing::Global();
+  ring.Reset();
+  Histogram& latency =
+      Registry::Global().GetHistogram("server.request_us");
+  latency.Reset();
+
+  TracePtr trace = StartTrace();
+  trace->Record(Span::kDispatch, 5);
+  FinishTrace(*trace);
+
+  EXPECT_GE(trace->total_us, 0);  // Stamped from the start timestamp.
+  EXPECT_EQ(ring.finished(), 1u);
+  EXPECT_EQ(latency.Count(), 1u);
+  ring.Reset();
+  latency.Reset();
+}
+
+}  // namespace
+}  // namespace privtree::obs

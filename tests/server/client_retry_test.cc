@@ -137,6 +137,52 @@ TEST(ClientRetryTest, TransportFailureReconnectsAndResends) {
   server.join();
 }
 
+TEST(ClientRetryTest, FailedReconnectDoesNotCountAsRetry) {
+  // Connection 1 dies after taking the request (transport failure).  The
+  // re-dial lands on connection 2, which never answers Hello, so that
+  // reconnect fails without a single byte of the request being resent.
+  // Connection 3 handshakes and serves.  Telemetry must report exactly one
+  // retry — the one resend the server actually saw — and one reconnect,
+  // the one successful re-dial; the failed reconnect is neither.
+  auto listener = ListenSocket::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    {  // Connection 1: handshake, swallow the request, die.
+      auto conn = listener.value().Accept();
+      ASSERT_TRUE(conn.ok());
+      AnswerHello(conn.value());
+      auto request = conn.value().RecvFrame();
+      ASSERT_TRUE(request.ok());
+    }
+    {  // Connection 2: accept, then stay silent until the client gives up.
+      auto conn = listener.value().Accept();
+      ASSERT_TRUE(conn.ok());
+      auto hello = conn.value().RecvFrame();  // Unanswered Hello.
+    }  // Scope exit closes it.
+    auto conn = listener.value().Accept();  // Connection 3: serve.
+    ASSERT_TRUE(conn.ok());
+    AnswerHello(conn.value());
+    auto request = conn.value().RecvFrame();
+    ASSERT_TRUE(request.ok());
+    StatsReply stats;
+    stats.admitted = 11;
+    ASSERT_TRUE(conn.value().SendFrame(EncodeStatsReply(stats)).ok());
+  });
+
+  ClientOptions options;
+  options.max_attempts = 4;
+  options.base_backoff_millis = 1;
+  options.connect_timeout_millis = 200;  // Bounds the silent Hello quickly.
+  auto client = Client::Connect("127.0.0.1", listener.value().port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto stats = client.value().Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().admitted, 11u);
+  EXPECT_EQ(client.value().telemetry().retries, 1u);
+  EXPECT_EQ(client.value().telemetry().reconnects, 1u);
+  server.join();
+}
+
 TEST(ClientRetryTest, ShutdownIsNeverRetried) {
   auto listener = ListenSocket::Listen(0);
   ASSERT_TRUE(listener.ok());

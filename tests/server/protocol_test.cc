@@ -154,6 +154,60 @@ TEST(ProtocolTest, StatsReplyRoundTrip) {
   EXPECT_EQ(decoded.writeback_hits, 5u);
 }
 
+TEST(ProtocolTest, TracedWrapperRoundTripsIdAndInnerPayload) {
+  const std::string inner = EncodeFit({SampleSpec(), 1500});
+  const std::string payload = EncodeTraced(0xABCDEF0123456789ull, inner);
+  ASSERT_EQ(PeekType(payload).value(), MessageType::kTraced);
+
+  std::uint64_t trace_id = 0;
+  std::string_view unwrapped;
+  ASSERT_TRUE(DecodeTraced(payload, &trace_id, &unwrapped).ok());
+  EXPECT_EQ(trace_id, 0xABCDEF0123456789ull);
+  // The inner payload comes back byte-identical — the wrapper is pure
+  // framing, so the dispatcher's view of the request cannot change.
+  EXPECT_EQ(unwrapped, inner);
+  FitRequest decoded;
+  ASSERT_TRUE(DecodeFit(unwrapped, &decoded).ok());
+  EXPECT_EQ(decoded.spec.seed, 0xC11u);
+}
+
+TEST(ProtocolTest, TracedRejectsEmptyInnerAndNesting) {
+  const std::string inner = EncodeGetStats();
+  std::uint64_t trace_id = 0;
+  std::string_view unwrapped;
+  // No inner payload at all.
+  EXPECT_FALSE(
+      DecodeTraced(EncodeTraced(7, ""), &trace_id, &unwrapped).ok());
+  // A Traced inside a Traced: one level only.
+  const std::string nested =
+      EncodeTraced(7, EncodeTraced(8, inner));
+  EXPECT_FALSE(DecodeTraced(nested, &trace_id, &unwrapped).ok());
+  // Truncated id.
+  EXPECT_FALSE(
+      DecodeTraced(EncodeTraced(7, inner).substr(0, 6), &trace_id,
+                   &unwrapped)
+          .ok());
+}
+
+TEST(ProtocolTest, GetStatsRoundTrip) {
+  const std::string request = EncodeGetStats();
+  ASSERT_EQ(PeekType(request).value(), MessageType::kGetStats);
+
+  const std::string json =
+      "{\"counters\":{\"event.accepted\":3},\"gauges\":{},"
+      "\"histograms\":{}}";
+  const std::string payload = EncodeGetStatsReply(json);
+  ASSERT_EQ(PeekType(payload).value(), MessageType::kGetStatsReply);
+  std::string decoded;
+  ASSERT_TRUE(DecodeGetStatsReply(payload, &decoded).ok());
+  EXPECT_EQ(decoded, json);
+  // Malformations fail cleanly: truncation and trailing bytes.
+  EXPECT_FALSE(
+      DecodeGetStatsReply(payload.substr(0, payload.size() - 1), &decoded)
+          .ok());
+  EXPECT_FALSE(DecodeGetStatsReply(payload + "x", &decoded).ok());
+}
+
 TEST(ProtocolTest, ErrorReplyCarriesEveryStatusCode) {
   for (const Status& status :
        {Status::InvalidArgument("bad spec"), Status::NotFound("eof"),
