@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
   const auto measure = [&](const char* op, auto body) {
     Row row{op};
     // Warm-up pass primes the thread-local shard indices and the caches.
+    // lint-ok: discarded-status — warm-up timing is deliberately dropped.
     (void)TimeThreads(1, ops / 10 + 1, body);
     row.single_ns = TimeThreads(1, ops, body) * 1e9 /
                     static_cast<double>(ops);

@@ -472,6 +472,7 @@ std::vector<MethodPerf> RunRegistrySweep(serve::ThreadPool& pool,
     } else {
       perf.query_count = seq_queries.size();
       perf.batch_query_seconds = Seconds(
+          // lint-ok: discarded-status — timing-only pass; answers unused.
           [&] { (void)method.QueryBatch(std::span(seq_queries)); });
       // Sequence methods have no per-box Query; the batch is the only
       // client-visible path.
@@ -1009,6 +1010,8 @@ SocketPerf RunSocketPhase(serve::ThreadPool& pool,
     if (oracle_listener.ok()) {
       server::ServerLoop oracle(dispatcher,
                                 std::move(oracle_listener).value());
+      // lint-ok: discarded-status — the bench tolerates a failed oracle
+      // loop (oracle_ok tracks per-query success below).
       std::thread oracle_thread([&] { (void)oracle.Run(); });
       bool oracle_ok = true;
       const auto oracle_answers =

@@ -43,13 +43,12 @@
 #include <cstring>
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/sync.h"
 #include "data/csv.h"
 #include "obs/export.h"
 #include "obs/trace.h"
@@ -98,37 +97,36 @@ class StatsFileWriter {
 
   void Stop() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      privtree::MutexLock lk(mu_);
       if (stopped_) return;
       stopped_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     writer_.join();
     privtree::obs::WriteStatsFile(path_);  // The final snapshot.
   }
 
  private:
   void Run() {
-    std::unique_lock<std::mutex> lk(mu_);
+    privtree::MutexLock lk(mu_);
     while (!stopped_) {
-      cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
-                   [this] { return stopped_; });
+      cv_.WaitFor(lk, std::chrono::milliseconds(interval_ms_));
       if (stopped_) break;
-      lk.unlock();
+      lk.Unlock();
       if (!privtree::obs::WriteStatsFile(path_)) {
         std::fprintf(stderr,
                      "privtree_server: stats snapshot to %s failed\n",
                      path_.c_str());
       }
-      lk.lock();
+      lk.Lock();
     }
   }
 
   const std::string path_;
   const std::size_t interval_ms_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopped_ = false;
+  privtree::Mutex mu_;
+  privtree::CondVar cv_;
+  bool stopped_ GUARDED_BY(mu_) = false;
   std::thread writer_;
 };
 

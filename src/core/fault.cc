@@ -70,12 +70,14 @@ Injector::Injector() {
     seed_ = std::strtoull(seed_text, nullptr, 10);
   }
   if (const char* spec = std::getenv("PRIVTREE_FAULTS")) {
-    ArmFromSpec(spec);  // A malformed env spec arms nothing.
+    // lint-ok: discarded-status — a malformed env spec arms nothing, and a
+    // constructor has no caller to report to.
+    (void)ArmFromSpec(spec);
   }
 }
 
 void Injector::Arm(PointSpec spec) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto [it, inserted] = points_.try_emplace(spec.point);
   it->second = PointState{std::move(spec)};
   armed_points_.store(points_.size(), std::memory_order_relaxed);
@@ -151,7 +153,7 @@ Status Injector::ArmFromSpec(std::string_view text) {
 }
 
 void Injector::Disarm(std::string_view point) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = points_.find(point);
   if (it == points_.end()) return;
   points_.erase(it);
@@ -159,23 +161,23 @@ void Injector::Disarm(std::string_view point) {
 }
 
 void Injector::Reset() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   points_.clear();
   armed_points_.store(0, std::memory_order_relaxed);
 }
 
 void Injector::SetSeed(std::uint64_t seed) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   seed_ = seed;
 }
 
 std::uint64_t Injector::seed() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return seed_;
 }
 
 Action Injector::Hit(std::string_view point) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = points_.find(point);
   if (it == points_.end()) return {};
   PointState& state = it->second;
@@ -193,7 +195,7 @@ Action Injector::Hit(std::string_view point) {
 }
 
 Injector::PointStats Injector::StatsFor(std::string_view point) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = points_.find(point);
   if (it == points_.end()) return {};
   return {it->second.hits, it->second.fired};
@@ -201,7 +203,7 @@ Injector::PointStats Injector::StatsFor(std::string_view point) const {
 
 std::vector<std::pair<std::string, Injector::PointStats>>
 Injector::AllStats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<std::pair<std::string, PointStats>> out;
   out.reserve(points_.size());
   for (const auto& [name, state] : points_) {

@@ -35,11 +35,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/sync.h"
 #include "dp/status.h"
 
 namespace privtree::fault {
@@ -134,9 +134,9 @@ class Injector {
   };
 
   std::atomic<std::size_t> armed_points_{0};
-  mutable std::mutex mu_;
-  std::uint64_t seed_ = 1;
-  std::map<std::string, PointState, std::less<>> points_;
+  mutable Mutex mu_;
+  std::uint64_t seed_ GUARDED_BY(mu_) = 1;
+  std::map<std::string, PointState, std::less<>> points_ GUARDED_BY(mu_);
 };
 
 }  // namespace privtree::fault

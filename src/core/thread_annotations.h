@@ -1,0 +1,75 @@
+// Clang thread-safety-analysis attribute macros, no-ops elsewhere.
+//
+// These wrap the `-Wthread-safety` capability attributes so lock discipline
+// is documented in headers and *checked at compile time* under clang (the CI
+// thread-safety job builds with `-Wthread-safety -Werror=thread-safety`);
+// g++ and non-clang compilers see empty macros.  Use them through the
+// annotated primitives in core/sync.h — libstdc++'s std::mutex carries no
+// attributes, so annotating raw standard types buys nothing.
+//
+// Cheat sheet:
+//   GUARDED_BY(mu)    on a data member: reads/writes require holding mu.
+//   REQUIRES(mu)      on a function: caller must hold mu (the *Locked()
+//                     helper convention).
+//   EXCLUDES(mu)      on a function: caller must NOT hold mu (it locks
+//                     internally; documents self-deadlock hazards).
+//   ACQUIRE/RELEASE   on lock/unlock methods of a capability wrapper.
+//   CAPABILITY        on a mutex-like class; SCOPED_CAPABILITY on an RAII
+//                     guard class.
+#ifndef PRIVTREE_CORE_THREAD_ANNOTATIONS_H_
+#define PRIVTREE_CORE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(x)
+#endif
+
+#define CAPABILITY(x) PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define SCOPED_CAPABILITY PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GUARDED_BY(x) PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define PT_GUARDED_BY(x) PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  PRIVTREE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // PRIVTREE_CORE_THREAD_ANNOTATIONS_H_

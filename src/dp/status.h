@@ -30,8 +30,10 @@ enum class StatusCode {
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
 
-/// A cheap, copyable success-or-error value.
-class Status {
+/// A cheap, copyable success-or-error value.  Class-level [[nodiscard]]:
+/// every function returning a Status by value must have its result checked
+/// (or explicitly discarded with a justified cast — see tools/privtree_lint).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -93,7 +95,7 @@ class Status {
 
 /// Holds either a value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -60,7 +60,7 @@ Registry& Registry::Global() {
 }
 
 Counter& Registry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -70,7 +70,7 @@ Counter& Registry::GetCounter(std::string_view name) {
 }
 
 Gauge& Registry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -79,7 +79,7 @@ Gauge& Registry::GetGauge(std::string_view name) {
 }
 
 Histogram& Registry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -89,7 +89,7 @@ Histogram& Registry::GetHistogram(std::string_view name) {
 }
 
 std::vector<std::string> Registry::CounterNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size());
   for (const auto& [name, unused] : counters_) names.push_back(name);
@@ -97,7 +97,7 @@ std::vector<std::string> Registry::CounterNames() const {
 }
 
 std::vector<std::string> Registry::GaugeNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(gauges_.size());
   for (const auto& [name, unused] : gauges_) names.push_back(name);
@@ -105,7 +105,7 @@ std::vector<std::string> Registry::GaugeNames() const {
 }
 
 std::vector<std::string> Registry::HistogramNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
   for (const auto& [name, unused] : histograms_) names.push_back(name);
@@ -113,7 +113,7 @@ std::vector<std::string> Registry::HistogramNames() const {
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [unused, counter] : counters_) counter->Reset();
   for (auto& [unused, gauge] : gauges_) gauge->Reset();
   for (auto& [unused, histogram] : histograms_) histogram->Reset();
@@ -157,7 +157,7 @@ void AppendJsonString(std::ostringstream& out, std::string_view s) {
 }  // namespace
 
 std::string Registry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   out << "{\"counters\":{";
   bool first = true;

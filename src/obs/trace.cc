@@ -84,7 +84,7 @@ TraceRing& TraceRing::Global() {
 }
 
 void TraceRing::SetCapacity(std::size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   capacity_ = n == 0 ? 1 : n;
   ring_.clear();
   ring_.reserve(capacity_);
@@ -92,17 +92,17 @@ void TraceRing::SetCapacity(std::size_t n) {
 }
 
 void TraceRing::SetSlowThresholdMillis(std::int64_t ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   slow_threshold_ms_ = ms;
 }
 
 std::int64_t TraceRing::slow_threshold_millis() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return slow_threshold_ms_;
 }
 
 void TraceRing::Push(const TraceContext& trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(trace);
   } else {
@@ -113,17 +113,17 @@ void TraceRing::Push(const TraceContext& trace) {
 }
 
 std::vector<TraceContext> TraceRing::Recent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_;
 }
 
 std::uint64_t TraceRing::finished() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return finished_;
 }
 
 void TraceRing::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   ring_.reserve(capacity_);
   next_ = 0;

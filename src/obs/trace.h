@@ -22,9 +22,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace privtree::obs {
 
@@ -100,12 +101,12 @@ class TraceRing {
  private:
   TraceRing();
 
-  mutable std::mutex mu_;
-  std::vector<TraceContext> ring_;
-  std::size_t capacity_;
-  std::size_t next_ = 0;
-  std::uint64_t finished_ = 0;
-  std::int64_t slow_threshold_ms_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceContext> ring_ GUARDED_BY(mu_);
+  std::size_t capacity_ GUARDED_BY(mu_);
+  std::size_t next_ GUARDED_BY(mu_) = 0;
+  std::uint64_t finished_ GUARDED_BY(mu_) = 0;
+  std::int64_t slow_threshold_ms_ GUARDED_BY(mu_) = 0;
 };
 
 /// Stamps total_us from trace.start, records "server.request_us", pushes

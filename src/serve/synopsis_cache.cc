@@ -227,10 +227,10 @@ SynopsisCache::SynopsisCache(std::size_t capacity, SpillOptions spill,
 SynopsisCache::~SynopsisCache() {
   if (!spill_writer_.joinable()) return;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_writer_ = true;
   }
-  spill_cv_.notify_all();
+  spill_cv_.NotifyAll();
   spill_writer_.join();  // Drains the remaining backlog first.
 }
 
@@ -277,7 +277,7 @@ void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
     const std::string file =
         SynopsisKeyFingerprint(key) + std::string(kSpillExtension);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       // A synopsis is immutable, so a file written for an earlier eviction
       // of the same key is still valid — skip the rewrite, but refresh its
       // LRU position: this key was hot enough to re-enter memory.
@@ -311,7 +311,7 @@ void SynopsisCache::SpillEvicted(const std::vector<Evicted>& evicted) {
       }
     }
 
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (!saved.ok() || ec) {
       ++stats_.spill_failures;  // E.g. a non-serializable test stub.
       ++stats_.spill_write_failures;
@@ -361,10 +361,9 @@ bool SynopsisCache::EnqueueSpillLocked(std::vector<Evicted>* evicted) {
 }
 
 void SynopsisCache::RunSpillWriter() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (;;) {
-    spill_cv_.wait(lk,
-                   [&] { return stop_writer_ || !spill_queue_.empty(); });
+    while (!stop_writer_ && spill_queue_.empty()) spill_cv_.Wait(lk);
     if (spill_queue_.empty()) {
       if (stop_writer_) return;
       continue;
@@ -376,28 +375,28 @@ void SynopsisCache::RunSpillWriter() {
     spill_queue_.clear();
     ++stats_.spill_write_batches;
     Metrics().spill_write_batches.Inc();
-    lk.unlock();
+    lk.Unlock();
     SpillEvicted(batch);
-    lk.lock();
+    lk.Lock();
     // Only now do the keys leave the write-behind buffer: a miss during the
     // write was still served from memory (writeback hit).
     for (const auto& [key, method] : batch) spill_pending_index_.erase(key);
     Metrics().spill_pending.Set(spill_pending_index_.size());
-    if (spill_queue_.empty()) flush_cv_.notify_all();
+    if (spill_queue_.empty()) flush_cv_.NotifyAll();
   }
 }
 
 void SynopsisCache::FlushSpill() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (!spill_enabled() || !spill_.background_writer) return;
-  flush_cv_.wait(lk, [&] {
-    return spill_queue_.empty() && spill_pending_index_.empty();
-  });
+  while (!spill_queue_.empty() || !spill_pending_index_.empty()) {
+    flush_cv_.Wait(lk);
+  }
 }
 
 std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
     const SynopsisKey& key, const FitFn& fit) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::string spill_file;
   for (;;) {
     if (const auto it = index_.find(key); it != index_.end()) {
@@ -417,15 +416,15 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
       std::vector<Evicted> evicted;
       if (capacity_ > 0) InsertLocked(key, value, &evicted);
       const bool notify_writer = EnqueueSpillLocked(&evicted);
-      lk.unlock();
-      if (notify_writer) spill_cv_.notify_all();
+      lk.Unlock();
+      if (notify_writer) spill_cv_.NotifyAll();
       if (!evicted.empty()) SpillEvicted(evicted);
       return value;
     }
     if (!inflight_.contains(key)) break;
     // Another thread is fitting (or rehydrating) this key; wait for it
     // rather than duplicating the work.
-    inflight_cv_.wait(lk);
+    inflight_cv_.Wait(lk);
   }
   ++stats_.misses;
   Metrics().misses.Inc();
@@ -435,7 +434,7 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
         SynopsisKeyFingerprint(key) + std::string(kSpillExtension);
     if (spill_index_.contains(file)) spill_file = file;
   }
-  lk.unlock();
+  lk.Unlock();
 
   // Rehydrate from the spill tier if this key was evicted to disk; fall
   // back to a fresh fit when the file is missing or corrupt.
@@ -462,7 +461,7 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
   }
 
   std::vector<Evicted> evicted;
-  lk.lock();
+  lk.Lock();
   inflight_.erase(key);
   if (from_spill) {
     ++stats_.spill_hits;
@@ -484,17 +483,17 @@ std::shared_ptr<const release::Method> SynopsisCache::GetOrFit(
   }
   if (capacity_ > 0) InsertLocked(key, value, &evicted);
   const bool notify_writer = EnqueueSpillLocked(&evicted);
-  inflight_cv_.notify_all();
-  lk.unlock();
+  inflight_cv_.NotifyAll();
+  lk.Unlock();
 
-  if (notify_writer) spill_cv_.notify_all();
+  if (notify_writer) spill_cv_.NotifyAll();
   if (!evicted.empty()) SpillEvicted(evicted);
   return value;
 }
 
 std::shared_ptr<const release::Method> SynopsisCache::Lookup(
     const SynopsisKey& key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second);
@@ -502,17 +501,17 @@ std::shared_ptr<const release::Method> SynopsisCache::Lookup(
 }
 
 std::size_t SynopsisCache::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return lru_.size();
 }
 
 std::size_t SynopsisCache::SpillFileCount() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return spill_index_.size();
 }
 
 SynopsisCache::Stats SynopsisCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Stats out = stats_;
   out.spill_pending = spill_pending_index_.size();
   return out;
@@ -522,7 +521,7 @@ void SynopsisCache::Clear() {
   // Let in-flight background writes land first, so no writer re-registers a
   // file after we have deleted it.
   FlushSpill();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   lru_.clear();
   index_.clear();
   resident_size_.clear();

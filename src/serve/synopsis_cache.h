@@ -43,14 +43,12 @@
 #define PRIVTREE_SERVE_SYNOPSIS_CACHE_H_
 
 #include <compare>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
@@ -58,6 +56,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/sync.h"
 #include "release/dataset.h"
 #include "release/method.h"
 #include "release/options.h"
@@ -170,10 +169,12 @@ class SynopsisCache {
   /// Returns the cached synopsis for `key`, fitting (and caching) it via
   /// `fit` on a miss.  Concurrent calls for the same key fit once.
   std::shared_ptr<const release::Method> GetOrFit(const SynopsisKey& key,
-                                                  const FitFn& fit);
+                                                  const FitFn& fit)
+      EXCLUDES(mu_);
 
   /// The cached synopsis, or null without side effects beyond LRU touch.
-  std::shared_ptr<const release::Method> Lookup(const SynopsisKey& key);
+  std::shared_ptr<const release::Method> Lookup(const SynopsisKey& key)
+      EXCLUDES(mu_);
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
@@ -183,10 +184,10 @@ class SynopsisCache {
   Stats stats() const;
   /// Blocks until every pending write-behind eviction is on disk (no-op
   /// when spilling is disabled or nothing is pending).
-  void FlushSpill();
+  void FlushSpill() EXCLUDES(mu_);
   /// Drops every cached synopsis, including the spill files on disk and
   /// the pending write-behind backlog.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
   using LruList =
@@ -198,57 +199,57 @@ class SynopsisCache {
   /// `*evicted` for the caller to spill after unlocking; caller holds mu_.
   void InsertLocked(const SynopsisKey& key,
                     std::shared_ptr<const release::Method> value,
-                    std::vector<Evicted>* evicted);
+                    std::vector<Evicted>* evicted) REQUIRES(mu_);
 
   /// Serializes evicted entries to the spill directory (temp-file + rename,
   /// no lock held during the write), then registers the files and trims the
   /// spill tier to capacity, oldest-or-coldest file first.
-  void SpillEvicted(const std::vector<Evicted>& evicted);
+  void SpillEvicted(const std::vector<Evicted>& evicted) EXCLUDES(mu_);
 
   /// Queues evicted entries for the background writer (or hands them to
   /// SpillEvicted inline when the writer is disabled); caller holds mu_ and
-  /// must call spill_cv_.notify_all() after unlocking when this returns
+  /// must call spill_cv_.NotifyAll() after unlocking when this returns
   /// true (entries were queued).
-  bool EnqueueSpillLocked(std::vector<Evicted>* evicted);
+  bool EnqueueSpillLocked(std::vector<Evicted>* evicted) REQUIRES(mu_);
 
   /// Background writer main loop: drain the whole pending queue per wakeup.
-  void RunSpillWriter();
+  void RunSpillWriter() EXCLUDES(mu_);
 
   /// Full path of a spill file name (fingerprint + extension).
   std::string SpillPathFor(const std::string& file) const;
 
   /// Moves `file` to the front of the spill LRU; caller holds mu_.
-  void TouchSpillLocked(const std::string& file);
+  void TouchSpillLocked(const std::string& file) REQUIRES(mu_);
 
   const std::size_t capacity_;
   const SpillOptions spill_;
   const std::size_t max_resident_bytes_;
-  mutable std::mutex mu_;
-  std::condition_variable inflight_cv_;
-  LruList lru_;  // Front = most recently used.
-  std::map<SynopsisKey, LruList::iterator> index_;
+  mutable Mutex mu_;
+  CondVar inflight_cv_;
+  LruList lru_ GUARDED_BY(mu_);  // Front = most recently used.
+  std::map<SynopsisKey, LruList::iterator> index_ GUARDED_BY(mu_);
   /// Serialized size per resident key, mirrored into
   /// stats_.resident_bytes; measured once at insert (Save to a string).
-  std::map<SynopsisKey, std::size_t> resident_size_;
-  std::set<SynopsisKey> inflight_;
+  std::map<SynopsisKey, std::size_t> resident_size_ GUARDED_BY(mu_);
+  std::set<SynopsisKey> inflight_ GUARDED_BY(mu_);
   /// Spill-file names (fingerprint + extension), front = most recent; the
   /// set mirrors the list for O(log n) membership.
-  std::list<std::string> spill_lru_;
-  std::set<std::string> spill_index_;
+  std::list<std::string> spill_lru_ GUARDED_BY(mu_);
+  std::set<std::string> spill_index_ GUARDED_BY(mu_);
   /// Spill-file names whose write failure was already logged (satellite
   /// contract: one stderr line per key, not one per retry).
-  std::set<std::string> logged_write_failures_;
-  Stats stats_;
+  std::set<std::string> logged_write_failures_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
   /// Write-behind state: evictions queued for the writer, plus a key index
   /// over everything enqueued-or-being-written so a miss can be served from
-  /// the buffer until its file lands.  All guarded by mu_.
-  std::deque<Evicted> spill_queue_;
+  /// the buffer until its file lands.
+  std::deque<Evicted> spill_queue_ GUARDED_BY(mu_);
   std::map<SynopsisKey, std::shared_ptr<const release::Method>>
-      spill_pending_index_;
-  bool stop_writer_ = false;
-  std::condition_variable spill_cv_;  // Wakes the writer.
-  std::condition_variable flush_cv_;  // Signalled when the backlog drains.
-  std::thread spill_writer_;          // Joined by the destructor.
+      spill_pending_index_ GUARDED_BY(mu_);
+  bool stop_writer_ GUARDED_BY(mu_) = false;
+  CondVar spill_cv_;  // Wakes the writer.
+  CondVar flush_cv_;  // Signalled when the backlog drains.
+  std::thread spill_writer_;  // Joined by the destructor.
 };
 
 }  // namespace privtree::serve

@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(sleep_mu_);
+    MutexLock lk(sleep_mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -38,7 +38,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   // return while the task is pending.
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lk(queues_[target]->mu);
+    MutexLock lk(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
   {
@@ -46,16 +46,16 @@ void ThreadPool::Submit(std::function<void()> task) {
     // the window where a worker has evaluated the predicate as false but
     // not yet blocked — notifying in that window would be lost and could
     // leave every worker asleep with a task queued.
-    std::lock_guard<std::mutex> lk(sleep_mu_);
+    MutexLock lk(sleep_mu_);
     queued_.fetch_add(1, std::memory_order_release);
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 bool ThreadPool::TryPop(std::size_t self, std::function<void()>* task) {
   {
     WorkerQueue& own = *queues_[self];
-    std::lock_guard<std::mutex> lk(own.mu);
+    MutexLock lk(own.mu);
     if (!own.tasks.empty()) {
       *task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -65,7 +65,7 @@ bool ThreadPool::TryPop(std::size_t self, std::function<void()>* task) {
   }
   for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
     WorkerQueue& victim = *queues_[(self + offset) % queues_.size()];
-    std::lock_guard<std::mutex> lk(victim.mu);
+    MutexLock lk(victim.mu);
     if (!victim.tasks.empty()) {
       *task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -80,8 +80,8 @@ void ThreadPool::FinishTask() {
   if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Lock before notifying so a WaitIdle caller between its predicate
     // check and its wait cannot miss the wakeup.
-    std::lock_guard<std::mutex> lk(sleep_mu_);
-    idle_cv_.notify_all();
+    MutexLock lk(sleep_mu_);
+    idle_cv_.NotifyAll();
   }
 }
 
@@ -93,19 +93,19 @@ void ThreadPool::RunWorker(std::size_t self) {
       FinishTask();
       continue;
     }
-    std::unique_lock<std::mutex> lk(sleep_mu_);
-    wake_cv_.wait(lk, [this] {
-      return stop_ || queued_.load(std::memory_order_acquire) > 0;
-    });
+    MutexLock lk(sleep_mu_);
+    while (!stop_ && queued_.load(std::memory_order_acquire) <= 0) {
+      wake_cv_.Wait(lk);
+    }
     if (stop_ && queued_.load(std::memory_order_acquire) <= 0) return;
   }
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lk(sleep_mu_);
-  idle_cv_.wait(lk, [this] {
-    return in_flight_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lk(sleep_mu_);
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    idle_cv_.Wait(lk);
+  }
 }
 
 void ThreadPool::ParallelFor(std::size_t n,
@@ -124,8 +124,8 @@ void ThreadPool::ParallelFor(std::size_t n,
     std::atomic<std::size_t> done{0};
     std::size_t n = 0;
     std::function<void(std::size_t)> body;
-    std::mutex mu;
-    std::condition_variable cv;
+    Mutex mu;
+    CondVar cv;
   };
   auto state = std::make_shared<LoopState>();
   state->n = n;
@@ -138,8 +138,8 @@ void ThreadPool::ParallelFor(std::size_t n,
       if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
         // Lock so a waiter between its predicate check and its wait cannot
         // miss the notification.
-        std::lock_guard<std::mutex> lk(s->mu);
-        s->cv.notify_all();
+        MutexLock lk(s->mu);
+        s->cv.NotifyAll();
       }
     }
   };
@@ -148,10 +148,10 @@ void ThreadPool::ParallelFor(std::size_t n,
     Submit([run, state] { run(state); });
   }
   run(state);
-  std::unique_lock<std::mutex> lk(state->mu);
-  state->cv.wait(lk, [&] {
-    return state->done.load(std::memory_order_acquire) == state->n;
-  });
+  MutexLock lk(state->mu);
+  while (state->done.load(std::memory_order_acquire) != state->n) {
+    state->cv.Wait(lk);
+  }
 }
 
 }  // namespace privtree::serve

@@ -12,14 +12,14 @@
 #define PRIVTREE_SERVE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace privtree::serve {
 
@@ -53,8 +53,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mu);
   };
 
   /// Pops from the caller's own deque (back) or steals from a sibling
@@ -66,15 +66,15 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
 
-  std::mutex sleep_mu_;
-  std::condition_variable wake_cv_;  // Signalled on submit and stop.
-  std::condition_variable idle_cv_;  // Signalled when in_flight_ hits 0.
+  Mutex sleep_mu_;
+  CondVar wake_cv_;  // Signalled on submit and stop.
+  CondVar idle_cv_;  // Signalled when in_flight_ hits 0.
   // Tasks queued but not yet popped; may transiently undercount between a
   // push and its counter increment, which only costs a spurious wakeup.
   std::atomic<std::ptrdiff_t> queued_{0};
   // Tasks submitted and not yet finished (queued + running).
   std::atomic<std::ptrdiff_t> in_flight_{0};
-  bool stop_ = false;  // Guarded by sleep_mu_.
+  bool stop_ GUARDED_BY(sleep_mu_) = false;
   std::atomic<std::size_t> next_queue_{0};
 };
 

@@ -44,7 +44,7 @@ Status AdmissionController::AdmitFitLoad() {
   const std::size_t pending = cache_->stats().spill_pending;
   if (pending <= options_.max_pending_spills) return Status::OK();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++stats_.shed_cache_saturated;
   }
   Counters().shed_cache_saturated.Inc();
@@ -56,7 +56,7 @@ Status AdmissionController::AdmitFitLoad() {
 
 void AdmissionController::NoteAdmitted() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++stats_.admitted;
   }
   Counters().admitted.Inc();
@@ -64,7 +64,7 @@ void AdmissionController::NoteAdmitted() {
 
 void AdmissionController::NoteQueueFull() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++stats_.shed_queue_full;
   }
   Counters().shed_queue_full.Inc();
@@ -72,7 +72,7 @@ void AdmissionController::NoteQueueFull() {
 
 void AdmissionController::NoteExpired() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++stats_.expired;
   }
   Counters().expired.Inc();
@@ -81,7 +81,7 @@ void AdmissionController::NoteExpired() {
 bool AdmissionController::BeginFit(const serve::SynopsisKey& key) {
   bool coalesced = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     coalesced = ++inflight_fits_[key] > 1;
     if (coalesced) ++stats_.coalesced_fits;
   }
@@ -90,19 +90,19 @@ bool AdmissionController::BeginFit(const serve::SynopsisKey& key) {
 }
 
 void AdmissionController::EndFit(const serve::SynopsisKey& key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto it = inflight_fits_.find(key);
   PRIVTREE_CHECK(it != inflight_fits_.end());
   if (--it->second == 0) inflight_fits_.erase(it);
 }
 
 std::size_t AdmissionController::InFlightFits() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return inflight_fits_.size();
 }
 
 AdmissionController::Stats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return stats_;
 }
 

@@ -25,8 +25,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 
+#include "core/sync.h"
 #include "dp/status.h"
 #include "serve/synopsis_cache.h"
 
@@ -82,9 +82,9 @@ class AdmissionController {
  private:
   const AdmissionOptions options_;
   const serve::SynopsisCache* cache_;
-  mutable std::mutex mu_;
-  std::map<serve::SynopsisKey, std::size_t> inflight_fits_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::map<serve::SynopsisKey, std::size_t> inflight_fits_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace privtree::server

@@ -96,10 +96,10 @@ AsyncEngine::~AsyncEngine() {
   pool_.WaitIdle();
   if (watchdog_.joinable()) {
     {
-      std::lock_guard<std::mutex> lk(watch_mu_);
+      MutexLock lk(watch_mu_);
       stop_watchdog_ = true;
     }
-    watch_cv_.notify_all();
+    watch_cv_.NotifyAll();
     watchdog_.join();
   }
 }
@@ -107,7 +107,7 @@ AsyncEngine::~AsyncEngine() {
 std::uint64_t AsyncEngine::BeginWatch(DeadlineClock::time_point deadline,
                                       std::function<void()> fail) {
   if (!watchdog_.joinable() || deadline == kNoDeadline) return 0;
-  std::lock_guard<std::mutex> lk(watch_mu_);
+  MutexLock lk(watch_mu_);
   const std::uint64_t id = ++next_watch_id_;
   watched_.emplace(id, Watched{deadline, std::move(fail)});
   return id;
@@ -115,14 +115,14 @@ std::uint64_t AsyncEngine::BeginWatch(DeadlineClock::time_point deadline,
 
 void AsyncEngine::EndWatch(std::uint64_t id) {
   if (id == 0) return;
-  std::lock_guard<std::mutex> lk(watch_mu_);
+  MutexLock lk(watch_mu_);
   watched_.erase(id);
 }
 
 void AsyncEngine::RunWatchdog(std::uint64_t poll_millis) {
-  std::unique_lock<std::mutex> lk(watch_mu_);
+  MutexLock lk(watch_mu_);
   while (!stop_watchdog_) {
-    watch_cv_.wait_for(lk, std::chrono::milliseconds(poll_millis));
+    watch_cv_.WaitFor(lk, std::chrono::milliseconds(poll_millis));
     if (stop_watchdog_) return;
     const DeadlineClock::time_point now = DeadlineClock::now();
     std::vector<std::function<void()>> fired;
@@ -137,9 +137,9 @@ void AsyncEngine::RunWatchdog(std::uint64_t poll_millis) {
     if (fired.empty()) continue;
     watchdog_fired_ += fired.size();
     WatchdogFiredCounter().Inc(fired.size());
-    lk.unlock();  // Settling runs OnReady callbacks; never under watch_mu_.
+    lk.Unlock();  // Settling runs OnReady callbacks; never under watch_mu_.
     for (const auto& fail : fired) fail();
-    lk.lock();
+    lk.Lock();
   }
 }
 
@@ -497,7 +497,7 @@ std::size_t AsyncEngine::Warm(std::span<const FitSpec> specs) {
 AsyncEngine::StatsSnapshot AsyncEngine::Stats() const {
   std::size_t watchdog_fired = 0;
   {
-    std::lock_guard<std::mutex> lk(watch_mu_);
+    MutexLock lk(watch_mu_);
     watchdog_fired = watchdog_fired_;
   }
   return {queue_.depth(), queue_.max_depth(), watchdog_fired,

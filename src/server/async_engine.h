@@ -26,16 +26,15 @@
 #ifndef PRIVTREE_SERVER_ASYNC_ENGINE_H_
 #define PRIVTREE_SERVER_ASYNC_ENGINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "core/sync.h"
 #include "dp/status.h"
 #include "obs/trace.h"
 #include "release/dataset.h"
@@ -164,9 +163,9 @@ class AsyncEngine {
   /// later Set from the still-running executor a no-op).  Returns 0 (no
   /// watch) when the watchdog is disabled or the deadline is kNoDeadline.
   std::uint64_t BeginWatch(DeadlineClock::time_point deadline,
-                           std::function<void()> fail);
-  void EndWatch(std::uint64_t id);
-  void RunWatchdog(std::uint64_t poll_millis);
+                           std::function<void()> fail) EXCLUDES(watch_mu_);
+  void EndWatch(std::uint64_t id) EXCLUDES(watch_mu_);
+  void RunWatchdog(std::uint64_t poll_millis) EXCLUDES(watch_mu_);
 
   /// Admission + enqueue for one fit-carrying request; on success schedules
   /// a pool task and returns OK.  On failure the caller resolves the future
@@ -187,12 +186,12 @@ class AsyncEngine {
     DeadlineClock::time_point deadline;
     std::function<void()> fail;
   };
-  mutable std::mutex watch_mu_;
-  std::condition_variable watch_cv_;
-  std::map<std::uint64_t, Watched> watched_;
-  std::uint64_t next_watch_id_ = 0;
-  std::size_t watchdog_fired_ = 0;
-  bool stop_watchdog_ = false;
+  mutable Mutex watch_mu_;
+  CondVar watch_cv_;
+  std::map<std::uint64_t, Watched> watched_ GUARDED_BY(watch_mu_);
+  std::uint64_t next_watch_id_ GUARDED_BY(watch_mu_) = 0;
+  std::size_t watchdog_fired_ GUARDED_BY(watch_mu_) = 0;
+  bool stop_watchdog_ GUARDED_BY(watch_mu_) = false;
   std::thread watchdog_;
 };
 

@@ -20,9 +20,9 @@
 #ifndef PRIVTREE_SERVER_CLIENT_SESSION_H_
 #define PRIVTREE_SERVER_CLIENT_SESSION_H_
 
-#include <mutex>
 #include <set>
 
+#include "core/sync.h"
 #include "dp/status.h"
 #include "serve/synopsis_cache.h"
 
@@ -49,7 +49,7 @@ class ClientSession {
   /// Charges `epsilon` for `key` unless this session already paid for it.
   /// OutOfRange when the charge would overdraw the budget.
   ChargeOutcome Charge(const serve::SynopsisKey& key, double epsilon) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (paid_.contains(key)) return {Status::OK(), false};
     if (total_ > 0.0 && spent_ + epsilon > total_ * (1.0 + 1e-12)) {
       return {Status::OutOfRange(
@@ -66,22 +66,22 @@ class ClientSession {
   /// Reverses a Charge whose request failed; only call when the matching
   /// ChargeOutcome reported `charged`.
   void Refund(const serve::SynopsisKey& key, double epsilon) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (paid_.erase(key) > 0) spent_ -= epsilon;
   }
 
   double budget_total() const { return total_; }
 
   double spent() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return spent_;
   }
 
  private:
   const double total_;
-  mutable std::mutex mu_;
-  double spent_ = 0.0;                  // Guarded by mu_.
-  std::set<serve::SynopsisKey> paid_;   // Keys already charged; by mu_.
+  mutable Mutex mu_;
+  double spent_ GUARDED_BY(mu_) = 0.0;
+  std::set<serve::SynopsisKey> paid_ GUARDED_BY(mu_);  // Keys already charged.
 };
 
 }  // namespace privtree::server

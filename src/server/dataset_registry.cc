@@ -36,7 +36,7 @@ Result<std::uint64_t> DatasetRegistry::Insert(
     return Status::InvalidArgument("refusing to register an empty dataset");
   }
   const std::uint64_t fingerprint = data.Fingerprint();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (const auto it = entries_.find(fingerprint); it != entries_.end()) {
     // Same fingerprint ⇒ same content ⇒ same engine; re-registration (a
     // retried upload, a duplicated --data flag) is a harmless no-op.
@@ -59,7 +59,7 @@ Result<std::uint64_t> DatasetRegistry::Insert(
 }
 
 AsyncEngine* DatasetRegistry::Find(std::uint64_t fingerprint) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (fingerprint == 0) {
     if (order_.empty()) return nullptr;
     fingerprint = order_.front();
@@ -69,12 +69,12 @@ AsyncEngine* DatasetRegistry::Find(std::uint64_t fingerprint) const {
 }
 
 std::uint64_t DatasetRegistry::default_fingerprint() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return order_.empty() ? 0 : order_.front();
 }
 
 std::vector<DatasetInfo> DatasetRegistry::List() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::vector<DatasetInfo> out;
   out.reserve(order_.size());
   for (const std::uint64_t fingerprint : order_) {
@@ -92,7 +92,7 @@ std::vector<DatasetInfo> DatasetRegistry::List() const {
 }
 
 std::size_t DatasetRegistry::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return entries_.size();
 }
 

@@ -25,10 +25,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/sync.h"
 #include "dp/status.h"
 #include "release/dataset.h"
 #include "seq/sequence.h"
@@ -104,9 +104,9 @@ class DatasetRegistry {
   serve::ThreadPool& pool_;
   serve::SynopsisCache& cache_;
   const DatasetRegistryOptions options_;
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, std::unique_ptr<Entry>> entries_;  // By mu_.
-  std::vector<std::uint64_t> order_;  // Registration order; by mu_.
+  mutable Mutex mu_;
+  std::map<std::uint64_t, std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
+  std::vector<std::uint64_t> order_ GUARDED_BY(mu_);  // Registration order.
 };
 
 }  // namespace privtree::server

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <utility>
 
+#include "core/sync.h"
 #include "obs/export.h"
 #include "release/registry.h"
 #include "server/request.h"
@@ -240,20 +239,21 @@ void Dispatcher::HandleFrame(std::string_view payload,
 std::string Dispatcher::HandleFrameBlocking(
     std::string_view payload, const std::shared_ptr<ClientSession>& session,
     bool* shutdown) {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   std::string reply;
   bool ready = false;
   HandleFrame(payload, session, shutdown, [&](std::string out) {
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      reply = std::move(out);
-      ready = true;
-    }
-    cv.notify_one();
+    // Notify while still holding the lock: the waiter destroys mu/cv as
+    // soon as it observes `ready`, so an unlocked NotifyOne could touch a
+    // dead condition variable (TSan catches exactly that).
+    MutexLock lk(mu);
+    reply = std::move(out);
+    ready = true;
+    cv.NotifyOne();
   });
-  std::unique_lock<std::mutex> lk(mu);
-  cv.wait(lk, [&] { return ready; });
+  MutexLock lk(mu);
+  while (!ready) cv.Wait(lk);
   return reply;
 }
 

@@ -12,13 +12,13 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/byteio.h"
+#include "core/sync.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/protocol.h"
@@ -92,8 +92,8 @@ struct Completion {
 /// shared_ptr captured by every in-flight callback, so a completion that
 /// lands after the loop object is gone still writes into valid memory.
 struct EventLoop::CompletionQueue {
-  std::mutex mu;
-  std::vector<Completion> items;
+  Mutex mu;
+  std::vector<Completion> items GUARDED_BY(mu);
   int wake_fd = -1;
 
   CompletionQueue() { wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC); }
@@ -103,7 +103,7 @@ struct EventLoop::CompletionQueue {
 
   void Post(Completion completion) {
     {
-      std::lock_guard<std::mutex> lk(mu);
+      MutexLock lk(mu);
       items.push_back(std::move(completion));
     }
     Wake();
@@ -291,7 +291,7 @@ Status EventLoop::Run() {
 void EventLoop::ProcessCompletions() {
   std::vector<Completion> items;
   {
-    std::lock_guard<std::mutex> lk(queue_->mu);
+    MutexLock lk(queue_->mu);
     items.swap(queue_->items);
   }
   for (Completion& completion : items) {

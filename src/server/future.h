@@ -14,13 +14,13 @@
 #define PRIVTREE_SERVER_FUTURE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "core/sync.h"
 
 namespace privtree::server {
 
@@ -33,7 +33,7 @@ class Future {
  public:
   /// Whether the value has been set (non-blocking).
   bool Ready() const {
-    std::lock_guard<std::mutex> lk(state_->mu);
+    MutexLock lk(state_->mu);
     return state_->value.has_value();
   }
 
@@ -42,17 +42,22 @@ class Future {
   /// dangle if this returned a reference into the temporary future's
   /// state.
   T Get() const {
-    std::unique_lock<std::mutex> lk(state_->mu);
-    state_->cv.wait(lk, [&] { return state_->value.has_value(); });
+    MutexLock lk(state_->mu);
+    while (!state_->value.has_value()) state_->cv.Wait(lk);
     return *state_->value;
   }
 
   /// Blocks up to `timeout`; true when the value arrived in time.
   template <typename Rep, typename Period>
   bool WaitFor(std::chrono::duration<Rep, Period> timeout) const {
-    std::unique_lock<std::mutex> lk(state_->mu);
-    return state_->cv.wait_for(lk, timeout,
-                               [&] { return state_->value.has_value(); });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lk(state_->mu);
+    while (!state_->value.has_value()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      state_->cv.WaitFor(lk, deadline - now);
+    }
+    return true;
   }
 
   /// Registers `callback` to run exactly once with the value: on the
@@ -61,25 +66,30 @@ class Future {
   /// loop uses — never call Get() from inside a callback registered on the
   /// same future (the value is already in hand).  Callbacks must not throw.
   void OnReady(std::function<void(const T&)> callback) const {
+    // The pointer is taken under the lock but dereferenced outside it: the
+    // value is set exactly once and never mutated after, so the unlocked
+    // read cannot race the (already finished) write.
+    const T* ready = nullptr;
     {
-      std::unique_lock<std::mutex> lk(state_->mu);
+      MutexLock lk(state_->mu);
       if (!state_->value.has_value()) {
         state_->callbacks.push_back(std::move(callback));
         return;
       }
+      ready = &*state_->value;
     }
-    callback(*state_->value);
+    callback(*ready);
   }
 
  private:
   friend class Promise<T>;
 
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::optional<T> value;
+    Mutex mu;
+    CondVar cv;
+    std::optional<T> value GUARDED_BY(mu);
     /// Registered before the value arrived; drained (and invoked) by Set.
-    std::vector<std::function<void(const T&)>> callbacks;
+    std::vector<std::function<void(const T&)>> callbacks GUARDED_BY(mu);
   };
 
   explicit Future(std::shared_ptr<State> state) : state_(std::move(state)) {}
@@ -112,13 +122,16 @@ class Promise {
   void Set(T value) {
     auto state = std::move(state_);
     std::vector<std::function<void(const T&)>> callbacks;
+    // As in OnReady: the emplace is the one and only write, so callbacks
+    // may read through the saved pointer without the lock.
+    const T* set = nullptr;
     {
-      std::lock_guard<std::mutex> lk(state->mu);
-      state->value.emplace(std::move(value));
+      MutexLock lk(state->mu);
+      set = &state->value.emplace(std::move(value));
       callbacks.swap(state->callbacks);
     }
-    state->cv.notify_all();
-    for (const auto& callback : callbacks) callback(*state->value);
+    state->cv.NotifyAll();
+    for (const auto& callback : callbacks) callback(*set);
   }
 
  private:

@@ -9,14 +9,14 @@ RequestQueue::RequestQueue(std::size_t max_depth)
     : max_depth_(std::max<std::size_t>(max_depth, 1)) {}
 
 bool RequestQueue::TryPush(QueuedRequest& request) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (queue_.size() >= max_depth_) return false;
   queue_.push_back(std::move(request));
   return true;
 }
 
 bool RequestQueue::TryPop(QueuedRequest* request) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (queue_.empty()) return false;
   *request = std::move(queue_.front());
   queue_.pop_front();
@@ -24,7 +24,7 @@ bool RequestQueue::TryPop(QueuedRequest* request) {
 }
 
 std::size_t RequestQueue::depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return queue_.size();
 }
 

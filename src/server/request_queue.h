@@ -14,8 +14,8 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 
+#include "core/sync.h"
 #include "dp/status.h"
 #include "server/request.h"
 
@@ -48,8 +48,8 @@ class RequestQueue {
 
  private:
   const std::size_t max_depth_;
-  mutable std::mutex mu_;
-  std::deque<QueuedRequest> queue_;
+  mutable Mutex mu_;
+  std::deque<QueuedRequest> queue_ GUARDED_BY(mu_);
 };
 
 }  // namespace privtree::server

@@ -17,7 +17,7 @@ Status ServerLoop::Run() {
     auto conn = std::make_shared<Connection>(std::move(accepted).value());
     std::vector<std::thread> finished;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (stopping_) break;
       conns_.push_back(conn);
       handlers_.emplace_back([this, conn] { Serve(conn); });
@@ -33,7 +33,7 @@ Status ServerLoop::Run() {
   // may be inside Stop() itself when it served the Shutdown frame).
   std::vector<std::thread> handlers;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     handlers.swap(handlers_);
     for (std::thread& handler : finished_) handlers.push_back(std::move(handler));
     finished_.clear();
@@ -43,7 +43,7 @@ Status ServerLoop::Run() {
 }
 
 void ServerLoop::Stop() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   stopping_ = true;
   listener_.Shutdown();
   for (const auto& conn : conns_) conn->ShutdownBoth();
@@ -68,7 +68,7 @@ void ServerLoop::Serve(const std::shared_ptr<Connection>& conn) {
   // Retire this connection and move our own thread handle to the finished
   // list for the accept loop to reap, so neither list grows with server
   // lifetime.
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   std::erase(conns_, conn);
   const auto self = std::this_thread::get_id();
   for (auto it = handlers_.begin(); it != handlers_.end(); ++it) {

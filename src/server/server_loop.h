@@ -21,10 +21,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/sync.h"
 #include "dp/status.h"
 #include "server/dispatcher.h"
 #include "server/socket.h"
@@ -60,11 +60,11 @@ class ServerLoop {
 
   Dispatcher& dispatcher_;
   ListenSocket listener_;
-  std::mutex mu_;
-  bool stopping_ = false;                            // Guarded by mu_.
-  std::vector<std::thread> handlers_;                // Live; guarded by mu_.
-  std::vector<std::thread> finished_;                // Exited, to reap.
-  std::vector<std::shared_ptr<Connection>> conns_;   // Guarded by mu_.
+  Mutex mu_;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> handlers_ GUARDED_BY(mu_);  // Live.
+  std::vector<std::thread> finished_ GUARDED_BY(mu_);  // Exited, to reap.
+  std::vector<std::shared_ptr<Connection>> conns_ GUARDED_BY(mu_);
 };
 
 }  // namespace privtree::server

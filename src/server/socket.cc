@@ -200,6 +200,8 @@ Status Connection::SendFrame(std::string_view payload) {
   // `delay` just slows the write.
   if (auto f = PRIVTREE_FAULT("socket.send"); f && f.MaybeSleep()) {
     if (f.kind == fault::Kind::kPartialWrite && frame.size() > 1) {
+      // lint-ok: discarded-status — the half-frame write IS the injected
+      // fault; whether those bytes land is part of the chaos.
       (void)WriteAll(fd_, frame.data(), frame.size() / 2);
     }
     if (f.kind == fault::Kind::kPartialWrite ||

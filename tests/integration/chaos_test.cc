@@ -89,7 +89,7 @@ struct ServingStack {
     loop = std::make_unique<EventLoop>(*dispatcher,
                                        std::move(listener).value(),
                                        EventLoopOptions{});
-    serving = std::thread([this] { loop->Run(); });
+    serving = std::thread([this] { EXPECT_TRUE(loop->Run().ok()); });
   }
 
   ~ServingStack() { Stop(); }
@@ -280,7 +280,7 @@ TEST_F(ChaosTest, ClosedLoopClientSurvivesServerRestartWithZeroFailures) {
   auto loop = std::make_unique<EventLoop>(dispatcher,
                                           std::move(listener).value(),
                                           EventLoopOptions{});
-  std::thread serving([&loop] { loop->Run(); });
+  std::thread serving([&loop] { EXPECT_TRUE(loop->Run().ok()); });
 
   ClientOptions options;
   options.max_attempts = 10;
@@ -302,7 +302,7 @@ TEST_F(ChaosTest, ClosedLoopClientSurvivesServerRestartWithZeroFailures) {
       loop = std::make_unique<EventLoop>(dispatcher,
                                          std::move(relisten).value(),
                                          EventLoopOptions{});
-      serving = std::thread([&loop] { loop->Run(); });
+      serving = std::thread([&loop] { EXPECT_TRUE(loop->Run().ok()); });
     }
     const std::uint64_t seed = 1 + (i % 3);
     const FitSpec spec{"ug", {}, kEpsilon, seed};

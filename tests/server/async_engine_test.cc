@@ -12,14 +12,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/sync.h"
 #include "dp/rng.h"
 #include "dp/status.h"
 #include "eval/workload.h"
@@ -72,27 +71,27 @@ class Wedge {
  public:
   void Block(serve::ThreadPool& pool) {
     pool.Submit([this] {
-      std::unique_lock<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       started_ = true;
-      cv_.notify_all();
-      cv_.wait(lk, [this] { return released_; });
+      cv_.NotifyAll();
+      while (!released_) cv_.Wait(lk);
     });
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [this] { return started_; });
+    MutexLock lk(mu_);
+    while (!started_) cv_.Wait(lk);
   }
   void Release() {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       released_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool started_ = false;
-  bool released_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool started_ GUARDED_BY(mu_) = false;
+  bool released_ GUARDED_BY(mu_) = false;
 };
 
 TEST(AsyncEngineTest, EveryMethodMatchesReleaseSessionBitForBit) {

@@ -240,7 +240,7 @@ TEST(ClientRetryTest, ClientSurvivesServerRestartTransparently) {
   const std::uint16_t port = listener.value().port();
   auto loop = std::make_unique<ServerLoop>(dispatcher,
                                            std::move(listener).value());
-  std::thread serving([&loop] { loop->Run(); });
+  std::thread serving([&loop] { EXPECT_TRUE(loop->Run().ok()); });
 
   ClientOptions options;
   options.max_attempts = 8;
@@ -263,7 +263,7 @@ TEST(ClientRetryTest, ClientSurvivesServerRestartTransparently) {
   auto relisten = ListenSocket::Listen(port);
   ASSERT_TRUE(relisten.ok()) << relisten.status().ToString();
   loop = std::make_unique<ServerLoop>(dispatcher, std::move(relisten).value());
-  std::thread reserving([&loop] { loop->Run(); });
+  std::thread reserving([&loop] { EXPECT_TRUE(loop->Run().ok()); });
 
   auto after = client.value().QueryBatch(spec, queries);
   ASSERT_TRUE(after.ok()) << after.status().ToString();

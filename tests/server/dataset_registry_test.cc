@@ -80,7 +80,7 @@ class MultiTenantFixture : public ::testing::Test {
     loop_ = std::make_unique<ServerLoop>(*dispatcher_,
                                          std::move(listener).value());
     port_ = loop_->port();
-    serving_ = std::thread([this] { loop_->Run(); });
+    serving_ = std::thread([this] { EXPECT_TRUE(loop_->Run().ok()); });
   }
 
   void TearDown() override {
@@ -327,7 +327,7 @@ TEST(DatasetRegistryUnitTest, UploadsCanBeDisabled) {
   auto listener = ListenSocket::Listen(0);
   ASSERT_TRUE(listener.ok());
   ServerLoop loop(dispatcher, std::move(listener).value());
-  std::thread serving([&loop] { loop.Run(); });
+  std::thread serving([&loop] { EXPECT_TRUE(loop.Run().ok()); });
   auto connected = Client::Connect("127.0.0.1", loop.port());
   ASSERT_TRUE(connected.ok());
   Client client = std::move(connected).value();

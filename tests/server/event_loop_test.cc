@@ -134,7 +134,7 @@ TEST_F(EventLoopFixture, MatchesThreadLoopAnswersExactly) {
   ASSERT_TRUE(oracle_listener.ok());
   ServerLoop oracle(*dispatcher_, std::move(oracle_listener).value());
   const std::uint16_t oracle_port = oracle.port();
-  std::thread oracle_thread([&oracle] { oracle.Run(); });
+  std::thread oracle_thread([&oracle] { EXPECT_TRUE(oracle.Run().ok()); });
 
   Client epoll_client = MustConnect();
   auto oracle_connected = Client::Connect("127.0.0.1", oracle_port);

@@ -106,7 +106,7 @@ class SequenceServerFixture : public ::testing::Test {
     loop_ = std::make_unique<ServerLoop>(*dispatcher_,
                                          std::move(listener).value());
     port_ = loop_->port();
-    serving_ = std::thread([this] { loop_->Run(); });
+    serving_ = std::thread([this] { EXPECT_TRUE(loop_->Run().ok()); });
   }
 
   void TearDown() override {
@@ -290,6 +290,8 @@ TEST(SeqProtocolTest, DecoderIsTotalUnderCorruption) {
     corrupt[bit / 8] =
         static_cast<char>(corrupt[bit / 8] ^ (1 << (bit % 8)));
     SeqQueryBatchRequest out;
+    // lint-ok: discarded-status — fuzzing: any verdict is acceptable, the
+    // assertion is only that the decoder does not crash.
     (void)DecodeSeqQueryBatch(corrupt, &out);
   }
   // Trailing bytes are rejected.

@@ -70,7 +70,7 @@ class ServerFixture : public ::testing::Test {
     loop_ = std::make_unique<ServerLoop>(*dispatcher_,
                                          std::move(listener).value());
     port_ = loop_->port();
-    serving_ = std::thread([this] { loop_->Run(); });
+    serving_ = std::thread([this] { EXPECT_TRUE(loop_->Run().ok()); });
   }
 
   void TearDown() override {

@@ -1,0 +1,18 @@
+// Lint fixture: (void) discards of fallible calls without a justification
+// comment must be flagged.  Never built; linted by lint_selftest.py.
+#include "dp/status.h"
+
+namespace privtree {
+
+Status MightFail();
+
+void UnjustifiedDiscard() {
+  (void)MightFail();  // violation: no lint-ok justification
+}
+
+void JustifiedDiscard() {
+  // lint-ok: discarded-status — fixture: shows the sanctioned spelling.
+  (void)MightFail();
+}
+
+}  // namespace privtree

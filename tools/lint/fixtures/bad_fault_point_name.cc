@@ -1,0 +1,22 @@
+// Lint fixture: fault points not listed in registered_fault_points.txt
+// must be flagged.  Never built; linted by lint_selftest.py.
+#include "core/fault.h"
+
+namespace privtree {
+
+int GuardedWork() {
+  if (auto f = PRIVTREE_FAULT("spill.write"); f) {  // fine: registered
+    return -1;
+  }
+  if (auto f = PRIVTREE_FAULT("spill.wrlte"); f) {  // violation: typo
+    return -2;
+  }
+  return 0;
+}
+
+void ArmTypo() {
+  fault::Injector::Global().Arm(
+      {"sockets.send", fault::Kind::kError, 1.0, 0, 0, 0});  // violation
+}
+
+}  // namespace privtree

@@ -1,0 +1,15 @@
+// Lint fixture: metric names not listed in registered_metrics.txt must be
+// flagged.  Never built; linted by lint_selftest.py.
+#include "obs/metrics.h"
+
+namespace privtree {
+
+void RecordServing(obs::Registry& registry) {
+  registry.GetCounter("cache.hits").Inc();        // fine: registered
+  registry.GetCounter("cache.hit").Inc();         // violation: typo
+  registry.GetGauge("cache.residents").Set(1);    // violation: typo
+  registry.GetHistogram("test.only.latency_us")   // violation: test.* is
+      .Record(7);                                 // only free inside tests/
+}
+
+}  // namespace privtree

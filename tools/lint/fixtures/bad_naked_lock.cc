@@ -1,0 +1,22 @@
+// Lint fixture: manual lock()/unlock() calls outside core/sync.h must be
+// flagged (lock lifetime is RAII-only).  Never built; linted by
+// lint_selftest.py.
+#include "core/sync.h"
+
+namespace privtree {
+
+void ManualLocking(Mutex& mu) {
+  mu.Lock();  // fine: the annotated wrapper's own API is PascalCase
+}
+
+struct Legacy {
+  void lock();
+  void unlock();
+};
+
+void NakedCalls(Legacy& legacy) {
+  legacy.lock();    // violation: naked .lock()
+  legacy.unlock();  // violation: naked .unlock()
+}
+
+}  // namespace privtree

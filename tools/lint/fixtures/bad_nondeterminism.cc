@@ -1,0 +1,30 @@
+// Lint fixture: nondeterminism primitives outside src/dp/rng must be
+// flagged.  Never built; linted by lint_selftest.py.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace privtree {
+
+unsigned HiddenEntropy() {
+  std::random_device entropy;            // violation: std::random_device
+  return entropy();
+}
+
+int LibcRand() {
+  srand(42);                             // violation: srand()
+  return rand();                         // violation: rand()
+}
+
+unsigned DefaultEngine() {
+  std::default_random_engine engine;     // violation: default_random_engine
+  return static_cast<unsigned>(engine());
+}
+
+unsigned ClockSeeded() {
+  std::mt19937 engine(static_cast<unsigned>(  // violation: clock seed
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  return engine();
+}
+
+}  // namespace privtree

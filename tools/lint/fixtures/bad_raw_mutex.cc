@@ -1,0 +1,24 @@
+// Lint fixture: raw standard-library locking primitives outside
+// core/sync.h must be flagged (only the annotated wrappers carry the clang
+// thread-safety attributes).  Never built; linted by lint_selftest.py.
+#include <condition_variable>
+#include <mutex>
+
+namespace privtree {
+
+// std::mutex in this comment is fine — comments are stripped before rules.
+
+struct Unannotated {
+  std::mutex mu;                    // violation: raw std::mutex
+  std::condition_variable cv;       // violation: raw condition_variable
+};
+
+void RawGuards(Unannotated& state) {
+  std::lock_guard<std::mutex> lk(state.mu);   // violations: lock_guard+mutex
+}
+
+void RawUnique(Unannotated& state) {
+  std::unique_lock<std::mutex> lk(state.mu);  // violations: unique_lock+mutex
+}
+
+}  // namespace privtree

@@ -1,0 +1,22 @@
+// Lint fixture: a file that follows every rule — the negative control for
+// lint_selftest.py.  Never built.
+#include "core/fault.h"
+#include "core/sync.h"
+#include "dp/status.h"
+#include "obs/metrics.h"
+
+namespace privtree {
+
+Status MightFail();
+
+Status ObeysEveryRule(obs::Registry& registry, Mutex& mu) {
+  MutexLock lk(mu);  // RAII via the annotated wrapper.
+  if (auto f = PRIVTREE_FAULT("engine.fit"); f) {
+    registry.GetCounter("engine.watchdog_fired").Inc();
+  }
+  // lint-ok: discarded-status — fixture: justified discards are allowed.
+  (void)MightFail();
+  return MightFail();
+}
+
+}  // namespace privtree

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy) over the translation units a change
+# touched, against the compile database in the given build directory.
+#
+# Usage: tools/run_clang_tidy_changed.sh <build-dir> [base-ref]
+#
+# Changed files are diffed against the merge base with `base-ref` (default
+# origin/main; falls back to HEAD~1 on a shallow or detached checkout).
+# Headers aren't translation units, so a changed header instead tidies every
+# in-repo .cc/.cpp that includes it.  Exits non-zero on any clang-tidy error
+# (the profile promotes concurrency-* findings to errors).
+set -euo pipefail
+
+build_dir=${1:?usage: run_clang_tidy_changed.sh <build-dir> [base-ref]}
+base_ref=${2:-origin/main}
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "error: $build_dir/compile_commands.json not found" \
+       "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 2
+fi
+
+base=$(git merge-base "$base_ref" HEAD 2>/dev/null || true)
+if [[ -z "$base" ]]; then
+  base=$(git rev-parse HEAD~1 2>/dev/null || true)
+fi
+if [[ -z "$base" ]]; then
+  echo "run_clang_tidy_changed: no base commit resolvable; skipping"
+  exit 0
+fi
+
+mapfile -t changed < <(git diff --name-only --diff-filter=d "$base" HEAD -- \
+                       '*.cc' '*.cpp' '*.h' '*.hpp')
+if [[ ${#changed[@]} -eq 0 ]]; then
+  echo "run_clang_tidy_changed: no C++ changes vs $base; skipping"
+  exit 0
+fi
+
+declare -A units=()
+for f in "${changed[@]}"; do
+  case "$f" in
+    *.cc|*.cpp)
+      units[$f]=1
+      ;;
+    *.h|*.hpp)
+      # Tidy every translation unit that includes the changed header (match
+      # on the basename — the project includes are path-qualified but this
+      # stays correct if a header moves).
+      header_base=$(basename "$f")
+      while IFS= read -r tu; do
+        units[$tu]=1
+      done < <(grep -rl --include='*.cc' --include='*.cpp' \
+               "include \".*${header_base}\"" src tests bench examples \
+               2>/dev/null || true)
+      ;;
+  esac
+done
+
+if [[ ${#units[@]} -eq 0 ]]; then
+  echo "run_clang_tidy_changed: changed headers are not included by any" \
+       "translation unit; skipping"
+  exit 0
+fi
+
+echo "run_clang_tidy_changed: tidying ${#units[@]} translation unit(s):"
+printf '  %s\n' "${!units[@]}"
+clang-tidy -p "$build_dir" --quiet "${!units[@]}"
